@@ -1,0 +1,84 @@
+//! Dependence-driven loop chains and the MGPS ablation sweeps.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgps_runtime::native::{ChainRunner, ChainedLoop, SpeContext, SpePool, LoopSite, TeamRunner, LoopBody};
+
+struct Sum(usize);
+impl ChainedLoop for Sum {
+    fn len(&self) -> usize {
+        self.0
+    }
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn run_chunk(&self, carry: f64, r: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+        r.map(|i| (i as f64 + carry * 1e-9).sqrt()).sum()
+    }
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+struct SumBody(usize);
+impl LoopBody for SumBody {
+    type Acc = f64;
+    fn len(&self) -> usize {
+        self.0
+    }
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn run_chunk(&self, r: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+        r.map(|i| (i as f64).sqrt()).sum()
+    }
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+fn chains(c: &mut Criterion) {
+    let pool = Arc::new(SpePool::new(8, Duration::ZERO));
+    let chain_runner = ChainRunner::new(Arc::clone(&pool));
+    let team_runner = TeamRunner::new(Arc::clone(&pool), Duration::ZERO);
+
+    let mut g = c.benchmark_group("chains");
+    g.sample_size(20);
+    for degree in [2usize, 4] {
+        // 4-stage chain: one team reservation.
+        g.bench_with_input(BenchmarkId::new("chained_4stages", degree), &degree, |b, &k| {
+            let stages: Vec<Arc<dyn ChainedLoop>> =
+                (0..4).map(|_| Arc::new(Sum(2_000)) as Arc<dyn ChainedLoop>).collect();
+            b.iter(|| chain_runner.chained_reduce(k, stages.clone(), 0.0).unwrap())
+        });
+        // The same work as 4 separate team invocations.
+        g.bench_with_input(BenchmarkId::new("separate_4loops", degree), &degree, |b, &k| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..4 {
+                    acc += team_runner
+                        .parallel_reduce(LoopSite(1), k, Arc::new(SumBody(2_000)))
+                        .unwrap();
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("window_sweep_point", |b| {
+        b.iter(|| experiments::ablation_window(40_000))
+    });
+    g.bench_function("threshold_sweep_point", |b| {
+        b.iter(|| experiments::ablation_threshold(40_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, chains);
+criterion_main!(benches);

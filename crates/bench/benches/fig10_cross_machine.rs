@@ -1,0 +1,25 @@
+//! Figure 10: Cell vs Xeon vs Power5 comparison kernels.
+
+use bench::sim;
+use criterion::{criterion_group, criterion_main, Criterion};
+use machines::SmtMachine;
+use mgps_runtime::policy::SchedulerKind;
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("cell_mgps_16boots", |b| b.iter(|| sim(SchedulerKind::Mgps, 16)));
+    g.bench_function("xeon_model_sweep", |b| {
+        let m = SmtMachine::xeon_smp();
+        b.iter(|| (1..=128).map(|n| black_box(&m).makespan(n)).sum::<f64>())
+    });
+    g.bench_function("power5_model_sweep", |b| {
+        let m = SmtMachine::power5();
+        b.iter(|| (1..=128).map(|n| black_box(&m).makespan(n)).sum::<f64>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 7: static EDTLP-LLP hybrids vs EDTLP across bootstrap counts.
+
+use bench::sim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgps_runtime::policy::SchedulerKind;
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for n in [2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("llp2", n), &n, |b, &n| {
+            b.iter(|| sim(SchedulerKind::StaticHybrid { spes_per_loop: 2 }, n))
+        });
+        g.bench_with_input(BenchmarkId::new("llp4", n), &n, |b, &n| {
+            b.iter(|| sim(SchedulerKind::StaticHybrid { spes_per_loop: 4 }, n))
+        });
+        g.bench_with_input(BenchmarkId::new("edtlp", n), &n, |b, &n| {
+            b.iter(|| sim(SchedulerKind::Edtlp, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 8: the adaptive MGPS scheduler across bootstrap counts.
+
+use bench::sim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgps_runtime::policy::SchedulerKind;
+
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for n in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("mgps", n), &n, |b, &n| {
+            b.iter(|| sim(SchedulerKind::Mgps, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

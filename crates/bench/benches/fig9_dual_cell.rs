@@ -1,0 +1,21 @@
+//! Figure 9: dual-Cell blade scaling.
+
+use bench::BENCH_SCALE;
+use cellsim::machine::run;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machines::blade_config;
+use mgps_runtime::policy::SchedulerKind;
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for cells in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("mgps_16boots", cells), &cells, |b, &cells| {
+            b.iter(|| run(blade_config(cells, SchedulerKind::Mgps, 16, BENCH_SCALE)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The extended model layer at realistic sizes: GTR spectral matrices,
+//! discrete-Γ rate computation, and the Γ-mixture likelihood.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn gamma(c: &mut Criterion) {
+    let gtr = Gtr::example();
+    let aln = Alignment::synthetic(24, 600, &gtr, 0.1, 7);
+    let data = PatternAlignment::compress(&aln);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let tree = Tree::random(24, 0.1, &mut rng);
+
+    let mut g = c.benchmark_group("gamma_kernels");
+    g.sample_size(20);
+    g.bench_function("gtr_prob_matrix", |b| b.iter(|| gtr.prob_matrix(0.17)));
+    g.bench_function("discrete_gamma_rates_4", |b| b.iter(|| discrete_gamma_rates(0.47, 4)));
+    g.bench_function("plain_lnl_24x600", |b| {
+        let e = LikelihoodEngine::new(&gtr, &data);
+        b.iter(|| e.log_likelihood(&tree))
+    });
+    for k in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("gamma_lnl_24x600", k), &k, |b, &k| {
+            let e = GammaEngine::new(&gtr, &data, 0.5, k);
+            b.iter(|| e.log_likelihood(&tree))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, gamma);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! §5.2 micro-overheads of the native runtime: off-load round trip, team
+//! work-sharing, PPE-gate switching, and pure policy decision throughput.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgps_runtime::native::{LoopBody, LoopSite, SpeContext, SpePool, TeamRunner};
+use mgps_runtime::policy::chunk::partition;
+use mgps_runtime::policy::mgps::{MgpsConfig, MgpsScheduler};
+use mgps_runtime::policy::types::TaskId;
+
+struct Sum(usize);
+impl LoopBody for Sum {
+    type Acc = f64;
+    fn len(&self) -> usize {
+        self.0
+    }
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn run_chunk(&self, r: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+        r.map(|i| (i as f64).sqrt()).sum()
+    }
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+fn micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.sample_size(20);
+
+    let pool = Arc::new(SpePool::new(8, Duration::ZERO));
+    g.bench_function("offload_round_trip", |b| {
+        b.iter(|| pool.offload(|_| 42u64).wait().unwrap())
+    });
+
+    let runner = TeamRunner::new(Arc::clone(&pool), Duration::ZERO);
+    for degree in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("team_reduce_228", degree), &degree, |b, &k| {
+            b.iter(|| runner.parallel_reduce(LoopSite(1), k, Arc::new(Sum(228))).unwrap())
+        });
+    }
+
+    g.bench_function("mgps_policy_decision", |b| {
+        let mut s = MgpsScheduler::new(MgpsConfig::for_spes(8));
+        let mut i = 0u64;
+        b.iter(|| {
+            s.on_offload(TaskId(i), i * 100_000);
+            let d = s.on_departure(TaskId(i), i * 100_000, i * 100_000 + 96_000, 4);
+            i += 1;
+            d
+        })
+    });
+
+    g.bench_function("partition_228_by_4", |b| b.iter(|| partition(228, 4, 0.25)));
+    g.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

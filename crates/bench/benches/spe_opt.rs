@@ -1,0 +1,29 @@
+//! §5.1 ablation: PPE-only vs naive vs optimized kernel profiles.
+
+use bench::BENCH_SCALE;
+use cellsim::machine::{run, SimConfig};
+use cellsim::workload::KernelProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgps_runtime::policy::SchedulerKind;
+
+fn spe_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spe_opt");
+    g.sample_size(10);
+    for (name, profile) in [
+        ("ppe_only", KernelProfile::PpeOnly),
+        ("naive", KernelProfile::Naive),
+        ("optimized", KernelProfile::Optimized),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::cell_42sc(SchedulerKind::Edtlp, 1, BENCH_SCALE);
+                cfg.profile = profile;
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, spe_opt);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 1: EDTLP vs the Linux scheduler across worker counts.
+
+use bench::sim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgps_runtime::policy::SchedulerKind;
+
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("edtlp", workers), &workers, |b, &w| {
+            b.iter(|| sim(SchedulerKind::Edtlp, w))
+        });
+        g.bench_with_input(BenchmarkId::new("linux", workers), &workers, |b, &w| {
+            b.iter(|| sim(SchedulerKind::LinuxLike, w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 2: loop-level parallelism degree sweep for one bootstrap.
+
+use bench::sim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgps_runtime::policy::SchedulerKind;
+
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for degree in [1usize, 2, 4, 5, 8] {
+        g.bench_with_input(BenchmarkId::new("llp_degree", degree), &degree, |b, &k| {
+            let sched = if k == 1 {
+                SchedulerKind::Edtlp
+            } else {
+                SchedulerKind::StaticHybrid { spes_per_loop: k }
+            };
+            b.iter(|| sim(sched, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Each bench target regenerates (a sampled version of) one table or
+//! figure; the statistical heavy lifting for the paper-facing numbers is
+//! done by the `experiments` binaries — these benches measure the cost of
+//! the regeneration itself and guard against performance regressions in
+//! the simulator, the runtime, and the likelihood kernels.
+
+use cellsim::machine::{run, RunReport, SimConfig};
+use mgps_runtime::policy::SchedulerKind;
+
+/// Workload reduction used by the benches: coarse, so each simulation run
+/// is a few milliseconds.
+pub const BENCH_SCALE: usize = 5_000;
+
+/// One simulated run at bench scale.
+pub fn sim(scheduler: SchedulerKind, n_bootstraps: usize) -> RunReport {
+    run(SimConfig::cell_42sc(scheduler, n_bootstraps, BENCH_SCALE))
+}

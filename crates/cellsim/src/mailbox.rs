@@ -1,0 +1,207 @@
+//! PPE↔SPE mailboxes (§4).
+//!
+//! Each SPU has a 4-entry inbound mailbox (PPE → SPU), a 1-entry outbound
+//! mailbox, and a 1-entry outbound-interrupt mailbox (SPU → PPE). Writes
+//! to a full mailbox stall the writer; reads from an empty mailbox stall
+//! the reader. The machine model signals task starts through the inbound
+//! mailbox and completions through the outbound-interrupt mailbox, so the
+//! occupancy rules of the real hardware are enforced on every off-load.
+
+use std::collections::VecDeque;
+
+/// A bounded mailbox of 32-bit messages.
+#[derive(Debug, Clone)]
+pub struct Mailbox {
+    capacity: usize,
+    queue: VecDeque<u32>,
+    writes: u64,
+    reads: u64,
+    write_stalls: u64,
+    read_stalls: u64,
+}
+
+impl Mailbox {
+    /// A mailbox holding at most `capacity` undelivered messages.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Mailbox {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        Mailbox {
+            capacity,
+            queue: VecDeque::with_capacity(capacity),
+            writes: 0,
+            reads: 0,
+            write_stalls: 0,
+            read_stalls: 0,
+        }
+    }
+
+    /// Undelivered messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a write would stall.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Post `msg`. Returns `false` (and counts a stall) when full.
+    pub fn write(&mut self, msg: u32) -> bool {
+        if self.is_full() {
+            self.write_stalls += 1;
+            return false;
+        }
+        self.queue.push_back(msg);
+        self.writes += 1;
+        true
+    }
+
+    /// Take the oldest message; `None` (and a stall) when empty.
+    pub fn read(&mut self) -> Option<u32> {
+        match self.queue.pop_front() {
+            Some(m) => {
+                self.reads += 1;
+                Some(m)
+            }
+            None => {
+                self.read_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Successful writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Successful reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes refused because the mailbox was full.
+    pub fn write_stalls(&self) -> u64 {
+        self.write_stalls
+    }
+
+    /// Reads attempted while empty.
+    pub fn read_stalls(&self) -> u64 {
+        self.read_stalls
+    }
+}
+
+/// The three mailboxes of one SPU (§4 capacities).
+#[derive(Debug, Clone)]
+pub struct SpuMailboxes {
+    /// PPE → SPU commands (4 entries).
+    pub inbound: Mailbox,
+    /// SPU → PPE data (1 entry, polled).
+    pub outbound: Mailbox,
+    /// SPU → PPE completion interrupts (1 entry).
+    pub outbound_interrupt: Mailbox,
+}
+
+impl Default for SpuMailboxes {
+    fn default() -> Self {
+        SpuMailboxes {
+            inbound: Mailbox::new(4),
+            outbound: Mailbox::new(1),
+            outbound_interrupt: Mailbox::new(1),
+        }
+    }
+}
+
+impl SpuMailboxes {
+    /// Signal a task start from the PPE (message = task id low bits).
+    /// Returns `false` on a full inbound mailbox (the PPE would stall).
+    pub fn signal_start(&mut self, task: u32) -> bool {
+        self.inbound.write(task)
+    }
+
+    /// The SPU consumes its start command.
+    pub fn take_start(&mut self) -> Option<u32> {
+        self.inbound.read()
+    }
+
+    /// The SPU posts completion; `false` if the previous completion was
+    /// not yet collected.
+    pub fn signal_complete(&mut self, task: u32) -> bool {
+        self.outbound_interrupt.write(task)
+    }
+
+    /// The PPE collects a completion.
+    pub fn collect_complete(&mut self) -> Option<u32> {
+        self.outbound_interrupt.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut m = Mailbox::new(4);
+        for v in [1u32, 2, 3] {
+            assert!(m.write(v));
+        }
+        assert_eq!(m.read(), Some(1));
+        assert_eq!(m.read(), Some(2));
+        assert!(m.write(4));
+        assert_eq!(m.read(), Some(3));
+        assert_eq!(m.read(), Some(4));
+        assert_eq!(m.read(), None);
+        assert_eq!(m.reads(), 4);
+        assert_eq!(m.read_stalls(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced_with_stall_accounting() {
+        let mut m = Mailbox::new(4);
+        for v in 0..4 {
+            assert!(m.write(v));
+        }
+        assert!(m.is_full());
+        assert!(!m.write(99), "5th write to a 4-entry inbound mailbox stalls");
+        assert_eq!(m.write_stalls(), 1);
+        assert_eq!(m.len(), 4);
+        m.read();
+        assert!(m.write(99));
+    }
+
+    #[test]
+    fn spu_mailbox_protocol_round_trip() {
+        let mut mb = SpuMailboxes::default();
+        assert!(mb.signal_start(7));
+        assert_eq!(mb.take_start(), Some(7));
+        assert!(mb.signal_complete(7));
+        // A second completion before collection stalls (1-entry mailbox).
+        assert!(!mb.signal_complete(8));
+        assert_eq!(mb.collect_complete(), Some(7));
+        assert!(mb.signal_complete(8));
+        assert_eq!(mb.collect_complete(), Some(8));
+    }
+
+    #[test]
+    fn inbound_holds_four_pending_commands() {
+        let mut mb = SpuMailboxes::default();
+        for t in 0..4 {
+            assert!(mb.signal_start(t), "command {t}");
+        }
+        assert!(!mb.signal_start(4), "hardware inbound mailbox has 4 entries");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Mailbox::new(0);
+    }
+}

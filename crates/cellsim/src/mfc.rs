@@ -1,0 +1,152 @@
+//! The Memory Flow Controller: each SPE's private DMA queue.
+//!
+//! The MFC holds up to 16 in-flight requests per SPE (§4). Programs enqueue
+//! transfers; the MFC issues them to the EIB as capacity allows. We model
+//! the queue-depth limit and per-request accounting; the machine model
+//! drains completions via events.
+
+use std::collections::VecDeque;
+
+use des::time::SimDuration;
+
+use crate::dma::DmaRequest;
+use crate::eib::Eib;
+use crate::params::DmaParams;
+
+/// Per-SPE DMA queue state.
+#[derive(Debug, Clone)]
+pub struct Mfc {
+    depth: usize,
+    queued: VecDeque<DmaRequest>,
+    in_flight: usize,
+    completed: u64,
+    stalls: u64,
+}
+
+impl Mfc {
+    /// An MFC with the configured queue depth.
+    pub fn new(params: &DmaParams) -> Mfc {
+        Mfc {
+            depth: params.mfc_queue_depth,
+            queued: VecDeque::new(),
+            in_flight: 0,
+            completed: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Requests waiting to issue plus in flight.
+    pub fn occupancy(&self) -> usize {
+        self.queued.len() + self.in_flight
+    }
+
+    /// Transfers completed over the MFC's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Enqueue attempts refused because the queue was full (the SPU stalls
+    /// on the `mfc_put`/`mfc_get` until space frees).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Enqueue `req`. Returns `false` (a stall) when the 16-entry queue is
+    /// full.
+    pub fn enqueue(&mut self, req: DmaRequest) -> bool {
+        if self.occupancy() >= self.depth {
+            self.stalls += 1;
+            return false;
+        }
+        self.queued.push_back(req);
+        true
+    }
+
+    /// Try to issue the oldest queued request to `eib`. On success returns
+    /// the contention-adjusted completion latency; the caller schedules a
+    /// completion event and later calls [`Mfc::complete`].
+    pub fn try_issue(&mut self, params: &DmaParams, eib: &mut Eib) -> Option<SimDuration> {
+        let req = self.queued.front()?;
+        let base = req.base_latency(params);
+        let latency = eib.begin_transfer(req.bytes, base)?;
+        self.queued.pop_front();
+        self.in_flight += 1;
+        Some(latency)
+    }
+
+    /// A previously issued request finished on the bus.
+    ///
+    /// # Panics
+    /// Panics if nothing was in flight.
+    pub fn complete(&mut self, eib: &mut Eib) {
+        assert!(self.in_flight > 0, "MFC completion with nothing in flight");
+        self.in_flight -= 1;
+        self.completed += 1;
+        eib.end_transfer();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DmaParams, Mfc, Eib) {
+        let p = DmaParams::default();
+        (p, Mfc::new(&p), Eib::new(p))
+    }
+
+    fn req(p: &DmaParams, bytes: usize) -> DmaRequest {
+        DmaRequest::new(p, bytes, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn issue_and_complete_round_trip() {
+        let (p, mut mfc, mut eib) = setup();
+        assert!(mfc.enqueue(req(&p, 4096)));
+        let lat = mfc.try_issue(&p, &mut eib).expect("issue succeeds");
+        assert!(lat > SimDuration::ZERO);
+        assert_eq!(mfc.occupancy(), 1);
+        mfc.complete(&mut eib);
+        assert_eq!(mfc.occupancy(), 0);
+        assert_eq!(mfc.completed(), 1);
+        assert_eq!(eib.outstanding(), 0);
+    }
+
+    #[test]
+    fn queue_depth_limit_stalls() {
+        let (p, mut mfc, _eib) = setup();
+        for _ in 0..16 {
+            assert!(mfc.enqueue(req(&p, 16)));
+        }
+        assert!(!mfc.enqueue(req(&p, 16)), "17th enqueue must stall");
+        assert_eq!(mfc.stalls(), 1);
+        assert_eq!(mfc.occupancy(), 16);
+    }
+
+    #[test]
+    fn issue_on_empty_queue_is_none() {
+        let (p, mut mfc, mut eib) = setup();
+        assert!(mfc.try_issue(&p, &mut eib).is_none());
+    }
+
+    #[test]
+    fn eib_back_pressure_leaves_request_queued() {
+        let p = DmaParams { max_outstanding: 1, ..DmaParams::default() };
+        let mut mfc = Mfc::new(&p);
+        let mut eib = Eib::new(p);
+        assert!(mfc.enqueue(req(&p, 16)));
+        assert!(mfc.enqueue(req(&p, 16)));
+        assert!(mfc.try_issue(&p, &mut eib).is_some());
+        assert!(mfc.try_issue(&p, &mut eib).is_none(), "bus full");
+        assert_eq!(mfc.occupancy(), 2, "second request still queued");
+        mfc.complete(&mut eib);
+        assert!(mfc.try_issue(&p, &mut eib).is_some(), "retry succeeds after drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing in flight")]
+    fn spurious_complete_panics() {
+        let (_p, mut mfc, mut eib) = setup();
+        mfc.complete(&mut eib);
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-SPE state within the machine model.
+
+use des::stats::BusyTracker;
+use des::time::SimTime;
+
+/// The simulated state of one Synergistic Processing Element.
+#[derive(Debug, Clone)]
+pub struct SpeState {
+    busy: bool,
+    /// The code-image epoch resident in local store. The machine bumps the
+    /// global epoch whenever the runtime switches between plain and
+    /// loop-parallel kernel versions; a stale SPE pays a reload on its next
+    /// task (§5.4).
+    image_epoch: u64,
+    tracker: BusyTracker,
+    tasks: u64,
+    reloads: u64,
+}
+
+impl SpeState {
+    /// A fresh, idle SPE with no code loaded (epoch 0 is "nothing").
+    pub fn new(now: SimTime) -> SpeState {
+        SpeState { busy: false, image_epoch: 0, tracker: BusyTracker::new(now), tasks: 0, reloads: 0 }
+    }
+
+    /// Whether a task is running here.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Mark busy at `now`; returns `true` if the required `epoch` forced a
+    /// code reload.
+    pub fn start_task(&mut self, now: SimTime, epoch: u64) -> bool {
+        debug_assert!(!self.busy, "SPE started while busy");
+        self.busy = true;
+        self.tracker.set_busy(now);
+        self.tasks += 1;
+        if self.image_epoch != epoch {
+            self.image_epoch = epoch;
+            self.reloads += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark idle at `now`.
+    pub fn finish_task(&mut self, now: SimTime) {
+        debug_assert!(self.busy, "SPE finished while idle");
+        self.busy = false;
+        self.tracker.set_idle(now);
+    }
+
+    /// Fraction of `[0, now]` spent busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.tracker.utilization(now)
+    }
+
+    /// Tasks (or loop chunks) executed.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Code reloads paid.
+    pub fn reloads(&self) -> u64 {
+        self.reloads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_accounting() {
+        let mut s = SpeState::new(SimTime(0));
+        assert!(!s.is_busy());
+        let reload = s.start_task(SimTime(100), 1);
+        assert!(reload, "first task loads the image");
+        assert!(s.is_busy());
+        s.finish_task(SimTime(300));
+        assert!(!s.is_busy());
+        assert_eq!(s.tasks(), 1);
+        // busy 200 of 400 ns
+        assert!((s.utilization(SimTime(400)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reload_only_on_epoch_change() {
+        let mut s = SpeState::new(SimTime(0));
+        assert!(s.start_task(SimTime(0), 1));
+        s.finish_task(SimTime(10));
+        assert!(!s.start_task(SimTime(20), 1), "same epoch: no reload");
+        s.finish_task(SimTime(30));
+        assert!(s.start_task(SimTime(40), 2), "new epoch: reload");
+        assert_eq!(s.reloads(), 2);
+    }
+}

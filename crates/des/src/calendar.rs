@@ -1,0 +1,267 @@
+//! A calendar queue: O(1)-amortized pending-event set for models that
+//! manage their own event streams.
+//!
+//! The core [`crate::sim::Sim`] uses a binary heap — optimal at the event
+//! counts the Cell model produces. Large-scale models (millions of pending
+//! events with roughly uniform inter-event gaps) do better with a calendar
+//! queue (Brown 1988): a ring of time buckets of fixed width, resized as
+//! occupancy drifts, giving amortized O(1) enqueue/dequeue. This
+//! implementation keeps the engine's determinism contract: ties break on
+//! an insertion sequence number, FIFO.
+
+use crate::time::SimTime;
+
+/// One pending entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+/// A calendar queue over payloads `T`, ordered by `(time, insertion seq)`.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Bucket width in nanoseconds.
+    width: u64,
+    /// Index of the bucket the cursor is in.
+    cursor: usize,
+    /// Start time of the cursor's current year lap for `cursor`.
+    cursor_time: u64,
+    len: usize,
+    next_seq: u64,
+    /// Resize thresholds.
+    min_buckets: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with an initial bucket width guess (ns). The width
+    /// adapts as the queue resizes; the guess only matters for warm-up.
+    pub fn new(initial_width_ns: u64) -> CalendarQueue<T> {
+        let width = initial_width_ns.max(1);
+        CalendarQueue {
+            buckets: (0..16).map(|_| Vec::new()).collect(),
+            width,
+            cursor: 0,
+            cursor_time: 0,
+            len: 0,
+            next_seq: 0,
+            min_buckets: 16,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, at: SimTime) -> usize {
+        ((at.as_nanos() / self.width) as usize) % self.buckets.len()
+    }
+
+    /// Insert `payload` at time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes an already-popped time (the clock cannot
+    /// run backwards).
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        assert!(
+            at.as_nanos() >= self.cursor_time.saturating_sub(self.width),
+            "cannot schedule into the past"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = self.bucket_of(at);
+        self.buckets[idx].push(Entry { at, seq, payload });
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// The earliest `(time, payload)` without removing it.
+    pub fn peek(&self) -> Option<(SimTime, &T)> {
+        self.scan_min().map(|(b, i)| {
+            let e = &self.buckets[b][i];
+            (e.at, &e.payload)
+        })
+    }
+
+    /// Remove and return the earliest entry (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let (b, i) = self.scan_min()?;
+        let e = self.buckets[b].swap_remove(i);
+        self.len -= 1;
+        self.cursor = b;
+        self.cursor_time = e.at.as_nanos();
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > self.min_buckets {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some((e.at, e.payload))
+    }
+
+    /// Locate the minimum entry. Starts at the cursor bucket and walks one
+    /// calendar year; falls back to a full scan when the year is sparse.
+    fn scan_min(&self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        // Walk buckets within the current year window.
+        let year = self.width * nb as u64;
+        let mut lap_start = self.cursor_time.saturating_sub(self.width);
+        // Bounded number of laps to stay O(len): at most until the max
+        // possible time among entries — fall back to direct scan.
+        for _ in 0..2 {
+            for step in 0..nb {
+                let b = (self.cursor + step) % nb;
+                let window_end = lap_start + (step as u64 + 2) * self.width;
+                if let Some((i, e)) = self.min_in_bucket(b) {
+                    if e.at.as_nanos() < window_end {
+                        return Some((b, i));
+                    }
+                }
+            }
+            lap_start += year;
+        }
+        // Sparse: direct global scan.
+        let mut best: Option<(usize, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some((i, e)) = self.min_in_bucket(b) {
+                let better = match best {
+                    None => true,
+                    Some((bb, bi)) => {
+                        let cur = &self.buckets[bb][bi];
+                        (e.at, e.seq) < (cur.at, cur.seq)
+                    }
+                };
+                if better {
+                    best = Some((b, i));
+                }
+                let _ = bucket;
+            }
+        }
+        best
+    }
+
+    fn min_in_bucket(&self, b: usize) -> Option<(usize, &Entry<T>)> {
+        self.buckets[b].iter().enumerate().min_by_key(|(_, e)| (e.at, e.seq))
+    }
+
+    fn resize(&mut self, new_n: usize) {
+        let new_n = new_n.max(self.min_buckets);
+        if new_n == self.buckets.len() {
+            return;
+        }
+        // Re-estimate width from the average gap of a sample of entries.
+        let mut times: Vec<u64> =
+            self.buckets.iter().flatten().take(64).map(|e| e.at.as_nanos()).collect();
+        times.sort_unstable();
+        if times.len() >= 2 {
+            let span = times[times.len() - 1].saturating_sub(times[0]);
+            let avg_gap = (span / (times.len() as u64 - 1)).max(1);
+            self.width = avg_gap.max(1);
+        }
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_n).map(|_| Vec::new()).collect(),
+        );
+        for e in old.into_iter().flatten() {
+            let idx = ((e.at.as_nanos() / self.width) as usize) % new_n;
+            self.buckets[idx].push(e);
+        }
+        self.cursor = ((self.cursor_time / self.width) as usize) % new_n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new(10);
+        for &t in &[30u64, 10, 20, 5, 25] {
+            q.push(SimTime(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((at, v)) = q.pop() {
+            assert_eq!(at.as_nanos(), v);
+            out.push(v);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = CalendarQueue::new(100);
+        for i in 0..10 {
+            q.push(SimTime(42), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = CalendarQueue::new(50);
+        q.push(SimTime(100), "a");
+        q.push(SimTime(200), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime(150), "c");
+        q.push(SimTime(120), "d");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn resize_preserves_order_under_load() {
+        let mut q = CalendarQueue::new(1);
+        // Push enough to force several grows, with deliberately clustered
+        // and spread times.
+        let mut times = Vec::new();
+        for i in 0..500u64 {
+            let t = (i * 37) % 1000 + if i % 3 == 0 { 100_000 } else { 0 };
+            times.push(t);
+            q.push(SimTime(t), t);
+        }
+        times.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            popped.push(v);
+        }
+        assert_eq!(popped, times);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new(10);
+        for &t in &[9u64, 3, 7] {
+            q.push(SimTime(t), t);
+        }
+        while !q.is_empty() {
+            let (pt, &pv) = q.peek().unwrap();
+            let (at, v) = q.pop().unwrap();
+            assert_eq!((pt, pv), (at, v));
+        }
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let mut q = CalendarQueue::new(10);
+        assert_eq!(q.len(), 0);
+        q.push(SimTime(1), ());
+        q.push(SimTime(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

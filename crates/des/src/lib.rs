@@ -1,0 +1,49 @@
+//! # `des` — a deterministic discrete-event simulation engine
+//!
+//! The substrate beneath the Cell Broadband Engine model in this workspace.
+//! It provides:
+//!
+//! * [`time`] — integer-nanosecond simulated clock types;
+//! * [`sim`] — the event loop: a future-event list with FIFO tie-breaking,
+//!   cancellation, and bounded-horizon runs;
+//! * [`resource`] — counted resources and wait queues with explicit,
+//!   borrow-checker-friendly waiter hand-off;
+//! * [`stats`] — time-weighted averages, busy/utilization trackers, online
+//!   moments and histograms;
+//! * [`trace`] — bounded execution traces used for debugging and for
+//!   bit-determinism tests.
+//!
+//! Determinism is a design requirement, not an accident: two events
+//! scheduled for the same instant always fire in scheduling order, so every
+//! simulation in this workspace is reproducible from its seed.
+//!
+//! ```
+//! use des::prelude::*;
+//!
+//! let mut sim = Sim::new(0u64);
+//! sim.schedule_at(SimTime::ZERO + SimDuration::from_micros(5), |s| {
+//!     *s.model_mut() += 1;
+//! });
+//! sim.run();
+//! assert_eq!(*sim.model(), 1);
+//! assert_eq!(sim.now(), SimTime(5_000));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod resource;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob import for model code.
+pub mod prelude {
+    pub use crate::calendar::CalendarQueue;
+    pub use crate::resource::{Resource, WaitQueue};
+    pub use crate::sim::{EventFn, EventId, Sim};
+    pub use crate::stats::{BusyTracker, Histogram, OnlineStats, TimeWeighted};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{Trace, TraceRecord};
+}

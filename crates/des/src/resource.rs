@@ -1,0 +1,242 @@
+//! Waiting primitives for event-driven models.
+//!
+//! Because events are closures over `&mut Sim<M>`, a resource cannot invoke
+//! a waiter directly while it is itself borrowed from the model. Instead,
+//! [`Resource::release`] and [`WaitQueue::wake_one`] *return* the waiter
+//! closure; the caller schedules it with [`crate::sim::Sim::schedule_now`].
+//! This hand-off keeps the borrow checker happy without `RefCell`s and makes
+//! wake-up ordering explicit and FIFO.
+
+use std::collections::VecDeque;
+
+use crate::sim::EventFn;
+
+/// A counted resource (semaphore) with FIFO waiters.
+pub struct Resource<M> {
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<EventFn<M>>,
+    /// Total number of grants ever made, for accounting.
+    grants: u64,
+}
+
+impl<M> Resource<M> {
+    /// A resource with `capacity` simultaneous holders.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity resource can never be
+    /// acquired and always indicates a configuration bug.
+    pub fn new(capacity: usize) -> Resource<M> {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Resource { capacity, in_use: 0, waiters: VecDeque::new(), grants: 0 }
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Units currently free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// Number of queued waiters.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Total number of grants made over the resource's lifetime.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Acquire one unit if available. Returns `true` on success.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.grants += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acquire one unit, or enqueue `waiter` to run (already holding the
+    /// unit) when one frees up. Returns `true` if acquired immediately —
+    /// in that case `waiter` is dropped unused.
+    pub fn acquire_or_wait(&mut self, waiter: impl FnOnce(&mut crate::sim::Sim<M>) + 'static) -> bool {
+        if self.try_acquire() {
+            true
+        } else {
+            self.waiters.push_back(Box::new(waiter));
+            false
+        }
+    }
+
+    /// Release one unit. If a waiter is queued, the unit transfers to it and
+    /// its closure is returned for the caller to schedule.
+    ///
+    /// # Panics
+    /// Panics if nothing is held — a double release is always a model bug.
+    #[must_use = "a returned waiter must be scheduled or it deadlocks"]
+    pub fn release(&mut self) -> Option<EventFn<M>> {
+        assert!(self.in_use > 0, "release of a resource that is not held");
+        match self.waiters.pop_front() {
+            Some(w) => {
+                // Unit transfers: in_use stays the same.
+                self.grants += 1;
+                Some(w)
+            }
+            None => {
+                self.in_use -= 1;
+                None
+            }
+        }
+    }
+}
+
+/// A FIFO queue of suspended waiters (a condition-variable analogue).
+pub struct WaitQueue<M> {
+    waiters: VecDeque<EventFn<M>>,
+}
+
+impl<M> Default for WaitQueue<M> {
+    fn default() -> Self {
+        WaitQueue { waiters: VecDeque::new() }
+    }
+}
+
+impl<M> WaitQueue<M> {
+    /// An empty queue.
+    pub fn new() -> WaitQueue<M> {
+        WaitQueue::default()
+    }
+
+    /// Number of suspended waiters.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True when no one is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+
+    /// Suspend `waiter` until woken.
+    pub fn wait(&mut self, waiter: impl FnOnce(&mut crate::sim::Sim<M>) + 'static) {
+        self.waiters.push_back(Box::new(waiter));
+    }
+
+    /// Pop the oldest waiter, if any, for the caller to schedule.
+    #[must_use = "a returned waiter must be scheduled or it is lost"]
+    pub fn wake_one(&mut self) -> Option<EventFn<M>> {
+        self.waiters.pop_front()
+    }
+
+    /// Drain all waiters, in FIFO order, for the caller to schedule.
+    #[must_use = "returned waiters must be scheduled or they are lost"]
+    pub fn wake_all(&mut self) -> Vec<EventFn<M>> {
+        self.waiters.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    /// A model holding a resource plus an observation log. The resource is
+    /// taken out of the model (`Option::take`) while events manipulate it,
+    /// mirroring how larger models sidestep double borrows.
+    struct M {
+        res: Option<Resource<M>>,
+        log: Vec<&'static str>,
+    }
+
+    #[test]
+    fn try_acquire_until_exhausted() {
+        let mut r: Resource<()> = Resource::new(2);
+        assert!(r.try_acquire());
+        assert!(r.try_acquire());
+        assert!(!r.try_acquire());
+        assert_eq!(r.in_use(), 2);
+        assert_eq!(r.available(), 0);
+        assert_eq!(r.grants(), 2);
+    }
+
+    #[test]
+    fn release_without_waiters_frees_unit() {
+        let mut r: Resource<()> = Resource::new(1);
+        assert!(r.try_acquire());
+        assert!(r.release().is_none());
+        assert_eq!(r.in_use(), 0);
+        assert!(r.try_acquire());
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn double_release_panics() {
+        let mut r: Resource<()> = Resource::new(1);
+        let _ = r.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Resource<()> = Resource::new(0);
+    }
+
+    #[test]
+    fn waiter_receives_unit_on_release() {
+        let model = M { res: Some(Resource::new(1)), log: vec![] };
+        let mut sim = Sim::new(model);
+        sim.schedule_now(|s| {
+            let mut res = s.model_mut().res.take().expect("resource present");
+            assert!(res.try_acquire());
+            let immediate = res.acquire_or_wait(|s| {
+                s.model_mut().log.push("waiter-ran");
+            });
+            assert!(!immediate, "second acquire must queue");
+            assert_eq!(res.waiting(), 1);
+            // Holder releases: the unit transfers to the waiter.
+            let w = res.release().expect("waiter transferred");
+            assert_eq!(res.in_use(), 1, "unit stays accounted to the waiter");
+            s.model_mut().res = Some(res);
+            s.schedule_now(w);
+        });
+        sim.run();
+        assert_eq!(sim.model().log, vec!["waiter-ran"]);
+    }
+
+    #[test]
+    fn acquire_or_wait_succeeds_immediately_when_free() {
+        let mut r: Resource<()> = Resource::new(1);
+        let got = r.acquire_or_wait(|_| panic!("waiter must not be kept"));
+        assert!(got);
+        assert_eq!(r.waiting(), 0);
+    }
+
+    #[test]
+    fn wait_queue_is_fifo() {
+        let model = M { res: None, log: vec![] };
+        let mut sim = Sim::new(model);
+        let mut q: WaitQueue<M> = WaitQueue::new();
+        q.wait(|s: &mut Sim<M>| s.model_mut().log.push("first"));
+        q.wait(|s: &mut Sim<M>| s.model_mut().log.push("second"));
+        assert_eq!(q.len(), 2);
+        let w1 = q.wake_one().expect("first waiter");
+        sim.schedule_now(w1);
+        for w in q.wake_all() {
+            sim.schedule_now(w);
+        }
+        assert!(q.is_empty());
+        sim.run();
+        assert_eq!(sim.model().log, vec!["first", "second"]);
+    }
+}

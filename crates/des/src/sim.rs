@@ -1,0 +1,384 @@
+//! The simulation core: a clock plus a deterministic future-event list.
+//!
+//! [`Sim`] is generic over a user-supplied model type `M`. Events are
+//! `FnOnce(&mut Sim<M>)` closures; when an event fires it may inspect and
+//! mutate the model (via [`Sim::model_mut`]) and schedule further events.
+//! Two events scheduled for the same instant fire in the order they were
+//! scheduled (FIFO tie-breaking on a monotone sequence number), which makes
+//! every run bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceRecord};
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A boxed event body.
+pub type EventFn<M> = Box<dyn FnOnce(&mut Sim<M>)>;
+
+struct Scheduled<M> {
+    at: SimTime,
+    id: EventId,
+    body: EventFn<M>,
+}
+
+// Ordering for the max-heap: earliest time first, then lowest id (FIFO).
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops first.
+        (other.at, other.id).cmp(&(self.at, self.id))
+    }
+}
+
+/// A discrete-event simulator owning a model of type `M`.
+pub struct Sim<M> {
+    now: SimTime,
+    next_id: u64,
+    heap: BinaryHeap<Scheduled<M>>,
+    cancelled: HashSet<EventId>,
+    executed: u64,
+    model: M,
+    trace: Trace,
+}
+
+impl<M> Sim<M> {
+    /// Create a simulator at time zero owning `model`.
+    pub fn new(model: M) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            model,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Enable tracing with the given capacity (older records are dropped
+    /// once the capacity is reached).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Trace::with_capacity(capacity);
+        self
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled ones not yet
+    /// reaped).
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Shared access to the model.
+    #[inline]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    #[inline]
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the simulator, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Append a record to the trace (no-op when tracing is disabled).
+    pub fn trace(&mut self, label: impl FnOnce() -> String) {
+        if self.trace.is_enabled() {
+            let now = self.now;
+            self.trace.push(TraceRecord { at: now, label: label() });
+        }
+    }
+
+    /// The trace collected so far.
+    pub fn trace_records(&self) -> &[TraceRecord] {
+        self.trace.records()
+    }
+
+    /// Schedule `body` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past: events cannot rewrite history.
+    pub fn schedule_at(&mut self, at: SimTime, body: impl FnOnce(&mut Sim<M>) + 'static) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled { at, id, body: Box::new(body) });
+        id
+    }
+
+    /// Schedule `body` to fire `after` from now.
+    pub fn schedule_in(
+        &mut self,
+        after: SimDuration,
+        body: impl FnOnce(&mut Sim<M>) + 'static,
+    ) -> EventId {
+        let at = self.now + after;
+        self.schedule_at(at, body)
+    }
+
+    /// Schedule `body` to fire at the current instant, after all events
+    /// already scheduled for this instant.
+    pub fn schedule_now(&mut self, body: impl FnOnce(&mut Sim<M>) + 'static) -> EventId {
+        self.schedule_at(self.now, body)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event had not yet fired
+    /// (and had not already been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // We cannot cheaply tell "already fired" from "pending" without a
+        // side table, so record the cancellation and let the pop path drop
+        // it. Inserting an id that already fired is harmless: it can never
+        // be popped again.
+        self.cancelled.insert(id)
+    }
+
+    /// Execute the next event, if any. Returns `false` when the future-event
+    /// list is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.body)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the future-event list is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock would pass `deadline`; events at exactly
+    /// `deadline` are executed. The clock is left at
+    /// `min(deadline, time of last event)`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Peek past cancelled entries without executing.
+            let next_at = loop {
+                match self.heap.peek() {
+                    None => return,
+                    Some(ev) if self.cancelled.contains(&ev.id) => {
+                        let ev = self.heap.pop().expect("peeked entry vanished");
+                        self.cancelled.remove(&ev.id);
+                    }
+                    Some(ev) => break ev.at,
+                }
+            };
+            if next_at > deadline {
+                return;
+            }
+            self.step();
+        }
+    }
+
+    /// Run for a span of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+        // If the event list drained early the clock lags; advance it so that
+        // back-to-back `run_for` calls cover contiguous windows.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+impl<M: Default> Default for Sim<M> {
+    fn default() -> Self {
+        Sim::new(M::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct Log(Vec<(u64, &'static str)>);
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Log::default());
+        fn push(s: &mut Sim<Log>, name: &'static str) {
+            let t = s.now().0;
+            s.model_mut().0.push((t, name));
+        }
+        sim.schedule_at(SimTime(30), |s| push(s, "c"));
+        sim.schedule_at(SimTime(10), |s| push(s, "a"));
+        sim.schedule_at(SimTime(20), |s| push(s, "b"));
+        sim.run();
+        assert_eq!(sim.model().0, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut sim = Sim::new(Log::default());
+        for (i, name) in ["first", "second", "third", "fourth"].iter().enumerate() {
+            let name: &'static str = name;
+            sim.schedule_at(SimTime(5), move |s| s.model_mut().0.push((i as u64, name)));
+        }
+        sim.run();
+        let names: Vec<_> = sim.model().0.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(Log::default());
+        fn push(s: &mut Sim<Log>, name: &'static str) {
+            let t = s.now().0;
+            s.model_mut().0.push((t, name));
+        }
+        sim.schedule_at(SimTime(1), |s| {
+            push(s, "outer");
+            s.schedule_in(SimDuration(9), |s| push(s, "inner"));
+        });
+        sim.run();
+        assert_eq!(sim.model().0, vec![(1, "outer"), (10, "inner")]);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_events_already_due() {
+        let mut sim = Sim::new(Log::default());
+        fn push(s: &mut Sim<Log>, name: &'static str) {
+            let t = s.now().0;
+            s.model_mut().0.push((t, name));
+        }
+        sim.schedule_at(SimTime::ZERO, |s| {
+            s.schedule_now(|s| push(s, "late"));
+            push(s, "early");
+        });
+        sim.schedule_at(SimTime::ZERO, |s| push(s, "mid"));
+        sim.run();
+        let names: Vec<_> = sim.model().0.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(Log::default());
+        let id = sim.schedule_at(SimTime(5), |s| s.model_mut().0.push((5, "cancelled")));
+        sim.schedule_at(SimTime(6), |s| s.model_mut().0.push((6, "kept")));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run();
+        assert_eq!(sim.model().0, vec![(6, "kept")]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim = Sim::new(Log::default());
+        assert!(!sim.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut sim = Sim::new(Log::default());
+        sim.schedule_at(SimTime(10), |s| s.model_mut().0.push((10, "in")));
+        sim.schedule_at(SimTime(11), |s| s.model_mut().0.push((11, "out")));
+        sim.run_until(SimTime(10));
+        assert_eq!(sim.model().0, vec![(10, "in")]);
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(sim.model().0.len(), 2);
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_when_idle() {
+        let mut sim = Sim::new(Log::default());
+        sim.run_for(SimDuration::from_micros(7));
+        assert_eq!(sim.now(), SimTime(7_000));
+        sim.run_for(SimDuration::from_micros(3));
+        assert_eq!(sim.now(), SimTime(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(Log::default());
+        sim.schedule_at(SimTime(10), |s| {
+            s.schedule_at(SimTime(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn periodic_self_rescheduling_pattern() {
+        // A timer that re-arms itself five times.
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(s: &mut Sim<Rc<RefCell<u32>>>) {
+            *s.model().borrow_mut() += 1;
+            if *s.model().borrow() < 5 {
+                s.schedule_in(SimDuration::from_millis(10), tick);
+            }
+        }
+        let mut sim = Sim::new(Rc::clone(&count));
+        sim.schedule_now(tick);
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime(40_000_000));
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut sim = Sim::new(Log::default()).with_trace(16);
+        sim.schedule_at(SimTime(3), |s| s.trace(|| "hello".to_string()));
+        sim.run();
+        assert_eq!(sim.trace_records().len(), 1);
+        assert_eq!(sim.trace_records()[0].at, SimTime(3));
+        assert_eq!(sim.trace_records()[0].label, "hello");
+    }
+
+    #[test]
+    fn cancelled_events_do_not_block_run_until() {
+        let mut sim = Sim::new(Log::default());
+        let id = sim.schedule_at(SimTime(5), |_| {});
+        sim.cancel(id);
+        sim.run_until(SimTime(100));
+        assert_eq!(sim.events_executed(), 0);
+        assert_eq!(sim.events_pending(), 0);
+    }
+}

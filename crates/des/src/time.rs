@@ -1,0 +1,321 @@
+//! Simulated time.
+//!
+//! The engine measures time in integer **nanoseconds** from the start of the
+//! simulation. Integer time keeps the event queue total-ordered and the
+//! simulation bit-reproducible across runs and platforms; nanosecond
+//! resolution is fine enough for the micro-architectural costs the Cell
+//! model cares about (a PPE context switch is 1,500 ns) while still allowing
+//! multi-hour simulated horizons in a `u64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start (truncating).
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Time since simulation start in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; simulated clocks never run
+    /// backwards, so this always indicates a bug in the caller.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: `earlier` is in the future"),
+        )
+    }
+
+    /// Saturating version of [`SimTime::since`]: returns zero if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `n` nanoseconds.
+    #[inline]
+    pub const fn from_nanos(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    /// A duration of `n` microseconds.
+    #[inline]
+    pub const fn from_micros(n: u64) -> SimDuration {
+        SimDuration(n * 1_000)
+    }
+
+    /// A duration of `n` milliseconds.
+    #[inline]
+    pub const fn from_millis(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000)
+    }
+
+    /// A duration of `n` whole seconds.
+    #[inline]
+    pub const fn from_secs(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000_000)
+    }
+
+    /// A duration from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// A duration from fractional microseconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> SimDuration {
+        if !us.is_finite() || us <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((us * 1e3).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole microseconds (truncating).
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Length in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// True if this duration is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest nanosecond.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "durations cannot be negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&SimDuration(self.0), f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human-readable rendering with an automatically chosen unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDuration::from_micros(96).as_nanos(), 96_000);
+        assert_eq!(SimDuration::from_millis(10).as_micros(), 10_000);
+        assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimDuration::from_micros_f64(1.5).as_nanos(), 1_500);
+    }
+
+    #[test]
+    fn negative_and_nan_float_durations_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_micros(5));
+        assert_eq!((t + SimDuration::from_nanos(1)).since(t), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn since_panics_when_clock_would_run_backwards() {
+        let t = SimTime(5);
+        let later = SimTime(10);
+        let _ = t.since(later);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(SimTime(5).saturating_since(SimTime(10)), SimDuration::ZERO);
+        assert_eq!(SimTime(10).saturating_since(SimTime(4)), SimDuration(6));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(50));
+        assert_eq!(d * 3, SimDuration::from_micros(300));
+        assert_eq!(d / 4, SimDuration::from_micros(25));
+        assert_eq!(d.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(96).to_string(), "96.000us");
+        assert_eq!(SimDuration::from_millis(10).to_string(), "10.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration::from_micros(10));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate the MGPS design-choice ablations (window length, U threshold).
+fn main() {
+    let scale = experiments::scale_from_args();
+    for e in [experiments::ablation_window(scale), experiments::ablation_threshold(scale)] {
+        print!("{}", e.render_text());
+        let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}

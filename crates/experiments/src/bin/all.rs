@@ -1,0 +1,10 @@
+//! Regenerate every table and figure and write the JSON bundle.
+fn main() {
+    let scale = experiments::scale_from_args();
+    let dir = experiments::Experiment::default_dir();
+    for e in experiments::all(scale) {
+        print!("{}", e.render_text());
+        let path = e.write_json(&dir).expect("write JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate fig10(a) and fig10(b) (see EXPERIMENTS.md).
+fn main() {
+    let scale = experiments::scale_from_args();
+    for e in [experiments::fig10a(scale), experiments::fig10b(scale)] {
+        print!("{}", e.render_text());
+        let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}

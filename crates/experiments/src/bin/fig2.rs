@@ -1,0 +1,8 @@
+//! Regenerate the Figure 2 scheduler-behaviour traces.
+fn main() {
+    let scale = experiments::scale_from_args();
+    let e = experiments::fig2(scale);
+    print!("{}", e.render_text());
+    let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+    eprintln!("wrote {}", path.display());
+}

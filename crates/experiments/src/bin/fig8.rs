@@ -1,0 +1,9 @@
+//! Regenerate fig8(a) and fig8(b) (see EXPERIMENTS.md).
+fn main() {
+    let scale = experiments::scale_from_args();
+    for e in [experiments::fig8a(scale), experiments::fig8b(scale)] {
+        print!("{}", e.render_text());
+        let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate fig9(a) and fig9(b) (see EXPERIMENTS.md).
+fn main() {
+    let scale = experiments::scale_from_args();
+    for e in [experiments::fig9a(scale), experiments::fig9b(scale)] {
+        print!("{}", e.render_text());
+        let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,58 @@
+//! Render target/experiments/*.json into a single Markdown report
+//! (target/experiments/REPORT.md). Run `all` first (or any subset of the
+//! experiment bins); this collates whatever JSON is present.
+
+use experiments::Experiment;
+
+fn main() {
+    let dir = Experiment::default_dir();
+    let mut entries: Vec<Experiment> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let text = std::fs::read_to_string(e.path()).ok()?;
+                serde_json::from_str(&text).ok()
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}; run the `all` bin first", dir.display());
+            std::process::exit(1);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("no experiment JSON found in {}; run the `all` bin first", dir.display());
+        std::process::exit(1);
+    }
+    entries.sort_by(|a, b| a.id.cmp(&b.id));
+
+    let mut md = String::from("# Regenerated results\n\nProduced by `experiments --bin report`.\n");
+    for e in &entries {
+        md.push_str(&format!("\n## {} — {}\n\n", e.id, e.title));
+        if !e.rows.is_empty() {
+            md.push_str("| row | measured | paper | ratio |\n|---|---|---|---|\n");
+            for r in &e.rows {
+                match (r.paper, r.ratio()) {
+                    (Some(p), Some(q)) => md.push_str(&format!(
+                        "| {} | {:.2} | {:.2} | {:.2} |\n",
+                        r.label, r.measured, p, q
+                    )),
+                    _ => md.push_str(&format!("| {} | {:.2} | — | — |\n", r.label, r.measured)),
+                }
+            }
+        }
+        for s in &e.series {
+            md.push_str(&format!("\n**{}**: ", s.label));
+            let pts: Vec<String> =
+                s.points.iter().map(|(x, y)| format!("({x}, {y:.1})")).collect();
+            md.push_str(&pts.join(" "));
+            md.push('\n');
+        }
+        for n in &e.notes {
+            md.push_str(&format!("\n> {n}\n"));
+        }
+    }
+    let out = dir.join("REPORT.md");
+    std::fs::write(&out, md).expect("write report");
+    println!("wrote {}", out.display());
+}

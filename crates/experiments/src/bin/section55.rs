@@ -1,0 +1,8 @@
+//! Regenerate the Section 5.5 multi-blade scaling comparison.
+fn main() {
+    let scale = experiments::scale_from_args();
+    let e = experiments::section55(scale);
+    print!("{}", e.render_text());
+    let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerate spe_opt (see EXPERIMENTS.md).
+fn main() {
+    let scale = experiments::scale_from_args();
+    let e = experiments::spe_opt(scale);
+    print!("{}", e.render_text());
+    let path = e.write_json(&experiments::Experiment::default_dir()).expect("write JSON");
+    eprintln!("wrote {}", path.display());
+}

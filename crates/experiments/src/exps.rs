@@ -1,0 +1,548 @@
+//! One regeneration function per table and figure of the paper.
+//!
+//! Each function runs the relevant simulations (or analytic models) and
+//! returns a structured [`Experiment`] whose rows/series mirror the paper's
+//! layout, including the paper's published values where they exist. The
+//! `scale` argument is the workload task-count reduction (durations stay
+//! exact; see `cellsim::workload`); 500 is the experiments' default, larger
+//! values run faster with more extrapolation noise.
+
+use cellsim::machine::{run, SimConfig};
+use cellsim::workload::KernelProfile;
+use machines::{blade_config, SmtMachine};
+use mgps_runtime::policy::SchedulerKind;
+
+use crate::report::{Experiment, Row, Series};
+
+/// Paper values: Table 1 EDTLP column (seconds, 1–8 workers).
+pub const PAPER_TABLE1_EDTLP: [f64; 8] =
+    [28.46, 29.36, 32.54, 33.12, 37.27, 38.66, 41.87, 43.32];
+/// Paper values: Table 1 Linux column.
+pub const PAPER_TABLE1_LINUX: [f64; 8] =
+    [28.42, 29.23, 56.95, 57.38, 85.88, 86.43, 114.92, 115.51];
+/// Paper values: Table 2 (one bootstrap, 1–8 SPEs per loop).
+pub const PAPER_TABLE2: [f64; 8] = [28.71, 20.83, 19.37, 18.28, 18.10, 20.52, 18.27, 24.4];
+/// Paper values (§5.1): PPE-only, naive off-load, optimized off-load.
+pub const PAPER_SPE_OPT: [f64; 3] = [38.23, 50.38, 28.82];
+
+/// Bootstrap counts of the paper's "(a)" panels (1–16).
+pub fn sweep_small() -> Vec<usize> {
+    (1..=16).collect()
+}
+
+/// Bootstrap counts approximating the "(b)" panels (1–128).
+pub fn sweep_large() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128]
+}
+
+fn cell_run(scheduler: SchedulerKind, n: usize, scale: usize) -> f64 {
+    run(SimConfig::cell_42sc(scheduler, n, scale)).paper_scale_secs
+}
+
+/// §5.1: PPE-only vs naive vs optimized off-loading, one bootstrap.
+pub fn spe_opt(scale: usize) -> Experiment {
+    let mut e = Experiment::new("spe_opt", "SPE kernel optimization ablation (Section 5.1)");
+    let profiles = [
+        ("PPE only (no off-loading)", KernelProfile::PpeOnly),
+        ("naive off-loading", KernelProfile::Naive),
+        ("optimized off-loading", KernelProfile::Optimized),
+    ];
+    for ((label, profile), paper) in profiles.into_iter().zip(PAPER_SPE_OPT) {
+        let mut cfg = SimConfig::cell_42sc(SchedulerKind::Edtlp, 1, scale);
+        cfg.profile = profile;
+        let r = run(cfg);
+        e.rows.push(Row::with_paper(label, r.paper_scale_secs, paper));
+    }
+    let opt = e.rows[2].measured;
+    let ppe = e.rows[0].measured;
+    e.notes.push(format!(
+        "off-loading speedup over PPE-only: {:.2}x (paper: 1.32x)",
+        ppe / opt
+    ));
+    e
+}
+
+/// Table 1: EDTLP vs the Linux scheduler, 1–8 workers × 1 bootstrap each.
+pub fn table1(scale: usize) -> Experiment {
+    let mut e = Experiment::new("table1", "EDTLP vs Linux scheduling (Table 1)");
+    for w in 1..=8 {
+        let edtlp = cell_run(SchedulerKind::Edtlp, w, scale);
+        let linux = cell_run(SchedulerKind::LinuxLike, w, scale);
+        e.rows.push(Row::with_paper(
+            format!("{w} workers EDTLP"),
+            edtlp,
+            PAPER_TABLE1_EDTLP[w - 1],
+        ));
+        e.rows.push(Row::with_paper(
+            format!("{w} workers Linux"),
+            linux,
+            PAPER_TABLE1_LINUX[w - 1],
+        ));
+    }
+    let ratio = e.rows[15].measured / e.rows[14].measured;
+    e.notes.push(format!(
+        "Linux/EDTLP at 8 workers: {ratio:.2}x (paper: {:.2}x)",
+        PAPER_TABLE1_LINUX[7] / PAPER_TABLE1_EDTLP[7]
+    ));
+    e.notes.push(
+        "Linux column reproduces the per-context run-queue waves (ceil(W/2) x ~28.5s); \
+         EDTLP mid-range (3-6 workers) trends low by up to ~13% — the simulator's \
+         oversubscription model saturates later than the measured system."
+            .into(),
+    );
+    e
+}
+
+/// Table 2: loop-level parallelism across 1–8 SPEs, one bootstrap.
+pub fn table2(scale: usize) -> Experiment {
+    let mut e = Experiment::new("table2", "LLP degree sweep, one bootstrap (Table 2)");
+    for k in 1..=8 {
+        let sched = if k == 1 {
+            SchedulerKind::Edtlp
+        } else {
+            SchedulerKind::StaticHybrid { spes_per_loop: k }
+        };
+        let t = cell_run(sched, 1, scale);
+        e.rows.push(Row::with_paper(
+            format!("{k} SPEs used for LLP"),
+            t,
+            PAPER_TABLE2[k - 1],
+        ));
+    }
+    let t1 = e.rows[0].measured;
+    let best = e.rows.iter().map(|r| r.measured).fold(f64::INFINITY, f64::min);
+    let best_k = e.rows.iter().position(|r| r.measured == best).unwrap() + 1;
+    e.notes.push(format!(
+        "peak LLP speedup {:.2}x at {best_k} SPEs (paper: 1.58x at 5 SPEs; \
+         both curves flatten at 4-5 and degrade toward 8)",
+        t1 / best
+    ));
+    e
+}
+
+/// One figure panel: a bootstrap-count sweep over several schedulers.
+fn sweep_figure(
+    id: &str,
+    title: &str,
+    n_cells: usize,
+    schedulers: &[(&str, SchedulerKind)],
+    xs: &[usize],
+    scale: usize,
+) -> Experiment {
+    let mut e = Experiment::new(id, title);
+    for &(label, sched) in schedulers {
+        let points = xs
+            .iter()
+            .map(|&n| (n, run(blade_config(n_cells, sched, n, scale)).paper_scale_secs))
+            .collect();
+        e.series.push(Series { label: label.to_string(), points });
+    }
+    e
+}
+
+const STATIC_SCHEDULERS: [(&str, SchedulerKind); 3] = [
+    ("EDTLP-LLP with 2 SPEs per parallel loop", SchedulerKind::StaticHybrid { spes_per_loop: 2 }),
+    ("EDTLP-LLP with 4 SPEs per parallel loop", SchedulerKind::StaticHybrid { spes_per_loop: 4 }),
+    ("EDTLP", SchedulerKind::Edtlp),
+];
+
+const ADAPTIVE_SCHEDULERS: [(&str, SchedulerKind); 4] = [
+    ("MGPS", SchedulerKind::Mgps),
+    ("EDTLP-LLP with 2 SPEs per parallel loop", SchedulerKind::StaticHybrid { spes_per_loop: 2 }),
+    ("EDTLP-LLP with 4 SPEs per parallel loop", SchedulerKind::StaticHybrid { spes_per_loop: 4 }),
+    ("EDTLP", SchedulerKind::Edtlp),
+];
+
+/// Figure 7(a): static hybrids vs EDTLP, 1–16 bootstraps.
+pub fn fig7a(scale: usize) -> Experiment {
+    sweep_figure(
+        "fig7a",
+        "Static EDTLP-LLP vs EDTLP, 1-16 bootstraps (Figure 7a)",
+        1,
+        &STATIC_SCHEDULERS,
+        &sweep_small(),
+        scale,
+    )
+}
+
+/// Figure 7(b): static hybrids vs EDTLP, up to 128 bootstraps.
+pub fn fig7b(scale: usize) -> Experiment {
+    sweep_figure(
+        "fig7b",
+        "Static EDTLP-LLP vs EDTLP, 1-128 bootstraps (Figure 7b)",
+        1,
+        &STATIC_SCHEDULERS,
+        &sweep_large(),
+        scale,
+    )
+}
+
+/// Figure 8(a): MGPS vs static hybrids vs EDTLP, 1–16 bootstraps.
+pub fn fig8a(scale: usize) -> Experiment {
+    sweep_figure(
+        "fig8a",
+        "MGPS vs static schemes, 1-16 bootstraps (Figure 8a)",
+        1,
+        &ADAPTIVE_SCHEDULERS,
+        &sweep_small(),
+        scale,
+    )
+}
+
+/// Figure 8(b): MGPS vs static hybrids vs EDTLP, up to 128 bootstraps.
+pub fn fig8b(scale: usize) -> Experiment {
+    sweep_figure(
+        "fig8b",
+        "MGPS vs static schemes, 1-128 bootstraps (Figure 8b)",
+        1,
+        &ADAPTIVE_SCHEDULERS,
+        &sweep_large(),
+        scale,
+    )
+}
+
+/// Figure 9(a): the same comparison on a dual-Cell blade, 1–16 bootstraps.
+pub fn fig9a(scale: usize) -> Experiment {
+    sweep_figure(
+        "fig9a",
+        "MGPS vs static schemes on two Cells, 1-16 bootstraps (Figure 9a)",
+        2,
+        &ADAPTIVE_SCHEDULERS,
+        &sweep_small(),
+        scale,
+    )
+}
+
+/// Figure 9(b): dual-Cell blade, up to 128 bootstraps.
+pub fn fig9b(scale: usize) -> Experiment {
+    sweep_figure(
+        "fig9b",
+        "MGPS vs static schemes on two Cells, 1-128 bootstraps (Figure 9b)",
+        2,
+        &ADAPTIVE_SCHEDULERS,
+        &sweep_large(),
+        scale,
+    )
+}
+
+/// Figure 10 (one panel): Cell+MGPS vs Xeon SMP vs Power5.
+fn fig10_panel(id: &str, title: &str, xs: &[usize], scale: usize) -> Experiment {
+    let mut e = Experiment::new(id, title);
+    let xeon = SmtMachine::xeon_smp();
+    let p5 = SmtMachine::power5();
+    e.series.push(Series {
+        label: "Intel Xeon".into(),
+        points: xs.iter().map(|&n| (n, xeon.makespan(n))).collect(),
+    });
+    e.series.push(Series {
+        label: "IBM Power5".into(),
+        points: xs.iter().map(|&n| (n, p5.makespan(n))).collect(),
+    });
+    e.series.push(Series {
+        label: "Cell with MGPS scheduler".into(),
+        points: xs
+            .iter()
+            .map(|&n| (n, cell_run(SchedulerKind::Mgps, n, scale)))
+            .collect(),
+    });
+    e
+}
+
+/// Figure 10(a): cross-machine comparison, 1–16 bootstraps.
+pub fn fig10a(scale: usize) -> Experiment {
+    let mut e = fig10_panel(
+        "fig10a",
+        "Cell vs Xeon vs Power5, 1-16 bootstraps (Figure 10a)",
+        &sweep_small(),
+        scale,
+    );
+    let cell16 = e.series[2].points[15].1;
+    let xeon16 = e.series[0].points[15].1;
+    let p5_16 = e.series[1].points[15].1;
+    e.notes.push(format!(
+        "at 16 bootstraps: Xeon/Cell = {:.2}x, Power5/Cell = {:.2}x (paper: Power5 5-10% behind)",
+        xeon16 / cell16,
+        p5_16 / cell16
+    ));
+    e
+}
+
+/// Figure 10(b): cross-machine comparison, up to 128 bootstraps.
+pub fn fig10b(scale: usize) -> Experiment {
+    fig10_panel(
+        "fig10b",
+        "Cell vs Xeon vs Power5, 1-128 bootstraps (Figure 10b)",
+        &sweep_large(),
+        scale,
+    )
+}
+
+/// Figure 2: the scheduler-behaviour illustration, regenerated from real
+/// simulation traces. Renders an ASCII Gantt of SPE occupancy (one row per
+/// SPE, one column per time bucket, digits = worker process) under EDTLP
+/// vs the Linux baseline, for 8 workers.
+pub fn fig2(scale: usize) -> Experiment {
+    let mut e = Experiment::new(
+        "fig2",
+        "Scheduler behaviour traces: EDTLP vs Linux, 8 workers (Figure 2)",
+    );
+    const WINDOW_US: u64 = 1_600;
+    const BUCKET_US: u64 = 50;
+    for sched in [SchedulerKind::Edtlp, SchedulerKind::LinuxLike] {
+        let mut cfg = SimConfig::cell_42sc(sched, 8, scale);
+        cfg.record_timeline = true;
+        let r = run(cfg);
+        let buckets = (WINDOW_US / BUCKET_US) as usize;
+        let mut rows = vec![vec!['.'; buckets]; cfg.params.n_spes()];
+        for t in &r.timeline {
+            let s_us = t.start.as_micros();
+            let e_us = t.end.as_micros();
+            if s_us >= WINDOW_US {
+                continue;
+            }
+            let b0 = (s_us / BUCKET_US) as usize;
+            let b1 = e_us.min(WINDOW_US).div_ceil(BUCKET_US) as usize;
+            let glyph = char::from_digit(t.proc as u32 % 10, 10).unwrap_or('?');
+            for cell in rows[t.spe][b0..b1.min(buckets)].iter_mut() {
+                *cell = glyph;
+            }
+        }
+        e.notes.push(format!("{} (first {WINDOW_US} us, {BUCKET_US} us buckets):", sched.label()));
+        for (i, row) in rows.iter().enumerate() {
+            e.notes.push(format!("  SPE{i} [{}]", row.iter().collect::<String>()));
+        }
+        let busy: usize = rows.iter().flatten().filter(|&&c| c != '.').count();
+        let frac = busy as f64 / (buckets * cfg.params.n_spes()) as f64;
+        e.rows.push(Row::measured_only(
+            format!("{} busy SPE-buckets fraction", sched.label()),
+            frac,
+        ));
+    }
+    e.notes.push(
+        "EDTLP interleaves all eight workers across all eight SPEs; the Linux          baseline pins work to the two processes holding the PPE contexts,          stranding six SPEs — exactly the contrast Figure 2 illustrates."
+            .into(),
+    );
+    e
+}
+
+/// §5.5: multi-blade scaling of a 100-bootstrap analysis — MGPS vs EDTLP
+/// as the per-blade share of the work shrinks.
+pub fn section55(scale: usize) -> Experiment {
+    use machines::BladeCluster;
+    let mut e = Experiment::new(
+        "section55",
+        "Multi-blade scaling of 100 bootstraps: MGPS vs EDTLP (Section 5.5)",
+    );
+    let mut mgps_series = Series { label: "MGPS".into(), points: Vec::new() };
+    let mut edtlp_series = Series { label: "EDTLP".into(), points: Vec::new() };
+    for blades in [1usize, 2, 4, 8, 13, 16, 25] {
+        let c = BladeCluster::dual_cell(blades);
+        let m = c.makespan(SchedulerKind::Mgps, 100, scale);
+        let t = c.makespan(SchedulerKind::Edtlp, 100, scale);
+        mgps_series.points.push((blades, m));
+        edtlp_series.points.push((blades, t));
+        e.rows.push(Row::measured_only(format!("{blades} blades MGPS"), m));
+        e.rows.push(Row::measured_only(format!("{blades} blades EDTLP"), t));
+    }
+    e.series.push(mgps_series);
+    e.series.push(edtlp_series);
+    e.notes.push(
+        "paper claims the MGPS advantage reappears at >= 4 dual-Cell blades          (25 bootstraps each); our simulation places the crossover at <= 8          bootstraps per blade (>= 13 blades), consistent with Figure 9(b)          where the MGPS and EDTLP curves overlap from ~24 bootstraps."
+            .into(),
+    );
+    e
+}
+
+/// §5.2 micro-measurements: the constants the scheduler design rests on.
+pub fn micro(scale: usize) -> Experiment {
+    let mut e = Experiment::new("micro", "Runtime micro-measurements (Section 5.2)");
+    let cfg = SimConfig::cell_42sc(SchedulerKind::Edtlp, 8, scale);
+    let r = run(cfg);
+    e.rows.push(Row::with_paper(
+        "PPE context switch (us)",
+        cfg.params.ctx_switch.as_micros_f64(),
+        1.5,
+    ));
+    e.rows.push(Row::with_paper(
+        "mean SPE task (us)",
+        cfg.workload.task_mean.as_micros_f64(),
+        96.0,
+    ));
+    e.rows.push(Row::with_paper(
+        "mean PPE gap between off-loads (us)",
+        cfg.workload.ppe_gap.as_micros_f64(),
+        11.0,
+    ));
+    e.rows.push(Row::with_paper(
+        "SPE share of bootstrap time",
+        cfg.workload.task_mean.as_nanos() as f64
+            / (cfg.workload.task_mean + cfg.workload.ppe_gap).as_nanos() as f64,
+        0.90,
+    ));
+    e.rows.push(Row::measured_only(
+        "context switches per task (8 workers)",
+        r.context_switches as f64 / r.tasks_completed as f64,
+    ));
+    e.rows.push(Row::measured_only("mean SPE utilization (8 workers)", r.mean_spe_utilization));
+    e
+}
+
+/// All experiments at the given scale, in paper order, plus the MGPS
+/// design-choice ablations.
+pub fn all(scale: usize) -> Vec<Experiment> {
+    vec![
+        spe_opt(scale),
+        table1(scale),
+        table2(scale),
+        fig7a(scale),
+        fig7b(scale),
+        fig8a(scale),
+        fig8b(scale),
+        fig9a(scale),
+        fig9b(scale),
+        fig10a(scale),
+        fig10b(scale),
+        micro(scale),
+        fig2(scale),
+        section55(scale),
+        crate::ablations::ablation_window(scale),
+        crate::ablations::ablation_threshold(scale),
+        crate::ablations::kernel_mix(scale),
+        crate::ablations::spe_opt_ladder(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coarse scale for fast tests (durations exact, few repetitions).
+    const TEST_SCALE: usize = 4_000;
+
+    #[test]
+    fn spe_opt_reproduces_section_5_1() {
+        let e = spe_opt(TEST_SCALE);
+        assert!(e.worst_relative_error().unwrap() < 0.08, "{}", e.render_text());
+        // Ordering: naive > ppe-only > optimized.
+        assert!(e.rows[1].measured > e.rows[0].measured);
+        assert!(e.rows[0].measured > e.rows[2].measured);
+    }
+
+    #[test]
+    fn table1_shape_holds() {
+        let e = table1(TEST_SCALE);
+        // Linux column within 6% everywhere.
+        for r in e.rows.iter().filter(|r| r.label.contains("Linux")) {
+            let q = r.ratio().unwrap();
+            assert!((q - 1.0).abs() < 0.06, "{}: ratio {q}", r.label);
+        }
+        // EDTLP endpoints within 8%, interior within 15%.
+        for (i, r) in e.rows.iter().filter(|r| r.label.contains("EDTLP")).enumerate() {
+            let q = r.ratio().unwrap();
+            let tol = if i == 0 || i == 7 { 0.08 } else { 0.15 };
+            assert!((q - 1.0).abs() < tol, "{}: ratio {q}", r.label);
+        }
+    }
+
+    #[test]
+    fn table2_shape_holds() {
+        let e = table2(TEST_SCALE);
+        let ms: Vec<f64> = e.rows.iter().map(|r| r.measured).collect();
+        // Improvement to 4, degradation after 5, never better than ~1.7x.
+        assert!(ms[0] > ms[1] && ms[1] > ms[3]);
+        assert!(ms[7] > ms[3]);
+        let speedup = ms[0] / ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((1.4..=1.75).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn fig8a_mgps_tracks_the_best_static_scheme() {
+        let e = fig8a(TEST_SCALE);
+        let series = |name: &str| {
+            e.series
+                .iter()
+                .find(|s| s.label == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+                .points
+                .clone()
+        };
+        let mgps = series("MGPS");
+        let edtlp = series("EDTLP");
+        let llp2 = series("EDTLP-LLP with 2 SPEs per parallel loop");
+        let llp4 = series("EDTLP-LLP with 4 SPEs per parallel loop");
+        for i in 0..mgps.len() {
+            let best = edtlp[i].1.min(llp2[i].1).min(llp4[i].1);
+            assert!(
+                mgps[i].1 <= best * 1.20,
+                "n={}: MGPS {:.1}s vs best static {:.1}s",
+                mgps[i].0,
+                mgps[i].1,
+                best
+            );
+        }
+        // Convergence to EDTLP at the high end.
+        let last = mgps.len() - 1;
+        assert!((mgps[last].1 / edtlp[last].1 - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn fig7_crossover_positions() {
+        let e = fig7a(TEST_SCALE);
+        let get = |label: &str, n: usize| {
+            e.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points
+                .iter()
+                .find(|&&(x, _)| x == n)
+                .unwrap()
+                .1
+        };
+        const LLP2: &str = "EDTLP-LLP with 2 SPEs per parallel loop";
+        const LLP4: &str = "EDTLP-LLP with 4 SPEs per parallel loop";
+        // Hybrids win at <= 4 bootstraps...
+        for n in [1, 2, 4] {
+            assert!(get(LLP2, n) < get("EDTLP", n), "n={n}");
+        }
+        // ... and EDTLP wins by 8.
+        assert!(get("EDTLP", 8) < get(LLP4, 8));
+        assert!(get("EDTLP", 16) < get(LLP2, 16) * 1.02);
+    }
+
+    #[test]
+    fn fig10_ranking_holds() {
+        let e = fig10a(TEST_SCALE);
+        let at16 = |idx: usize| e.series[idx].points[15].1;
+        let (xeon, p5, cell) = (at16(0), at16(1), at16(2));
+        assert!(cell < p5 && p5 < xeon, "ranking at 16: cell {cell}, p5 {p5}, xeon {xeon}");
+        let margin = p5 / cell;
+        assert!((1.0..=1.25).contains(&margin), "Power5 margin {margin}");
+    }
+
+    #[test]
+    fn micro_constants_match() {
+        let e = micro(TEST_SCALE);
+        assert!(e.worst_relative_error().unwrap() < 0.02);
+    }
+
+    #[test]
+    fn fig2_traces_show_the_scheduling_contrast() {
+        let e = fig2(TEST_SCALE);
+        let frac = |label_prefix: &str| {
+            e.rows
+                .iter()
+                .find(|r| r.label.starts_with(label_prefix))
+                .map(|r| r.measured)
+                .unwrap()
+        };
+        let edtlp = frac("EDTLP");
+        let linux = frac("Linux");
+        assert!(
+            edtlp > 2.5 * linux,
+            "EDTLP must keep far more SPE-buckets busy: {edtlp:.2} vs {linux:.2}"
+        );
+        assert!(linux < 0.30, "Linux strands most SPEs: {linux:.2}");
+        assert!(edtlp > 0.55, "EDTLP fills the chip: {edtlp:.2}");
+    }
+}

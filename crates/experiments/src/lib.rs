@@ -1,0 +1,33 @@
+//! # `experiments` — regeneration harnesses for every table and figure
+//!
+//! One function per published result (see DESIGN.md's experiment index):
+//! §5.1's optimization ablation, Tables 1–2, Figures 7–10, and the §5.2
+//! micro-measurements. Each returns a structured [`report::Experiment`]
+//! carrying our measured values next to the paper's, renders as text, and
+//! serializes to JSON (`target/experiments/*.json`) for EXPERIMENTS.md.
+//!
+//! Binaries: `table1`, `table2`, `spe_opt`, `fig7` … `fig10`, `micro`, and
+//! `all` (runs everything and writes the JSON bundle).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod exps;
+pub mod report;
+
+pub use ablations::{ablation_threshold, ablation_window, kernel_mix, spe_opt_ladder};
+pub use exps::*;
+pub use report::{Experiment, Row, Series};
+
+/// Default workload scale for the experiment binaries.
+pub const DEFAULT_SCALE: usize = 500;
+
+/// Parse an optional `--scale N` argument (used by all bins).
+pub fn scale_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}

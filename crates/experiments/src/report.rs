@@ -1,0 +1,189 @@
+//! Experiment result containers, text rendering, and JSON export.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One data point of an experiment: a labelled measurement, optionally with
+/// the paper's reported value for the same cell.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Row {
+    /// Row label (e.g. "3 workers, 3 bootstraps").
+    pub label: String,
+    /// Value measured by this reproduction (seconds unless noted).
+    pub measured: f64,
+    /// The paper's reported value, when it publishes one.
+    pub paper: Option<f64>,
+}
+
+impl Row {
+    /// A row with a paper reference value.
+    pub fn with_paper(label: impl Into<String>, measured: f64, paper: f64) -> Row {
+        Row { label: label.into(), measured, paper: Some(paper) }
+    }
+
+    /// A row without a paper reference (figures published as curves).
+    pub fn measured_only(label: impl Into<String>, measured: f64) -> Row {
+        Row { label: label.into(), measured, paper: None }
+    }
+
+    /// measured / paper, when a reference exists.
+    pub fn ratio(&self) -> Option<f64> {
+        self.paper.map(|p| self.measured / p)
+    }
+}
+
+/// A labelled series (one curve of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label, matching the paper's.
+    pub label: String,
+    /// (x, seconds) points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The result of regenerating one table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Experiment {
+    /// Identifier, e.g. "table1" or "fig8a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Tabular rows (tables and scalar results).
+    pub rows: Vec<Row>,
+    /// Curve series (figures).
+    pub series: Vec<Series>,
+    /// Free-form notes on calibration and residuals.
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// An empty experiment shell.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Experiment {
+        Experiment {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Render as aligned plain text (what the bins print).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        if !self.rows.is_empty() {
+            let w = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(5);
+            out.push_str(&format!("{:w$}  {:>10}  {:>10}  {:>7}\n", "row", "measured", "paper", "ratio"));
+            for r in &self.rows {
+                match (r.paper, r.ratio()) {
+                    (Some(p), Some(q)) => out.push_str(&format!(
+                        "{:w$}  {:>10.2}  {:>10.2}  {:>7.2}\n",
+                        r.label, r.measured, p, q
+                    )),
+                    _ => out.push_str(&format!(
+                        "{:w$}  {:>10.2}  {:>10}  {:>7}\n",
+                        r.label, r.measured, "-", "-"
+                    )),
+                }
+            }
+        }
+        for s in &self.series {
+            out.push_str(&format!("-- series: {}\n", s.label));
+            for (x, y) in &s.points {
+                out.push_str(&format!("   {x:>4}  {y:>10.2}\n"));
+            }
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Write `self` as pretty JSON under `dir/<id>.json`, returning the
+    /// path.
+    ///
+    /// # Errors
+    /// I/O errors from creating the directory or writing the file.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("experiments serialize cleanly");
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// The default output directory (`target/experiments`).
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/experiments")
+    }
+
+    /// Worst |measured/paper − 1| over rows that have references.
+    pub fn worst_relative_error(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.ratio())
+            .map(|q| (q - 1.0).abs())
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Experiment {
+        let mut e = Experiment::new("t", "demo");
+        e.rows.push(Row::with_paper("one", 2.0, 2.0));
+        e.rows.push(Row::with_paper("two", 3.0, 2.0));
+        e.rows.push(Row::measured_only("three", 9.0));
+        e.series.push(Series { label: "curve".into(), points: vec![(1, 1.0), (2, 4.0)] });
+        e.notes.push("a note".into());
+        e
+    }
+
+    #[test]
+    fn ratio_and_worst_error() {
+        let e = sample();
+        assert_eq!(e.rows[0].ratio(), Some(1.0));
+        assert_eq!(e.rows[1].ratio(), Some(1.5));
+        assert_eq!(e.rows[2].ratio(), None);
+        assert!((e.worst_relative_error().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let txt = sample().render_text();
+        assert!(txt.contains("demo"));
+        assert!(txt.contains("one"));
+        assert!(txt.contains("curve"));
+        assert!(txt.contains("a note"));
+        assert!(txt.contains("1.50"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let e = sample();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn json_file_write() {
+        let dir = std::env::temp_dir().join(format!("mg-exp-{}", std::process::id()));
+        let path = sample().write_json(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"id\": \"t\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_experiment_has_no_error() {
+        assert_eq!(Experiment::new("x", "y").worst_relative_error(), None);
+    }
+}

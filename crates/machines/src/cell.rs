@@ -1,0 +1,62 @@
+//! Cell blade configurations for the cross-machine experiments.
+
+use cellsim::machine::SimConfig;
+use cellsim::params::CellParams;
+use mgps_runtime::policy::SchedulerKind;
+
+/// The default workload-reduction factor used by the experiment harnesses:
+/// durations stay exact; task counts shrink 500× (reported makespans are
+/// re-scaled). See `RaxmlWorkload::scaled`.
+pub const DEFAULT_SCALE: usize = 500;
+
+/// A simulation config for `n_bootstraps` on a blade with `n_cells` Cell
+/// processors under `scheduler`.
+pub fn blade_config(
+    n_cells: usize,
+    scheduler: SchedulerKind,
+    n_bootstraps: usize,
+    scale: usize,
+) -> SimConfig {
+    let mut cfg = SimConfig::cell_42sc(scheduler, n_bootstraps, scale);
+    cfg.params = CellParams::blade(n_cells);
+    cfg
+}
+
+/// Run `n_bootstraps` on one Cell with the MGPS scheduler and return the
+/// paper-scale makespan in seconds (the Cell curve of Figure 10).
+pub fn cell_mgps_makespan(n_bootstraps: usize, scale: usize) -> f64 {
+    cellsim::machine::run(blade_config(1, SchedulerKind::Mgps, n_bootstraps, scale))
+        .paper_scale_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blade_config_sets_cell_count() {
+        let c = blade_config(2, SchedulerKind::Edtlp, 4, 2_000);
+        assert_eq!(c.params.n_spes(), 16);
+        assert_eq!(c.n_bootstraps, 4);
+    }
+
+    #[test]
+    fn cell_mgps_beats_xeon_everywhere() {
+        let xeon = crate::smt::SmtMachine::xeon_smp();
+        for n in [1, 4, 8, 16] {
+            let cell = cell_mgps_makespan(n, 2_000);
+            let x = xeon.makespan(n);
+            assert!(cell < x, "n={n}: Cell {cell}s vs Xeon {x}s");
+        }
+    }
+
+    #[test]
+    fn cell_edges_power5_at_scale_but_not_small() {
+        let p5 = crate::smt::SmtMachine::power5();
+        let cell_1 = cell_mgps_makespan(1, 2_000);
+        assert!(p5.makespan(1) < cell_1, "Power5 wins at 1 bootstrap");
+        let cell_16 = cell_mgps_makespan(16, 2_000);
+        let margin = p5.makespan(16) / cell_16;
+        assert!(margin > 1.0, "Cell must edge Power5 at 16 bootstraps (margin {margin})");
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-blade scaling (§5.5).
+//!
+//! The paper's counter-argument to "real analyses need 100+ bootstraps, so
+//! plain EDTLP always wins": once the job is spread across blades, each
+//! blade sees only a slice of the bootstraps, task-level parallelism per
+//! blade drops, and the multigrain scheduler re-earns its keep. "With 100
+//! bootstraps, MGPS with multigrain (EDTLP-LLP) parallelism will outperform
+//! plain EDTLP if the bootstraps are distributed between four or more
+//! dual-Cell blades."
+//!
+//! [`BladeCluster`] models an MPI job over `blades` independent blades:
+//! bootstraps are distributed as evenly as possible and each blade is
+//! simulated in full; the cluster makespan is the slowest blade.
+
+use cellsim::machine::run;
+use mgps_runtime::policy::SchedulerKind;
+
+use crate::cell::blade_config;
+
+/// A cluster of identical Cell blades.
+#[derive(Debug, Clone, Copy)]
+pub struct BladeCluster {
+    /// Number of blades.
+    pub blades: usize,
+    /// Cell processors per blade (2 in the paper's §5.5 hardware).
+    pub cells_per_blade: usize,
+}
+
+impl BladeCluster {
+    /// A cluster of dual-Cell blades, the paper's configuration.
+    pub fn dual_cell(blades: usize) -> BladeCluster {
+        assert!(blades >= 1, "need at least one blade");
+        BladeCluster { blades, cells_per_blade: 2 }
+    }
+
+    /// Bootstraps assigned to each blade under even distribution.
+    pub fn shares(&self, n_bootstraps: usize) -> Vec<usize> {
+        (0..self.blades)
+            .map(|b| n_bootstraps / self.blades + usize::from(b < n_bootstraps % self.blades))
+            .filter(|&s| s > 0)
+            .collect()
+    }
+
+    /// Cluster makespan (paper-scale seconds) for `n_bootstraps` under
+    /// `scheduler`: every blade simulated, slowest blade wins.
+    pub fn makespan(&self, scheduler: SchedulerKind, n_bootstraps: usize, scale: usize) -> f64 {
+        self.shares(n_bootstraps)
+            .into_iter()
+            .map(|share| {
+                run(blade_config(self.cells_per_blade, scheduler, share, scale)).paper_scale_secs
+            })
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: usize = 2_000;
+
+    #[test]
+    fn shares_are_even_and_complete() {
+        let c = BladeCluster::dual_cell(4);
+        let shares = c.shares(100);
+        assert_eq!(shares.iter().sum::<usize>(), 100);
+        assert_eq!(shares, vec![25, 25, 25, 25]);
+        let c3 = BladeCluster::dual_cell(3);
+        assert_eq!(c3.shares(100), vec![34, 33, 33]);
+        // More blades than bootstraps: empty blades are dropped.
+        let c8 = BladeCluster::dual_cell(8);
+        assert_eq!(c8.shares(3).len(), 3);
+    }
+
+    #[test]
+    fn more_blades_never_hurt() {
+        let mut last = f64::INFINITY;
+        for blades in [1usize, 2, 4, 8] {
+            let t = BladeCluster::dual_cell(blades).makespan(SchedulerKind::Edtlp, 64, SCALE);
+            assert!(t <= last * 1.01, "{blades} blades: {t}s after {last}s");
+            last = t;
+        }
+    }
+
+    /// §5.5's qualitative claim: distributing a 100-bootstrap analysis over
+    /// enough blades drops per-blade task parallelism below the SPE count,
+    /// and MGPS re-earns its keep over plain EDTLP.
+    ///
+    /// Quantitatively the paper says "four or more dual-Cell blades"
+    /// (25 bootstraps/blade); in our simulation — and, notably, in the
+    /// paper's own Figure 9(b), where the MGPS and EDTLP curves overlap
+    /// from ~24 bootstraps — the crossover sits at ≤ 8 bootstraps per
+    /// dual-Cell blade, i.e. ≥ 13 blades for 100 bootstraps. We test the
+    /// mechanism at that measured crossover and record the discrepancy in
+    /// EXPERIMENTS.md.
+    #[test]
+    fn section_5_5_multigrain_wins_once_blades_dilute_tlp() {
+        for blades in [13usize, 16, 25] {
+            let c = BladeCluster::dual_cell(blades);
+            let mgps = c.makespan(SchedulerKind::Mgps, 100, SCALE);
+            let edtlp = c.makespan(SchedulerKind::Edtlp, 100, SCALE);
+            assert!(
+                mgps < edtlp * 0.998,
+                "{blades} blades: MGPS {mgps:.2}s must beat EDTLP {edtlp:.2}s"
+            );
+        }
+        // Strong win once per-blade TLP is well under the SPE count.
+        let c16 = BladeCluster::dual_cell(16);
+        let mgps = c16.makespan(SchedulerKind::Mgps, 100, SCALE);
+        let edtlp = c16.makespan(SchedulerKind::Edtlp, 100, SCALE);
+        assert!(
+            mgps < edtlp * 0.90,
+            "16 blades (~7 bootstraps each): MGPS {mgps:.2}s vs EDTLP {edtlp:.2}s"
+        );
+        // On a single blade the two coincide (TLP saturates the SPEs).
+        let c1 = BladeCluster::dual_cell(1);
+        let mgps = c1.makespan(SchedulerKind::Mgps, 100, SCALE);
+        let edtlp = c1.makespan(SchedulerKind::Edtlp, 100, SCALE);
+        assert!(
+            (mgps / edtlp - 1.0).abs() < 0.02,
+            "1 blade: MGPS {mgps:.2}s vs EDTLP {edtlp:.2}s should coincide"
+        );
+    }
+}

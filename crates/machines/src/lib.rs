@@ -1,0 +1,17 @@
+//! # `machines` — machine descriptions and cross-platform comparators
+//!
+//! Figure 10 of the paper compares one Cell BE against a dual Hyper-Threaded
+//! Xeon SMP and an IBM Power5. The Cell side is the `cellsim` discrete-event
+//! model; the conventional machines are analytic wave models calibrated to
+//! the paper's curves ([`smt`]). [`cell`] provides blade configuration
+//! helpers shared by the experiment harnesses.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod cluster;
+pub mod smt;
+
+pub use cell::{blade_config, cell_mgps_makespan, DEFAULT_SCALE};
+pub use cluster::BladeCluster;
+pub use smt::SmtMachine;

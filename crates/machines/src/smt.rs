@@ -1,0 +1,206 @@
+//! Analytic models of the comparison machines in Figure 10.
+//!
+//! The paper compares one Cell against
+//!
+//! * a **dual-processor Intel Xeon** (2 GHz, Hyper-Threading: 2 sockets ×
+//!   2 contexts, deliberately "stirring the comparison in favor of the
+//!   Xeon" — the abstract's 4× claim is against a *single* Xeon), and
+//! * an **IBM Power5** (1.65 GHz, 2 cores × 2 SMT threads).
+//!
+//! Both run the plain MPI version of RAxML: `n` independent bootstraps
+//! scheduled across hardware contexts. For such embarrassingly parallel
+//! work an analytic throughput model suffices: each core processes its
+//! share of bootstraps in waves; a wave that co-schedules two threads on
+//! one core runs each at an SMT-slowdown factor.
+//!
+//! Calibration (42_SC workload, from the Figure 10 curves):
+//!
+//! * Xeon: 25 s per bootstrap single-thread, HT slowdown 1.7× → 16
+//!   bootstraps on 2×2 contexts ≈ 170 s (the figure's top curve), and on a
+//!   *single* Xeon ≈ 340 s ≈ 4× one Cell (the abstract's claim);
+//! * Power5: 16.4 s per bootstrap single-thread, SMT slowdown 1.45× → 16
+//!   bootstraps ≈ 95 s, 5–10 % behind Cell+MGPS, while winning below 8
+//!   bootstraps.
+
+/// An SMP/SMT machine running independent bootstraps.
+#[derive(Debug, Clone)]
+pub struct SmtMachine {
+    /// Display name for report rows.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Seconds per bootstrap on one thread with its core otherwise idle.
+    pub t_bootstrap: f64,
+    /// Per-thread slowdown when all threads of a core are busy.
+    pub smt_slowdown: f64,
+}
+
+impl SmtMachine {
+    /// The dual-Xeon SMP of §5.6 (2 sockets × 2-way Hyper-Threading).
+    pub fn xeon_smp() -> SmtMachine {
+        SmtMachine {
+            name: "Intel Xeon (2x 2-way HT)",
+            cores: 2,
+            threads_per_core: 2,
+            t_bootstrap: 25.0,
+            smt_slowdown: 1.7,
+        }
+    }
+
+    /// A single Hyper-Threaded Xeon (the abstract's 4× comparison point).
+    pub fn xeon_single() -> SmtMachine {
+        SmtMachine { name: "Intel Xeon (1x 2-way HT)", cores: 1, ..SmtMachine::xeon_smp() }
+    }
+
+    /// The IBM Power5 of §5.6 (dual-core, quad-thread).
+    pub fn power5() -> SmtMachine {
+        SmtMachine {
+            name: "IBM Power5 (2 cores x 2 SMT)",
+            cores: 2,
+            threads_per_core: 2,
+            t_bootstrap: 16.4,
+            smt_slowdown: 1.45,
+        }
+    }
+
+    /// Total hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Per-thread slowdown for a wave running `k` threads on one core:
+    /// linear interpolation between solo (1.0) and fully shared
+    /// (`smt_slowdown`).
+    fn wave_slowdown(&self, k: usize) -> f64 {
+        debug_assert!(k >= 1 && k <= self.threads_per_core);
+        if self.threads_per_core == 1 || k == 1 {
+            1.0
+        } else {
+            let frac = (k - 1) as f64 / (self.threads_per_core - 1) as f64;
+            1.0 + frac * (self.smt_slowdown - 1.0)
+        }
+    }
+
+    /// Makespan (seconds) of `n` independent bootstraps.
+    ///
+    /// Bootstraps are spread over cores as evenly as possible; each core
+    /// then runs waves of up to `threads_per_core` concurrent bootstraps.
+    pub fn makespan(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let mut worst: f64 = 0.0;
+        for core in 0..self.cores {
+            // Core `core` gets ceil-ish share of the bootstraps.
+            let share = n / self.cores + usize::from(core < n % self.cores);
+            let mut remaining = share;
+            let mut t = 0.0;
+            while remaining > 0 {
+                let wave = remaining.min(self.threads_per_core);
+                t += self.t_bootstrap * self.wave_slowdown(wave);
+                remaining -= wave;
+            }
+            worst = worst.max(t);
+        }
+        worst
+    }
+
+    /// Aggregate bootstrap throughput at saturation (bootstraps/second).
+    pub fn saturated_throughput(&self) -> f64 {
+        self.cores as f64 * self.threads_per_core as f64
+            / (self.t_bootstrap * self.smt_slowdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bootstrap_runs_solo() {
+        assert_eq!(SmtMachine::xeon_smp().makespan(1), 25.0);
+        assert_eq!(SmtMachine::power5().makespan(1), 16.4);
+    }
+
+    #[test]
+    fn zero_bootstraps_take_no_time() {
+        assert_eq!(SmtMachine::xeon_smp().makespan(0), 0.0);
+    }
+
+    #[test]
+    fn two_bootstraps_use_separate_cores() {
+        // One per core: no SMT sharing yet.
+        assert_eq!(SmtMachine::xeon_smp().makespan(2), 25.0);
+        assert_eq!(SmtMachine::power5().makespan(2), 16.4);
+    }
+
+    #[test]
+    fn four_bootstraps_share_cores() {
+        let x = SmtMachine::xeon_smp();
+        assert!((x.makespan(4) - 25.0 * 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_counts_leave_one_solo_wave() {
+        let x = SmtMachine::xeon_smp();
+        // 3 bootstraps: core0 runs 2 (shared), core1 runs 1 (solo).
+        assert!((x.makespan(3) - 25.0 * 1.7).abs() < 1e-9);
+        // 5: core0 gets 3 → one shared wave + one solo = 42.5 + 25.
+        assert!((x.makespan(5) - (42.5 + 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xeon_16_bootstraps_matches_figure_10a() {
+        let t = SmtMachine::xeon_smp().makespan(16);
+        assert!((t - 170.0).abs() < 5.0, "dual Xeon at 16 bootstraps: {t}s (figure ~170s)");
+    }
+
+    #[test]
+    fn single_xeon_is_4x_one_cell() {
+        // One Cell runs 16 bootstraps in ~86-90s (Table 1 extrapolated).
+        let t = SmtMachine::xeon_single().makespan(16);
+        let ratio = t / 88.0;
+        assert!((3.5..=4.5).contains(&ratio), "abstract claims ~4x; got {ratio}");
+    }
+
+    #[test]
+    fn power5_16_bootstraps_is_5_to_10_percent_behind_cell() {
+        let t = SmtMachine::power5().makespan(16);
+        let cell = 88.55; // simulated Cell EDTLP/MGPS at 16 bootstraps
+        let margin = t / cell;
+        assert!(
+            (1.02..=1.15).contains(&margin),
+            "Power5/Cell at 16 bootstraps = {margin} (paper: 1.05-1.10)"
+        );
+    }
+
+    #[test]
+    fn power5_wins_at_one_bootstrap() {
+        // Below 8 bootstraps the Power5 is competitive; at 1 it beats the
+        // Cell's MGPS time (~19-21s).
+        assert!(SmtMachine::power5().makespan(1) < 19.0);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_n() {
+        for m in [SmtMachine::xeon_smp(), SmtMachine::power5(), SmtMachine::xeon_single()] {
+            let mut last = 0.0;
+            for n in 1..=64 {
+                let t = m.makespan(n);
+                assert!(t >= last, "{}: makespan({n}) = {t} < {last}", m.name);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_throughput_matches_large_n_slope() {
+        let m = SmtMachine::power5();
+        let t128 = m.makespan(128);
+        let t256 = m.makespan(256);
+        let slope = 128.0 / (t256 - t128);
+        assert!((slope - m.saturated_throughput()).abs() / slope < 0.05);
+    }
+}

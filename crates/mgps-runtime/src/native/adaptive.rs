@@ -1,0 +1,536 @@
+//! The native multigrain runtime: EDTLP off-loading, LLP work-sharing, and
+//! the adaptive MGPS policy, assembled over the virtual-SPE pool.
+//!
+//! [`MgpsRuntime`] is the public entry point a host application uses. Each
+//! worker process (the analogue of one MPI rank) calls
+//! [`MgpsRuntime::enter_process`], then alternates PPE-side computation
+//! ([`ProcessCtx::ppe_compute`]) with kernel off-loads
+//! ([`ProcessCtx::offload_loop`]). The runtime decides — per the configured
+//! [`SchedulerKind`] — whether each off-loaded kernel runs whole on one SPE
+//! or work-shares its loops across a team, and under MGPS it adapts that
+//! choice on-line from the observed task-parallelism history.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use super::gate::{GateMode, PpeGate, PpeToken};
+use super::pool::{OffloadError, SpePool, SpeStats};
+use super::team::{LoopBody, LoopSite, TeamRunner};
+use crate::policy::granularity::{GranularityController, GranularityDecision};
+use crate::policy::hybrid::SchedulerKind;
+use crate::policy::mgps::{Directive, MgpsConfig, MgpsScheduler};
+use crate::policy::types::{KernelKind, TaskId};
+
+/// Construction parameters for a native runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Virtual SPEs (8 per Cell).
+    pub n_spes: usize,
+    /// PPE hardware contexts (2 on Cell).
+    pub ppe_contexts: usize,
+    /// Scheduling scheme.
+    pub scheduler: SchedulerKind,
+    /// Voluntary context-switch cost (paper: 1.5 µs).
+    pub switch_cost: Duration,
+    /// Simulated code-image reload stall (zero disables).
+    pub code_load_cost: Duration,
+    /// Simulated worker argument-fetch latency in teams (zero disables).
+    pub worker_startup: Duration,
+    /// Enable §5.2 dynamic granularity control (PPE fallback for kernels
+    /// that fail the off-load profitability test). Re-probe period in
+    /// requests; `None` disables [`ProcessCtx::offload_kernel`].
+    pub granularity_retry: Option<u64>,
+}
+
+impl RuntimeConfig {
+    /// A Cell-shaped runtime (8 SPEs, 2 PPE contexts, paper's overheads)
+    /// under the given scheduler.
+    pub fn cell(scheduler: SchedulerKind) -> RuntimeConfig {
+        RuntimeConfig {
+            n_spes: 8,
+            ppe_contexts: 2,
+            scheduler,
+            switch_cost: Duration::from_nanos(1_500),
+            code_load_cost: Duration::ZERO,
+            worker_startup: Duration::ZERO,
+            granularity_retry: None,
+        }
+    }
+
+    /// Enable dynamic granularity control with the given re-probe period.
+    pub fn with_granularity_control(mut self, retry_period: u64) -> RuntimeConfig {
+        self.granularity_retry = Some(retry_period);
+        self
+    }
+}
+
+enum DegreePolicy {
+    /// Static degree; the value is kept for introspection/debugging.
+    #[allow(dead_code)]
+    Fixed(usize),
+    Adaptive(Mutex<MgpsScheduler>),
+}
+
+/// The native multigrain runtime.
+pub struct MgpsRuntime {
+    pool: Arc<SpePool>,
+    runner: TeamRunner,
+    gate: PpeGate,
+    degree_policy: DegreePolicy,
+    current_degree: AtomicUsize,
+    next_task: AtomicU64,
+    inflight: AtomicUsize,
+    epoch: Instant,
+    config: RuntimeConfig,
+    granularity: Option<Mutex<GranularityController>>,
+}
+
+impl MgpsRuntime {
+    /// Build a runtime from `config`.
+    pub fn new(config: RuntimeConfig) -> MgpsRuntime {
+        let pool = Arc::new(SpePool::new(config.n_spes, config.code_load_cost));
+        let runner = TeamRunner::new(Arc::clone(&pool), config.worker_startup);
+        let (gate_mode, degree_policy, initial_degree) = match config.scheduler {
+            SchedulerKind::Edtlp => (GateMode::YieldOnOffload, DegreePolicy::Fixed(1), 1),
+            SchedulerKind::LinuxLike => (GateMode::HoldDuringOffload, DegreePolicy::Fixed(1), 1),
+            SchedulerKind::StaticHybrid { spes_per_loop } => {
+                assert!(
+                    spes_per_loop >= 1 && spes_per_loop <= config.n_spes,
+                    "spes_per_loop out of range"
+                );
+                (GateMode::YieldOnOffload, DegreePolicy::Fixed(spes_per_loop), spes_per_loop)
+            }
+            SchedulerKind::Mgps => (
+                GateMode::YieldOnOffload,
+                DegreePolicy::Adaptive(Mutex::new(MgpsScheduler::new(MgpsConfig::for_spes(
+                    config.n_spes,
+                )))),
+                1,
+            ),
+        };
+        let gate = PpeGate::new(config.ppe_contexts, gate_mode, config.switch_cost);
+        let granularity = config
+            .granularity_retry
+            .map(|retry| Mutex::new(GranularityController::new(retry)));
+        MgpsRuntime {
+            pool,
+            runner,
+            gate,
+            degree_policy,
+            current_degree: AtomicUsize::new(initial_degree),
+            next_task: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            epoch: Instant::now(),
+            config,
+            granularity,
+        }
+    }
+
+    /// Whether `kind` is currently throttled to the PPE (granularity
+    /// control only).
+    pub fn is_throttled(&self, kind: KernelKind) -> bool {
+        self.granularity.as_ref().is_some_and(|c| c.lock().is_throttled(kind))
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The loop degree the next off-load will use.
+    pub fn current_degree(&self) -> usize {
+        self.current_degree.load(Ordering::Relaxed)
+    }
+
+    /// Voluntary PPE context switches performed so far.
+    pub fn context_switches(&self) -> u64 {
+        self.gate.switches()
+    }
+
+    /// Tasks currently off-loaded or queued for off-load.
+    pub fn tasks_in_flight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// MGPS adaptation counters `(evaluations, activations, deactivations)`;
+    /// `None` unless the runtime was built with [`SchedulerKind::Mgps`].
+    pub fn mgps_stats(&self) -> Option<(u64, u64, u64)> {
+        match &self.degree_policy {
+            DegreePolicy::Adaptive(sched) => {
+                let s = sched.lock();
+                Some((s.evaluations(), s.activations(), s.deactivations()))
+            }
+            DegreePolicy::Fixed(_) => None,
+        }
+    }
+
+    /// Enter the runtime as a worker process: blocks until a PPE context is
+    /// available.
+    pub fn enter_process(&self) -> ProcessCtx<'_> {
+        ProcessCtx { token: self.gate.enter(), rt: self, ppe_scratch: None }
+    }
+
+    /// Tear down, returning per-SPE statistics.
+    pub fn shutdown(self) -> Vec<SpeStats> {
+        let MgpsRuntime { pool, runner, .. } = self;
+        drop(runner);
+        match Arc::try_unwrap(pool) {
+            Ok(p) => p.shutdown(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn record_offload(&self, task: TaskId, now_ns: u64) {
+        if let DegreePolicy::Adaptive(sched) = &self.degree_policy {
+            sched.lock().on_offload(task, now_ns);
+        }
+    }
+
+    fn record_departure(&self, task: TaskId, started_ns: u64) {
+        if let DegreePolicy::Adaptive(sched) = &self.degree_policy {
+            let waiting = self.inflight.load(Ordering::Relaxed).max(1);
+            let directive = sched.lock().on_departure(task, started_ns, self.ns(), waiting);
+            if let Some(d) = directive {
+                let degree = match d {
+                    Directive::ActivateLlp(ld) => ld.0,
+                    Directive::DeactivateLlp => 1,
+                };
+                self.current_degree.store(degree, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A worker process's handle on the runtime (holds one PPE context).
+pub struct ProcessCtx<'rt> {
+    token: PpeToken<'rt>,
+    rt: &'rt MgpsRuntime,
+    /// Reusable scratch context for PPE-fallback kernel execution (lazily
+    /// created; re-allocating its local store per call would distort the
+    /// granularity controller's PPE timings).
+    ppe_scratch: Option<Box<super::context::SpeContext>>,
+}
+
+impl ProcessCtx<'_> {
+    /// Execute PPE-side (non-offloadable) computation while holding the
+    /// context.
+    pub fn ppe_compute<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        debug_assert!(self.token.holds_context());
+        f()
+    }
+
+    /// Off-load a kernel whose parallel loop is `body`, blocking until it
+    /// completes. The runtime picks the loop degree (1 = run whole on one
+    /// SPE) and applies the PPE-context discipline while waiting.
+    ///
+    /// # Errors
+    /// Propagates [`OffloadError::TaskPanicked`] if the kernel panicked.
+    pub fn offload_loop<B: LoopBody>(
+        &mut self,
+        site: LoopSite,
+        body: Arc<B>,
+    ) -> Result<B::Acc, OffloadError> {
+        let rt = self.rt;
+        let task = TaskId(rt.next_task.fetch_add(1, Ordering::Relaxed));
+        let started_ns = rt.ns();
+        rt.record_offload(task, started_ns);
+        rt.inflight.fetch_add(1, Ordering::Relaxed);
+        let degree = rt.current_degree();
+        let result = self.token.offload(|| rt.runner.parallel_reduce(site, degree, body));
+        rt.inflight.fetch_sub(1, Ordering::Relaxed);
+        rt.record_departure(task, started_ns);
+        result
+    }
+
+    /// Off-load a kernel of the named `kind` under dynamic granularity
+    /// control (§5.2): the runtime optimistically off-loads, measures both
+    /// the SPE and the PPE versions, and throttles kernels that fail the
+    /// test `t_spe + t_code + 2·t_comm < t_ppe` back to the PPE — where
+    /// they run on the calling thread while it holds its context, exactly
+    /// like the paper's PPE fallback copies of each function.
+    ///
+    /// Requires the runtime to have been built with
+    /// [`RuntimeConfig::with_granularity_control`].
+    ///
+    /// # Errors
+    /// Propagates [`OffloadError::TaskPanicked`] if the kernel panicked.
+    ///
+    /// # Panics
+    /// Panics if granularity control is not enabled.
+    pub fn offload_kernel<B: LoopBody>(
+        &mut self,
+        site: LoopSite,
+        kind: KernelKind,
+        body: Arc<B>,
+    ) -> Result<B::Acc, OffloadError> {
+        let rt = self.rt;
+        let controller = rt
+            .granularity
+            .as_ref()
+            .expect("granularity control not enabled on this runtime");
+        let decision = controller.lock().decide(kind, true);
+        match decision {
+            GranularityDecision::Offload => {
+                let start = Instant::now();
+                let out = self.offload_loop(site, body)?;
+                controller.lock().record_spe(kind, start.elapsed().as_nanos() as u64);
+                Ok(out)
+            }
+            GranularityDecision::RunOnPpe => {
+                // The PPE version: run on the calling thread, holding the
+                // context (no SPE, no team). The sentinel SPE id lets
+                // kernels with distinct PPE/SPE code paths pick theirs.
+                let scratch = self.ppe_scratch.get_or_insert_with(|| {
+                    Box::new(super::context::SpeContext::new(
+                        crate::policy::SpeId(usize::MAX),
+                        Duration::ZERO,
+                    ))
+                });
+                let start = Instant::now();
+                let out = body.run_chunk(0..body.len(), scratch);
+                controller.lock().record_ppe(kind, start.elapsed().as_nanos() as u64);
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::context::SpeContext;
+    use std::ops::Range;
+
+    /// A loop body whose per-iteration work is a spin, so task durations
+    /// are controllable in tests.
+    struct SpinSum {
+        n: usize,
+        spin: Duration,
+    }
+
+    impl LoopBody for SpinSum {
+        type Acc = f64;
+        fn len(&self) -> usize {
+            self.n
+        }
+        fn identity(&self) -> f64 {
+            0.0
+        }
+        fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+            let mut s = 0.0;
+            for i in range {
+                if !self.spin.is_zero() {
+                    let end = Instant::now() + self.spin;
+                    while Instant::now() < end {
+                        std::hint::spin_loop();
+                    }
+                }
+                s += i as f64;
+            }
+            s
+        }
+        fn merge(&self, a: f64, b: f64) -> f64 {
+            a + b
+        }
+    }
+
+    fn run_workers(rt: &MgpsRuntime, workers: usize, offloads_each: usize, n: usize) -> f64 {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                handles.push(scope.spawn(move || {
+                    let mut ctx = rt.enter_process();
+                    let mut total = 0.0;
+                    for _ in 0..offloads_each {
+                        let body = Arc::new(SpinSum { n, spin: Duration::ZERO });
+                        total += ctx.offload_loop(LoopSite(1), body).unwrap();
+                    }
+                    total
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    }
+
+    fn expected(n: usize) -> f64 {
+        (0..n).map(|i| i as f64).sum()
+    }
+
+    #[test]
+    fn edtlp_runtime_computes_correct_results() {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+        let total = run_workers(&rt, 4, 8, 100);
+        assert!((total - 4.0 * 8.0 * expected(100)).abs() < 1e-6);
+        assert!(rt.context_switches() >= 32, "every offload yields the context");
+        assert_eq!(rt.current_degree(), 1);
+    }
+
+    #[test]
+    fn linux_like_runtime_computes_correct_results_without_switches() {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::LinuxLike));
+        let total = run_workers(&rt, 4, 4, 64);
+        assert!((total - 4.0 * 4.0 * expected(64)).abs() < 1e-6);
+        assert_eq!(rt.context_switches(), 0);
+    }
+
+    #[test]
+    fn static_hybrid_uses_fixed_degree() {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::StaticHybrid {
+            spes_per_loop: 4,
+        }));
+        assert_eq!(rt.current_degree(), 4);
+        let total = run_workers(&rt, 2, 4, 228);
+        assert!((total - 2.0 * 4.0 * expected(228)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mgps_adapts_degree_for_single_worker() {
+        let mut cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+        cfg.switch_cost = Duration::ZERO;
+        let rt = MgpsRuntime::new(cfg);
+        // One worker with long tasks: TLP leaves SPEs idle, so after a
+        // window of 8 completions MGPS should activate LLP.
+        let mut ctx = rt.enter_process();
+        for _ in 0..16 {
+            let body = Arc::new(SpinSum { n: 64, spin: Duration::from_micros(20) });
+            ctx.offload_loop(LoopSite(2), body).unwrap();
+        }
+        assert!(
+            rt.current_degree() > 1,
+            "MGPS should have activated LLP, degree = {}",
+            rt.current_degree()
+        );
+    }
+
+    #[test]
+    fn mgps_stays_tlp_under_high_task_parallelism() {
+        let mut cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+        cfg.switch_cost = Duration::ZERO;
+        let rt = MgpsRuntime::new(cfg);
+        // 8 workers saturate the SPEs with task parallelism. Tasks must be
+        // long enough (~1 ms) that offloads from the other workers land
+        // inside each departing task's execution window, making U ≈ 8.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut ctx = rt.enter_process();
+                    for _ in 0..16 {
+                        let body = Arc::new(SpinSum { n: 100, spin: Duration::from_micros(10) });
+                        ctx.offload_loop(LoopSite(3), body).unwrap();
+                    }
+                });
+            }
+        });
+        // At the drain-out tail, TLP vanishes and MGPS may legitimately
+        // flip to LLP for the last stragglers; what must hold is that the
+        // *steady state* stayed EDTLP: nearly all evaluation windows
+        // deactivated (or never activated) LLP.
+        let (evals, acts, _deacts) = rt.mgps_stats().expect("adaptive runtime");
+        assert!(evals >= 8, "expected >= 8 windows, got {evals}");
+        assert!(
+            acts <= 2,
+            "high TLP must not trigger LLP in steady state: {acts} activations over {evals} windows"
+        );
+    }
+
+    #[test]
+    fn granularity_control_throttles_tiny_kernels() {
+        // Kernels so small that channel/team overheads dwarf the work:
+        // after the optimistic probe plus a PPE measurement the controller
+        // must route them to the PPE.
+        let cfg = RuntimeConfig::cell(SchedulerKind::Edtlp).with_granularity_control(10_000);
+        let rt = MgpsRuntime::new(cfg);
+        let mut ctx = rt.enter_process();
+        for _ in 0..64 {
+            let body = Arc::new(SpinSum { n: 1, spin: Duration::ZERO });
+            let v = ctx.offload_kernel(LoopSite(9), KernelKind::Evaluate, body).unwrap();
+            assert_eq!(v, 0.0);
+        }
+        assert!(
+            rt.is_throttled(KernelKind::Evaluate),
+            "sub-microsecond kernels must be throttled to the PPE"
+        );
+    }
+
+    /// A kernel with distinct PPE/SPE code versions: the PPE fallback
+    /// (recognizable by the sentinel SPE id) runs 3x slower, like the
+    /// paper's scalar PPE copies vs the vectorized SPE module.
+    struct DualVersion {
+        n: usize,
+        spin: Duration,
+    }
+
+    impl LoopBody for DualVersion {
+        type Acc = u64;
+        fn len(&self) -> usize {
+            self.n
+        }
+        fn identity(&self) -> u64 {
+            0
+        }
+        fn run_chunk(&self, range: Range<usize>, ctx: &mut SpeContext) -> u64 {
+            let on_ppe = ctx.id.0 == usize::MAX;
+            let per_iter = if on_ppe { self.spin * 3 } else { self.spin };
+            let end = Instant::now() + per_iter * range.len() as u32;
+            while Instant::now() < end {
+                std::hint::spin_loop();
+            }
+            range.len() as u64
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    #[test]
+    fn granularity_control_keeps_offloading_coarse_kernels() {
+        let cfg = RuntimeConfig::cell(SchedulerKind::Edtlp).with_granularity_control(10_000);
+        let rt = MgpsRuntime::new(cfg);
+        let mut ctx = rt.enter_process();
+        for _ in 0..16 {
+            // ~0.5 ms on the SPE vs ~1.5 ms on the PPE: far above the
+            // off-load overhead, so the test must keep it off-loaded.
+            let body = Arc::new(DualVersion { n: 100, spin: Duration::from_micros(5) });
+            let v = ctx.offload_kernel(LoopSite(10), KernelKind::NewView, body).unwrap();
+            assert_eq!(v, 100);
+        }
+        assert!(
+            !rt.is_throttled(KernelKind::NewView),
+            "kernels whose SPE version wins must stay off-loaded"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity control not enabled")]
+    fn offload_kernel_requires_opt_in() {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+        let mut ctx = rt.enter_process();
+        let body = Arc::new(SpinSum { n: 1, spin: Duration::ZERO });
+        let _ = ctx.offload_kernel(LoopSite(11), KernelKind::Evaluate, body);
+    }
+
+    #[test]
+    fn shutdown_yields_per_spe_stats() {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+        run_workers(&rt, 2, 4, 32);
+        let stats = rt.shutdown();
+        assert_eq!(stats.len(), 8);
+        let total: u64 = stats.iter().map(|s| s.tasks_run).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn inflight_counter_returns_to_zero() {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+        run_workers(&rt, 3, 5, 16);
+        assert_eq!(rt.tasks_in_flight(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The native execution engine: the paper's runtime system realized on
+//! host threads.
+//!
+//! * [`context`] — per-SPE state: bounded local store, resident code image;
+//! * [`pool`] — the virtual-SPE pool with immediate/FIFO off-load dispatch
+//!   and panic containment;
+//! * [`team`] — loop work-sharing with `Pass`-style worker→master results
+//!   and adaptive master bias;
+//! * [`gate`] — PPE-context admission control (yield-on-offload vs
+//!   hold-during-offload);
+//! * [`adaptive`] — [`adaptive::MgpsRuntime`], tying pool, teams, gate, and
+//!   the MGPS policy together behind one application-facing API.
+
+pub mod adaptive;
+pub mod chain;
+pub mod context;
+pub mod gate;
+pub mod pool;
+pub mod team;
+
+pub use adaptive::{MgpsRuntime, ProcessCtx, RuntimeConfig};
+pub use chain::{ChainRunner, ChainedLoop};
+pub use context::{ImageId, LocalStore, LocalStoreExhausted, SpeContext, LOCAL_STORE_BYTES};
+pub use gate::{GateMode, PpeGate, PpeToken};
+pub use pool::{OffloadError, OffloadHandle, SpePool, SpeStats};
+pub use team::{LoopBody, LoopSite, TeamRunner, TeamTiming};

@@ -1,0 +1,582 @@
+//! The virtual-SPE pool: persistent worker threads standing in for the
+//! eight SPEs, with the off-load semantics of the paper's runtime.
+//!
+//! Off-loads are immediate when an SPE is idle and queue FIFO otherwise
+//! (the EDTLP scheduler "off-loads a task immediately upon request ... if
+//! no idle SPE is found, the scheduler waits until an SPE becomes
+//! available"). Teams for work-shared loops are *reserved* — removed from
+//! the idle set atomically — and addressed directly, mirroring how a master
+//! SPE signals its workers without going through the PPE.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use super::context::{ImageId, SpeContext};
+use crate::policy::SpeId;
+
+/// A unit of work executed on a virtual SPE.
+pub type Job = Box<dyn FnOnce(&mut SpeContext) + Send>;
+
+enum WorkerMsg {
+    Run(Job),
+    Shutdown,
+}
+
+/// Why waiting on an [`OffloadHandle`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadError {
+    /// The job panicked on the SPE; the panic was contained and the SPE
+    /// returned to service.
+    TaskPanicked,
+}
+
+impl std::fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffloadError::TaskPanicked => f.write_str("off-loaded task panicked"),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+/// Completion handle for an off-loaded task.
+#[derive(Debug)]
+pub struct OffloadHandle<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> OffloadHandle<T> {
+    /// Block until the task finishes.
+    ///
+    /// # Errors
+    /// [`OffloadError::TaskPanicked`] if the job panicked.
+    pub fn wait(self) -> Result<T, OffloadError> {
+        self.rx.recv().map_err(|_| OffloadError::TaskPanicked)
+    }
+
+    /// Non-blocking poll; `None` while the task is still running.
+    ///
+    /// # Errors
+    /// [`OffloadError::TaskPanicked`] if the job panicked.
+    pub fn try_wait(&self) -> Result<Option<T>, OffloadError> {
+        match self.rx.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(OffloadError::TaskPanicked),
+        }
+    }
+}
+
+struct PoolState {
+    idle: Vec<SpeId>,
+    pending: std::collections::VecDeque<Job>,
+    /// Last code image resident on each SPE (None before any image load).
+    /// Maintained by the workers; used for affinity placement — the
+    /// memory-aware scheduling the paper lists as future work (§6).
+    resident: Vec<Option<ImageId>>,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    idle_changed: Condvar,
+    panics: AtomicU64,
+    completed: AtomicU64,
+    affinity_hits: AtomicU64,
+    affinity_misses: AtomicU64,
+}
+
+struct Worker {
+    tx: Sender<WorkerMsg>,
+    handle: Option<JoinHandle<SpeStats>>,
+}
+
+/// Final per-SPE statistics returned when the pool shuts down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeStats {
+    /// Which SPE these numbers describe.
+    pub id: SpeId,
+    /// Jobs executed.
+    pub tasks_run: u64,
+    /// Code-image reloads paid.
+    pub code_reloads: u64,
+    /// Peak local-store occupancy in bytes.
+    pub local_store_high_water: usize,
+}
+
+/// A pool of virtual SPEs.
+pub struct SpePool {
+    workers: Vec<Worker>,
+    shared: Arc<Shared>,
+    direct: Vec<Sender<WorkerMsg>>,
+}
+
+impl SpePool {
+    /// Spawn `n_spes` virtual SPEs with the given simulated code-reload
+    /// stall (pass [`Duration::ZERO`] to disable).
+    ///
+    /// # Panics
+    /// Panics if `n_spes == 0`.
+    pub fn new(n_spes: usize, code_load_cost: Duration) -> SpePool {
+        assert!(n_spes > 0, "a pool needs at least one SPE");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                idle: (0..n_spes).rev().map(SpeId).collect(),
+                pending: std::collections::VecDeque::new(),
+                resident: vec![None; n_spes],
+            }),
+            idle_changed: Condvar::new(),
+            panics: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
+            affinity_misses: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(n_spes);
+        let mut direct = Vec::with_capacity(n_spes);
+        for i in 0..n_spes {
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            let shared_cl = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("vspe-{i}"))
+                .spawn(move || worker_loop(SpeId(i), rx, shared_cl, code_load_cost))
+                .expect("spawn virtual SPE thread");
+            direct.push(tx.clone());
+            workers.push(Worker { tx, handle: Some(handle) });
+        }
+        SpePool { workers, shared, direct }
+    }
+
+    /// Number of virtual SPEs.
+    pub fn n_spes(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// SPEs currently idle.
+    pub fn idle_count(&self) -> usize {
+        self.shared.state.lock().idle.len()
+    }
+
+    /// Off-loads queued waiting for an SPE.
+    pub fn pending_len(&self) -> usize {
+        self.shared.state.lock().pending.len()
+    }
+
+    /// Jobs completed over the pool's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked (and were contained).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Image-affinity placements that found a warm SPE.
+    pub fn affinity_hits(&self) -> u64 {
+        self.shared.affinity_hits.load(Ordering::Relaxed)
+    }
+
+    /// Image-affinity placements that had to take a cold SPE.
+    pub fn affinity_misses(&self) -> u64 {
+        self.shared.affinity_misses.load(Ordering::Relaxed)
+    }
+
+    /// Off-load `f` to the first available SPE, returning a completion
+    /// handle. Dispatch is immediate if an SPE is idle, FIFO-queued
+    /// otherwise.
+    pub fn offload<T, F>(&self, f: F) -> OffloadHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut SpeContext) -> T + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        let job: Job = Box::new(move |ctx| {
+            let out = f(ctx);
+            let _ = tx.send(out);
+        });
+        self.submit(job);
+        OffloadHandle { rx }
+    }
+
+    /// Off-load a kernel whose code image is `image` (`code_bytes` long),
+    /// preferring an idle SPE that already hosts that image — the paper's
+    /// §6 future work: memory-aware scheduling that avoids code reloads.
+    /// The image is ensured resident before `f` runs.
+    pub fn offload_with_image<T, F>(
+        &self,
+        image: ImageId,
+        code_bytes: usize,
+        f: F,
+    ) -> OffloadHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut SpeContext) -> T + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        let job: Job = Box::new(move |ctx| {
+            ctx.ensure_image(image, code_bytes)
+                .expect("kernel image exceeds local store");
+            let out = f(ctx);
+            let _ = tx.send(out);
+        });
+        let target = {
+            let mut st = self.shared.state.lock();
+            if st.idle.is_empty() {
+                st.pending.push_back(job);
+                None
+            } else {
+                // Three-tier placement: a warm SPE hosting this image,
+                // else a cold SPE with no image (no eviction), else evict
+                // the least-recently-idled warm-for-someone-else SPE.
+                let pos = st
+                    .idle
+                    .iter()
+                    .rposition(|s| st.resident[s.0] == Some(image))
+                    .or_else(|| st.idle.iter().rposition(|s| st.resident[s.0].is_none()))
+                    .unwrap_or(st.idle.len() - 1);
+                let spe = st.idle.remove(pos);
+                if st.resident[spe.0] == Some(image) {
+                    self.shared.affinity_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.shared.affinity_misses.fetch_add(1, Ordering::Relaxed);
+                    st.resident[spe.0] = Some(image);
+                }
+                Some((spe, job))
+            }
+        };
+        if let Some((spe, job)) = target {
+            self.direct[spe.0]
+                .send(WorkerMsg::Run(job))
+                .expect("virtual SPE thread hung up");
+        }
+        OffloadHandle { rx }
+    }
+
+    /// Submit a raw job (used by the team layer).
+    pub(crate) fn submit(&self, job: Job) {
+        let target = {
+            let mut st = self.shared.state.lock();
+            match st.idle.pop() {
+                Some(spe) => Some(spe),
+                None => {
+                    st.pending.push_back(job);
+                    return;
+                }
+            }
+        };
+        let spe = target.expect("target chosen above");
+        self.direct[spe.0]
+            .send(WorkerMsg::Run(job))
+            .expect("virtual SPE thread hung up");
+    }
+
+    /// Atomically reserve `k` idle SPEs, blocking until enough are idle.
+    /// The reserved SPEs receive work only via [`Self::run_on`] until they
+    /// finish it (each returns to the idle set after its job).
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the pool size (this would deadlock).
+    pub(crate) fn reserve(&self, k: usize) -> Vec<SpeId> {
+        assert!(k <= self.n_spes(), "cannot reserve {k} of {} SPEs", self.n_spes());
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.idle.len() >= k {
+                let at = st.idle.len() - k;
+                let team = st.idle.split_off(at);
+                return team;
+            }
+            self.shared.idle_changed.wait(&mut st);
+        }
+    }
+
+    /// Send a job directly to a reserved SPE.
+    pub(crate) fn run_on(&self, spe: SpeId, job: Job) {
+        self.direct[spe.0]
+            .send(WorkerMsg::Run(job))
+            .expect("virtual SPE thread hung up");
+    }
+
+    /// Final statistics, consuming the pool (joins all workers).
+    pub fn shutdown(mut self) -> Vec<SpeStats> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Vec<SpeStats> {
+        for w in &self.workers {
+            let _ = w.tx.send(WorkerMsg::Shutdown);
+        }
+        let mut stats = Vec::with_capacity(self.workers.len());
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                if let Ok(s) = h.join() {
+                    stats.push(s);
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl Drop for SpePool {
+    fn drop(&mut self) {
+        if self.workers.iter().any(|w| w.handle.is_some()) {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(
+    id: SpeId,
+    rx: Receiver<WorkerMsg>,
+    shared: Arc<Shared>,
+    code_load_cost: Duration,
+) -> SpeStats {
+    let mut ctx = SpeContext::new(id, code_load_cost);
+    loop {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        let mut job = match msg {
+            WorkerMsg::Run(j) => j,
+            WorkerMsg::Shutdown => break,
+        };
+        loop {
+            ctx.begin_task();
+            let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+            }
+            // Pull more work if any is queued; otherwise go idle.
+            let mut st = shared.state.lock();
+            match st.pending.pop_front() {
+                Some(next) => {
+                    drop(st);
+                    job = next;
+                }
+                None => {
+                    st.idle.push(id);
+                    drop(st);
+                    shared.idle_changed.notify_all();
+                    break;
+                }
+            }
+        }
+    }
+    SpeStats {
+        id,
+        tasks_run: ctx.tasks_run(),
+        code_reloads: ctx.code_reloads(),
+        local_store_high_water: ctx.local_store.high_water(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn offload_runs_and_returns_value() {
+        let pool = SpePool::new(2, Duration::ZERO);
+        let h = pool.offload(|_| 6 * 7);
+        assert_eq!(h.wait().unwrap(), 42);
+    }
+
+    #[test]
+    fn many_offloads_all_complete() {
+        let pool = SpePool::new(4, Duration::ZERO);
+        let handles: Vec<_> = (0..64).map(|i| pool.offload(move |_| i * 2)).collect();
+        let mut sum = 0;
+        for h in handles {
+            sum += h.wait().unwrap();
+        }
+        assert_eq!(sum, (0..64).map(|i| i * 2).sum::<i32>());
+        assert_eq!(pool.completed(), 64);
+    }
+
+    #[test]
+    fn excess_offloads_queue_fifo() {
+        let pool = SpePool::new(1, Duration::ZERO);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+
+        // First job blocks the only SPE until we open the gate.
+        let g = Arc::clone(&gate);
+        let o = Arc::clone(&order);
+        let h0 = pool.offload(move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock();
+            while !*open {
+                cv.wait(&mut open);
+            }
+            o.lock().push(0);
+        });
+        // These must queue and then run in submission order.
+        let hs: Vec<_> = (1..4)
+            .map(|i| {
+                let o = Arc::clone(&order);
+                pool.offload(move |_| o.lock().push(i))
+            })
+            .collect();
+        assert_eq!(pool.idle_count(), 0);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        h0.wait().unwrap();
+        for h in hs {
+            h.wait().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn jobs_observe_spe_context() {
+        let pool = SpePool::new(3, Duration::ZERO);
+        let h = pool.offload(|ctx| {
+            let scratch = ctx.local_store.alloc(1024).unwrap();
+            scratch[0] = 7;
+            (ctx.id.0, scratch[0])
+        });
+        let (id, byte) = h.wait().unwrap();
+        assert!(id < 3);
+        assert_eq!(byte, 7);
+    }
+
+    #[test]
+    fn panic_is_contained_and_spe_survives() {
+        let pool = SpePool::new(1, Duration::ZERO);
+        let h = pool.offload::<(), _>(|_| panic!("injected failure"));
+        assert_eq!(h.wait(), Err(OffloadError::TaskPanicked));
+        // The disconnect is observable mid-unwind, before the worker books
+        // the panic; wait for the counter rather than racing it.
+        while pool.panics() == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panics(), 1);
+        // The same (only) SPE still serves work.
+        let h2 = pool.offload(|_| "alive");
+        assert_eq!(h2.wait().unwrap(), "alive");
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let pool = SpePool::new(1, Duration::ZERO);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let h = pool.offload(move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock();
+            while !*open {
+                cv.wait(&mut open);
+            }
+            99
+        });
+        assert_eq!(h.try_wait().unwrap(), None);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        // Spin until done.
+        loop {
+            if let Some(v) = h.try_wait().unwrap() {
+                assert_eq!(v, 99);
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn reserve_takes_spes_out_of_service() {
+        let pool = SpePool::new(4, Duration::ZERO);
+        let team = pool.reserve(3);
+        assert_eq!(team.len(), 3);
+        assert_eq!(pool.idle_count(), 1);
+        // Reserved SPEs come back after running a direct job.
+        let counter = Arc::new(AtomicUsize::new(0));
+        for &spe in &team {
+            let c = Arc::clone(&counter);
+            pool.run_on(spe, Box::new(move |_| { c.fetch_add(1, Ordering::SeqCst); }));
+        }
+        while pool.idle_count() < 4 {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn shutdown_reports_stats() {
+        let pool = SpePool::new(2, Duration::ZERO);
+        for _ in 0..10 {
+            pool.offload(|ctx| {
+                ctx.local_store.alloc(2048).unwrap();
+            })
+            .wait()
+            .unwrap();
+        }
+        let mut stats = pool.shutdown();
+        stats.sort_by_key(|s| s.id);
+        assert_eq!(stats.len(), 2);
+        let total: u64 = stats.iter().map(|s| s.tasks_run).sum();
+        assert_eq!(total, 10);
+        assert!(stats.iter().any(|s| s.local_store_high_water >= 2048));
+    }
+
+    #[test]
+    fn image_affinity_placement_avoids_reloads() {
+        use crate::native::context::ImageId;
+        let pool = SpePool::new(4, Duration::ZERO);
+        // Interleave two images; after warm-up, placements should hit warm
+        // SPEs and reloads should stay near the distinct (SPE, image)
+        // pairs rather than the job count.
+        for round in 0..24 {
+            let image = ImageId(round % 2);
+            pool.offload_with_image(image, 64 * 1024, |ctx| ctx.resident_image())
+                .wait()
+                .unwrap();
+        }
+        assert!(
+            pool.affinity_hits() >= 16,
+            "expected mostly warm placements, hits={} misses={}",
+            pool.affinity_hits(),
+            pool.affinity_misses()
+        );
+        let stats = pool.shutdown();
+        let reloads: u64 = stats.iter().map(|s| s.code_reloads).sum();
+        assert!(
+            reloads <= 8,
+            "affinity should cap reloads at distinct (SPE,image) pairs, got {reloads}"
+        );
+    }
+
+    #[test]
+    fn offload_with_image_loads_the_image() {
+        use crate::native::context::ImageId;
+        let pool = SpePool::new(2, Duration::ZERO);
+        let got = pool
+            .offload_with_image(ImageId(9), 1024, |ctx| {
+                (ctx.resident_image(), ctx.local_store.code_bytes())
+            })
+            .wait()
+            .unwrap();
+        assert_eq!(got, (Some(ImageId(9)), 1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reserve")]
+    fn reserving_more_than_pool_size_panics() {
+        let pool = SpePool::new(2, Duration::ZERO);
+        let _ = pool.reserve(3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Adaptive master/worker load unbalancing (§5.3).
+//!
+//! Workers in a work-sharing team start late: they must complete several DMA
+//! requests (fetching loop arguments from the master's local store or shared
+//! memory) before their first iteration, while the master starts right after
+//! sending the start signals. For the fine-grained loops of RAxML the
+//! resulting imbalance is noticeable, so the master should execute a
+//! *slightly larger* portion of the loop.
+//!
+//! The paper obtains the extra portion automatically "by timing idle
+//! periods in the SPEs across multiple invocations of the same loop".
+//! [`LoadBalancer`] reproduces that: after each invocation of a loop site it
+//! observes how long the master idled waiting for workers (or vice versa)
+//! and nudges the master bias so the two finish together.
+
+/// Per-loop-site adaptive bias tuner.
+///
+/// Feed it one observation per loop invocation; read the bias to pass to
+/// [`super::chunk::partition`].
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    bias: f64,
+    gain: f64,
+    max_bias: f64,
+    invocations: u64,
+}
+
+/// Timing observation for one invocation of a work-shared loop.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopObservation {
+    /// Time the master spent idle waiting for the slowest worker, ns
+    /// (zero if the master finished last).
+    pub master_idle_ns: u64,
+    /// Mean time workers spent idle after finishing their chunks while the
+    /// master was still computing, ns (zero if workers finished last).
+    pub mean_worker_idle_ns: u64,
+    /// Total wall time of the loop invocation, ns.
+    pub loop_ns: u64,
+}
+
+impl Default for LoadBalancer {
+    fn default() -> Self {
+        LoadBalancer::new(0.5, 1.0)
+    }
+}
+
+impl LoadBalancer {
+    /// A balancer with proportional `gain` and a cap on the master bias.
+    ///
+    /// # Panics
+    /// Panics on non-finite or non-positive parameters.
+    pub fn new(gain: f64, max_bias: f64) -> LoadBalancer {
+        assert!(gain.is_finite() && gain > 0.0, "gain must be positive");
+        assert!(max_bias.is_finite() && max_bias > 0.0, "max_bias must be positive");
+        LoadBalancer { bias: 0.0, gain, max_bias, invocations: 0 }
+    }
+
+    /// Current master bias (`0.0` = even split).
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Number of observations incorporated.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Incorporate one invocation's timings and update the bias.
+    ///
+    /// If the master idled (workers were the critical path), the master's
+    /// chunk grows; if workers idled, it shrinks. The step is proportional
+    /// to the idle fraction of the loop, so the bias converges instead of
+    /// oscillating.
+    pub fn observe(&mut self, obs: LoopObservation) {
+        self.invocations += 1;
+        if obs.loop_ns == 0 {
+            return;
+        }
+        let master_frac = obs.master_idle_ns as f64 / obs.loop_ns as f64;
+        let worker_frac = obs.mean_worker_idle_ns as f64 / obs.loop_ns as f64;
+        // Positive error: master finished early => enlarge master chunk.
+        let error = master_frac - worker_frac;
+        self.bias = (self.bias + self.gain * error).clamp(0.0, self.max_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::chunk::partition;
+
+    #[test]
+    fn bias_starts_even() {
+        let b = LoadBalancer::default();
+        assert_eq!(b.bias(), 0.0);
+        assert_eq!(b.invocations(), 0);
+    }
+
+    #[test]
+    fn master_idle_grows_bias() {
+        let mut b = LoadBalancer::new(0.5, 1.0);
+        b.observe(LoopObservation { master_idle_ns: 20, mean_worker_idle_ns: 0, loop_ns: 100 });
+        assert!(b.bias() > 0.0);
+    }
+
+    #[test]
+    fn worker_idle_shrinks_bias() {
+        let mut b = LoadBalancer::new(0.5, 1.0);
+        b.observe(LoopObservation { master_idle_ns: 40, mean_worker_idle_ns: 0, loop_ns: 100 });
+        let high = b.bias();
+        b.observe(LoopObservation { master_idle_ns: 0, mean_worker_idle_ns: 30, loop_ns: 100 });
+        assert!(b.bias() < high);
+    }
+
+    #[test]
+    fn bias_never_goes_negative_or_above_cap() {
+        let mut b = LoadBalancer::new(10.0, 0.8);
+        b.observe(LoopObservation { master_idle_ns: 0, mean_worker_idle_ns: 90, loop_ns: 100 });
+        assert_eq!(b.bias(), 0.0);
+        for _ in 0..10 {
+            b.observe(LoopObservation { master_idle_ns: 90, mean_worker_idle_ns: 0, loop_ns: 100 });
+        }
+        assert_eq!(b.bias(), 0.8);
+    }
+
+    #[test]
+    fn zero_length_loop_is_ignored() {
+        let mut b = LoadBalancer::new(0.5, 1.0);
+        b.observe(LoopObservation { master_idle_ns: 50, mean_worker_idle_ns: 0, loop_ns: 0 });
+        assert_eq!(b.bias(), 0.0);
+        assert_eq!(b.invocations(), 1);
+    }
+
+    /// End-to-end convergence check against a synthetic team where workers
+    /// pay a fixed startup latency before iterating: the balancer should
+    /// find a bias that nearly equalizes finish times.
+    #[test]
+    fn converges_on_synthetic_startup_latency() {
+        const N: usize = 228; // iterations (42_SC alignment)
+        const K: usize = 4; // team size
+        const ITER_NS: u64 = 100; // per-iteration cost
+        const STARTUP_NS: u64 = 1_500; // worker DMA startup
+
+        let mut b = LoadBalancer::new(0.8, 2.0);
+        let mut last_gap = u64::MAX;
+        for _ in 0..60 {
+            let chunks = partition(N, K, b.bias());
+            let master_finish = chunks[0].len() as u64 * ITER_NS;
+            let worker_finish: Vec<u64> =
+                chunks[1..].iter().map(|c| STARTUP_NS + c.len() as u64 * ITER_NS).collect();
+            let slowest = worker_finish.iter().copied().max().unwrap().max(master_finish);
+            let master_idle = slowest - master_finish;
+            let worker_idle: u64 = worker_finish.iter().map(|&w| slowest - w).sum::<u64>()
+                / worker_finish.len() as u64;
+            last_gap = master_idle.max(worker_idle);
+            b.observe(LoopObservation {
+                master_idle_ns: master_idle,
+                mean_worker_idle_ns: worker_idle,
+                loop_ns: slowest,
+            });
+        }
+        // With startup 1500ns and 100ns/iter the master should absorb ~15
+        // extra iterations; the residual idle gap must be small.
+        assert!(b.bias() > 0.1, "bias {} should have grown", b.bias());
+        assert!(last_gap < 800, "residual idle gap {last_gap}ns too large");
+    }
+}

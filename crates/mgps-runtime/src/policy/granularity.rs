@@ -1,0 +1,265 @@
+//! The EDTLP granularity test (§5.2).
+//!
+//! The scheduler off-loads a task only when
+//!
+//! ```text
+//! t_spe + t_code + 2·t_comm < t_ppe
+//! ```
+//!
+//! where `t_spe` is the task's SPE execution time, `t_code` the one-time
+//! cost of shipping its code image to the SPE's local store (zero after the
+//! first execution, because images are preloaded and cached), and `t_comm`
+//! the PPE↔SPE signal latency (paid once to start the task and once to
+//! return the result).
+//!
+//! Task lengths are unknown a priori, so the scheduler *optimistically
+//! off-loads* any annotated task, measures it, and throttles off-loading of
+//! functions that fail the test — which requires keeping both PPE and SPE
+//! versions of every off-loadable function.
+
+use std::collections::HashMap;
+
+use super::types::KernelKind;
+
+/// Measured timing profile of one off-loadable function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FunctionTimings {
+    /// Mean observed SPE execution time, ns.
+    pub t_spe_ns: u64,
+    /// Code-shipping cost, ns (paid only on the first execution, or after a
+    /// code-image replacement).
+    pub t_code_ns: u64,
+    /// One-way PPE↔SPE signal latency, ns.
+    pub t_comm_ns: u64,
+    /// Mean observed PPE execution time of the fallback version, ns.
+    pub t_ppe_ns: u64,
+}
+
+impl FunctionTimings {
+    /// Evaluate the paper's granularity condition.
+    ///
+    /// `code_resident` is true when the function's image is already loaded
+    /// on the target SPE, making `t_code = 0`.
+    pub fn offload_profitable(&self, code_resident: bool) -> bool {
+        let t_code = if code_resident { 0 } else { self.t_code_ns };
+        self.t_spe_ns + t_code + 2 * self.t_comm_ns < self.t_ppe_ns
+    }
+}
+
+/// Per-function decision state for dynamic granularity control.
+///
+/// The first request for a function is always off-loaded (optimism); after
+/// both sides have been measured, the test decides. A throttled function is
+/// retried periodically so a change in workload (e.g. a longer alignment)
+/// can re-enable off-loading.
+#[derive(Debug)]
+pub struct GranularityController {
+    profiles: HashMap<KernelKind, Profile>,
+    /// Re-probe a throttled function every `retry_period` requests.
+    retry_period: u64,
+}
+
+#[derive(Debug, Default)]
+struct Profile {
+    spe_samples: u64,
+    spe_total_ns: u64,
+    ppe_samples: u64,
+    ppe_total_ns: u64,
+    t_code_ns: u64,
+    t_comm_ns: u64,
+    requests: u64,
+    throttled: bool,
+}
+
+impl Profile {
+    fn timings(&self) -> FunctionTimings {
+        FunctionTimings {
+            t_spe_ns: self.spe_total_ns.checked_div(self.spe_samples).unwrap_or(0),
+            t_code_ns: self.t_code_ns,
+            t_comm_ns: self.t_comm_ns,
+            t_ppe_ns: self.ppe_total_ns.checked_div(self.ppe_samples).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+/// What the controller wants done with one off-load request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GranularityDecision {
+    /// Off-load to an SPE.
+    Offload,
+    /// Run the PPE fallback (task too fine-grained to ship).
+    RunOnPpe,
+}
+
+impl GranularityController {
+    /// A controller that re-probes throttled functions every `retry_period`
+    /// requests (the paper re-probes when the runtime system changes its
+    /// parallelization strategy; a periodic probe subsumes that).
+    pub fn new(retry_period: u64) -> Self {
+        assert!(retry_period > 0, "retry period must be positive");
+        GranularityController { profiles: HashMap::new(), retry_period }
+    }
+
+    /// Record the fixed communication and code-shipping costs for `kind`.
+    pub fn set_costs(&mut self, kind: KernelKind, t_code_ns: u64, t_comm_ns: u64) {
+        let p = self.profiles.entry(kind).or_default();
+        p.t_code_ns = t_code_ns;
+        p.t_comm_ns = t_comm_ns;
+    }
+
+    /// Record a completed SPE execution of `kind`.
+    pub fn record_spe(&mut self, kind: KernelKind, elapsed_ns: u64) {
+        let p = self.profiles.entry(kind).or_default();
+        p.spe_samples += 1;
+        p.spe_total_ns += elapsed_ns;
+    }
+
+    /// Record a completed PPE (fallback) execution of `kind`.
+    pub fn record_ppe(&mut self, kind: KernelKind, elapsed_ns: u64) {
+        let p = self.profiles.entry(kind).or_default();
+        p.ppe_samples += 1;
+        p.ppe_total_ns += elapsed_ns;
+    }
+
+    /// Decide the fate of a new off-load request for `kind`.
+    ///
+    /// `code_resident`: the function's image is already on the target SPE.
+    pub fn decide(&mut self, kind: KernelKind, code_resident: bool) -> GranularityDecision {
+        let retry = self.retry_period;
+        let p = self.profiles.entry(kind).or_default();
+        p.requests += 1;
+
+        // Optimistic off-load until we have an SPE measurement.
+        if p.spe_samples == 0 {
+            return GranularityDecision::Offload;
+        }
+        // The test needs t_ppe too: probe the PPE fallback version once
+        // (the dual PPE/SPE copies of every off-loadable function exist
+        // precisely to allow this, §5.2).
+        if p.ppe_samples == 0 {
+            return GranularityDecision::RunOnPpe;
+        }
+
+        let profitable = p.timings().offload_profitable(code_resident);
+        if profitable {
+            p.throttled = false;
+            GranularityDecision::Offload
+        } else {
+            p.throttled = true;
+            // Periodic re-probe so a workload change can be noticed.
+            if p.requests.is_multiple_of(retry) {
+                GranularityDecision::Offload
+            } else {
+                GranularityDecision::RunOnPpe
+            }
+        }
+    }
+
+    /// Whether `kind` is currently throttled to the PPE.
+    pub fn is_throttled(&self, kind: KernelKind) -> bool {
+        self.profiles.get(&kind).is_some_and(|p| p.throttled)
+    }
+
+    /// Current averaged timings for `kind` (None before any record).
+    pub fn timings(&self, kind: KernelKind) -> Option<FunctionTimings> {
+        self.profiles.get(&kind).map(Profile::timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_condition_matches_paper_formula() {
+        // t_spe + t_code + 2 t_comm < t_ppe
+        let t = FunctionTimings { t_spe_ns: 96_000, t_code_ns: 0, t_comm_ns: 1_000, t_ppe_ns: 120_000 };
+        assert!(t.offload_profitable(true));
+        let t2 = FunctionTimings { t_spe_ns: 96_000, t_code_ns: 0, t_comm_ns: 13_000, t_ppe_ns: 120_000 };
+        assert!(!t2.offload_profitable(true)); // 96 + 26 >= 120
+    }
+
+    #[test]
+    fn code_cost_only_counts_when_not_resident() {
+        let t = FunctionTimings {
+            t_spe_ns: 100_000,
+            t_code_ns: 50_000,
+            t_comm_ns: 1_000,
+            t_ppe_ns: 110_000,
+        };
+        assert!(!t.offload_profitable(false)); // 100+50+2 >= 110
+        assert!(t.offload_profitable(true)); // 100+0+2 < 110
+    }
+
+    #[test]
+    fn first_request_is_optimistically_offloaded() {
+        let mut c = GranularityController::new(64);
+        assert_eq!(c.decide(KernelKind::Evaluate, false), GranularityDecision::Offload);
+    }
+
+    #[test]
+    fn second_request_probes_the_ppe_fallback() {
+        let mut c = GranularityController::new(64);
+        assert_eq!(c.decide(KernelKind::Evaluate, false), GranularityDecision::Offload);
+        c.record_spe(KernelKind::Evaluate, 5_000);
+        // One PPE probe so t_ppe becomes known...
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::RunOnPpe);
+        c.record_ppe(KernelKind::Evaluate, 50_000);
+        // ... after which the (profitable) kernel off-loads again.
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::Offload);
+    }
+
+    #[test]
+    fn unprofitable_function_gets_throttled_after_measurement() {
+        let mut c = GranularityController::new(1000);
+        c.set_costs(KernelKind::Evaluate, 0, 5_000);
+        // SPE is slower than PPE for this one.
+        c.record_spe(KernelKind::Evaluate, 50_000);
+        c.record_ppe(KernelKind::Evaluate, 20_000);
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::RunOnPpe);
+        assert!(c.is_throttled(KernelKind::Evaluate));
+    }
+
+    #[test]
+    fn profitable_function_keeps_offloading() {
+        let mut c = GranularityController::new(1000);
+        c.set_costs(KernelKind::NewView, 0, 1_000);
+        c.record_spe(KernelKind::NewView, 96_000);
+        c.record_ppe(KernelKind::NewView, 300_000);
+        for _ in 0..10 {
+            assert_eq!(c.decide(KernelKind::NewView, true), GranularityDecision::Offload);
+        }
+        assert!(!c.is_throttled(KernelKind::NewView));
+    }
+
+    #[test]
+    fn throttled_function_is_reprobed_periodically() {
+        let mut c = GranularityController::new(4);
+        c.set_costs(KernelKind::Evaluate, 0, 10_000);
+        c.record_spe(KernelKind::Evaluate, 50_000);
+        c.record_ppe(KernelKind::Evaluate, 20_000);
+        let mut offloads = 0;
+        for _ in 0..8 {
+            if c.decide(KernelKind::Evaluate, true) == GranularityDecision::Offload {
+                offloads += 1;
+            }
+        }
+        assert_eq!(offloads, 2, "one probe per retry period");
+    }
+
+    #[test]
+    fn mean_timings_accumulate() {
+        let mut c = GranularityController::new(8);
+        c.record_spe(KernelKind::MakeNewz, 10_000);
+        c.record_spe(KernelKind::MakeNewz, 30_000);
+        let t = c.timings(KernelKind::MakeNewz).expect("profile exists");
+        assert_eq!(t.t_spe_ns, 20_000);
+        assert_eq!(t.t_ppe_ns, u64::MAX, "no PPE samples yet");
+    }
+
+    #[test]
+    #[should_panic(expected = "retry period")]
+    fn zero_retry_period_rejected() {
+        let _ = GranularityController::new(0);
+    }
+}

@@ -1,0 +1,300 @@
+//! PPE multiplexing policies (§5.2).
+//!
+//! The PPE has two SMT hardware contexts. With more worker processes than
+//! contexts, *who runs while tasks are off-loaded* decides SPE utilization:
+//!
+//! * **EDTLP** (the paper's user-level scheduler): the moment a process
+//!   off-loads, the PPE voluntarily context-switches to another runnable
+//!   process (cost: 1.5 µs), so off-loads from many processes interleave and
+//!   all eight SPEs receive work. Off-loaded tasks (~96 µs) are an order of
+//!   magnitude shorter than an OS quantum, so only a voluntary switch can
+//!   exploit them.
+//! * **Linux-like** (the baseline): processes spin-wait for their off-loaded
+//!   task; the OS switches only when the 10 ms quantum expires. At most
+//!   `#contexts` processes make progress per quantum, leaving most SPEs
+//!   idle — the effect Table 1 quantifies.
+//!
+//! [`PpeScheduler`] is a pure run-queue machine: the engine reports
+//! blocking/unblocking and quantum expiry; the policy answers "who runs
+//! next" and "does an off-load yield the context".
+
+use std::collections::VecDeque;
+
+use super::types::ProcId;
+
+/// Which multiplexing discipline the PPE uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpePolicyKind {
+    /// Event-driven task-level parallelism: voluntary switch on off-load.
+    Edtlp,
+    /// OS-like round-robin with a fixed quantum; no switch on off-load
+    /// (processes spin while their task runs).
+    LinuxLike {
+        /// Scheduling quantum in nanoseconds (Linux 2.6: a multiple of
+        /// 10 ms; we use 10 ms).
+        quantum_ns: u64,
+    },
+}
+
+impl PpePolicyKind {
+    /// The Linux 2.6 baseline used in the paper.
+    pub fn linux_default() -> PpePolicyKind {
+        PpePolicyKind::LinuxLike { quantum_ns: 10_000_000 }
+    }
+
+    /// Does an off-load request trigger a voluntary context switch?
+    pub fn switches_on_offload(self) -> bool {
+        matches!(self, PpePolicyKind::Edtlp)
+    }
+
+    /// Does the process hold the PPE context (spinning) while its task runs
+    /// on an SPE?
+    pub fn spins_during_offload(self) -> bool {
+        !self.switches_on_offload()
+    }
+}
+
+/// A pure round-robin run queue over worker processes for one PPE.
+///
+/// The engine owns the clock and the contexts; this type only decides
+/// ordering. All operations are O(n) worst case over the (small) process
+/// count, and deterministic.
+#[derive(Debug)]
+pub struct PpeScheduler {
+    kind: PpePolicyKind,
+    contexts: usize,
+    running: Vec<Option<ProcId>>,
+    ready: VecDeque<ProcId>,
+    /// Voluntary context switch cost, ns (the paper measures 1.5 µs).
+    switch_cost_ns: u64,
+    switches: u64,
+}
+
+impl PpeScheduler {
+    /// A scheduler for a PPE with `contexts` SMT hardware threads.
+    pub fn new(kind: PpePolicyKind, contexts: usize, switch_cost_ns: u64) -> PpeScheduler {
+        assert!(contexts > 0, "a PPE has at least one context");
+        PpeScheduler {
+            kind,
+            contexts,
+            running: vec![None; contexts],
+            ready: VecDeque::new(),
+            switch_cost_ns,
+            switches: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn kind(&self) -> PpePolicyKind {
+        self.kind
+    }
+
+    /// Number of hardware contexts this PPE multiplexes.
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Voluntary context-switch cost in nanoseconds.
+    pub fn switch_cost_ns(&self) -> u64 {
+        self.switch_cost_ns
+    }
+
+    /// Total context switches performed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Processes currently on a hardware context.
+    pub fn running(&self) -> Vec<ProcId> {
+        self.running.iter().flatten().copied().collect()
+    }
+
+    /// Number of processes waiting for a context.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// True if `proc` currently holds a context.
+    pub fn is_running(&self, proc: ProcId) -> bool {
+        self.running.contains(&Some(proc))
+    }
+
+    /// Admit a new (or newly unblocked) process. If a context is free it is
+    /// dispatched immediately and returned; otherwise it queues.
+    pub fn admit(&mut self, proc: ProcId) -> Option<ProcId> {
+        debug_assert!(!self.is_running(proc), "{proc} admitted twice");
+        if let Some(slot) = self.running.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(proc);
+            Some(proc)
+        } else {
+            self.ready.push_back(proc);
+            None
+        }
+    }
+
+    /// `proc` off-loaded a task. Under EDTLP the context is yielded and the
+    /// next ready process (if any) is dispatched — the returned process
+    /// starts running after [`Self::switch_cost_ns`]. Under Linux-like
+    /// policies the process keeps spinning and `None` is returned.
+    pub fn on_offload(&mut self, proc: ProcId) -> Option<ProcId> {
+        if !self.kind.switches_on_offload() {
+            return None;
+        }
+        self.yield_context(proc)
+    }
+
+    /// `proc` blocked (e.g. waiting with no work). The context is freed and
+    /// the next ready process, if any, is returned for dispatch.
+    pub fn on_block(&mut self, proc: ProcId) -> Option<ProcId> {
+        self.yield_context(proc)
+    }
+
+    /// A quantum expired for `proc` (Linux-like only): it is rotated to the
+    /// back of the queue and the next process is returned.
+    pub fn on_quantum_expiry(&mut self, proc: ProcId) -> Option<ProcId> {
+        debug_assert!(
+            matches!(self.kind, PpePolicyKind::LinuxLike { .. }),
+            "quantum expiry only exists under Linux-like scheduling"
+        );
+        let next = self.yield_context(proc);
+        self.ready.push_back(proc);
+        // If nothing else was ready, the same process resumes immediately.
+        if next.is_none() {
+            return self.dispatch_next();
+        }
+        next
+    }
+
+    /// Remove `proc` from the scheduler entirely (it exited).
+    pub fn remove(&mut self, proc: ProcId) -> Option<ProcId> {
+        if self.is_running(proc) {
+            self.yield_context(proc)
+        } else {
+            self.ready.retain(|&p| p != proc);
+            None
+        }
+    }
+
+    fn yield_context(&mut self, proc: ProcId) -> Option<ProcId> {
+        let slot = self
+            .running
+            .iter_mut()
+            .find(|s| **s == Some(proc))
+            .unwrap_or_else(|| panic!("{proc} yielded a context it does not hold"));
+        *slot = None;
+        self.dispatch_next()
+    }
+
+    fn dispatch_next(&mut self) -> Option<ProcId> {
+        let next = self.ready.pop_front()?;
+        let slot = self.running.iter_mut().find(|s| s.is_none()).expect("a context was just freed");
+        *slot = Some(next);
+        self.switches += 1;
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edtlp(contexts: usize) -> PpeScheduler {
+        PpeScheduler::new(PpePolicyKind::Edtlp, contexts, 1_500)
+    }
+
+    #[test]
+    fn policy_kind_predicates() {
+        assert!(PpePolicyKind::Edtlp.switches_on_offload());
+        assert!(!PpePolicyKind::Edtlp.spins_during_offload());
+        let linux = PpePolicyKind::linux_default();
+        assert!(!linux.switches_on_offload());
+        assert!(linux.spins_during_offload());
+        assert_eq!(linux, PpePolicyKind::LinuxLike { quantum_ns: 10_000_000 });
+    }
+
+    #[test]
+    fn admit_fills_contexts_then_queues() {
+        let mut s = edtlp(2);
+        assert_eq!(s.admit(ProcId(0)), Some(ProcId(0)));
+        assert_eq!(s.admit(ProcId(1)), Some(ProcId(1)));
+        assert_eq!(s.admit(ProcId(2)), None);
+        assert_eq!(s.running(), vec![ProcId(0), ProcId(1)]);
+        assert_eq!(s.ready_len(), 1);
+    }
+
+    #[test]
+    fn edtlp_offload_rotates_to_next_ready() {
+        let mut s = edtlp(2);
+        for i in 0..4 {
+            s.admit(ProcId(i));
+        }
+        // P0 off-loads: context passes to P2.
+        assert_eq!(s.on_offload(ProcId(0)), Some(ProcId(2)));
+        assert!(!s.is_running(ProcId(0)));
+        assert!(s.is_running(ProcId(2)));
+        assert_eq!(s.switches(), 1);
+        // P0's task completes; it is readmitted and queues behind P3.
+        assert_eq!(s.admit(ProcId(0)), None);
+        assert_eq!(s.on_offload(ProcId(1)), Some(ProcId(3)));
+        assert_eq!(s.on_offload(ProcId(2)), Some(ProcId(0)));
+    }
+
+    #[test]
+    fn linux_like_never_switches_on_offload() {
+        let mut s = PpeScheduler::new(PpePolicyKind::linux_default(), 2, 1_500);
+        for i in 0..4 {
+            s.admit(ProcId(i));
+        }
+        assert_eq!(s.on_offload(ProcId(0)), None);
+        assert!(s.is_running(ProcId(0)), "process keeps spinning on its context");
+        assert_eq!(s.switches(), 0);
+    }
+
+    #[test]
+    fn quantum_expiry_round_robins() {
+        let mut s = PpeScheduler::new(PpePolicyKind::linux_default(), 1, 1_500);
+        s.admit(ProcId(0));
+        s.admit(ProcId(1));
+        s.admit(ProcId(2));
+        assert_eq!(s.on_quantum_expiry(ProcId(0)), Some(ProcId(1)));
+        assert_eq!(s.on_quantum_expiry(ProcId(1)), Some(ProcId(2)));
+        assert_eq!(s.on_quantum_expiry(ProcId(2)), Some(ProcId(0)));
+    }
+
+    #[test]
+    fn quantum_expiry_with_empty_queue_resumes_same_process() {
+        let mut s = PpeScheduler::new(PpePolicyKind::linux_default(), 2, 1_500);
+        s.admit(ProcId(0));
+        assert_eq!(s.on_quantum_expiry(ProcId(0)), Some(ProcId(0)));
+        assert!(s.is_running(ProcId(0)));
+    }
+
+    #[test]
+    fn block_frees_context_for_ready_process() {
+        let mut s = edtlp(1);
+        s.admit(ProcId(0));
+        s.admit(ProcId(1));
+        assert_eq!(s.on_block(ProcId(0)), Some(ProcId(1)));
+        assert!(!s.is_running(ProcId(0)));
+    }
+
+    #[test]
+    fn remove_running_process_dispatches_next() {
+        let mut s = edtlp(1);
+        s.admit(ProcId(0));
+        s.admit(ProcId(1));
+        assert_eq!(s.remove(ProcId(0)), Some(ProcId(1)));
+        // Removing a queued process is silent.
+        s.admit(ProcId(2));
+        assert_eq!(s.remove(ProcId(2)), None);
+        assert_eq!(s.ready_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn yielding_unheld_context_panics() {
+        let mut s = edtlp(1);
+        s.admit(ProcId(0));
+        let _ = s.on_block(ProcId(7));
+    }
+}

@@ -1,0 +1,571 @@
+//! Multiple sequence alignments: storage, site-pattern compression,
+//! PHYLIP-style text I/O, and a synthetic-data generator that evolves
+//! sequences down a random tree (our stand-in for the paper's `42_SC`
+//! input file: 42 organisms × 1167 nucleotides).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dna::{StateMask, STATES};
+use crate::model::SubstModel;
+
+/// A multiple sequence alignment over DNA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    taxa: Vec<String>,
+    /// `seqs[taxon][site]`, as state masks.
+    seqs: Vec<Vec<StateMask>>,
+}
+
+/// Errors from alignment construction or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignmentError {
+    /// Sequences of unequal length.
+    RaggedRows {
+        /// Name of the offending taxon.
+        taxon: String,
+        /// Its sequence length.
+        len: usize,
+        /// The expected length.
+        expected: usize,
+    },
+    /// A character outside the IUPAC DNA alphabet.
+    BadCharacter {
+        /// Name of the offending taxon.
+        taxon: String,
+        /// 0-based site index.
+        site: usize,
+        /// The character found.
+        ch: char,
+    },
+    /// Fewer than two taxa, or zero sites.
+    TooSmall,
+    /// PHYLIP header malformed or inconsistent with the body.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for AlignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignmentError::RaggedRows { taxon, len, expected } => {
+                write!(f, "taxon {taxon}: sequence length {len}, expected {expected}")
+            }
+            AlignmentError::BadCharacter { taxon, site, ch } => {
+                write!(f, "taxon {taxon}, site {site}: invalid character {ch:?}")
+            }
+            AlignmentError::TooSmall => f.write_str("alignment needs >= 2 taxa and >= 1 site"),
+            AlignmentError::BadHeader(msg) => write!(f, "bad PHYLIP header: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignmentError {}
+
+impl Alignment {
+    /// Build an alignment from taxon names and IUPAC strings.
+    ///
+    /// # Errors
+    /// Rejects ragged rows, invalid characters, and degenerate sizes.
+    pub fn from_strings(rows: &[(&str, &str)]) -> Result<Alignment, AlignmentError> {
+        if rows.len() < 2 {
+            return Err(AlignmentError::TooSmall);
+        }
+        let expected = rows[0].1.chars().count();
+        if expected == 0 {
+            return Err(AlignmentError::TooSmall);
+        }
+        let mut taxa = Vec::with_capacity(rows.len());
+        let mut seqs = Vec::with_capacity(rows.len());
+        for (name, seq) in rows {
+            let mut masks = Vec::with_capacity(expected);
+            for (site, ch) in seq.chars().enumerate() {
+                let m = StateMask::from_char(ch).ok_or_else(|| AlignmentError::BadCharacter {
+                    taxon: (*name).to_string(),
+                    site,
+                    ch,
+                })?;
+                masks.push(m);
+            }
+            if masks.len() != expected {
+                return Err(AlignmentError::RaggedRows {
+                    taxon: (*name).to_string(),
+                    len: masks.len(),
+                    expected,
+                });
+            }
+            taxa.push((*name).to_string());
+            seqs.push(masks);
+        }
+        Ok(Alignment { taxa, seqs })
+    }
+
+    /// Number of taxa (sequences).
+    pub fn n_taxa(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Number of alignment columns.
+    pub fn n_sites(&self) -> usize {
+        self.seqs[0].len()
+    }
+
+    /// Taxon names, in row order.
+    pub fn taxa(&self) -> &[String] {
+        &self.taxa
+    }
+
+    /// The state mask of `taxon` at `site`.
+    pub fn mask(&self, taxon: usize, site: usize) -> StateMask {
+        self.seqs[taxon][site]
+    }
+
+    /// Serialize to (relaxed) sequential PHYLIP.
+    pub fn to_phylip(&self) -> String {
+        let mut out = format!("{} {}\n", self.n_taxa(), self.n_sites());
+        for (name, seq) in self.taxa.iter().zip(&self.seqs) {
+            out.push_str(name);
+            out.push(' ');
+            out.extend(seq.iter().map(|m| m.to_char()));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse relaxed sequential PHYLIP (header line `ntaxa nsites`, then one
+    /// `name sequence` line per taxon).
+    ///
+    /// # Errors
+    /// Rejects malformed headers, invalid characters, and size mismatches.
+    pub fn from_phylip(text: &str) -> Result<Alignment, AlignmentError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| AlignmentError::BadHeader("empty input".into()))?;
+        let mut parts = header.split_whitespace();
+        let n_taxa: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| AlignmentError::BadHeader("missing taxon count".into()))?;
+        let n_sites: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| AlignmentError::BadHeader("missing site count".into()))?;
+        let mut rows: Vec<(String, String)> = Vec::with_capacity(n_taxa);
+        for line in lines {
+            let mut p = line.split_whitespace();
+            let name = p
+                .next()
+                .ok_or_else(|| AlignmentError::BadHeader("row without name".into()))?
+                .to_string();
+            let seq: String = p.collect();
+            rows.push((name, seq));
+        }
+        if rows.len() != n_taxa {
+            return Err(AlignmentError::BadHeader(format!(
+                "header claims {n_taxa} taxa, found {}",
+                rows.len()
+            )));
+        }
+        let borrowed: Vec<(&str, &str)> =
+            rows.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        let aln = Alignment::from_strings(&borrowed)?;
+        if aln.n_sites() != n_sites {
+            return Err(AlignmentError::BadHeader(format!(
+                "header claims {n_sites} sites, found {}",
+                aln.n_sites()
+            )));
+        }
+        Ok(aln)
+    }
+
+    /// Parse FASTA (`>name` header lines, sequence possibly wrapped over
+    /// multiple lines). Order of appearance defines taxon indices.
+    ///
+    /// # Errors
+    /// Rejects empty input, sequences before the first header, duplicate
+    /// names, invalid characters, and ragged lengths.
+    pub fn from_fasta(text: &str) -> Result<Alignment, AlignmentError> {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('>') {
+                let name = name.split_whitespace().next().unwrap_or("").to_string();
+                if name.is_empty() {
+                    return Err(AlignmentError::BadHeader("empty FASTA header".into()));
+                }
+                if rows.iter().any(|(n, _)| *n == name) {
+                    return Err(AlignmentError::BadHeader(format!("duplicate taxon {name}")));
+                }
+                rows.push((name, String::new()));
+            } else {
+                match rows.last_mut() {
+                    Some((_, seq)) => seq.push_str(line),
+                    None => {
+                        return Err(AlignmentError::BadHeader(
+                            "sequence data before the first '>' header".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        if rows.is_empty() {
+            return Err(AlignmentError::BadHeader("no FASTA records".into()));
+        }
+        let borrowed: Vec<(&str, &str)> =
+            rows.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        Alignment::from_strings(&borrowed)
+    }
+
+    /// Serialize to FASTA, wrapping sequences at 70 columns.
+    pub fn to_fasta(&self) -> String {
+        let mut out = String::new();
+        for (name, seq) in self.taxa.iter().zip(&self.seqs) {
+            out.push('>');
+            out.push_str(name);
+            out.push('\n');
+            for chunk in seq.chunks(70) {
+                out.extend(chunk.iter().map(|m| m.to_char()));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Generate a synthetic alignment by evolving sequences down a random
+    /// coalescent-ish tree under `model`. Deterministic in `seed`.
+    ///
+    /// `mean_branch` controls divergence (expected substitutions per site
+    /// per branch); 0.05–0.2 gives RAxML-realistic signal.
+    pub fn synthetic<M: SubstModel>(
+        n_taxa: usize,
+        n_sites: usize,
+        model: &M,
+        mean_branch: f64,
+        seed: u64,
+    ) -> Alignment {
+        assert!(n_taxa >= 2 && n_sites >= 1, "degenerate alignment size");
+        assert!(mean_branch > 0.0 && mean_branch.is_finite());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Evolve down an implicit random binary tree built by splitting:
+        // maintain a frontier of (sequence, depth) and split until we have
+        // n_taxa leaves.
+        let freqs = model.base_freqs();
+        let root: Vec<usize> = (0..n_sites).map(|_| sample_state(&freqs, &mut rng)).collect();
+        let mut frontier: Vec<Vec<usize>> = vec![root];
+        while frontier.len() < n_taxa {
+            // Split the first (oldest) lineage into two children.
+            let parent = frontier.remove(0);
+            for _ in 0..2 {
+                let t = sample_branch(mean_branch, &mut rng);
+                let p = model.prob_matrix(t);
+                let child: Vec<usize> =
+                    parent.iter().map(|&s| sample_transition(&p[s], &mut rng)).collect();
+                frontier.push(child);
+            }
+        }
+        let taxa: Vec<String> = (0..n_taxa).map(|i| format!("taxon{i:03}")).collect();
+        let seqs: Vec<Vec<StateMask>> = frontier
+            .into_iter()
+            .take(n_taxa)
+            .map(|states| states.into_iter().map(StateMask::from_state).collect())
+            .collect();
+        Alignment { taxa, seqs }
+    }
+
+    /// The paper's `42_SC` workload shape: 42 organisms, 1167 nucleotides.
+    pub fn synthetic_42_sc<M: SubstModel>(model: &M, seed: u64) -> Alignment {
+        Alignment::synthetic(42, 1167, model, 0.08, seed)
+    }
+}
+
+fn sample_state(freqs: &[f64; STATES], rng: &mut SmallRng) -> usize {
+    sample_transition(freqs, rng)
+}
+
+fn sample_transition(probs: &[f64; STATES], rng: &mut SmallRng) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (s, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return s;
+        }
+    }
+    STATES - 1
+}
+
+fn sample_branch(mean: f64, rng: &mut SmallRng) -> f64 {
+    // Exponential branch lengths, floored to keep P(t) well conditioned.
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    (-u.ln() * mean).max(1e-6)
+}
+
+/// A site-pattern-compressed view of an alignment.
+///
+/// Identical columns are merged; each pattern carries an integer weight.
+/// The likelihood kernels iterate over patterns, which is both what RAxML
+/// does and what makes bootstrap re-weighting (§3.1) a pure weight change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternAlignment {
+    /// `patterns[taxon][pattern]` state masks.
+    patterns: Vec<Vec<StateMask>>,
+    /// Multiplicity of each pattern in the original alignment.
+    weights: Vec<u32>,
+    /// Original column → pattern index (needed for bootstrapping).
+    column_pattern: Vec<usize>,
+    n_taxa: usize,
+}
+
+impl PatternAlignment {
+    /// Compress `aln` into site patterns.
+    pub fn compress(aln: &Alignment) -> PatternAlignment {
+        let n_taxa = aln.n_taxa();
+        let n_sites = aln.n_sites();
+        let mut index: std::collections::HashMap<Vec<u8>, usize> = std::collections::HashMap::new();
+        let mut patterns: Vec<Vec<StateMask>> = vec![Vec::new(); n_taxa];
+        let mut weights: Vec<u32> = Vec::new();
+        let mut column_pattern = Vec::with_capacity(n_sites);
+        for site in 0..n_sites {
+            let col: Vec<u8> = (0..n_taxa).map(|t| aln.mask(t, site).0).collect();
+            let next = weights.len();
+            let pat = *index.entry(col).or_insert(next);
+            if pat == weights.len() {
+                for (t, pcol) in patterns.iter_mut().enumerate() {
+                    pcol.push(aln.mask(t, site));
+                }
+                weights.push(0);
+            }
+            weights[pat] += 1;
+            column_pattern.push(pat);
+        }
+        PatternAlignment { patterns, weights, column_pattern, n_taxa }
+    }
+
+    /// Number of taxa.
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Number of distinct site patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of original alignment columns.
+    pub fn n_sites(&self) -> usize {
+        self.column_pattern.len()
+    }
+
+    /// Pattern weights (multiplicities). Sum equals [`Self::n_sites`] for a
+    /// freshly compressed alignment, and for every bootstrap replicate.
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// The mask of `taxon` at `pattern`.
+    pub fn mask(&self, taxon: usize, pattern: usize) -> StateMask {
+        self.patterns[taxon][pattern]
+    }
+
+    /// Original column → pattern mapping.
+    pub fn column_pattern(&self) -> &[usize] {
+        &self.column_pattern
+    }
+
+    /// A replicate with the same patterns but different weights (used by
+    /// the bootstrapper).
+    pub fn with_weights(&self, weights: Vec<u32>) -> PatternAlignment {
+        assert_eq!(weights.len(), self.weights.len(), "weight vector length mismatch");
+        PatternAlignment {
+            patterns: self.patterns.clone(),
+            weights,
+            column_pattern: self.column_pattern.clone(),
+            n_taxa: self.n_taxa,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Jc69;
+
+    fn toy() -> Alignment {
+        Alignment::from_strings(&[
+            ("ta", "ACGTAC"),
+            ("tb", "ACGTAC"),
+            ("tc", "ACGTTT"),
+            ("td", "AAGTTT"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = toy();
+        assert_eq!(a.n_taxa(), 4);
+        assert_eq!(a.n_sites(), 6);
+        assert_eq!(a.taxa()[2], "tc");
+        assert_eq!(a.mask(3, 1), StateMask::from_char('A').unwrap());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Alignment::from_strings(&[("a", "ACGT"), ("b", "ACG")]).unwrap_err();
+        assert!(matches!(err, AlignmentError::RaggedRows { .. }));
+    }
+
+    #[test]
+    fn bad_character_rejected_with_location() {
+        let err = Alignment::from_strings(&[("a", "ACGT"), ("b", "ACZT")]).unwrap_err();
+        assert_eq!(
+            err,
+            AlignmentError::BadCharacter { taxon: "b".into(), site: 2, ch: 'Z' }
+        );
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert_eq!(
+            Alignment::from_strings(&[("a", "ACGT")]).unwrap_err(),
+            AlignmentError::TooSmall
+        );
+    }
+
+    #[test]
+    fn phylip_round_trip() {
+        let a = toy();
+        let text = a.to_phylip();
+        let b = Alignment::from_phylip(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phylip_header_validation() {
+        assert!(matches!(
+            Alignment::from_phylip("banana\n").unwrap_err(),
+            AlignmentError::BadHeader(_)
+        ));
+        assert!(matches!(
+            Alignment::from_phylip("3 4\na ACGT\nb ACGT\n").unwrap_err(),
+            AlignmentError::BadHeader(_)
+        ));
+        assert!(matches!(
+            Alignment::from_phylip("2 5\na ACGT\nb ACGT\n").unwrap_err(),
+            AlignmentError::BadHeader(_)
+        ));
+    }
+
+    #[test]
+    fn fasta_round_trip_with_wrapping() {
+        let a = Alignment::synthetic(5, 173, &crate::model::Jc69, 0.1, 3);
+        let text = a.to_fasta();
+        assert!(text.starts_with('>'));
+        let b = Alignment::from_fasta(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fasta_accepts_multiline_and_descriptions() {
+        let a = Alignment::from_fasta(">a some description\nACG\nT\n>b\nACGT\n").unwrap();
+        assert_eq!(a.n_taxa(), 2);
+        assert_eq!(a.n_sites(), 4);
+        assert_eq!(a.taxa()[0], "a");
+    }
+
+    #[test]
+    fn fasta_error_cases() {
+        assert!(matches!(Alignment::from_fasta(""), Err(AlignmentError::BadHeader(_))));
+        assert!(matches!(
+            Alignment::from_fasta("ACGT\n>a\nACGT\n"),
+            Err(AlignmentError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Alignment::from_fasta(">a\nACGT\n>a\nACGT\n"),
+            Err(AlignmentError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Alignment::from_fasta(">a\nACGT\n>b\nACG\n"),
+            Err(AlignmentError::RaggedRows { .. })
+        ));
+        assert!(matches!(
+            Alignment::from_fasta(">\nACGT\n>b\nACGT\n"),
+            Err(AlignmentError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_in_seed() {
+        let a = Alignment::synthetic(8, 200, &Jc69, 0.1, 7);
+        let b = Alignment::synthetic(8, 200, &Jc69, 0.1, 7);
+        let c = Alignment::synthetic(8, 200, &Jc69, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.n_taxa(), 8);
+        assert_eq!(a.n_sites(), 200);
+    }
+
+    #[test]
+    fn synthetic_42_sc_matches_paper_shape() {
+        let a = Alignment::synthetic_42_sc(&Jc69, 42);
+        assert_eq!(a.n_taxa(), 42);
+        assert_eq!(a.n_sites(), 1167);
+    }
+
+    #[test]
+    fn synthetic_sequences_are_related_not_identical() {
+        let a = Alignment::synthetic(6, 500, &Jc69, 0.08, 3);
+        // Any two sequences should agree on much more than the 25% random
+        // baseline but less than 100%.
+        for i in 0..a.n_taxa() {
+            for j in (i + 1)..a.n_taxa() {
+                let same = (0..a.n_sites()).filter(|&s| a.mask(i, s) == a.mask(j, s)).count();
+                let frac = same as f64 / a.n_sites() as f64;
+                assert!(frac > 0.5, "taxa {i},{j} only {frac} identical — no signal");
+                assert!(frac < 1.0, "taxa {i},{j} identical — no divergence");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_compression_preserves_counts() {
+        let a = toy();
+        let p = PatternAlignment::compress(&a);
+        assert_eq!(p.n_taxa(), 4);
+        assert_eq!(p.n_sites(), 6);
+        assert!(p.n_patterns() <= 6);
+        let total: u32 = p.weights().iter().sum();
+        assert_eq!(total as usize, a.n_sites());
+        // Every column maps to a pattern with matching masks.
+        for (site, &pat) in p.column_pattern().iter().enumerate() {
+            for t in 0..4 {
+                assert_eq!(p.mask(t, pat), a.mask(t, site));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_columns_share_a_pattern() {
+        let a = Alignment::from_strings(&[("a", "AAAA"), ("b", "CCCC"), ("c", "GGGG")]).unwrap();
+        let p = PatternAlignment::compress(&a);
+        assert_eq!(p.n_patterns(), 1);
+        assert_eq!(p.weights(), &[4]);
+    }
+
+    #[test]
+    fn with_weights_replaces_weights_only() {
+        let p = PatternAlignment::compress(&toy());
+        let w = vec![1u32; p.n_patterns()];
+        let q = p.with_weights(w.clone());
+        assert_eq!(q.weights(), &w[..]);
+        assert_eq!(q.n_patterns(), p.n_patterns());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn with_weights_length_checked() {
+        let p = PatternAlignment::compress(&toy());
+        let _ = p.with_weights(vec![1u32; p.n_patterns() + 1]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Whole-analysis drivers: the task-level work units of the paper.
+//!
+//! A "publishable" phylogenetic analysis (§3.1) runs 20–200 distinct
+//! inferences on the original alignment plus 100–1,000 bootstrap analyses.
+//! Each is an independent task — the embarrassing task-level parallelism
+//! the EDTLP scheduler feeds to the SPEs. [`run_inference`] and
+//! [`run_bootstrap`] are exactly those tasks.
+
+use crate::alignment::PatternAlignment;
+use crate::bootstrap::bootstrap_replicate;
+use crate::model::SubstModel;
+use crate::search::{hill_climb, SearchConfig, SearchResult};
+
+/// One independent inference on the original alignment, from a randomized
+/// starting tree determined by `seed`.
+pub fn run_inference<M: SubstModel>(
+    model: &M,
+    data: &PatternAlignment,
+    cfg: &SearchConfig,
+    seed: u64,
+) -> SearchResult {
+    hill_climb(model, data, cfg, seed)
+}
+
+/// One non-parametric bootstrap: re-sample columns (seeded), then search.
+pub fn run_bootstrap<M: SubstModel>(
+    model: &M,
+    data: &PatternAlignment,
+    cfg: &SearchConfig,
+    seed: u64,
+) -> SearchResult {
+    let replicate = bootstrap_replicate(data, seed);
+    hill_climb(model, &replicate, cfg, seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// A complete small-scale analysis: `n_inferences` searches for the
+/// best-known tree plus `n_bootstraps` bootstraps, all sequential. The
+/// parallel runtimes distribute exactly these calls; this function is the
+/// single-processor reference.
+pub fn run_analysis<M: SubstModel>(
+    model: &M,
+    data: &PatternAlignment,
+    cfg: &SearchConfig,
+    n_inferences: usize,
+    n_bootstraps: usize,
+    seed: u64,
+) -> AnalysisResult {
+    let mut best: Option<SearchResult> = None;
+    for i in 0..n_inferences {
+        let r = run_inference(model, data, cfg, seed.wrapping_add(i as u64));
+        if best.as_ref().is_none_or(|b| r.lnl > b.lnl) {
+            best = Some(r);
+        }
+    }
+    let replicates: Vec<SearchResult> = (0..n_bootstraps)
+        .map(|i| run_bootstrap(model, data, cfg, seed.wrapping_add(1_000 + i as u64)))
+        .collect();
+    let best = best.expect("n_inferences must be >= 1");
+    let support = crate::bootstrap::support_values(
+        &best.tree,
+        &replicates.iter().map(|r| r.tree.clone()).collect::<Vec<_>>(),
+    );
+    AnalysisResult { best, replicates, support }
+}
+
+/// The outcome of [`run_analysis`].
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// The best-scoring inference.
+    pub best: SearchResult,
+    /// All bootstrap replicates.
+    pub replicates: Vec<SearchResult>,
+    /// Support of the best tree's bipartitions across the replicates.
+    pub support: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::{Alignment, PatternAlignment};
+    use crate::model::Jc69;
+
+    fn small() -> PatternAlignment {
+        PatternAlignment::compress(&Alignment::synthetic(6, 120, &Jc69, 0.1, 77))
+    }
+
+    fn quick_cfg() -> SearchConfig {
+        SearchConfig { max_rounds: 3, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1 }
+    }
+
+    #[test]
+    fn inference_and_bootstrap_are_deterministic() {
+        let d = small();
+        let cfg = quick_cfg();
+        let a = run_inference(&Jc69, &d, &cfg, 5);
+        let b = run_inference(&Jc69, &d, &cfg, 5);
+        assert_eq!(a.lnl, b.lnl);
+        let ba = run_bootstrap(&Jc69, &d, &cfg, 5);
+        let bb = run_bootstrap(&Jc69, &d, &cfg, 5);
+        assert_eq!(ba.lnl, bb.lnl);
+    }
+
+    #[test]
+    fn bootstrap_differs_from_plain_inference() {
+        let d = small();
+        let cfg = quick_cfg();
+        let inf = run_inference(&Jc69, &d, &cfg, 9);
+        let boot = run_bootstrap(&Jc69, &d, &cfg, 9);
+        assert_ne!(inf.lnl, boot.lnl, "resampled data must change the score");
+    }
+
+    #[test]
+    fn full_analysis_produces_support_values() {
+        let d = small();
+        let cfg = quick_cfg();
+        let res = run_analysis(&Jc69, &d, &cfg, 2, 4, 123);
+        assert_eq!(res.replicates.len(), 4);
+        assert_eq!(res.support.len(), d.n_taxa() - 3);
+        assert!(res.support.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        assert!(res.best.lnl >= res.replicates.iter().map(|r| r.lnl).fold(f64::NEG_INFINITY, f64::max) - 1e9);
+        res.best.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn best_of_multiple_inferences_is_max() {
+        let d = small();
+        let cfg = quick_cfg();
+        let res = run_analysis(&Jc69, &d, &cfg, 3, 0, 11);
+        for i in 0..3 {
+            let r = run_inference(&Jc69, &d, &cfg, 11 + i);
+            assert!(res.best.lnl >= r.lnl - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Newick tree I/O.
+//!
+//! [`crate::tree::Tree::to_newick`] renders; this module parses the result
+//! (and general Newick produced by other tools) back into a [`Tree`],
+//! matching tip labels against a caller-supplied taxon list. Rooted
+//! two-child inputs are unrooted by suppressing the degree-2 root, so
+//! `parse(render(t))` reproduces `t` exactly.
+
+use std::collections::HashMap;
+
+use crate::tree::Tree;
+
+/// Errors from Newick parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NewickError {
+    /// Unexpected character at byte offset.
+    Unexpected {
+        /// Byte offset into the input.
+        at: usize,
+        /// What was found.
+        found: char,
+        /// What the parser was expecting.
+        expected: &'static str,
+    },
+    /// Input ended prematurely.
+    UnexpectedEnd,
+    /// A tip label not present in the taxon list.
+    UnknownTaxon(String),
+    /// A taxon appearing more than once.
+    DuplicateTaxon(String),
+    /// Tree has fewer than 2 tips, or a taxon from the list is missing.
+    WrongTaxa {
+        /// Taxa expected (from the caller's list).
+        expected: usize,
+        /// Tips actually found.
+        found: usize,
+    },
+    /// A malformed branch length.
+    BadLength(String),
+    /// An inner node with a single child (other than a 2-child root).
+    UnaryNode,
+    /// An inner node with more than 3 children cannot be binary.
+    PolytomyUnsupported,
+}
+
+impl std::fmt::Display for NewickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NewickError::Unexpected { at, found, expected } => {
+                write!(f, "unexpected {found:?} at byte {at}, expected {expected}")
+            }
+            NewickError::UnexpectedEnd => f.write_str("unexpected end of input"),
+            NewickError::UnknownTaxon(t) => write!(f, "unknown taxon {t:?}"),
+            NewickError::DuplicateTaxon(t) => write!(f, "duplicate taxon {t:?}"),
+            NewickError::WrongTaxa { expected, found } => {
+                write!(f, "expected {expected} taxa, found {found}")
+            }
+            NewickError::BadLength(s) => write!(f, "bad branch length {s:?}"),
+            NewickError::UnaryNode => f.write_str("unary inner node"),
+            NewickError::PolytomyUnsupported => {
+                f.write_str("polytomies are not supported (binary trees only)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NewickError {}
+
+/// A parsed subtree: either a tip index or an inner node with children.
+enum Node {
+    Tip(usize),
+    Inner(Vec<(Node, f64)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    names: HashMap<&'a str, usize>,
+    seen: Vec<bool>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), NewickError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(f) if f == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(f) => Err(NewickError::Unexpected {
+                at: self.pos,
+                found: f,
+                expected: match c {
+                    '(' => "'('",
+                    ')' => "')'",
+                    ';' => "';'",
+                    _ => "punctuation",
+                },
+            }),
+            None => Err(NewickError::UnexpectedEnd),
+        }
+    }
+
+    fn parse_label(&mut self) -> Result<&'a str, NewickError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if !"(),:;".contains(c) && !c.is_whitespace()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(match self.peek() {
+                Some(f) => NewickError::Unexpected { at: self.pos, found: f, expected: "a label" },
+                None => NewickError::UnexpectedEnd,
+            });
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii labels"))
+    }
+
+    fn parse_length(&mut self) -> Result<f64, NewickError> {
+        self.skip_ws();
+        if self.peek() != Some(':') {
+            // Newick allows omitted lengths; default small.
+            return Ok(Tree::MIN_BRANCH);
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .ok()
+            .filter(|l| l.is_finite() && *l >= 0.0)
+            .ok_or_else(|| NewickError::BadLength(text.to_string()))
+    }
+
+    fn parse_subtree(&mut self) -> Result<Node, NewickError> {
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            let mut children = Vec::new();
+            loop {
+                let child = self.parse_subtree()?;
+                let len = self.parse_length()?;
+                children.push((child, len));
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(f) => {
+                        return Err(NewickError::Unexpected {
+                            at: self.pos,
+                            found: f,
+                            expected: "',' or ')'",
+                        })
+                    }
+                    None => return Err(NewickError::UnexpectedEnd),
+                }
+            }
+            if children.len() < 2 {
+                return Err(NewickError::UnaryNode);
+            }
+            Ok(Node::Inner(children))
+        } else {
+            let label = self.parse_label()?;
+            let &tip = self
+                .names
+                .get(label)
+                .ok_or_else(|| NewickError::UnknownTaxon(label.to_string()))?;
+            if self.seen[tip] {
+                return Err(NewickError::DuplicateTaxon(label.to_string()));
+            }
+            self.seen[tip] = true;
+            Ok(Node::Tip(tip))
+        }
+    }
+}
+
+/// Parse a Newick string into an unrooted binary [`Tree`], mapping tip
+/// labels to indices via `taxa` (the alignment's taxon order).
+///
+/// Accepts both rooted (2-child root) and unrooted (3-child root) inputs;
+/// a 2-child root is suppressed by fusing its two edges.
+///
+/// # Errors
+/// Any [`NewickError`] on malformed input, unknown/duplicate/missing taxa,
+/// or polytomies.
+pub fn parse_newick(text: &str, taxa: &[String]) -> Result<Tree, NewickError> {
+    let names: HashMap<&str, usize> =
+        taxa.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, names, seen: vec![false; taxa.len()] };
+    let root = p.parse_subtree()?;
+    // Tolerate a trailing root length, then require ';'.
+    let _ = p.parse_length()?;
+    p.expect(';')?;
+
+    let found = p.seen.iter().filter(|&&s| s).count();
+    if found != taxa.len() || taxa.len() < 2 {
+        return Err(NewickError::WrongTaxa { expected: taxa.len(), found });
+    }
+
+    // Normalize the root: unrooted trees need a 3-child root (or a single
+    // edge for 2 taxa).
+    let children = match root {
+        Node::Tip(_) => return Err(NewickError::WrongTaxa { expected: taxa.len(), found: 1 }),
+        Node::Inner(c) => c,
+    };
+    let mut builder = TreeBuilder::new(taxa.len());
+    match children.len() {
+        2 => {
+            if taxa.len() == 2 {
+                // Two tips: one edge with the summed length.
+                let (a, la) = &children[0];
+                let (b, lb) = &children[1];
+                match (a, b) {
+                    (Node::Tip(x), Node::Tip(y)) => {
+                        let t = builder.finish_two_taxon(*x, *y, la + lb);
+                        return {
+                            t.validate().expect("2-taxon tree valid");
+                            Ok(t)
+                        };
+                    }
+                    _ => return Err(NewickError::PolytomyUnsupported),
+                }
+            }
+            // Suppress the degree-2 root: its two children join directly.
+            let mut iter = children.into_iter();
+            let (left, ll) = iter.next().expect("two children");
+            let (right, rl) = iter.next().expect("two children");
+            let l_node = builder.build(left)?;
+            let r_node = builder.build(right)?;
+            builder.connect(l_node, r_node, ll + rl);
+        }
+        3 => {
+            let center = builder.new_internal();
+            for (child, len) in children {
+                let c = builder.build(child)?;
+                builder.connect(center, c, len);
+            }
+        }
+        _ => return Err(NewickError::PolytomyUnsupported),
+    }
+    let t = builder.finish();
+    t.validate().map_err(|_| NewickError::PolytomyUnsupported)?;
+    Ok(t)
+}
+
+/// Incremental unrooted-tree builder used by the parser.
+struct TreeBuilder {
+    n_taxa: usize,
+    next_internal: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl TreeBuilder {
+    fn new(n_taxa: usize) -> TreeBuilder {
+        TreeBuilder { n_taxa, next_internal: n_taxa, edges: Vec::new() }
+    }
+
+    fn new_internal(&mut self) -> usize {
+        let id = self.next_internal;
+        self.next_internal += 1;
+        id
+    }
+
+    fn build(&mut self, node: Node) -> Result<usize, NewickError> {
+        match node {
+            Node::Tip(i) => Ok(i),
+            Node::Inner(children) => {
+                if children.len() != 2 {
+                    return Err(NewickError::PolytomyUnsupported);
+                }
+                let id = self.new_internal();
+                for (child, len) in children {
+                    let c = self.build(child)?;
+                    self.connect(id, c, len);
+                }
+                Ok(id)
+            }
+        }
+    }
+
+    fn connect(&mut self, a: usize, b: usize, len: f64) {
+        self.edges.push((a, b, len.max(Tree::MIN_BRANCH)));
+    }
+
+    fn finish(self) -> Tree {
+        Tree::from_edges(self.n_taxa, self.next_internal, &self.edges)
+    }
+
+    fn finish_two_taxon(&mut self, a: usize, b: usize, len: f64) -> Tree {
+        Tree::from_edges(self.n_taxa, self.n_taxa, &[(a, b, len.max(Tree::MIN_BRANCH))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::EdgeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn round_trip_random_trees() {
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 4 + (seed as usize % 10);
+            let tree = Tree::random(n, 0.17, &mut rng);
+            let taxa = names(n);
+            let text = tree.to_newick(&taxa);
+            let back = parse_newick(&text, &taxa)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e} in {text}"));
+            assert_eq!(back.bipartitions(), tree.bipartitions(), "seed {seed}: {text}");
+            assert!(
+                (back.total_length() - tree.total_length()).abs() < 1e-4,
+                "lengths drifted: {} vs {}",
+                back.total_length(),
+                tree.total_length()
+            );
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_unrooted() {
+        let taxa = names(4);
+        let t = parse_newick("(t0:0.1,t1:0.2,(t2:0.3,t3:0.4):0.5);", &taxa).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.n_taxa(), 4);
+        // (t2,t3) form a clade.
+        let bip = t.bipartitions();
+        assert_eq!(bip.len(), 1);
+    }
+
+    #[test]
+    fn parses_rooted_input_by_unrooting() {
+        let taxa = names(4);
+        let rooted = parse_newick("((t0:0.1,t1:0.2):0.05,(t2:0.3,t3:0.4):0.05);", &taxa).unwrap();
+        rooted.validate().unwrap();
+        assert_eq!(rooted.n_edges(), 5);
+        let unrooted = parse_newick("(t0:0.1,t1:0.2,(t2:0.3,t3:0.4):0.1);", &taxa).unwrap();
+        assert_eq!(rooted.bipartitions(), unrooted.bipartitions());
+    }
+
+    #[test]
+    fn two_taxon_tree_round_trips() {
+        let taxa = names(2);
+        let t = parse_newick("(t0:0.25,t1:0.25);", &taxa).unwrap();
+        assert_eq!(t.n_edges(), 1);
+        assert!((t.length(EdgeId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_lengths_default() {
+        let taxa = names(3);
+        let t = parse_newick("(t0,t1,t2);", &taxa).unwrap();
+        t.validate().unwrap();
+        for e in t.edge_ids() {
+            assert_eq!(t.length(e), Tree::MIN_BRANCH);
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let taxa = names(3);
+        let t = parse_newick(" ( t0 : 0.1 , t1 : 0.2 , t2 : 0.3 ) ; ", &taxa).unwrap();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn error_cases() {
+        let taxa = names(4);
+        assert!(matches!(
+            parse_newick("(t0:0.1,bogus:0.2,(t2:0.3,t3:0.4):0.5);", &taxa),
+            Err(NewickError::UnknownTaxon(_))
+        ));
+        assert!(matches!(
+            parse_newick("(t0:0.1,t0:0.2,(t2:0.3,t3:0.4):0.5);", &taxa),
+            Err(NewickError::DuplicateTaxon(_))
+        ));
+        assert!(matches!(
+            parse_newick("(t0:0.1,t1:0.2,(t2:0.3,t3:0.4):0.5)", &taxa),
+            Err(NewickError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_newick("(t0:0.1,t1:0.2,t2:0.3);", &taxa),
+            Err(NewickError::WrongTaxa { expected: 4, found: 3 })
+        ));
+        assert!(matches!(
+            parse_newick("(t0:0.1,t1:0.2,t2:0.3,t3:0.1,t0:0.1);", &taxa),
+            Err(NewickError::DuplicateTaxon(_)) | Err(NewickError::PolytomyUnsupported)
+        ));
+        assert!(matches!(
+            parse_newick("(t0:abc,t1:0.2,(t2:0.3,t3:0.4):0.5);", &taxa),
+            Err(NewickError::BadLength(_)) | Err(NewickError::Unexpected { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_feeds_the_likelihood_engine() {
+        use crate::alignment::{Alignment, PatternAlignment};
+        use crate::likelihood::LikelihoodEngine;
+        use crate::model::Jc69;
+        let aln = Alignment::synthetic(5, 60, &Jc69, 0.1, 4);
+        let data = PatternAlignment::compress(&aln);
+        let taxa = aln.taxa().to_vec();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tree = Tree::random(5, 0.1, &mut rng);
+        let parsed = parse_newick(&tree.to_newick(&taxa), &taxa).unwrap();
+        let engine = LikelihoodEngine::new(&Jc69, &data);
+        let a = engine.log_likelihood(&tree);
+        let b = engine.log_likelihood(&parsed);
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # `phylo` — maximum-likelihood phylogenetic inference
+//!
+//! A self-contained reimplementation of the computational core of
+//! RAxML-VI-HPC, the application the PPoPP 2007 multigrain-parallelization
+//! paper evaluates. It provides real (not mocked) versions of the three
+//! kernels the paper off-loads to SPEs — `newview`, `evaluate`, `makenewz`
+//! — plus everything around them: alignments with site-pattern compression,
+//! JC69/K80 substitution models, unrooted binary trees with NNI
+//! rearrangement, randomized hill-climbing search, and non-parametric
+//! bootstrapping.
+//!
+//! The crate is deliberately independent of the scheduling runtime; the
+//! workspace root provides `LoopBody` adapters that feed these kernels to
+//! the multigrain scheduler.
+//!
+//! ```
+//! use phylo::prelude::*;
+//!
+//! let aln = Alignment::synthetic(8, 200, &Jc69, 0.1, 42);
+//! let data = PatternAlignment::compress(&aln);
+//! let result = hill_climb(&Jc69, &data, &SearchConfig::default(), 7);
+//! assert!(result.lnl.is_finite() && result.lnl < 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod analysis;
+pub mod bootstrap;
+pub mod dna;
+pub mod io;
+pub mod likelihood;
+pub mod linalg;
+pub mod mixture;
+pub mod model;
+pub mod protein;
+pub mod search;
+pub mod special;
+pub mod spr;
+pub mod tree;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::alignment::{Alignment, AlignmentError, PatternAlignment};
+    pub use crate::analysis::{run_analysis, run_bootstrap, run_inference, AnalysisResult};
+    pub use crate::bootstrap::{bootstrap_replicate, bootstrap_weights, support_values};
+    pub use crate::dna::{StateMask, STATES};
+    pub use crate::io::{parse_newick, NewickError};
+    pub use crate::likelihood::{Clv, LikelihoodEngine};
+    pub use crate::mixture::{estimate_alpha, GammaEngine};
+pub use crate::model::{Gtr, Jc69, Matrix, ScaledModel, SubstModel, K80};
+    pub use crate::protein::{AaMask, PoissonAa, ProteinData, ProteinEngine, AA_STATES};
+pub use crate::special::discrete_gamma_rates;
+    pub use crate::search::{
+        hill_climb, hill_climb_with, spr_hill_climb, spr_hill_climb_with, ScoringEngine,
+        SearchConfig, SearchResult,
+    };
+    pub use crate::spr::SprMove;
+pub use crate::tree::{EdgeId, NniMove, Tree};
+}

@@ -1,0 +1,255 @@
+//! Small dense linear algebra for substitution models: a cyclic Jacobi
+//! eigensolver for symmetric 4×4 matrices.
+//!
+//! General time-reversible (GTR) models need `P(t) = exp(Qt)`, computed by
+//! spectral decomposition of the symmetrized rate matrix. Four states keep
+//! everything tiny, so a fixed-size Jacobi iteration (quadratically
+//! convergent, unconditionally stable for symmetric input) is the right
+//! tool — no external linear-algebra dependency required.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the math in dense kernels
+
+use crate::dna::STATES;
+use crate::model::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, ascending.
+    pub values: [f64; STATES],
+    /// Orthonormal eigenvectors as **columns**: `vectors[r][c]` is
+    /// component `r` of eigenvector `c`.
+    pub vectors: Matrix,
+}
+
+/// Eigendecompose a symmetric matrix by cyclic Jacobi rotations.
+///
+/// # Panics
+/// Panics if `a` is not symmetric to 1e-9 (callers symmetrize first; an
+/// asymmetric input indicates a modelling bug, not a numerical one).
+pub fn sym_eigen(a: Matrix) -> SymEigen {
+    for r in 0..STATES {
+        for c in (r + 1)..STATES {
+            assert!(
+                (a[r][c] - a[c][r]).abs() < 1e-9,
+                "matrix not symmetric at ({r},{c}): {} vs {}",
+                a[r][c],
+                a[c][r]
+            );
+        }
+    }
+    let mut a = a;
+    let mut v: Matrix = [[0.0; STATES]; STATES];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    const MAX_SWEEPS: usize = 64;
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..STATES)
+            .flat_map(|r| ((r + 1)..STATES).map(move |c| (r, c)))
+            .map(|(r, c)| a[r][c] * a[r][c])
+            .sum();
+        if off < 1e-30 {
+            break;
+        }
+        for p in 0..STATES {
+            for q in (p + 1)..STATES {
+                let apq = a[p][q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                // Classic Jacobi rotation angle.
+                let theta = (a[q][q] - a[p][p]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // A ← Jᵀ A J applied in place.
+                for k in 0..STATES {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..STATES {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                // V ← V J.
+                for k in 0..STATES {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending by eigenvalue.
+    let mut pairs: Vec<(f64, [f64; STATES])> = (0..STATES)
+        .map(|c| {
+            let mut col = [0.0; STATES];
+            for (r, cr) in col.iter_mut().enumerate() {
+                *cr = v[r][c];
+            }
+            (a[c][c], col)
+        })
+        .collect();
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let mut values = [0.0; STATES];
+    let mut vectors = [[0.0; STATES]; STATES];
+    for (c, (lambda, col)) in pairs.into_iter().enumerate() {
+        values[c] = lambda;
+        for (r, &cr) in col.iter().enumerate() {
+            vectors[r][c] = cr;
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+/// Multiply two 4×4 matrices.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = [[0.0; STATES]; STATES];
+    for r in 0..STATES {
+        for c in 0..STATES {
+            let mut s = 0.0;
+            for (k, bk) in b.iter().enumerate() {
+                s += a[r][k] * bk[c];
+            }
+            out[r][c] = s;
+        }
+    }
+    out
+}
+
+/// Transpose a 4×4 matrix.
+pub fn transpose(a: &Matrix) -> Matrix {
+    let mut out = [[0.0; STATES]; STATES];
+    for r in 0..STATES {
+        for c in 0..STATES {
+            out[c][r] = a[r][c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+        let mut m: f64 = 0.0;
+        for r in 0..STATES {
+            for c in 0..STATES {
+                m = m.max((a[r][c] - b[r][c]).abs());
+            }
+        }
+        m
+    }
+
+    fn reconstruct(e: &SymEigen) -> Matrix {
+        let mut d = [[0.0; STATES]; STATES];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = e.values[i];
+        }
+        matmul(&matmul(&e.vectors, &d), &transpose(&e.vectors))
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = [[0.0; 4]; 4];
+        a[0][0] = 3.0;
+        a[1][1] = -1.0;
+        a[2][2] = 0.5;
+        a[3][3] = 7.0;
+        let e = sym_eigen(a);
+        assert_eq!(e.values, [-1.0, 0.5, 3.0, 7.0]);
+        assert!(max_abs_diff(&reconstruct(&e), &a) < 1e-12);
+    }
+
+    #[test]
+    fn dense_symmetric_reconstructs() {
+        let a = [
+            [4.0, 1.0, 0.5, 0.2],
+            [1.0, 3.0, 0.7, 0.1],
+            [0.5, 0.7, 2.0, 0.3],
+            [0.2, 0.1, 0.3, 1.0],
+        ];
+        let e = sym_eigen(a);
+        assert!(max_abs_diff(&reconstruct(&e), &a) < 1e-10, "reconstruction failed");
+        // Eigenvalues ascending.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = [
+            [2.0, -1.0, 0.0, 0.0],
+            [-1.0, 2.0, -1.0, 0.0],
+            [0.0, -1.0, 2.0, -1.0],
+            [0.0, 0.0, -1.0, 2.0],
+        ];
+        let e = sym_eigen(a);
+        let vtv = matmul(&transpose(&e.vectors), &e.vectors);
+        for r in 0..4 {
+            for c in 0..4 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((vtv[r][c] - want).abs() < 1e-10, "VᵀV[{r}][{c}] = {}", vtv[r][c]);
+            }
+        }
+    }
+
+    #[test]
+    fn known_eigenvalues_of_tridiagonal_laplacian() {
+        // Eigenvalues of tridiag(-1, 2, -1) of size 4: 2 - 2cos(kπ/5).
+        let a = [
+            [2.0, -1.0, 0.0, 0.0],
+            [-1.0, 2.0, -1.0, 0.0],
+            [0.0, -1.0, 2.0, -1.0],
+            [0.0, 0.0, -1.0, 2.0],
+        ];
+        let e = sym_eigen(a);
+        let want: Vec<f64> = (1..=4)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / 5.0).cos())
+            .collect();
+        for (got, want) in e.values.iter().zip(want) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_input_rejected() {
+        let mut a = [[0.0; 4]; 4];
+        a[0][1] = 1.0;
+        a[1][0] = 2.0;
+        let _ = sym_eigen(a);
+    }
+
+    #[test]
+    fn matmul_and_transpose_basics() {
+        let i: Matrix = {
+            let mut m = [[0.0; 4]; 4];
+            for (k, row) in m.iter_mut().enumerate() {
+                row[k] = 1.0;
+            }
+            m
+        };
+        let a = [
+            [1.0, 2.0, 3.0, 4.0],
+            [5.0, 6.0, 7.0, 8.0],
+            [9.0, 10.0, 11.0, 12.0],
+            [13.0, 14.0, 15.0, 16.0],
+        ];
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+}

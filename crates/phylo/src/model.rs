@@ -1,0 +1,598 @@
+//! Nucleotide substitution models.
+//!
+//! A model supplies the transition-probability matrix `P(t)` over a branch
+//! of length `t` (expected substitutions per site), its first and second
+//! derivatives in `t` (needed by the Newton–Raphson branch-length optimizer
+//! `makenewz`), and the equilibrium base frequencies.
+//!
+//! Two classic closed-form models are provided: Jukes–Cantor (JC69) and
+//! Kimura two-parameter (K80). Both are normalized so that branch lengths
+//! measure expected substitutions per site.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the math in dense kernels
+
+use crate::dna::STATES;
+use crate::linalg::{sym_eigen, SymEigen};
+
+/// A 4×4 matrix over nucleotide states.
+pub type Matrix = [[f64; STATES]; STATES];
+
+/// A time-reversible nucleotide substitution model.
+pub trait SubstModel: Send + Sync {
+    /// Transition probabilities `P(t)[x][y] = Pr(y at end | x at start)`.
+    fn prob_matrix(&self, t: f64) -> Matrix;
+
+    /// Entry-wise `dP/dt`.
+    fn d1_matrix(&self, t: f64) -> Matrix;
+
+    /// Entry-wise `d²P/dt²`.
+    fn d2_matrix(&self, t: f64) -> Matrix;
+
+    /// Equilibrium base frequencies π.
+    fn base_freqs(&self) -> [f64; STATES];
+}
+
+impl<M: SubstModel + ?Sized> SubstModel for &M {
+    fn prob_matrix(&self, t: f64) -> Matrix {
+        (**self).prob_matrix(t)
+    }
+    fn d1_matrix(&self, t: f64) -> Matrix {
+        (**self).d1_matrix(t)
+    }
+    fn d2_matrix(&self, t: f64) -> Matrix {
+        (**self).d2_matrix(t)
+    }
+    fn base_freqs(&self) -> [f64; STATES] {
+        (**self).base_freqs()
+    }
+}
+
+/// A model with all branch lengths scaled by a fixed `rate` — the building
+/// block of discrete-Γ mixtures: category `k` evaluates the tree under
+/// `ScaledModel { inner, rate: r_k }`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledModel<M> {
+    /// The underlying substitution model.
+    pub inner: M,
+    /// The rate multiplier applied to every branch length.
+    pub rate: f64,
+}
+
+impl<M: SubstModel> SubstModel for ScaledModel<M> {
+    fn prob_matrix(&self, t: f64) -> Matrix {
+        self.inner.prob_matrix(self.rate * t)
+    }
+    fn d1_matrix(&self, t: f64) -> Matrix {
+        // Chain rule: d/dt P(r·t) = r · P'(r·t).
+        let mut m = self.inner.d1_matrix(self.rate * t);
+        for row in m.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= self.rate;
+            }
+        }
+        m
+    }
+    fn d2_matrix(&self, t: f64) -> Matrix {
+        let mut m = self.inner.d2_matrix(self.rate * t);
+        let r2 = self.rate * self.rate;
+        for row in m.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= r2;
+            }
+        }
+        m
+    }
+    fn base_freqs(&self) -> [f64; STATES] {
+        self.inner.base_freqs()
+    }
+}
+
+/// Jukes–Cantor 1969: all substitutions equally likely, uniform
+/// frequencies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jc69;
+
+impl SubstModel for Jc69 {
+    fn prob_matrix(&self, t: f64) -> Matrix {
+        let e = (-4.0 * t / 3.0).exp();
+        let same = 0.25 + 0.75 * e;
+        let diff = 0.25 - 0.25 * e;
+        fill(same, diff, diff)
+    }
+
+    fn d1_matrix(&self, t: f64) -> Matrix {
+        let e = (-4.0 * t / 3.0).exp();
+        // d/dt of e is -4/3 e.
+        let same = -e;
+        let diff = e / 3.0;
+        fill(same, diff, diff)
+    }
+
+    fn d2_matrix(&self, t: f64) -> Matrix {
+        let e = (-4.0 * t / 3.0).exp();
+        let same = 4.0 / 3.0 * e;
+        let diff = -4.0 / 9.0 * e;
+        fill(same, diff, diff)
+    }
+
+    fn base_freqs(&self) -> [f64; STATES] {
+        [0.25; STATES]
+    }
+}
+
+/// Kimura 1980: distinct transition (A↔G, C↔T) and transversion rates,
+/// parameterized by the transition/transversion rate ratio κ.
+#[derive(Debug, Clone, Copy)]
+pub struct K80 {
+    /// Transition/transversion rate ratio (κ = 1 reduces to JC69).
+    pub kappa: f64,
+}
+
+impl K80 {
+    /// A K80 model with ratio `kappa`.
+    ///
+    /// # Panics
+    /// Panics unless `kappa` is finite and positive.
+    pub fn new(kappa: f64) -> K80 {
+        assert!(kappa.is_finite() && kappa > 0.0, "kappa must be positive");
+        K80 { kappa }
+    }
+
+    /// Rates normalized so the expected substitution rate is 1:
+    /// per-state total rate α + 2β with α = κβ ⇒ β = 1/(κ+2).
+    fn rates(&self) -> (f64, f64) {
+        let beta = 1.0 / (self.kappa + 2.0);
+        (self.kappa * beta, beta)
+    }
+}
+
+impl SubstModel for K80 {
+    fn prob_matrix(&self, t: f64) -> Matrix {
+        let (alpha, beta) = self.rates();
+        let e2 = (-4.0 * beta * t).exp();
+        let e1 = (-2.0 * (alpha + beta) * t).exp();
+        let same = 0.25 + 0.25 * e2 + 0.5 * e1;
+        let transition = 0.25 + 0.25 * e2 - 0.5 * e1;
+        let transversion = 0.25 - 0.25 * e2;
+        fill(same, transition, transversion)
+    }
+
+    fn d1_matrix(&self, t: f64) -> Matrix {
+        let (alpha, beta) = self.rates();
+        let e2 = (-4.0 * beta * t).exp();
+        let e1 = (-2.0 * (alpha + beta) * t).exp();
+        let de2 = -4.0 * beta * e2;
+        let de1 = -2.0 * (alpha + beta) * e1;
+        let same = 0.25 * de2 + 0.5 * de1;
+        let transition = 0.25 * de2 - 0.5 * de1;
+        let transversion = -0.25 * de2;
+        fill(same, transition, transversion)
+    }
+
+    fn d2_matrix(&self, t: f64) -> Matrix {
+        let (alpha, beta) = self.rates();
+        let e2 = (-4.0 * beta * t).exp();
+        let e1 = (-2.0 * (alpha + beta) * t).exp();
+        let d2e2 = 16.0 * beta * beta * e2;
+        let d2e1 = 4.0 * (alpha + beta) * (alpha + beta) * e1;
+        let same = 0.25 * d2e2 + 0.5 * d2e1;
+        let transition = 0.25 * d2e2 - 0.5 * d2e1;
+        let transversion = -0.25 * d2e2;
+        fill(same, transition, transversion)
+    }
+
+    fn base_freqs(&self) -> [f64; STATES] {
+        [0.25; STATES]
+    }
+}
+
+/// The general time-reversible model (GTR): six exchangeability rates and
+/// arbitrary equilibrium frequencies — the model RAxML actually runs.
+///
+/// `P(t) = exp(Qt)` is computed by spectral decomposition of the
+/// similarity-transformed (symmetric) rate matrix, so `prob_matrix` and
+/// its derivatives are closed-form in the precomputed eigensystem.
+#[derive(Debug, Clone)]
+pub struct Gtr {
+    rates: [f64; 6],
+    freqs: [f64; STATES],
+    /// Eigenvalues of the normalized rate matrix.
+    eigenvalues: [f64; STATES],
+    /// `D^{-1/2} · U`: left spectral factor.
+    left: Matrix,
+    /// `Uᵀ · D^{1/2}`: right spectral factor.
+    right: Matrix,
+}
+
+impl Gtr {
+    /// A GTR model from exchangeabilities `rates` (order: AC, AG, AT, CG,
+    /// CT, GT) and equilibrium frequencies `freqs` (A, C, G, T).
+    ///
+    /// The rate matrix is normalized so branch lengths measure expected
+    /// substitutions per site.
+    ///
+    /// # Panics
+    /// Panics on non-positive rates, non-positive frequencies, or
+    /// frequencies that do not sum to 1 (within 1e-9).
+    pub fn new(rates: [f64; 6], freqs: [f64; STATES]) -> Gtr {
+        assert!(rates.iter().all(|&r| r.is_finite() && r > 0.0), "rates must be positive");
+        assert!(freqs.iter().all(|&f| f.is_finite() && f > 0.0), "frequencies must be positive");
+        let total: f64 = freqs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "frequencies must sum to 1, got {total}");
+
+        // Assemble Q: q[i][j] = s_ij * pi_j (i != j), diagonal = -rowsum.
+        let s = Self::exchangeability_matrix(rates);
+        let mut q = [[0.0; STATES]; STATES];
+        for i in 0..STATES {
+            let mut rowsum = 0.0;
+            for j in 0..STATES {
+                if i != j {
+                    q[i][j] = s[i][j] * freqs[j];
+                    rowsum += q[i][j];
+                }
+            }
+            q[i][i] = -rowsum;
+        }
+        // Normalize: mean rate 1 at equilibrium.
+        let mean_rate: f64 = (0..STATES).map(|i| -freqs[i] * q[i][i]).sum();
+        for row in q.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= mean_rate;
+            }
+        }
+
+        // Symmetrize: B = D^{1/2} Q D^{-1/2}, D = diag(pi).
+        let sq: Vec<f64> = freqs.iter().map(|f| f.sqrt()).collect();
+        let mut b = [[0.0; STATES]; STATES];
+        for i in 0..STATES {
+            for j in 0..STATES {
+                b[i][j] = q[i][j] * sq[i] / sq[j];
+            }
+        }
+        // Guard against round-off asymmetry before the strict eigensolver.
+        for i in 0..STATES {
+            for j in (i + 1)..STATES {
+                let m = 0.5 * (b[i][j] + b[j][i]);
+                b[i][j] = m;
+                b[j][i] = m;
+            }
+        }
+        let SymEigen { values, vectors } = sym_eigen(b);
+
+        let mut left = [[0.0; STATES]; STATES];
+        let mut right = [[0.0; STATES]; STATES];
+        for i in 0..STATES {
+            for k in 0..STATES {
+                left[i][k] = vectors[i][k] / sq[i];
+                right[k][i] = vectors[i][k] * sq[i];
+            }
+        }
+        Gtr { rates, freqs, eigenvalues: values, left, right }
+    }
+
+    /// The canonical test instance with unequal rates and frequencies.
+    pub fn example() -> Gtr {
+        Gtr::new([1.2, 3.9, 0.7, 1.1, 4.2, 1.0], [0.32, 0.18, 0.24, 0.26])
+    }
+
+    /// The exchangeability parameters (AC, AG, AT, CG, CT, GT).
+    pub fn rates(&self) -> [f64; 6] {
+        self.rates
+    }
+
+    fn exchangeability_matrix(r: [f64; 6]) -> Matrix {
+        let [ac, ag, at, cg, ct, gt] = r;
+        [
+            [0.0, ac, ag, at],
+            [ac, 0.0, cg, ct],
+            [ag, cg, 0.0, gt],
+            [at, ct, gt, 0.0],
+        ]
+    }
+
+    /// `Σ_k left[i][k] · f(λ_k) · right[k][j]` for `f = exp`, `λ·exp`, or
+    /// `λ²·exp` scaled by `t`.
+    fn spectral(&self, t: f64, order: u32) -> Matrix {
+        let mut out = [[0.0; STATES]; STATES];
+        let mut factors = [0.0; STATES];
+        for (k, f) in factors.iter_mut().enumerate() {
+            let lam = self.eigenvalues[k];
+            *f = lam.powi(order as i32) * (lam * t).exp();
+        }
+        for i in 0..STATES {
+            for j in 0..STATES {
+                let mut sum = 0.0;
+                for (k, &f) in factors.iter().enumerate() {
+                    sum += self.left[i][k] * f * self.right[k][j];
+                }
+                out[i][j] = sum;
+            }
+        }
+        out
+    }
+}
+
+impl SubstModel for Gtr {
+    fn prob_matrix(&self, t: f64) -> Matrix {
+        self.spectral(t, 0)
+    }
+
+    fn d1_matrix(&self, t: f64) -> Matrix {
+        self.spectral(t, 1)
+    }
+
+    fn d2_matrix(&self, t: f64) -> Matrix {
+        self.spectral(t, 2)
+    }
+
+    fn base_freqs(&self) -> [f64; STATES] {
+        self.freqs
+    }
+}
+
+/// Build a K80-shaped matrix from the three distinct entry classes.
+/// State order A, C, G, T; transitions are A↔G and C↔T.
+fn fill(same: f64, transition: f64, transversion: f64) -> Matrix {
+    let mut m = [[transversion; STATES]; STATES];
+    for (s, row) in m.iter_mut().enumerate() {
+        row[s] = same;
+    }
+    m[0][2] = transition; // A -> G
+    m[2][0] = transition;
+    m[1][3] = transition; // C -> T
+    m[3][1] = transition;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_sum_to_one(m: &Matrix) {
+        for row in m {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn jc69_limits() {
+        let p0 = Jc69.prob_matrix(0.0);
+        for x in 0..4 {
+            for y in 0..4 {
+                let want = if x == y { 1.0 } else { 0.0 };
+                assert!((p0[x][y] - want).abs() < 1e-12);
+            }
+        }
+        let pinf = Jc69.prob_matrix(1e6);
+        for row in &pinf {
+            for &v in row {
+                assert!((v - 0.25).abs() < 1e-9, "long branches equilibrate");
+            }
+        }
+        rows_sum_to_one(&Jc69.prob_matrix(0.37));
+    }
+
+    #[test]
+    fn jc69_derivatives_match_finite_differences() {
+        let t = 0.2;
+        let h = 1e-6;
+        let p_plus = Jc69.prob_matrix(t + h);
+        let p_minus = Jc69.prob_matrix(t - h);
+        let d1 = Jc69.d1_matrix(t);
+        let d2 = Jc69.d2_matrix(t);
+        let p = Jc69.prob_matrix(t);
+        for x in 0..4 {
+            for y in 0..4 {
+                let fd1 = (p_plus[x][y] - p_minus[x][y]) / (2.0 * h);
+                let fd2 = (p_plus[x][y] - 2.0 * p[x][y] + p_minus[x][y]) / (h * h);
+                assert!((d1[x][y] - fd1).abs() < 1e-6, "d1[{x}][{y}]");
+                assert!((d2[x][y] - fd2).abs() < 1e-3, "d2[{x}][{y}]");
+            }
+        }
+    }
+
+    #[test]
+    fn k80_reduces_to_jc69_at_kappa_one() {
+        let k = K80::new(1.0);
+        for &t in &[0.01, 0.1, 0.5, 2.0] {
+            let pk = k.prob_matrix(t);
+            let pj = Jc69.prob_matrix(t);
+            for x in 0..4 {
+                for y in 0..4 {
+                    assert!((pk[x][y] - pj[x][y]).abs() < 1e-12, "t={t} [{x}][{y}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k80_rows_sum_to_one_and_transitions_dominate() {
+        let k = K80::new(4.0);
+        let p = k.prob_matrix(0.3);
+        rows_sum_to_one(&p);
+        // With kappa > 1, a transition (A->G) must be more likely than a
+        // transversion (A->C).
+        assert!(p[0][2] > p[0][1]);
+        // Symmetry (time reversibility with uniform frequencies).
+        for x in 0..4 {
+            for y in 0..4 {
+                assert!((p[x][y] - p[y][x]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn k80_derivatives_match_finite_differences() {
+        let k = K80::new(2.5);
+        let t = 0.15;
+        let h = 1e-6;
+        let p_plus = k.prob_matrix(t + h);
+        let p_minus = k.prob_matrix(t - h);
+        let p = k.prob_matrix(t);
+        let d1 = k.d1_matrix(t);
+        let d2 = k.d2_matrix(t);
+        for x in 0..4 {
+            for y in 0..4 {
+                let fd1 = (p_plus[x][y] - p_minus[x][y]) / (2.0 * h);
+                let fd2 = (p_plus[x][y] - 2.0 * p[x][y] + p_minus[x][y]) / (h * h);
+                assert!((d1[x][y] - fd1).abs() < 1e-6);
+                assert!((d2[x][y] - fd2).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn k80_branch_length_is_expected_substitutions() {
+        // At small t, 1 - P(same) ≈ t (rate normalization check).
+        let k = K80::new(3.0);
+        let t = 1e-4;
+        let p = k.prob_matrix(t);
+        let p_change = 1.0 - p[0][0];
+        assert!((p_change / t - 1.0).abs() < 1e-3, "got rate {}", p_change / t);
+        // Same for JC69.
+        let pj = Jc69.prob_matrix(t);
+        assert!(((1.0 - pj[0][0]) / t - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn k80_rejects_nonpositive_kappa() {
+        let _ = K80::new(0.0);
+    }
+
+    #[test]
+    fn gtr_with_uniform_parameters_reduces_to_jc69() {
+        let g = Gtr::new([1.0; 6], [0.25; 4]);
+        for &t in &[0.01, 0.1, 0.5, 2.0] {
+            let pg = g.prob_matrix(t);
+            let pj = Jc69.prob_matrix(t);
+            for x in 0..4 {
+                for y in 0..4 {
+                    assert!((pg[x][y] - pj[x][y]).abs() < 1e-10, "t={t} [{x}][{y}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_rows_sum_to_one_and_start_at_identity() {
+        let g = Gtr::example();
+        rows_sum_to_one(&g.prob_matrix(0.3));
+        let p0 = g.prob_matrix(0.0);
+        for x in 0..4 {
+            for y in 0..4 {
+                let want = if x == y { 1.0 } else { 0.0 };
+                assert!((p0[x][y] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_converges_to_its_stationary_distribution() {
+        let g = Gtr::example();
+        let p = g.prob_matrix(200.0);
+        for row in &p {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - g.base_freqs()[j]).abs() < 1e-9, "P(inf)[.][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_satisfies_detailed_balance() {
+        let g = Gtr::example();
+        let p = g.prob_matrix(0.4);
+        let pi = g.base_freqs();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (pi[i] * p[i][j] - pi[j] * p[j][i]).abs() < 1e-12,
+                    "reversibility violated at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_branch_length_is_expected_substitutions() {
+        let g = Gtr::example();
+        let t = 1e-5;
+        let p = g.prob_matrix(t);
+        let pi = g.base_freqs();
+        let change: f64 = (0..4).map(|i| pi[i] * (1.0 - p[i][i])).sum();
+        assert!((change / t - 1.0).abs() < 1e-3, "normalized rate {}", change / t);
+    }
+
+    #[test]
+    fn gtr_derivatives_match_finite_differences() {
+        let g = Gtr::example();
+        let t = 0.25;
+        let h = 1e-6;
+        let p_plus = g.prob_matrix(t + h);
+        let p_minus = g.prob_matrix(t - h);
+        let p = g.prob_matrix(t);
+        let d1 = g.d1_matrix(t);
+        let d2 = g.d2_matrix(t);
+        for x in 0..4 {
+            for y in 0..4 {
+                let fd1 = (p_plus[x][y] - p_minus[x][y]) / (2.0 * h);
+                let fd2 = (p_plus[x][y] - 2.0 * p[x][y] + p_minus[x][y]) / (h * h);
+                assert!((d1[x][y] - fd1).abs() < 1e-6, "d1[{x}][{y}]: {} vs {}", d1[x][y], fd1);
+                assert!((d2[x][y] - fd2).abs() < 1e-3, "d2[{x}][{y}]");
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_probabilities_stay_in_unit_interval() {
+        let g = Gtr::example();
+        for &t in &[1e-6, 0.01, 0.1, 1.0, 10.0, 100.0] {
+            for row in &g.prob_matrix(t) {
+                for &v in row {
+                    assert!((-1e-12..=1.0 + 1e-12).contains(&v), "t={t}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn gtr_rejects_bad_frequencies() {
+        let _ = Gtr::new([1.0; 6], [0.3, 0.3, 0.3, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gtr_rejects_zero_rate() {
+        let _ = Gtr::new([0.0, 1.0, 1.0, 1.0, 1.0, 1.0], [0.25; 4]);
+    }
+
+    #[test]
+    fn scaled_model_composes_with_the_chain_rule() {
+        let m = ScaledModel { inner: Jc69, rate: 2.5 };
+        let t = 0.1;
+        // P matches the inner model at the scaled time.
+        let p = m.prob_matrix(t);
+        let want = Jc69.prob_matrix(2.5 * t);
+        for x in 0..4 {
+            for y in 0..4 {
+                assert!((p[x][y] - want[x][y]).abs() < 1e-15);
+            }
+        }
+        // Derivatives match finite differences of the scaled model itself.
+        let h = 1e-7;
+        let d1 = m.d1_matrix(t);
+        let pp = m.prob_matrix(t + h);
+        let pm = m.prob_matrix(t - h);
+        for x in 0..4 {
+            for y in 0..4 {
+                let fd = (pp[x][y] - pm[x][y]) / (2.0 * h);
+                assert!((d1[x][y] - fd).abs() < 1e-6, "[{x}][{y}]");
+            }
+        }
+        // Rate 1 is the identity wrapper.
+        let id = ScaledModel { inner: Jc69, rate: 1.0 };
+        assert_eq!(id.prob_matrix(0.3), Jc69.prob_matrix(0.3));
+    }
+}

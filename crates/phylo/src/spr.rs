@@ -1,0 +1,286 @@
+//! Subtree pruning and regrafting (SPR) — the rearrangement move behind
+//! RAxML's rapid hill climbing. NNI (in [`crate::tree`]) only swaps
+//! subtrees across one edge; SPR detaches a whole subtree and reattaches
+//! it anywhere within a rearrangement radius, escaping local optima NNI
+//! cannot.
+//!
+//! The move is expressed on the [`Tree`] arena without reallocating nodes
+//! or edges: pruning reuses the junction node and its spare edge for the
+//! regraft, so edge ids stay stable and moves are cheaply undoable.
+
+use crate::tree::{EdgeId, Tree};
+
+/// A record of an applied SPR move, sufficient to undo it exactly
+/// (topology *and* branch lengths).
+#[derive(Debug, Clone, Copy)]
+pub struct SprMove {
+    /// The junction node that was moved.
+    junction: usize,
+    /// Edge from the junction into the pruned subtree (unchanged).
+    _subtree_edge: EdgeId,
+    /// The edge that was merged at the prune site (now re-split on undo).
+    merged_edge: EdgeId,
+    /// The spare edge that re-subdivided the target (returns on undo).
+    spare_edge: EdgeId,
+    /// Original neighbors at the prune site and their edge lengths.
+    a: usize,
+    b: usize,
+    len_ea: f64,
+    len_eb: f64,
+    /// The target edge that was split, and its original far endpoint/length.
+    target: EdgeId,
+    y: usize,
+    len_target: f64,
+}
+
+impl Tree {
+    /// All (junction, subtree-edge, target-edge) SPR candidates for the
+    /// subtree hanging off `prune` on the side of `subtree_root`, with the
+    /// regraft target at most `radius` edges from the prune site.
+    ///
+    /// The prune point must be an internal node; targets inside the pruned
+    /// subtree, the prune-adjacent edges, and the subtree edge itself are
+    /// excluded (regrafting there is a no-op or ill-formed).
+    pub fn spr_targets(&self, prune: EdgeId, subtree_root: usize, radius: usize) -> Vec<EdgeId> {
+        let (pa, pb) = self.endpoints(prune);
+        let junction = if subtree_root == pa { pb } else { pa };
+        assert!(
+            subtree_root == pa || subtree_root == pb,
+            "subtree root must be an endpoint of the prune edge"
+        );
+        if self.is_tip(junction) {
+            return Vec::new(); // nothing to detach from
+        }
+        // Nodes inside the pruned subtree (beyond the junction).
+        let mut in_subtree = vec![false; self.n_nodes()];
+        in_subtree[subtree_root] = true;
+        let mut stack = vec![subtree_root];
+        while let Some(n) = stack.pop() {
+            for &(nb, e) in self.neighbors(n) {
+                if e != prune && !in_subtree[nb] {
+                    in_subtree[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        // BFS outward from the junction through the remaining tree,
+        // collecting edges up to the radius.
+        let adjacent: Vec<EdgeId> =
+            self.neighbors(junction).iter().map(|&(_, e)| e).collect();
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.n_nodes()];
+        seen[junction] = true;
+        let mut frontier = vec![junction];
+        for _hop in 0..radius {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for &(nb, e) in self.neighbors(n) {
+                    if in_subtree[nb] || seen[nb] || e == prune {
+                        continue;
+                    }
+                    seen[nb] = true;
+                    if !adjacent.contains(&e) {
+                        out.push(e);
+                    }
+                    next.push(nb);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Apply an SPR: prune the subtree on the `subtree_root` side of
+    /// `prune` and regraft it into `target`.
+    ///
+    /// # Panics
+    /// Panics if the junction is not internal, `target` is adjacent to the
+    /// junction, or `target` lies inside the pruned subtree (use
+    /// [`Tree::spr_targets`] to enumerate legal targets).
+    pub fn spr(&mut self, prune: EdgeId, subtree_root: usize, target: EdgeId) -> SprMove {
+        let (pa, pb) = self.endpoints(prune);
+        let junction = if subtree_root == pa { pb } else { pa };
+        assert!(!self.is_tip(junction), "SPR junction must be internal");
+        let neighbors: Vec<(usize, EdgeId)> = self
+            .neighbors(junction)
+            .iter()
+            .copied()
+            .filter(|&(_, e)| e != prune)
+            .collect();
+        assert_eq!(neighbors.len(), 2, "degree-3 junction expected");
+        let (a, ea) = neighbors[0];
+        let (b, eb) = neighbors[1];
+        assert!(target != ea && target != eb && target != prune, "illegal SPR target");
+
+        let len_ea = self.length(ea);
+        let len_eb = self.length(eb);
+        let (tx, ty) = self.endpoints(target);
+        assert!(tx != junction && ty != junction, "target adjacent to junction");
+        let len_target = self.length(target);
+
+        // 1. Detach: merge a—junction—b into a single edge. `ea` becomes
+        //    (a, b) with the combined length; `eb` is freed as the spare.
+        self.reattach_endpoint(ea, junction, b);
+        self.set_length(ea, len_ea + len_eb);
+        self.detach_edge(eb, b);
+        // `eb` now dangles from the junction only.
+
+        // 2. Regraft: split `target` (x—y) into x—junction (reusing
+        //    `target`) and junction—y (reusing `eb`), halving the length.
+        self.reattach_endpoint(target, ty, junction);
+        self.set_length(target, (len_target / 2.0).max(Tree::MIN_BRANCH));
+        self.attach_edge(eb, ty);
+        self.set_length(eb, (len_target / 2.0).max(Tree::MIN_BRANCH));
+
+        debug_assert!(self.validate().is_ok(), "SPR produced an invalid tree");
+        SprMove {
+            junction,
+            _subtree_edge: prune,
+            merged_edge: ea,
+            spare_edge: eb,
+            a,
+            b,
+            len_ea,
+            len_eb,
+            target,
+            y: ty,
+            len_target,
+        }
+    }
+
+    /// Undo `mv`, restoring topology and branch lengths exactly.
+    pub fn undo_spr(&mut self, mv: SprMove) {
+        // Reverse of regraft: free the spare edge and heal the target.
+        self.detach_edge(mv.spare_edge, mv.y);
+        self.reattach_endpoint(mv.target, mv.junction, mv.y);
+        self.set_length(mv.target, mv.len_target);
+        // Reverse of detach: re-split a—b around the junction.
+        self.reattach_endpoint(mv.merged_edge, mv.b, mv.junction);
+        self.set_length(mv.merged_edge, mv.len_ea);
+        let _ = mv.a;
+        self.attach_edge(mv.spare_edge, mv.b);
+        self.set_length(mv.spare_edge, mv.len_eb);
+        debug_assert!(self.validate().is_ok(), "SPR undo produced an invalid tree");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    /// A (prune edge, subtree root) pair with at least one legal target.
+    fn pick_prune(tree: &Tree, radius: usize) -> (EdgeId, usize, Vec<EdgeId>) {
+        for e in tree.edge_ids() {
+            let (a, b) = tree.endpoints(e);
+            for root in [a, b] {
+                let targets = tree.spr_targets(e, root, radius);
+                if !targets.is_empty() {
+                    return (e, root, targets);
+                }
+            }
+        }
+        panic!("no SPR candidates in tree");
+    }
+
+    #[test]
+    fn spr_produces_valid_trees_and_undo_restores() {
+        for seed in 0..10 {
+            let mut tree = Tree::random(12, 0.1, &mut rng(seed));
+            let before_bips = tree.bipartitions();
+            let before_len = tree.total_length();
+            let (prune, root, targets) = pick_prune(&tree, 3);
+            for &target in &targets {
+                let mv = tree.spr(prune, root, target);
+                tree.validate().unwrap();
+                tree.undo_spr(mv);
+                tree.validate().unwrap();
+                assert_eq!(tree.bipartitions(), before_bips, "seed {seed}");
+                assert!((tree.total_length() - before_len).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spr_changes_the_topology() {
+        let mut tree = Tree::random(10, 0.1, &mut rng(3));
+        let before = tree.bipartitions();
+        let (prune, root, targets) = pick_prune(&tree, 4);
+        let mv = tree.spr(prune, root, targets[targets.len() - 1]);
+        assert_ne!(tree.bipartitions(), before, "SPR must rearrange");
+        tree.undo_spr(mv);
+        assert_eq!(tree.bipartitions(), before);
+    }
+
+    #[test]
+    fn radius_limits_candidates() {
+        let tree = Tree::random(20, 0.1, &mut rng(5));
+        let e = tree.internal_edges()[0];
+        let (a, _) = tree.endpoints(e);
+        let near = tree.spr_targets(e, a, 1);
+        let far = tree.spr_targets(e, a, 6);
+        assert!(near.len() <= far.len());
+        for t in &near {
+            assert!(far.contains(t), "radius sets must nest");
+        }
+    }
+
+    #[test]
+    fn targets_exclude_pruned_subtree_and_adjacent_edges() {
+        let tree = Tree::random(12, 0.1, &mut rng(7));
+        let e = tree.internal_edges()[0];
+        let (root, junction) = tree.endpoints(e);
+        let targets = tree.spr_targets(e, root, 10);
+        // Collect subtree nodes.
+        let mut in_subtree = vec![false; tree.n_nodes()];
+        in_subtree[root] = true;
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            for &(nb, ne) in tree.neighbors(n) {
+                if ne != e && !in_subtree[nb] {
+                    in_subtree[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        for &t in &targets {
+            let (x, y) = tree.endpoints(t);
+            assert!(!in_subtree[x] && !in_subtree[y], "target {t:?} inside pruned subtree");
+            assert!(x != junction && y != junction, "target {t:?} adjacent to junction");
+        }
+    }
+
+    #[test]
+    fn pruning_at_a_tip_yields_no_candidates() {
+        let tree = Tree::random(8, 0.1, &mut rng(9));
+        // Pendant edge, pruning the *internal* side: junction is the tip.
+        let pendant = tree
+            .edge_ids()
+            .find(|&e| {
+                let (a, b) = tree.endpoints(e);
+                tree.is_tip(a) || tree.is_tip(b)
+            })
+            .unwrap();
+        let (a, b) = tree.endpoints(pendant);
+        let internal = if tree.is_tip(a) { b } else { a };
+        assert!(tree.spr_targets(pendant, internal, 5).is_empty());
+    }
+
+    #[test]
+    fn chained_sprs_round_trip_in_reverse_order() {
+        let mut tree = Tree::random(14, 0.1, &mut rng(11));
+        let before = tree.bipartitions();
+        let (p1, r1, t1) = pick_prune(&tree, 3);
+        let mv1 = tree.spr(p1, r1, t1[0]);
+        let (p2, r2, t2) = pick_prune(&tree, 3);
+        let mv2 = tree.spr(p2, r2, t2[0]);
+        tree.undo_spr(mv2);
+        tree.undo_spr(mv1);
+        assert_eq!(tree.bipartitions(), before);
+    }
+}

@@ -1,0 +1,587 @@
+//! Unrooted binary phylogenetic trees.
+//!
+//! Nodes `0..n_taxa` are tips (in alignment row order); nodes
+//! `n_taxa..2·n_taxa-2` are internal, each of degree 3. Branch lengths live
+//! on edges. Trees support random stepwise-addition construction (RAxML
+//! starts every independent search from a distinct randomized tree) and
+//! nearest-neighbor-interchange (NNI) rearrangement for hill climbing.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Identifies an edge within a [`Tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone, PartialEq)]
+struct Edge {
+    a: usize,
+    b: usize,
+    length: f64,
+}
+
+/// An unrooted binary tree with branch lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    n_taxa: usize,
+    /// Per node: (neighbor node, connecting edge).
+    adj: Vec<Vec<(usize, EdgeId)>>,
+    edges: Vec<Edge>,
+}
+
+/// A record of an applied NNI move, sufficient to undo it.
+#[derive(Debug, Clone, Copy)]
+pub struct NniMove {
+    /// The internal edge the interchange happened across.
+    pub edge: EdgeId,
+    /// The subtree edge that moved from the `u` side to the `v` side.
+    pub moved_from_u: EdgeId,
+    /// The subtree edge that moved from the `v` side to the `u` side.
+    pub moved_from_v: EdgeId,
+}
+
+impl Tree {
+    /// Minimum sensible branch length (used as optimizer lower bound too).
+    pub const MIN_BRANCH: f64 = 1e-6;
+
+    /// Build a tree over `n_taxa` tips by random stepwise addition, all
+    /// branch lengths set to `default_len`.
+    ///
+    /// # Panics
+    /// Panics if `n_taxa < 2` or `default_len` is not positive/finite.
+    pub fn random(n_taxa: usize, default_len: f64, rng: &mut SmallRng) -> Tree {
+        assert!(n_taxa >= 2, "a tree needs at least two taxa");
+        assert!(default_len.is_finite() && default_len > 0.0, "bad default length");
+        let n_nodes = if n_taxa == 2 { 2 } else { 2 * n_taxa - 2 };
+        let mut t = Tree { n_taxa, adj: vec![Vec::new(); n_nodes], edges: Vec::new() };
+        if n_taxa == 2 {
+            t.add_edge(0, 1, default_len);
+            return t;
+        }
+        // Start from the 3-taxon star: internal node joins tips 0,1,2.
+        let first_internal = n_taxa;
+        for tip in 0..3 {
+            t.add_edge(tip, first_internal, default_len);
+        }
+        for (next_internal, tip) in (first_internal + 1..).zip(3..n_taxa) {
+            // Attach `tip` to a uniformly random existing edge.
+            let eid = EdgeId(rng.gen_range(0..t.edges.len()));
+            t.attach_tip(tip, eid, next_internal, default_len);
+        }
+        debug_assert!(t.validate().is_ok());
+        t
+    }
+
+    /// Subdivide `eid` with new internal node `mid` and hang `tip` off it.
+    fn attach_tip(&mut self, tip: usize, eid: EdgeId, mid: usize, default_len: f64) {
+        let Edge { a, b, length } = self.edges[eid.0].clone();
+        // Re-point the existing edge at (a, mid), halving its length.
+        self.edges[eid.0] = Edge { a, b: mid, length: (length / 2.0).max(Self::MIN_BRANCH) };
+        Self::replace_adj(&mut self.adj[a], b, mid, eid);
+        self.adj[b].retain(|&(_, e)| e != eid);
+        self.adj[mid].push((a, eid));
+        // New edge (mid, b) with the other half.
+        let e2 = EdgeId(self.edges.len());
+        self.edges.push(Edge { a: mid, b, length: (length / 2.0).max(Self::MIN_BRANCH) });
+        self.adj[mid].push((b, e2));
+        self.adj[b].push((mid, e2));
+        // New pendant edge (mid, tip).
+        self.add_edge(mid, tip, default_len);
+    }
+
+    /// Build a caterpillar (fully pectinate) tree: tips hang in order off a
+    /// central path. The deepest tip is `n_taxa - 1` levels from the first
+    /// — the worst case for conditional-likelihood underflow, used to
+    /// exercise the rescaling machinery.
+    pub fn caterpillar(n_taxa: usize, branch_len: f64) -> Tree {
+        assert!(n_taxa >= 2, "a tree needs at least two taxa");
+        assert!(branch_len.is_finite() && branch_len > 0.0, "bad branch length");
+        let n_nodes = if n_taxa == 2 { 2 } else { 2 * n_taxa - 2 };
+        let mut t = Tree { n_taxa, adj: vec![Vec::new(); n_nodes], edges: Vec::new() };
+        if n_taxa == 2 {
+            t.add_edge(0, 1, branch_len);
+            return t;
+        }
+        // Internal spine: nodes n_taxa .. 2n_taxa-3.
+        let first = n_taxa;
+        let last = 2 * n_taxa - 3;
+        t.add_edge(0, first, branch_len);
+        t.add_edge(1, first, branch_len);
+        for (i, spine) in (first..last).enumerate() {
+            t.add_edge(spine, spine + 1, branch_len);
+            t.add_edge(2 + i, spine + 1, branch_len);
+        }
+        t.add_edge(n_taxa - 1, last, branch_len);
+        debug_assert!(t.validate().is_ok());
+        t
+    }
+
+    /// Assemble a tree from an explicit edge list (used by the Newick
+    /// parser). `n_nodes` covers tips and internal nodes; callers must
+    /// supply a structurally valid binary tree — [`Tree::validate`] is the
+    /// arbiter.
+    pub(crate) fn from_edges(n_taxa: usize, n_nodes: usize, edges: &[(usize, usize, f64)]) -> Tree {
+        let mut t = Tree { n_taxa, adj: vec![Vec::new(); n_nodes], edges: Vec::new() };
+        for &(a, b, len) in edges {
+            t.add_edge(a, b, len);
+        }
+        t
+    }
+
+    fn add_edge(&mut self, a: usize, b: usize, length: f64) {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { a, b, length });
+        self.adj[a].push((b, id));
+        self.adj[b].push((a, id));
+    }
+
+    fn replace_adj(adj: &mut [(usize, EdgeId)], old: usize, new: usize, edge: EdgeId) {
+        for entry in adj.iter_mut() {
+            if entry.1 == edge && entry.0 == old {
+                entry.0 = new;
+                return;
+            }
+        }
+        panic!("adjacency entry to replace not found");
+    }
+
+    /// Number of tips.
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Total nodes (tips + internal).
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (`2·n_taxa - 3` for binary unrooted trees).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `node` is a tip.
+    pub fn is_tip(&self, node: usize) -> bool {
+        node < self.n_taxa
+    }
+
+    /// The endpoints of `eid`.
+    pub fn endpoints(&self, eid: EdgeId) -> (usize, usize) {
+        let e = &self.edges[eid.0];
+        (e.a, e.b)
+    }
+
+    /// The branch length of `eid`.
+    pub fn length(&self, eid: EdgeId) -> f64 {
+        self.edges[eid.0].length
+    }
+
+    /// Set the branch length of `eid` (clamped to [`Self::MIN_BRANCH`]).
+    pub fn set_length(&mut self, eid: EdgeId, length: f64) {
+        assert!(length.is_finite(), "branch length must be finite");
+        self.edges[eid.0].length = length.max(Self::MIN_BRANCH);
+    }
+
+    /// Neighbors of `node` as (neighbor, connecting edge) pairs.
+    pub fn neighbors(&self, node: usize) -> &[(usize, EdgeId)] {
+        &self.adj[node]
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Edges whose both endpoints are internal nodes (the NNI candidates).
+    pub fn internal_edges(&self) -> Vec<EdgeId> {
+        self.edge_ids()
+            .filter(|&e| {
+                let (a, b) = self.endpoints(e);
+                !self.is_tip(a) && !self.is_tip(b)
+            })
+            .collect()
+    }
+
+    /// Sum of all branch lengths.
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+
+    /// Apply a nearest-neighbor interchange across internal edge `eid`.
+    ///
+    /// With `u—v` the edge, `u`'s other neighbors `(a, b)` and `v`'s
+    /// `(c, d)`: variant 0 swaps `b↔c`, variant 1 swaps `b↔d`. Applying the
+    /// same move again restores the original topology.
+    ///
+    /// # Panics
+    /// Panics if `eid` is not an internal edge or `variant > 1`.
+    pub fn nni(&mut self, eid: EdgeId, variant: u8) -> NniMove {
+        assert!(variant < 2, "NNI has exactly two variants");
+        let (u, v) = self.endpoints(eid);
+        assert!(
+            !self.is_tip(u) && !self.is_tip(v),
+            "NNI requires an internal edge"
+        );
+        let (b, eb) = self.other_neighbors(u, v)[1];
+        let others_v = self.other_neighbors(v, u);
+        let (_c, ec) = if variant == 0 { others_v[0] } else { others_v[1] };
+        // Reconnect: b hangs off v, c hangs off u. Branch lengths travel
+        // with their subtrees. `reconnect` fixes the adjacency of all four
+        // touched nodes.
+        let _ = b;
+        self.reconnect(eb, u, v);
+        self.reconnect(ec, v, u);
+        debug_assert!(self.validate().is_ok());
+        NniMove { edge: eid, moved_from_u: eb, moved_from_v: ec }
+    }
+
+    /// Undo `mv`, restoring the pre-move topology exactly.
+    pub fn undo_nni(&mut self, mv: NniMove) {
+        let (u, v) = self.endpoints(mv.edge);
+        // `moved_from_u` now hangs off v; return it to u, and vice versa.
+        self.reconnect(mv.moved_from_u, v, u);
+        self.reconnect(mv.moved_from_v, u, v);
+        debug_assert!(self.validate().is_ok());
+    }
+
+    /// The two neighbors of `node` other than `exclude` (requires an
+    /// internal node). Sorted by node id so NNI variant selection is stable
+    /// under the adjacency-order churn that moves cause.
+    fn other_neighbors(&self, node: usize, exclude: usize) -> [(usize, EdgeId); 2] {
+        let mut out = [(usize::MAX, EdgeId(usize::MAX)); 2];
+        let mut i = 0;
+        for &(n, e) in &self.adj[node] {
+            if n != exclude {
+                out[i] = (n, e);
+                i += 1;
+            }
+        }
+        assert_eq!(i, 2, "expected an internal node of degree 3");
+        out.sort_by_key(|&(n, _)| n);
+        out
+    }
+
+    /// Move the far endpoint of `eid` from `from` to `to`, updating edge
+    /// endpoints and the adjacency of `from`/`to` (but *not* of the moved
+    /// subtree's node, which keeps the same edge id).
+    fn reconnect(&mut self, eid: EdgeId, from: usize, to: usize) {
+        let e = &mut self.edges[eid.0];
+        let moved = if e.a == from {
+            e.a = to;
+            e.b
+        } else if e.b == from {
+            e.b = to;
+            e.a
+        } else {
+            panic!("edge {eid:?} not incident to node {from}");
+        };
+        self.adj[from].retain(|&(_, x)| x != eid);
+        self.adj[to].push((moved, eid));
+        // The moved node's adjacency entry must point at `to` now.
+        for entry in self.adj[moved].iter_mut() {
+            if entry.1 == eid {
+                entry.0 = to;
+            }
+        }
+    }
+
+    /// Move the endpoint of `eid` currently at `from` over to `to`
+    /// (adjacency kept consistent on all three nodes). Crate-internal
+    /// building block for SPR.
+    pub(crate) fn reattach_endpoint(&mut self, eid: EdgeId, from: usize, to: usize) {
+        self.reconnect(eid, from, to);
+    }
+
+    /// Remove `eid`'s adjacency entry at `endpoint`, leaving the edge
+    /// dangling on that side until [`Tree::attach_edge`] re-homes it.
+    pub(crate) fn detach_edge(&mut self, eid: EdgeId, endpoint: usize) {
+        let before = self.adj[endpoint].len();
+        self.adj[endpoint].retain(|&(_, e)| e != eid);
+        debug_assert_eq!(self.adj[endpoint].len() + 1, before, "edge was not attached there");
+    }
+
+    /// Re-home the dangling endpoint of `eid` (created by
+    /// [`Tree::detach_edge`]) onto `node`.
+    pub(crate) fn attach_edge(&mut self, eid: EdgeId, node: usize) {
+        let (a, b) = self.endpoints(eid);
+        let a_attached = self.adj[a].iter().any(|&(_, e)| e == eid);
+        let kept = if a_attached { a } else { b };
+        {
+            let e = &mut self.edges[eid.0];
+            if a_attached {
+                e.b = node;
+            } else {
+                e.a = node;
+            }
+        }
+        self.adj[node].push((kept, eid));
+        for entry in self.adj[kept].iter_mut() {
+            if entry.1 == eid {
+                entry.0 = node;
+            }
+        }
+    }
+
+    /// Validate structural invariants: degree (tips 1, internal 3), edge
+    /// count, symmetric adjacency, connectivity.
+    pub fn validate(&self) -> Result<(), String> {
+        let expected_edges = if self.n_taxa == 2 { 1 } else { 2 * self.n_taxa - 3 };
+        if self.edges.len() != expected_edges {
+            return Err(format!("expected {expected_edges} edges, found {}", self.edges.len()));
+        }
+        for node in 0..self.n_nodes() {
+            let deg = self.adj[node].len();
+            let want = if self.is_tip(node) { 1 } else { 3 };
+            if deg != want {
+                return Err(format!("node {node}: degree {deg}, expected {want}"));
+            }
+            for &(nb, e) in &self.adj[node] {
+                let (a, b) = self.endpoints(e);
+                if !((a == node && b == nb) || (b == node && a == nb)) {
+                    return Err(format!("adjacency of {node} disagrees with edge {e:?}"));
+                }
+                if !self.adj[nb].iter().any(|&(n2, e2)| n2 == node && e2 == e) {
+                    return Err(format!("asymmetric adjacency between {node} and {nb}"));
+                }
+            }
+        }
+        // Connectivity via DFS.
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for &(nb, _) in &self.adj[n] {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("tree is disconnected".into());
+        }
+        Ok(())
+    }
+
+    /// Render as a Newick string, rooted (for display) at the internal node
+    /// adjacent to tip 0, with `names` labelling the tips.
+    ///
+    /// # Panics
+    /// Panics if `names.len() != n_taxa`.
+    pub fn to_newick(&self, names: &[String]) -> String {
+        assert_eq!(names.len(), self.n_taxa, "one name per taxon required");
+        if self.n_taxa == 2 {
+            return format!(
+                "({}:{:.6},{}:{:.6});",
+                names[0],
+                self.length(EdgeId(0)) / 2.0,
+                names[1],
+                self.length(EdgeId(0)) / 2.0
+            );
+        }
+        let (root, root_edge) = self.adj[0][0];
+        let mut s = String::new();
+        s.push('(');
+        s.push_str(&format!("{}:{:.6}", names[0], self.length(root_edge)));
+        for &(child, e) in &self.adj[root] {
+            if e != root_edge {
+                s.push(',');
+                self.newick_rec(child, root, e, names, &mut s);
+            }
+        }
+        s.push_str(");");
+        s
+    }
+
+    fn newick_rec(&self, node: usize, parent: usize, via: EdgeId, names: &[String], s: &mut String) {
+        if self.is_tip(node) {
+            s.push_str(&format!("{}:{:.6}", names[node], self.length(via)));
+            return;
+        }
+        s.push('(');
+        let mut first = true;
+        for &(child, e) in &self.adj[node] {
+            if child != parent || e != via {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                self.newick_rec(child, node, e, names, s);
+            }
+        }
+        s.push_str(&format!("):{:.6}", self.length(via)));
+    }
+
+    /// The multiset of tip bipartitions induced by internal edges — a
+    /// topology fingerprint for comparing trees irrespective of edge ids.
+    pub fn bipartitions(&self) -> std::collections::BTreeSet<Vec<bool>> {
+        let mut out = std::collections::BTreeSet::new();
+        for e in self.internal_edges() {
+            let (a, _b) = self.endpoints(e);
+            // Tips reachable from `a` without crossing `e`.
+            let mut side = vec![false; self.n_taxa];
+            let mut seen = vec![false; self.n_nodes()];
+            let mut stack = vec![a];
+            seen[a] = true;
+            while let Some(n) = stack.pop() {
+                if self.is_tip(n) {
+                    side[n] = true;
+                }
+                for &(nb, ne) in &self.adj[n] {
+                    if ne != e && !seen[nb] {
+                        seen[nb] = true;
+                        stack.push(nb);
+                    }
+                }
+            }
+            // Canonicalize: side containing tip 0.
+            if !side[0] {
+                for s in side.iter_mut() {
+                    *s = !*s;
+                }
+            }
+            out.insert(side);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn two_taxon_tree() {
+        let t = Tree::random(2, 0.1, &mut rng(1));
+        assert_eq!(t.n_edges(), 1);
+        assert_eq!(t.n_nodes(), 2);
+        assert!(t.validate().is_ok());
+        assert!(t.internal_edges().is_empty());
+    }
+
+    #[test]
+    fn random_trees_are_valid_binary_trees() {
+        for n in [3, 4, 5, 8, 16, 42] {
+            for seed in 0..5 {
+                let t = Tree::random(n, 0.1, &mut rng(seed));
+                assert_eq!(t.n_edges(), 2 * n - 3, "n={n}");
+                t.validate().unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_topologies() {
+        let a = Tree::random(12, 0.1, &mut rng(1));
+        let b = Tree::random(12, 0.1, &mut rng(2));
+        assert_ne!(a.bipartitions(), b.bipartitions());
+    }
+
+    #[test]
+    fn set_length_clamps_to_minimum() {
+        let mut t = Tree::random(4, 0.1, &mut rng(0));
+        let e = EdgeId(0);
+        t.set_length(e, 0.0);
+        assert_eq!(t.length(e), Tree::MIN_BRANCH);
+        t.set_length(e, 0.42);
+        assert!((t.length(e) - 0.42).abs() < 1e-15);
+    }
+
+    #[test]
+    fn internal_edge_count() {
+        // Unrooted binary tree with n tips has n-3 internal edges.
+        for n in [4, 6, 10, 42] {
+            let t = Tree::random(n, 0.1, &mut rng(3));
+            assert_eq!(t.internal_edges().len(), n - 3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn nni_preserves_validity_and_changes_topology() {
+        let mut t = Tree::random(8, 0.1, &mut rng(5));
+        let before = t.bipartitions();
+        let e = t.internal_edges()[0];
+        let mv = t.nni(e, 0);
+        t.validate().expect("NNI result must be a valid tree");
+        assert_ne!(t.bipartitions(), before, "NNI must change the topology");
+        t.undo_nni(mv);
+        t.validate().unwrap();
+        assert_eq!(t.bipartitions(), before, "undo must restore the topology");
+    }
+
+    #[test]
+    fn both_nni_variants_differ() {
+        let mut t = Tree::random(8, 0.1, &mut rng(6));
+        let e = t.internal_edges()[1];
+        let base = t.bipartitions();
+        let mv0 = t.nni(e, 0);
+        let v0 = t.bipartitions();
+        t.undo_nni(mv0);
+        let mv1 = t.nni(e, 1);
+        let v1 = t.bipartitions();
+        t.undo_nni(mv1);
+        assert_eq!(t.bipartitions(), base);
+        assert_ne!(v0, v1, "the two NNI alternatives must be distinct");
+        assert_ne!(v0, base);
+        assert_ne!(v1, base);
+    }
+
+    #[test]
+    fn nni_on_every_internal_edge_round_trips() {
+        let mut t = Tree::random(16, 0.1, &mut rng(7));
+        let base = t.bipartitions();
+        for e in t.internal_edges() {
+            for v in 0..2 {
+                let mv = t.nni(e, v);
+                t.validate().unwrap();
+                t.undo_nni(mv);
+                t.validate().unwrap();
+            }
+        }
+        assert_eq!(t.bipartitions(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "internal edge")]
+    fn nni_rejects_pendant_edges() {
+        let mut t = Tree::random(5, 0.1, &mut rng(8));
+        let pendant = t
+            .edge_ids()
+            .find(|&e| {
+                let (a, b) = t.endpoints(e);
+                t.is_tip(a) || t.is_tip(b)
+            })
+            .unwrap();
+        let _ = t.nni(pendant, 0);
+    }
+
+    #[test]
+    fn newick_mentions_every_taxon() {
+        let t = Tree::random(6, 0.1, &mut rng(9));
+        let names: Vec<String> = (0..6).map(|i| format!("t{i}")).collect();
+        let nwk = t.to_newick(&names);
+        for n in &names {
+            assert!(nwk.contains(n.as_str()), "{nwk} missing {n}");
+        }
+        assert!(nwk.ends_with(");"));
+        assert_eq!(nwk.matches('(').count(), nwk.matches(')').count());
+    }
+
+    #[test]
+    fn total_length_sums_branches() {
+        let t = Tree::random(5, 0.25, &mut rng(10));
+        let manual: f64 = t.edge_ids().map(|e| t.length(e)).sum();
+        assert!((t.total_length() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bipartitions_have_expected_count() {
+        let t = Tree::random(10, 0.1, &mut rng(11));
+        assert_eq!(t.bipartitions().len(), 7, "n-3 distinct internal bipartitions");
+    }
+}

@@ -1,0 +1,397 @@
+//! Adapters feeding the `phylo` likelihood kernels through the multigrain
+//! runtime — the workspace's equivalent of RAxML's off-loaded SPE module.
+//!
+//! Three [`LoopBody`] implementations correspond to the three off-loaded
+//! functions of §5.1, each iterating over alignment site patterns:
+//!
+//! * [`EvaluateBody`] — the paper's Figure 3 loop: weighted log-likelihood
+//!   terms with a global sum reduction;
+//! * [`NewviewBody`] — Felsenstein pruning, producing CLV chunks that are
+//!   spliced back together (the "commit modified data" of Figure 4);
+//! * [`DerivBody`] — the `makenewz` derivative sums.
+//!
+//! [`OffloadedEngine`] assembles them into a
+//! [`phylo::search::ScoringEngine`], so the *same* hill-climbing search
+//! that runs directly on the host can run with every kernel off-loaded to
+//! virtual SPEs and work-shared at whatever loop degree the scheduler
+//! (EDTLP / static hybrid / MGPS) currently dictates.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use mgps_runtime::native::{LoopBody, LoopSite, OffloadError, ProcessCtx, SpeContext};
+use phylo::alignment::PatternAlignment;
+use phylo::likelihood::{clamp_branch, newton_branch_step, Clv, LikelihoodEngine, NEWTON_MAX_ITERS};
+use phylo::model::SubstModel;
+use phylo::search::ScoringEngine;
+use phylo::tree::Tree;
+
+/// Loop-site id of the `evaluate()` loop.
+pub const SITE_EVALUATE: LoopSite = LoopSite(1);
+/// Loop-site id of the `newview()` loop.
+pub const SITE_NEWVIEW: LoopSite = LoopSite(2);
+/// Loop-site id of the `makenewz()` derivative loop.
+pub const SITE_DERIV: LoopSite = LoopSite(3);
+
+/// The paper's Figure-3 loop as an off-loadable work-sharing body.
+pub struct EvaluateBody<M> {
+    /// Substitution model (cheap to copy; JC69/K80 are parameter structs).
+    pub model: M,
+    /// Pattern-compressed alignment.
+    pub data: Arc<PatternAlignment>,
+    /// CLV at one end of the evaluation edge.
+    pub u: Arc<Clv>,
+    /// CLV at the other end.
+    pub v: Arc<Clv>,
+    /// Branch length of the evaluation edge.
+    pub t: f64,
+}
+
+impl<M: SubstModel + Clone + 'static> LoopBody for EvaluateBody<M> {
+    type Acc = f64;
+
+    fn len(&self) -> usize {
+        self.data.n_patterns()
+    }
+
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+        LikelihoodEngine::new(&self.model, &self.data).evaluate_range(&self.u, &self.v, self.t, range)
+    }
+
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Felsenstein pruning (`newview`) as an off-loadable body. Each chunk
+/// yields `(start_pattern, clv_piece)`; the merge concatenates pieces and
+/// the caller splices them into a full CLV.
+pub struct NewviewBody<M> {
+    /// Substitution model.
+    pub model: M,
+    /// Pattern-compressed alignment.
+    pub data: Arc<PatternAlignment>,
+    /// Left child CLV.
+    pub left: Arc<Clv>,
+    /// Left branch length.
+    pub t_left: f64,
+    /// Right child CLV.
+    pub right: Arc<Clv>,
+    /// Right branch length.
+    pub t_right: f64,
+}
+
+impl<M: SubstModel + Clone + 'static> LoopBody for NewviewBody<M> {
+    type Acc = Vec<(usize, Clv)>;
+
+    fn len(&self) -> usize {
+        self.data.n_patterns()
+    }
+
+    fn identity(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> Self::Acc {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        let piece = LikelihoodEngine::new(&self.model, &self.data).newview_chunk(
+            &self.left,
+            self.t_left,
+            &self.right,
+            self.t_right,
+            range.clone(),
+        );
+        vec![(range.start, piece)]
+    }
+
+    fn merge(&self, mut a: Self::Acc, mut b: Self::Acc) -> Self::Acc {
+        a.append(&mut b);
+        a
+    }
+}
+
+/// The `makenewz` derivative loop: partial `(d lnL/dt, d² lnL/dt²)` sums.
+pub struct DerivBody<M> {
+    /// Substitution model.
+    pub model: M,
+    /// Pattern-compressed alignment.
+    pub data: Arc<PatternAlignment>,
+    /// CLV at one end of the branch being optimized.
+    pub u: Arc<Clv>,
+    /// CLV at the other end.
+    pub v: Arc<Clv>,
+    /// Current branch length.
+    pub t: f64,
+}
+
+impl<M: SubstModel + Clone + 'static> LoopBody for DerivBody<M> {
+    type Acc = (f64, f64);
+
+    fn len(&self) -> usize {
+        self.data.n_patterns()
+    }
+
+    fn identity(&self) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
+    fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> (f64, f64) {
+        LikelihoodEngine::new(&self.model, &self.data).lnl_derivatives_range(&self.u, &self.v, self.t, range)
+    }
+
+    fn merge(&self, a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+}
+
+/// A [`ScoringEngine`] that off-loads every likelihood kernel through a
+/// worker process's [`ProcessCtx`] — the Rust analogue of an MPI process
+/// whose `newview`/`evaluate`/`makenewz` run on SPEs.
+pub struct OffloadedEngine<'a, 'rt, M> {
+    ctx: &'a mut ProcessCtx<'rt>,
+    model: M,
+    data: Arc<PatternAlignment>,
+    offloads: u64,
+}
+
+impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
+    /// Bind a worker process to `model` and `data`.
+    pub fn new(ctx: &'a mut ProcessCtx<'rt>, model: M, data: Arc<PatternAlignment>) -> Self {
+        OffloadedEngine { ctx, model, data, offloads: 0 }
+    }
+
+    /// Kernels off-loaded so far.
+    pub fn offloads(&self) -> u64 {
+        self.offloads
+    }
+
+    fn unwrap_offload<T>(r: Result<T, OffloadError>) -> T {
+        r.expect("off-loaded likelihood kernel panicked")
+    }
+
+    /// Off-loaded `newview`: the parent CLV of two children.
+    pub fn newview(&mut self, left: Arc<Clv>, t_left: f64, right: Arc<Clv>, t_right: f64) -> Clv {
+        self.offloads += 1;
+        let body = Arc::new(NewviewBody {
+            model: self.model.clone(),
+            data: Arc::clone(&self.data),
+            left,
+            t_left,
+            right,
+            t_right,
+        });
+        let mut pieces = Self::unwrap_offload(self.ctx.offload_loop(SITE_NEWVIEW, body));
+        pieces.sort_by_key(|&(start, _)| start);
+        let mut out = LikelihoodEngine::new(&self.model, &self.data).empty_clv();
+        for (start, piece) in pieces {
+            out.splice(start, &piece);
+        }
+        out
+    }
+
+    /// Off-loaded `evaluate`: the log-likelihood at an edge.
+    pub fn evaluate(&mut self, u: Arc<Clv>, v: Arc<Clv>, t: f64) -> f64 {
+        self.offloads += 1;
+        let body = Arc::new(EvaluateBody {
+            model: self.model.clone(),
+            data: Arc::clone(&self.data),
+            u,
+            v,
+            t,
+        });
+        Self::unwrap_offload(self.ctx.offload_loop(SITE_EVALUATE, body))
+    }
+
+    /// Off-loaded `makenewz`: Newton–Raphson branch-length optimization
+    /// with the derivative loop work-shared per iteration.
+    pub fn makenewz(&mut self, u: &Arc<Clv>, v: &Arc<Clv>, t0: f64) -> f64 {
+        let mut t = clamp_branch(t0);
+        for _ in 0..NEWTON_MAX_ITERS {
+            self.offloads += 1;
+            let body = Arc::new(DerivBody {
+                model: self.model.clone(),
+                data: Arc::clone(&self.data),
+                u: Arc::clone(u),
+                v: Arc::clone(v),
+                t,
+            });
+            let (d1, d2) = Self::unwrap_offload(self.ctx.offload_loop(SITE_DERIV, body));
+            let (next, converged) = newton_branch_step(t, d1, d2);
+            t = next;
+            if converged {
+                break;
+            }
+        }
+        t
+    }
+
+    /// Directional CLV of `node` seen from `parent`, built bottom-up from
+    /// off-loaded `newview` calls (one off-load per internal node, exactly
+    /// RAxML's call pattern).
+    pub fn clv_toward(&mut self, tree: &Tree, node: usize, parent: usize) -> Arc<Clv> {
+        if tree.is_tip(node) {
+            return Arc::new(LikelihoodEngine::new(&self.model, &self.data).tip_clv(node));
+        }
+        let mut children: Vec<_> =
+            tree.neighbors(node).iter().filter(|&&(n, _)| n != parent).copied().collect();
+        children.sort_by_key(|&(n, _)| n);
+        let (c1, e1) = children[0];
+        let (c2, e2) = children[1];
+        let l1 = self.clv_toward(tree, c1, node);
+        let l2 = self.clv_toward(tree, c2, node);
+        Arc::new(self.newview(l1, tree.length(e1), l2, tree.length(e2)))
+    }
+
+    /// Off-loaded log-likelihood of `tree`.
+    pub fn log_likelihood(&mut self, tree: &Tree) -> f64 {
+        let e = phylo::tree::EdgeId(0);
+        let (a, b) = tree.endpoints(e);
+        let cu = self.clv_toward(tree, a, b);
+        let cv = self.clv_toward(tree, b, a);
+        self.evaluate(cu, cv, tree.length(e))
+    }
+
+    /// One off-loaded branch-length optimization pass over every edge.
+    pub fn optimize_branches_pass(&mut self, tree: &mut Tree) -> f64 {
+        for e in tree.edge_ids().collect::<Vec<_>>() {
+            let (a, b) = tree.endpoints(e);
+            let cu = self.clv_toward(tree, a, b);
+            let cv = self.clv_toward(tree, b, a);
+            let t = self.makenewz(&cu, &cv, tree.length(e));
+            tree.set_length(e, t);
+        }
+        self.log_likelihood(tree)
+    }
+}
+
+impl<M: SubstModel + Clone + 'static> ScoringEngine for OffloadedEngine<'_, '_, M> {
+    fn score(&mut self, tree: &Tree) -> f64 {
+        self.log_likelihood(tree)
+    }
+
+    fn optimize_branches(&mut self, tree: &mut Tree, max_passes: usize, epsilon: f64) -> f64 {
+        let mut last = f64::NEG_INFINITY;
+        let mut lnl = self.log_likelihood(tree);
+        for _ in 0..max_passes {
+            if (lnl - last).abs() < epsilon {
+                break;
+            }
+            last = lnl;
+            lnl = self.optimize_branches_pass(tree);
+        }
+        lnl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgps_runtime::native::{MgpsRuntime, RuntimeConfig};
+    use mgps_runtime::policy::SchedulerKind;
+    use phylo::alignment::Alignment;
+    use phylo::model::Jc69;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn data() -> Arc<PatternAlignment> {
+        Arc::new(PatternAlignment::compress(&Alignment::synthetic(8, 120, &Jc69, 0.1, 11)))
+    }
+
+    #[test]
+    fn offloaded_log_likelihood_matches_direct() {
+        let data = data();
+        let direct = LikelihoodEngine::new(&Jc69, &data);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tree = Tree::random(8, 0.12, &mut rng);
+        let want = direct.log_likelihood(&tree);
+
+        for sched in [
+            SchedulerKind::Edtlp,
+            SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+            SchedulerKind::Mgps,
+        ] {
+            let rt = MgpsRuntime::new(RuntimeConfig::cell(sched));
+            let mut ctx = rt.enter_process();
+            let mut eng = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+            let got = eng.log_likelihood(&tree);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{sched:?}: offloaded {got} vs direct {want}"
+            );
+            assert!(eng.offloads() > 0);
+        }
+    }
+
+    #[test]
+    fn offloaded_branch_optimization_matches_direct() {
+        let data = data();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let tree0 = Tree::random(8, 0.3, &mut rng);
+
+        let mut t_direct = tree0.clone();
+        let direct = LikelihoodEngine::new(&Jc69, &data);
+        let lnl_direct = direct.optimize_branches(&mut t_direct, 3, 1e-6);
+
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::StaticHybrid {
+            spes_per_loop: 2,
+        }));
+        let mut ctx = rt.enter_process();
+        let mut eng = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+        let mut t_off = tree0.clone();
+        let lnl_off = ScoringEngine::optimize_branches(&mut eng, &mut t_off, 3, 1e-6);
+
+        assert!(
+            (lnl_direct - lnl_off).abs() < 1e-6,
+            "direct {lnl_direct} vs offloaded {lnl_off}"
+        );
+        for e in t_direct.edge_ids() {
+            assert!(
+                (t_direct.length(e) - t_off.length(e)).abs() < 1e-6,
+                "branch {e:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn offloaded_search_runs_end_to_end() {
+        let data = data();
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Mgps));
+        let mut ctx = rt.enter_process();
+        let mut eng = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+        let cfg = phylo::search::SearchConfig {
+            max_rounds: 2,
+            branch_passes: 1,
+            epsilon: 1e-3,
+            initial_branch: 0.1,
+        };
+        let r = phylo::search::hill_climb_with(&mut eng, data.n_taxa(), &cfg, 3);
+        r.tree.validate().unwrap();
+        assert!(r.lnl.is_finite() && r.lnl < 0.0);
+    }
+
+    #[test]
+    fn offloaded_search_matches_direct_search() {
+        let data = data();
+        let cfg = phylo::search::SearchConfig {
+            max_rounds: 2,
+            branch_passes: 1,
+            epsilon: 1e-3,
+            initial_branch: 0.1,
+        };
+        let direct = phylo::search::hill_climb(&Jc69, &data, &cfg, 21);
+
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+        let mut ctx = rt.enter_process();
+        let mut eng = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+        let off = phylo::search::hill_climb_with(&mut eng, data.n_taxa(), &cfg, 21);
+
+        assert!((direct.lnl - off.lnl).abs() < 1e-6, "{} vs {}", direct.lnl, off.lnl);
+        assert_eq!(direct.tree.bipartitions(), off.tree.bipartitions());
+    }
+}

@@ -1,0 +1,269 @@
+//! `multigrain` — command-line front end for the whole workspace.
+//!
+//! ```text
+//! multigrain simulate  --scheduler mgps --bootstraps 8 [--cells 2] [--scale 500] [--profile optimized]
+//! multigrain infer     --input data.fasta [--model jc|k80|gtr] [--gamma <alpha>|estimate]
+//!                      [--search nni|spr] [--bootstraps N] [--seed S]
+//! multigrain predict   --input data.fasta [--bootstraps N] [--scale 500]
+//! multigrain demo      [--taxa 16] [--sites 400]
+//! ```
+//!
+//! `simulate` drives the Cell BE model; `infer` runs a real phylogenetic
+//! analysis through the native multigrain runtime; `predict` derives a
+//! Cell workload from your alignment and forecasts scheduler performance;
+//! `demo` generates a synthetic alignment to play with.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multigrain::bridge::workload_for;
+use multigrain::prelude::*;
+use multigrain::ParallelAnalysis;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => simulate(&opts),
+        "infer" => infer(&opts),
+        "infer-protein" => infer_protein(&opts),
+        "predict" => predict(&opts),
+        "demo" => demo(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+multigrain — dynamic multigrain parallelization (PPoPP'07 reproduction)
+
+USAGE:
+  multigrain simulate [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
+                      [--cells N] [--scale N] [--profile optimized|naive|ppe]
+  multigrain infer    --input FILE(.fasta|.phy) [--model jc|k80|gtr]
+                      [--gamma ALPHA|estimate] [--search nni|spr]
+                      [--bootstraps N] [--workers N] [--seed N]
+  multigrain infer-protein --input FILE.fasta [--seed N]   (Poisson AA model)
+  multigrain predict  --input FILE [--bootstraps N] [--scale N]
+  multigrain demo     [--taxa N] [--sites N] [--seed N] [--format fasta|phylip]";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), val.clone());
+    }
+    Ok(opts)
+}
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+fn scheduler_of(opts: &Opts) -> Result<SchedulerKind, String> {
+    Ok(match opts.get("scheduler").map(String::as_str).unwrap_or("mgps") {
+        "edtlp" => SchedulerKind::Edtlp,
+        "linux" => SchedulerKind::LinuxLike,
+        "llp2" => SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        "llp4" => SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+        "mgps" => SchedulerKind::Mgps,
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}
+
+fn load_alignment(opts: &Opts) -> Result<Alignment, String> {
+    let path = opts.get("input").ok_or("--input is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed = if path.ends_with(".fasta") || path.ends_with(".fa") || text.starts_with('>') {
+        Alignment::from_fasta(&text)
+    } else {
+        Alignment::from_phylip(&text)
+    };
+    parsed.map_err(|e| format!("{path}: {e}"))
+}
+
+fn simulate(opts: &Opts) -> Result<(), String> {
+    let scheduler = scheduler_of(opts)?;
+    let bootstraps = get(opts, "bootstraps", 8usize)?;
+    let cells = get(opts, "cells", 1usize)?;
+    let scale = get(opts, "scale", 500usize)?;
+    let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
+    cfg.profile = match opts.get("profile").map(String::as_str).unwrap_or("optimized") {
+        "optimized" => KernelProfile::Optimized,
+        "naive" => KernelProfile::Naive,
+        "ppe" => KernelProfile::PpeOnly,
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let r = run_simulation(cfg);
+    println!("scheduler          {}", scheduler.label());
+    println!("bootstraps         {bootstraps} on {cells} Cell(s)");
+    println!("makespan           {:.2} s (paper scale)", r.paper_scale_secs);
+    println!("mean SPE util      {:.0}%", r.mean_spe_utilization * 100.0);
+    println!("context switches   {}", r.context_switches);
+    println!("tasks              {}", r.tasks_completed);
+    println!("code reloads       {}", r.code_reloads);
+    if let Some((evals, acts, deacts)) = r.mgps_counters {
+        println!("MGPS               {evals} windows, {acts} activations, {deacts} deactivations, final degree {}", r.final_degree);
+    }
+    Ok(())
+}
+
+fn infer(opts: &Opts) -> Result<(), String> {
+    let aln = load_alignment(opts)?;
+    let data = Arc::new(PatternAlignment::compress(&aln));
+    let seed = get(opts, "seed", 42u64)?;
+    let bootstraps = get(opts, "bootstraps", 0usize)?;
+    let workers = get(opts, "workers", 4usize)?;
+    let search_kind = opts.get("search").map(String::as_str).unwrap_or("nni").to_string();
+    let cfg = SearchConfig::default();
+
+    println!(
+        "alignment: {} taxa x {} sites ({} patterns)",
+        data.n_taxa(),
+        data.n_sites(),
+        data.n_patterns()
+    );
+
+    let model_name = opts.get("model").map(String::as_str).unwrap_or("jc").to_string();
+    // Model dispatch duplicates a little code because the engines are
+    // generic over the model type.
+    let result = match model_name.as_str() {
+        "jc" => run_search(&Jc69, &data, &cfg, &search_kind, seed)?,
+        "k80" => run_search(&K80::new(2.0), &data, &cfg, &search_kind, seed)?,
+        "gtr" => run_search(&Gtr::example(), &data, &cfg, &search_kind, seed)?,
+        other => return Err(format!("unknown model {other:?} (use `infer-protein` for AA data)")),
+    };
+    println!("best tree lnL      {:.4}", result.lnl);
+    println!("NNI/SPR accepted   {}", result.accepted_moves);
+
+    if let Some(gamma) = opts.get("gamma") {
+        let (alpha, lnl_g) = if gamma == "estimate" {
+            estimate_alpha(&Jc69, &data, &result.tree, 4, 0.05, 50.0)
+        } else {
+            let a: f64 = gamma.parse().map_err(|_| format!("--gamma: bad value {gamma:?}"))?;
+            let eng = GammaEngine::new(&Jc69, &data, a, 4);
+            (a, eng.log_likelihood(&result.tree))
+        };
+        println!("+G alpha           {alpha:.4}");
+        println!("+G lnL             {lnl_g:.4}");
+    }
+
+    if bootstraps > 0 {
+        println!("running {bootstraps} bootstraps on {workers} worker processes (MGPS runtime)...");
+        let mut analysis = ParallelAnalysis::cell(SchedulerKind::Mgps, workers);
+        analysis.search = cfg;
+        let (reps, stats) = analysis.run_bootstraps(Jc69, &data, bootstraps, seed);
+        let trees: Vec<Tree> = reps.iter().map(|r| r.tree.clone()).collect();
+        let support = support_values(&result.tree, &trees);
+        println!(
+            "support            {:?}",
+            support.iter().map(|s| (s * 100.0).round() as u32).collect::<Vec<_>>()
+        );
+        println!("context switches   {}", stats.context_switches);
+    }
+
+    println!("{}", result.tree.to_newick(aln.taxa()));
+    Ok(())
+}
+
+fn infer_protein(opts: &Opts) -> Result<(), String> {
+    let path = opts.get("input").ok_or("--input is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let data = ProteinData::from_fasta(&text).map_err(|e| format!("{path}: {e}"))?;
+    let seed = get(opts, "seed", 42u64)?;
+    println!(
+        "protein alignment: {} taxa x {} sites ({} patterns)",
+        data.n_taxa(),
+        data.n_sites(),
+        data.n_patterns()
+    );
+    let mut engine = ProteinEngine::new(PoissonAa, &data);
+    let cfg = SearchConfig::default();
+    let r = hill_climb_with(&mut engine, data.n_taxa(), &cfg, seed);
+    println!("best tree lnL      {:.4}", r.lnl);
+    println!("{}", r.tree.to_newick(data.taxa()));
+    Ok(())
+}
+
+fn run_search<M: SubstModel>(
+    model: &M,
+    data: &Arc<PatternAlignment>,
+    cfg: &SearchConfig,
+    kind: &str,
+    seed: u64,
+) -> Result<SearchResult, String> {
+    match kind {
+        "nni" => Ok(hill_climb(model, data, cfg, seed)),
+        "spr" => Ok(spr_hill_climb(model, data, cfg, 3, seed)),
+        other => Err(format!("unknown search {other:?}")),
+    }
+}
+
+fn predict(opts: &Opts) -> Result<(), String> {
+    let aln = load_alignment(opts)?;
+    let data = PatternAlignment::compress(&aln);
+    let bootstraps = get(opts, "bootstraps", 8usize)?;
+    let scale = get(opts, "scale", 500usize)?;
+    let workload = workload_for(&data).scaled(scale);
+    println!(
+        "derived Cell workload: {} tasks/bootstrap (scaled), {} loop iterations, task mean {}",
+        workload.tasks_per_bootstrap, workload.loop_iters, workload.task_mean
+    );
+    println!("\npredicted makespans for {bootstraps} bootstraps on one Cell:");
+    for scheduler in [
+        SchedulerKind::LinuxLike,
+        SchedulerKind::Edtlp,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+        SchedulerKind::Mgps,
+    ] {
+        let mut cfg = SimConfig::cell_42sc(scheduler, bootstraps, 1);
+        cfg.workload = workload;
+        let r = run_simulation(cfg);
+        println!("  {:<42} {:>9.2} s", scheduler.label(), r.paper_scale_secs);
+    }
+    Ok(())
+}
+
+fn demo(opts: &Opts) -> Result<(), String> {
+    let taxa = get(opts, "taxa", 16usize)?;
+    let sites = get(opts, "sites", 400usize)?;
+    let seed = get(opts, "seed", 7u64)?;
+    let aln = Alignment::synthetic(taxa, sites, &Jc69, 0.08, seed);
+    match opts.get("format").map(String::as_str).unwrap_or("fasta") {
+        "fasta" => print!("{}", aln.to_fasta()),
+        "phylip" => print!("{}", aln.to_phylip()),
+        other => return Err(format!("unknown format {other:?}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Bridging real workloads into the Cell simulator.
+//!
+//! The calibrated [`RaxmlWorkload`] describes the paper's `42_SC` input.
+//! [`workload_for`] re-derives the workload parameters for *your*
+//! alignment, following the paper's own scaling observations: loop trip
+//! counts grow with the number of distinct site patterns ("alignments that
+//! have a larger number of nucleotides per organism have more loop
+//! iterations to distribute across SPEs", §5.3), per-task time grows with
+//! the pattern count, and the number of off-loaded tasks per tree search
+//! grows with the taxon count.
+
+use cellsim::workload::RaxmlWorkload;
+use phylo::alignment::PatternAlignment;
+
+/// Reference values of the `42_SC` calibration point.
+const REF_TAXA: f64 = 42.0;
+const REF_LOOP_ITERS: f64 = 228.0;
+
+/// Derive simulator workload parameters for a real alignment.
+///
+/// The returned workload keeps the paper's measured per-iteration and
+/// per-offload overheads but rescales:
+///
+/// * `loop_iters` to the alignment's distinct pattern count;
+/// * `task_mean` proportionally (more patterns = longer kernels);
+/// * `tasks_per_bootstrap` with the taxon count (more taxa = more
+///   `newview`/`makenewz` calls per search);
+/// * `input_bytes` with the CLV bytes a kernel stages (48 B per pattern,
+///   matching RAxML's x1/x2/diagptable rows).
+pub fn workload_for(data: &PatternAlignment) -> RaxmlWorkload {
+    let reference = RaxmlWorkload::paper_42sc();
+    let pattern_ratio = data.n_patterns() as f64 / REF_LOOP_ITERS;
+    let taxa_ratio = data.n_taxa() as f64 / REF_TAXA;
+    RaxmlWorkload {
+        tasks_per_bootstrap: ((reference.tasks_per_bootstrap as f64 * taxa_ratio) as usize).max(1),
+        task_mean: reference.task_mean.mul_f64(pattern_ratio.max(1e-3)),
+        loop_iters: data.n_patterns().max(1),
+        input_bytes: (data.n_patterns() * 48).clamp(16, 16 * 1024),
+        ..reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim::machine::{run, SimConfig};
+    use mgps_runtime::policy::SchedulerKind;
+    use phylo::alignment::Alignment;
+    use phylo::model::Jc69;
+
+    fn patterns(n_taxa: usize, n_sites: usize, seed: u64) -> PatternAlignment {
+        PatternAlignment::compress(&Alignment::synthetic(n_taxa, n_sites, &Jc69, 0.1, seed))
+    }
+
+    #[test]
+    fn reference_sized_alignment_reproduces_reference_shape() {
+        let data = patterns(42, 300, 1);
+        let w = workload_for(&data);
+        assert_eq!(w.loop_iters, data.n_patterns());
+        assert_eq!(w.tasks_per_bootstrap, RaxmlWorkload::paper_42sc().tasks_per_bootstrap);
+        // Task time scales with patterns.
+        let per_pattern =
+            w.task_mean.as_nanos() as f64 / w.loop_iters as f64;
+        let ref_w = RaxmlWorkload::paper_42sc();
+        let ref_per_pattern = ref_w.task_mean.as_nanos() as f64 / ref_w.loop_iters as f64;
+        assert!((per_pattern / ref_per_pattern - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bigger_alignments_mean_bigger_kernels() {
+        let small = workload_for(&patterns(8, 100, 2));
+        let large = workload_for(&patterns(8, 2000, 2));
+        assert!(large.task_mean > small.task_mean);
+        assert!(large.loop_iters > small.loop_iters);
+        assert!(large.input_bytes >= small.input_bytes);
+        // Taxon count drives tasks per bootstrap.
+        let many_taxa = workload_for(&patterns(84, 100, 2));
+        assert!(many_taxa.tasks_per_bootstrap > small.tasks_per_bootstrap);
+    }
+
+    #[test]
+    fn derived_workload_runs_in_the_simulator() {
+        let data = patterns(16, 400, 3);
+        let mut cfg = SimConfig::cell_42sc(SchedulerKind::Mgps, 2, 1);
+        cfg.workload = workload_for(&data).scaled(5_000);
+        let r = run(cfg);
+        assert!(r.tasks_completed > 0);
+        assert!(r.makespan.as_nanos() > 0);
+    }
+
+    #[test]
+    fn llp_payoff_grows_with_alignment_length() {
+        // §5.3: "higher speedup from LLP in a single bootstrap can be
+        // obtained with larger input data sets". Loop iterations dominate
+        // the fixed team overheads as patterns grow.
+        let short = workload_for(&patterns(10, 80, 4));
+        let long = workload_for(&patterns(10, 4000, 4));
+        let speedup = |w: &RaxmlWorkload| {
+            let t1 = w.task_duration(cellsim::workload::KernelProfile::Optimized, 1, 1.0);
+            let t4 = w.task_duration(cellsim::workload::KernelProfile::Optimized, 4, 1.0);
+            t1.as_nanos() as f64 / t4.as_nanos() as f64
+        };
+        assert!(
+            speedup(&long) > speedup(&short),
+            "long {} vs short {}",
+            speedup(&long),
+            speedup(&short)
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `multigrain` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // Integration tests live next to the binary under target/<profile>/.
+    let mut p = std::env::current_exe().expect("test executable path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("multigrain");
+    p
+}
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin()).args(args).output().expect("CLI runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run_cli(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("simulate"));
+    assert!(stdout.contains("infer"));
+    assert!(stdout.contains("predict"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = run_cli(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn simulate_reports_a_makespan() {
+    let (stdout, _, ok) =
+        run_cli(&["simulate", "--scheduler", "edtlp", "--bootstraps", "2", "--scale", "5000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("EDTLP"));
+}
+
+#[test]
+fn simulate_rejects_bad_scheduler() {
+    let (_, stderr, ok) = run_cli(&["simulate", "--scheduler", "fifo"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scheduler"));
+}
+
+#[test]
+fn demo_then_infer_round_trip() {
+    let dir = std::env::temp_dir().join(format!("mg-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fasta = dir.join("demo.fasta");
+
+    let (stdout, _, ok) = run_cli(&["demo", "--taxa", "6", "--sites", "80", "--seed", "3"]);
+    assert!(ok);
+    assert!(stdout.starts_with('>'), "demo must emit FASTA");
+    std::fs::write(&fasta, &stdout).unwrap();
+
+    let (stdout, stderr, ok) = run_cli(&[
+        "infer",
+        "--input",
+        fasta.to_str().unwrap(),
+        "--model",
+        "jc",
+        "--search",
+        "nni",
+        "--seed",
+        "1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("best tree lnL"));
+    assert!(stdout.contains("taxon000"), "Newick output expected: {stdout}");
+
+    let (stdout, stderr, ok) =
+        run_cli(&["predict", "--input", fasta.to_str().unwrap(), "--scale", "5000"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("MGPS"));
+    assert!(stdout.contains("Linux"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn infer_protein_runs() {
+    let dir = std::env::temp_dir().join(format!("mg-cli-prot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fasta = dir.join("prot.fasta");
+    std::fs::write(
+        &fasta,
+        ">a\nARNDCQEGHIKLMF\n>b\nARNDCQEGHIKLMF\n>c\nVYWTSPFMLKIHGE\n>d\nVYWTSPFMLKIHGE\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run_cli(&["infer-protein", "--input", fasta.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("protein alignment: 4 taxa"));
+    assert!(stdout.contains("best tree lnL"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_input_is_a_clean_error() {
+    let (_, stderr, ok) = run_cli(&["infer"]);
+    assert!(!ok);
+    assert!(stderr.contains("--input is required"));
+}

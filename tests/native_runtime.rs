@@ -1,0 +1,162 @@
+//! Integration tests of the native engine: real phylogenetic kernels
+//! off-loaded through the multigrain runtime must agree exactly with the
+//! direct (single-threaded) computation, under every scheduler, including
+//! the full parallel-analysis driver.
+
+use std::sync::Arc;
+
+use multigrain::prelude::*;
+use multigrain::ParallelAnalysis;
+use phylo::bootstrap::bootstrap_replicate;
+
+fn data() -> Arc<PatternAlignment> {
+    Arc::new(PatternAlignment::compress(&Alignment::synthetic(10, 160, &Jc69, 0.1, 77)))
+}
+
+fn quick_search() -> SearchConfig {
+    SearchConfig { max_rounds: 2, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1 }
+}
+
+#[test]
+fn parallel_bootstraps_match_sequential_reference() {
+    let data = data();
+    let search = quick_search();
+    const N: usize = 6;
+    const SEED: u64 = 5;
+
+    // Sequential reference with the same seeds the driver uses.
+    let expected: Vec<f64> = (0..N)
+        .map(|b| {
+            let replicate = bootstrap_replicate(&data, SEED.wrapping_add(b as u64));
+            let mut engine = LikelihoodEngine::new(&Jc69, &replicate);
+            hill_climb_with(
+                &mut engine,
+                data.n_taxa(),
+                &search,
+                SEED ^ (b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+            .lnl
+        })
+        .collect();
+
+    for scheduler in [
+        SchedulerKind::Edtlp,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::Mgps,
+    ] {
+        let mut analysis = ParallelAnalysis::cell(scheduler, 3);
+        analysis.search = search;
+        let (results, stats) = analysis.run_bootstraps(Jc69, &data, N, SEED);
+        assert_eq!(results.len(), N);
+        for (b, (r, want)) in results.iter().zip(&expected).enumerate() {
+            assert!(
+                (r.lnl - want).abs() < 1e-6,
+                "{scheduler:?} bootstrap {b}: {} vs sequential {want}",
+                r.lnl
+            );
+            r.tree.validate().unwrap();
+        }
+        if scheduler == SchedulerKind::Edtlp {
+            assert!(stats.context_switches > 0, "EDTLP must switch on off-load");
+        }
+    }
+}
+
+#[test]
+fn linux_like_driver_still_computes_correctly() {
+    // Hold-during-offload serializes workers but must not change results.
+    let data = data();
+    let mut analysis = ParallelAnalysis::cell(SchedulerKind::LinuxLike, 2);
+    analysis.search = quick_search();
+    let (results, stats) = analysis.run_bootstraps(Jc69, &data, 3, 11);
+    assert_eq!(results.len(), 3);
+    assert!(results.iter().all(|r| r.lnl.is_finite()));
+    assert_eq!(stats.context_switches, 0, "the baseline never yields voluntarily");
+}
+
+#[test]
+fn mgps_driver_adapts_under_low_task_parallelism() {
+    let data = data();
+    let mut analysis = ParallelAnalysis::cell(SchedulerKind::Mgps, 1);
+    analysis.search = quick_search();
+    let (_results, stats) = analysis.run_bootstraps(Jc69, &data, 2, 13);
+    let (evals, acts, _) = stats.mgps.expect("MGPS stats available");
+    assert!(evals > 0, "a single worker streams enough kernels to close windows");
+    assert!(acts > 0, "one worker leaves SPEs idle: LLP must activate");
+    assert!(stats.final_degree > 1);
+}
+
+#[test]
+fn offloaded_engine_identical_under_every_loop_degree() {
+    let data = data();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    use rand::SeedableRng;
+    let tree = Tree::random(data.n_taxa(), 0.15, &mut rng);
+    let want = LikelihoodEngine::new(&Jc69, &data).log_likelihood(&tree);
+
+    for degree in [1, 2, 3, 5, 8] {
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::StaticHybrid {
+            spes_per_loop: degree,
+        }));
+        let mut ctx = rt.enter_process();
+        let mut engine = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+        let got = engine.log_likelihood(&tree);
+        assert!(
+            (got - want).abs() < 1e-9,
+            "degree {degree}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn worker_panic_does_not_poison_the_runtime() {
+    use std::ops::Range;
+    struct Bomb;
+    impl LoopBody for Bomb {
+        type Acc = ();
+        fn len(&self) -> usize {
+            8
+        }
+        fn identity(&self) {}
+        fn run_chunk(&self, _r: Range<usize>, _ctx: &mut SpeContext) {
+            panic!("injected kernel failure");
+        }
+        fn merge(&self, _a: (), _b: ()) {}
+    }
+
+    let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+    {
+        let mut ctx = rt.enter_process();
+        let err = ctx.offload_loop(LoopSite(99), Arc::new(Bomb));
+        assert_eq!(err.unwrap_err(), OffloadError::TaskPanicked);
+    }
+    // The runtime (and all SPEs) remain serviceable afterwards.
+    let data = data();
+    let mut ctx = rt.enter_process();
+    let mut engine = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let tree = Tree::random(data.n_taxa(), 0.1, &mut rng);
+    assert!(engine.log_likelihood(&tree).is_finite());
+}
+
+#[test]
+fn runtime_shutdown_accounts_every_kernel() {
+    let data = data();
+    let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+    let offloads = {
+        let mut ctx = rt.enter_process();
+        let mut engine = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let tree = Tree::random(data.n_taxa(), 0.1, &mut rng);
+        let _ = engine.log_likelihood(&tree);
+        engine.offloads()
+    };
+    let stats = rt.shutdown();
+    let total: u64 = stats.iter().map(|s| s.tasks_run).sum();
+    assert_eq!(
+        total, offloads,
+        "every off-load must appear in exactly one SPE's task count"
+    );
+}

