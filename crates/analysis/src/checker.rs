@@ -1,0 +1,725 @@
+//! The schedule-invariant checker.
+//!
+//! [`check_run`] replays a [`RunLog`] event by event and verifies every
+//! invariant the paper's scheduling model promises, *recomputing* running
+//! state (SPE occupancy, local-store budgets, mailbox depths, loop degree)
+//! rather than trusting the recorded summaries. Each broken invariant
+//! becomes a [`Violation`] carrying the rule name, the offending event's
+//! sequence number, and a human-readable explanation.
+//!
+//! ## Invariant catalog
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `causal-time` | event timestamps never decrease; sequence numbers are dense from 0 |
+//! | `fifo-order` | tasks start in off-load (FIFO queue) order |
+//! | `task-lifecycle` | every task starts once after its off-load and ends once on the team that started it |
+//! | `spe-overlap` | no SPE executes two tasks at the same time |
+//! | `local-store` | per-SPE buffer accounting never exceeds the 256 KB local store and never goes negative |
+//! | `dma-legality` | every DMA element is 1/2/4/8 bytes or a 16-byte multiple, at most 16 KB, 16-byte aligned, in a list of at most 2,048 elements |
+//! | `mailbox` | mailbox occupancy stays within hardware capacity (4/1/1) and never goes negative |
+//! | `ctx-switch` | EDTLP-family schedulers switch contexts only at off-load points; the Linux baseline only at quantum expiry after a full quantum |
+//! | `mgps-degree` | MGPS loop degrees stay in `1..=max(1, floor(n_spes/waiting))`, the utilization window is exactly `n_spes` long and never over-filled, and only MGPS runs make degree decisions |
+//! | `chunk-coverage` | each work-shared loop is partitioned into exactly `degree` chunks that tile `0..loop_iters` with one chunk per team member |
+
+use std::collections::HashMap;
+
+use cellsim::event::{EventKind, MailboxKind, RunLog, SchedulerTag, SwitchReason};
+use des::trace::TraceRecord;
+
+/// Hardware cap on a single DMA transfer (16 KB).
+const DMA_MAX_TRANSFER: usize = 16 * 1024;
+/// Hardware cap on DMA list length.
+const DMA_MAX_LIST: usize = 2048;
+/// Required DMA address alignment (128 bits).
+const DMA_ALIGNMENT: usize = 16;
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke (see the module-level catalog).
+    pub rule: &'static str,
+    /// Sequence number of the offending event, when one event is to blame
+    /// (`None` for whole-log properties such as a task that never ended).
+    pub seq: Option<u64>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.seq {
+            Some(seq) => write!(f, "[{}] event {}: {}", self.rule, seq, self.message),
+            None => write!(f, "[{}] {}", self.rule, self.message),
+        }
+    }
+}
+
+/// The checker's verdict over one run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Every violation found, in event order.
+    pub violations: Vec<Violation>,
+    /// Events examined.
+    pub events_checked: usize,
+    /// Distinct tasks that started.
+    pub tasks_checked: usize,
+}
+
+impl CheckReport {
+    /// True when no invariant broke.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One line per violation (empty string when clean).
+    pub fn render(&self) -> String {
+        self.violations.iter().map(|v| format!("{v}\n")).collect()
+    }
+}
+
+/// Per-task bookkeeping accumulated during the replay.
+#[derive(Debug)]
+struct TaskInfo {
+    proc: usize,
+    start_seq: u64,
+    degree: usize,
+    team: Vec<usize>,
+    chunks: Vec<(usize, usize, usize)>, // (start, len, worker)
+    ended: bool,
+}
+
+/// Statically verify every schedule invariant of `log`.
+pub fn check_run(log: &RunLog) -> CheckReport {
+    let mut report = CheckReport { events_checked: log.events.len(), ..CheckReport::default() };
+    let v = &mut report.violations;
+
+    let n_spes = log.n_spes;
+    // Replay state, all recomputed from scratch.
+    let mut prev_at: u64 = 0;
+    let mut busy: Vec<Option<u64>> = vec![None; n_spes]; // task occupying each SPE
+    let mut ls_in_use: Vec<usize> = vec![0; n_spes];
+    let mut mailbox_occ: Vec<[usize; 3]> = vec![[0; 3]; n_spes];
+    let mut offloaded: HashMap<u64, (usize, u64)> = HashMap::new(); // task -> (proc, seq)
+    let mut last_offload_at: HashMap<usize, u64> = HashMap::new(); // proc -> at_ns
+    let mut tasks: HashMap<u64, TaskInfo> = HashMap::new();
+    let mut last_started: Option<u64> = None;
+    let mut expected_degree: usize = initial_degree(log.scheduler);
+
+    for (i, e) in log.events.iter().enumerate() {
+        // causal-time: dense sequence numbers, monotone timestamps. Ties are
+        // legal (many events share an instant); the recorded order *is* the
+        // FIFO tie-break, so it must be reproducible from (at_ns, seq) alone.
+        if e.seq != i as u64 {
+            v.push(Violation {
+                rule: "causal-time",
+                seq: Some(e.seq),
+                message: format!("sequence number {} at position {i} (must be dense from 0)", e.seq),
+            });
+        }
+        if e.at_ns < prev_at {
+            v.push(Violation {
+                rule: "causal-time",
+                seq: Some(e.seq),
+                message: format!("timestamp {} ns precedes predecessor at {} ns", e.at_ns, prev_at),
+            });
+        }
+        prev_at = prev_at.max(e.at_ns);
+
+        match &e.kind {
+            EventKind::Offload { proc, task } => {
+                if let Some((other, prev_seq)) = offloaded.insert(*task, (*proc, e.seq)) {
+                    v.push(Violation {
+                        rule: "task-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} off-loaded twice (first by proc {other} at event {prev_seq})"
+                        ),
+                    });
+                }
+                last_offload_at.insert(*proc, e.at_ns);
+            }
+            EventKind::CtxSwitch { proc, reason, held_ns } => {
+                check_ctx_switch(log, e.seq, e.at_ns, *proc, *reason, *held_ns, &last_offload_at, v);
+            }
+            EventKind::TaskStart { proc, task, degree, team } => {
+                check_task_start(
+                    log, e.seq, *proc, *task, *degree, team, expected_degree, &offloaded,
+                    &last_started, &mut busy, v,
+                );
+                last_started = Some(*task);
+                tasks.insert(
+                    *task,
+                    TaskInfo {
+                        proc: *proc,
+                        start_seq: e.seq,
+                        degree: *degree,
+                        team: team.clone(),
+                        chunks: Vec::new(),
+                        ended: false,
+                    },
+                );
+            }
+            EventKind::TaskEnd { proc, task, team } => {
+                check_task_end(e.seq, *proc, *task, team, &mut tasks, &mut busy, v);
+            }
+            EventKind::Dma { spe, element_bytes, local_addr, main_addr } => {
+                check_dma(e.seq, *spe, element_bytes, *local_addr, *main_addr, n_spes, v);
+            }
+            EventKind::MailboxWrite { spe, mailbox, occupancy } => {
+                check_mailbox(e.seq, *spe, *mailbox, *occupancy, true, &mut mailbox_occ, v);
+            }
+            EventKind::MailboxRead { spe, mailbox, occupancy } => {
+                check_mailbox(e.seq, *spe, *mailbox, *occupancy, false, &mut mailbox_occ, v);
+            }
+            EventKind::LsAlloc { spe, bytes, in_use } => {
+                if *spe >= n_spes {
+                    v.push(bad_spe("local-store", e.seq, *spe, n_spes));
+                } else {
+                    ls_in_use[*spe] += bytes;
+                    if ls_in_use[*spe] > log.local_store_bytes {
+                        v.push(Violation {
+                            rule: "local-store",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "SPE {spe} local store over capacity: {} of {} bytes reserved",
+                                ls_in_use[*spe], log.local_store_bytes
+                            ),
+                        });
+                    }
+                    if ls_in_use[*spe] != *in_use {
+                        v.push(Violation {
+                            rule: "local-store",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "SPE {spe} recorded {in_use} bytes in use but the allocations sum to {}",
+                                ls_in_use[*spe]
+                            ),
+                        });
+                    }
+                }
+            }
+            EventKind::LsFree { spe, bytes, in_use } => {
+                if *spe >= n_spes {
+                    v.push(bad_spe("local-store", e.seq, *spe, n_spes));
+                } else if ls_in_use[*spe] < *bytes {
+                    v.push(Violation {
+                        rule: "local-store",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "SPE {spe} frees {bytes} bytes with only {} reserved (negative balance)",
+                            ls_in_use[*spe]
+                        ),
+                    });
+                    ls_in_use[*spe] = 0;
+                } else {
+                    ls_in_use[*spe] -= bytes;
+                    if ls_in_use[*spe] != *in_use {
+                        v.push(Violation {
+                            rule: "local-store",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "SPE {spe} recorded {in_use} bytes in use but the allocations sum to {}",
+                                ls_in_use[*spe]
+                            ),
+                        });
+                    }
+                }
+            }
+            EventKind::Chunk { task, loop_iters, start, len, worker } => {
+                if *loop_iters != log.loop_iters {
+                    v.push(Violation {
+                        rule: "chunk-coverage",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "chunk of task {task} claims {loop_iters} loop iterations; the run has {}",
+                            log.loop_iters
+                        ),
+                    });
+                }
+                match tasks.get_mut(task) {
+                    Some(info) => info.chunks.push((*start, *len, *worker)),
+                    None => v.push(Violation {
+                        rule: "chunk-coverage",
+                        seq: Some(e.seq),
+                        message: format!("chunk for task {task} which never started"),
+                    }),
+                }
+            }
+            EventKind::DegreeDecision { degree, waiting, n_spes: dn, window, window_fill } => {
+                check_degree_decision(
+                    log, e.seq, *degree, *waiting, *dn, *window, *window_fill, v,
+                );
+                expected_degree = *degree;
+            }
+        }
+    }
+
+    // Whole-log properties: every started task ended, and its chunks tile
+    // the iteration space exactly once across its team.
+    report.tasks_checked = tasks.len();
+    let mut ordered: Vec<_> = tasks.iter().collect();
+    ordered.sort_by_key(|(task, _)| **task);
+    for (task, info) in ordered {
+        if !info.ended {
+            report.violations.push(Violation {
+                rule: "task-lifecycle",
+                seq: Some(info.start_seq),
+                message: format!("task {task} started but never ended"),
+            });
+        }
+        check_chunk_coverage(*task, info, log.loop_iters, &mut report.violations);
+    }
+    for (spe, occupant) in busy.iter().enumerate() {
+        if let Some(task) = occupant {
+            report.violations.push(Violation {
+                rule: "spe-overlap",
+                seq: None,
+                message: format!("SPE {spe} still occupied by task {task} at end of log"),
+            });
+        }
+    }
+    report
+}
+
+/// Verify causal order of a `des` trace: monotone timestamps, and (the FIFO
+/// tie-break) records at equal times keep their emission order — which the
+/// serialized form encodes positionally, so a sorted-by-time replay must
+/// reproduce the original sequence.
+pub fn check_trace(records: &[TraceRecord]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, w) in records.windows(2).enumerate() {
+        if w[1].at < w[0].at {
+            out.push(Violation {
+                rule: "causal-time",
+                seq: Some((i + 1) as u64),
+                message: format!(
+                    "trace record '{}' at {} ns precedes '{}' at {} ns",
+                    w[1].label,
+                    w[1].at.as_nanos(),
+                    w[0].label,
+                    w[0].at.as_nanos()
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn initial_degree(tag: SchedulerTag) -> usize {
+    match tag {
+        SchedulerTag::StaticHybrid(k) => k,
+        _ => 1,
+    }
+}
+
+fn bad_spe(rule: &'static str, seq: u64, spe: usize, n_spes: usize) -> Violation {
+    Violation {
+        rule,
+        seq: Some(seq),
+        message: format!("SPE index {spe} out of range (machine has {n_spes})"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // replay state is genuinely this wide
+fn check_ctx_switch(
+    log: &RunLog,
+    seq: u64,
+    at_ns: u64,
+    proc: usize,
+    reason: SwitchReason,
+    held_ns: u64,
+    last_offload_at: &HashMap<usize, u64>,
+    v: &mut Vec<Violation>,
+) {
+    let linux = log.scheduler == SchedulerTag::Linux;
+    match (linux, reason) {
+        (true, SwitchReason::Offload) => v.push(Violation {
+            rule: "ctx-switch",
+            seq: Some(seq),
+            message: format!(
+                "Linux-like run switched proc {proc} at an off-load point (must rotate only on quantum expiry)"
+            ),
+        }),
+        (true, SwitchReason::Quantum) => {
+            if held_ns < log.quantum_ns {
+                v.push(Violation {
+                    rule: "ctx-switch",
+                    seq: Some(seq),
+                    message: format!(
+                        "proc {proc} rotated after {held_ns} ns, before its {} ns quantum expired",
+                        log.quantum_ns
+                    ),
+                });
+            }
+        }
+        (false, SwitchReason::Quantum) => v.push(Violation {
+            rule: "ctx-switch",
+            seq: Some(seq),
+            message: format!(
+                "EDTLP-family run preempted proc {proc} on a quantum (switches must be voluntary, at off-load points)"
+            ),
+        }),
+        (false, SwitchReason::Offload) => {
+            if last_offload_at.get(&proc) != Some(&at_ns) {
+                v.push(Violation {
+                    rule: "ctx-switch",
+                    seq: Some(seq),
+                    message: format!(
+                        "proc {proc} switched at {at_ns} ns without an off-load at that instant"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // replay state is genuinely this wide
+fn check_task_start(
+    log: &RunLog,
+    seq: u64,
+    proc: usize,
+    task: u64,
+    degree: usize,
+    team: &[usize],
+    expected_degree: usize,
+    offloaded: &HashMap<u64, (usize, u64)>,
+    last_started: &Option<u64>,
+    busy: &mut [Option<u64>],
+    v: &mut Vec<Violation>,
+) {
+    // fifo-order: the request queue is FIFO and task ids are assigned in
+    // off-load order, so grants must start strictly ascending task ids.
+    if let Some(prev) = last_started {
+        if task <= *prev {
+            v.push(Violation {
+                rule: "fifo-order",
+                seq: Some(seq),
+                message: format!("task {task} started after task {prev} (grants must follow off-load order)"),
+            });
+        }
+    }
+    match offloaded.get(&task) {
+        None => v.push(Violation {
+            rule: "task-lifecycle",
+            seq: Some(seq),
+            message: format!("task {task} started without an off-load request"),
+        }),
+        Some((owner, _)) if *owner != proc => v.push(Violation {
+            rule: "task-lifecycle",
+            seq: Some(seq),
+            message: format!("task {task} off-loaded by proc {owner} but started for proc {proc}"),
+        }),
+        Some(_) => {}
+    }
+    if degree != expected_degree {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!(
+                "task {task} granted degree {degree}; the scheduler's degree in force is {expected_degree}"
+            ),
+        });
+    }
+    if team.len() != degree {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!("task {task} has degree {degree} but a team of {}", team.len()),
+        });
+    }
+    for &spe in team {
+        if spe >= log.n_spes {
+            v.push(bad_spe("spe-overlap", seq, spe, log.n_spes));
+            continue;
+        }
+        if let Some(occupant) = busy[spe] {
+            v.push(Violation {
+                rule: "spe-overlap",
+                seq: Some(seq),
+                message: format!("task {task} starts on SPE {spe} while task {occupant} still runs there"),
+            });
+        }
+        busy[spe] = Some(task);
+    }
+}
+
+fn check_task_end(
+    seq: u64,
+    proc: usize,
+    task: u64,
+    team: &[usize],
+    tasks: &mut HashMap<u64, TaskInfo>,
+    busy: &mut [Option<u64>],
+    v: &mut Vec<Violation>,
+) {
+    match tasks.get_mut(&task) {
+        None => v.push(Violation {
+            rule: "task-lifecycle",
+            seq: Some(seq),
+            message: format!("task {task} ended without starting"),
+        }),
+        Some(info) => {
+            if info.ended {
+                v.push(Violation {
+                    rule: "task-lifecycle",
+                    seq: Some(seq),
+                    message: format!("task {task} ended twice"),
+                });
+            }
+            info.ended = true;
+            if info.proc != proc {
+                v.push(Violation {
+                    rule: "task-lifecycle",
+                    seq: Some(seq),
+                    message: format!("task {task} started for proc {} but ended for proc {proc}", info.proc),
+                });
+            }
+            if info.team != team {
+                v.push(Violation {
+                    rule: "task-lifecycle",
+                    seq: Some(seq),
+                    message: format!(
+                        "task {task} started on team {:?} but ended on team {team:?}",
+                        info.team
+                    ),
+                });
+            }
+        }
+    }
+    for &spe in team {
+        let Some(slot) = busy.get_mut(spe) else { continue };
+        match slot {
+            Some(t) if *t == task => *slot = None,
+            Some(t) => v.push(Violation {
+                rule: "spe-overlap",
+                seq: Some(seq),
+                message: format!("task {task} ends on SPE {spe} which is running task {t}"),
+            }),
+            None => v.push(Violation {
+                rule: "spe-overlap",
+                seq: Some(seq),
+                message: format!("task {task} ends on SPE {spe} which is idle"),
+            }),
+        }
+    }
+}
+
+fn check_dma(
+    seq: u64,
+    spe: usize,
+    element_bytes: &[usize],
+    local_addr: usize,
+    main_addr: usize,
+    n_spes: usize,
+    v: &mut Vec<Violation>,
+) {
+    if spe >= n_spes {
+        v.push(bad_spe("dma-legality", seq, spe, n_spes));
+    }
+    if element_bytes.is_empty() {
+        v.push(Violation {
+            rule: "dma-legality",
+            seq: Some(seq),
+            message: "empty DMA list".to_string(),
+        });
+    }
+    if element_bytes.len() > DMA_MAX_LIST {
+        v.push(Violation {
+            rule: "dma-legality",
+            seq: Some(seq),
+            message: format!(
+                "DMA list of {} elements exceeds the {DMA_MAX_LIST}-element cap",
+                element_bytes.len()
+            ),
+        });
+    }
+    for (i, &bytes) in element_bytes.iter().enumerate() {
+        if bytes > DMA_MAX_TRANSFER {
+            v.push(Violation {
+                rule: "dma-legality",
+                seq: Some(seq),
+                message: format!(
+                    "DMA element {i} moves {bytes} bytes, over the {DMA_MAX_TRANSFER}-byte cap"
+                ),
+            });
+        } else if !(matches!(bytes, 1 | 2 | 4 | 8) || (bytes > 0 && bytes % 16 == 0)) {
+            v.push(Violation {
+                rule: "dma-legality",
+                seq: Some(seq),
+                message: format!("DMA element {i} of {bytes} bytes is not 1, 2, 4, 8, or a 16-byte multiple"),
+            });
+        }
+    }
+    for (name, addr) in [("local", local_addr), ("main", main_addr)] {
+        if addr % DMA_ALIGNMENT != 0 {
+            v.push(Violation {
+                rule: "dma-legality",
+                seq: Some(seq),
+                message: format!("{name} address {addr:#x} violates 128-bit alignment"),
+            });
+        }
+    }
+}
+
+fn check_mailbox(
+    seq: u64,
+    spe: usize,
+    mailbox: MailboxKind,
+    recorded: usize,
+    is_write: bool,
+    occ: &mut [[usize; 3]],
+    v: &mut Vec<Violation>,
+) {
+    let Some(slots) = occ.get_mut(spe) else {
+        v.push(bad_spe("mailbox", seq, spe, occ.len()));
+        return;
+    };
+    let idx = match mailbox {
+        MailboxKind::Inbound => 0,
+        MailboxKind::Outbound => 1,
+        MailboxKind::OutboundInterrupt => 2,
+    };
+    if is_write {
+        slots[idx] += 1;
+        if slots[idx] > mailbox.capacity() {
+            v.push(Violation {
+                rule: "mailbox",
+                seq: Some(seq),
+                message: format!(
+                    "SPE {spe} {mailbox:?} mailbox holds {} messages, over its capacity of {}",
+                    slots[idx],
+                    mailbox.capacity()
+                ),
+            });
+        }
+    } else if slots[idx] == 0 {
+        v.push(Violation {
+            rule: "mailbox",
+            seq: Some(seq),
+            message: format!("read from empty SPE {spe} {mailbox:?} mailbox"),
+        });
+    } else {
+        slots[idx] -= 1;
+    }
+    if slots[idx] != recorded {
+        v.push(Violation {
+            rule: "mailbox",
+            seq: Some(seq),
+            message: format!(
+                "SPE {spe} {mailbox:?} mailbox records occupancy {recorded}; the operations sum to {}",
+                slots[idx]
+            ),
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // replay state is genuinely this wide
+fn check_degree_decision(
+    log: &RunLog,
+    seq: u64,
+    degree: usize,
+    waiting: usize,
+    dn: usize,
+    window: usize,
+    window_fill: usize,
+    v: &mut Vec<Violation>,
+) {
+    if log.scheduler != SchedulerTag::Mgps {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!("degree decision under {:?}, which never adapts LLP", log.scheduler),
+        });
+        return;
+    }
+    if dn != log.n_spes {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!("decision sized for {dn} SPEs on a {}-SPE machine", log.n_spes),
+        });
+    }
+    let expected_window = log.mgps_window.unwrap_or(log.n_spes);
+    if window != expected_window {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!(
+                "utilization window of {window} off-loads; the policy requires exactly {expected_window}"
+            ),
+        });
+    }
+    if window_fill > window {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!("window sample holds {window_fill} off-loads, over the {window}-slot window"),
+        });
+    }
+    let cap = (log.n_spes / waiting.max(1)).max(1);
+    if degree < 1 || degree > cap {
+        v.push(Violation {
+            rule: "mgps-degree",
+            seq: Some(seq),
+            message: format!(
+                "degree {degree} outside 1..=floor({}/{}) = {cap} with {waiting} waiting tasks",
+                log.n_spes,
+                waiting.max(1)
+            ),
+        });
+    }
+}
+
+fn check_chunk_coverage(task: u64, info: &TaskInfo, loop_iters: usize, v: &mut Vec<Violation>) {
+    if info.chunks.len() != info.degree {
+        v.push(Violation {
+            rule: "chunk-coverage",
+            seq: Some(info.start_seq),
+            message: format!(
+                "task {task} with degree {} dispatched {} chunks",
+                info.degree,
+                info.chunks.len()
+            ),
+        });
+        return;
+    }
+    // One chunk per team member.
+    let mut workers: Vec<usize> = info.chunks.iter().map(|&(_, _, w)| w).collect();
+    workers.sort_unstable();
+    let mut team = info.team.clone();
+    team.sort_unstable();
+    if workers != team {
+        v.push(Violation {
+            rule: "chunk-coverage",
+            seq: Some(info.start_seq),
+            message: format!(
+                "task {task} chunks run on SPEs {workers:?} but the team is {team:?}"
+            ),
+        });
+    }
+    // Chunks tile 0..loop_iters exactly once.
+    let mut spans: Vec<(usize, usize)> = info.chunks.iter().map(|&(s, l, _)| (s, l)).collect();
+    spans.sort_unstable();
+    let mut next = 0usize;
+    for &(start, len) in &spans {
+        if start != next {
+            v.push(Violation {
+                rule: "chunk-coverage",
+                seq: Some(info.start_seq),
+                message: format!(
+                    "task {task} chunk starts at iteration {start}; expected {next} (gap or overlap)"
+                ),
+            });
+            return;
+        }
+        next = start + len;
+    }
+    if next != loop_iters {
+        v.push(Violation {
+            rule: "chunk-coverage",
+            seq: Some(info.start_seq),
+            message: format!("task {task} chunks cover {next} of {loop_iters} iterations"),
+        });
+    }
+}

@@ -1,0 +1,222 @@
+//! Checker fixtures: clean simulator runs must report zero violations,
+//! seeded corruptions must each trip exactly the invariant they break,
+//! and replay must be digest-deterministic in the seed.
+
+use cellsim::event::{EventKind, EventRecord, RunLog, SchedulerTag, SwitchReason};
+use cellsim::machine::{run, SimConfig};
+use mgps_analysis::{check_run, trace_digest};
+use mgps_runtime::policy::SchedulerKind;
+
+/// Workload scale for the integration runs (large = fast).
+const SCALE: usize = 4_000;
+
+fn recorded_run(scheduler: SchedulerKind, n: usize, seed: u64) -> RunLog {
+    let mut cfg = SimConfig::cell_42sc(scheduler, n, SCALE);
+    cfg.seed = seed;
+    cfg.record_events = true;
+    run(cfg).run_log.expect("record_events was set")
+}
+
+#[test]
+fn clean_runs_have_zero_violations_under_every_scheduler() {
+    for scheduler in [
+        SchedulerKind::Edtlp,
+        SchedulerKind::LinuxLike,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+        SchedulerKind::Mgps,
+    ] {
+        let log = recorded_run(scheduler, 2, 0x5eed);
+        let report = check_run(&log);
+        assert!(
+            report.is_clean(),
+            "{scheduler:?} run must satisfy every invariant:\n{}",
+            report.render()
+        );
+        assert!(report.events_checked > 0, "{scheduler:?} run recorded no events");
+        assert!(report.tasks_checked > 0, "{scheduler:?} run started no tasks");
+    }
+}
+
+#[test]
+fn digest_is_deterministic_in_the_seed() {
+    let a = recorded_run(SchedulerKind::Mgps, 2, 0x5eed);
+    let b = recorded_run(SchedulerKind::Mgps, 2, 0x5eed);
+    assert_eq!(trace_digest(&a), trace_digest(&b), "same seed must replay identically");
+    let c = recorded_run(SchedulerKind::Mgps, 2, 0xbeef);
+    assert_ne!(trace_digest(&a), trace_digest(&c), "different seeds should diverge");
+}
+
+#[test]
+fn serialized_log_round_trips_and_keeps_its_digest() {
+    let log = recorded_run(SchedulerKind::Edtlp, 1, 7);
+    let json = log.to_value().to_json();
+    let back = RunLog::from_value(&minijson::parse(&json).expect("parse")).expect("round trip");
+    assert_eq!(trace_digest(&log), trace_digest(&back));
+    assert!(check_run(&back).is_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded violations over a hand-built minimal (clean) log.
+// ---------------------------------------------------------------------------
+
+/// A minimal EDTLP log exercising one complete task lifecycle; the checker
+/// must find it spotless, and each seeded corruption below must trip
+/// exactly the invariant it breaks.
+fn minimal_log() -> RunLog {
+    let kinds = vec![
+        (0, EventKind::Offload { proc: 0, task: 0 }),
+        (0, EventKind::CtxSwitch { proc: 0, reason: SwitchReason::Offload, held_ns: 100 }),
+        (10, EventKind::TaskStart { proc: 0, task: 0, degree: 1, team: vec![0] }),
+        (10, EventKind::LsAlloc { spe: 0, bytes: 4096, in_use: 4096 }),
+        (12, EventKind::Dma { spe: 0, element_bytes: vec![4096], local_addr: 0, main_addr: 0x1000 }),
+        (12, EventKind::Chunk { task: 0, loop_iters: 64, start: 0, len: 64, worker: 0 }),
+        (90, EventKind::TaskEnd { proc: 0, task: 0, team: vec![0] }),
+        (90, EventKind::LsFree { spe: 0, bytes: 4096, in_use: 0 }),
+    ];
+    RunLog {
+        scheduler: SchedulerTag::Edtlp,
+        n_spes: 8,
+        quantum_ns: 100_000,
+        seed: 1,
+        local_store_bytes: 256 * 1024,
+        loop_iters: 64,
+        mgps_window: None,
+        events: kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at_ns, kind))| EventRecord { seq: i as u64, at_ns, kind })
+            .collect(),
+    }
+}
+
+fn rules_of(log: &RunLog) -> Vec<&'static str> {
+    check_run(log).violations.into_iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn minimal_log_is_clean() {
+    let report = check_run(&minimal_log());
+    assert!(report.is_clean(), "baseline fixture must be clean:\n{}", report.render());
+}
+
+#[test]
+fn oversized_dma_element_is_flagged() {
+    let mut log = minimal_log();
+    // 32 KB in one element: double the MFC's 16 KB transfer cap.
+    log.events[4].kind =
+        EventKind::Dma { spe: 0, element_bytes: vec![32 * 1024], local_addr: 0, main_addr: 0x1000 };
+    assert_eq!(rules_of(&log), vec!["dma-legality"]);
+    let report = check_run(&log);
+    assert_eq!(report.violations[0].seq, Some(4));
+    assert!(report.violations[0].message.contains("32768 bytes"));
+}
+
+#[test]
+fn misaligned_dma_is_flagged() {
+    let mut log = minimal_log();
+    log.events[4].kind =
+        EventKind::Dma { spe: 0, element_bytes: vec![4096], local_addr: 8, main_addr: 0x1000 };
+    assert_eq!(rules_of(&log), vec!["dma-legality"]);
+}
+
+#[test]
+fn local_store_overflow_is_flagged() {
+    let mut log = minimal_log();
+    // 300 KB into a 256 KB local store.
+    log.events[3].kind = EventKind::LsAlloc { spe: 0, bytes: 300_000, in_use: 300_000 };
+    log.events[7].kind = EventKind::LsFree { spe: 0, bytes: 300_000, in_use: 0 };
+    let report = check_run(&log);
+    assert_eq!(rules_of(&log), vec!["local-store"]);
+    assert!(report.violations[0].message.contains("over capacity"));
+}
+
+#[test]
+fn overlapping_spe_tasks_are_flagged() {
+    let mut log = minimal_log();
+    // A second task starts on SPE 0 while task 0 still runs there. The
+    // corrupted busy state also surfaces at the tasks' ends, so every
+    // violation must carry the overlap rule and the start must be first.
+    let overlap = vec![
+        (12, EventKind::Offload { proc: 1, task: 1 }),
+        (20, EventKind::TaskStart { proc: 1, task: 1, degree: 1, team: vec![0] }),
+        (30, EventKind::Chunk { task: 1, loop_iters: 64, start: 0, len: 64, worker: 0 }),
+        (40, EventKind::TaskEnd { proc: 1, task: 1, team: vec![0] }),
+    ];
+    // Splice after task 0's chunk dispatch (position 6), before its end.
+    for (offset, (at_ns, kind)) in overlap.into_iter().enumerate() {
+        log.events.insert(6 + offset, EventRecord { seq: 0, at_ns, kind });
+    }
+    for (i, e) in log.events.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+    let rules = rules_of(&log);
+    assert!(!rules.is_empty(), "overlap must be detected");
+    assert!(
+        rules.iter().all(|r| *r == "spe-overlap"),
+        "only the overlap invariant may fire, got {rules:?}"
+    );
+    let report = check_run(&log);
+    assert!(report.violations[0].message.contains("while task 0 still runs there"));
+}
+
+#[test]
+fn non_monotone_time_is_flagged() {
+    let mut log = minimal_log();
+    log.events[6].at_ns = 5; // TaskEnd before its TaskStart's timestamp
+    assert_eq!(rules_of(&log), vec!["causal-time"]);
+}
+
+#[test]
+fn out_of_order_grants_are_flagged() {
+    let mut log = minimal_log();
+    let extra = vec![
+        (90, EventKind::Offload { proc: 1, task: 2 }),
+        (90, EventKind::Offload { proc: 2, task: 3 }),
+        // Task 3 jumps the FIFO queue ahead of task 2.
+        (95, EventKind::TaskStart { proc: 2, task: 3, degree: 1, team: vec![1] }),
+        (95, EventKind::Chunk { task: 3, loop_iters: 64, start: 0, len: 64, worker: 1 }),
+        (96, EventKind::TaskEnd { proc: 2, task: 3, team: vec![1] }),
+        (97, EventKind::TaskStart { proc: 1, task: 2, degree: 1, team: vec![2] }),
+        (97, EventKind::Chunk { task: 2, loop_iters: 64, start: 0, len: 64, worker: 2 }),
+        (98, EventKind::TaskEnd { proc: 1, task: 2, team: vec![2] }),
+    ];
+    let base = log.events.len();
+    for (i, (at_ns, kind)) in extra.into_iter().enumerate() {
+        log.events.push(EventRecord { seq: (base + i) as u64, at_ns, kind });
+    }
+    assert_eq!(rules_of(&log), vec!["fifo-order"]);
+}
+
+#[test]
+fn quantum_switch_under_edtlp_is_flagged() {
+    let mut log = minimal_log();
+    log.events[1].kind =
+        EventKind::CtxSwitch { proc: 0, reason: SwitchReason::Quantum, held_ns: 200_000 };
+    assert_eq!(rules_of(&log), vec!["ctx-switch"]);
+}
+
+#[test]
+fn degree_decision_outside_mgps_is_flagged() {
+    let mut log = minimal_log();
+    log.events.push(EventRecord {
+        seq: 8,
+        at_ns: 95,
+        kind: EventKind::DegreeDecision {
+            degree: 2,
+            waiting: 1,
+            n_spes: 8,
+            window: 8,
+            window_fill: 4,
+        },
+    });
+    assert_eq!(rules_of(&log), vec!["mgps-degree"]);
+}
+
+#[test]
+fn chunk_gap_is_flagged() {
+    let mut log = minimal_log();
+    // The single chunk covers only half the iteration space.
+    log.events[5].kind = EventKind::Chunk { task: 0, loop_iters: 64, start: 0, len: 32, worker: 0 };
+    assert_eq!(rules_of(&log), vec!["chunk-coverage"]);
+}

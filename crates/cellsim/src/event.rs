@@ -1,0 +1,693 @@
+//! Structured execution-event records for post-hoc invariant checking.
+//!
+//! When [`crate::machine::SimConfig::record_events`] is set, the machine
+//! model appends one [`EventRecord`] per semantically meaningful action —
+//! off-loads, context switches, task starts/ends, DMA issues, mailbox
+//! operations, local-store accounting, loop chunk dispatch, and MGPS
+//! degree decisions — into a [`RunLog`]. The log is what `mgps-analysis`
+//! statically verifies; it serializes to JSON (via `minijson`) so runs can
+//! be archived and diffed, and its serialized form is the input to the
+//! deterministic-replay digest.
+
+use minijson::Value;
+
+/// Why a process lost its PPE context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// Voluntary yield at an off-load point (EDTLP-family schedulers).
+    Offload,
+    /// Involuntary quantum-expiry rotation (Linux-like scheduler).
+    Quantum,
+}
+
+impl SwitchReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            SwitchReason::Offload => "offload",
+            SwitchReason::Quantum => "quantum",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<SwitchReason> {
+        match s {
+            "offload" => Some(SwitchReason::Offload),
+            "quantum" => Some(SwitchReason::Quantum),
+            _ => None,
+        }
+    }
+}
+
+/// Which of an SPU's three hardware mailboxes an operation touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxKind {
+    /// PPE → SPU command mailbox (4 entries).
+    Inbound,
+    /// SPU → PPE data mailbox (1 entry).
+    Outbound,
+    /// SPU → PPE interrupting mailbox (1 entry).
+    OutboundInterrupt,
+}
+
+impl MailboxKind {
+    /// The hardware capacity of this mailbox kind (§4).
+    pub fn capacity(self) -> usize {
+        match self {
+            MailboxKind::Inbound => 4,
+            MailboxKind::Outbound | MailboxKind::OutboundInterrupt => 1,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            MailboxKind::Inbound => "inbound",
+            MailboxKind::Outbound => "outbound",
+            MailboxKind::OutboundInterrupt => "outbound_interrupt",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<MailboxKind> {
+        match s {
+            "inbound" => Some(MailboxKind::Inbound),
+            "outbound" => Some(MailboxKind::Outbound),
+            "outbound_interrupt" => Some(MailboxKind::OutboundInterrupt),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded action of the machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Process `proc` requested an off-load of `task`.
+    Offload {
+        /// Requesting worker process.
+        proc: usize,
+        /// Task identifier (monotonic per run).
+        task: u64,
+    },
+    /// Process `proc` lost its PPE context.
+    CtxSwitch {
+        /// The descheduled process.
+        proc: usize,
+        /// Why the context was lost.
+        reason: SwitchReason,
+        /// How long the context was held, ns.
+        held_ns: u64,
+    },
+    /// `task` began executing for `proc` on `team` (work-shared when
+    /// `degree > 1`).
+    TaskStart {
+        /// Owning worker process.
+        proc: usize,
+        /// Task identifier.
+        task: u64,
+        /// Loop-level parallelism degree in force at grant time.
+        degree: usize,
+        /// The SPEs granted (team\[0\] is the lead).
+        team: Vec<usize>,
+    },
+    /// `task` finished on `team`.
+    TaskEnd {
+        /// Owning worker process.
+        proc: usize,
+        /// Task identifier.
+        task: u64,
+        /// The SPEs released.
+        team: Vec<usize>,
+    },
+    /// A DMA list was issued from `spe`.
+    Dma {
+        /// Issuing SPE.
+        spe: usize,
+        /// Per-element transfer sizes, bytes.
+        element_bytes: Vec<usize>,
+        /// Local-store base address.
+        local_addr: usize,
+        /// Main-memory base address.
+        main_addr: usize,
+    },
+    /// A message was written into a mailbox.
+    MailboxWrite {
+        /// The SPU whose mailbox was written.
+        spe: usize,
+        /// Which mailbox.
+        mailbox: MailboxKind,
+        /// Occupancy after the write.
+        occupancy: usize,
+    },
+    /// A message was read from a mailbox.
+    MailboxRead {
+        /// The SPU whose mailbox was read.
+        spe: usize,
+        /// Which mailbox.
+        mailbox: MailboxKind,
+        /// Occupancy after the read.
+        occupancy: usize,
+    },
+    /// Local-store buffer space reserved on `spe`.
+    LsAlloc {
+        /// The SPE.
+        spe: usize,
+        /// Bytes reserved.
+        bytes: usize,
+        /// Total bytes in use after the reservation.
+        in_use: usize,
+    },
+    /// Local-store buffer space released on `spe`.
+    LsFree {
+        /// The SPE.
+        spe: usize,
+        /// Bytes released.
+        bytes: usize,
+        /// Total bytes in use after the release.
+        in_use: usize,
+    },
+    /// One work-sharing chunk of `task`'s parallel loop was assigned.
+    Chunk {
+        /// The work-shared task.
+        task: u64,
+        /// Total loop iterations of the task.
+        loop_iters: usize,
+        /// First iteration of this chunk.
+        start: usize,
+        /// Iterations in this chunk.
+        len: usize,
+        /// The SPE executing the chunk.
+        worker: usize,
+    },
+    /// The MGPS policy issued a degree decision at a window boundary.
+    DegreeDecision {
+        /// The new loop degree (1 = LLP off).
+        degree: usize,
+        /// Tasks waiting for off-load at the decision (the paper's `T`).
+        waiting: usize,
+        /// SPEs on the machine.
+        n_spes: usize,
+        /// Configured utilization-window length.
+        window: usize,
+        /// Off-loads currently held in the window sample.
+        window_fill: usize,
+    },
+}
+
+/// An [`EventKind`] stamped with its emission order and simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Emission sequence number (0-based, dense).
+    pub seq: u64,
+    /// Simulated time of the event, ns.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Which scheduling scheme produced a log (determines the context-switch
+/// discipline the checker enforces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerTag {
+    /// Event-driven task-level parallelism.
+    Edtlp,
+    /// Linux-like quantum rotation.
+    Linux,
+    /// EDTLP with a fixed loop degree.
+    StaticHybrid(usize),
+    /// Adaptive multigrain scheduling.
+    Mgps,
+}
+
+impl std::fmt::Display for SchedulerTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.as_string())
+    }
+}
+
+impl SchedulerTag {
+    fn as_string(self) -> String {
+        match self {
+            SchedulerTag::Edtlp => "edtlp".to_string(),
+            SchedulerTag::Linux => "linux".to_string(),
+            SchedulerTag::StaticHybrid(k) => format!("static_hybrid:{k}"),
+            SchedulerTag::Mgps => "mgps".to_string(),
+        }
+    }
+
+    fn from_string(s: &str) -> Option<SchedulerTag> {
+        match s {
+            "edtlp" => Some(SchedulerTag::Edtlp),
+            "linux" => Some(SchedulerTag::Linux),
+            "mgps" => Some(SchedulerTag::Mgps),
+            other => other
+                .strip_prefix("static_hybrid:")
+                .and_then(|k| k.parse().ok())
+                .map(SchedulerTag::StaticHybrid),
+        }
+    }
+}
+
+/// The complete structured log of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLog {
+    /// Scheduling scheme of the run.
+    pub scheduler: SchedulerTag,
+    /// SPEs on the simulated machine.
+    pub n_spes: usize,
+    /// Effective Linux quantum, ns (also recorded for non-Linux runs).
+    pub quantum_ns: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Local-store capacity per SPE, bytes.
+    pub local_store_bytes: usize,
+    /// Parallel-loop iteration count per task.
+    pub loop_iters: usize,
+    /// MGPS utilization-window length, when the run used MGPS.
+    pub mgps_window: Option<usize>,
+    /// The events, in emission order.
+    pub events: Vec<EventRecord>,
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn usize_list(v: &Value, key: &str) -> Result<Vec<usize>, String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing array field '{key}'"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("non-integer element in '{key}'"))
+        })
+        .collect()
+}
+
+impl EventKind {
+    fn to_value(&self) -> Value {
+        match self {
+            EventKind::Offload { proc, task } => Value::object(vec![
+                ("type", "offload".into()),
+                ("proc", (*proc).into()),
+                ("task", (*task).into()),
+            ]),
+            EventKind::CtxSwitch {
+                proc,
+                reason,
+                held_ns,
+            } => Value::object(vec![
+                ("type", "ctx_switch".into()),
+                ("proc", (*proc).into()),
+                ("reason", reason.as_str().into()),
+                ("held_ns", (*held_ns).into()),
+            ]),
+            EventKind::TaskStart {
+                proc,
+                task,
+                degree,
+                team,
+            } => Value::object(vec![
+                ("type", "task_start".into()),
+                ("proc", (*proc).into()),
+                ("task", (*task).into()),
+                ("degree", (*degree).into()),
+                ("team", Value::array(team.clone())),
+            ]),
+            EventKind::TaskEnd { proc, task, team } => Value::object(vec![
+                ("type", "task_end".into()),
+                ("proc", (*proc).into()),
+                ("task", (*task).into()),
+                ("team", Value::array(team.clone())),
+            ]),
+            EventKind::Dma {
+                spe,
+                element_bytes,
+                local_addr,
+                main_addr,
+            } => Value::object(vec![
+                ("type", "dma".into()),
+                ("spe", (*spe).into()),
+                ("element_bytes", Value::array(element_bytes.clone())),
+                ("local_addr", (*local_addr).into()),
+                ("main_addr", (*main_addr).into()),
+            ]),
+            EventKind::MailboxWrite {
+                spe,
+                mailbox,
+                occupancy,
+            } => Value::object(vec![
+                ("type", "mailbox_write".into()),
+                ("spe", (*spe).into()),
+                ("mailbox", mailbox.as_str().into()),
+                ("occupancy", (*occupancy).into()),
+            ]),
+            EventKind::MailboxRead {
+                spe,
+                mailbox,
+                occupancy,
+            } => Value::object(vec![
+                ("type", "mailbox_read".into()),
+                ("spe", (*spe).into()),
+                ("mailbox", mailbox.as_str().into()),
+                ("occupancy", (*occupancy).into()),
+            ]),
+            EventKind::LsAlloc { spe, bytes, in_use } => Value::object(vec![
+                ("type", "ls_alloc".into()),
+                ("spe", (*spe).into()),
+                ("bytes", (*bytes).into()),
+                ("in_use", (*in_use).into()),
+            ]),
+            EventKind::LsFree { spe, bytes, in_use } => Value::object(vec![
+                ("type", "ls_free".into()),
+                ("spe", (*spe).into()),
+                ("bytes", (*bytes).into()),
+                ("in_use", (*in_use).into()),
+            ]),
+            EventKind::Chunk {
+                task,
+                loop_iters,
+                start,
+                len,
+                worker,
+            } => Value::object(vec![
+                ("type", "chunk".into()),
+                ("task", (*task).into()),
+                ("loop_iters", (*loop_iters).into()),
+                ("start", (*start).into()),
+                ("len", (*len).into()),
+                ("worker", (*worker).into()),
+            ]),
+            EventKind::DegreeDecision {
+                degree,
+                waiting,
+                n_spes,
+                window,
+                window_fill,
+            } => Value::object(vec![
+                ("type", "degree_decision".into()),
+                ("degree", (*degree).into()),
+                ("waiting", (*waiting).into()),
+                ("n_spes", (*n_spes).into()),
+                ("window", (*window).into()),
+                ("window_fill", (*window_fill).into()),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<EventKind, String> {
+        let kind = match str_field(v, "type")? {
+            "offload" => EventKind::Offload {
+                proc: usize_field(v, "proc")?,
+                task: u64_field(v, "task")?,
+            },
+            "ctx_switch" => EventKind::CtxSwitch {
+                proc: usize_field(v, "proc")?,
+                reason: SwitchReason::from_str(str_field(v, "reason")?)
+                    .ok_or("bad switch reason")?,
+                held_ns: u64_field(v, "held_ns")?,
+            },
+            "task_start" => EventKind::TaskStart {
+                proc: usize_field(v, "proc")?,
+                task: u64_field(v, "task")?,
+                degree: usize_field(v, "degree")?,
+                team: usize_list(v, "team")?,
+            },
+            "task_end" => EventKind::TaskEnd {
+                proc: usize_field(v, "proc")?,
+                task: u64_field(v, "task")?,
+                team: usize_list(v, "team")?,
+            },
+            "dma" => EventKind::Dma {
+                spe: usize_field(v, "spe")?,
+                element_bytes: usize_list(v, "element_bytes")?,
+                local_addr: usize_field(v, "local_addr")?,
+                main_addr: usize_field(v, "main_addr")?,
+            },
+            "mailbox_write" => EventKind::MailboxWrite {
+                spe: usize_field(v, "spe")?,
+                mailbox: MailboxKind::from_str(str_field(v, "mailbox")?)
+                    .ok_or("bad mailbox kind")?,
+                occupancy: usize_field(v, "occupancy")?,
+            },
+            "mailbox_read" => EventKind::MailboxRead {
+                spe: usize_field(v, "spe")?,
+                mailbox: MailboxKind::from_str(str_field(v, "mailbox")?)
+                    .ok_or("bad mailbox kind")?,
+                occupancy: usize_field(v, "occupancy")?,
+            },
+            "ls_alloc" => EventKind::LsAlloc {
+                spe: usize_field(v, "spe")?,
+                bytes: usize_field(v, "bytes")?,
+                in_use: usize_field(v, "in_use")?,
+            },
+            "ls_free" => EventKind::LsFree {
+                spe: usize_field(v, "spe")?,
+                bytes: usize_field(v, "bytes")?,
+                in_use: usize_field(v, "in_use")?,
+            },
+            "chunk" => EventKind::Chunk {
+                task: u64_field(v, "task")?,
+                loop_iters: usize_field(v, "loop_iters")?,
+                start: usize_field(v, "start")?,
+                len: usize_field(v, "len")?,
+                worker: usize_field(v, "worker")?,
+            },
+            "degree_decision" => EventKind::DegreeDecision {
+                degree: usize_field(v, "degree")?,
+                waiting: usize_field(v, "waiting")?,
+                n_spes: usize_field(v, "n_spes")?,
+                window: usize_field(v, "window")?,
+                window_fill: usize_field(v, "window_fill")?,
+            },
+            other => return Err(format!("unknown event type '{other}'")),
+        };
+        Ok(kind)
+    }
+}
+
+impl RunLog {
+    /// Serialize to a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut members = vec![
+                    ("seq".to_string(), e.seq.into()),
+                    ("at_ns".to_string(), e.at_ns.into()),
+                ];
+                if let Value::Object(kind_members) = e.kind.to_value() {
+                    members.extend(kind_members);
+                }
+                Value::Object(members)
+            })
+            .collect::<Vec<_>>();
+        Value::object(vec![
+            ("scheduler", self.scheduler.as_string().into()),
+            ("n_spes", self.n_spes.into()),
+            ("quantum_ns", self.quantum_ns.into()),
+            ("seed", self.seed.into()),
+            ("local_store_bytes", self.local_store_bytes.into()),
+            ("loop_iters", self.loop_iters.into()),
+            (
+                "mgps_window",
+                self.mgps_window.map_or(Value::Null, Into::into),
+            ),
+            ("events", Value::Array(events)),
+        ])
+    }
+
+    /// Rebuild a log from [`Self::to_value`] output.
+    ///
+    /// # Errors
+    /// A description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<RunLog, String> {
+        let mut events = Vec::new();
+        for e in v
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or("missing array field 'events'")?
+        {
+            events.push(EventRecord {
+                seq: u64_field(e, "seq")?,
+                at_ns: u64_field(e, "at_ns")?,
+                kind: EventKind::from_value(e)?,
+            });
+        }
+        Ok(RunLog {
+            scheduler: SchedulerTag::from_string(str_field(v, "scheduler")?)
+                .ok_or("bad scheduler tag")?,
+            n_spes: usize_field(v, "n_spes")?,
+            quantum_ns: u64_field(v, "quantum_ns")?,
+            seed: u64_field(v, "seed")?,
+            local_store_bytes: usize_field(v, "local_store_bytes")?,
+            loop_iters: usize_field(v, "loop_iters")?,
+            mgps_window: v.get("mgps_window").and_then(Value::as_u64).map(|n| n as usize),
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> RunLog {
+        RunLog {
+            scheduler: SchedulerTag::Mgps,
+            n_spes: 8,
+            quantum_ns: 1_000_000,
+            seed: 42,
+            local_store_bytes: 256 * 1024,
+            loop_iters: 228,
+            mgps_window: Some(8),
+            events: vec![
+                EventRecord {
+                    seq: 0,
+                    at_ns: 10,
+                    kind: EventKind::Offload { proc: 0, task: 0 },
+                },
+                EventRecord {
+                    seq: 1,
+                    at_ns: 10,
+                    kind: EventKind::CtxSwitch {
+                        proc: 0,
+                        reason: SwitchReason::Offload,
+                        held_ns: 10,
+                    },
+                },
+                EventRecord {
+                    seq: 2,
+                    at_ns: 25,
+                    kind: EventKind::TaskStart {
+                        proc: 0,
+                        task: 0,
+                        degree: 2,
+                        team: vec![0, 1],
+                    },
+                },
+                EventRecord {
+                    seq: 3,
+                    at_ns: 25,
+                    kind: EventKind::Dma {
+                        spe: 0,
+                        element_bytes: vec![12 * 1024, 128],
+                        local_addr: 0,
+                        main_addr: 4096,
+                    },
+                },
+                EventRecord {
+                    seq: 4,
+                    at_ns: 25,
+                    kind: EventKind::Chunk {
+                        task: 0,
+                        loop_iters: 228,
+                        start: 0,
+                        len: 114,
+                        worker: 0,
+                    },
+                },
+                EventRecord {
+                    seq: 5,
+                    at_ns: 99,
+                    kind: EventKind::DegreeDecision {
+                        degree: 4,
+                        waiting: 2,
+                        n_spes: 8,
+                        window: 8,
+                        window_fill: 3,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_every_event_type() {
+        let mut log = sample_log();
+        log.events.extend([
+            EventRecord {
+                seq: 6,
+                at_ns: 100,
+                kind: EventKind::TaskEnd {
+                    proc: 0,
+                    task: 0,
+                    team: vec![0, 1],
+                },
+            },
+            EventRecord {
+                seq: 7,
+                at_ns: 100,
+                kind: EventKind::MailboxWrite {
+                    spe: 0,
+                    mailbox: MailboxKind::OutboundInterrupt,
+                    occupancy: 1,
+                },
+            },
+            EventRecord {
+                seq: 8,
+                at_ns: 100,
+                kind: EventKind::MailboxRead {
+                    spe: 0,
+                    mailbox: MailboxKind::OutboundInterrupt,
+                    occupancy: 0,
+                },
+            },
+            EventRecord {
+                seq: 9,
+                at_ns: 100,
+                kind: EventKind::LsAlloc {
+                    spe: 1,
+                    bytes: 4096,
+                    in_use: 4096,
+                },
+            },
+            EventRecord {
+                seq: 10,
+                at_ns: 101,
+                kind: EventKind::LsFree {
+                    spe: 1,
+                    bytes: 4096,
+                    in_use: 0,
+                },
+            },
+        ]);
+        let text = log.to_value().to_json_pretty();
+        let back = RunLog::from_value(&minijson::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn scheduler_tags_round_trip() {
+        for tag in [
+            SchedulerTag::Edtlp,
+            SchedulerTag::Linux,
+            SchedulerTag::StaticHybrid(4),
+            SchedulerTag::Mgps,
+        ] {
+            assert_eq!(SchedulerTag::from_string(&tag.as_string()), Some(tag));
+        }
+        assert_eq!(SchedulerTag::from_string("nope"), None);
+    }
+
+    #[test]
+    fn mailbox_capacities_match_hardware() {
+        assert_eq!(MailboxKind::Inbound.capacity(), 4);
+        assert_eq!(MailboxKind::Outbound.capacity(), 1);
+        assert_eq!(MailboxKind::OutboundInterrupt.capacity(), 1);
+    }
+}

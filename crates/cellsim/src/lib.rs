@@ -31,6 +31,7 @@
 
 pub mod dma;
 pub mod eib;
+pub mod event;
 pub mod machine;
 pub mod mailbox;
 pub mod mfc;
@@ -38,6 +39,7 @@ pub mod params;
 pub mod spe;
 pub mod workload;
 
+pub use event::{EventKind, EventRecord, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 pub use machine::{run, RunReport, SchedOverheads, SimConfig};
 pub use params::{CellParams, DmaParams};
 pub use workload::{KernelProfile, RaxmlWorkload};

@@ -24,13 +24,15 @@ use std::collections::VecDeque;
 
 use des::prelude::*;
 use mgps_runtime::policy::{
-    Directive, MgpsConfig, MgpsScheduler, PpePolicyKind, PpeScheduler, ProcId, SchedulerKind,
-    TaskId,
+    partition, Directive, MgpsConfig, MgpsScheduler, PpePolicyKind, PpeScheduler, ProcId,
+    SchedulerKind, TaskId,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::dma::DmaList;
 use crate::eib::Eib;
+use crate::event::{EventKind, EventRecord, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use crate::mailbox::SpuMailboxes;
 use crate::params::CellParams;
 use crate::spe::SpeState;
@@ -81,6 +83,10 @@ pub struct SimConfig {
     /// Record a per-SPE task timeline (Figure 2-style traces). Costs
     /// memory proportional to the task count; off by default.
     pub record_timeline: bool,
+    /// Record the structured [`RunLog`] consumed by `mgps-analysis`
+    /// (task/DMA/mailbox/local-store/degree events). Costs memory
+    /// proportional to the event count; off by default.
+    pub record_events: bool,
 }
 
 impl SimConfig {
@@ -97,6 +103,7 @@ impl SimConfig {
             overheads: SchedOverheads::default(),
             mgps_config: None,
             record_timeline: false,
+            record_events: false,
         }
     }
 }
@@ -128,6 +135,9 @@ struct ProcState {
     ppe: usize,
     remaining: usize,
     phase: Phase,
+    /// Task id of the off-load in flight (valid from off-load request
+    /// until completion).
+    current_task: u64,
     /// Off-load request timestamp of the task in flight.
     task_started_ns: u64,
     /// When this process last acquired a PPE context.
@@ -165,6 +175,10 @@ pub struct CellMachine {
     mailboxes: Vec<SpuMailboxes>,
     /// (spe, proc, start, end) per executed task, when enabled.
     timeline: Vec<TimelineEntry>,
+    /// Structured event log, when enabled.
+    events: Vec<EventRecord>,
+    /// Local-store bytes reserved per SPE (input/output task buffers).
+    ls_in_use: Vec<usize>,
     rng: SmallRng,
     next_task: u64,
     active_procs: usize,
@@ -252,6 +266,7 @@ impl CellMachine {
                     },
                     remaining: cfg.workload.tasks_per_bootstrap,
                     phase: Phase::Ready,
+                    current_task: 0,
                     task_started_ns: 0,
                     ctx_acquired_ns: 0,
                     polluted: false,
@@ -267,6 +282,8 @@ impl CellMachine {
             eib: Eib::new(cfg.params.dma),
             mailboxes: (0..n_spes).map(|_| SpuMailboxes::default()).collect(),
             timeline: Vec::new(),
+            events: Vec::new(),
+            ls_in_use: vec![0; n_spes],
             rng: SmallRng::seed_from_u64(cfg.seed),
             next_task: 0,
             active_procs: cfg.n_bootstraps,
@@ -280,6 +297,26 @@ impl CellMachine {
 
     fn idle_spes(&self) -> usize {
         self.spes.iter().filter(|s| !s.is_busy()).count()
+    }
+
+    /// Append an event record, when structured logging is enabled.
+    fn emit(&mut self, at_ns: u64, kind: EventKind) {
+        if !self.cfg.record_events {
+            return;
+        }
+        let seq = self.events.len() as u64;
+        self.events.push(EventRecord { seq, at_ns, kind });
+    }
+
+    fn scheduler_tag(&self) -> SchedulerTag {
+        match self.cfg.scheduler {
+            SchedulerKind::Edtlp => SchedulerTag::Edtlp,
+            SchedulerKind::LinuxLike => SchedulerTag::Linux,
+            SchedulerKind::StaticHybrid { spes_per_loop } => {
+                SchedulerTag::StaticHybrid(spes_per_loop)
+            }
+            SchedulerKind::Mgps => SchedulerTag::Mgps,
+        }
     }
 
     fn is_linux(&self) -> bool {
@@ -354,6 +391,8 @@ pub struct RunReport {
     pub mailbox_messages: u64,
     /// Per-SPE task timeline (empty unless `record_timeline` was set).
     pub timeline: Vec<TimelineEntry>,
+    /// Structured event log (`None` unless `record_events` was set).
+    pub run_log: Option<RunLog>,
     /// Completion time of each worker process (bootstrap), in process
     /// order — exposes the Linux baseline's wave structure directly.
     pub proc_finish: Vec<SimDuration>,
@@ -396,6 +435,20 @@ pub fn run(cfg: SimConfig) -> RunReport {
             .map(|mb| mb.inbound.writes() + mb.outbound_interrupt.writes())
             .sum(),
         timeline: m.timeline.clone(),
+        run_log: if m.cfg.record_events {
+            Some(RunLog {
+                scheduler: m.scheduler_tag(),
+                n_spes: m.spes.len(),
+                quantum_ns: m.quantum_ns,
+                seed: m.cfg.seed,
+                local_store_bytes: m.cfg.params.local_store_bytes,
+                loop_iters: m.cfg.workload.loop_iters,
+                mgps_window: m.mgps.as_ref().map(|s| s.config().window),
+                events: m.events.clone(),
+            })
+        } else {
+            None
+        },
         proc_finish: m
             .procs
             .iter()
@@ -482,12 +535,14 @@ fn gap_done(sim: &mut S, p: usize) {
         let m = sim.model_mut();
         let t = TaskId(m.next_task);
         m.next_task += 1;
+        m.procs[p].current_task = t.0;
         m.procs[p].task_started_ns = now_ns;
         m.procs[p].phase = Phase::WaitingSpe;
         if let Some(mgps) = m.mgps.as_mut() {
             mgps.on_offload(t, now_ns);
         }
         m.request_queue.push_back(p);
+        m.emit(now_ns, EventKind::Offload { proc: p, task: t.0 });
         t
     };
     let _ = task;
@@ -502,6 +557,14 @@ fn gap_done(sim: &mut S, p: usize) {
     } else {
         // EDTLP: voluntary switch on off-load.
         let next = sim.model_mut().ppes[ppe].on_offload(ProcId(p));
+        if next != Some(ProcId(p)) {
+            let m = sim.model_mut();
+            let held_ns = now_ns.saturating_sub(m.procs[p].ctx_acquired_ns);
+            m.emit(
+                now_ns,
+                EventKind::CtxSwitch { proc: p, reason: SwitchReason::Offload, held_ns },
+            );
+        }
         dispatch(sim, next);
     }
 }
@@ -547,14 +610,68 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
             }
         }
         assert_eq!(team.len(), degree, "grant without enough idle SPEs");
+        let now_ns = now.as_nanos();
+        let task = m.procs[p].current_task;
+        let buffer_bytes = m.cfg.workload.input_bytes + m.cfg.workload.output_bytes;
         // PPE -> SPU start command through the lead SPE's inbound mailbox
         // (4-entry; our one-in-flight protocol can never fill it).
         let lead = team[0];
         let task_lo = m.next_task as u32;
         let posted = m.mailboxes[lead].signal_start(task_lo);
         debug_assert!(posted, "inbound mailbox overflow with one task in flight");
+        let occ = m.mailboxes[lead].inbound.len();
+        m.emit(
+            now_ns,
+            EventKind::MailboxWrite { spe: lead, mailbox: MailboxKind::Inbound, occupancy: occ },
+        );
         let consumed = m.mailboxes[lead].take_start();
         debug_assert_eq!(consumed, Some(task_lo));
+        let occ = m.mailboxes[lead].inbound.len();
+        m.emit(
+            now_ns,
+            EventKind::MailboxRead { spe: lead, mailbox: MailboxKind::Inbound, occupancy: occ },
+        );
+        if m.cfg.record_events {
+            // Local-store reservations for the task's in/out buffers, on
+            // every team member (each SPE working the loop holds copies).
+            for &spe in &team {
+                m.ls_in_use[spe] += buffer_bytes;
+                let in_use = m.ls_in_use[spe];
+                m.emit(now_ns, EventKind::LsAlloc { spe, bytes: buffer_bytes, in_use });
+            }
+            // The input/output transfer as the MFC list the lead SPE issues.
+            let local_addr = m.ls_in_use[lead] - buffer_bytes;
+            let main_addr = 0x1000_0000 + (task as usize) * 0x8000;
+            let list =
+                DmaList::for_bytes(&m.cfg.params.dma, buffer_bytes, local_addr, main_addr)
+                    .expect("task buffers must form a legal DMA list");
+            m.emit(
+                now_ns,
+                EventKind::Dma {
+                    spe: lead,
+                    element_bytes: list.elements().iter().map(|e| e.bytes).collect(),
+                    local_addr,
+                    main_addr,
+                },
+            );
+            m.emit(
+                now_ns,
+                EventKind::TaskStart { proc: p, task, degree, team: team.clone() },
+            );
+            let loop_iters = m.cfg.workload.loop_iters;
+            for (i, r) in partition(loop_iters, degree, 0.0).into_iter().enumerate() {
+                m.emit(
+                    now_ns,
+                    EventKind::Chunk {
+                        task,
+                        loop_iters,
+                        start: r.start,
+                        len: r.len(),
+                        worker: team[i],
+                    },
+                );
+            }
+        }
 
         let (jitter, kind) = {
             let w = m.cfg.workload;
@@ -571,10 +688,9 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
         // and double-buffer transfers (§5.1), so the latency overlaps the
         // computation (it is already inside the measured 96 µs task time);
         // the transfer still occupies the bus for contention accounting.
-        let total_bytes = m.cfg.workload.input_bytes + m.cfg.workload.output_bytes;
-        let base = SimDuration::from_secs_f64(total_bytes as f64 / m.cfg.params.dma.spe_bandwidth)
+        let base = SimDuration::from_secs_f64(buffer_bytes as f64 / m.cfg.params.dma.spe_bandwidth)
             + m.cfg.params.dma.startup;
-        let dma_latency = match m.eib.begin_transfer(total_bytes, base) {
+        let dma_latency = match m.eib.begin_transfer(buffer_bytes, base) {
             Some(lat) => Some(lat),
             None => {
                 // Bus saturated: the transfer would stall the task.
@@ -612,13 +728,41 @@ fn task_complete(sim: &mut S, p: usize, team: Vec<usize>) {
         for &s in &team {
             m.spes[s].finish_task(now);
         }
+        let task = m.procs[p].current_task;
+        if m.cfg.record_events {
+            let buffer_bytes = m.cfg.workload.input_bytes + m.cfg.workload.output_bytes;
+            for &spe in &team {
+                m.ls_in_use[spe] -= buffer_bytes;
+                let in_use = m.ls_in_use[spe];
+                m.emit(now_ns, EventKind::LsFree { spe, bytes: buffer_bytes, in_use });
+            }
+        }
         // SPU -> PPE completion interrupt; the PPE-side scheduler collects
         // it immediately (it is what wakes the EDTLP scheduler).
         let lead = team[0];
         let posted = m.mailboxes[lead].signal_complete(m.tasks_completed as u32);
         debug_assert!(posted, "outbound-interrupt mailbox still occupied");
+        let occ = m.mailboxes[lead].outbound_interrupt.len();
+        m.emit(
+            now_ns,
+            EventKind::MailboxWrite {
+                spe: lead,
+                mailbox: MailboxKind::OutboundInterrupt,
+                occupancy: occ,
+            },
+        );
         let collected = m.mailboxes[lead].collect_complete();
         debug_assert!(collected.is_some());
+        let occ = m.mailboxes[lead].outbound_interrupt.len();
+        m.emit(
+            now_ns,
+            EventKind::MailboxRead {
+                spe: lead,
+                mailbox: MailboxKind::OutboundInterrupt,
+                occupancy: occ,
+            },
+        );
+        m.emit(now_ns, EventKind::TaskEnd { proc: p, task, team: team.clone() });
         m.tasks_completed += 1;
         m.procs[p].remaining -= 1;
 
@@ -630,20 +774,33 @@ fn task_complete(sim: &mut S, p: usize, team: Vec<usize>) {
             .filter(|pr| pr.admitted && pr.phase != Phase::Done)
             .count()
             .max(1);
-        let task = TaskId(m.next_task); // id only used for bookkeeping
-        if let Some(mgps) = m.mgps.as_mut() {
-            if let Some(directive) = mgps.on_departure(task, started, now_ns, waiting) {
-                let new_degree = match directive {
-                    Directive::ActivateLlp(d) => d.0,
-                    Directive::DeactivateLlp => 1,
-                };
-                if new_degree != m.current_degree {
-                    m.current_degree = new_degree;
-                    // Switching between plain and loop-parallel kernel
-                    // versions replaces SPE code images (§5.4).
-                    m.image_epoch += 1;
-                    m.llp_switches += 1;
-                }
+        let tid = TaskId(m.next_task); // id only used for bookkeeping
+        let decision = m.mgps.as_mut().and_then(|mgps| {
+            mgps.on_departure(tid, started, now_ns, waiting)
+                .map(|d| (d, mgps.config().window, mgps.window_fill()))
+        });
+        if let Some((directive, window, window_fill)) = decision {
+            let new_degree = match directive {
+                Directive::ActivateLlp(d) => d.0,
+                Directive::DeactivateLlp => 1,
+            };
+            let n_spes = m.spes.len();
+            m.emit(
+                now_ns,
+                EventKind::DegreeDecision {
+                    degree: new_degree,
+                    waiting,
+                    n_spes,
+                    window,
+                    window_fill,
+                },
+            );
+            if new_degree != m.current_degree {
+                m.current_degree = new_degree;
+                // Switching between plain and loop-parallel kernel
+                // versions replaces SPE code images (§5.4).
+                m.image_epoch += 1;
+                m.llp_switches += 1;
             }
         }
     }
@@ -698,6 +855,12 @@ fn maybe_rotate_linux(sim: &mut S, p: usize, ppe: usize) -> bool {
             false
         }
         next => {
+            let m = sim.model_mut();
+            let held_ns = now_ns.saturating_sub(m.procs[p].ctx_acquired_ns);
+            m.emit(
+                now_ns,
+                EventKind::CtxSwitch { proc: p, reason: SwitchReason::Quantum, held_ns },
+            );
             dispatch(sim, next);
             true
         }

@@ -2,6 +2,10 @@
 //!
 //! Traces serve two purposes: debugging a model, and *determinism testing* —
 //! two runs of the same seeded model must produce byte-identical traces.
+//! [`Trace::to_value`] serializes the collected records as JSON so they can
+//! be archived, diffed, and statically checked by `mgps-analysis`.
+
+use minijson::Value;
 
 use crate::time::SimTime;
 
@@ -72,6 +76,50 @@ impl Trace {
         }
         out
     }
+
+    /// Serialize the collected records (plus the drop count) as JSON.
+    pub fn to_value(&self) -> Value {
+        let records = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(seq, r)| {
+                Value::object(vec![
+                    ("seq", (seq as u64).into()),
+                    ("at_ns", r.at.as_nanos().into()),
+                    ("label", r.label.as_str().into()),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("dropped", self.dropped.into()),
+            ("records", Value::Array(records)),
+        ])
+    }
+
+    /// Rebuild the records of a [`Self::to_value`] serialization.
+    ///
+    /// # Errors
+    /// A description of the first missing or mistyped field.
+    pub fn records_from_value(v: &Value) -> Result<Vec<TraceRecord>, String> {
+        let mut out = Vec::new();
+        for r in v
+            .get("records")
+            .and_then(Value::as_array)
+            .ok_or("missing array field 'records'")?
+        {
+            let at = r
+                .get("at_ns")
+                .and_then(Value::as_u64)
+                .ok_or("missing integer field 'at_ns'")?;
+            let label = r
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or("missing string field 'label'")?;
+            out.push(TraceRecord { at: SimTime(at), label: label.to_string() });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +144,19 @@ mod tests {
         assert_eq!(t.records()[0].label, "e0");
         assert_eq!(t.records()[1].label, "e1");
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn json_serialization_round_trips() {
+        let mut t = Trace::with_capacity(2);
+        t.push(TraceRecord { at: SimTime(5), label: "alpha".into() });
+        t.push(TraceRecord { at: SimTime(9), label: "beta".into() });
+        t.push(TraceRecord { at: SimTime(12), label: "dropped".into() });
+        let v = t.to_value();
+        assert_eq!(v.get("dropped").and_then(Value::as_u64), Some(1));
+        let text = v.to_json();
+        let back = Trace::records_from_value(&minijson::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, t.records());
     }
 
     #[test]

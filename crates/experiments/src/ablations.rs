@@ -5,8 +5,11 @@
 //! optimum of each knob — the kind of evidence §5.4 argues for
 //! qualitatively.
 
-use cellsim::machine::{run, SimConfig};
+use cellsim::machine::SimConfig;
 use mgps_runtime::policy::{MgpsConfig, SchedulerKind};
+
+// Every regeneration run goes through the schedule-invariant checker.
+use crate::checked::checked_run as run;
 
 use crate::report::{Experiment, Row, Series};
 

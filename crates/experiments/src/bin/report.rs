@@ -12,7 +12,7 @@ fn main() {
             .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
             .filter_map(|e| {
                 let text = std::fs::read_to_string(e.path()).ok()?;
-                serde_json::from_str(&text).ok()
+                Experiment::from_value(&minijson::parse(&text).ok()?).ok()
             })
             .collect(),
         Err(e) => {

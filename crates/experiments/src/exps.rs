@@ -7,8 +7,11 @@
 //! exact; see `cellsim::workload`); 500 is the experiments' default, larger
 //! values run faster with more extrapolation noise.
 
-use cellsim::machine::{run, SimConfig};
+use cellsim::machine::SimConfig;
 use cellsim::workload::KernelProfile;
+
+// Every regeneration run goes through the schedule-invariant checker.
+use crate::checked::checked_run as run;
 use machines::{blade_config, SmtMachine};
 use mgps_runtime::policy::SchedulerKind;
 

@@ -3,11 +3,11 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
+use minijson::Value;
 
 /// One data point of an experiment: a labelled measurement, optionally with
 /// the paper's reported value for the same cell.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Row label (e.g. "3 workers, 3 bootstraps").
     pub label: String,
@@ -35,7 +35,7 @@ impl Row {
 }
 
 /// A labelled series (one curve of a figure).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label, matching the paper's.
     pub label: String,
@@ -44,7 +44,7 @@ pub struct Series {
 }
 
 /// The result of regenerating one table or figure.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// Identifier, e.g. "table1" or "fig8a".
     pub id: String,
@@ -102,6 +102,92 @@ impl Experiment {
         out
     }
 
+    /// Convert to a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::object(vec![
+                    ("label", r.label.as_str().into()),
+                    ("measured", r.measured.into()),
+                    ("paper", r.paper.map_or(Value::Null, Value::Number)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| Value::Array(vec![x.into(), y.into()]))
+                    .collect::<Vec<_>>();
+                Value::object(vec![
+                    ("label", s.label.as_str().into()),
+                    ("points", Value::Array(points)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Value::object(vec![
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("rows", Value::Array(rows)),
+            ("series", Value::Array(series)),
+            ("notes", Value::array(self.notes.iter().map(String::as_str))),
+        ])
+    }
+
+    /// Rebuild an experiment from [`Self::to_value`] output.
+    ///
+    /// # Errors
+    /// A description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<Experiment, String> {
+        fn str_field(v: &Value, key: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        }
+        fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing number field '{key}'"))
+        }
+        fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("missing array field '{key}'"))
+        }
+        let mut e = Experiment::new(str_field(v, "id")?, str_field(v, "title")?);
+        for r in array_field(v, "rows")? {
+            e.rows.push(Row {
+                label: str_field(r, "label")?,
+                measured: f64_field(r, "measured")?,
+                paper: r.get("paper").and_then(Value::as_f64),
+            });
+        }
+        for s in array_field(v, "series")? {
+            let mut points = Vec::new();
+            for p in array_field(s, "points")? {
+                let p = p.as_array().filter(|p| p.len() == 2).ok_or("bad point")?;
+                let x = p[0].as_u64().ok_or("bad point x")? as usize;
+                let y = p[1].as_f64().ok_or("bad point y")?;
+                points.push((x, y));
+            }
+            e.series.push(Series {
+                label: str_field(s, "label")?,
+                points,
+            });
+        }
+        for n in array_field(v, "notes")? {
+            e.notes
+                .push(n.as_str().ok_or("non-string note")?.to_string());
+        }
+        Ok(e)
+    }
+
     /// Write `self` as pretty JSON under `dir/<id>.json`, returning the
     /// path.
     ///
@@ -111,9 +197,7 @@ impl Experiment {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(self).expect("experiments serialize cleanly");
-        f.write_all(json.as_bytes())?;
-        f.write_all(b"\n")?;
+        f.write_all(self.to_value().to_json_pretty().as_bytes())?;
         Ok(path)
     }
 
@@ -168,8 +252,8 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let e = sample();
-        let json = serde_json::to_string(&e).unwrap();
-        let back: Experiment = serde_json::from_str(&json).unwrap();
+        let json = e.to_value().to_json();
+        let back = Experiment::from_value(&minijson::parse(&json).unwrap()).unwrap();
         assert_eq!(e, back);
     }
 

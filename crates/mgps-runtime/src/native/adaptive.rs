@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use super::sync::Mutex;
 
 use super::gate::{GateMode, PpeGate, PpeToken};
 use super::pool::{OffloadError, SpePool, SpeStats};

@@ -14,7 +14,9 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use super::sync::COMMAND_QUEUE_DEPTH;
 
 use super::context::SpeContext;
 use super::pool::{OffloadError, SpePool};
@@ -103,7 +105,10 @@ impl ChainRunner {
         let mut cmd_txs: Vec<Sender<WorkerMsg>> = Vec::with_capacity(workers.len());
         let mut pass_rxs: Vec<Receiver<f64>> = Vec::with_capacity(workers.len());
         for &w in workers {
-            let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+            // Bounded: the master sends one Run per stage and waits for the
+            // worker's pass before the next, so depth never exceeds two.
+            let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) =
+                bounded(COMMAND_QUEUE_DEPTH);
             let (pass_tx, pass_rx) = bounded::<f64>(1);
             cmd_txs.push(tx);
             pass_rxs.push(pass_rx);

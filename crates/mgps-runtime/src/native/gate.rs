@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use super::sync::{Condvar, Mutex};
 
 /// How a process treats its PPE context while an off-loaded task runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -9,13 +9,16 @@
 //! * [`gate`] — PPE-context admission control (yield-on-offload vs
 //!   hold-during-offload);
 //! * [`adaptive`] — [`adaptive::MgpsRuntime`], tying pool, teams, gate, and
-//!   the MGPS policy together behind one application-facing API.
+//!   the MGPS policy together behind one application-facing API;
+//! * [`sync`] — the mutex/condvar layer all of the above lock through,
+//!   switchable to `loom` for model checking (`RUSTFLAGS="--cfg loom"`).
 
 pub mod adaptive;
 pub mod chain;
 pub mod context;
 pub mod gate;
 pub mod pool;
+pub mod sync;
 pub mod team;
 
 pub use adaptive::{MgpsRuntime, ProcessCtx, RuntimeConfig};

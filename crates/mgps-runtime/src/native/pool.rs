@@ -14,8 +14,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use super::sync::{Condvar, Mutex, COMMAND_QUEUE_DEPTH};
 
 use super::context::{ImageId, SpeContext};
 use crate::policy::SpeId;
@@ -140,7 +141,9 @@ impl SpePool {
         let mut workers = Vec::with_capacity(n_spes);
         let mut direct = Vec::with_capacity(n_spes);
         for i in 0..n_spes {
-            let (tx, rx) = unbounded::<WorkerMsg>();
+            // Bounded: the dispatch protocol queues at most one job plus
+            // one shutdown per SPE (jobs only go to idle or reserved SPEs).
+            let (tx, rx) = bounded::<WorkerMsg>(COMMAND_QUEUE_DEPTH);
             let shared_cl = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("vspe-{i}"))

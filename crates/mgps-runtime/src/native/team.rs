@@ -14,7 +14,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
-use parking_lot::Mutex;
+
+use super::sync::Mutex;
 
 use super::context::SpeContext;
 use super::pool::{OffloadError, SpePool};

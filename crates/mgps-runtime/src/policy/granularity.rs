@@ -21,17 +21,24 @@ use std::collections::HashMap;
 
 use super::types::KernelKind;
 
+/// Measurements below this many SPE samples never throttle: a single
+/// wall-clock sample on a multiprogrammed host can be inflated arbitrarily
+/// by preemption, and a throttled function is only re-probed every
+/// `retry_period` requests, so one bad sample must not be able to park a
+/// profitable kernel on the PPE.
+pub const MIN_SPE_SAMPLES: u64 = 3;
+
 /// Measured timing profile of one off-loadable function.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FunctionTimings {
-    /// Mean observed SPE execution time, ns.
+    /// Best (minimum) observed SPE execution time, ns.
     pub t_spe_ns: u64,
     /// Code-shipping cost, ns (paid only on the first execution, or after a
     /// code-image replacement).
     pub t_code_ns: u64,
     /// One-way PPE↔SPE signal latency, ns.
     pub t_comm_ns: u64,
-    /// Mean observed PPE execution time of the fallback version, ns.
+    /// Best (minimum) observed PPE execution time of the fallback version, ns.
     pub t_ppe_ns: u64,
 }
 
@@ -62,9 +69,12 @@ pub struct GranularityController {
 #[derive(Debug, Default)]
 struct Profile {
     spe_samples: u64,
-    spe_total_ns: u64,
+    /// Minimum observed SPE time. Wall-clock noise on a multiprogrammed
+    /// host is strictly additive (preemption can only inflate a sample),
+    /// so the minimum is the robust estimator of intrinsic cost.
+    spe_min_ns: Option<u64>,
     ppe_samples: u64,
-    ppe_total_ns: u64,
+    ppe_min_ns: Option<u64>,
     t_code_ns: u64,
     t_comm_ns: u64,
     requests: u64,
@@ -74,10 +84,10 @@ struct Profile {
 impl Profile {
     fn timings(&self) -> FunctionTimings {
         FunctionTimings {
-            t_spe_ns: self.spe_total_ns.checked_div(self.spe_samples).unwrap_or(0),
+            t_spe_ns: self.spe_min_ns.unwrap_or(0),
             t_code_ns: self.t_code_ns,
             t_comm_ns: self.t_comm_ns,
-            t_ppe_ns: self.ppe_total_ns.checked_div(self.ppe_samples).unwrap_or(u64::MAX),
+            t_ppe_ns: self.ppe_min_ns.unwrap_or(u64::MAX),
         }
     }
 }
@@ -111,14 +121,14 @@ impl GranularityController {
     pub fn record_spe(&mut self, kind: KernelKind, elapsed_ns: u64) {
         let p = self.profiles.entry(kind).or_default();
         p.spe_samples += 1;
-        p.spe_total_ns += elapsed_ns;
+        p.spe_min_ns = Some(p.spe_min_ns.map_or(elapsed_ns, |m| m.min(elapsed_ns)));
     }
 
     /// Record a completed PPE (fallback) execution of `kind`.
     pub fn record_ppe(&mut self, kind: KernelKind, elapsed_ns: u64) {
         let p = self.profiles.entry(kind).or_default();
         p.ppe_samples += 1;
-        p.ppe_total_ns += elapsed_ns;
+        p.ppe_min_ns = Some(p.ppe_min_ns.map_or(elapsed_ns, |m| m.min(elapsed_ns)));
     }
 
     /// Decide the fate of a new off-load request for `kind`.
@@ -129,8 +139,9 @@ impl GranularityController {
         let p = self.profiles.entry(kind).or_default();
         p.requests += 1;
 
-        // Optimistic off-load until we have an SPE measurement.
-        if p.spe_samples == 0 {
+        // Optimistic off-load until we have enough SPE measurements that a
+        // single preemption-inflated sample cannot throttle the kernel.
+        if p.spe_samples < MIN_SPE_SAMPLES {
             return GranularityDecision::Offload;
         }
         // The test needs t_ppe too: probe the PPE fallback version once
@@ -198,10 +209,13 @@ mod tests {
     }
 
     #[test]
-    fn second_request_probes_the_ppe_fallback() {
+    fn warmup_requests_probe_the_ppe_fallback_once() {
         let mut c = GranularityController::new(64);
-        assert_eq!(c.decide(KernelKind::Evaluate, false), GranularityDecision::Offload);
-        c.record_spe(KernelKind::Evaluate, 5_000);
+        // Optimistic off-loads until MIN_SPE_SAMPLES measurements exist.
+        for _ in 0..MIN_SPE_SAMPLES {
+            assert_eq!(c.decide(KernelKind::Evaluate, false), GranularityDecision::Offload);
+            c.record_spe(KernelKind::Evaluate, 5_000);
+        }
         // One PPE probe so t_ppe becomes known...
         assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::RunOnPpe);
         c.record_ppe(KernelKind::Evaluate, 50_000);
@@ -214,17 +228,34 @@ mod tests {
         let mut c = GranularityController::new(1000);
         c.set_costs(KernelKind::Evaluate, 0, 5_000);
         // SPE is slower than PPE for this one.
-        c.record_spe(KernelKind::Evaluate, 50_000);
+        for _ in 0..MIN_SPE_SAMPLES {
+            c.record_spe(KernelKind::Evaluate, 50_000);
+        }
         c.record_ppe(KernelKind::Evaluate, 20_000);
         assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::RunOnPpe);
         assert!(c.is_throttled(KernelKind::Evaluate));
     }
 
     #[test]
+    fn one_inflated_sample_cannot_throttle() {
+        // A preempted wall-clock measurement inflates one SPE sample far
+        // past the PPE time; the minimum estimator must shrug it off.
+        let mut c = GranularityController::new(1000);
+        c.record_spe(KernelKind::Evaluate, 9_000_000); // preempted outlier
+        c.record_spe(KernelKind::Evaluate, 40_000);
+        c.record_spe(KernelKind::Evaluate, 45_000);
+        c.record_ppe(KernelKind::Evaluate, 120_000);
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::Offload);
+        assert!(!c.is_throttled(KernelKind::Evaluate));
+    }
+
+    #[test]
     fn profitable_function_keeps_offloading() {
         let mut c = GranularityController::new(1000);
         c.set_costs(KernelKind::NewView, 0, 1_000);
-        c.record_spe(KernelKind::NewView, 96_000);
+        for _ in 0..MIN_SPE_SAMPLES {
+            c.record_spe(KernelKind::NewView, 96_000);
+        }
         c.record_ppe(KernelKind::NewView, 300_000);
         for _ in 0..10 {
             assert_eq!(c.decide(KernelKind::NewView, true), GranularityDecision::Offload);
@@ -236,7 +267,9 @@ mod tests {
     fn throttled_function_is_reprobed_periodically() {
         let mut c = GranularityController::new(4);
         c.set_costs(KernelKind::Evaluate, 0, 10_000);
-        c.record_spe(KernelKind::Evaluate, 50_000);
+        for _ in 0..MIN_SPE_SAMPLES {
+            c.record_spe(KernelKind::Evaluate, 50_000);
+        }
         c.record_ppe(KernelKind::Evaluate, 20_000);
         let mut offloads = 0;
         for _ in 0..8 {
@@ -248,12 +281,13 @@ mod tests {
     }
 
     #[test]
-    fn mean_timings_accumulate() {
+    fn timings_track_the_minimum_sample() {
         let mut c = GranularityController::new(8);
-        c.record_spe(KernelKind::MakeNewz, 10_000);
         c.record_spe(KernelKind::MakeNewz, 30_000);
+        c.record_spe(KernelKind::MakeNewz, 10_000);
+        c.record_spe(KernelKind::MakeNewz, 20_000);
         let t = c.timings(KernelKind::MakeNewz).expect("profile exists");
-        assert_eq!(t.t_spe_ns, 20_000);
+        assert_eq!(t.t_spe_ns, 10_000);
         assert_eq!(t.t_ppe_ns, u64::MAX, "no PPE samples yet");
     }
 

@@ -92,6 +92,17 @@ impl MgpsScheduler {
         self.llp
     }
 
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> MgpsConfig {
+        self.cfg
+    }
+
+    /// Off-loads currently recorded in the sampling window (at most
+    /// `config().window`).
+    pub fn window_fill(&self) -> usize {
+        self.offload_log.len()
+    }
+
     /// Number of evaluation points reached.
     pub fn evaluations(&self) -> u64 {
         self.evaluations

@@ -1,0 +1,178 @@
+//! Loom model checks for the native runtime's synchronization skeleton.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p mgps-runtime --test loom_models
+//! ```
+//!
+//! Under `--cfg loom` the whole `mgps-runtime::native` module locks through
+//! [`mgps_runtime::native::sync`]'s loom-backed shims, and `loom::model`
+//! re-executes each scenario across many perturbed schedules. Each test
+//! asserts a schedule-independent invariant:
+//!
+//! * the PPE gate never admits more holders than it has hardware contexts,
+//!   and yield-on-offload really does hand the context to a waiter;
+//! * the team's `Pass`-style rendezvous merges every worker partial exactly
+//!   once before `parallel_reduce` returns (the team barrier);
+//! * the chain runner carries each stage's reduction into the next with the
+//!   same exactly-once delivery over its per-worker command channels.
+#![cfg(loom)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mgps_runtime::native::{
+    ChainRunner, ChainedLoop, GateMode, LoopBody, LoopSite, PpeGate, SpeContext, SpePool,
+    TeamRunner,
+};
+
+#[test]
+fn gate_capacity_is_never_exceeded() {
+    loom::model(|| {
+        let gate = Arc::new(PpeGate::new(2, GateMode::YieldOnOffload, Duration::ZERO));
+        let holders = Arc::new(AtomicUsize::new(0));
+
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let holders = Arc::clone(&holders);
+                loom::thread::spawn(move || {
+                    let token = gate.enter();
+                    let now = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= gate.contexts(), "{now} holders on a 2-context gate");
+                    loom::thread::yield_now();
+                    holders.fetch_sub(1, Ordering::SeqCst);
+                    drop(token);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(holders.load(Ordering::SeqCst), 0);
+    });
+}
+
+#[test]
+fn yield_on_offload_hands_the_context_to_a_waiter() {
+    loom::model(|| {
+        let gate = Arc::new(PpeGate::new(1, GateMode::YieldOnOffload, Duration::ZERO));
+        let entered = Arc::new(AtomicUsize::new(0));
+
+        let mut token = gate.enter();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            let entered = Arc::clone(&entered);
+            loom::thread::spawn(move || {
+                let _t = gate.enter();
+                entered.store(1, Ordering::SeqCst);
+            })
+        };
+
+        // With the sole context held and then yielded for the off-load, the
+        // waiter must be able to get in before the off-load completes — in
+        // every schedule, or this spin never terminates.
+        token.offload(|| {
+            while entered.load(Ordering::SeqCst) == 0 {
+                loom::thread::yield_now();
+            }
+        });
+        assert!(token.holds_context());
+        waiter.join().unwrap();
+        assert_eq!(gate.switches(), 1);
+    });
+}
+
+/// Counts its chunk invocations so the barrier check can prove every
+/// worker's partial was produced and merged exactly once.
+struct CountingSum {
+    len: usize,
+    chunks: AtomicUsize,
+}
+
+impl LoopBody for CountingSum {
+    type Acc = u64;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> u64 {
+        self.chunks.fetch_add(1, Ordering::SeqCst);
+        range.map(|i| i as u64 + 1).sum()
+    }
+
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+#[test]
+fn team_barrier_merges_every_partial_exactly_once() {
+    loom::model(|| {
+        let pool = Arc::new(SpePool::new(3, Duration::ZERO));
+        let team = TeamRunner::new(Arc::clone(&pool), Duration::ZERO);
+        let body = Arc::new(CountingSum { len: 12, chunks: AtomicUsize::new(0) });
+
+        let acc = team
+            .parallel_reduce(LoopSite(1), 3, Arc::clone(&body))
+            .expect("no panics in the loop body");
+
+        // The reduction over 1..=12 is schedule-independent, and by the
+        // time parallel_reduce returns, exactly `degree` chunks ran: the
+        // master must have waited on every worker's Pass (the barrier).
+        assert_eq!(acc, (1..=12).sum::<u64>());
+        assert_eq!(body.chunks.load(Ordering::SeqCst), 3);
+    });
+}
+
+/// `carry + sum(range)` per worker, additive merge: each stage's result is
+/// `degree * carry + sum(0..len)`, so the final value certifies that every
+/// stage saw the previous stage's full reduction — exactly once each.
+struct CarrySum {
+    len: usize,
+}
+
+impl ChainedLoop for CarrySum {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    fn run_chunk(&self, carry: f64, range: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+        carry + range.map(|i| i as f64).sum::<f64>()
+    }
+
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+#[test]
+fn chained_rendezvous_carries_each_stage_exactly_once() {
+    loom::model(|| {
+        let pool = Arc::new(SpePool::new(2, Duration::ZERO));
+        let runner = ChainRunner::new(Arc::clone(&pool));
+        let stages: Vec<Arc<dyn ChainedLoop>> =
+            vec![Arc::new(CarrySum { len: 8 }), Arc::new(CarrySum { len: 6 })];
+
+        let got = runner.chained_reduce(2, stages, 1.0).expect("no panics in the chain");
+
+        let degree = 2.0;
+        let sum8: f64 = (0..8).map(|i| i as f64).sum();
+        let sum6: f64 = (0..6).map(|i| i as f64).sum();
+        let stage1 = degree * 1.0 + sum8;
+        let stage2 = degree * stage1 + sum6;
+        assert_eq!(got, stage2);
+    });
+}

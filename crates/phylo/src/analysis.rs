@@ -85,7 +85,7 @@ mod tests {
     }
 
     fn quick_cfg() -> SearchConfig {
-        SearchConfig { max_rounds: 3, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1 }
+        SearchConfig { max_rounds: 3, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1, restarts: 1 }
     }
 
     #[test]

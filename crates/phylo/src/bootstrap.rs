@@ -97,7 +97,7 @@ mod tests {
         let d = data();
         let w = bootstrap_weights(&d, 1);
         assert!(
-            w.iter().any(|&x| x == 0),
+            w.contains(&0),
             "expected at least one dropped pattern out of {}",
             w.len()
         );

@@ -342,6 +342,7 @@ mod tests {
             branch_passes: 1,
             epsilon: 1e-3,
             initial_branch: 0.1,
+            restarts: 1,
         };
         let r = crate::search::hill_climb_with(&mut engine, d.n_taxa(), &cfg, 5);
         r.tree.validate().unwrap();

@@ -556,7 +556,7 @@ mod tests {
         let rows: Vec<(String, String)> = (0..150)
             .map(|i| {
                 let c = AA_CODES[i % AA_STATES];
-                (format!("t{i}"), std::iter::repeat(c).take(8).collect())
+                (format!("t{i}"), std::iter::repeat_n(c, 8).collect())
             })
             .collect();
         let borrowed: Vec<(&str, &str)> =

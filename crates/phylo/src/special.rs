@@ -198,8 +198,8 @@ mod tests {
     #[test]
     fn gamma_p_against_exponential_closed_form() {
         // P(1, x) = 1 - e^{-x}.
-        for &x in &[0.0, 0.1, 1.0, 3.0, 10.0] {
-            let want = 1.0 - (-x as f64).exp();
+        for &x in &[0.0f64, 0.1, 1.0, 3.0, 10.0] {
+            let want = 1.0 - (-x).exp();
             assert!((gamma_p(1.0, x) - want).abs() < 1e-12, "x={x}");
         }
     }

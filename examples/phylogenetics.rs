@@ -25,7 +25,7 @@ fn main() {
         data.n_patterns()
     );
 
-    let search = SearchConfig { max_rounds: 3, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1 };
+    let search = SearchConfig { max_rounds: 3, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1, restarts: 1 };
     const BOOTSTRAPS: usize = 8;
 
     // Best-known tree from two independent inferences (run directly).

@@ -369,6 +369,7 @@ mod tests {
             branch_passes: 1,
             epsilon: 1e-3,
             initial_branch: 0.1,
+            restarts: 1,
         };
         let r = phylo::search::hill_climb_with(&mut eng, data.n_taxa(), &cfg, 3);
         r.tree.validate().unwrap();
@@ -383,6 +384,7 @@ mod tests {
             branch_passes: 1,
             epsilon: 1e-3,
             initial_branch: 0.1,
+            restarts: 1,
         };
         let direct = phylo::search::hill_climb(&Jc69, &data, &cfg, 21);
 

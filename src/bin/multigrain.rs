@@ -36,6 +36,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "simulate" => simulate(&opts),
+        "analyze" => analyze(&opts),
         "infer" => infer(&opts),
         "infer-protein" => infer_protein(&opts),
         "predict" => predict(&opts),
@@ -61,6 +62,10 @@ multigrain — dynamic multigrain parallelization (PPoPP'07 reproduction)
 USAGE:
   multigrain simulate [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
                       [--cells N] [--scale N] [--profile optimized|naive|ppe]
+  multigrain analyze  [--scale N] [--bootstraps N] [--seed N] [--experiments on|off]
+                      (replay every scheduler with event recording, statically
+                       verify all schedule invariants, prove digest determinism,
+                       and sweep every table/figure regenerator through the checker)
   multigrain infer    --input FILE(.fasta|.phy) [--model jc|k80|gtr]
                       [--gamma ALPHA|estimate] [--search nni|spr]
                       [--bootstraps N] [--workers N] [--seed N]
@@ -115,6 +120,9 @@ fn load_alignment(opts: &Opts) -> Result<Alignment, String> {
 fn simulate(opts: &Opts) -> Result<(), String> {
     let scheduler = scheduler_of(opts)?;
     let bootstraps = get(opts, "bootstraps", 8usize)?;
+    if bootstraps == 0 {
+        return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
+    }
     let cells = get(opts, "cells", 1usize)?;
     let scale = get(opts, "scale", 500usize)?;
     let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
@@ -135,6 +143,94 @@ fn simulate(opts: &Opts) -> Result<(), String> {
     if let Some((evals, acts, deacts)) = r.mgps_counters {
         println!("MGPS               {evals} windows, {acts} activations, {deacts} deactivations, final degree {}", r.final_degree);
     }
+    Ok(())
+}
+
+/// `multigrain analyze` — the static schedule-invariant checker.
+///
+/// Replays every scheduler configuration with structured event recording,
+/// verifies the full invariant catalog (see `mgps-analysis`), proves the
+/// deterministic-replay property (same seed ⇒ identical trace digest), and
+/// optionally funnels every table/figure regenerator through the
+/// `experiments::checked_run` hook.
+fn analyze(opts: &Opts) -> Result<(), String> {
+    let scale = get(opts, "scale", 2_000usize)?;
+    let bootstraps = get(opts, "bootstraps", 4usize)?;
+    if bootstraps == 0 {
+        return Err("--bootstraps: the analyzed runs need at least 1 bootstrap".into());
+    }
+    let seed = get(opts, "seed", 0x5eedu64)?;
+    let with_experiments = match opts.get("experiments").map(String::as_str).unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--experiments: expected on|off, got {other:?}")),
+    };
+
+    let record = |scheduler: SchedulerKind| {
+        let mut cfg = SimConfig::cell_42sc(scheduler, bootstraps, scale);
+        cfg.seed = seed;
+        cfg.record_events = true;
+        run_simulation(cfg).run_log.expect("record_events was set")
+    };
+
+    println!("schedule-invariant analysis ({bootstraps} bootstraps, scale {scale}, seed {seed:#x})");
+    let mut violations = 0usize;
+    for scheduler in [
+        SchedulerKind::Edtlp,
+        SchedulerKind::LinuxLike,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+        SchedulerKind::Mgps,
+    ] {
+        let log = record(scheduler);
+        let report = mgps_analysis::check_run(&log);
+        let digest = mgps_analysis::digest_hex(&log);
+        let verdict = if report.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{} VIOLATION(S)", report.violations.len())
+        };
+        println!(
+            "  {:<44} {:>7} events {:>5} tasks  digest {digest}  {verdict}",
+            scheduler.label(),
+            report.events_checked,
+            report.tasks_checked
+        );
+        print!("{}", report.render());
+        violations += report.violations.len();
+
+        // Deterministic replay: the same seed must reproduce the exact
+        // event stream, hence the exact digest.
+        let replay = mgps_analysis::digest_hex(&record(scheduler));
+        if replay != digest {
+            return Err(format!(
+                "{} replay diverged: digest {digest} vs {replay} from the same seed",
+                scheduler.label()
+            ));
+        }
+    }
+
+    if with_experiments {
+        println!("sweeping every table/figure regenerator through the checker...");
+        experiments::reset_tally();
+        let n = experiments::all(scale).len();
+        let tally = experiments::tally();
+        println!(
+            "  {n} regenerators: {} checked runs, {} events, {} violation(s)",
+            tally.runs,
+            tally.events,
+            tally.violations.len()
+        );
+        for line in &tally.violations {
+            println!("  {line}");
+        }
+        violations += tally.violations.len();
+    }
+
+    if violations > 0 {
+        return Err(format!("{violations} schedule-invariant violation(s) found"));
+    }
+    println!("all schedule invariants hold; replay is digest-deterministic");
     Ok(())
 }
 

@@ -56,6 +56,7 @@ pub use cellsim;
 pub use des;
 pub use experiments;
 pub use machines;
+pub use mgps_analysis;
 pub use mgps_runtime;
 pub use phylo;
 

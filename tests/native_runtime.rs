@@ -14,7 +14,7 @@ fn data() -> Arc<PatternAlignment> {
 }
 
 fn quick_search() -> SearchConfig {
-    SearchConfig { max_rounds: 2, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1 }
+    SearchConfig { max_rounds: 2, branch_passes: 1, epsilon: 1e-3, initial_branch: 0.1, restarts: 1 }
 }
 
 #[test]

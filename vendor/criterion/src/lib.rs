@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the subset of the criterion 0.5 API this workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) and measures with plain wall-clock timing:
+//! per benchmark it warms up once, then takes `sample_size` samples and
+//! prints min/mean ns-per-iteration. No statistics, plots, or baselines —
+//! enough to run `cargo bench` and to keep bench targets compiling under
+//! `clippy --all-targets`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, recording one sample of mean ns/iter.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+        self.samples.push(ns);
+    }
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display name for reports.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+fn run_one(full_name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibration pass: one sample with a single iteration, to size the
+    // real sample loops so each lasts roughly 2ms (capped for slow bodies).
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut calib);
+    let per_iter_ns = calib.samples.first().copied().unwrap_or(1.0).max(1.0);
+    let iters = ((2e6 / per_iter_ns) as u64).clamp(1, 100_000);
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("bench {full_name:<48} (no samples: closure never called iter)");
+        return;
+    }
+    let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    println!(
+        "bench {full_name:<48} min {min:>12.1} ns/iter, mean {mean:>12.1} ns/iter ({} samples x {iters} iters)",
+        b.samples.len()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting is incremental here, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, 10, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Define a bench entry point running the listed functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| total += x)
+        });
+        g.finish();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("edtlp", 8).id, "edtlp/8");
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for `crossbeam`, exposing the `channel` subset this
+//! workspace uses over `std::sync::mpsc`.
+//!
+//! Semantics preserved: `bounded(n)` blocks senders at `n` in-flight
+//! messages (rendezvous at `n == 0`), `unbounded()` never blocks senders,
+//! receivers observe disconnection when every sender is dropped, and
+//! senders are cloneable. `Receiver` is additionally `Sync`-safe here only
+//! through exclusive handles, which is all the runtime needs.
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Receiving-side disconnect error for blocking `recv`.
+    pub use std::sync::mpsc::RecvError;
+    /// Error states for non-blocking `try_recv`.
+    pub use std::sync::mpsc::TryRecvError;
+
+    /// Error returned by `send` when every receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Tx<T> {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `msg`, blocking on a full bounded channel.
+        ///
+        /// # Errors
+        /// [`SendError`] when the receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(msg),
+                Tx::Bounded(s) => s.send(msg),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message or disconnection.
+        ///
+        /// # Errors
+        /// [`RecvError`] when all senders are dropped and the queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking poll.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when no message is ready,
+        /// [`TryRecvError::Disconnected`] after all senders dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterate over messages until disconnection.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// A channel with unlimited buffering: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// A channel buffering at most `cap` messages; sends block when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_blocks_at_capacity() {
+            let (tx, rx) = bounded(1);
+            tx.send(10u32).unwrap();
+            // A second send must block until the receiver drains one.
+            let t = std::thread::spawn(move || {
+                tx.send(20).unwrap();
+                tx.send(30).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(10));
+            assert_eq!(rx.recv(), Ok(20));
+            assert_eq!(rx.recv(), Ok(30));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn try_recv_reports_empty_then_disconnected() {
+            let (tx, rx) = bounded::<u8>(4);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_recv(), Ok(9));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(5).is_err());
+        }
+    }
+}

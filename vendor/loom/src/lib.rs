@@ -1,0 +1,119 @@
+//! Offline stand-in for `loom`.
+//!
+//! Real loom exhaustively enumerates thread interleavings under a modeled
+//! memory order. This environment cannot fetch loom, so the stand-in keeps
+//! loom's *API shape* (`loom::model`, `loom::thread`, `loom::sync`) while
+//! implementing [`model`] as a randomized stress runner: the closure is
+//! executed many times over real OS threads, with schedule perturbation
+//! injected at `thread::spawn` and `thread::yield_now` points.
+//!
+//! This is strictly weaker than exhaustive model checking — it can only
+//! refute, never prove — but it runs the same test bodies, so swapping in
+//! the real crate later requires no test changes. The number of iterations
+//! per model is `LOOM_ITERS` (default 100).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PERTURB: AtomicU64 = AtomicU64::new(0x9E37_79B9_97F4_A7C1);
+
+fn perturb_point() {
+    // xorshift step on a shared counter: cheap cross-thread noise source.
+    let mut x = PERTURB.fetch_add(0x2545_F491_4F6C_DD1D, Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    match x % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => std::thread::sleep(std::time::Duration::from_micros(x % 50)),
+        _ => {}
+    }
+}
+
+/// Run `f` repeatedly under schedule perturbation.
+///
+/// Mirrors `loom::model`. Each iteration runs `f` once; any panic inside
+/// `f` (or a thread it spawned and joined) fails the test immediately with
+/// the iteration number, which is enough to replay under a debugger.
+pub fn model<F: Fn() + Sync>(f: F) {
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    for i in 0..iters {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = r {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("loom model failed at iteration {i}/{iters}: {msg}");
+        }
+    }
+}
+
+/// Thread handling with perturbation hooks.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a thread; injects a schedule perturbation before the body runs.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::perturb_point();
+            f()
+        })
+    }
+
+    /// Yield, with extra perturbation so stress runs explore more orders.
+    pub fn yield_now() {
+        super::perturb_point();
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives (std-backed, std-shaped: `lock().unwrap()`).
+pub mod sync {
+    pub use std::sync::atomic;
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_and_spawned_threads_join() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&total);
+        super::model(move || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 3);
+            t2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(total.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "loom model failed at iteration")]
+    fn model_reports_failing_iteration() {
+        super::model(|| panic!("injected"));
+    }
+}

@@ -1,0 +1,505 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::array::uniform6`, `prop::collection::vec`,
+//! `prop::bool::weighted`, [`prop_assert!`], [`prop_assert_eq!`], and
+//! [`prop_assume!`].
+//!
+//! Differences from the real crate, by design:
+//! - cases are drawn from a *deterministic* per-property stream (seeded by
+//!   FNV-hashing the property name), so every run tests the same inputs —
+//!   there is no persistence of new failures to `.proptest-regressions`;
+//! - there is no shrinking: a failure reports the attempt index and the
+//!   assertion message, and the run is replayable because the stream is
+//!   deterministic;
+//! - `PROPTEST_CASES` overrides the number of accepted cases (default 64).
+//!
+//! Existing `.proptest-regressions` entries are honored by explicit replay
+//! tests in the workspace rather than by this harness.
+
+#![warn(missing_docs)]
+
+/// How a property case ends when it does not simply succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a `prop_assume!` precondition.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion with `msg`.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (filtered-out) case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic case generation.
+pub mod test_runner {
+    /// The per-property random stream (xoshiro256++, FNV-seeded).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// A stream that is a pure function of `(name, attempt)`.
+        pub fn deterministic(name: &str, attempt: u64) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, F));
+
+/// Combinator namespaces mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// Strategy for `[S::Value; 6]`, each element drawn independently.
+        pub struct UniformArray6<S>(S);
+
+        impl<S: Strategy> Strategy for UniformArray6<S> {
+            type Value = [S::Value; 6];
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                [
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                ]
+            }
+        }
+
+        /// Six independent draws from `strategy`.
+        pub fn uniform6<S: Strategy>(strategy: S) -> UniformArray6<S> {
+            UniformArray6(strategy)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// An inclusive bound on collection lengths. Constructed via `From`
+        /// conversions (as in real proptest), which is what lets a bare
+        /// `1..400` literal range infer `usize` at `vec()` call sites.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty length range");
+                SizeRange { lo: r.start, hi: r.end - 1 }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+                assert!(r.start() <= r.end(), "empty length range");
+                SizeRange { lo: *r.start(), hi: *r.end() }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a drawn length.
+        pub struct VecStrategy<S> {
+            element: S,
+            length: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.length.hi - self.length.lo) as u64;
+                let n = self.length.lo + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A vector whose length is drawn from `length` (e.g. `1..200`)
+        /// and whose elements are drawn from `element`.
+        pub fn vec<S: Strategy, L: Into<SizeRange>>(element: S, length: L) -> VecStrategy<S> {
+            VecStrategy { element, length: length.into() }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// Strategy producing `true` with probability `p`.
+        pub struct Weighted(f64);
+
+        impl Strategy for Weighted {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.unit_f64() < self.0
+            }
+        }
+
+        /// `true` with probability `probability_of_true`.
+        pub fn weighted(probability_of_true: f64) -> Weighted {
+            assert!(
+                (0.0..=1.0).contains(&probability_of_true),
+                "weight out of range"
+            );
+            Weighted(probability_of_true)
+        }
+    }
+}
+
+/// Drive one property: keep drawing cases until `PROPTEST_CASES`
+/// (default 64) of them run to completion, skipping `prop_assume!`
+/// rejections, and panic with attempt number + message on failure.
+pub fn run_property<F>(name: &str, f: F)
+where
+    F: Fn(&mut TestRng) -> TestCaseResult,
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut accepted = 0u64;
+    let mut attempt = 0u64;
+    while accepted < cases {
+        attempt += 1;
+        if attempt > cases.saturating_mul(20) {
+            panic!(
+                "property '{name}': gave up after {attempt} attempts with only \
+                 {accepted}/{cases} cases accepted (prop_assume! rejects too much)"
+            );
+        }
+        let mut rng = TestRng::deterministic(name, attempt);
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property '{name}' failed at attempt {attempt}/{cases}: {msg} \
+                 (stream is deterministic; rerun reproduces this case)"
+            ),
+        }
+    }
+}
+
+/// Define property tests. Each `fn name(arg in STRATEGY, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as in real
+/// proptest) that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __case = || -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failure fails only the current case
+/// with a formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless `cond` holds (a filtered precondition,
+/// not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The items property-test files conventionally glob-import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Generated ints stay in range.
+        #[test]
+        fn ranges_respected(a in 3usize..10, b in 5u64..=5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert_eq!(b, 5);
+        }
+
+        /// Tuples, maps, arrays, vectors, weighted bools all compose.
+        #[test]
+        fn combinators_compose(
+            pair in (0u64..10, 0.0f64..1.0).prop_map(|(n, x)| (n * 2, x)),
+            arr in prop::array::uniform6(1u32..4),
+            v in prop::collection::vec((0u64..100, prop::bool::weighted(0.5)), 1..20),
+            flag in prop::bool::weighted(1.0),
+        ) {
+            prop_assert!(pair.0 % 2 == 0 && pair.1 < 1.0);
+            prop_assert!(arr.iter().all(|&x| (1..4).contains(&x)));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(flag);
+        }
+
+        /// prop_assume! filters without failing.
+        #[test]
+        fn assume_filters(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = TestRng::deterministic("p", 3);
+        let mut b = TestRng::deterministic("p", 3);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("p", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at attempt")]
+    fn failure_reports_attempt() {
+        super::run_property("always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

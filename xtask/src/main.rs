@@ -1,0 +1,163 @@
+//! `cargo xtask lint` — repo-specific source lints that rustc/clippy
+//! cannot express:
+//!
+//! 1. **No wall-clock in simulation paths.** Files under `crates/des/src`
+//!    and `crates/cellsim/src` model virtual time; any use of
+//!    `std::time::Instant`, `SystemTime`, or `Duration`-producing clock
+//!    reads would leak host timing into supposedly deterministic
+//!    simulations. (`mgps-runtime::native` legitimately measures real
+//!    time and is exempt.)
+//! 2. **No unbounded channels in `mgps-runtime::native`.** Every channel
+//!    in the native runtime must be constructed with an explicit bound so
+//!    back-pressure is part of the design; `channel::unbounded` and raw
+//!    `std::sync::mpsc::channel` are rejected.
+//!
+//! A line can opt out with a trailing `// xtask-allow: <rule>` comment,
+//! which is itself reported so exemptions stay visible in the lint
+//! output.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Rule {
+    name: &'static str,
+    roots: &'static [&'static str],
+    needles: &'static [&'static str],
+    why: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "wall-clock",
+        roots: &["crates/des/src", "crates/cellsim/src"],
+        needles: &[
+            "std::time::Instant",
+            "Instant::now",
+            "SystemTime",
+            "time::SystemTime",
+        ],
+        why: "simulation code must use virtual SimTime, never host clocks",
+    },
+    Rule {
+        name: "unbounded-channel",
+        roots: &["crates/mgps-runtime/src/native"],
+        needles: &["channel::unbounded", "mpsc::channel(", "unbounded()"],
+        why: "native runtime channels must carry an explicit capacity bound",
+    },
+];
+
+fn rust_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn lint(repo_root: &Path) -> Result<(), usize> {
+    let mut violations = 0usize;
+    for rule in RULES {
+        for root in rule.roots {
+            let mut files = Vec::new();
+            rust_files(&repo_root.join(root), &mut files);
+            files.sort();
+            for file in files {
+                let Ok(text) = std::fs::read_to_string(&file) else {
+                    continue;
+                };
+                for (idx, line) in text.lines().enumerate() {
+                    let hit = rule.needles.iter().any(|n| line.contains(n));
+                    if !hit {
+                        continue;
+                    }
+                    let loc = format!("{}:{}", file.display(), idx + 1);
+                    if line.contains(&format!("xtask-allow: {}", rule.name)) {
+                        println!("xtask lint: ALLOWED [{}] {loc}", rule.name);
+                    } else {
+                        eprintln!(
+                            "xtask lint: FORBIDDEN [{}] {loc}\n  {}\n  rule: {}",
+                            rule.name,
+                            line.trim(),
+                            rule.why
+                        );
+                        violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    if violations == 0 {
+        println!("xtask lint: clean ({} rules)", RULES.len());
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <repo>/xtask; the manifest dir's parent is the root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the repo")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1).unwrap_or_default();
+    match task.as_str() {
+        "lint" => match lint(&repo_root()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(n) => {
+                eprintln!("xtask lint: {n} violation(s)");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_passes_lint() {
+        assert!(lint(&repo_root()).is_ok());
+    }
+
+    #[test]
+    fn forbidden_pattern_is_detected() {
+        // Exercise the scanner on a synthetic tree.
+        let dir = std::env::temp_dir().join(format!("xtask-lint-{}", std::process::id()));
+        let sim = dir.join("crates/des/src");
+        std::fs::create_dir_all(&sim).unwrap();
+        std::fs::write(sim.join("bad.rs"), "let t = Instant::now();\n").unwrap();
+        let r = lint(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(r, Err(1));
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-ok-{}", std::process::id()));
+        let sim = dir.join("crates/cellsim/src");
+        std::fs::create_dir_all(&sim).unwrap();
+        std::fs::write(
+            sim.join("ok.rs"),
+            "let t = Instant::now(); // xtask-allow: wall-clock\n",
+        )
+        .unwrap();
+        let r = lint(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(r.is_ok());
+    }
+}
