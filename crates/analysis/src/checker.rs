@@ -64,6 +64,10 @@ pub struct CheckReport {
     pub events_checked: usize,
     /// Distinct tasks that started.
     pub tasks_checked: usize,
+    /// Nanoseconds each SPE spent occupied by a task, recomputed from the
+    /// `TaskStart`/`TaskEnd` replay (indexed by SPE). Trace exporters are
+    /// validated against this accounting.
+    pub spe_busy_ns: Vec<u64>,
 }
 
 impl CheckReport {
@@ -96,8 +100,10 @@ pub fn check_run(log: &RunLog) -> CheckReport {
 
     let n_spes = log.n_spes;
     // Replay state, all recomputed from scratch.
+    let mut spe_busy_ns: Vec<u64> = vec![0; n_spes];
     let mut prev_at: u64 = 0;
     let mut busy: Vec<Option<u64>> = vec![None; n_spes]; // task occupying each SPE
+    let mut busy_since: Vec<u64> = vec![0; n_spes]; // start ns of the occupant
     let mut ls_in_use: Vec<usize> = vec![0; n_spes];
     let mut mailbox_occ: Vec<[usize; 3]> = vec![[0; 3]; n_spes];
     let mut offloaded: HashMap<u64, (usize, u64)> = HashMap::new(); // task -> (proc, seq)
@@ -147,6 +153,11 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                     log, e.seq, *proc, *task, *degree, team, expected_degree, &offloaded,
                     &last_started, &mut busy, v,
                 );
+                for &spe in team {
+                    if spe < n_spes {
+                        busy_since[spe] = e.at_ns;
+                    }
+                }
                 last_started = Some(*task);
                 tasks.insert(
                     *task,
@@ -161,6 +172,13 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                 );
             }
             EventKind::TaskEnd { proc, task, team } => {
+                // Accumulate busy time before the replay state is cleared;
+                // only SPEs genuinely occupied by this task count.
+                for &spe in team {
+                    if spe < n_spes && busy[spe] == Some(*task) {
+                        spe_busy_ns[spe] += e.at_ns.saturating_sub(busy_since[spe]);
+                    }
+                }
                 check_task_end(e.seq, *proc, *task, team, &mut tasks, &mut busy, v);
             }
             EventKind::Dma { spe, element_bytes, local_addr, main_addr } => {
@@ -246,6 +264,16 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                     }),
                 }
             }
+            EventKind::CodeReload { spe, .. } => {
+                if *spe >= n_spes {
+                    v.push(bad_spe("spe-overlap", e.seq, *spe, n_spes));
+                }
+            }
+            EventKind::DmaComplete { spe, .. } => {
+                if *spe >= n_spes {
+                    v.push(bad_spe("dma-legality", e.seq, *spe, n_spes));
+                }
+            }
             EventKind::DegreeDecision { degree, waiting, n_spes: dn, window, window_fill } => {
                 check_degree_decision(
                     log, e.seq, *degree, *waiting, *dn, *window, *window_fill, v,
@@ -257,6 +285,7 @@ pub fn check_run(log: &RunLog) -> CheckReport {
 
     // Whole-log properties: every started task ended, and its chunks tile
     // the iteration space exactly once across its team.
+    report.spe_busy_ns = spe_busy_ns;
     report.tasks_checked = tasks.len();
     let mut ordered: Vec<_> = tasks.iter().collect();
     ordered.sort_by_key(|(task, _)| **task);

@@ -1,0 +1,78 @@
+//! `baseline` — write a coarse benchmark baseline as JSON.
+//!
+//! The Criterion benches in `benches/` guard individual regressions; this
+//! binary records one *trajectory point*: wall-clock cost of the core
+//! simulation scenarios plus their deterministic outputs (simulated
+//! makespan, task count), so successive baselines are comparable even
+//! across machines — the deterministic columns must never drift, the
+//! wall-clock columns show the perf trend.
+//!
+//! ```text
+//! cargo run --release -p bench --bin baseline [-- OUT.json]
+//! ```
+//!
+//! Defaults to `BENCH_0.json` at the workspace root; pick the next free
+//! `BENCH_<n>.json` name when recording a new point.
+
+use std::time::Instant;
+
+use bench::{sim, BENCH_SCALE};
+use mgps_runtime::policy::SchedulerKind;
+use minijson::Value;
+
+const BOOTSTRAPS: usize = 8;
+const ITERS: u32 = 5;
+
+fn scenario(label: &str, scheduler: SchedulerKind) -> Value {
+    // Warm-up run, not timed.
+    let report = sim(scheduler, BOOTSTRAPS);
+    let started = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(sim(scheduler, BOOTSTRAPS));
+    }
+    let mean_ns = (started.elapsed().as_nanos() / u128::from(ITERS)) as u64;
+    Value::object(vec![
+        ("name", label.into()),
+        ("iters", u64::from(ITERS).into()),
+        ("mean_wall_ns", mean_ns.into()),
+        // Deterministic anchors: identical across machines for one seed.
+        ("sim_makespan_secs", report.paper_scale_secs.into()),
+        ("tasks_completed", report.tasks_completed.into()),
+        ("context_switches", report.context_switches.into()),
+    ])
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench sits two levels below the workspace root")
+            .join("BENCH_0.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    let scenarios = [
+        ("simulate/edtlp", SchedulerKind::Edtlp),
+        ("simulate/linux", SchedulerKind::LinuxLike),
+        ("simulate/llp4", SchedulerKind::StaticHybrid { spes_per_loop: 4 }),
+        ("simulate/mgps", SchedulerKind::Mgps),
+    ];
+    let entries: Vec<Value> = scenarios
+        .iter()
+        .map(|&(label, scheduler)| {
+            eprintln!("timing {label} ({ITERS} iters at scale {BENCH_SCALE})...");
+            scenario(label, scheduler)
+        })
+        .collect();
+
+    let doc = Value::object(vec![
+        ("schema", "multigrain-bench-baseline/1".into()),
+        ("scale", BENCH_SCALE.into()),
+        ("bootstraps", BOOTSTRAPS.into()),
+        ("entries", Value::Array(entries)),
+    ]);
+    std::fs::write(&out, doc.to_json_pretty()).expect("write baseline");
+    println!("baseline written to {out}");
+}

@@ -175,6 +175,23 @@ pub enum EventKind {
         /// The SPE executing the chunk.
         worker: usize,
     },
+    /// `spe` reloaded its resident code image before starting a task (the
+    /// granularity term `t_code`).
+    CodeReload {
+        /// The reloading SPE.
+        spe: usize,
+        /// Stall paid for the reload, ns.
+        stall_ns: u64,
+    },
+    /// A DMA transfer to `spe` finished (the granularity term `t_comm`).
+    DmaComplete {
+        /// The receiving SPE.
+        spe: usize,
+        /// Bytes moved.
+        bytes: usize,
+        /// End-to-end transfer latency, ns.
+        latency_ns: u64,
+    },
     /// The MGPS policy issued a degree decision at a window boundary.
     DegreeDecision {
         /// The new loop degree (1 = LLP off).
@@ -391,6 +408,21 @@ impl EventKind {
                 ("len", (*len).into()),
                 ("worker", (*worker).into()),
             ]),
+            EventKind::CodeReload { spe, stall_ns } => Value::object(vec![
+                ("type", "code_reload".into()),
+                ("spe", (*spe).into()),
+                ("stall_ns", (*stall_ns).into()),
+            ]),
+            EventKind::DmaComplete {
+                spe,
+                bytes,
+                latency_ns,
+            } => Value::object(vec![
+                ("type", "dma_complete".into()),
+                ("spe", (*spe).into()),
+                ("bytes", (*bytes).into()),
+                ("latency_ns", (*latency_ns).into()),
+            ]),
             EventKind::DegreeDecision {
                 degree,
                 waiting,
@@ -465,6 +497,15 @@ impl EventKind {
                 start: usize_field(v, "start")?,
                 len: usize_field(v, "len")?,
                 worker: usize_field(v, "worker")?,
+            },
+            "code_reload" => EventKind::CodeReload {
+                spe: usize_field(v, "spe")?,
+                stall_ns: u64_field(v, "stall_ns")?,
+            },
+            "dma_complete" => EventKind::DmaComplete {
+                spe: usize_field(v, "spe")?,
+                bytes: usize_field(v, "bytes")?,
+                latency_ns: u64_field(v, "latency_ns")?,
             },
             "degree_decision" => EventKind::DegreeDecision {
                 degree: usize_field(v, "degree")?,
@@ -663,6 +704,23 @@ mod tests {
                     spe: 1,
                     bytes: 4096,
                     in_use: 0,
+                },
+            },
+            EventRecord {
+                seq: 11,
+                at_ns: 102,
+                kind: EventKind::CodeReload {
+                    spe: 2,
+                    stall_ns: 250_000,
+                },
+            },
+            EventRecord {
+                seq: 12,
+                at_ns: 103,
+                kind: EventKind::DmaComplete {
+                    spe: 2,
+                    bytes: 12 * 1024,
+                    latency_ns: 1_337,
                 },
             },
         ]);

@@ -599,18 +599,27 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
         let m = sim.model_mut();
         let epoch = m.image_epoch;
         let mut team = Vec::with_capacity(degree);
-        let mut reload = false;
+        let mut reloaded = Vec::new();
         for (i, spe) in m.spes.iter_mut().enumerate() {
             if !spe.is_busy() {
-                reload |= spe.start_task(now, epoch);
+                if spe.start_task(now, epoch) {
+                    reloaded.push(i);
+                }
                 team.push(i);
                 if team.len() == degree {
                     break;
                 }
             }
         }
+        let reload = !reloaded.is_empty();
         assert_eq!(team.len(), degree, "grant without enough idle SPEs");
         let now_ns = now.as_nanos();
+        // Team members reload in parallel; each pays the full stall, the
+        // task-level delay is one code_load_cost (added below).
+        let stall_ns = m.cfg.params.code_load_cost.as_nanos();
+        for &spe in &reloaded {
+            m.emit(now_ns, EventKind::CodeReload { spe, stall_ns });
+        }
         let task = m.procs[p].current_task;
         let buffer_bytes = m.cfg.workload.input_bytes + m.cfg.workload.output_bytes;
         // PPE -> SPU start command through the lead SPE's inbound mailbox
@@ -699,6 +708,11 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
                 None
             }
         };
+        let latency_ns = dma_latency.unwrap_or(base * 2).as_nanos();
+        m.emit(
+            now_ns,
+            EventKind::DmaComplete { spe: lead, bytes: buffer_bytes, latency_ns },
+        );
         if reload {
             dur += m.cfg.params.code_load_cost;
         }

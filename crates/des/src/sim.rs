@@ -93,7 +93,15 @@ impl<M> Sim<M> {
     /// reaped).
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// Entries held by the internal future-event list, cancelled-but-unreaped
+    /// ones included. Exposed so tests can assert that heavy cancellation
+    /// does not grow the queue without bound.
+    #[inline]
+    pub fn queue_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Shared access to the model.
@@ -155,7 +163,9 @@ impl<M> Sim<M> {
     }
 
     /// Cancel a pending event. Returns `true` if the event had not yet fired
-    /// (and had not already been cancelled).
+    /// (and had not already been cancelled — though after a compaction pass
+    /// has reaped the event, a repeated cancel of the same id may report
+    /// `true` again).
     pub fn cancel(&mut self, id: EventId) -> bool {
         if id.0 >= self.next_id {
             return false;
@@ -164,7 +174,24 @@ impl<M> Sim<M> {
         // side table, so record the cancellation and let the pop path drop
         // it. Inserting an id that already fired is harmless: it can never
         // be popped again.
-        self.cancelled.insert(id)
+        let fresh = self.cancelled.insert(id);
+        // Lazy compaction: once cancellations outweigh half the queue, the
+        // heap is mostly dead entries (or the cancelled set is mostly ids
+        // that already fired). Rebuild both so long-horizon runs with heavy
+        // cancellation stay bounded instead of reaping only on pop.
+        if self.cancelled.len() > self.heap.len() / 2 {
+            self.compact();
+        }
+        fresh
+    }
+
+    /// Drop every cancelled entry from the heap and clear the cancelled set.
+    /// Ids left in the set but absent from the heap have already fired and
+    /// can never pop again, so forgetting them is safe.
+    fn compact(&mut self) {
+        let heap = std::mem::take(&mut self.heap);
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.heap = heap.into_iter().filter(|ev| !cancelled.contains(&ev.id)).collect();
     }
 
     /// Execute the next event, if any. Returns `false` when the future-event
@@ -370,6 +397,56 @@ mod tests {
         assert_eq!(sim.trace_records().len(), 1);
         assert_eq!(sim.trace_records()[0].at, SimTime(3));
         assert_eq!(sim.trace_records()[0].label, "hello");
+    }
+
+    #[test]
+    fn heavy_cancellation_keeps_queue_bounded() {
+        // Regression: cancelled events used to sit in the heap until they
+        // popped, so schedule-then-cancel churn grew the queue without
+        // bound over a long horizon.
+        let mut sim = Sim::new(Log::default());
+        sim.schedule_at(SimTime(2_000_000), |s| s.model_mut().0.push((0, "keeper")));
+        let mut high_water = 0usize;
+        for round in 0..100_000u64 {
+            let id = sim.schedule_at(SimTime(1_000_000 + round), |_| {
+                panic!("cancelled event fired");
+            });
+            assert!(sim.cancel(id));
+            high_water = high_water.max(sim.queue_len());
+        }
+        assert!(
+            high_water <= 8,
+            "queue grew to {high_water} entries under schedule/cancel churn"
+        );
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(sim.model().0, vec![(0, "keeper")]);
+    }
+
+    #[test]
+    fn compaction_preserves_survivors_and_order() {
+        let mut sim = Sim::new(Log::default());
+        // Interleave keepers with cancelled decoys so several compaction
+        // passes run while keepers are in the heap.
+        let mut decoys = Vec::new();
+        for i in 0..50u64 {
+            sim.schedule_at(SimTime(10 + i), move |s| {
+                let t = s.now().0;
+                s.model_mut().0.push((t, "keep"));
+            });
+            for j in 0..10u64 {
+                decoys.push(sim.schedule_at(SimTime(500 + i * 10 + j), |_| {
+                    panic!("cancelled event fired");
+                }));
+            }
+        }
+        for id in decoys {
+            assert!(sim.cancel(id));
+        }
+        sim.run();
+        let times: Vec<u64> = sim.model().0.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, (10..60).collect::<Vec<_>>());
+        assert_eq!(sim.events_executed(), 50);
     }
 
     #[test]

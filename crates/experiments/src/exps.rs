@@ -390,6 +390,46 @@ pub fn micro(scale: usize) -> Experiment {
     e
 }
 
+/// Measured SPE utilization curves from the observability layer.
+///
+/// No direct paper analogue — the paper reports utilization only in prose
+/// (§5.3) — but every scheduler comparison above is *explained* by how
+/// much of the chip each scheme keeps busy, so the figure regenerates the
+/// measured curves behind Figures 7–9: mean SPE utilization per scheduler
+/// as bootstrap count grows, folded from the recorded event log by
+/// `mgps-obs`.
+pub fn utilization(scale: usize) -> Experiment {
+    use mgps_obs::ObsSummary;
+    let mut e = Experiment::new(
+        "utilization",
+        "Measured mean SPE utilization per scheduler (obs layer)",
+    );
+    let xs = [1usize, 2, 4, 8, 16];
+    for &(label, sched) in &ADAPTIVE_SCHEDULERS {
+        let mut points = Vec::new();
+        for &n in &xs {
+            let report = run(SimConfig::cell_42sc(sched, n, scale));
+            let log = report.run_log.as_ref().expect("checked_run records events");
+            let s = ObsSummary::from_log(log);
+            points.push((n, s.mean_utilization));
+            if n == 8 {
+                e.rows.push(Row::measured_only(
+                    format!("mean SPE utilization, 8 bootstraps, {label}"),
+                    s.mean_utilization,
+                ));
+            }
+        }
+        e.series.push(Series { label: label.to_string(), points });
+    }
+    e.notes.push(
+        "folded from the structured event log (mgps-obs); per-SPE busy sums \
+         are cross-checked against the invariant checker's accounting in the \
+         obs golden tests"
+            .into(),
+    );
+    e
+}
+
 /// All experiments at the given scale, in paper order, plus the MGPS
 /// design-choice ablations.
 pub fn all(scale: usize) -> Vec<Experiment> {
@@ -408,6 +448,7 @@ pub fn all(scale: usize) -> Vec<Experiment> {
         micro(scale),
         fig2(scale),
         section55(scale),
+        utilization(scale),
         crate::ablations::ablation_window(scale),
         crate::ablations::ablation_threshold(scale),
         crate::ablations::kernel_mix(scale),
@@ -421,6 +462,36 @@ mod tests {
 
     /// Coarse scale for fast tests (durations exact, few repetitions).
     const TEST_SCALE: usize = 4_000;
+
+    #[test]
+    fn utilization_curves_are_sane_and_explain_mgps() {
+        let e = utilization(TEST_SCALE);
+        assert_eq!(e.series.len(), 4);
+        for s in &e.series {
+            assert_eq!(s.points.len(), 5, "{}", s.label);
+            for &(n, u) in &s.points {
+                assert!((0.0..=1.0).contains(&u), "{} at {n}: {u}", s.label);
+            }
+        }
+        let at = |label: &str, n: usize| {
+            e.series
+                .iter()
+                .find(|s| s.label == label)
+                .and_then(|s| s.points.iter().find(|p| p.0 == n))
+                .map(|p| p.1)
+                .unwrap()
+        };
+        // One bootstrap exposes no task parallelism: EDTLP strands seven
+        // SPEs, while MGPS work-shares the loops across the chip.
+        assert!(
+            at("MGPS", 1) > 2.0 * at("EDTLP", 1),
+            "MGPS {} vs EDTLP {}",
+            at("MGPS", 1),
+            at("EDTLP", 1)
+        );
+        // With 16 bootstraps task parallelism alone fills the chip.
+        assert!(at("EDTLP", 16) > at("EDTLP", 1));
+    }
 
     #[test]
     fn spe_opt_reproduces_section_5_1() {

@@ -28,9 +28,15 @@ impl Row {
         Row { label: label.into(), measured, paper: None }
     }
 
-    /// measured / paper, when a reference exists.
+    /// measured / paper, when a reference exists and the quotient is
+    /// finite. A zero or non-finite paper value (or a non-finite
+    /// measurement) yields `None` rather than an inf/NaN that would poison
+    /// downstream aggregation.
     pub fn ratio(&self) -> Option<f64> {
-        self.paper.map(|p| self.measured / p)
+        self.paper
+            .filter(|p| p.is_finite())
+            .map(|p| self.measured / p)
+            .filter(|q| q.is_finite())
     }
 }
 
@@ -201,17 +207,34 @@ impl Experiment {
         Ok(path)
     }
 
-    /// The default output directory (`target/experiments`).
+    /// The default output directory: `MULTIGRAIN_EXPERIMENTS_DIR` when set,
+    /// else `target/experiments` anchored at the workspace root — not the
+    /// current working directory, so binaries launched from a crate
+    /// directory and from the workspace root agree on where output goes.
     pub fn default_dir() -> PathBuf {
-        PathBuf::from("target/experiments")
+        if let Some(dir) = std::env::var_os("MULTIGRAIN_EXPERIMENTS_DIR") {
+            if !dir.is_empty() {
+                return PathBuf::from(dir);
+            }
+        }
+        // crates/experiments -> crates -> workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crate lives two levels below the workspace root")
+            .join("target")
+            .join("experiments")
     }
 
-    /// Worst |measured/paper − 1| over rows that have references.
+    /// Worst |measured/paper − 1| over rows that have references. Rows
+    /// whose ratio is undefined or non-finite ([`Row::ratio`]) are skipped
+    /// so one degenerate reference cannot poison the fold.
     pub fn worst_relative_error(&self) -> Option<f64> {
         self.rows
             .iter()
             .filter_map(|r| r.ratio())
             .map(|q| (q - 1.0).abs())
+            .filter(|e| e.is_finite())
             .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
     }
 }
@@ -269,5 +292,41 @@ mod tests {
     #[test]
     fn empty_experiment_has_no_error() {
         assert_eq!(Experiment::new("x", "y").worst_relative_error(), None);
+    }
+
+    #[test]
+    fn degenerate_paper_references_do_not_poison_ratios() {
+        // Regression: a zero or non-finite reference used to produce an
+        // inf/NaN ratio that either poisoned or was silently dropped by
+        // the worst-error fold.
+        assert_eq!(Row::with_paper("zero", 1.0, 0.0).ratio(), None);
+        assert_eq!(Row::with_paper("nan-paper", 1.0, f64::NAN).ratio(), None);
+        assert_eq!(Row::with_paper("inf-paper", 1.0, f64::INFINITY).ratio(), None);
+        assert_eq!(Row::with_paper("nan-measured", f64::NAN, 2.0).ratio(), None);
+        // 0/0 is NaN, 1/0 is inf: both must vanish, not propagate.
+        assert_eq!(Row::with_paper("zero-zero", 0.0, 0.0).ratio(), None);
+
+        let mut e = Experiment::new("t", "degenerate");
+        e.rows.push(Row::with_paper("good", 3.0, 2.0));
+        e.rows.push(Row::with_paper("zero", 1.0, 0.0));
+        e.rows.push(Row::with_paper("nan", f64::NAN, 2.0));
+        let worst = e.worst_relative_error().unwrap();
+        assert!((worst - 0.5).abs() < 1e-12, "got {worst}");
+
+        // Only degenerate rows: no error at all, rather than inf/NaN.
+        let mut e = Experiment::new("t", "all-bad");
+        e.rows.push(Row::with_paper("zero", 1.0, 0.0));
+        assert_eq!(e.worst_relative_error(), None);
+    }
+
+    #[test]
+    fn default_dir_is_anchored_at_the_workspace_root() {
+        // Regression: the directory used to be cwd-relative, scattering
+        // output depending on where a binary was launched.
+        let dir = Experiment::default_dir();
+        assert!(dir.is_absolute(), "default dir must not depend on the cwd: {dir:?}");
+        assert!(dir.ends_with("target/experiments"), "got {dir:?}");
+        let root = dir.parent().and_then(Path::parent).unwrap();
+        assert!(root.join("Cargo.toml").exists(), "{root:?} is not the workspace root");
     }
 }

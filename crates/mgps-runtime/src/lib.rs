@@ -48,5 +48,10 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod native;
 pub mod policy;
+
+pub use metrics::{
+    AtomicMetrics, Counter, HistKind, MetricsSink, MetricsSinkExt, MetricsSnapshot, NopMetrics,
+};

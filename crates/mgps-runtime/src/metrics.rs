@@ -1,0 +1,355 @@
+//! One metrics schema for both execution engines.
+//!
+//! The simulator (`cellsim`) and the native runtime ([`crate::native`])
+//! expose the same observable quantities — off-loads, context switches,
+//! code reloads, mailbox traffic, MGPS adaptation events — so that a run
+//! can be inspected with the same tooling regardless of which engine
+//! produced it. This module defines that shared vocabulary:
+//!
+//! * [`Counter`] / [`HistKind`] — the closed set of counter and histogram
+//!   names;
+//! * [`MetricsSink`] — the recording trait. The native engine threads an
+//!   `Arc<dyn MetricsSink>` through its hot paths; the simulator folds its
+//!   event log into the same schema after the fact (`obs` crate).
+//! * [`AtomicMetrics`] — a lock-free sink: one relaxed `AtomicU64` per
+//!   counter, log2-bucketed histograms. Cheap enough to leave enabled.
+//! * [`NopMetrics`] — the default sink; recording is a no-op.
+//! * [`MetricsSnapshot`] — a plain-data snapshot for reporting.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone event counters shared by the simulated and native engines.
+///
+/// The discriminants are dense so sinks can index arrays by `as usize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Tasks off-loaded from the PPE to an SPE.
+    Offloads = 0,
+    /// Off-loaded tasks that ran to completion.
+    TasksCompleted,
+    /// Voluntary PPE context switches (EDTLP yield + re-acquire pairs).
+    CtxSwitchOffload,
+    /// Involuntary PPE context switches (quantum expiry; simulator only).
+    CtxSwitchQuantum,
+    /// SPE code-image reloads (the granularity term `t_code`).
+    CodeReloads,
+    /// Outbound mailbox writes (SPE → PPE completion signals).
+    MailboxWrites,
+    /// Mailbox reads drained by the PPE.
+    MailboxReads,
+    /// Writes that found the mailbox full and stalled.
+    MailboxStalls,
+    /// Off-loads that queued because no SPE was idle.
+    OffloadQueueStalls,
+    /// MGPS evaluation points reached.
+    MgpsEvaluations,
+    /// MGPS directives that switched LLP on.
+    LlpActivations,
+    /// MGPS directives that switched LLP off.
+    LlpDeactivations,
+    /// DMA transfers issued (the granularity term `t_comm`).
+    DmaIssues,
+    /// DMA transfers that took the contended/fallback path.
+    DmaFallbacks,
+}
+
+impl Counter {
+    /// Every counter, in discriminant order.
+    pub const ALL: [Counter; 14] = [
+        Counter::Offloads,
+        Counter::TasksCompleted,
+        Counter::CtxSwitchOffload,
+        Counter::CtxSwitchQuantum,
+        Counter::CodeReloads,
+        Counter::MailboxWrites,
+        Counter::MailboxReads,
+        Counter::MailboxStalls,
+        Counter::OffloadQueueStalls,
+        Counter::MgpsEvaluations,
+        Counter::LlpActivations,
+        Counter::LlpDeactivations,
+        Counter::DmaIssues,
+        Counter::DmaFallbacks,
+    ];
+
+    /// Stable snake_case name used in JSON summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Offloads => "offloads",
+            Counter::TasksCompleted => "tasks_completed",
+            Counter::CtxSwitchOffload => "ctx_switch_offload",
+            Counter::CtxSwitchQuantum => "ctx_switch_quantum",
+            Counter::CodeReloads => "code_reloads",
+            Counter::MailboxWrites => "mailbox_writes",
+            Counter::MailboxReads => "mailbox_reads",
+            Counter::MailboxStalls => "mailbox_stalls",
+            Counter::OffloadQueueStalls => "offload_queue_stalls",
+            Counter::MgpsEvaluations => "mgps_evaluations",
+            Counter::LlpActivations => "llp_activations",
+            Counter::LlpDeactivations => "llp_deactivations",
+            Counter::DmaIssues => "dma_issues",
+            Counter::DmaFallbacks => "dma_fallbacks",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Duration histograms (values in nanoseconds, log2-bucketed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum HistKind {
+    /// PPE context hold time per occupancy interval.
+    CtxHoldNs = 0,
+    /// Off-loaded task execution time (`t_spe`).
+    TaskDurNs,
+    /// DMA transfer latency (`t_comm` per transfer).
+    DmaLatencyNs,
+    /// Time an off-load waited in the queue before an SPE picked it up.
+    OffloadWaitNs,
+}
+
+impl HistKind {
+    /// Every histogram, in discriminant order.
+    pub const ALL: [HistKind; 4] = [
+        HistKind::CtxHoldNs,
+        HistKind::TaskDurNs,
+        HistKind::DmaLatencyNs,
+        HistKind::OffloadWaitNs,
+    ];
+
+    /// Stable snake_case name used in JSON summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::CtxHoldNs => "ctx_hold_ns",
+            HistKind::TaskDurNs => "task_dur_ns",
+            HistKind::DmaLatencyNs => "dma_latency_ns",
+            HistKind::OffloadWaitNs => "offload_wait_ns",
+        }
+    }
+}
+
+impl fmt::Display for HistKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Buckets per histogram: bucket `i` counts values whose bit length is `i`,
+/// i.e. value 0 lands in bucket 0 and value `v > 0` in
+/// `64 - v.leading_zeros()`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A recording destination for runtime metrics.
+///
+/// Implementations must be cheap and wait-free; both methods are called on
+/// off-load hot paths.
+pub trait MetricsSink: Send + Sync {
+    /// Add `n` to `counter`.
+    fn add(&self, counter: Counter, n: u64);
+    /// Record one observation of `value` (nanoseconds) in `hist`.
+    fn observe(&self, hist: HistKind, value: u64);
+}
+
+/// Convenience: increment a counter by one.
+pub trait MetricsSinkExt: MetricsSink {
+    /// `add(counter, 1)`.
+    fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+}
+
+impl<T: MetricsSink + ?Sized> MetricsSinkExt for T {}
+
+/// A sink that discards everything (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopMetrics;
+
+impl MetricsSink for NopMetrics {
+    fn add(&self, _counter: Counter, _n: u64) {}
+    fn observe(&self, _hist: HistKind, _value: u64) {}
+}
+
+/// A lock-free sink backed by relaxed atomics.
+#[derive(Debug)]
+pub struct AtomicMetrics {
+    counters: [AtomicU64; Counter::ALL.len()],
+    hists: [[AtomicU64; HIST_BUCKETS]; HistKind::ALL.len()],
+}
+
+impl Default for AtomicMetrics {
+    fn default() -> AtomicMetrics {
+        AtomicMetrics::new()
+    }
+}
+
+impl AtomicMetrics {
+    /// A sink with all counters and histograms at zero.
+    pub fn new() -> AtomicMetrics {
+        AtomicMetrics {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state into a plain-data snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed)),
+            hists: std::array::from_fn(|h| {
+                std::array::from_fn(|b| self.hists[h][b].load(Ordering::Relaxed))
+            }),
+        }
+    }
+}
+
+/// Bucket index for a nanosecond value: its bit length.
+pub fn hist_bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl MetricsSink for AtomicMetrics {
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn observe(&self, hist: HistKind, value: u64) {
+        self.hists[hist as usize][hist_bucket(value)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of a sink's state, suitable for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values indexed by `Counter as usize`.
+    pub counters: [u64; Counter::ALL.len()],
+    /// Histogram bucket counts indexed by `HistKind as usize`, then bucket.
+    pub hists: [[u64; HIST_BUCKETS]; HistKind::ALL.len()],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> MetricsSnapshot {
+        MetricsSnapshot { counters: [0; Counter::ALL.len()], hists: [[0; HIST_BUCKETS]; HistKind::ALL.len()] }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of `counter` in this snapshot.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Set `counter` (used when folding an event log into the schema).
+    pub fn set(&mut self, counter: Counter, value: u64) {
+        self.counters[counter as usize] = value;
+    }
+
+    /// Add `n` to `counter`.
+    pub fn bump(&mut self, counter: Counter, n: u64) {
+        self.counters[counter as usize] += n;
+    }
+
+    /// Record one observation into a histogram.
+    pub fn observe(&mut self, hist: HistKind, value: u64) {
+        self.hists[hist as usize][hist_bucket(value)] += 1;
+    }
+
+    /// Total observations recorded in `hist`.
+    pub fn hist_count(&self, hist: HistKind) -> u64 {
+        self.hists[hist as usize].iter().sum()
+    }
+
+    /// Non-empty `(bucket_floor_ns, count)` pairs for `hist`, ascending.
+    /// `bucket_floor_ns` is the smallest value that lands in the bucket.
+    pub fn hist_buckets(&self, hist: HistKind) -> Vec<(u64, u64)> {
+        self.hists[hist as usize]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_discriminants_are_dense_and_ordered() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{c} out of order");
+        }
+        for (i, h) in HistKind::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i, "{h} out of order");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn atomic_sink_counts_and_snapshots() {
+        let m = AtomicMetrics::new();
+        m.incr(Counter::Offloads);
+        m.add(Counter::Offloads, 2);
+        m.incr(Counter::MailboxStalls);
+        assert_eq!(m.get(Counter::Offloads), 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.get(Counter::Offloads), 3);
+        assert_eq!(snap.get(Counter::MailboxStalls), 1);
+        assert_eq!(snap.get(Counter::DmaIssues), 0);
+    }
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(4), 3);
+        assert_eq!(hist_bucket(u64::MAX), 64);
+
+        let m = AtomicMetrics::new();
+        m.observe(HistKind::TaskDurNs, 0);
+        m.observe(HistKind::TaskDurNs, 5); // bucket 3, floor 4
+        m.observe(HistKind::TaskDurNs, 7); // bucket 3
+        let snap = m.snapshot();
+        assert_eq!(snap.hist_count(HistKind::TaskDurNs), 3);
+        assert_eq!(snap.hist_buckets(HistKind::TaskDurNs), vec![(0, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn nop_sink_is_usable_through_the_trait() {
+        let sink: &dyn MetricsSink = &NopMetrics;
+        sink.add(Counter::Offloads, 10);
+        sink.observe(HistKind::DmaLatencyNs, 42);
+    }
+
+    #[test]
+    fn snapshot_fold_helpers() {
+        let mut s = MetricsSnapshot::default();
+        s.set(Counter::CodeReloads, 4);
+        s.bump(Counter::CodeReloads, 1);
+        s.observe(HistKind::CtxHoldNs, 1024);
+        assert_eq!(s.get(Counter::CodeReloads), 5);
+        assert_eq!(s.hist_count(HistKind::CtxHoldNs), 1);
+        assert_eq!(s.hist_buckets(HistKind::CtxHoldNs), vec![(1024, 1)]);
+    }
+}

@@ -19,6 +19,7 @@ use super::sync::Mutex;
 use super::gate::{GateMode, PpeGate, PpeToken};
 use super::pool::{OffloadError, SpePool, SpeStats};
 use super::team::{LoopBody, LoopSite, TeamRunner};
+use crate::metrics::{Counter, HistKind, MetricsSink, MetricsSinkExt, NopMetrics};
 use crate::policy::granularity::{GranularityController, GranularityDecision};
 use crate::policy::hybrid::SchedulerKind;
 use crate::policy::mgps::{Directive, MgpsConfig, MgpsScheduler};
@@ -86,12 +87,23 @@ pub struct MgpsRuntime {
     epoch: Instant,
     config: RuntimeConfig,
     granularity: Option<Mutex<GranularityController>>,
+    metrics: Arc<dyn MetricsSink>,
 }
 
 impl MgpsRuntime {
     /// Build a runtime from `config`.
     pub fn new(config: RuntimeConfig) -> MgpsRuntime {
-        let pool = Arc::new(SpePool::new(config.n_spes, config.code_load_cost));
+        MgpsRuntime::with_metrics(config, Arc::new(NopMetrics))
+    }
+
+    /// Build a runtime that records counters and histograms into `metrics`
+    /// (see [`crate::metrics`] — the same schema the simulator reports in).
+    pub fn with_metrics(config: RuntimeConfig, metrics: Arc<dyn MetricsSink>) -> MgpsRuntime {
+        let pool = Arc::new(SpePool::with_metrics(
+            config.n_spes,
+            config.code_load_cost,
+            Arc::clone(&metrics),
+        ));
         let runner = TeamRunner::new(Arc::clone(&pool), config.worker_startup);
         let (gate_mode, degree_policy, initial_degree) = match config.scheduler {
             SchedulerKind::Edtlp => (GateMode::YieldOnOffload, DegreePolicy::Fixed(1), 1),
@@ -111,7 +123,12 @@ impl MgpsRuntime {
                 1,
             ),
         };
-        let gate = PpeGate::new(config.ppe_contexts, gate_mode, config.switch_cost);
+        let gate = PpeGate::with_metrics(
+            config.ppe_contexts,
+            gate_mode,
+            config.switch_cost,
+            Arc::clone(&metrics),
+        );
         let granularity = config
             .granularity_retry
             .map(|retry| Mutex::new(GranularityController::new(retry)));
@@ -126,6 +143,7 @@ impl MgpsRuntime {
             epoch: Instant::now(),
             config,
             granularity,
+            metrics,
         }
     }
 
@@ -198,11 +216,17 @@ impl MgpsRuntime {
             let waiting = self.inflight.load(Ordering::Relaxed).max(1);
             let directive = sched.lock().on_departure(task, started_ns, self.ns(), waiting);
             if let Some(d) = directive {
+                self.metrics.incr(Counter::MgpsEvaluations);
                 let degree = match d {
                     Directive::ActivateLlp(ld) => ld.0,
                     Directive::DeactivateLlp => 1,
                 };
-                self.current_degree.store(degree, Ordering::Relaxed);
+                let prev = self.current_degree.swap(degree, Ordering::Relaxed);
+                if prev == 1 && degree > 1 {
+                    self.metrics.incr(Counter::LlpActivations);
+                } else if prev > 1 && degree == 1 {
+                    self.metrics.incr(Counter::LlpDeactivations);
+                }
             }
         }
     }
@@ -241,10 +265,12 @@ impl ProcessCtx<'_> {
         let task = TaskId(rt.next_task.fetch_add(1, Ordering::Relaxed));
         let started_ns = rt.ns();
         rt.record_offload(task, started_ns);
+        rt.metrics.incr(Counter::Offloads);
         rt.inflight.fetch_add(1, Ordering::Relaxed);
         let degree = rt.current_degree();
         let result = self.token.offload(|| rt.runner.parallel_reduce(site, degree, body));
         rt.inflight.fetch_sub(1, Ordering::Relaxed);
+        rt.metrics.observe(HistKind::TaskDurNs, rt.ns().saturating_sub(started_ns));
         rt.record_departure(task, started_ns);
         result
     }
@@ -525,6 +551,23 @@ mod tests {
         assert_eq!(stats.len(), 8);
         let total: u64 = stats.iter().map(|s| s.tasks_run).sum();
         assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn metrics_sink_sees_native_activity() {
+        use crate::metrics::AtomicMetrics;
+        let metrics = Arc::new(AtomicMetrics::new());
+        let rt = MgpsRuntime::with_metrics(
+            RuntimeConfig::cell(SchedulerKind::Edtlp),
+            Arc::<AtomicMetrics>::clone(&metrics),
+        );
+        run_workers(&rt, 4, 8, 100);
+        assert_eq!(metrics.get(Counter::Offloads), 32);
+        assert_eq!(metrics.get(Counter::TasksCompleted), 32);
+        assert_eq!(metrics.get(Counter::CtxSwitchOffload), rt.context_switches());
+        assert!(metrics.get(Counter::CtxSwitchOffload) >= 32);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.hist_count(HistKind::TaskDurNs), 32);
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! slot is kept, so at most `contexts` processes can have tasks in flight.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use super::sync::{Condvar, Mutex};
+use crate::metrics::{Counter, HistKind, MetricsSink, MetricsSinkExt, NopMetrics};
 
 /// How a process treats its PPE context while an off-loaded task runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,12 +38,24 @@ pub struct PpeGate {
     switch_cost: Duration,
     switches: AtomicU64,
     wait_ns: AtomicU64,
+    metrics: Arc<dyn MetricsSink>,
 }
 
 impl PpeGate {
     /// A gate with `contexts` slots (2 on a Cell PPE), the given mode, and
     /// voluntary context-switch cost (1.5 µs measured in the paper).
     pub fn new(contexts: usize, mode: GateMode, switch_cost: Duration) -> PpeGate {
+        PpeGate::with_metrics(contexts, mode, switch_cost, Arc::new(NopMetrics))
+    }
+
+    /// Like [`Self::new`], recording context switches and hold times into
+    /// `metrics`.
+    pub fn with_metrics(
+        contexts: usize,
+        mode: GateMode,
+        switch_cost: Duration,
+        metrics: Arc<dyn MetricsSink>,
+    ) -> PpeGate {
         assert!(contexts > 0, "a PPE has at least one context");
         PpeGate {
             slots: Mutex::new(contexts),
@@ -51,6 +65,7 @@ impl PpeGate {
             switch_cost,
             switches: AtomicU64::new(0),
             wait_ns: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -77,7 +92,7 @@ impl PpeGate {
     /// Block until a context is free, then claim it.
     pub fn enter(&self) -> PpeToken<'_> {
         self.acquire_slot();
-        PpeToken { gate: self, held: true }
+        PpeToken { gate: self, held: true, held_since: Instant::now() }
     }
 
     fn acquire_slot(&self) {
@@ -105,6 +120,7 @@ impl PpeGate {
 pub struct PpeToken<'g> {
     gate: &'g PpeGate,
     held: bool,
+    held_since: Instant,
 }
 
 impl PpeToken<'_> {
@@ -115,19 +131,28 @@ impl PpeToken<'_> {
         match self.gate.mode {
             GateMode::HoldDuringOffload => f(),
             GateMode::YieldOnOffload => {
+                self.observe_hold();
                 self.gate.release_slot();
                 self.held = false;
                 let out = f();
                 // Re-acquire: a voluntary context switch back in.
                 self.gate.acquire_slot();
                 self.held = true;
+                self.held_since = Instant::now();
                 self.gate.switches.fetch_add(1, Ordering::Relaxed);
+                self.gate.metrics.incr(Counter::CtxSwitchOffload);
                 if !self.gate.switch_cost.is_zero() {
                     spin_for(self.gate.switch_cost);
                 }
                 out
             }
         }
+    }
+
+    fn observe_hold(&self) {
+        self.gate
+            .metrics
+            .observe(HistKind::CtxHoldNs, self.held_since.elapsed().as_nanos() as u64);
     }
 
     /// Whether the token currently holds a context (always true outside
@@ -140,6 +165,7 @@ impl PpeToken<'_> {
 impl Drop for PpeToken<'_> {
     fn drop(&mut self) {
         if self.held {
+            self.observe_hold();
             self.gate.release_slot();
         }
     }

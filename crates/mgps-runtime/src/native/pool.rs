@@ -19,6 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use super::sync::{Condvar, Mutex, COMMAND_QUEUE_DEPTH};
 
 use super::context::{ImageId, SpeContext};
+use crate::metrics::{Counter, MetricsSink, MetricsSinkExt, NopMetrics};
 use crate::policy::SpeId;
 
 /// A unit of work executed on a virtual SPE.
@@ -91,6 +92,7 @@ struct Shared {
     completed: AtomicU64,
     affinity_hits: AtomicU64,
     affinity_misses: AtomicU64,
+    metrics: Arc<dyn MetricsSink>,
 }
 
 struct Worker {
@@ -125,6 +127,19 @@ impl SpePool {
     /// # Panics
     /// Panics if `n_spes == 0`.
     pub fn new(n_spes: usize, code_load_cost: Duration) -> SpePool {
+        SpePool::with_metrics(n_spes, code_load_cost, Arc::new(NopMetrics))
+    }
+
+    /// Like [`Self::new`], recording pool activity (completions, code
+    /// reloads, queue stalls) into `metrics`.
+    ///
+    /// # Panics
+    /// Panics if `n_spes == 0`.
+    pub fn with_metrics(
+        n_spes: usize,
+        code_load_cost: Duration,
+        metrics: Arc<dyn MetricsSink>,
+    ) -> SpePool {
         assert!(n_spes > 0, "a pool needs at least one SPE");
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -137,6 +152,7 @@ impl SpePool {
             completed: AtomicU64::new(0),
             affinity_hits: AtomicU64::new(0),
             affinity_misses: AtomicU64::new(0),
+            metrics,
         });
         let mut workers = Vec::with_capacity(n_spes);
         let mut direct = Vec::with_capacity(n_spes);
@@ -232,6 +248,7 @@ impl SpePool {
             let mut st = self.shared.state.lock();
             if st.idle.is_empty() {
                 st.pending.push_back(job);
+                self.shared.metrics.incr(Counter::OffloadQueueStalls);
                 None
             } else {
                 // Three-tier placement: a warm SPE hosting this image,
@@ -269,6 +286,7 @@ impl SpePool {
                 Some(spe) => Some(spe),
                 None => {
                     st.pending.push_back(job);
+                    self.shared.metrics.incr(Counter::OffloadQueueStalls);
                     return;
                 }
             }
@@ -341,6 +359,7 @@ fn worker_loop(
     code_load_cost: Duration,
 ) -> SpeStats {
     let mut ctx = SpeContext::new(id, code_load_cost);
+    let mut reloads_seen = 0u64;
     loop {
         let msg = match rx.recv() {
             Ok(m) => m,
@@ -354,6 +373,12 @@ fn worker_loop(
             ctx.begin_task();
             let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
             shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.incr(Counter::TasksCompleted);
+            let reloads_now = ctx.code_reloads();
+            if reloads_now > reloads_seen {
+                shared.metrics.add(Counter::CodeReloads, reloads_now - reloads_seen);
+                reloads_seen = reloads_now;
+            }
             if result.is_err() {
                 shared.panics.fetch_add(1, Ordering::Relaxed);
             }

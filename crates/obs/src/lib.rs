@@ -1,0 +1,39 @@
+//! # `mgps-obs` — observability over multigrain runs
+//!
+//! The simulator (`cellsim`) records a structured [`RunLog`] of every
+//! semantically meaningful action; the invariant checker (`mgps-analysis`)
+//! proves such a log *legal*. This crate makes a log *legible*: it folds
+//! the event stream into
+//!
+//! * per-SPE busy/idle/DMA **timelines** ([`timeline::Timeline`]),
+//! * a per-offload **phase breakdown** matching the granularity
+//!   inequality's terms — `t_ppe`, `t_wait`, `t_spe`, `t_code`, `t_comm`
+//!   ([`phases::PhaseBreakdown`]),
+//! * MGPS **window decision records** with the policy's `U` replayed from
+//!   the off-load history ([`decisions::decisions`]),
+//! * **counters and histograms** in the schema shared with the native
+//!   runtime ([`mgps_runtime::metrics`]), so simulated and native runs are
+//!   inspected with the same vocabulary ([`summary::ObsSummary`]),
+//!
+//! and exports two sinks: a Chrome trace-event JSON document
+//! ([`chrome::chrome_trace`], loadable in `chrome://tracing` / Perfetto)
+//! and a text/JSON run summary for `experiments::report`.
+//!
+//! All folds are pure functions of the log, so a deterministic run yields
+//! byte-identical exports.
+//!
+//! [`RunLog`]: cellsim::event::RunLog
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod decisions;
+pub mod phases;
+pub mod summary;
+pub mod timeline;
+
+pub use chrome::chrome_trace;
+pub use decisions::{decisions, DecisionRecord};
+pub use phases::{OffloadPhases, PhaseBreakdown, PhaseTotals};
+pub use summary::ObsSummary;
+pub use timeline::{DmaSpan, TaskSpan, Timeline};

@@ -1,0 +1,334 @@
+//! Whole-run summaries in the shared metrics schema.
+//!
+//! [`ObsSummary::from_log`] folds a simulator [`RunLog`] into the same
+//! [`MetricsSnapshot`] the native runtime fills through its
+//! [`MetricsSink`], so a simulated run and a native run read identically
+//! in reports. Counters the simulator cannot observe stay zero:
+//! `mailbox_stalls` (the simulated PPE drains mailboxes synchronously, so
+//! writes never block), `offload_queue_stalls`, and `dma_fallbacks`
+//! (fallback transfers surface as longer `dma_latency_ns` observations
+//! instead).
+//!
+//! [`RunLog`]: cellsim::event::RunLog
+//! [`MetricsSink`]: mgps_runtime::MetricsSink
+
+use std::collections::HashMap;
+
+use cellsim::event::{EventKind, RunLog, SwitchReason};
+use mgps_runtime::{Counter, HistKind, MetricsSnapshot};
+use minijson::Value;
+
+use crate::decisions::{decisions, DecisionRecord};
+use crate::phases::{PhaseBreakdown, PhaseTotals};
+use crate::timeline::Timeline;
+
+/// Everything a report needs to know about one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSummary {
+    /// Scheduling scheme of the run (`RunLog::scheduler` rendered).
+    pub scheduler: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// SPEs on the machine.
+    pub n_spes: usize,
+    /// Run length, ns.
+    pub makespan_ns: u64,
+    /// Per-SPE busy time, ns.
+    pub busy_ns: Vec<u64>,
+    /// Per-SPE busy fraction of the makespan.
+    pub utilization: Vec<f64>,
+    /// Machine-mean SPE utilization.
+    pub mean_utilization: f64,
+    /// Granularity-phase sums over every completed off-load.
+    pub phase_totals: PhaseTotals,
+    /// MGPS window decisions, with `U` replayed.
+    pub decisions: Vec<DecisionRecord>,
+    /// Counters and histograms in the schema shared with the native engine.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ObsSummary {
+    /// Fold `log` into a summary.
+    pub fn from_log(log: &RunLog) -> ObsSummary {
+        let tl = Timeline::from_log(log);
+        let phases = PhaseBreakdown::from_log(log);
+        let decisions = decisions(log);
+
+        let mut m = MetricsSnapshot::default();
+        let mut offload_at: HashMap<u64, u64> = HashMap::new();
+        let mut start_at: HashMap<u64, u64> = HashMap::new();
+        let mut degree = 1usize;
+        for e in &log.events {
+            match &e.kind {
+                EventKind::Offload { task, .. } => {
+                    m.bump(Counter::Offloads, 1);
+                    offload_at.insert(*task, e.at_ns);
+                }
+                EventKind::CtxSwitch { reason, held_ns, .. } => {
+                    let c = match reason {
+                        SwitchReason::Offload => Counter::CtxSwitchOffload,
+                        SwitchReason::Quantum => Counter::CtxSwitchQuantum,
+                    };
+                    m.bump(c, 1);
+                    m.observe(HistKind::CtxHoldNs, *held_ns);
+                }
+                EventKind::TaskStart { task, .. } => {
+                    start_at.insert(*task, e.at_ns);
+                    if let Some(t0) = offload_at.remove(task) {
+                        m.observe(HistKind::OffloadWaitNs, e.at_ns.saturating_sub(t0));
+                    }
+                }
+                EventKind::TaskEnd { task, .. } => {
+                    m.bump(Counter::TasksCompleted, 1);
+                    if let Some(t0) = start_at.remove(task) {
+                        m.observe(HistKind::TaskDurNs, e.at_ns.saturating_sub(t0));
+                    }
+                }
+                EventKind::CodeReload { .. } => m.bump(Counter::CodeReloads, 1),
+                EventKind::MailboxWrite { .. } => m.bump(Counter::MailboxWrites, 1),
+                EventKind::MailboxRead { .. } => m.bump(Counter::MailboxReads, 1),
+                EventKind::Dma { .. } => m.bump(Counter::DmaIssues, 1),
+                EventKind::DmaComplete { latency_ns, .. } => {
+                    m.observe(HistKind::DmaLatencyNs, *latency_ns);
+                }
+                EventKind::DegreeDecision { degree: d, .. } => {
+                    m.bump(Counter::MgpsEvaluations, 1);
+                    if degree == 1 && *d > 1 {
+                        m.bump(Counter::LlpActivations, 1);
+                    } else if degree > 1 && *d == 1 {
+                        m.bump(Counter::LlpDeactivations, 1);
+                    }
+                    degree = *d;
+                }
+                _ => {}
+            }
+        }
+
+        ObsSummary {
+            scheduler: log.scheduler.to_string(),
+            seed: log.seed,
+            n_spes: log.n_spes,
+            makespan_ns: tl.makespan_ns,
+            busy_ns: tl.busy_ns(),
+            utilization: tl.utilization(),
+            mean_utilization: tl.mean_utilization(),
+            phase_totals: phases.totals(),
+            decisions,
+            metrics: m,
+        }
+    }
+
+    /// A deterministic JSON value tree of the summary.
+    pub fn to_value(&self) -> Value {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), self.metrics.get(c).into()))
+            .collect::<Vec<_>>();
+        let hists = HistKind::ALL
+            .iter()
+            .map(|&h| {
+                let buckets = self
+                    .metrics
+                    .hist_buckets(h)
+                    .into_iter()
+                    .map(|(floor, n)| Value::array(vec![floor, n]))
+                    .collect::<Vec<_>>();
+                (h.name().to_string(), Value::Array(buckets))
+            })
+            .collect::<Vec<_>>();
+        let decisions = self
+            .decisions
+            .iter()
+            .map(|d| {
+                Value::object(vec![
+                    ("at_ns", d.at_ns.into()),
+                    ("task", d.task.into()),
+                    ("u", d.u.into()),
+                    ("waiting", d.waiting.into()),
+                    ("degree", d.degree.into()),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Value::object(vec![
+            ("scheduler", self.scheduler.as_str().into()),
+            ("seed", self.seed.into()),
+            ("n_spes", self.n_spes.into()),
+            ("makespan_ns", self.makespan_ns.into()),
+            ("busy_ns", Value::array(self.busy_ns.clone())),
+            ("mean_utilization", self.mean_utilization.into()),
+            (
+                "phase_totals",
+                Value::object(vec![
+                    ("t_ppe_ns", self.phase_totals.t_ppe_ns.into()),
+                    ("t_wait_ns", self.phase_totals.t_wait_ns.into()),
+                    ("t_spe_ns", self.phase_totals.t_spe_ns.into()),
+                    ("t_code_ns", self.phase_totals.t_code_ns.into()),
+                    ("t_comm_ns", self.phase_totals.t_comm_ns.into()),
+                ]),
+            ),
+            ("decisions", Value::Array(decisions)),
+            ("counters", Value::Object(counters)),
+            ("histograms", Value::Object(hists)),
+        ])
+    }
+
+    /// A human-readable multi-line rendering (deterministic).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "run: scheduler={} seed={} n_spes={} makespan={} ns\n",
+            self.scheduler, self.seed, self.n_spes, self.makespan_ns
+        ));
+        s.push_str(&format!(
+            "spe utilization: mean {:.1}%\n",
+            self.mean_utilization * 100.0
+        ));
+        for (i, (&busy, &u)) in self.busy_ns.iter().zip(&self.utilization).enumerate() {
+            s.push_str(&format!("  spe{i}: busy {busy} ns ({:.1}%)\n", u * 100.0));
+        }
+        let t = &self.phase_totals;
+        s.push_str(&format!(
+            "phases: t_ppe={} t_wait={} t_spe={} t_code={} t_comm={} ns\n",
+            t.t_ppe_ns, t.t_wait_ns, t.t_spe_ns, t.t_code_ns, t.t_comm_ns
+        ));
+        s.push_str("counters:\n");
+        for &c in &Counter::ALL {
+            let v = self.metrics.get(c);
+            if v > 0 {
+                s.push_str(&format!("  {}: {v}\n", c.name()));
+            }
+        }
+        if !self.decisions.is_empty() {
+            // Long runs take hundreds of window decisions; show the edges
+            // (the full sequence is in the Chrome trace).
+            const SHOWN: usize = 5;
+            s.push_str(&format!("mgps decisions ({}):\n", self.decisions.len()));
+            let n = self.decisions.len();
+            for (i, d) in self.decisions.iter().enumerate() {
+                if n > 2 * SHOWN && i == SHOWN {
+                    s.push_str(&format!("  ... {} more ...\n", n - 2 * SHOWN));
+                }
+                if n > 2 * SHOWN && (SHOWN..n - SHOWN).contains(&i) {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "  t={} ns: U={} T={} -> degree {}\n",
+                    d.at_ns, d.u, d.waiting, d.degree
+                ));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim::event::{EventRecord, MailboxKind, SchedulerTag};
+
+    fn small_log() -> RunLog {
+        let events = vec![
+            (10, EventKind::Offload { proc: 0, task: 0 }),
+            (10, EventKind::CtxSwitch { proc: 0, reason: SwitchReason::Offload, held_ns: 10 }),
+            (20, EventKind::CodeReload { spe: 0, stall_ns: 40 }),
+            (
+                20,
+                EventKind::MailboxWrite { spe: 0, mailbox: MailboxKind::Inbound, occupancy: 1 },
+            ),
+            (20, EventKind::TaskStart { proc: 0, task: 0, degree: 1, team: vec![0] }),
+            (
+                20,
+                EventKind::Dma {
+                    spe: 0,
+                    element_bytes: vec![4096],
+                    local_addr: 0,
+                    main_addr: 0,
+                },
+            ),
+            (20, EventKind::DmaComplete { spe: 0, bytes: 4096, latency_ns: 7 }),
+            (120, EventKind::TaskEnd { proc: 0, task: 0, team: vec![0] }),
+            (
+                120,
+                EventKind::DegreeDecision {
+                    degree: 8,
+                    waiting: 1,
+                    n_spes: 2,
+                    window: 1,
+                    window_fill: 1,
+                },
+            ),
+        ];
+        RunLog {
+            scheduler: SchedulerTag::Mgps,
+            n_spes: 2,
+            quantum_ns: 0,
+            seed: 7,
+            local_store_bytes: 256 * 1024,
+            loop_iters: 16,
+            mgps_window: Some(1),
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at_ns, kind))| EventRecord { seq: i as u64, at_ns, kind })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fold_matches_the_native_schema() {
+        let s = ObsSummary::from_log(&small_log());
+        assert_eq!(s.metrics.get(Counter::Offloads), 1);
+        assert_eq!(s.metrics.get(Counter::TasksCompleted), 1);
+        assert_eq!(s.metrics.get(Counter::CtxSwitchOffload), 1);
+        assert_eq!(s.metrics.get(Counter::CodeReloads), 1);
+        assert_eq!(s.metrics.get(Counter::MailboxWrites), 1);
+        assert_eq!(s.metrics.get(Counter::DmaIssues), 1);
+        assert_eq!(s.metrics.get(Counter::MgpsEvaluations), 1);
+        assert_eq!(s.metrics.get(Counter::LlpActivations), 1, "degree 1 -> 8");
+        assert_eq!(s.metrics.get(Counter::MailboxStalls), 0, "unobservable in sim");
+        assert_eq!(s.metrics.hist_count(HistKind::TaskDurNs), 1);
+        assert_eq!(s.metrics.hist_count(HistKind::DmaLatencyNs), 1);
+        assert_eq!(s.metrics.hist_count(HistKind::OffloadWaitNs), 1);
+        assert_eq!(s.metrics.hist_count(HistKind::CtxHoldNs), 1);
+        assert_eq!(s.busy_ns, vec![100, 0]);
+        assert_eq!(s.makespan_ns, 120);
+        assert_eq!(s.decisions.len(), 1);
+        assert_eq!(s.decisions[0].u, 1);
+    }
+
+    #[test]
+    fn llp_transitions_are_edge_triggered() {
+        let mut log = small_log();
+        // Append a second decision at the same degree (no transition) and a
+        // third that deactivates.
+        let base = log.events.len() as u64;
+        for (i, degree) in [8usize, 1].into_iter().enumerate() {
+            log.events.push(EventRecord {
+                seq: base + i as u64,
+                at_ns: 200 + i as u64,
+                kind: EventKind::DegreeDecision {
+                    degree,
+                    waiting: 1,
+                    n_spes: 2,
+                    window: 1,
+                    window_fill: 0,
+                },
+            });
+        }
+        let s = ObsSummary::from_log(&log);
+        assert_eq!(s.metrics.get(Counter::MgpsEvaluations), 3);
+        assert_eq!(s.metrics.get(Counter::LlpActivations), 1);
+        assert_eq!(s.metrics.get(Counter::LlpDeactivations), 1);
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let log = small_log();
+        let a = ObsSummary::from_log(&log);
+        let b = ObsSummary::from_log(&log);
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.to_value().to_json(), b.to_value().to_json());
+        assert!(a.render_text().contains("mgps decisions (1):"));
+        assert!(a.to_value().to_json().contains("\"tasks_completed\":1"));
+    }
+}

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! multigrain simulate  --scheduler mgps --bootstraps 8 [--cells 2] [--scale 500] [--profile optimized]
+//! multigrain trace     --scheduler mgps --bootstraps 8 [--seed S] [--out trace.json]
 //! multigrain infer     --input data.fasta [--model jc|k80|gtr] [--gamma <alpha>|estimate]
 //!                      [--search nni|spr] [--bootstraps N] [--seed S]
 //! multigrain predict   --input data.fasta [--bootstraps N] [--scale 500]
 //! multigrain demo      [--taxa 16] [--sites 400]
 //! ```
 //!
-//! `simulate` drives the Cell BE model; `infer` runs a real phylogenetic
-//! analysis through the native multigrain runtime; `predict` derives a
-//! Cell workload from your alignment and forecasts scheduler performance;
-//! `demo` generates a synthetic alignment to play with.
+//! `simulate` drives the Cell BE model; `trace` replays a run with event
+//! recording and exports a Chrome trace plus a metrics summary; `infer`
+//! runs a real phylogenetic analysis through the native multigrain
+//! runtime; `predict` derives a Cell workload from your alignment and
+//! forecasts scheduler performance; `demo` generates a synthetic alignment
+//! to play with.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "simulate" => simulate(&opts),
+        "trace" => trace(&opts),
         "analyze" => analyze(&opts),
         "infer" => infer(&opts),
         "infer-protein" => infer_protein(&opts),
@@ -62,6 +66,10 @@ multigrain — dynamic multigrain parallelization (PPoPP'07 reproduction)
 USAGE:
   multigrain simulate [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
                       [--cells N] [--scale N] [--profile optimized|naive|ppe]
+  multigrain trace    [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
+                      [--cells N] [--scale N] [--seed N] [--out FILE] [--check on|off]
+                      (replay one run with event recording; write a Chrome
+                       trace-event JSON and print a per-SPE metrics summary)
   multigrain analyze  [--scale N] [--bootstraps N] [--seed N] [--experiments on|off]
                       (replay every scheduler with event recording, statically
                        verify all schedule invariants, prove digest determinism,
@@ -95,6 +103,16 @@ fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, St
     }
 }
 
+/// Parse `--key` as a count that must be at least 1, with a clean error
+/// naming what the value sizes (mirrors the `--bootstraps 0` diagnostics).
+fn positive(opts: &Opts, key: &str, default: usize, what: &str) -> Result<usize, String> {
+    let v = get(opts, key, default)?;
+    if v == 0 {
+        return Err(format!("--{key}: {what}"));
+    }
+    Ok(v)
+}
+
 fn scheduler_of(opts: &Opts) -> Result<SchedulerKind, String> {
     Ok(match opts.get("scheduler").map(String::as_str).unwrap_or("mgps") {
         "edtlp" => SchedulerKind::Edtlp,
@@ -123,8 +141,8 @@ fn simulate(opts: &Opts) -> Result<(), String> {
     if bootstraps == 0 {
         return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
     }
-    let cells = get(opts, "cells", 1usize)?;
-    let scale = get(opts, "scale", 500usize)?;
+    let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
+    let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
     let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
     cfg.profile = match opts.get("profile").map(String::as_str).unwrap_or("optimized") {
         "optimized" => KernelProfile::Optimized,
@@ -146,6 +164,74 @@ fn simulate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `multigrain trace` — replay one run with event recording, export a
+/// Chrome trace-event JSON document, and print the metrics summary in the
+/// schema shared with the native runtime.
+///
+/// With `--check on` (the default) the recorded log is first pushed
+/// through the schedule-invariant checker, and the trace's per-SPE busy
+/// totals are cross-validated against the checker's independent
+/// accounting before anything is written.
+fn trace(opts: &Opts) -> Result<(), String> {
+    let scheduler = scheduler_of(opts)?;
+    let bootstraps = get(opts, "bootstraps", 8usize)?;
+    if bootstraps == 0 {
+        return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
+    }
+    let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
+    let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
+    let seed = get(opts, "seed", 0x5eedu64)?;
+    let check = match opts.get("check").map(String::as_str).unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--check: expected on|off, got {other:?}")),
+    };
+
+    let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
+    cfg.seed = seed;
+    cfg.record_events = true;
+    let r = run_simulation(cfg);
+    let log = r.run_log.expect("record_events was set");
+    let summary = ObsSummary::from_log(&log);
+
+    if check {
+        let report = mgps_analysis::check_run(&log);
+        if !report.is_clean() {
+            return Err(format!(
+                "refusing to export a trace of an illegal schedule:\n{}",
+                report.render()
+            ));
+        }
+        if summary.busy_ns != report.spe_busy_ns {
+            return Err(format!(
+                "trace busy accounting diverged from the checker: {:?} vs {:?}",
+                summary.busy_ns, report.spe_busy_ns
+            ));
+        }
+    }
+
+    let json = chrome_trace(&log);
+    let out = match opts.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => experiments::Experiment::default_dir()
+            .join(format!("trace-{}-{seed:#x}.json", log.scheduler)),
+    };
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+
+    print!("{}", summary.render_text());
+    println!(
+        "trace              {} ({} events, {} bytes{})",
+        out.display(),
+        log.events.len(),
+        json.len(),
+        if check { ", checker-verified" } else { "" }
+    );
+    Ok(())
+}
+
 /// `multigrain analyze` — the static schedule-invariant checker.
 ///
 /// Replays every scheduler configuration with structured event recording,
@@ -154,7 +240,7 @@ fn simulate(opts: &Opts) -> Result<(), String> {
 /// optionally funnels every table/figure regenerator through the
 /// `experiments::checked_run` hook.
 fn analyze(opts: &Opts) -> Result<(), String> {
-    let scale = get(opts, "scale", 2_000usize)?;
+    let scale = positive(opts, "scale", 2_000, "the workload scale must be at least 1")?;
     let bootstraps = get(opts, "bootstraps", 4usize)?;
     if bootstraps == 0 {
         return Err("--bootstraps: the analyzed runs need at least 1 bootstrap".into());
@@ -235,11 +321,11 @@ fn analyze(opts: &Opts) -> Result<(), String> {
 }
 
 fn infer(opts: &Opts) -> Result<(), String> {
-    let aln = load_alignment(opts)?;
-    let data = Arc::new(PatternAlignment::compress(&aln));
     let seed = get(opts, "seed", 42u64)?;
     let bootstraps = get(opts, "bootstraps", 0usize)?;
-    let workers = get(opts, "workers", 4usize)?;
+    let workers = positive(opts, "workers", 4, "the runtime needs at least 1 worker process")?;
+    let aln = load_alignment(opts)?;
+    let data = Arc::new(PatternAlignment::compress(&aln));
     let search_kind = opts.get("search").map(String::as_str).unwrap_or("nni").to_string();
     let cfg = SearchConfig::default();
 
@@ -326,10 +412,10 @@ fn run_search<M: SubstModel>(
 }
 
 fn predict(opts: &Opts) -> Result<(), String> {
+    let bootstraps = get(opts, "bootstraps", 8usize)?;
+    let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
     let aln = load_alignment(opts)?;
     let data = PatternAlignment::compress(&aln);
-    let bootstraps = get(opts, "bootstraps", 8usize)?;
-    let scale = get(opts, "scale", 500usize)?;
     let workload = workload_for(&data).scaled(scale);
     println!(
         "derived Cell workload: {} tasks/bootstrap (scaled), {} loop iterations, task mean {}",

@@ -16,6 +16,9 @@
 //!   (`newview`/`evaluate`/`makenewz`);
 //! * [`machines`] — analytic Xeon/Power5 comparators for Figure 10;
 //! * [`experiments`] — per-table/per-figure regeneration harnesses;
+//! * [`mgps_obs`] — observability: per-SPE timelines, granularity-phase
+//!   accounting, MGPS decision replay, and Chrome-trace export over the
+//!   structured event log;
 //! * [`adapters`] / [`parallel`] (this crate) — the glue that runs the real
 //!   phylogenetic kernels through the multigrain runtime, work-shared and
 //!   scheduled exactly as the paper describes.
@@ -57,6 +60,7 @@ pub use des;
 pub use experiments;
 pub use machines;
 pub use mgps_analysis;
+pub use mgps_obs;
 pub use mgps_runtime;
 pub use phylo;
 
@@ -72,6 +76,7 @@ pub mod prelude {
         GateMode, LoopBody, LoopSite, MgpsRuntime, OffloadError, ProcessCtx, RuntimeConfig,
         SpeContext, SpePool, TeamRunner,
     };
+    pub use mgps_obs::{chrome_trace, ObsSummary, Timeline};
     pub use mgps_runtime::policy::{
         Directive, KernelKind, LoopDegree, MgpsConfig, MgpsScheduler, SchedulerKind,
     };

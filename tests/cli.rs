@@ -54,6 +54,59 @@ fn simulate_rejects_bad_scheduler() {
 }
 
 #[test]
+fn zero_counts_are_rejected_with_clean_errors() {
+    for (args, needle) in [
+        (vec!["simulate", "--cells", "0"], "--cells: the blade needs at least 1 Cell"),
+        (vec!["simulate", "--scale", "0"], "--scale: the workload scale must be at least 1"),
+        (vec!["simulate", "--bootstraps", "0"], "--bootstraps: the workload needs at least 1"),
+        (vec!["trace", "--cells", "0"], "--cells: the blade needs at least 1 Cell"),
+        (vec!["trace", "--scale", "0"], "--scale: the workload scale must be at least 1"),
+        (vec!["analyze", "--scale", "0"], "--scale: the workload scale must be at least 1"),
+        (
+            vec!["infer", "--input", "unused.fasta", "--workers", "0"],
+            "--workers: the runtime needs at least 1 worker process",
+        ),
+        (
+            vec!["predict", "--input", "unused.fasta", "--scale", "0"],
+            "--scale: the workload scale must be at least 1",
+        ),
+    ] {
+        let (_, stderr, ok) = run_cli(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains(needle), "{args:?}: expected {needle:?} in {stderr:?}");
+    }
+}
+
+#[test]
+fn trace_writes_a_deterministic_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("mg-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_a = dir.join("a.json");
+    let out_b = dir.join("b.json");
+
+    let common = ["trace", "--scheduler", "mgps", "--bootstraps", "4", "--scale", "2000", "--seed", "9"];
+    let mut args_a: Vec<&str> = common.to_vec();
+    args_a.extend(["--out", out_a.to_str().unwrap()]);
+    let (stdout, stderr, ok) = run_cli(&args_a);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("spe utilization"), "summary expected: {stdout}");
+    assert!(stdout.contains("checker-verified"), "checker must run by default: {stdout}");
+
+    let mut args_b: Vec<&str> = common.to_vec();
+    args_b.extend(["--out", out_b.to_str().unwrap()]);
+    let (_, stderr, ok) = run_cli(&args_b);
+    assert!(ok, "stderr: {stderr}");
+
+    let a = std::fs::read(&out_a).unwrap();
+    let b = std::fs::read(&out_b).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must produce byte-identical traces");
+    assert!(a.starts_with(b"{\"traceEvents\":["));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn demo_then_infer_round_trip() {
     let dir = std::env::temp_dir().join(format!("mg-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
