@@ -7,6 +7,34 @@
 //! becomes a [`Violation`] carrying the rule name, the offending event's
 //! sequence number, and a human-readable explanation.
 //!
+//! ## Native mode
+//!
+//! [`check_run_with`] takes a [`CheckMode`]. [`CheckMode::Simulated`] is
+//! the full catalog below. [`CheckMode::Native`] checks a log drained from
+//! the native runtime's span tracer (`mgps-obs::runlog_from_trace`), where
+//! some simulator guarantees are structurally unobtainable and checking
+//! them would report scheduler bugs that are really clock artifacts:
+//!
+//! * `fifo-order` is skipped — task ids are assigned per off-load across
+//!   preemptively scheduled host threads, so start order is not id order;
+//! * EDTLP context switches are required to *follow* an off-load by the
+//!   yielding process, not to share its exact nanosecond (the native gate
+//!   re-acquires after the off-load completes);
+//! * the degree in force is not pinned between `DegreeDecision` events
+//!   (decisions and grants interleave across threads); a task's team must
+//!   still match its own recorded degree;
+//! * `spe-overlap` occupancy is not policed (virtual SPEs are host
+//!   threads; the pool's dispatch already serializes them) — per-SPE busy
+//!   accounting mirrors the timeline fold instead;
+//! * chunk coverage is verified against the *task's own* recorded
+//!   iteration count (native loops differ per site), workers with empty
+//!   ranges legitimately send no chunk, and `loop_iters` in the log
+//!   header is 0.
+//!
+//! [`check_trace_sanity`] checks the drained trace itself, before any
+//! merge: per-ring causal order and ring-overflow drop counts (`trace-
+//! drops`), which the merged log can no longer see.
+//!
 //! ## Invariant catalog
 //!
 //! | rule | invariant |
@@ -26,6 +54,17 @@ use std::collections::HashMap;
 
 use cellsim::event::{EventKind, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use des::trace::TraceRecord;
+use mgps_runtime::tracing::TraceLog;
+
+/// What produced the log under check, selecting which invariants apply
+/// (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// A `cellsim` discrete-event log: the full invariant catalog.
+    Simulated,
+    /// A native-runtime span trace merged into [`RunLog`] form.
+    Native,
+}
 
 /// Hardware cap on a single DMA transfer (16 KB).
 const DMA_MAX_TRANSFER: usize = 16 * 1024;
@@ -68,6 +107,9 @@ pub struct CheckReport {
     /// `TaskStart`/`TaskEnd` replay (indexed by SPE). Trace exporters are
     /// validated against this accounting.
     pub spe_busy_ns: Vec<u64>,
+    /// Ring-overflow drops reported by [`check_trace_sanity`] (always 0
+    /// for [`check_run`]: a merged log cannot see what was never recorded).
+    pub dropped_events: u64,
 }
 
 impl CheckReport {
@@ -87,14 +129,20 @@ impl CheckReport {
 struct TaskInfo {
     proc: usize,
     start_seq: u64,
+    start_ns: u64,
     degree: usize,
     team: Vec<usize>,
-    chunks: Vec<(usize, usize, usize)>, // (start, len, worker)
+    chunks: Vec<(usize, usize, usize, usize)>, // (start, len, worker, loop_iters)
     ended: bool,
 }
 
-/// Statically verify every schedule invariant of `log`.
+/// Statically verify every schedule invariant of `log` (simulator rules).
 pub fn check_run(log: &RunLog) -> CheckReport {
+    check_run_with(log, CheckMode::Simulated)
+}
+
+/// Statically verify the schedule invariants of `log` under `mode`.
+pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     let mut report = CheckReport { events_checked: log.events.len(), ..CheckReport::default() };
     let v = &mut report.violations;
 
@@ -146,11 +194,13 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                 last_offload_at.insert(*proc, e.at_ns);
             }
             EventKind::CtxSwitch { proc, reason, held_ns } => {
-                check_ctx_switch(log, e.seq, e.at_ns, *proc, *reason, *held_ns, &last_offload_at, v);
+                check_ctx_switch(
+                    log, mode, e.seq, e.at_ns, *proc, *reason, *held_ns, &last_offload_at, v,
+                );
             }
             EventKind::TaskStart { proc, task, degree, team } => {
                 check_task_start(
-                    log, e.seq, *proc, *task, *degree, team, expected_degree, &offloaded,
+                    log, mode, e.seq, *proc, *task, *degree, team, expected_degree, &offloaded,
                     &last_started, &mut busy, v,
                 );
                 for &spe in team {
@@ -164,6 +214,7 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                     TaskInfo {
                         proc: *proc,
                         start_seq: e.seq,
+                        start_ns: e.at_ns,
                         degree: *degree,
                         team: team.clone(),
                         chunks: Vec::new(),
@@ -172,14 +223,31 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                 );
             }
             EventKind::TaskEnd { proc, task, team } => {
-                // Accumulate busy time before the replay state is cleared;
-                // only SPEs genuinely occupied by this task count.
-                for &spe in team {
-                    if spe < n_spes && busy[spe] == Some(*task) {
-                        spe_busy_ns[spe] += e.at_ns.saturating_sub(busy_since[spe]);
+                // Accumulate busy time before the replay state is cleared.
+                match mode {
+                    // Only SPEs genuinely occupied by this task count.
+                    CheckMode::Simulated => {
+                        for &spe in team {
+                            if spe < n_spes && busy[spe] == Some(*task) {
+                                spe_busy_ns[spe] += e.at_ns.saturating_sub(busy_since[spe]);
+                            }
+                        }
+                    }
+                    // Occupancy is not policed natively: mirror the
+                    // timeline fold (each team member is busy from the
+                    // task's start to its end).
+                    CheckMode::Native => {
+                        if let Some(info) = tasks.get(task) {
+                            for &spe in &info.team {
+                                if spe < n_spes {
+                                    spe_busy_ns[spe] +=
+                                        e.at_ns.saturating_sub(info.start_ns);
+                                }
+                            }
+                        }
                     }
                 }
-                check_task_end(e.seq, *proc, *task, team, &mut tasks, &mut busy, v);
+                check_task_end(mode, e.seq, *proc, *task, team, &mut tasks, &mut busy, v);
             }
             EventKind::Dma { spe, element_bytes, local_addr, main_addr } => {
                 check_dma(e.seq, *spe, element_bytes, *local_addr, *main_addr, n_spes, v);
@@ -245,7 +313,10 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                 }
             }
             EventKind::Chunk { task, loop_iters, start, len, worker } => {
-                if *loop_iters != log.loop_iters {
+                // The simulator runs one loop shape; native sites differ
+                // per task, so each task's chunks carry (and must agree
+                // on) their own iteration count, checked at end of log.
+                if mode == CheckMode::Simulated && *loop_iters != log.loop_iters {
                     v.push(Violation {
                         rule: "chunk-coverage",
                         seq: Some(e.seq),
@@ -256,7 +327,7 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                     });
                 }
                 match tasks.get_mut(task) {
-                    Some(info) => info.chunks.push((*start, *len, *worker)),
+                    Some(info) => info.chunks.push((*start, *len, *worker, *loop_iters)),
                     None => v.push(Violation {
                         rule: "chunk-coverage",
                         seq: Some(e.seq),
@@ -297,14 +368,54 @@ pub fn check_run(log: &RunLog) -> CheckReport {
                 message: format!("task {task} started but never ended"),
             });
         }
-        check_chunk_coverage(*task, info, log.loop_iters, &mut report.violations);
+        check_chunk_coverage(mode, *task, info, log.loop_iters, &mut report.violations);
     }
-    for (spe, occupant) in busy.iter().enumerate() {
-        if let Some(task) = occupant {
+    if mode == CheckMode::Simulated {
+        for (spe, occupant) in busy.iter().enumerate() {
+            if let Some(task) = occupant {
+                report.violations.push(Violation {
+                    rule: "spe-overlap",
+                    seq: None,
+                    message: format!("SPE {spe} still occupied by task {task} at end of log"),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Sanity-check a drained native trace *before* the merge: within each
+/// ring, timestamps must be monotone (one writer, one clock), and ring
+/// overflow must be surfaced — a trace that silently dropped events would
+/// make every downstream fold quietly wrong, so drops are a violation
+/// (`trace-drops`), not a footnote.
+pub fn check_trace_sanity(trace: &TraceLog) -> CheckReport {
+    let mut report = CheckReport {
+        events_checked: trace.total_events(),
+        dropped_events: trace.dropped_events(),
+        ..CheckReport::default()
+    };
+    for (ring, t) in trace.threads.iter().enumerate() {
+        for (i, w) in t.events.windows(2).enumerate() {
+            if w[1].at_ns < w[0].at_ns {
+                report.violations.push(Violation {
+                    rule: "causal-time",
+                    seq: Some((i + 1) as u64),
+                    message: format!(
+                        "ring {ring}: event at {} ns precedes predecessor at {} ns",
+                        w[1].at_ns, w[0].at_ns
+                    ),
+                });
+            }
+        }
+        if t.dropped > 0 {
             report.violations.push(Violation {
-                rule: "spe-overlap",
+                rule: "trace-drops",
                 seq: None,
-                message: format!("SPE {spe} still occupied by task {task} at end of log"),
+                message: format!(
+                    "ring {ring} overflowed: {} event(s) dropped (grow the tracer capacity)",
+                    t.dropped
+                ),
             });
         }
     }
@@ -353,6 +464,7 @@ fn bad_spe(rule: &'static str, seq: u64, spe: usize, n_spes: usize) -> Violation
 #[allow(clippy::too_many_arguments)] // replay state is genuinely this wide
 fn check_ctx_switch(
     log: &RunLog,
+    mode: CheckMode,
     seq: u64,
     at_ns: u64,
     proc: usize,
@@ -390,7 +502,16 @@ fn check_ctx_switch(
             ),
         }),
         (false, SwitchReason::Offload) => {
-            if last_offload_at.get(&proc) != Some(&at_ns) {
+            // Simulated switches share the off-load's nanosecond; the
+            // native gate records the switch after re-acquiring the
+            // context, so the rule there is that the process has off-
+            // loaded at all (voluntary switches happen only at off-load
+            // points, but later on the clock).
+            let legal = match mode {
+                CheckMode::Simulated => last_offload_at.get(&proc) == Some(&at_ns),
+                CheckMode::Native => last_offload_at.contains_key(&proc),
+            };
+            if !legal {
                 v.push(Violation {
                     rule: "ctx-switch",
                     seq: Some(seq),
@@ -406,6 +527,7 @@ fn check_ctx_switch(
 #[allow(clippy::too_many_arguments)] // replay state is genuinely this wide
 fn check_task_start(
     log: &RunLog,
+    mode: CheckMode,
     seq: u64,
     proc: usize,
     task: u64,
@@ -419,13 +541,19 @@ fn check_task_start(
 ) {
     // fifo-order: the request queue is FIFO and task ids are assigned in
     // off-load order, so grants must start strictly ascending task ids.
-    if let Some(prev) = last_started {
-        if task <= *prev {
-            v.push(Violation {
-                rule: "fifo-order",
-                seq: Some(seq),
-                message: format!("task {task} started after task {prev} (grants must follow off-load order)"),
-            });
+    // Native ids are per-process and host threads race to dispatch, so
+    // the rule only holds under simulation.
+    if mode == CheckMode::Simulated {
+        if let Some(prev) = last_started {
+            if task <= *prev {
+                v.push(Violation {
+                    rule: "fifo-order",
+                    seq: Some(seq),
+                    message: format!(
+                        "task {task} started after task {prev} (grants must follow off-load order)"
+                    ),
+                });
+            }
         }
     }
     match offloaded.get(&task) {
@@ -441,7 +569,9 @@ fn check_task_start(
         }),
         Some(_) => {}
     }
-    if degree != expected_degree {
+    // Natively the degree in force is sampled per off-load, not pinned
+    // between DegreeDecision events, so only the simulator pins it.
+    if mode == CheckMode::Simulated && degree != expected_degree {
         v.push(Violation {
             rule: "mgps-degree",
             seq: Some(seq),
@@ -462,18 +592,24 @@ fn check_task_start(
             v.push(bad_spe("spe-overlap", seq, spe, log.n_spes));
             continue;
         }
-        if let Some(occupant) = busy[spe] {
-            v.push(Violation {
-                rule: "spe-overlap",
-                seq: Some(seq),
-                message: format!("task {task} starts on SPE {spe} while task {occupant} still runs there"),
-            });
+        if mode == CheckMode::Simulated {
+            if let Some(occupant) = busy[spe] {
+                v.push(Violation {
+                    rule: "spe-overlap",
+                    seq: Some(seq),
+                    message: format!(
+                        "task {task} starts on SPE {spe} while task {occupant} still runs there"
+                    ),
+                });
+            }
+            busy[spe] = Some(task);
         }
-        busy[spe] = Some(task);
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one slot per checker table, mirroring check_task_start
 fn check_task_end(
+    mode: CheckMode,
     seq: u64,
     proc: usize,
     task: u64,
@@ -515,6 +651,9 @@ fn check_task_end(
                 });
             }
         }
+    }
+    if mode == CheckMode::Native {
+        return; // occupancy is not policed natively (see module docs)
     }
     for &spe in team {
         let Some(slot) = busy.get_mut(spe) else { continue };
@@ -700,8 +839,39 @@ fn check_degree_decision(
     }
 }
 
-fn check_chunk_coverage(task: u64, info: &TaskInfo, loop_iters: usize, v: &mut Vec<Violation>) {
-    if info.chunks.len() != info.degree {
+fn check_chunk_coverage(
+    mode: CheckMode,
+    task: u64,
+    info: &TaskInfo,
+    loop_iters: usize,
+    v: &mut Vec<Violation>,
+) {
+    // The iteration space to tile. Simulated runs share one loop shape;
+    // native tasks carry their own count on every chunk, and the chunks
+    // must agree on it. A native task with no chunks recorded no loop
+    // (nothing to verify).
+    let loop_iters = match mode {
+        CheckMode::Simulated => loop_iters,
+        CheckMode::Native => {
+            let Some(&(_, _, _, iters)) = info.chunks.first() else { return };
+            if let Some(&(_, _, w, other)) =
+                info.chunks.iter().find(|&&(_, _, _, i)| i != iters)
+            {
+                v.push(Violation {
+                    rule: "chunk-coverage",
+                    seq: Some(info.start_seq),
+                    message: format!(
+                        "task {task} chunks disagree on the loop size: {iters} vs {other} (worker {w})"
+                    ),
+                });
+                return;
+            }
+            iters
+        }
+    };
+    // Exactly one chunk per team member — except natively, where a team
+    // member whose range partitioned to empty legitimately sends nothing.
+    if mode == CheckMode::Simulated && info.chunks.len() != info.degree {
         v.push(Violation {
             rule: "chunk-coverage",
             seq: Some(info.start_seq),
@@ -713,12 +883,17 @@ fn check_chunk_coverage(task: u64, info: &TaskInfo, loop_iters: usize, v: &mut V
         });
         return;
     }
-    // One chunk per team member.
-    let mut workers: Vec<usize> = info.chunks.iter().map(|&(_, _, w)| w).collect();
+    let mut workers: Vec<usize> = info.chunks.iter().map(|&(_, _, w, _)| w).collect();
     workers.sort_unstable();
     let mut team = info.team.clone();
     team.sort_unstable();
-    if workers != team {
+    let covered = match mode {
+        CheckMode::Simulated => workers != team,
+        // Chunk workers must still be a subset of the team (duplicates
+        // collide in the tiling check below).
+        CheckMode::Native => !workers.iter().all(|w| team.contains(w)),
+    };
+    if covered {
         v.push(Violation {
             rule: "chunk-coverage",
             seq: Some(info.start_seq),
@@ -728,7 +903,8 @@ fn check_chunk_coverage(task: u64, info: &TaskInfo, loop_iters: usize, v: &mut V
         });
     }
     // Chunks tile 0..loop_iters exactly once.
-    let mut spans: Vec<(usize, usize)> = info.chunks.iter().map(|&(s, l, _)| (s, l)).collect();
+    let mut spans: Vec<(usize, usize)> =
+        info.chunks.iter().map(|&(s, l, _, _)| (s, l)).collect();
     spans.sort_unstable();
     let mut next = 0usize;
     for &(start, len) in &spans {

@@ -1,0 +1,31 @@
+//! Overhead of span tracing on the native runtime's off-load hot path.
+//!
+//! The same EDTLP workload — 64 sequential off-loads of a ~50 µs spin
+//! loop — runs once with tracing disabled (the hooks reduce to a `None`
+//! check) and once with every span recorded onto per-thread rings. The
+//! gap between the two is the cost the DESIGN budget bounds at < 5 % of
+//! run wall time; `tests/tracing_overhead_smoke.rs` enforces a loose,
+//! non-flaky version of the same bound in the test suite.
+
+use std::time::Duration;
+
+use bench::native_offload_wall;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const OFFLOADS: usize = 64;
+const WORK: Duration = Duration::from_micros(50);
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(10);
+    g.bench_function("nop_sink", |b| {
+        b.iter(|| native_offload_wall(false, OFFLOADS, WORK));
+    });
+    g.bench_function("ring_tracing", |b| {
+        b.iter(|| native_offload_wall(true, OFFLOADS, WORK));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! `compare` — the benchmark regression gate.
+//!
+//! Diffs a fresh baseline document against a committed one (see
+//! `bin/baseline.rs` for the format) and exits non-zero on regression:
+//! any drift in the deterministic simulation anchors, a missing entry, or
+//! a wall-clock slowdown beyond the per-entry ratio budget.
+//!
+//! ```text
+//! cargo run --release -p bench --bin compare -- BENCH_0.json BENCH_1.json \
+//!     [--max-wall-ratio 3.0] [--verdict verdict.json]
+//! ```
+//!
+//! The human-readable diff goes to stderr; with `--verdict` the
+//! machine-readable verdict JSON is also written to a file.
+
+use std::process::ExitCode;
+
+use bench::compare::{compare, CompareConfig};
+use minijson::Value;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    minijson::parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut verdict_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-wall-ratio" => {
+                let v = it.next().ok_or("--max-wall-ratio needs a value")?;
+                cfg.max_wall_ratio =
+                    v.parse().map_err(|_| format!("--max-wall-ratio: bad value {v:?}"))?;
+            }
+            "--verdict" => {
+                verdict_out = Some(it.next().ok_or("--verdict needs a path")?.clone());
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let [base_path, fresh_path] = paths.as_slice() else {
+        return Err("usage: compare BASELINE.json FRESH.json [--max-wall-ratio R] [--verdict OUT.json]".into());
+    };
+
+    let base = load(base_path)?;
+    let fresh = load(fresh_path)?;
+    let report = compare(&base, &fresh, cfg);
+
+    eprintln!("comparing {fresh_path} against {base_path} (wall budget {:.2}x)", cfg.max_wall_ratio);
+    eprint!("{}", report.render());
+    if let Some(out) = verdict_out {
+        std::fs::write(&out, report.to_value().to_json_pretty())
+            .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("verdict written to {out}");
+    }
+    Ok(report.ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

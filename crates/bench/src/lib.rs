@@ -9,6 +9,8 @@
 use cellsim::machine::{run, RunReport, SimConfig};
 use mgps_runtime::policy::SchedulerKind;
 
+pub mod compare;
+
 /// Workload reduction used by the benches: coarse, so each simulation run
 /// is a few milliseconds.
 pub const BENCH_SCALE: usize = 5_000;
@@ -16,4 +18,73 @@ pub const BENCH_SCALE: usize = 5_000;
 /// One simulated run at bench scale.
 pub fn sim(scheduler: SchedulerKind, n_bootstraps: usize) -> RunReport {
     run(SimConfig::cell_42sc(scheduler, n_bootstraps, BENCH_SCALE))
+}
+
+/// A spin-loop body for the native-runtime overhead benches: `n`
+/// iterations of a busy-wait, so the work per off-load is controlled and
+/// insensitive to allocator or cache state.
+pub struct SpinBody {
+    /// Iteration count.
+    pub n: usize,
+    /// Minimum busy-wait per iteration.
+    pub spin: std::time::Duration,
+}
+
+impl mgps_runtime::native::LoopBody for SpinBody {
+    type Acc = u64;
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn run_chunk(
+        &self,
+        range: std::ops::Range<usize>,
+        _ctx: &mut mgps_runtime::native::SpeContext,
+    ) -> u64 {
+        let mut acc = 0u64;
+        for i in range {
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < self.spin {
+                std::hint::spin_loop();
+            }
+            acc += i as u64;
+        }
+        acc
+    }
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+/// Wall time of `offloads` sequential EDTLP off-loads on the native
+/// runtime, each spinning for roughly `work`. With `with_tracing` every
+/// span lands on a per-thread ring ([`mgps_runtime::Tracer`]); without,
+/// the tracing hooks compile down to a `None` check. The difference
+/// between the two is the tracing overhead the DESIGN budget bounds.
+pub fn native_offload_wall(
+    with_tracing: bool,
+    offloads: usize,
+    work: std::time::Duration,
+) -> std::time::Duration {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use mgps_runtime::native::{LoopSite, MgpsRuntime, RuntimeConfig};
+    use mgps_runtime::{NopMetrics, Tracer};
+
+    const ITERS_PER_OFFLOAD: usize = 8;
+    let tracer = with_tracing.then(Tracer::with_default_capacity);
+    let mut cfg = RuntimeConfig::cell(SchedulerKind::Edtlp);
+    cfg.switch_cost = Duration::ZERO;
+    let rt = MgpsRuntime::with_observability(cfg, Arc::new(NopMetrics), tracer);
+    let mut ctx = rt.enter_process();
+    let spin = work / ITERS_PER_OFFLOAD as u32;
+    let started = Instant::now();
+    for _ in 0..offloads {
+        let body = Arc::new(SpinBody { n: ITERS_PER_OFFLOAD, spin });
+        std::hint::black_box(ctx.offload_loop(LoopSite(0), body).expect("offload succeeds"));
+    }
+    started.elapsed()
 }

@@ -417,6 +417,19 @@ pub fn utilization(scale: usize) -> Experiment {
                     format!("mean SPE utilization, 8 bootstraps, {label}"),
                     s.mean_utilization,
                 ));
+                // Stall counters qualify the utilization number, but the
+                // simulator cannot observe them: render the absence, not a
+                // fake zero.
+                let na = |c| {
+                    s.counter(c).map_or_else(|| "n/a".to_string(), |v: u64| v.to_string())
+                };
+                e.notes.push(format!(
+                    "{label}, 8 bootstraps: mailbox stalls {}, offload-queue stalls {}, \
+                     DMA fallbacks {}",
+                    na(mgps_runtime::Counter::MailboxStalls),
+                    na(mgps_runtime::Counter::OffloadQueueStalls),
+                    na(mgps_runtime::Counter::DmaFallbacks),
+                ));
             }
         }
         e.series.push(Series { label: label.to_string(), points });
@@ -424,7 +437,8 @@ pub fn utilization(scale: usize) -> Experiment {
     e.notes.push(
         "folded from the structured event log (mgps-obs); per-SPE busy sums \
          are cross-checked against the invariant checker's accounting in the \
-         obs golden tests"
+         obs golden tests; n/a marks counters the simulator cannot observe \
+         (they are real only on native runs)"
             .into(),
     );
     e
@@ -491,6 +505,22 @@ mod tests {
         );
         // With 16 bootstraps task parallelism alone fills the chip.
         assert!(at("EDTLP", 16) > at("EDTLP", 1));
+    }
+
+    #[test]
+    fn utilization_renders_unobservable_counters_as_absent() {
+        let e = utilization(TEST_SCALE);
+        // Simulated runs cannot observe the stall counters: every stall
+        // note must say "n/a", never a fake zero.
+        let stall_notes: Vec<&String> =
+            e.notes.iter().filter(|n| n.contains("mailbox stalls")).collect();
+        assert_eq!(stall_notes.len(), 4, "one stall note per scheduler");
+        for note in stall_notes {
+            assert!(note.contains("mailbox stalls n/a"), "{note}");
+            assert!(note.contains("offload-queue stalls n/a"), "{note}");
+            assert!(note.contains("DMA fallbacks n/a"), "{note}");
+            assert!(!note.contains("stalls 0"), "fake zero leaked: {note}");
+        }
     }
 
     #[test]

@@ -51,7 +51,9 @@
 pub mod metrics;
 pub mod native;
 pub mod policy;
+pub mod tracing;
 
 pub use metrics::{
     AtomicMetrics, Counter, HistKind, MetricsSink, MetricsSinkExt, MetricsSnapshot, NopMetrics,
 };
+pub use tracing::{TraceEvent, TraceEventKind, TraceHandle, TraceLog, Tracer, ThreadTrace};

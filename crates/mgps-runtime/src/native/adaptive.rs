@@ -18,8 +18,9 @@ use super::sync::Mutex;
 
 use super::gate::{GateMode, PpeGate, PpeToken};
 use super::pool::{OffloadError, SpePool, SpeStats};
-use super::team::{LoopBody, LoopSite, TeamRunner};
+use super::team::{LoopBody, LoopSite, TeamRunner, TraceTask};
 use crate::metrics::{Counter, HistKind, MetricsSink, MetricsSinkExt, NopMetrics};
+use crate::tracing::{TraceEventKind, TraceHandle, Tracer};
 use crate::policy::granularity::{GranularityController, GranularityDecision};
 use crate::policy::hybrid::SchedulerKind;
 use crate::policy::mgps::{Directive, MgpsConfig, MgpsScheduler};
@@ -83,11 +84,13 @@ pub struct MgpsRuntime {
     degree_policy: DegreePolicy,
     current_degree: AtomicUsize,
     next_task: AtomicU64,
+    next_proc: AtomicUsize,
     inflight: AtomicUsize,
     epoch: Instant,
     config: RuntimeConfig,
     granularity: Option<Mutex<GranularityController>>,
     metrics: Arc<dyn MetricsSink>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl MgpsRuntime {
@@ -99,10 +102,24 @@ impl MgpsRuntime {
     /// Build a runtime that records counters and histograms into `metrics`
     /// (see [`crate::metrics`] — the same schema the simulator reports in).
     pub fn with_metrics(config: RuntimeConfig, metrics: Arc<dyn MetricsSink>) -> MgpsRuntime {
-        let pool = Arc::new(SpePool::with_metrics(
+        MgpsRuntime::with_observability(config, metrics, None)
+    }
+
+    /// Build a runtime that additionally records span traces into `tracer`
+    /// (see [`crate::tracing`]): every off-load, task start/end, chunk,
+    /// context switch, code reload, worker DMA, and MGPS degree decision
+    /// lands on a per-thread ring, drainable into the simulator's RunLog
+    /// vocabulary for the checker / timeline / Chrome-trace pipeline.
+    pub fn with_observability(
+        config: RuntimeConfig,
+        metrics: Arc<dyn MetricsSink>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> MgpsRuntime {
+        let pool = Arc::new(SpePool::with_observability(
             config.n_spes,
             config.code_load_cost,
             Arc::clone(&metrics),
+            tracer.as_deref(),
         ));
         let runner = TeamRunner::new(Arc::clone(&pool), config.worker_startup);
         let (gate_mode, degree_policy, initial_degree) = match config.scheduler {
@@ -139,11 +156,13 @@ impl MgpsRuntime {
             degree_policy,
             current_degree: AtomicUsize::new(initial_degree),
             next_task: AtomicU64::new(0),
+            next_proc: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             epoch: Instant::now(),
             config,
             granularity,
             metrics,
+            tracer,
         }
     }
 
@@ -188,7 +207,9 @@ impl MgpsRuntime {
     /// Enter the runtime as a worker process: blocks until a PPE context is
     /// available.
     pub fn enter_process(&self) -> ProcessCtx<'_> {
-        ProcessCtx { token: self.gate.enter(), rt: self, ppe_scratch: None }
+        let proc = self.next_proc.fetch_add(1, Ordering::Relaxed);
+        let trace = self.tracer.as_ref().map(|t| t.handle());
+        ProcessCtx { token: self.gate.enter(), rt: self, ppe_scratch: None, proc, trace }
     }
 
     /// Tear down, returning per-SPE statistics.
@@ -211,16 +232,26 @@ impl MgpsRuntime {
         }
     }
 
-    fn record_departure(&self, task: TaskId, started_ns: u64) {
+    fn record_departure(&self, task: TaskId, started_ns: u64, trace: Option<&TraceHandle>) {
         if let DegreePolicy::Adaptive(sched) = &self.degree_policy {
             let waiting = self.inflight.load(Ordering::Relaxed).max(1);
-            let directive = sched.lock().on_departure(task, started_ns, self.ns(), waiting);
+            let mut s = sched.lock();
+            let directive = s.on_departure(task, started_ns, self.ns(), waiting);
             if let Some(d) = directive {
                 self.metrics.incr(Counter::MgpsEvaluations);
                 let degree = match d {
                     Directive::ActivateLlp(ld) => ld.0,
                     Directive::DeactivateLlp => 1,
                 };
+                if let Some(t) = trace {
+                    t.record(TraceEventKind::DegreeDecision {
+                        degree,
+                        waiting,
+                        n_spes: self.config.n_spes,
+                        window: s.config().window,
+                        window_fill: s.window_fill(),
+                    });
+                }
                 let prev = self.current_degree.swap(degree, Ordering::Relaxed);
                 if prev == 1 && degree > 1 {
                     self.metrics.incr(Counter::LlpActivations);
@@ -240,6 +271,12 @@ pub struct ProcessCtx<'rt> {
     /// created; re-allocating its local store per call would distort the
     /// granularity controller's PPE timings).
     ppe_scratch: Option<Box<super::context::SpeContext>>,
+    /// Stable process id (0, 1, ... in `enter_process` order), used to
+    /// attribute traced events to this worker process.
+    proc: usize,
+    /// This process's tracing ring (off-load / context-switch / MGPS
+    /// decision records), if the runtime was built with a tracer.
+    trace: Option<TraceHandle>,
 }
 
 impl ProcessCtx<'_> {
@@ -266,12 +303,20 @@ impl ProcessCtx<'_> {
         let started_ns = rt.ns();
         rt.record_offload(task, started_ns);
         rt.metrics.incr(Counter::Offloads);
+        if let Some(t) = &self.trace {
+            t.record(TraceEventKind::Offload { proc: self.proc, task: task.0 });
+        }
         rt.inflight.fetch_add(1, Ordering::Relaxed);
         let degree = rt.current_degree();
-        let result = self.token.offload(|| rt.runner.parallel_reduce(site, degree, body));
+        let proc = self.proc;
+        let trace = self.trace.as_ref();
+        let result = self.token.offload_traced(trace.map(|t| (t, proc)), || {
+            let tt = trace.map(|handle| TraceTask { handle, proc, task: task.0 });
+            rt.runner.parallel_reduce_traced(site, degree, body, tt)
+        });
         rt.inflight.fetch_sub(1, Ordering::Relaxed);
         rt.metrics.observe(HistKind::TaskDurNs, rt.ns().saturating_sub(started_ns));
-        rt.record_departure(task, started_ns);
+        rt.record_departure(task, started_ns, trace);
         result
     }
 
@@ -575,5 +620,47 @@ mod tests {
         let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
         run_workers(&rt, 3, 5, 16);
         assert_eq!(rt.tasks_in_flight(), 0);
+    }
+
+    #[test]
+    fn tracer_records_the_full_span_vocabulary() {
+        let tracer = Tracer::with_default_capacity();
+        let mut cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+        cfg.switch_cost = Duration::ZERO;
+        let rt = MgpsRuntime::with_observability(
+            cfg,
+            Arc::new(NopMetrics),
+            Some(Arc::clone(&tracer)),
+        );
+        {
+            let mut ctx = rt.enter_process();
+            for _ in 0..16 {
+                let body = Arc::new(SpinSum { n: 64, spin: Duration::from_micros(20) });
+                ctx.offload_loop(LoopSite(2), body).unwrap();
+            }
+        }
+        let log = tracer.drain();
+        assert_eq!(log.dropped_events(), 0);
+        let count = |pred: fn(&TraceEventKind) -> bool| -> usize {
+            log.threads.iter().flat_map(|t| &t.events).filter(|e| pred(&e.kind)).count()
+        };
+        assert_eq!(count(|k| matches!(k, TraceEventKind::Offload { .. })), 16);
+        assert_eq!(count(|k| matches!(k, TraceEventKind::TaskStart { .. })), 16);
+        assert_eq!(count(|k| matches!(k, TraceEventKind::TaskEnd { .. })), 16);
+        assert_eq!(
+            count(|k| matches!(k, TraceEventKind::CtxSwitch { .. })) as u64,
+            rt.context_switches()
+        );
+        assert!(
+            count(|k| matches!(k, TraceEventKind::DegreeDecision { .. })) >= 1,
+            "MGPS should have evaluated at least one window"
+        );
+        assert!(count(|k| matches!(k, TraceEventKind::Chunk { .. })) >= 16);
+        // Every ring is internally monotone.
+        for t in &log.threads {
+            for w in t.events.windows(2) {
+                assert!(w[0].at_ns <= w[1].at_ns);
+            }
+        }
     }
 }

@@ -21,6 +21,19 @@ use super::sync::COMMAND_QUEUE_DEPTH;
 use super::context::SpeContext;
 use super::pool::{OffloadError, SpePool};
 use crate::policy::chunk::partition;
+use crate::tracing::{TraceEventKind, TraceHandle};
+
+/// Identifies a traced chain invocation: each stage becomes one task in the
+/// drained trace, numbered `base_task + stage_index`, owned by `proc`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainTrace<'a> {
+    /// The calling process's ring (per-stage off-load records land here).
+    pub handle: &'a TraceHandle,
+    /// The owning worker process.
+    pub proc: usize,
+    /// Task id of the chain's first stage.
+    pub base_task: u64,
+}
 
 /// One stage of a dependence-driven loop chain. The carried value is the
 /// previous stage's reduction result (`init` for the first stage).
@@ -75,10 +88,41 @@ impl ChainRunner {
         stages: Vec<Arc<dyn ChainedLoop>>,
         init: f64,
     ) -> Result<f64, OffloadError> {
+        self.chained_reduce_traced(degree, stages, init, None)
+    }
+
+    /// As [`Self::chained_reduce`], recording each stage as one task in the
+    /// drained trace (see [`crate::tracing`]): the whole chain is submitted
+    /// at once, so every stage's off-load record carries the submission
+    /// instant; stage start/end and per-member chunks are recorded by the
+    /// SPEs that run them.
+    ///
+    /// # Errors
+    /// [`OffloadError::TaskPanicked`] if any team member panicked.
+    ///
+    /// # Panics
+    /// Panics if `stages` is empty or `degree == 0`.
+    pub fn chained_reduce_traced(
+        &self,
+        degree: usize,
+        stages: Vec<Arc<dyn ChainedLoop>>,
+        init: f64,
+        trace: Option<ChainTrace<'_>>,
+    ) -> Result<f64, OffloadError> {
         assert!(!stages.is_empty(), "a chain needs at least one stage");
         assert!(degree >= 1, "degree must be at least 1");
         let max_len = stages.iter().map(|s| s.len()).max().expect("nonempty");
         let degree = degree.min(self.pool.n_spes()).min(max_len.max(1));
+
+        if let Some(t) = &trace {
+            for si in 0..stages.len() {
+                t.handle.record(TraceEventKind::Offload {
+                    proc: t.proc,
+                    task: t.base_task + si as u64,
+                });
+            }
+        }
+        let ids = trace.as_ref().map(|t| (t.proc, t.base_task));
 
         if degree == 1 {
             // Single SPE: the whole chain as one resident job.
@@ -87,8 +131,34 @@ impl ChainRunner {
                 .pool
                 .offload(move |ctx| {
                     let mut carry = init;
-                    for s in &stages {
-                        carry = s.run_chunk(carry, 0..s.len(), ctx);
+                    for (si, s) in stages.iter().enumerate() {
+                        let n = s.len();
+                        let task = ids.map(|(proc, base)| (proc, base + si as u64));
+                        if let (Some((proc, task)), Some(h)) = (task, ctx.trace()) {
+                            h.record(TraceEventKind::TaskStart {
+                                proc,
+                                task,
+                                degree: 1,
+                                team: vec![ctx.id.0],
+                            });
+                        }
+                        carry = s.run_chunk(carry, 0..n, ctx);
+                        if let (Some((proc, task)), Some(h)) = (task, ctx.trace()) {
+                            if n > 0 {
+                                h.record(TraceEventKind::Chunk {
+                                    task,
+                                    loop_iters: n,
+                                    start: 0,
+                                    len: n,
+                                    worker: ctx.id.0,
+                                });
+                            }
+                            h.record(TraceEventKind::TaskEnd {
+                                proc,
+                                task,
+                                team: vec![ctx.id.0],
+                            });
+                        }
                     }
                     carry
                 })
@@ -121,7 +191,18 @@ impl ChainRunner {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             WorkerMsg::Run { stage, carry, range } => {
-                                let out = stages[stage].run_chunk(carry, range, ctx);
+                                let out = stages[stage].run_chunk(carry, range.clone(), ctx);
+                                if let (Some((_, base)), Some(h)) = (ids, ctx.trace()) {
+                                    if !range.is_empty() {
+                                        h.record(TraceEventKind::Chunk {
+                                            task: base + stage as u64,
+                                            loop_iters: stages[stage].len(),
+                                            start: range.start,
+                                            len: range.len(),
+                                            worker: ctx.id.0,
+                                        });
+                                    }
+                                }
                                 let _ = pass_tx.send(out);
                             }
                             WorkerMsg::Done => break,
@@ -135,6 +216,7 @@ impl ChainRunner {
         let (res_tx, res_rx) = bounded(1);
         let stages_m = stages.clone();
         let n_workers = workers.len();
+        let worker_spes: Vec<usize> = workers.iter().map(|s| s.0).collect();
         self.pool.run_on(
             master,
             Box::new(move |ctx: &mut SpeContext| {
@@ -142,6 +224,27 @@ impl ChainRunner {
                 let mut failed = false;
                 'chain: for (si, stage) in stages_m.iter().enumerate() {
                     let chunks = partition(stage.len(), n_workers + 1, 0.0);
+                    // The stage's effective team: master plus every worker
+                    // with a nonempty chunk (empty chunks are not sent).
+                    let stage_team = ids.map(|_| {
+                        let mut t = vec![ctx.id.0];
+                        for (w, range) in chunks[1..].iter().enumerate() {
+                            if !range.is_empty() {
+                                t.push(worker_spes[w]);
+                            }
+                        }
+                        t
+                    });
+                    if let (Some((proc, base)), Some(team)) = (ids, stage_team.clone()) {
+                        if let Some(h) = ctx.trace() {
+                            h.record(TraceEventKind::TaskStart {
+                                proc,
+                                task: base + si as u64,
+                                degree: team.len(),
+                                team,
+                            });
+                        }
+                    }
                     // Empty chunks are never dispatched: short stages run
                     // on fewer members without burdening stage authors
                     // with empty-range handling.
@@ -160,6 +263,17 @@ impl ChainRunner {
                         dispatched.push(w);
                     }
                     let mut acc = stage.run_chunk(carry, chunks[0].clone(), ctx);
+                    if let (Some((_, base)), Some(h)) = (ids, ctx.trace()) {
+                        if !chunks[0].is_empty() {
+                            h.record(TraceEventKind::Chunk {
+                                task: base + si as u64,
+                                loop_iters: stage.len(),
+                                start: chunks[0].start,
+                                len: chunks[0].len(),
+                                worker: ctx.id.0,
+                            });
+                        }
+                    }
                     for &w in &dispatched {
                         match pass_rxs[w].recv() {
                             Ok(p) => acc = stage.merge(acc, p),
@@ -171,6 +285,15 @@ impl ChainRunner {
                         }
                     }
                     carry = acc;
+                    if let (Some((proc, base)), Some(team)) = (ids, stage_team) {
+                        if let Some(h) = ctx.trace() {
+                            h.record(TraceEventKind::TaskEnd {
+                                proc,
+                                task: base + si as u64,
+                                team,
+                            });
+                        }
+                    }
                 }
                 for tx in &cmd_txs {
                     let _ = tx.send(WorkerMsg::Done);

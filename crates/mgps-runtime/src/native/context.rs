@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use crate::policy::SpeId;
+use crate::tracing::{TraceEventKind, TraceHandle};
 
 /// Identifies a code image (one compiled SPE module). The paper ships the
 /// three ML kernels as a single module with two variants: plain and
@@ -131,6 +132,7 @@ pub struct SpeContext {
     code_reloads: u64,
     tasks_run: u64,
     code_load_cost: Duration,
+    trace: Option<TraceHandle>,
 }
 
 impl SpeContext {
@@ -144,7 +146,19 @@ impl SpeContext {
             code_reloads: 0,
             tasks_run: 0,
             code_load_cost,
+            trace: None,
         }
+    }
+
+    /// Attach a tracing handle; subsequent code reloads (and any events the
+    /// running kernel records via [`Self::trace`]) land on this SPE's ring.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// This SPE's tracing handle, if the pool was built with a tracer.
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     /// Ensure `image` (of `bytes` code) is resident, paying the reload cost
@@ -157,6 +171,13 @@ impl SpeContext {
         self.local_store.load_code(bytes)?;
         self.resident_image = Some(image);
         self.code_reloads += 1;
+        if let Some(t) = &self.trace {
+            // Timestamp = stall start, matching the simulator's convention.
+            t.record(TraceEventKind::CodeReload {
+                spe: self.id.0,
+                stall_ns: self.code_load_cost.as_nanos() as u64,
+            });
+        }
         if !self.code_load_cost.is_zero() {
             // A real reload DMAs the module from main memory; model it as a
             // stall of the configured length.

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use super::sync::{Condvar, Mutex};
 use crate::metrics::{Counter, HistKind, MetricsSink, MetricsSinkExt, NopMetrics};
+use crate::tracing::{TraceEventKind, TraceHandle};
 
 /// How a process treats its PPE context while an off-loaded task runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,10 +129,22 @@ impl PpeToken<'_> {
     /// discipline: yielding the context for the duration (EDTLP) or
     /// spinning on it (baseline).
     pub fn offload<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.offload_traced(None, f)
+    }
+
+    /// [`Self::offload`] with span tracing: if `trace` is given, a yield
+    /// (EDTLP voluntary context switch) is recorded on the process's ring
+    /// as `(handle, proc)`.
+    pub fn offload_traced<T>(
+        &mut self,
+        trace: Option<(&TraceHandle, usize)>,
+        f: impl FnOnce() -> T,
+    ) -> T {
         match self.gate.mode {
             GateMode::HoldDuringOffload => f(),
             GateMode::YieldOnOffload => {
                 self.observe_hold();
+                let held_ns = self.held_since.elapsed().as_nanos() as u64;
                 self.gate.release_slot();
                 self.held = false;
                 let out = f();
@@ -143,6 +156,9 @@ impl PpeToken<'_> {
                 self.gate.metrics.incr(Counter::CtxSwitchOffload);
                 if !self.gate.switch_cost.is_zero() {
                     spin_for(self.gate.switch_cost);
+                }
+                if let Some((t, proc)) = trace {
+                    t.record(TraceEventKind::CtxSwitch { proc, held_ns });
                 }
                 out
             }

@@ -22,8 +22,8 @@ pub mod sync;
 pub mod team;
 
 pub use adaptive::{MgpsRuntime, ProcessCtx, RuntimeConfig};
-pub use chain::{ChainRunner, ChainedLoop};
+pub use chain::{ChainRunner, ChainTrace, ChainedLoop};
 pub use context::{ImageId, LocalStore, LocalStoreExhausted, SpeContext, LOCAL_STORE_BYTES};
 pub use gate::{GateMode, PpeGate, PpeToken};
 pub use pool::{OffloadError, OffloadHandle, SpePool, SpeStats};
-pub use team::{LoopBody, LoopSite, TeamRunner, TeamTiming};
+pub use team::{LoopBody, LoopSite, TeamRunner, TeamTiming, TraceTask, ARG_FETCH_BYTES};

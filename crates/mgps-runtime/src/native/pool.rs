@@ -21,6 +21,7 @@ use super::sync::{Condvar, Mutex, COMMAND_QUEUE_DEPTH};
 use super::context::{ImageId, SpeContext};
 use crate::metrics::{Counter, MetricsSink, MetricsSinkExt, NopMetrics};
 use crate::policy::SpeId;
+use crate::tracing::{TraceHandle, Tracer};
 
 /// A unit of work executed on a virtual SPE.
 pub type Job = Box<dyn FnOnce(&mut SpeContext) + Send>;
@@ -140,6 +141,22 @@ impl SpePool {
         code_load_cost: Duration,
         metrics: Arc<dyn MetricsSink>,
     ) -> SpePool {
+        SpePool::with_observability(n_spes, code_load_cost, metrics, None)
+    }
+
+    /// Like [`Self::with_metrics`], additionally giving every virtual SPE a
+    /// per-thread span-tracing ring from `tracer` (code reloads and the
+    /// team layer's chunk/DMA spans are recorded there; see
+    /// [`crate::tracing`]).
+    ///
+    /// # Panics
+    /// Panics if `n_spes == 0`.
+    pub fn with_observability(
+        n_spes: usize,
+        code_load_cost: Duration,
+        metrics: Arc<dyn MetricsSink>,
+        tracer: Option<&Tracer>,
+    ) -> SpePool {
         assert!(n_spes > 0, "a pool needs at least one SPE");
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -161,9 +178,10 @@ impl SpePool {
             // one shutdown per SPE (jobs only go to idle or reserved SPEs).
             let (tx, rx) = bounded::<WorkerMsg>(COMMAND_QUEUE_DEPTH);
             let shared_cl = Arc::clone(&shared);
+            let trace = tracer.map(|t| t.handle());
             let handle = std::thread::Builder::new()
                 .name(format!("vspe-{i}"))
-                .spawn(move || worker_loop(SpeId(i), rx, shared_cl, code_load_cost))
+                .spawn(move || worker_loop(SpeId(i), rx, shared_cl, code_load_cost, trace))
                 .expect("spawn virtual SPE thread");
             direct.push(tx.clone());
             workers.push(Worker { tx, handle: Some(handle) });
@@ -357,8 +375,12 @@ fn worker_loop(
     rx: Receiver<WorkerMsg>,
     shared: Arc<Shared>,
     code_load_cost: Duration,
+    trace: Option<TraceHandle>,
 ) -> SpeStats {
     let mut ctx = SpeContext::new(id, code_load_cost);
+    if let Some(t) = trace {
+        ctx.set_trace(t);
+    }
     let mut reloads_seen = 0u64;
     loop {
         let msg = match rx.recv() {

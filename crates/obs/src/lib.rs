@@ -27,13 +27,19 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod critpath;
 pub mod decisions;
+pub mod native;
 pub mod phases;
+pub mod report;
 pub mod summary;
 pub mod timeline;
 
 pub use chrome::chrome_trace;
+pub use critpath::{what_if, CritStep, CriticalPath, Phase, PhaseBlame, WhatIf, WhatIfOutcome};
 pub use decisions::{decisions, DecisionRecord};
+pub use native::{runlog_from_trace, NativeRunMeta};
 pub use phases::{OffloadPhases, PhaseBreakdown, PhaseTotals};
-pub use summary::ObsSummary;
+pub use report::{folded_stacks, html_report};
+pub use summary::{ObsSummary, RunSource};
 pub use timeline::{DmaSpan, TaskSpan, Timeline};

@@ -10,7 +10,9 @@
 //! * `t_spe` — SPE execution, task start to task end;
 //! * `t_code` — code-image reload stall paid at the grant (team members
 //!   reload in parallel, so the task-level stall is the maximum);
-//! * `t_comm` — DMA latency of the task's input/output transfer. The
+//! * `t_comm` — DMA latency of the task's input/output transfer, summed
+//!   over the whole team (the simulator's lead SPE issues the task
+//!   buffers; native workers fetch their arguments themselves). The
 //!   optimized kernels double-buffer, so this overlaps `t_spe` unless the
 //!   bus fell back to a stalled transfer.
 
@@ -74,7 +76,7 @@ impl PhaseBreakdown {
         let mut done = Vec::new();
         let mut prev_end: HashMap<usize, u64> = HashMap::new();
         let mut open: HashMap<u64, OffloadPhases> = HashMap::new();
-        let mut lead_of: HashMap<usize, u64> = HashMap::new();
+        let mut member_of: HashMap<usize, u64> = HashMap::new();
         // Reload stalls seen at the current instant, not yet claimed by a
         // task start: (spe, at_ns, stall_ns).
         let mut reloads: Vec<(usize, u64, u64)> = Vec::new();
@@ -113,13 +115,13 @@ impl PhaseBreakdown {
                             }
                         });
                         ph.t_code_ns = claimed;
-                        if let Some(&lead) = team.first() {
-                            lead_of.insert(lead, *task);
+                        for &spe in team {
+                            member_of.insert(spe, *task);
                         }
                     }
                 }
                 EventKind::DmaComplete { spe, latency_ns, .. } => {
-                    if let Some(task) = lead_of.get(spe) {
+                    if let Some(task) = member_of.get(spe) {
                         if let Some(ph) = open.get_mut(task) {
                             ph.t_comm_ns += latency_ns;
                         }
@@ -130,8 +132,10 @@ impl PhaseBreakdown {
                         ph.end_ns = e.at_ns;
                         ph.t_spe_ns = e.at_ns.saturating_sub(ph.start_ns);
                         prev_end.insert(ph.proc, e.at_ns);
-                        if let Some(lead) = team.first() {
-                            lead_of.remove(lead);
+                        for spe in team {
+                            if member_of.get(spe) == Some(task) {
+                                member_of.remove(spe);
+                            }
                         }
                         done.push(ph);
                     }

@@ -3,11 +3,13 @@
 //! [`ObsSummary::from_log`] folds a simulator [`RunLog`] into the same
 //! [`MetricsSnapshot`] the native runtime fills through its
 //! [`MetricsSink`], so a simulated run and a native run read identically
-//! in reports. Counters the simulator cannot observe stay zero:
-//! `mailbox_stalls` (the simulated PPE drains mailboxes synchronously, so
-//! writes never block), `offload_queue_stalls`, and `dma_fallbacks`
-//! (fallback transfers surface as longer `dma_latency_ns` observations
-//! instead).
+//! in reports. Counters the simulator cannot observe — `mailbox_stalls`
+//! (the simulated PPE drains mailboxes synchronously, so writes never
+//! block), `offload_queue_stalls`, and `dma_fallbacks` (fallback
+//! transfers surface as longer `dma_latency_ns` observations instead) —
+//! are *absent*, not zero: the summary carries a [`RunSource`] tag and
+//! [`ObsSummary::counter`] returns `None` for them on simulated runs, so
+//! reports render "n/a" rather than a falsely confident 0.
 //!
 //! [`RunLog`]: cellsim::event::RunLog
 //! [`MetricsSink`]: mgps_runtime::MetricsSink
@@ -22,9 +24,25 @@ use crate::decisions::{decisions, DecisionRecord};
 use crate::phases::{PhaseBreakdown, PhaseTotals};
 use crate::timeline::Timeline;
 
+/// Where a run's log came from — which determines what its counters can
+/// legitimately claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// A `cellsim` discrete-event run.
+    Simulated,
+    /// A native-runtime run drained through `runlog_from_trace`.
+    Native,
+}
+
+/// Counters a [`RunSource::Simulated`] log structurally cannot observe.
+const SIM_UNOBSERVABLE: [Counter; 3] =
+    [Counter::MailboxStalls, Counter::OffloadQueueStalls, Counter::DmaFallbacks];
+
 /// Everything a report needs to know about one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObsSummary {
+    /// Provenance of the log (gates which counters are reportable).
+    pub source: RunSource,
     /// Scheduling scheme of the run (`RunLog::scheduler` rendered).
     pub scheduler: String,
     /// RNG seed of the run.
@@ -48,8 +66,13 @@ pub struct ObsSummary {
 }
 
 impl ObsSummary {
-    /// Fold `log` into a summary.
+    /// Fold a simulator `log` into a summary.
     pub fn from_log(log: &RunLog) -> ObsSummary {
+        ObsSummary::from_log_with_source(log, RunSource::Simulated)
+    }
+
+    /// Fold `log` into a summary, declaring where the log came from.
+    pub fn from_log_with_source(log: &RunLog, source: RunSource) -> ObsSummary {
         let tl = Timeline::from_log(log);
         let phases = PhaseBreakdown::from_log(log);
         let decisions = decisions(log);
@@ -105,6 +128,7 @@ impl ObsSummary {
         }
 
         ObsSummary {
+            source,
             scheduler: log.scheduler.to_string(),
             seed: log.seed,
             n_spes: log.n_spes,
@@ -118,11 +142,29 @@ impl ObsSummary {
         }
     }
 
-    /// A deterministic JSON value tree of the summary.
+    /// The value of counter `c`, or `None` when this run's source cannot
+    /// observe it (a simulator log has no mailbox back-pressure, off-load
+    /// queue stalls, or DMA fallback path to count).
+    pub fn counter(&self, c: Counter) -> Option<u64> {
+        if self.source == RunSource::Simulated && SIM_UNOBSERVABLE.contains(&c) {
+            None
+        } else {
+            Some(self.metrics.get(c))
+        }
+    }
+
+    /// A deterministic JSON value tree of the summary. Unobservable
+    /// counters serialize as `null`, not `0`.
     pub fn to_value(&self) -> Value {
         let counters = Counter::ALL
             .iter()
-            .map(|&c| (c.name().to_string(), self.metrics.get(c).into()))
+            .map(|&c| {
+                let v = match self.counter(c) {
+                    Some(v) => v.into(),
+                    None => Value::Null,
+                };
+                (c.name().to_string(), v)
+            })
             .collect::<Vec<_>>();
         let hists = HistKind::ALL
             .iter()
@@ -193,9 +235,10 @@ impl ObsSummary {
         ));
         s.push_str("counters:\n");
         for &c in &Counter::ALL {
-            let v = self.metrics.get(c);
-            if v > 0 {
-                s.push_str(&format!("  {}: {v}\n", c.name()));
+            match self.counter(c) {
+                Some(v) if v > 0 => s.push_str(&format!("  {}: {v}\n", c.name())),
+                Some(_) => {}
+                None => s.push_str(&format!("  {}: n/a (not observable in simulation)\n", c.name())),
             }
         }
         if !self.decisions.is_empty() {
@@ -285,7 +328,7 @@ mod tests {
         assert_eq!(s.metrics.get(Counter::DmaIssues), 1);
         assert_eq!(s.metrics.get(Counter::MgpsEvaluations), 1);
         assert_eq!(s.metrics.get(Counter::LlpActivations), 1, "degree 1 -> 8");
-        assert_eq!(s.metrics.get(Counter::MailboxStalls), 0, "unobservable in sim");
+        assert_eq!(s.counter(Counter::MailboxStalls), None, "unobservable in sim");
         assert_eq!(s.metrics.hist_count(HistKind::TaskDurNs), 1);
         assert_eq!(s.metrics.hist_count(HistKind::DmaLatencyNs), 1);
         assert_eq!(s.metrics.hist_count(HistKind::OffloadWaitNs), 1);
@@ -319,6 +362,25 @@ mod tests {
         assert_eq!(s.metrics.get(Counter::MgpsEvaluations), 3);
         assert_eq!(s.metrics.get(Counter::LlpActivations), 1);
         assert_eq!(s.metrics.get(Counter::LlpDeactivations), 1);
+    }
+
+    #[test]
+    fn sim_unobservable_counters_are_absent_not_zero() {
+        let log = small_log();
+        let sim = ObsSummary::from_log(&log);
+        assert_eq!(sim.source, RunSource::Simulated);
+        for c in [Counter::MailboxStalls, Counter::OffloadQueueStalls, Counter::DmaFallbacks] {
+            assert_eq!(sim.counter(c), None, "{c:?} must be n/a under simulation");
+        }
+        assert_eq!(sim.counter(Counter::Offloads), Some(1));
+        assert!(sim.to_value().to_json().contains("\"mailbox_stalls\":null"));
+        assert!(sim.render_text().contains("mailbox_stalls: n/a"));
+
+        // The same log tagged native reports the counters (genuinely zero).
+        let native = ObsSummary::from_log_with_source(&log, RunSource::Native);
+        assert_eq!(native.counter(Counter::MailboxStalls), Some(0));
+        assert!(native.to_value().to_json().contains("\"mailbox_stalls\":0"));
+        assert!(!native.render_text().contains("n/a"));
     }
 
     #[test]

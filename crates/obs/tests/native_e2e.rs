@@ -1,0 +1,176 @@
+//! End-to-end: a real native-runtime run, traced, drained, merged into a
+//! [`RunLog`], and pushed through the *entire* observability stack — the
+//! invariant checker in native mode, the timeline/phases folds, the
+//! critical-path engine, and the Chrome trace exporter — with zero
+//! violations and agreeing accounting.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cellsim::event::{EventKind, RunLog, SchedulerTag};
+use mgps_analysis::{check_run_with, check_trace_sanity, CheckMode};
+use mgps_obs::{
+    chrome_trace, runlog_from_trace, CriticalPath, NativeRunMeta, ObsSummary, PhaseBreakdown,
+    RunSource, Timeline,
+};
+use mgps_runtime::native::{
+    LoopBody, LoopSite, MgpsRuntime, RuntimeConfig, SpeContext, SpePool, TeamRunner, TraceTask,
+};
+use mgps_runtime::policy::SchedulerKind;
+use mgps_runtime::{Counter, NopMetrics, TraceEventKind, TraceLog, Tracer};
+
+/// A loop body with controllable per-iteration work.
+struct Spin {
+    n: usize,
+    spin: Duration,
+}
+
+impl LoopBody for Spin {
+    type Acc = f64;
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> f64 {
+        let mut s = 0.0;
+        for i in range {
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < self.spin {
+                std::hint::spin_loop();
+            }
+            s += i as f64;
+        }
+        s
+    }
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Run a two-process MGPS workload under the tracer and drain it.
+fn traced_mgps_run() -> (TraceLog, usize) {
+    let tracer = Tracer::with_default_capacity();
+    let mut cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+    cfg.switch_cost = Duration::ZERO;
+    cfg.code_load_cost = Duration::from_micros(30);
+    cfg.worker_startup = Duration::from_micros(5);
+    let n_spes = cfg.n_spes;
+    let rt =
+        MgpsRuntime::with_observability(cfg, Arc::new(NopMetrics), Some(Arc::clone(&tracer)));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut ctx = rt.enter_process();
+                for _ in 0..8 {
+                    let body = Arc::new(Spin { n: 64, spin: Duration::from_micros(10) });
+                    ctx.offload_loop(LoopSite(1), body).unwrap();
+                }
+            });
+        }
+    });
+    (tracer.drain(), n_spes)
+}
+
+#[test]
+fn native_run_passes_the_full_observability_stack() {
+    let (trace, n_spes) = traced_mgps_run();
+
+    // The raw rings are sane: monotone, nothing dropped.
+    let sanity = check_trace_sanity(&trace);
+    assert!(sanity.is_clean(), "{}", sanity.render());
+    assert_eq!(sanity.dropped_events, 0);
+
+    // Merge and check the full native invariant catalog.
+    let log: RunLog = runlog_from_trace(
+        &trace,
+        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: 0 },
+    );
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.tasks_checked, 16, "2 processes x 8 off-loads");
+    assert_eq!(report.events_checked, log.events.len());
+
+    // The timeline fold agrees with the checker's busy accounting.
+    let tl = Timeline::from_log(&log);
+    assert_eq!(tl.busy_ns(), report.spe_busy_ns);
+    assert!(tl.busy_ns().iter().sum::<u64>() > 0);
+
+    // Phase accounting covers every off-load, and the critical path
+    // partitions the makespan exactly.
+    let pb = PhaseBreakdown::from_log(&log);
+    assert_eq!(pb.offloads.len(), 16);
+    let cp = CriticalPath::from_log(&log);
+    assert!(cp.makespan_ns > 0);
+    assert_eq!(cp.blame.total(), cp.makespan_ns);
+
+    // The summary carries native-only counters as real values.
+    let summary = ObsSummary::from_log_with_source(&log, RunSource::Native);
+    assert_eq!(summary.counter(Counter::TasksCompleted), Some(16));
+    assert!(summary.counter(Counter::MailboxStalls).is_some());
+
+    // The Chrome exporter works unchanged on the merged native log.
+    let json = chrome_trace(&log);
+    let parsed = minijson::parse(&json).expect("native chrome trace parses");
+    assert!(parsed.get("traceEvents").is_some());
+    assert!(json.contains("task "));
+}
+
+/// Golden structure of [`PhaseBreakdown`] over a native LLP team run:
+/// the master/worker reduction recorded by `parallel_reduce_traced`
+/// yields one off-load whose span covers dispatch through reduction,
+/// whose chunks tile the loop, and whose worker argument fetches land in
+/// `t_comm`.
+#[test]
+fn llp_team_run_phases_include_the_reduction_span() {
+    let tracer = Tracer::with_default_capacity();
+    let pool = Arc::new(SpePool::with_observability(
+        4,
+        Duration::ZERO,
+        Arc::new(NopMetrics),
+        Some(&*tracer),
+    ));
+    let runner = TeamRunner::new(Arc::clone(&pool), Duration::from_micros(20));
+    let handle = tracer.handle();
+    let body = Arc::new(Spin { n: 63, spin: Duration::from_micros(30) });
+    let degree = 4;
+    handle.record(TraceEventKind::Offload { proc: 0, task: 0 });
+    let trace_task = TraceTask { handle: &handle, proc: 0, task: 0 };
+    let sum = runner
+        .parallel_reduce_traced(LoopSite(7), degree, body, Some(trace_task))
+        .expect("team run succeeds");
+    assert_eq!(sum, (0..63).sum::<usize>() as f64);
+
+    let log = runlog_from_trace(
+        &tracer.drain(),
+        NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0 },
+    );
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "{}", report.render());
+
+    let pb = PhaseBreakdown::from_log(&log);
+    assert_eq!(pb.offloads.len(), 1, "one team off-load");
+    let ph = pb.offloads[0];
+    assert_eq!(ph.task, 0);
+    assert_eq!(ph.degree, degree);
+    // The span is TaskStart..TaskEnd: dispatch, chunks, merge, reduction.
+    // An even 63/4 split gives the master at least 15 iterations of 30 us
+    // minimum spin each, so the span cannot be shorter than that.
+    assert_eq!(ph.t_spe_ns, ph.end_ns - ph.start_ns);
+    assert!(ph.t_spe_ns >= 15 * 30_000, "span covers the master chunk");
+    // Worker argument fetches are team DMA with the configured startup
+    // latency: three workers at 20 us each.
+    assert_eq!(ph.t_comm_ns, 3 * 20_000);
+    // The chunks recorded tile the 63-iteration loop across the team.
+    let chunk_iters: usize = log
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Chunk { task: 0, len, .. } => Some(*len),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(chunk_iters, 63);
+}

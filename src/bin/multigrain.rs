@@ -3,6 +3,7 @@
 //! ```text
 //! multigrain simulate  --scheduler mgps --bootstraps 8 [--cells 2] [--scale 500] [--profile optimized]
 //! multigrain trace     --scheduler mgps --bootstraps 8 [--seed S] [--out trace.json]
+//! multigrain profile   --scheduler mgps --bootstraps 8 [--seed S] [--out report.html]
 //! multigrain infer     --input data.fasta [--model jc|k80|gtr] [--gamma <alpha>|estimate]
 //!                      [--search nni|spr] [--bootstraps N] [--seed S]
 //! multigrain predict   --input data.fasta [--bootstraps N] [--scale 500]
@@ -10,11 +11,12 @@
 //! ```
 //!
 //! `simulate` drives the Cell BE model; `trace` replays a run with event
-//! recording and exports a Chrome trace plus a metrics summary; `infer`
-//! runs a real phylogenetic analysis through the native multigrain
-//! runtime; `predict` derives a Cell workload from your alignment and
-//! forecasts scheduler performance; `demo` generates a synthetic alignment
-//! to play with.
+//! recording and exports a Chrome trace plus a metrics summary; `profile`
+//! adds critical-path/what-if analysis and writes a self-contained HTML
+//! report plus flamegraph-style folded stacks; `infer` runs a real
+//! phylogenetic analysis through the native multigrain runtime; `predict`
+//! derives a Cell workload from your alignment and forecasts scheduler
+//! performance; `demo` generates a synthetic alignment to play with.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "simulate" => simulate(&opts),
         "trace" => trace(&opts),
+        "profile" => profile(&opts),
         "analyze" => analyze(&opts),
         "infer" => infer(&opts),
         "infer-protein" => infer_protein(&opts),
@@ -70,6 +73,11 @@ USAGE:
                       [--cells N] [--scale N] [--seed N] [--out FILE] [--check on|off]
                       (replay one run with event recording; write a Chrome
                        trace-event JSON and print a per-SPE metrics summary)
+  multigrain profile  [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
+                      [--cells N] [--scale N] [--seed N] [--out FILE.html]
+                      (critical-path profile: per-phase blame for the makespan,
+                       what-if projections, a self-contained HTML report, and
+                       flamegraph-ready folded stacks next to it)
   multigrain analyze  [--scale N] [--bootstraps N] [--seed N] [--experiments on|off]
                       (replay every scheduler with event recording, statically
                        verify all schedule invariants, prove digest determinism,
@@ -229,6 +237,84 @@ fn trace(opts: &Opts) -> Result<(), String> {
         json.len(),
         if check { ", checker-verified" } else { "" }
     );
+    Ok(())
+}
+
+/// `multigrain profile` — critical-path profiling of one recorded run.
+///
+/// Replays a run with event recording, verifies it, then blames the
+/// makespan on the granularity phases along the critical path, projects
+/// three what-if scenarios against the same dependence structure, and
+/// writes a self-contained HTML report plus flamegraph-ready folded
+/// stacks.
+fn profile(opts: &Opts) -> Result<(), String> {
+    use mgps_obs::{what_if, CriticalPath, Phase, RunSource, WhatIf};
+
+    let scheduler = scheduler_of(opts)?;
+    let bootstraps = get(opts, "bootstraps", 8usize)?;
+    if bootstraps == 0 {
+        return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
+    }
+    let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
+    let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
+    let seed = get(opts, "seed", 0x5eedu64)?;
+
+    let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
+    cfg.seed = seed;
+    cfg.record_events = true;
+    let r = run_simulation(cfg);
+    let log = r.run_log.expect("record_events was set");
+
+    let report = mgps_analysis::check_run(&log);
+    if !report.is_clean() {
+        return Err(format!(
+            "refusing to profile an illegal schedule:\n{}",
+            report.render()
+        ));
+    }
+
+    let cp = CriticalPath::from_log(&log);
+    println!("scheduler          {}", log.scheduler);
+    println!("makespan           {:.3} ms ({} critical-path steps)", cp.makespan_ns as f64 / 1e6, cp.steps.len());
+    println!("critical-path blame:");
+    for &phase in &Phase::ALL {
+        let ns = cp.blame.get(phase);
+        let pct = if cp.makespan_ns > 0 { 100.0 * ns as f64 / cp.makespan_ns as f64 } else { 0.0 };
+        let marker = if phase == cp.dominant() { "  <- dominant" } else { "" };
+        println!("  {:<7} {:>12.3} ms {:>5.1}%{}", phase.name(), ns as f64 / 1e6, pct, marker);
+    }
+    println!("what-if projections:");
+    for (label, knobs) in [
+        ("+1 SPE", WhatIf { extra_spes: 1, ..WhatIf::default() }),
+        ("2x DMA bandwidth", WhatIf { dma_scale: 0.5, ..WhatIf::default() }),
+        ("LLP degree 4", WhatIf { degree_override: Some(4), ..WhatIf::default() }),
+    ] {
+        let o = what_if(&log, knobs);
+        println!(
+            "  {:<17} {:>12.3} ms  ({:.2}x)",
+            label,
+            o.predicted_makespan_ns as f64 / 1e6,
+            o.speedup
+        );
+    }
+
+    let html = mgps_obs::html_report(&log, RunSource::Simulated);
+    let out = match opts.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => experiments::Experiment::default_dir()
+            .join(format!("profile-{}-{seed:#x}.html", log.scheduler)),
+    };
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out, &html).map_err(|e| format!("{}: {e}", out.display()))?;
+    let folded_path = out.with_extension("folded");
+    let folded = mgps_obs::folded_stacks(&log);
+    std::fs::write(&folded_path, &folded)
+        .map_err(|e| format!("{}: {e}", folded_path.display()))?;
+
+    println!("report             {} ({} bytes)", out.display(), html.len());
+    println!("folded stacks      {} ({} lines)", folded_path.display(), folded.lines().count());
     Ok(())
 }
 

@@ -11,6 +11,12 @@
 //!    in the native runtime must be constructed with an explicit bound so
 //!    back-pressure is part of the design; `channel::unbounded` and raw
 //!    `std::sync::mpsc::channel` are rejected.
+//! 3. **One clock in the tracing hot path.** `mgps-runtime::tracing`
+//!    timestamps every span; all reads must flow through the designated
+//!    monotonic `TraceClock` so traces stay comparable and the record
+//!    path never touches `SystemTime` (non-monotonic) or sprouts ad-hoc
+//!    `Instant` math. The `TraceClock` internals themselves carry
+//!    `xtask-allow: trace-clock` markers.
 //!
 //! A line can opt out with a trailing `// xtask-allow: <rule>` comment,
 //! which is itself reported so exemptions stay visible in the lint
@@ -44,9 +50,28 @@ const RULES: &[Rule] = &[
         needles: &["channel::unbounded", "mpsc::channel(", "unbounded()"],
         why: "native runtime channels must carry an explicit capacity bound",
     },
+    Rule {
+        name: "trace-clock",
+        roots: &["crates/mgps-runtime/src/tracing.rs"],
+        needles: &[
+            "std::time::Instant",
+            "Instant::now",
+            "SystemTime",
+            "time::SystemTime",
+        ],
+        why: "the tracing hot path must read time only through the designated \
+              monotonic TraceClock",
+    },
 ];
 
 fn rust_files(root: &Path, out: &mut Vec<PathBuf>) {
+    // A rule root may name a single file rather than a directory.
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return;
+    }
     let Ok(entries) = std::fs::read_dir(root) else {
         return;
     };
@@ -141,6 +166,23 @@ mod tests {
         let sim = dir.join("crates/des/src");
         std::fs::create_dir_all(&sim).unwrap();
         std::fs::write(sim.join("bad.rs"), "let t = Instant::now();\n").unwrap();
+        let r = lint(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(r, Err(1));
+    }
+
+    #[test]
+    fn trace_clock_rule_scans_its_single_file_root() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-tc-{}", std::process::id()));
+        let rt = dir.join("crates/mgps-runtime/src");
+        std::fs::create_dir_all(&rt).unwrap();
+        // An undesignated clock read inside the tracing module trips the
+        // rule; the designated reader's allow marker suppresses it.
+        std::fs::write(
+            rt.join("tracing.rs"),
+            "let a = Instant::now();\nlet b = Instant::now(); // xtask-allow: trace-clock\n",
+        )
+        .unwrap();
         let r = lint(&dir);
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(r, Err(1));
