@@ -351,6 +351,26 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                 );
                 expected_degree = *degree;
             }
+            EventKind::Health { alarm, severity, .. } => {
+                // Informational, but its vocabulary is closed: an unknown
+                // alarm or severity slug means a producer drifted from the
+                // schema.
+                const ALARMS: [&str; 3] = ["utilization_collapse", "stall_spike", "ring_drop"];
+                if !ALARMS.contains(&alarm.as_str()) {
+                    v.push(Violation {
+                        rule: "health-schema",
+                        seq: Some(e.seq),
+                        message: format!("unknown health alarm slug '{alarm}'"),
+                    });
+                }
+                if severity != "warning" && severity != "critical" {
+                    v.push(Violation {
+                        rule: "health-schema",
+                        seq: Some(e.seq),
+                        message: format!("unknown health severity '{severity}'"),
+                    });
+                }
+            }
         }
     }
 

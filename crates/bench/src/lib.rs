@@ -88,3 +88,87 @@ pub fn native_offload_wall(
     }
     started.elapsed()
 }
+
+/// Wall time of `offloads` sequential EDTLP off-loads while a scraper
+/// thread drains epoch snapshots at the given cadence.
+///
+/// The runtime records into a shared [`mgps_runtime::AtomicMetrics`]
+/// (or [`mgps_runtime::NopMetrics`] when `sink_atomic` is false) and,
+/// when `cadence` is set, a concurrent thread loops
+/// [`mgps_runtime::SnapshotSource::delta`] against it with that many
+/// nanoseconds between drains (`Some(0)` = flat out). Drains are plain
+/// atomic loads, so a scraper at any sane cadence must not perturb the
+/// SPE-side hot path; a flat-out scraper measurably does — not through
+/// locks but through cache-line ping-pong on the counters and plain core
+/// theft — which is why the service's telemetry thread polls on a fixed
+/// cadence instead of spinning.
+pub fn snapshot_scrape_wall_at(
+    sink_atomic: bool,
+    cadence: Option<u64>,
+    offloads: usize,
+    work: std::time::Duration,
+) -> std::time::Duration {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use mgps_runtime::native::{LoopSite, MgpsRuntime, RuntimeConfig};
+    use mgps_runtime::{AtomicMetrics, MetricsSink, NopMetrics, SnapshotSource};
+
+    const ITERS_PER_OFFLOAD: usize = 8;
+    let mut cfg = RuntimeConfig::cell(SchedulerKind::Edtlp);
+    cfg.switch_cost = Duration::ZERO;
+    let atomic = sink_atomic.then(|| Arc::new(AtomicMetrics::new()));
+    let sink: Arc<dyn MetricsSink> = match &atomic {
+        Some(m) => Arc::clone(m) as Arc<dyn MetricsSink>,
+        None => Arc::new(NopMetrics),
+    };
+    let rt = MgpsRuntime::with_observability(cfg, sink, None);
+    let spin = work / ITERS_PER_OFFLOAD as u32;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = match (&atomic, cadence) {
+        (Some(m), Some(gap)) => {
+            let mut source = SnapshotSource::new(Arc::clone(m));
+            let done = Arc::clone(&done);
+            Some(std::thread::spawn(move || {
+                let mut drains = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    std::hint::black_box(source.delta());
+                    drains += 1;
+                    if gap > 0 {
+                        std::thread::sleep(Duration::from_nanos(gap));
+                    }
+                }
+                drains
+            }))
+        }
+        _ => None,
+    };
+
+    let mut ctx = rt.enter_process();
+    let started = Instant::now();
+    for _ in 0..offloads {
+        let body = Arc::new(SpinBody { n: ITERS_PER_OFFLOAD, spin });
+        std::hint::black_box(ctx.offload_loop(LoopSite(0), body).expect("offload succeeds"));
+    }
+    let elapsed = started.elapsed();
+    done.store(true, Ordering::Relaxed);
+    if let Some(handle) = scraper {
+        let drains = handle.join().expect("scraper joins");
+        assert!(drains > 0, "the scraper never drained a snapshot");
+    }
+    elapsed
+}
+
+/// The budgeted configuration: `scraped` drains every millisecond —
+/// 10-50x hotter than any real `/metrics` cadence — against the
+/// NopMetrics-no-scraper baseline. The DESIGN budget bounds the gap at
+/// < 1 % of run wall time.
+pub fn snapshot_scrape_wall(
+    scraped: bool,
+    offloads: usize,
+    work: std::time::Duration,
+) -> std::time::Duration {
+    snapshot_scrape_wall_at(scraped, scraped.then_some(1_000_000), offloads, work)
+}

@@ -205,6 +205,18 @@ pub enum EventKind {
         /// Off-loads currently held in the window sample.
         window_fill: usize,
     },
+    /// The online health detector (`mgps-obs`) raised an alarm while the
+    /// run was live. Informational: the checker verifies its shape but it
+    /// places no scheduling constraint; reports surface it prominently.
+    Health {
+        /// Stable alarm slug (`utilization_collapse`, `stall_spike`,
+        /// `ring_drop`).
+        alarm: String,
+        /// `warning` or `critical`.
+        severity: String,
+        /// Human-readable explanation of what tripped.
+        detail: String,
+    },
 }
 
 /// An [`EventKind`] stamped with its emission order and simulated time.
@@ -437,6 +449,12 @@ impl EventKind {
                 ("window", (*window).into()),
                 ("window_fill", (*window_fill).into()),
             ]),
+            EventKind::Health { alarm, severity, detail } => Value::object(vec![
+                ("type", "health".into()),
+                ("alarm", alarm.clone().into()),
+                ("severity", severity.clone().into()),
+                ("detail", detail.clone().into()),
+            ]),
         }
     }
 
@@ -513,6 +531,11 @@ impl EventKind {
                 n_spes: usize_field(v, "n_spes")?,
                 window: usize_field(v, "window")?,
                 window_fill: usize_field(v, "window_fill")?,
+            },
+            "health" => EventKind::Health {
+                alarm: str_field(v, "alarm")?.to_string(),
+                severity: str_field(v, "severity")?.to_string(),
+                detail: str_field(v, "detail")?.to_string(),
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -721,6 +744,15 @@ mod tests {
                     spe: 2,
                     bytes: 12 * 1024,
                     latency_ns: 1_337,
+                },
+            },
+            EventRecord {
+                seq: 13,
+                at_ns: 104,
+                kind: EventKind::Health {
+                    alarm: "utilization_collapse".to_string(),
+                    severity: "warning".to_string(),
+                    detail: "U<=1 with degree 1 for 3 windows".to_string(),
                 },
             },
         ]);

@@ -55,5 +55,6 @@ pub mod tracing;
 
 pub use metrics::{
     AtomicMetrics, Counter, HistKind, MetricsSink, MetricsSinkExt, MetricsSnapshot, NopMetrics,
+    Snapshot, SnapshotDelta, SnapshotSource,
 };
 pub use tracing::{TraceEvent, TraceEventKind, TraceHandle, TraceLog, Tracer, ThreadTrace};

@@ -15,9 +15,30 @@
 //!   counter, log2-bucketed histograms. Cheap enough to leave enabled.
 //! * [`NopMetrics`] — the default sink; recording is a no-op.
 //! * [`MetricsSnapshot`] — a plain-data snapshot for reporting.
+//! * [`Snapshot`] / [`SnapshotSource`] / [`SnapshotDelta`] — the epoch
+//!   layer for *live* telemetry: a scraper drains monotone snapshots (and
+//!   per-epoch deltas) concurrently with a running engine without ever
+//!   touching a recording hot path.
+//!
+//! ## Torn-read safety
+//!
+//! Counters are single atomics, so a concurrent read is always some value
+//! the counter actually held. Histograms span many atomics and *could*
+//! tear: a reader that sums buckets while a writer records might miss the
+//! bucket increment of an observation whose count increment it saw, making
+//! `bucket sum < count`. The protocol here prevents that direction
+//! entirely: [`AtomicMetrics::observe`] bumps the bucket *first* (Release)
+//! and the per-histogram total count *second* (Release); readers load the
+//! count with Acquire *before* loading buckets, so every observation
+//! published in the acquired count is visible in the bucket loads —
+//! `bucket sum >= count` always. [`AtomicMetrics::snapshot`] then derives
+//! the snapshot's count *from* the bucket sum, so a snapshot is internally
+//! consistent (`bucket sum == count`) by construction and never loses a
+//! published observation.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Monotone event counters shared by the simulated and native engines.
 ///
@@ -181,6 +202,11 @@ impl MetricsSink for NopMetrics {
 pub struct AtomicMetrics {
     counters: [AtomicU64; Counter::ALL.len()],
     hists: [[AtomicU64; HIST_BUCKETS]; HistKind::ALL.len()],
+    /// Per-histogram observation totals, bumped *after* the bucket
+    /// (Release/Release); O(1) live reads without summing 65 buckets.
+    hist_counts: [AtomicU64; HistKind::ALL.len()],
+    /// Per-histogram value sums (for Prometheus `_sum`).
+    hist_sums: [AtomicU64; HistKind::ALL.len()],
 }
 
 impl Default for AtomicMetrics {
@@ -195,6 +221,8 @@ impl AtomicMetrics {
         AtomicMetrics {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            hist_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_sums: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -203,14 +231,41 @@ impl AtomicMetrics {
         self.counters[counter as usize].load(Ordering::Relaxed)
     }
 
+    /// Total observations recorded in `hist` so far — an O(1) Acquire load
+    /// of the per-histogram total, never a bucket sum. A concurrent
+    /// [`AtomicMetrics::snapshot`] whose loads start after this returns a
+    /// bucket sum `>=` this value (see the module-level torn-read notes).
+    pub fn hist_count(&self, hist: HistKind) -> u64 {
+        self.hist_counts[hist as usize].load(Ordering::Acquire)
+    }
+
     /// Copy the current state into a plain-data snapshot.
+    ///
+    /// Safe to call concurrently with recording: each histogram's count is
+    /// Acquire-loaded *before* its buckets, so the bucket loads see at
+    /// least every observation the count covers; the snapshot's count is
+    /// then derived from the bucket sum, keeping `bucket sum == count`
+    /// internally consistent while never dropping a published observation.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
             counters: std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed)),
-            hists: std::array::from_fn(|h| {
-                std::array::from_fn(|b| self.hists[h][b].load(Ordering::Relaxed))
-            }),
+            hists: [[0; HIST_BUCKETS]; HistKind::ALL.len()],
+            hist_sums: std::array::from_fn(|h| self.hist_sums[h].load(Ordering::Relaxed)),
+        };
+        for h in 0..HistKind::ALL.len() {
+            // Acquire the published count first: it synchronizes with the
+            // writer's bucket Release, so the loads below cannot miss an
+            // observation this count includes.
+            let floor = self.hist_counts[h].load(Ordering::Acquire);
+            for b in 0..HIST_BUCKETS {
+                snap.hists[h][b] = self.hists[h][b].load(Ordering::Acquire);
+            }
+            debug_assert!(
+                snap.hists[h].iter().sum::<u64>() >= floor,
+                "histogram snapshot tore: bucket sum below published count"
+            );
         }
+        snap
     }
 }
 
@@ -225,7 +280,12 @@ impl MetricsSink for AtomicMetrics {
     }
 
     fn observe(&self, hist: HistKind, value: u64) {
-        self.hists[hist as usize][hist_bucket(value)].fetch_add(1, Ordering::Relaxed);
+        // Bucket first, total count second (both Release): a reader that
+        // Acquire-loads the count before the buckets can never observe a
+        // count that exceeds the bucket sum.
+        self.hists[hist as usize][hist_bucket(value)].fetch_add(1, Ordering::Release);
+        self.hist_sums[hist as usize].fetch_add(value, Ordering::Relaxed);
+        self.hist_counts[hist as usize].fetch_add(1, Ordering::Release);
     }
 }
 
@@ -236,11 +296,17 @@ pub struct MetricsSnapshot {
     pub counters: [u64; Counter::ALL.len()],
     /// Histogram bucket counts indexed by `HistKind as usize`, then bucket.
     pub hists: [[u64; HIST_BUCKETS]; HistKind::ALL.len()],
+    /// Sum of all observed values per histogram (Prometheus `_sum`).
+    pub hist_sums: [u64; HistKind::ALL.len()],
 }
 
 impl Default for MetricsSnapshot {
     fn default() -> MetricsSnapshot {
-        MetricsSnapshot { counters: [0; Counter::ALL.len()], hists: [[0; HIST_BUCKETS]; HistKind::ALL.len()] }
+        MetricsSnapshot {
+            counters: [0; Counter::ALL.len()],
+            hists: [[0; HIST_BUCKETS]; HistKind::ALL.len()],
+            hist_sums: [0; HistKind::ALL.len()],
+        }
     }
 }
 
@@ -263,11 +329,17 @@ impl MetricsSnapshot {
     /// Record one observation into a histogram.
     pub fn observe(&mut self, hist: HistKind, value: u64) {
         self.hists[hist as usize][hist_bucket(value)] += 1;
+        self.hist_sums[hist as usize] += value;
     }
 
     /// Total observations recorded in `hist`.
     pub fn hist_count(&self, hist: HistKind) -> u64 {
         self.hists[hist as usize].iter().sum()
+    }
+
+    /// Sum of every value observed in `hist`.
+    pub fn hist_sum(&self, hist: HistKind) -> u64 {
+        self.hist_sums[hist as usize]
     }
 
     /// Non-empty `(bucket_floor_ns, count)` pairs for `hist`, ascending.
@@ -279,6 +351,116 @@ impl MetricsSnapshot {
             .filter(|&(_, &n)| n > 0)
             .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
             .collect()
+    }
+}
+
+/// An epoch-stamped [`MetricsSnapshot`] taken from a live sink.
+///
+/// Epochs are assigned by the draining [`SnapshotSource`], start at 1, and
+/// increase by exactly 1 per drain, so a consumer can detect missed or
+/// duplicated scrapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Sequence number of this drain (1-based, per source).
+    pub epoch: u64,
+    /// The state at drain time (internally consistent; see module docs).
+    pub metrics: MetricsSnapshot,
+}
+
+/// What changed between two consecutive [`Snapshot`]s of one source.
+///
+/// Every field is a non-negative delta: counters and histogram buckets are
+/// monotone under recording, and [`SnapshotSource`] additionally clamps
+/// against its previous snapshot, so a delta can never go "backwards" even
+/// if an exotic platform reordered relaxed loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Epoch of the snapshot this delta ends at.
+    pub epoch: u64,
+    /// Counter increments since the previous snapshot.
+    pub counters: [u64; Counter::ALL.len()],
+    /// Histogram bucket increments since the previous snapshot.
+    pub hists: [[u64; HIST_BUCKETS]; HistKind::ALL.len()],
+    /// Histogram value-sum increments since the previous snapshot.
+    pub hist_sums: [u64; HistKind::ALL.len()],
+}
+
+impl SnapshotDelta {
+    /// Increment of `counter` over the delta's interval.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Observations added to `hist` over the delta's interval.
+    pub fn hist_count(&self, hist: HistKind) -> u64 {
+        self.hists[hist as usize].iter().sum()
+    }
+}
+
+/// The draining side of the live telemetry plane.
+///
+/// One scraper owns a `SnapshotSource` and calls [`SnapshotSource::delta`]
+/// (or [`SnapshotSource::snapshot`]) periodically; the recording engine
+/// never sees it — drains are plain atomic loads against the shared
+/// [`AtomicMetrics`], so scraping cannot block or slow a hot path.
+#[derive(Debug)]
+pub struct SnapshotSource {
+    sink: Arc<AtomicMetrics>,
+    epoch: u64,
+    prev: MetricsSnapshot,
+}
+
+impl SnapshotSource {
+    /// A source that will drain `sink`. Epoch 0 is the implicit all-zero
+    /// snapshot, so the first delta reports everything recorded so far.
+    pub fn new(sink: Arc<AtomicMetrics>) -> SnapshotSource {
+        SnapshotSource { sink, epoch: 0, prev: MetricsSnapshot::default() }
+    }
+
+    /// Epoch of the most recent drain (0 before the first).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshot taken at the most recent drain.
+    pub fn last(&self) -> &MetricsSnapshot {
+        &self.prev
+    }
+
+    /// Drain the sink into a fresh epoch-stamped snapshot.
+    ///
+    /// Monotone by construction: each field is clamped to at least its
+    /// value in the previous snapshot, so consumers can subtract
+    /// consecutive snapshots without underflow.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let mut cur = self.sink.snapshot();
+        for i in 0..Counter::ALL.len() {
+            cur.counters[i] = cur.counters[i].max(self.prev.counters[i]);
+        }
+        for h in 0..HistKind::ALL.len() {
+            for b in 0..HIST_BUCKETS {
+                cur.hists[h][b] = cur.hists[h][b].max(self.prev.hists[h][b]);
+            }
+            cur.hist_sums[h] = cur.hist_sums[h].max(self.prev.hist_sums[h]);
+        }
+        self.epoch += 1;
+        self.prev = cur.clone();
+        Snapshot { epoch: self.epoch, metrics: cur }
+    }
+
+    /// Drain the sink and return only what changed since the last drain.
+    pub fn delta(&mut self) -> SnapshotDelta {
+        let before = self.prev.clone();
+        let snap = self.snapshot();
+        let cur = &snap.metrics;
+        SnapshotDelta {
+            epoch: snap.epoch,
+            counters: std::array::from_fn(|i| cur.counters[i] - before.counters[i]),
+            hists: std::array::from_fn(|h| {
+                std::array::from_fn(|b| cur.hists[h][b] - before.hists[h][b])
+            }),
+            hist_sums: std::array::from_fn(|h| cur.hist_sums[h] - before.hist_sums[h]),
+        }
     }
 }
 
@@ -350,6 +532,79 @@ mod tests {
         s.observe(HistKind::CtxHoldNs, 1024);
         assert_eq!(s.get(Counter::CodeReloads), 5);
         assert_eq!(s.hist_count(HistKind::CtxHoldNs), 1);
+        assert_eq!(s.hist_sum(HistKind::CtxHoldNs), 1024);
         assert_eq!(s.hist_buckets(HistKind::CtxHoldNs), vec![(1024, 1)]);
+    }
+
+    #[test]
+    fn hist_count_fast_path_matches_bucket_sum_when_quiescent() {
+        let m = AtomicMetrics::new();
+        for v in [0u64, 5, 7, 1024] {
+            m.observe(HistKind::TaskDurNs, v);
+        }
+        assert_eq!(m.hist_count(HistKind::TaskDurNs), 4);
+        let snap = m.snapshot();
+        assert_eq!(snap.hist_count(HistKind::TaskDurNs), 4);
+        assert_eq!(snap.hist_sum(HistKind::TaskDurNs), 1036);
+    }
+
+    #[test]
+    fn snapshot_source_epochs_and_deltas_are_monotone() {
+        let m = Arc::new(AtomicMetrics::new());
+        let mut src = SnapshotSource::new(Arc::clone(&m));
+        assert_eq!(src.epoch(), 0);
+
+        m.add(Counter::Offloads, 3);
+        m.observe(HistKind::TaskDurNs, 100);
+        let d1 = src.delta();
+        assert_eq!(d1.epoch, 1);
+        assert_eq!(d1.get(Counter::Offloads), 3);
+        assert_eq!(d1.hist_count(HistKind::TaskDurNs), 1);
+
+        // Nothing recorded: the delta is all-zero, the epoch still advances.
+        let d2 = src.delta();
+        assert_eq!(d2.epoch, 2);
+        assert_eq!(d2.get(Counter::Offloads), 0);
+        assert_eq!(d2.hist_count(HistKind::TaskDurNs), 0);
+
+        m.incr(Counter::Offloads);
+        m.observe(HistKind::TaskDurNs, 7);
+        let s3 = src.snapshot();
+        assert_eq!(s3.epoch, 3);
+        assert_eq!(s3.metrics.get(Counter::Offloads), 4);
+        assert_eq!(s3.metrics.hist_count(HistKind::TaskDurNs), 2);
+        assert_eq!(src.last(), &s3.metrics);
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_recording_is_internally_consistent() {
+        let m = Arc::new(AtomicMetrics::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for t in 0..3u64 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut v = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        m.observe(HistKind::DmaLatencyNs, v % 4096);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                // The fast count is published before these bucket loads, so
+                // the snapshot's (bucket-derived) count can never be below it.
+                let floor = m.hist_count(HistKind::DmaLatencyNs);
+                let snap = m.snapshot();
+                assert!(
+                    snap.hist_count(HistKind::DmaLatencyNs) >= floor,
+                    "snapshot tore: lost a published observation"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiescent: the fast count and the bucket sum agree exactly.
+        assert_eq!(m.hist_count(HistKind::DmaLatencyNs), m.snapshot().hist_count(HistKind::DmaLatencyNs));
     }
 }

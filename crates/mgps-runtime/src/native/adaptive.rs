@@ -192,6 +192,28 @@ impl MgpsRuntime {
         self.inflight.load(Ordering::Relaxed)
     }
 
+    /// Instantaneous per-SPE busy flags, indexed by SPE id (a gauge for
+    /// live telemetry; see [`SpePool::busy_map`]).
+    pub fn spe_busy(&self) -> Vec<bool> {
+        self.pool.busy_map()
+    }
+
+    /// SPEs currently idle.
+    pub fn idle_spes(&self) -> usize {
+        self.pool.idle_count()
+    }
+
+    /// Off-loads queued in the pool waiting for an SPE.
+    pub fn pending_offloads(&self) -> usize {
+        self.pool.pending_len()
+    }
+
+    /// Total nanoseconds worker processes have spent waiting for a PPE
+    /// context (the gate's accumulated contention).
+    pub fn gate_contention_ns(&self) -> u64 {
+        self.gate.contention_ns()
+    }
+
     /// MGPS adaptation counters `(evaluations, activations, deactivations)`;
     /// `None` unless the runtime was built with [`SchedulerKind::Mgps`].
     pub fn mgps_stats(&self) -> Option<(u64, u64, u64)> {
@@ -246,6 +268,7 @@ impl MgpsRuntime {
                 if let Some(t) = trace {
                     t.record(TraceEventKind::DegreeDecision {
                         degree,
+                        u: s.last_u(),
                         waiting,
                         n_spes: self.config.n_spes,
                         window: s.config().window,

@@ -204,6 +204,18 @@ impl SpePool {
         self.shared.state.lock().pending.len()
     }
 
+    /// Instantaneous per-SPE busy flags (`true` = running a job), indexed
+    /// by SPE id. A point-in-time gauge for live telemetry: it takes the
+    /// pool's state lock briefly (like [`SpePool::idle_count`]), never an
+    /// SPE worker's time.
+    pub fn busy_map(&self) -> Vec<bool> {
+        let mut busy = vec![true; self.n_spes()];
+        for spe in &self.shared.state.lock().idle {
+            busy[spe.0] = false;
+        }
+        busy
+    }
+
     /// Jobs completed over the pool's lifetime.
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(Ordering::Relaxed)

@@ -69,6 +69,8 @@ pub struct MgpsScheduler {
     evaluations: u64,
     activations: u64,
     deactivations: u64,
+    /// `U` of the most recent evaluation (0 before the first).
+    last_u: usize,
 }
 
 impl MgpsScheduler {
@@ -84,6 +86,7 @@ impl MgpsScheduler {
             evaluations: 0,
             activations: 0,
             deactivations: 0,
+            last_u: 0,
         }
     }
 
@@ -116,6 +119,13 @@ impl MgpsScheduler {
     /// Number of LLP deactivations issued.
     pub fn deactivations(&self) -> u64 {
         self.deactivations
+    }
+
+    /// The utilization sample `U` of the most recent evaluation (0 before
+    /// any evaluation has happened). Lets callers surface the paper's
+    /// window observable without re-deriving it from the off-load log.
+    pub fn last_u(&self) -> usize {
+        self.last_u
     }
 
     /// Record an off-load arrival at `now_ns`. The scheduler conservatively
@@ -164,6 +174,7 @@ impl MgpsScheduler {
 
     fn evaluate(&mut self, u: usize, waiting_tasks: usize) -> Directive {
         self.evaluations += 1;
+        self.last_u = u;
         if u <= self.cfg.u_threshold {
             let t = waiting_tasks.max(1);
             let degree = (self.cfg.n_spes / t).clamp(1, self.cfg.n_spes);

@@ -131,6 +131,12 @@ pub enum TraceEventKind {
     DegreeDecision {
         /// Degree granted for subsequent off-loads (1 = LLP off).
         degree: usize,
+        /// The utilization sample `U` the decision was based on (tasks
+        /// off-loaded during the departing task's execution window). The
+        /// simulator vocabulary omits this (it is replayable from the
+        /// off-load history); the native runtime records it so live
+        /// consumers do not have to replay rings.
+        u: usize,
         /// Tasks waiting for off-load at the decision (the paper's `T`).
         waiting: usize,
         /// SPEs on the machine.

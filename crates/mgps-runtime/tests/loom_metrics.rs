@@ -1,0 +1,99 @@
+//! Loom stress checks for the torn-read-safe metrics snapshot path.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p mgps-runtime --test loom_metrics
+//! ```
+//!
+//! The invariant under test is the one the live telemetry plane depends
+//! on: a [`AtomicMetrics::snapshot`] taken *while* recorders are observing
+//! into a histogram must be internally consistent — the bucket-derived
+//! count can never fall below any per-histogram total that was published
+//! before the bucket loads started (`bucket sum >= count`, so no published
+//! observation is ever lost, and the snapshot's own `bucket sum == count`
+//! holds by construction). `loom::model` re-runs each scenario across
+//! perturbed interleavings of the writer and scraper threads.
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use mgps_runtime::metrics::{
+    AtomicMetrics, Counter, HistKind, MetricsSink, SnapshotSource,
+};
+
+#[test]
+fn histogram_snapshot_never_loses_a_published_observation() {
+    loom::model(|| {
+        let m = Arc::new(AtomicMetrics::new());
+
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let m = Arc::clone(&m);
+                loom::thread::spawn(move || {
+                    for i in 0..3u64 {
+                        m.observe(HistKind::TaskDurNs, w * 1_000 + i * 97);
+                        loom::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        // Scrape concurrently with the writers: the count published before
+        // each snapshot's bucket loads is a floor on the bucket sum.
+        for _ in 0..4 {
+            let floor = m.hist_count(HistKind::TaskDurNs);
+            let snap = m.snapshot();
+            let count = snap.hist_count(HistKind::TaskDurNs);
+            assert!(
+                count >= floor,
+                "snapshot tore: bucket sum {count} < published count {floor}"
+            );
+            loom::thread::yield_now();
+        }
+
+        for w in writers {
+            w.join().unwrap();
+        }
+
+        // Quiescent: everything published, fast count == bucket sum == 6.
+        assert_eq!(m.hist_count(HistKind::TaskDurNs), 6);
+        assert_eq!(m.snapshot().hist_count(HistKind::TaskDurNs), 6);
+    });
+}
+
+#[test]
+fn snapshot_source_deltas_stay_monotone_under_concurrent_recording() {
+    loom::model(|| {
+        let m = Arc::new(AtomicMetrics::new());
+        let writer = {
+            let m = Arc::clone(&m);
+            loom::thread::spawn(move || {
+                for i in 0..4u64 {
+                    m.add(Counter::Offloads, 1);
+                    m.observe(HistKind::OffloadWaitNs, 64 + i);
+                    loom::thread::yield_now();
+                }
+            })
+        };
+
+        let mut src = SnapshotSource::new(Arc::clone(&m));
+        let mut seen_offloads = 0u64;
+        let mut seen_obs = 0u64;
+        for epoch in 1..=3u64 {
+            let d = src.delta();
+            assert_eq!(d.epoch, epoch);
+            seen_offloads += d.get(Counter::Offloads);
+            seen_obs += d.hist_count(HistKind::OffloadWaitNs);
+            loom::thread::yield_now();
+        }
+        writer.join().unwrap();
+
+        // A final drain accounts for everything exactly once.
+        let d = src.delta();
+        seen_offloads += d.get(Counter::Offloads);
+        seen_obs += d.hist_count(HistKind::OffloadWaitNs);
+        assert_eq!(seen_offloads, 4);
+        assert_eq!(seen_obs, 4);
+    });
+}

@@ -29,6 +29,7 @@
 pub mod chrome;
 pub mod critpath;
 pub mod decisions;
+pub mod live;
 pub mod native;
 pub mod phases;
 pub mod report;
@@ -38,6 +39,11 @@ pub mod timeline;
 pub use chrome::chrome_trace;
 pub use critpath::{what_if, CritStep, CriticalPath, Phase, PhaseBlame, WhatIf, WhatIfOutcome};
 pub use decisions::{decisions, DecisionRecord};
+pub use live::{
+    health_json, merge_health_events, parse_prometheus, prometheus_text, replay_health,
+    validate_families, AlarmKind, HealthConfig, HealthDetector, HealthEvent, LiveDecision,
+    LiveStatus, PromFamily, PromSample,
+};
 pub use native::{runlog_from_trace, NativeRunMeta};
 pub use phases::{OffloadPhases, PhaseBreakdown, PhaseTotals};
 pub use report::{folded_stacks, html_report};

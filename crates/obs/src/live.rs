@@ -1,0 +1,808 @@
+//! Live telemetry: Prometheus rendering, NDJSON events, and the online
+//! health detector behind `multigrain serve` / `multigrain top`.
+//!
+//! Post-mortem observability (the rest of this crate) folds a finished
+//! [`RunLog`]; this module consumes the *running* side of the same schema:
+//! epoch-stamped [`mgps_runtime::metrics::Snapshot`]s and incrementally
+//! drained MGPS decisions. Three layers:
+//!
+//! * [`LiveStatus`] + [`prometheus_text`] — one scrape's worth of state
+//!   rendered in the Prometheus text exposition format (all 14 counters,
+//!   the 4 histograms as cumulative log2 buckets, per-SPE busy gauges, the
+//!   LLP degree in force, active alarms);
+//! * [`parse_prometheus`] + [`validate_families`] — a minimal parser for
+//!   the same format, used by `multigrain top` and by the CI smoke test to
+//!   assert that the exporter's families actually parse;
+//! * [`HealthDetector`] — the online failure-pattern detector: it consumes
+//!   [`SnapshotDelta`]s and [`LiveDecision`]s and raises
+//!   *utilization-collapse*, *stall-spike*, and *ring-drop* alarms as
+//!   structured [`HealthEvent`]s, which flow into the `/events` NDJSON
+//!   stream, the final [`RunLog`] (via [`merge_health_events`], as
+//!   [`EventKind::Health`] records the checker schema-validates), and the
+//!   HTML report.
+//!
+//! Everything here is a pure function of its inputs — rendering the same
+//! status twice yields byte-identical text — and nothing ever calls back
+//! into a recording hot path.
+//!
+//! [`RunLog`]: cellsim::event::RunLog
+
+use std::fmt::Write as _;
+
+use cellsim::event::{EventKind, EventRecord, RunLog};
+use mgps_runtime::metrics::{
+    Counter, HistKind, MetricsSnapshot, SnapshotDelta, HIST_BUCKETS,
+};
+use minijson::Value;
+
+/// Exported metric-name prefix.
+const PREFIX: &str = "multigrain";
+
+/// One MGPS window decision observed live, with the paper's observables
+/// spelled out: `U` (tasks off-loaded during the departing task's
+/// execution window), `T` (tasks waiting for off-load), the granted
+/// degree, and the window sample state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveDecision {
+    /// When the controller evaluated, ns on the run's clock.
+    pub at_ns: u64,
+    /// The utilization sample the decision was based on.
+    pub u: usize,
+    /// Tasks waiting for off-load (the paper's `T`).
+    pub t: usize,
+    /// Degree granted for subsequent off-loads (1 = LLP off).
+    pub degree: usize,
+    /// SPEs on the machine.
+    pub n_spes: usize,
+    /// Configured window length.
+    pub window: usize,
+    /// Off-loads held in the window sample.
+    pub window_fill: usize,
+}
+
+impl LiveDecision {
+    /// One NDJSON line for the `/events` stream.
+    pub fn to_json_line(&self) -> String {
+        Value::object(vec![
+            ("type", "decision".into()),
+            ("at_ns", self.at_ns.into()),
+            ("u", self.u.into()),
+            ("t", self.t.into()),
+            ("degree", self.degree.into()),
+            ("n_spes", self.n_spes.into()),
+            ("window", self.window.into()),
+            ("window_fill", self.window_fill.into()),
+        ])
+        .to_json()
+    }
+}
+
+/// The closed set of alarms the online detector can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlarmKind {
+    /// `U` stayed at or below the MGPS threshold for `k` consecutive
+    /// windows while the LLP degree stayed throttled at 1: the machine is
+    /// underutilized and the controller cannot widen (the starved-gate
+    /// signature — many waiters, no concurrency).
+    UtilizationCollapse,
+    /// Mailbox/off-load-queue stalls in one snapshot interval jumped far
+    /// above the rolling baseline.
+    StallSpike,
+    /// A trace ring overflowed and dropped events: every downstream fold
+    /// of this run is now incomplete.
+    RingDrop,
+}
+
+impl AlarmKind {
+    /// Every alarm kind, in rendering order.
+    pub const ALL: [AlarmKind; 3] =
+        [AlarmKind::UtilizationCollapse, AlarmKind::StallSpike, AlarmKind::RingDrop];
+
+    /// Stable snake_case slug (the `alarm` field of
+    /// [`EventKind::Health`]; the checker rejects unknown slugs).
+    pub fn slug(self) -> &'static str {
+        match self {
+            AlarmKind::UtilizationCollapse => "utilization_collapse",
+            AlarmKind::StallSpike => "stall_spike",
+            AlarmKind::RingDrop => "ring_drop",
+        }
+    }
+
+    /// Alarm severity: ring drops corrupt the record (critical), the
+    /// others describe performance pathologies (warning).
+    pub fn severity(self) -> &'static str {
+        match self {
+            AlarmKind::RingDrop => "critical",
+            _ => "warning",
+        }
+    }
+}
+
+/// A structured health alarm raised by the [`HealthDetector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// When the alarm fired, ns on the run's clock.
+    pub at_ns: u64,
+    /// What fired.
+    pub kind: AlarmKind,
+    /// Human-readable explanation of what tripped.
+    pub detail: String,
+}
+
+impl HealthEvent {
+    /// One NDJSON line for the `/events` stream.
+    pub fn to_json_line(&self) -> String {
+        Value::object(vec![
+            ("type", "health".into()),
+            ("at_ns", self.at_ns.into()),
+            ("alarm", self.kind.slug().into()),
+            ("severity", self.kind.severity().into()),
+            ("detail", self.detail.clone().into()),
+        ])
+        .to_json()
+    }
+
+    /// The [`RunLog`] vocabulary for this alarm.
+    pub fn to_event_kind(&self) -> EventKind {
+        EventKind::Health {
+            alarm: self.kind.slug().to_string(),
+            severity: self.kind.severity().to_string(),
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+/// Thresholds for the online detector.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// `U` at or below this is "low" (MGPS uses `n_spes / 2`).
+    pub u_threshold: usize,
+    /// Consecutive low-`U`, degree-1 windows before utilization-collapse
+    /// fires.
+    pub k_windows: usize,
+    /// A stall delta must exceed `baseline * stall_spike_factor` to spike.
+    pub stall_spike_factor: f64,
+    /// ... and must be at least this many stalls (guards tiny baselines).
+    pub stall_min_events: u64,
+    /// EWMA weight of the newest interval in the rolling stall baseline.
+    pub baseline_alpha: f64,
+}
+
+impl HealthConfig {
+    /// Defaults for a machine with `n_spes` SPEs: threshold `n_spes / 2`
+    /// (the paper's), 3 windows of patience, 4x spike factor.
+    pub fn for_spes(n_spes: usize) -> HealthConfig {
+        HealthConfig {
+            u_threshold: n_spes / 2,
+            k_windows: 3,
+            stall_spike_factor: 4.0,
+            stall_min_events: 16,
+            baseline_alpha: 0.3,
+        }
+    }
+}
+
+/// The online health detector: feed it decisions and snapshot deltas, get
+/// edge-triggered [`HealthEvent`]s back.
+///
+/// Alarms are *latched per episode*: utilization-collapse fires once when
+/// the pattern is confirmed and re-arms only after a healthy window;
+/// stall-spike re-arms after a non-spiking interval; ring-drop fires once
+/// per run (a drop cannot un-happen).
+#[derive(Debug)]
+pub struct HealthDetector {
+    cfg: HealthConfig,
+    consecutive_low: usize,
+    util_latched: bool,
+    stall_baseline: Option<f64>,
+    stall_latched: bool,
+    drop_latched: bool,
+    active: Vec<AlarmKind>,
+}
+
+impl HealthDetector {
+    /// A detector with the given thresholds and no history.
+    pub fn new(cfg: HealthConfig) -> HealthDetector {
+        HealthDetector {
+            cfg,
+            consecutive_low: 0,
+            util_latched: false,
+            stall_baseline: None,
+            stall_latched: false,
+            drop_latched: false,
+            active: Vec::new(),
+        }
+    }
+
+    /// Alarms currently latched, in [`AlarmKind::ALL`] order.
+    pub fn active_alarms(&self) -> Vec<AlarmKind> {
+        AlarmKind::ALL.iter().copied().filter(|k| self.active.contains(k)).collect()
+    }
+
+    fn raise(&mut self, kind: AlarmKind, at_ns: u64, detail: String) -> HealthEvent {
+        if !self.active.contains(&kind) {
+            self.active.push(kind);
+        }
+        HealthEvent { at_ns, kind, detail }
+    }
+
+    fn clear(&mut self, kind: AlarmKind) {
+        self.active.retain(|k| *k != kind);
+    }
+
+    /// Feed one MGPS window decision. Returns an alarm if this decision
+    /// confirms a utilization collapse.
+    pub fn observe_decision(&mut self, d: &LiveDecision) -> Option<HealthEvent> {
+        let low = d.u <= self.cfg.u_threshold && d.degree <= 1;
+        if low {
+            self.consecutive_low += 1;
+            if self.consecutive_low >= self.cfg.k_windows && !self.util_latched {
+                self.util_latched = true;
+                return Some(self.raise(
+                    AlarmKind::UtilizationCollapse,
+                    d.at_ns,
+                    format!(
+                        "U={} <= {} with degree 1 for {} consecutive windows (T={})",
+                        d.u, self.cfg.u_threshold, self.consecutive_low, d.t
+                    ),
+                ));
+            }
+        } else {
+            self.consecutive_low = 0;
+            self.util_latched = false;
+            self.clear(AlarmKind::UtilizationCollapse);
+        }
+        None
+    }
+
+    /// Feed one snapshot interval: the counter deltas plus the cumulative
+    /// trace-ring drop count. Returns any alarms the interval confirms.
+    pub fn observe_delta(&mut self, at_ns: u64, delta: &SnapshotDelta, dropped_events: u64) -> Vec<HealthEvent> {
+        let mut out = Vec::new();
+
+        let stalls = delta.get(Counter::MailboxStalls) + delta.get(Counter::OffloadQueueStalls);
+        match self.stall_baseline {
+            Some(base) => {
+                let spiking = stalls >= self.cfg.stall_min_events
+                    && (stalls as f64) > base * self.cfg.stall_spike_factor;
+                if spiking && !self.stall_latched {
+                    self.stall_latched = true;
+                    out.push(self.raise(
+                        AlarmKind::StallSpike,
+                        at_ns,
+                        format!(
+                            "{stalls} mailbox/offload-queue stalls this interval vs rolling baseline {base:.1}"
+                        ),
+                    ));
+                } else if !spiking && self.stall_latched {
+                    self.stall_latched = false;
+                    self.clear(AlarmKind::StallSpike);
+                }
+                // Spiking intervals are excluded from the baseline so a
+                // sustained storm keeps reading as anomalous.
+                if !spiking {
+                    let a = self.cfg.baseline_alpha;
+                    self.stall_baseline = Some(base * (1.0 - a) + stalls as f64 * a);
+                }
+            }
+            // First interval seeds the baseline; nothing to compare yet.
+            None => self.stall_baseline = Some(stalls as f64),
+        }
+
+        if dropped_events > 0 && !self.drop_latched {
+            self.drop_latched = true;
+            out.push(self.raise(
+                AlarmKind::RingDrop,
+                at_ns,
+                format!("{dropped_events} trace event(s) dropped by full rings; downstream folds are incomplete"),
+            ));
+        }
+        out
+    }
+}
+
+/// Replay the detector over a finished log's decision stream (the offline
+/// twin of the live path, used by golden tests and reports). Only the
+/// decision-driven rule can fire offline: stall counters are unobservable
+/// in simulated logs and ring drops never reach a merged log.
+pub fn replay_health(log: &RunLog, cfg: HealthConfig) -> Vec<HealthEvent> {
+    let mut det = HealthDetector::new(cfg);
+    crate::decisions::decisions(log)
+        .iter()
+        .filter_map(|d| {
+            det.observe_decision(&LiveDecision {
+                at_ns: d.at_ns,
+                u: d.u,
+                t: d.waiting,
+                degree: d.degree,
+                n_spes: d.n_spes,
+                window: d.window,
+                window_fill: d.window_fill,
+            })
+        })
+        .collect()
+}
+
+/// Embed health alarms into a [`RunLog`] as [`EventKind::Health`] records,
+/// time-ordered (ties sort after the pre-existing event at the same
+/// instant) and re-sequenced densely.
+pub fn merge_health_events(log: &mut RunLog, events: &[HealthEvent]) {
+    if events.is_empty() {
+        return;
+    }
+    for e in events {
+        log.events.push(EventRecord { seq: 0, at_ns: e.at_ns, kind: e.to_event_kind() });
+    }
+    log.events.sort_by_key(|e| e.at_ns);
+    for (i, e) in log.events.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+}
+
+/// Everything one `/metrics` scrape renders: an epoch-stamped snapshot
+/// plus the instantaneous gauges the snapshot cannot carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveStatus {
+    /// Epoch of the snapshot (1-based drain sequence number).
+    pub epoch: u64,
+    /// Nanoseconds since the serving runtime started.
+    pub uptime_ns: u64,
+    /// The drained counter/histogram state.
+    pub metrics: MetricsSnapshot,
+    /// Per-SPE busy flags, indexed by SPE id.
+    pub spe_busy: Vec<bool>,
+    /// LLP degree currently in force.
+    pub degree: usize,
+    /// Off-loads queued waiting for an SPE.
+    pub pending_offloads: usize,
+    /// Accumulated PPE-gate contention, ns.
+    pub gate_contention_ns: u64,
+    /// Cumulative trace-ring drops.
+    pub dropped_events: u64,
+    /// Alarms currently latched by the health detector.
+    pub active_alarms: Vec<AlarmKind>,
+}
+
+/// Upper bound of log2 bucket `i` (`le` label): values with bit length
+/// `<= i`, i.e. `2^i - 1`; bucket 0 holds only the value 0.
+fn bucket_le(i: usize) -> u64 {
+    if i >= 64 { u64::MAX } else { (1u64 << i) - 1 }
+}
+
+/// Render `status` in the Prometheus text exposition format (version
+/// 0.0.4). Deterministic: same status, same bytes.
+pub fn prometheus_text(status: &LiveStatus) -> String {
+    let mut out = String::new();
+
+    for &c in &Counter::ALL {
+        let name = format!("{PREFIX}_{}_total", c.name());
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", status.metrics.get(c));
+    }
+
+    for &h in &HistKind::ALL {
+        let name = format!("{PREFIX}_{}", h.name());
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for b in 0..HIST_BUCKETS {
+            let n = status.metrics.hists[h as usize][b];
+            if n == 0 {
+                continue; // cumulative value unchanged; bucket elided
+            }
+            cumulative += n;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_le(b));
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", status.metrics.hist_sum(h));
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+
+    let _ = writeln!(out, "# TYPE {PREFIX}_spe_busy gauge");
+    for (spe, busy) in status.spe_busy.iter().enumerate() {
+        let _ = writeln!(out, "{PREFIX}_spe_busy{{spe=\"{spe}\"}} {}", u8::from(*busy));
+    }
+    for (name, value) in [
+        ("llp_degree", status.degree as u64),
+        ("pending_offloads", status.pending_offloads as u64),
+        ("snapshot_epoch", status.epoch),
+        ("uptime_ns", status.uptime_ns),
+        ("trace_dropped_events", status.dropped_events),
+        ("gate_contention_ns", status.gate_contention_ns),
+    ] {
+        let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
+        let _ = writeln!(out, "{PREFIX}_{name} {value}");
+    }
+
+    let _ = writeln!(out, "# TYPE {PREFIX}_alarm_active gauge");
+    for kind in AlarmKind::ALL {
+        let active = u8::from(status.active_alarms.contains(&kind));
+        let _ = writeln!(out, "{PREFIX}_alarm_active{{alarm=\"{}\"}} {active}", kind.slug());
+    }
+    out
+}
+
+/// The `/health` JSON document: overall status plus the latched alarms.
+pub fn health_json(status: &LiveStatus) -> Value {
+    let overall = if status.active_alarms.is_empty() { "ok" } else { "degraded" };
+    Value::object(vec![
+        ("status", overall.into()),
+        ("epoch", status.epoch.into()),
+        ("uptime_ns", status.uptime_ns.into()),
+        ("degree", status.degree.into()),
+        (
+            "alarms",
+            Value::array(
+                status.active_alarms.iter().map(|k| Value::from(k.slug())).collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (family name plus `_bucket`/`_sum`/`_count` for
+    /// histogram series).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One `# TYPE` family with its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name as declared by `# TYPE`.
+    pub name: String,
+    /// Declared type (`counter`, `gauge`, `histogram`, ...).
+    pub kind: String,
+    /// Samples belonging to the family, in source order.
+    pub samples: Vec<PromSample>,
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let bad = |what: &str| format!("{what} in sample line '{line}'");
+    let (head, value) = line.rsplit_once(' ').ok_or_else(|| bad("missing value"))?;
+    let value: f64 = value.parse().map_err(|_| bad("non-numeric value"))?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or_else(|| bad("unterminated labels"))?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or_else(|| bad("label without '='"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| bad("unquoted label value"))?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(bad("bad metric name"));
+    }
+    Ok(PromSample { name, labels, value })
+}
+
+/// Parse Prometheus text exposition into families. Every sample line must
+/// belong to the most recently declared `# TYPE` family (its name, or a
+/// `_bucket`/`_sum`/`_count` suffix of it for histograms); anything else
+/// is an error — this is the strict parser the CI smoke test leans on.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) =
+                rest.split_once(' ').ok_or_else(|| format!("bad TYPE line '{line}'"))?;
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("duplicate family '{name}'"));
+            }
+            families.push(PromFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let sample = parse_sample(line)?;
+        let family = families.last_mut().ok_or_else(|| {
+            format!("sample '{}' before any # TYPE declaration", sample.name)
+        })?;
+        let member = if family.kind == "histogram" {
+            sample.name == family.name
+                || [format!("{}_bucket", family.name), format!("{}_sum", family.name), format!("{}_count", family.name)]
+                    .contains(&sample.name)
+        } else {
+            sample.name == family.name
+        };
+        if !member {
+            return Err(format!(
+                "sample '{}' does not belong to family '{}'",
+                sample.name, family.name
+            ));
+        }
+        family.samples.push(sample);
+    }
+    Ok(families)
+}
+
+/// Semantic validation on parsed families: histograms must have monotone
+/// cumulative buckets ending at a `+Inf` bucket that equals `_count`.
+pub fn validate_families(families: &[PromFamily]) -> Result<(), String> {
+    for f in families {
+        if f.samples.is_empty() {
+            return Err(format!("family '{}' has no samples", f.name));
+        }
+        if f.kind != "histogram" {
+            continue;
+        }
+        let buckets: Vec<&PromSample> =
+            f.samples.iter().filter(|s| s.name.ends_with("_bucket")).collect();
+        let mut prev = 0.0f64;
+        for b in &buckets {
+            if b.value < prev {
+                return Err(format!("family '{}': bucket counts not cumulative", f.name));
+            }
+            prev = b.value;
+        }
+        let inf = buckets
+            .last()
+            .filter(|b| b.label("le") == Some("+Inf"))
+            .ok_or_else(|| format!("family '{}': missing le=\"+Inf\" bucket", f.name))?;
+        let count = f
+            .samples
+            .iter()
+            .find(|s| s.name.ends_with("_count"))
+            .ok_or_else(|| format!("family '{}': missing _count", f.name))?;
+        if (inf.value - count.value).abs() > f64::EPSILON {
+            return Err(format!(
+                "family '{}': +Inf bucket {} != count {}",
+                f.name, inf.value, count.value
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgps_runtime::metrics::{AtomicMetrics, MetricsSink, MetricsSinkExt, SnapshotSource};
+    use std::sync::Arc;
+
+    fn status_with(metrics: MetricsSnapshot) -> LiveStatus {
+        LiveStatus {
+            epoch: 3,
+            uptime_ns: 1_000_000,
+            metrics,
+            spe_busy: vec![true, false, true, false],
+            degree: 2,
+            pending_offloads: 1,
+            gate_contention_ns: 42,
+            dropped_events: 0,
+            active_alarms: vec![AlarmKind::StallSpike],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_the_parser() {
+        let m = Arc::new(AtomicMetrics::new());
+        m.add(Counter::Offloads, 7);
+        m.incr(Counter::MailboxStalls);
+        m.observe(HistKind::TaskDurNs, 0);
+        m.observe(HistKind::TaskDurNs, 5);
+        m.observe(HistKind::TaskDurNs, 100_000);
+        let mut src = SnapshotSource::new(m);
+        let status = status_with(src.snapshot().metrics);
+
+        let text = prometheus_text(&status);
+        let families = parse_prometheus(&text).expect("exporter output must parse");
+        validate_families(&families).expect("families must validate");
+
+        // 14 counters + 4 histograms + spe_busy + 6 scalar gauges + alarms.
+        assert_eq!(families.len(), 14 + 4 + 1 + 6 + 1);
+        let offloads = families.iter().find(|f| f.name == "multigrain_offloads_total").unwrap();
+        assert_eq!(offloads.kind, "counter");
+        assert_eq!(offloads.samples[0].value, 7.0);
+
+        let hist = families.iter().find(|f| f.name == "multigrain_task_dur_ns").unwrap();
+        assert_eq!(hist.kind, "histogram");
+        let count = hist.samples.iter().find(|s| s.name.ends_with("_count")).unwrap();
+        assert_eq!(count.value, 3.0);
+        let sum = hist.samples.iter().find(|s| s.name.ends_with("_sum")).unwrap();
+        assert_eq!(sum.value, 100_005.0);
+
+        let busy = families.iter().find(|f| f.name == "multigrain_spe_busy").unwrap();
+        assert_eq!(busy.samples.len(), 4);
+        assert_eq!(busy.samples[0].label("spe"), Some("0"));
+        assert_eq!(busy.samples[0].value, 1.0);
+        assert_eq!(busy.samples[1].value, 0.0);
+
+        let alarms = families.iter().find(|f| f.name == "multigrain_alarm_active").unwrap();
+        let spike = alarms.samples.iter().find(|s| s.label("alarm") == Some("stall_spike")).unwrap();
+        assert_eq!(spike.value, 1.0);
+
+        // Determinism: same status, same bytes.
+        assert_eq!(text, prometheus_text(&status));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_prometheus("multigrain_x 1").is_err(), "sample before TYPE");
+        assert!(parse_prometheus("# TYPE a counter\nb 1").is_err(), "foreign sample");
+        assert!(parse_prometheus("# TYPE a counter\na one").is_err(), "non-numeric");
+        assert!(parse_prometheus("# TYPE a counter\na{x=y} 1").is_err(), "unquoted label");
+        let dup = "# TYPE a counter\na 1\n# TYPE a counter\na 2";
+        assert!(parse_prometheus(dup).is_err(), "duplicate family");
+    }
+
+    #[test]
+    fn validation_catches_histogram_inconsistency() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 9\nh_count 3\n";
+        let fams = parse_prometheus(text).unwrap();
+        assert!(validate_families(&fams).is_err(), "+Inf != count must fail");
+    }
+
+    #[test]
+    fn health_json_reports_degraded_when_alarmed() {
+        let ok = LiveStatus { active_alarms: Vec::new(), ..status_with(MetricsSnapshot::default()) };
+        let v = health_json(&ok);
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+
+        let bad = status_with(MetricsSnapshot::default());
+        let v = health_json(&bad);
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("degraded"));
+        let alarms = v.get("alarms").unwrap();
+        assert!(alarms.to_json().contains("stall_spike"));
+    }
+
+    #[test]
+    fn ndjson_lines_are_single_line_json() {
+        let d = LiveDecision { at_ns: 9, u: 2, t: 4, degree: 2, n_spes: 8, window: 8, window_fill: 8 };
+        let line = d.to_json_line();
+        assert!(!line.contains('\n'));
+        let v = minijson::parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("decision"));
+        assert_eq!(v.get("u").and_then(|n| n.as_u64()), Some(2));
+
+        let h = HealthEvent { at_ns: 10, kind: AlarmKind::RingDrop, detail: "x".into() };
+        let v = minijson::parse(&h.to_json_line()).unwrap();
+        assert_eq!(v.get("alarm").and_then(|s| s.as_str()), Some("ring_drop"));
+        assert_eq!(v.get("severity").and_then(|s| s.as_str()), Some("critical"));
+    }
+
+    #[test]
+    fn utilization_collapse_fires_once_after_k_windows_and_rearms() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        let low = |at| LiveDecision { at_ns: at, u: 1, t: 6, degree: 1, n_spes: 8, window: 8, window_fill: 8 };
+        let healthy = |at| LiveDecision { at_ns: at, u: 6, t: 2, degree: 1, n_spes: 8, window: 8, window_fill: 8 };
+
+        assert!(det.observe_decision(&low(1)).is_none());
+        assert!(det.observe_decision(&low(2)).is_none());
+        let fired = det.observe_decision(&low(3)).expect("third low window fires");
+        assert_eq!(fired.kind, AlarmKind::UtilizationCollapse);
+        assert_eq!(det.active_alarms(), vec![AlarmKind::UtilizationCollapse]);
+        // Latched: more low windows do not re-fire.
+        assert!(det.observe_decision(&low(4)).is_none());
+        // Recovery clears and re-arms.
+        assert!(det.observe_decision(&healthy(5)).is_none());
+        assert!(det.active_alarms().is_empty());
+        assert!(det.observe_decision(&low(6)).is_none());
+        assert!(det.observe_decision(&low(7)).is_none());
+        assert!(det.observe_decision(&low(8)).is_some(), "re-armed after recovery");
+    }
+
+    #[test]
+    fn high_u_or_wide_degree_never_collapses() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        for at in 0..50 {
+            // Wide degree: low U is the controller *working* (LLP active).
+            let d = LiveDecision { at_ns: at, u: 2, t: 2, degree: 4, n_spes: 8, window: 8, window_fill: 8 };
+            assert!(det.observe_decision(&d).is_none());
+        }
+        assert!(det.active_alarms().is_empty());
+    }
+
+    fn delta_with_stalls(epoch: u64, stalls: u64) -> SnapshotDelta {
+        let mut d = SnapshotDelta {
+            epoch,
+            counters: [0; Counter::ALL.len()],
+            hists: [[0; HIST_BUCKETS]; HistKind::ALL.len()],
+            hist_sums: [0; HistKind::ALL.len()],
+        };
+        d.counters[Counter::MailboxStalls as usize] = stalls / 2;
+        d.counters[Counter::OffloadQueueStalls as usize] = stalls - stalls / 2;
+        d
+    }
+
+    #[test]
+    fn stall_spike_needs_a_baseline_and_a_real_jump() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        // Seeding interval: never fires, whatever the count.
+        assert!(det.observe_delta(10, &delta_with_stalls(1, 500), 0).is_empty());
+        // Steady state near the baseline: silent.
+        for e in 2..6 {
+            assert!(det.observe_delta(e * 10, &delta_with_stalls(e, 480), 0).is_empty());
+        }
+        // A 10x jump fires exactly once...
+        let fired = det.observe_delta(100, &delta_with_stalls(7, 5_000), 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlarmKind::StallSpike);
+        assert!(det.observe_delta(110, &delta_with_stalls(8, 5_100), 0).is_empty(), "latched");
+        // ...and clears when the storm passes.
+        assert!(det.observe_delta(120, &delta_with_stalls(9, 400), 0).is_empty());
+        assert!(det.active_alarms().is_empty());
+    }
+
+    #[test]
+    fn small_absolute_stall_counts_never_spike() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        assert!(det.observe_delta(1, &delta_with_stalls(1, 0), 0).is_empty());
+        // 8 stalls is far above a 0 baseline but below stall_min_events.
+        for e in 2..20 {
+            assert!(det.observe_delta(e, &delta_with_stalls(e, 8), 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_drop_fires_once_and_stays_latched() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        assert!(det.observe_delta(1, &delta_with_stalls(1, 0), 0).is_empty());
+        let fired = det.observe_delta(2, &delta_with_stalls(2, 0), 17);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlarmKind::RingDrop);
+        assert_eq!(fired[0].to_event_kind(), EventKind::Health {
+            alarm: "ring_drop".to_string(),
+            severity: "critical".to_string(),
+            detail: fired[0].detail.clone(),
+        });
+        assert!(det.observe_delta(3, &delta_with_stalls(3, 0), 17).is_empty());
+        assert_eq!(det.active_alarms(), vec![AlarmKind::RingDrop]);
+    }
+
+    #[test]
+    fn merge_health_events_keeps_order_and_dense_seq() {
+        use cellsim::event::SchedulerTag;
+        let mut log = RunLog {
+            scheduler: SchedulerTag::Mgps,
+            n_spes: 2,
+            quantum_ns: 0,
+            seed: 1,
+            local_store_bytes: 256 * 1024,
+            loop_iters: 0,
+            mgps_window: Some(2),
+            events: vec![
+                EventRecord { seq: 0, at_ns: 10, kind: EventKind::Offload { proc: 0, task: 0 } },
+                EventRecord { seq: 1, at_ns: 30, kind: EventKind::Offload { proc: 0, task: 1 } },
+            ],
+        };
+        merge_health_events(
+            &mut log,
+            &[HealthEvent { at_ns: 20, kind: AlarmKind::StallSpike, detail: "d".into() }],
+        );
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(log.events[1].at_ns, 20);
+        assert!(matches!(log.events[1].kind, EventKind::Health { .. }));
+        // JSON round-trip still holds with the merged alarm.
+        let back = RunLog::from_value(&log.to_value()).unwrap();
+        assert_eq!(back, log);
+    }
+}

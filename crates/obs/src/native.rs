@@ -70,7 +70,10 @@ fn to_event_kind(kind: &TraceEventKind) -> EventKind {
         TraceEventKind::DmaComplete { spe, bytes, latency_ns } => {
             EventKind::DmaComplete { spe, bytes, latency_ns }
         }
-        TraceEventKind::DegreeDecision { degree, waiting, n_spes, window, window_fill } => {
+        TraceEventKind::DegreeDecision { degree, waiting, n_spes, window, window_fill, u: _ } => {
+            // The simulator vocabulary replays `U` from the off-load
+            // history (`crate::decisions`), so the trace's sample is
+            // dropped rather than duplicated into the log schema.
             EventKind::DegreeDecision { degree, waiting, n_spes, window, window_fill }
         }
     }

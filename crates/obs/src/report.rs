@@ -193,7 +193,30 @@ pub fn html_report(log: &RunLog, source: RunSource) -> String {
         };
         let _ = writeln!(html, "<tr><td>{}</td><td>{rendered}</td></tr>", c.name());
     }
-    html.push_str("</table>\n</body></html>\n");
+    html.push_str("</table>\n");
+
+    // Health alarms the online detector raised while the run was live
+    // (absent entirely for runs that stayed healthy).
+    if !summary.health.is_empty() {
+        let _ = write!(
+            html,
+            "<h2>Health alarms</h2>\n\
+             <p>{n} alarm(s) raised by the live telemetry detector.</p>\n\
+             <table><tr><th>alarm</th><th>severity</th><th>detail</th></tr>\n",
+            n = summary.health.len(),
+        );
+        for (alarm, severity, detail) in &summary.health {
+            let _ = writeln!(
+                html,
+                "<tr><td>{}</td><td>{}</td><td style=\"text-align:left\">{}</td></tr>",
+                esc(alarm),
+                esc(severity),
+                esc(detail)
+            );
+        }
+        html.push_str("</table>\n");
+    }
+    html.push_str("</body></html>\n");
     html
 }
 
@@ -264,6 +287,32 @@ mod tests {
         assert!(html.contains("+1 SPE"));
         assert!(html.contains("<td>n/a</td>"));
         assert!(html.contains("mailbox_stalls"));
+    }
+
+    #[test]
+    fn health_alarms_surface_in_the_report() {
+        let clean = html_report(&small_log(), RunSource::Simulated);
+        assert!(!clean.contains("Health alarms"), "healthy runs get no alarm section");
+
+        let mut log = small_log();
+        let seq = log.events.len() as u64;
+        log.events.push(EventRecord {
+            seq,
+            at_ns: 300,
+            kind: EventKind::Health {
+                alarm: "utilization_collapse".to_string(),
+                severity: "warning".to_string(),
+                detail: "U=1 <= 4 with degree 1 for 3 consecutive windows".to_string(),
+            },
+        });
+        let html = html_report(&log, RunSource::Native);
+        assert!(html.contains("Health alarms"));
+        assert!(html.contains("utilization_collapse"));
+        assert!(html.contains("3 consecutive windows"));
+        // Still self-contained.
+        for needle in ["http://", "https://", "<script", "src="] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
     }
 
     #[test]

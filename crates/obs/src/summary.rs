@@ -61,6 +61,9 @@ pub struct ObsSummary {
     pub phase_totals: PhaseTotals,
     /// MGPS window decisions, with `U` replayed.
     pub decisions: Vec<DecisionRecord>,
+    /// Health alarms recorded in the log as `(alarm, severity, detail)`,
+    /// in event order (live runs only; see [`crate::live`]).
+    pub health: Vec<(String, String, String)>,
     /// Counters and histograms in the schema shared with the native engine.
     pub metrics: MetricsSnapshot,
 }
@@ -81,6 +84,7 @@ impl ObsSummary {
         let mut offload_at: HashMap<u64, u64> = HashMap::new();
         let mut start_at: HashMap<u64, u64> = HashMap::new();
         let mut degree = 1usize;
+        let mut health = Vec::new();
         for e in &log.events {
             match &e.kind {
                 EventKind::Offload { task, .. } => {
@@ -123,6 +127,9 @@ impl ObsSummary {
                     }
                     degree = *d;
                 }
+                EventKind::Health { alarm, severity, detail } => {
+                    health.push((alarm.clone(), severity.clone(), detail.clone()));
+                }
                 _ => {}
             }
         }
@@ -138,6 +145,7 @@ impl ObsSummary {
             mean_utilization: tl.mean_utilization(),
             phase_totals: phases.totals(),
             decisions,
+            health,
             metrics: m,
         }
     }
@@ -209,6 +217,21 @@ impl ObsSummary {
                 ]),
             ),
             ("decisions", Value::Array(decisions)),
+            (
+                "health",
+                Value::Array(
+                    self.health
+                        .iter()
+                        .map(|(alarm, severity, detail)| {
+                            Value::object(vec![
+                                ("alarm", alarm.as_str().into()),
+                                ("severity", severity.as_str().into()),
+                                ("detail", detail.as_str().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("counters", Value::Object(counters)),
             ("histograms", Value::Object(hists)),
         ])
@@ -239,6 +262,12 @@ impl ObsSummary {
                 Some(v) if v > 0 => s.push_str(&format!("  {}: {v}\n", c.name())),
                 Some(_) => {}
                 None => s.push_str(&format!("  {}: n/a (not observable in simulation)\n", c.name())),
+            }
+        }
+        if !self.health.is_empty() {
+            s.push_str(&format!("health alarms ({}):\n", self.health.len()));
+            for (alarm, severity, detail) in &self.health {
+                s.push_str(&format!("  [{severity}] {alarm}: {detail}\n"));
             }
         }
         if !self.decisions.is_empty() {

@@ -1,0 +1,90 @@
+//! Golden tests for the online health detector against *real* runs.
+//!
+//! The contract the live telemetry plane depends on: clean seeded
+//! simulator runs never trip an alarm under any scheduler, while a
+//! seeded fault (a starved PPE gate: windows evaluating with no task
+//! parallelism and LLP throttled to degree 1) fires exactly the
+//! utilization-collapse alarm — once, latched.
+
+use cellsim::event::{EventKind, EventRecord, RunLog, SchedulerTag};
+use cellsim::machine::{run, SimConfig};
+use mgps_obs::{replay_health, AlarmKind, HealthConfig};
+use mgps_runtime::policy::SchedulerKind;
+
+fn recorded(scheduler: SchedulerKind) -> RunLog {
+    let mut cfg = SimConfig::cell_42sc(scheduler, 4, 300);
+    cfg.seed = 0xfeed;
+    cfg.record_events = true;
+    run(cfg).run_log.expect("record_events was set")
+}
+
+#[test]
+fn clean_seeded_runs_stay_silent_under_every_scheduler() {
+    for scheduler in [
+        SchedulerKind::Edtlp,
+        SchedulerKind::LinuxLike,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+        SchedulerKind::Mgps,
+    ] {
+        let log = recorded(scheduler);
+        let cfg = HealthConfig::for_spes(log.n_spes);
+        let events = replay_health(&log, cfg);
+        assert!(
+            events.is_empty(),
+            "{scheduler:?}: clean run raised {:?}",
+            events.iter().map(|e| e.kind).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// A starved gate, distilled: the controller keeps evaluating windows but
+/// no off-loads land in any departing task's execution window (`U` = 0)
+/// and the grant stays throttled at degree 1.
+fn starved_gate_fixture(low_windows: usize) -> RunLog {
+    let events: Vec<EventRecord> = (0..low_windows)
+        .map(|i| EventRecord {
+            seq: i as u64,
+            at_ns: (i as u64 + 1) * 1_000_000,
+            kind: EventKind::DegreeDecision {
+                degree: 1,
+                waiting: 8,
+                n_spes: 8,
+                window: 8,
+                window_fill: 8,
+            },
+        })
+        .collect();
+    RunLog {
+        scheduler: SchedulerTag::Mgps,
+        n_spes: 8,
+        quantum_ns: 0,
+        seed: 0xdead,
+        local_store_bytes: 256 * 1024,
+        loop_iters: 16,
+        mgps_window: Some(8),
+        events,
+    }
+}
+
+#[test]
+fn a_starved_gate_fires_exactly_one_utilization_collapse() {
+    let cfg = HealthConfig::for_spes(8);
+    let log = starved_gate_fixture(cfg.k_windows + 3);
+    let events = replay_health(&log, cfg);
+    assert_eq!(
+        events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+        vec![AlarmKind::UtilizationCollapse],
+        "expected exactly one latched utilization-collapse alarm"
+    );
+    // It fires at the k-th consecutive low window, not before.
+    assert_eq!(events[0].at_ns, cfg.k_windows as u64 * 1_000_000);
+}
+
+#[test]
+fn a_gate_that_recovers_before_k_windows_stays_silent() {
+    let cfg = HealthConfig::for_spes(8);
+    // One window short of the trip threshold.
+    let log = starved_gate_fixture(cfg.k_windows - 1);
+    assert!(replay_health(&log, cfg).is_empty());
+}

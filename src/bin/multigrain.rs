@@ -8,6 +8,8 @@
 //!                      [--search nni|spr] [--bootstraps N] [--seed S]
 //! multigrain predict   --input data.fasta [--bootstraps N] [--scale 500]
 //! multigrain demo      [--taxa 16] [--sites 400]
+//! multigrain serve     [--port P] [--workers N] [--tasks N] [--for-ms MS] [--out run.json]
+//! multigrain top       --url HOST:PORT [--frames N] [--interval-ms MS] [--plain on]
 //! ```
 //!
 //! `simulate` drives the Cell BE model; `trace` replays a run with event
@@ -16,7 +18,10 @@
 //! report plus flamegraph-style folded stacks; `infer` runs a real
 //! phylogenetic analysis through the native multigrain runtime; `predict`
 //! derives a Cell workload from your alignment and forecasts scheduler
-//! performance; `demo` generates a synthetic alignment to play with.
+//! performance; `demo` generates a synthetic alignment to play with;
+//! `serve` keeps a native pool resident and exposes live telemetry over
+//! HTTP (`/metrics`, `/health`, `/events`); `top` renders that feed as a
+//! terminal dashboard.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -26,17 +31,69 @@ use multigrain::bridge::workload_for;
 use multigrain::prelude::*;
 use multigrain::ParallelAnalysis;
 
+/// A classified CLI failure. Every command reports *why* it failed through
+/// the process exit code, so scripts and CI can branch without scraping
+/// stderr:
+///
+/// * `0` — success
+/// * `1` — any other error (data, search, internal)
+/// * `2` — usage: unknown command/flag or an unparseable value
+/// * `3` — I/O: a file or socket could not be read, written, or bound
+/// * `4` — checker: the run violated a schedule invariant (or a trace
+///   refused export because it would record an illegal schedule)
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Io(String),
+    Violation(String),
+    Other(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+    fn io(msg: impl Into<String>) -> CliError {
+        CliError::Io(msg.into())
+    }
+    fn violation(msg: impl Into<String>) -> CliError {
+        CliError::Violation(msg.into())
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Violation(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Violation(m) | CliError::Other(m) => m,
+        }
+    }
+}
+
+/// Untagged `format!(...)` errors stay exit code 1.
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Other(msg)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {}\n{USAGE}", e.message());
+            return ExitCode::from(e.code());
         }
     };
     let result = match cmd.as_str() {
@@ -44,6 +101,8 @@ fn main() -> ExitCode {
         "trace" => trace(&opts),
         "profile" => profile(&opts),
         "analyze" => analyze(&opts),
+        "serve" => serve_cmd(&opts),
+        "top" => top_cmd(&opts),
         "infer" => infer(&opts),
         "infer-protein" => infer_protein(&opts),
         "predict" => predict(&opts),
@@ -52,13 +111,17 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("error: {}\n{USAGE}", e.message());
+            } else {
+                eprintln!("error: {}", e.message());
+            }
+            ExitCode::from(e.code())
         }
     }
 }
@@ -82,72 +145,93 @@ USAGE:
                       (replay every scheduler with event recording, statically
                        verify all schedule invariants, prove digest determinism,
                        and sweep every table/figure regenerator through the checker)
+  multigrain serve    [--port N] [--workers N] [--tasks N] [--seed N] [--poll-ms N]
+                      [--ring-capacity N] [--for-ms N] [--out FILE] [--snapshot-out FILE]
+                      (live telemetry plane: keep the native MGPS pool resident,
+                       admit off-load work, and serve /metrics (Prometheus text),
+                       /health (JSON), and /events (NDJSON decision+alarm stream)
+                       on 127.0.0.1; SIGINT or --for-ms drains the rings, merges
+                       health alarms, and writes a checker-valid run log)
+  multigrain top      [--url HOST:PORT] [--frames N] [--interval-ms N] [--plain on|off]
+                      (live terminal dashboard over a running `serve`: per-SPE
+                       utilization bars, LLP degree, stall counters, alarms)
   multigrain infer    --input FILE(.fasta|.phy) [--model jc|k80|gtr]
                       [--gamma ALPHA|estimate] [--search nni|spr]
                       [--bootstraps N] [--workers N] [--seed N]
   multigrain infer-protein --input FILE.fasta [--seed N]   (Poisson AA model)
   multigrain predict  --input FILE [--bootstraps N] [--scale N]
-  multigrain demo     [--taxa N] [--sites N] [--seed N] [--format fasta|phylip]";
+  multigrain demo     [--taxa N] [--sites N] [--seed N] [--format fasta|phylip]
+
+EXIT CODES:
+  0  success
+  1  other error (data, search, internal)
+  2  usage: unknown command/flag or unparseable value
+  3  I/O: file or socket could not be read, written, or bound
+  4  checker: a schedule-invariant violation was detected";
 
 type Opts = HashMap<String, String>;
 
-fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+fn parse_opts(rest: &[String]) -> Result<Opts, CliError> {
     let mut opts = HashMap::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let key = flag
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            .ok_or_else(|| CliError::usage(format!("expected --flag, got {flag:?}")))?;
+        let val =
+            it.next().ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
         opts.insert(key.to_string(), val.clone());
     }
     Ok(opts)
 }
 
-fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, CliError> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        Some(v) => {
+            v.parse().map_err(|_| CliError::usage(format!("--{key}: cannot parse {v:?}")))
+        }
     }
 }
 
 /// Parse `--key` as a count that must be at least 1, with a clean error
 /// naming what the value sizes (mirrors the `--bootstraps 0` diagnostics).
-fn positive(opts: &Opts, key: &str, default: usize, what: &str) -> Result<usize, String> {
+fn positive(opts: &Opts, key: &str, default: usize, what: &str) -> Result<usize, CliError> {
     let v = get(opts, key, default)?;
     if v == 0 {
-        return Err(format!("--{key}: {what}"));
+        return Err(CliError::usage(format!("--{key}: {what}")));
     }
     Ok(v)
 }
 
-fn scheduler_of(opts: &Opts) -> Result<SchedulerKind, String> {
+fn scheduler_of(opts: &Opts) -> Result<SchedulerKind, CliError> {
     Ok(match opts.get("scheduler").map(String::as_str).unwrap_or("mgps") {
         "edtlp" => SchedulerKind::Edtlp,
         "linux" => SchedulerKind::LinuxLike,
         "llp2" => SchedulerKind::StaticHybrid { spes_per_loop: 2 },
         "llp4" => SchedulerKind::StaticHybrid { spes_per_loop: 4 },
         "mgps" => SchedulerKind::Mgps,
-        other => return Err(format!("unknown scheduler {other:?}")),
+        other => return Err(CliError::usage(format!("unknown scheduler {other:?}"))),
     })
 }
 
-fn load_alignment(opts: &Opts) -> Result<Alignment, String> {
-    let path = opts.get("input").ok_or("--input is required")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn load_alignment(opts: &Opts) -> Result<Alignment, CliError> {
+    let path = opts.get("input").ok_or_else(|| CliError::usage("--input is required"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let parsed = if path.ends_with(".fasta") || path.ends_with(".fa") || text.starts_with('>') {
         Alignment::from_fasta(&text)
     } else {
         Alignment::from_phylip(&text)
     };
-    parsed.map_err(|e| format!("{path}: {e}"))
+    parsed.map_err(|e| format!("{path}: {e}").into())
 }
 
-fn simulate(opts: &Opts) -> Result<(), String> {
+fn simulate(opts: &Opts) -> Result<(), CliError> {
     let scheduler = scheduler_of(opts)?;
     let bootstraps = get(opts, "bootstraps", 8usize)?;
     if bootstraps == 0 {
-        return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
+        return Err(CliError::usage("--bootstraps: the workload needs at least 1 bootstrap"));
     }
     let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
     let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
@@ -156,7 +240,7 @@ fn simulate(opts: &Opts) -> Result<(), String> {
         "optimized" => KernelProfile::Optimized,
         "naive" => KernelProfile::Naive,
         "ppe" => KernelProfile::PpeOnly,
-        other => return Err(format!("unknown profile {other:?}")),
+        other => return Err(CliError::usage(format!("unknown profile {other:?}"))),
     };
     let r = run_simulation(cfg);
     println!("scheduler          {}", scheduler.label());
@@ -180,11 +264,11 @@ fn simulate(opts: &Opts) -> Result<(), String> {
 /// through the schedule-invariant checker, and the trace's per-SPE busy
 /// totals are cross-validated against the checker's independent
 /// accounting before anything is written.
-fn trace(opts: &Opts) -> Result<(), String> {
+fn trace(opts: &Opts) -> Result<(), CliError> {
     let scheduler = scheduler_of(opts)?;
     let bootstraps = get(opts, "bootstraps", 8usize)?;
     if bootstraps == 0 {
-        return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
+        return Err(CliError::usage("--bootstraps: the workload needs at least 1 bootstrap"));
     }
     let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
     let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
@@ -192,7 +276,7 @@ fn trace(opts: &Opts) -> Result<(), String> {
     let check = match opts.get("check").map(String::as_str).unwrap_or("on") {
         "on" => true,
         "off" => false,
-        other => return Err(format!("--check: expected on|off, got {other:?}")),
+        other => return Err(CliError::usage(format!("--check: expected on|off, got {other:?}"))),
     };
 
     let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
@@ -205,16 +289,16 @@ fn trace(opts: &Opts) -> Result<(), String> {
     if check {
         let report = mgps_analysis::check_run(&log);
         if !report.is_clean() {
-            return Err(format!(
+            return Err(CliError::violation(format!(
                 "refusing to export a trace of an illegal schedule:\n{}",
                 report.render()
-            ));
+            )));
         }
         if summary.busy_ns != report.spe_busy_ns {
-            return Err(format!(
+            return Err(CliError::violation(format!(
                 "trace busy accounting diverged from the checker: {:?} vs {:?}",
                 summary.busy_ns, report.spe_busy_ns
-            ));
+            )));
         }
     }
 
@@ -225,9 +309,10 @@ fn trace(opts: &Opts) -> Result<(), String> {
             .join(format!("trace-{}-{seed:#x}.json", log.scheduler)),
     };
     if let Some(parent) = out.parent() {
-        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        std::fs::create_dir_all(parent)
+            .map_err(|e| CliError::io(format!("{}: {e}", parent.display())))?;
     }
-    std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+    std::fs::write(&out, &json).map_err(|e| CliError::io(format!("{}: {e}", out.display())))?;
 
     print!("{}", summary.render_text());
     println!(
@@ -247,13 +332,13 @@ fn trace(opts: &Opts) -> Result<(), String> {
 /// three what-if scenarios against the same dependence structure, and
 /// writes a self-contained HTML report plus flamegraph-ready folded
 /// stacks.
-fn profile(opts: &Opts) -> Result<(), String> {
+fn profile(opts: &Opts) -> Result<(), CliError> {
     use mgps_obs::{what_if, CriticalPath, Phase, RunSource, WhatIf};
 
     let scheduler = scheduler_of(opts)?;
     let bootstraps = get(opts, "bootstraps", 8usize)?;
     if bootstraps == 0 {
-        return Err("--bootstraps: the workload needs at least 1 bootstrap".into());
+        return Err(CliError::usage("--bootstraps: the workload needs at least 1 bootstrap"));
     }
     let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
     let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
@@ -267,10 +352,10 @@ fn profile(opts: &Opts) -> Result<(), String> {
 
     let report = mgps_analysis::check_run(&log);
     if !report.is_clean() {
-        return Err(format!(
+        return Err(CliError::violation(format!(
             "refusing to profile an illegal schedule:\n{}",
             report.render()
-        ));
+        )));
     }
 
     let cp = CriticalPath::from_log(&log);
@@ -305,13 +390,14 @@ fn profile(opts: &Opts) -> Result<(), String> {
             .join(format!("profile-{}-{seed:#x}.html", log.scheduler)),
     };
     if let Some(parent) = out.parent() {
-        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        std::fs::create_dir_all(parent)
+            .map_err(|e| CliError::io(format!("{}: {e}", parent.display())))?;
     }
-    std::fs::write(&out, &html).map_err(|e| format!("{}: {e}", out.display()))?;
+    std::fs::write(&out, &html).map_err(|e| CliError::io(format!("{}: {e}", out.display())))?;
     let folded_path = out.with_extension("folded");
     let folded = mgps_obs::folded_stacks(&log);
     std::fs::write(&folded_path, &folded)
-        .map_err(|e| format!("{}: {e}", folded_path.display()))?;
+        .map_err(|e| CliError::io(format!("{}: {e}", folded_path.display())))?;
 
     println!("report             {} ({} bytes)", out.display(), html.len());
     println!("folded stacks      {} ({} lines)", folded_path.display(), folded.lines().count());
@@ -325,17 +411,17 @@ fn profile(opts: &Opts) -> Result<(), String> {
 /// deterministic-replay property (same seed ⇒ identical trace digest), and
 /// optionally funnels every table/figure regenerator through the
 /// `experiments::checked_run` hook.
-fn analyze(opts: &Opts) -> Result<(), String> {
+fn analyze(opts: &Opts) -> Result<(), CliError> {
     let scale = positive(opts, "scale", 2_000, "the workload scale must be at least 1")?;
     let bootstraps = get(opts, "bootstraps", 4usize)?;
     if bootstraps == 0 {
-        return Err("--bootstraps: the analyzed runs need at least 1 bootstrap".into());
+        return Err(CliError::usage("--bootstraps: the analyzed runs need at least 1 bootstrap"));
     }
     let seed = get(opts, "seed", 0x5eedu64)?;
     let with_experiments = match opts.get("experiments").map(String::as_str).unwrap_or("on") {
         "on" => true,
         "off" => false,
-        other => return Err(format!("--experiments: expected on|off, got {other:?}")),
+        other => return Err(CliError::usage(format!("--experiments: expected on|off, got {other:?}"))),
     };
 
     let record = |scheduler: SchedulerKind| {
@@ -375,10 +461,10 @@ fn analyze(opts: &Opts) -> Result<(), String> {
         // event stream, hence the exact digest.
         let replay = mgps_analysis::digest_hex(&record(scheduler));
         if replay != digest {
-            return Err(format!(
+            return Err(CliError::violation(format!(
                 "{} replay diverged: digest {digest} vs {replay} from the same seed",
                 scheduler.label()
-            ));
+            )));
         }
     }
 
@@ -400,13 +486,80 @@ fn analyze(opts: &Opts) -> Result<(), String> {
     }
 
     if violations > 0 {
-        return Err(format!("{violations} schedule-invariant violation(s) found"));
+        return Err(CliError::violation(format!("{violations} schedule-invariant violation(s) found")));
     }
     println!("all schedule invariants hold; replay is digest-deterministic");
     Ok(())
 }
 
-fn infer(opts: &Opts) -> Result<(), String> {
+/// `multigrain serve` — the live telemetry plane (see `multigrain::serve`).
+///
+/// Keeps a native MGPS runtime resident with a seeded synthetic off-load
+/// workload and serves `/metrics`, `/health`, and `/events` on loopback.
+/// Shuts down gracefully on SIGINT or after `--for-ms`, draining the trace
+/// rings into a checker-verified run log; a violation (including ring
+/// drops from an undersized `--ring-capacity`) exits with code 4.
+fn serve_cmd(opts: &Opts) -> Result<(), CliError> {
+    use multigrain::serve::{serve, ServeConfig, ServeError};
+
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        port: get(opts, "port", 0u16)?,
+        workers: positive(opts, "workers", defaults.workers, "the service needs at least 1 worker")?,
+        tasks_per_worker: positive(
+            opts,
+            "tasks",
+            defaults.tasks_per_worker,
+            "each worker needs at least 1 off-load",
+        )?,
+        seed: get(opts, "seed", defaults.seed)?,
+        poll_ms: positive(opts, "poll-ms", defaults.poll_ms as usize, "the telemetry cadence must be at least 1 ms")?
+            as u64,
+        ring_capacity: positive(
+            opts,
+            "ring-capacity",
+            defaults.ring_capacity,
+            "trace rings need at least 1 slot",
+        )?,
+        duration_ms: match opts.get("for-ms") {
+            None => None,
+            Some(_) => Some(get(opts, "for-ms", 0u64)?),
+        },
+        out: opts.get("out").map(std::path::PathBuf::from),
+        snapshot_out: opts.get("snapshot-out").map(std::path::PathBuf::from),
+    };
+    let outcome = serve(&cfg).map_err(|e| match e {
+        ServeError::Io(m) => CliError::Io(m),
+        ServeError::Other(m) => CliError::Other(m),
+    })?;
+    if outcome.violations > 0 {
+        return Err(CliError::violation(format!(
+            "{} schedule-invariant violation(s) in the service run log",
+            outcome.violations
+        )));
+    }
+    Ok(())
+}
+
+/// `multigrain top` — scrape a running `serve` and render a dashboard.
+fn top_cmd(opts: &Opts) -> Result<(), CliError> {
+    use multigrain::serve::{run_top, TopConfig};
+
+    let plain = match opts.get("plain").map(String::as_str).unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError::usage(format!("--plain: expected on|off, got {other:?}"))),
+    };
+    let cfg = TopConfig {
+        url: opts.get("url").cloned().unwrap_or_else(|| "127.0.0.1:9090".to_string()),
+        frames: get(opts, "frames", 0u64)?,
+        interval_ms: get(opts, "interval-ms", 500u64)?,
+        plain,
+    };
+    run_top(&cfg).map_err(CliError::Io)
+}
+
+fn infer(opts: &Opts) -> Result<(), CliError> {
     let seed = get(opts, "seed", 42u64)?;
     let bootstraps = get(opts, "bootstraps", 0usize)?;
     let workers = positive(opts, "workers", 4, "the runtime needs at least 1 worker process")?;
@@ -429,7 +582,7 @@ fn infer(opts: &Opts) -> Result<(), String> {
         "jc" => run_search(&Jc69, &data, &cfg, &search_kind, seed)?,
         "k80" => run_search(&K80::new(2.0), &data, &cfg, &search_kind, seed)?,
         "gtr" => run_search(&Gtr::example(), &data, &cfg, &search_kind, seed)?,
-        other => return Err(format!("unknown model {other:?} (use `infer-protein` for AA data)")),
+        other => return Err(CliError::usage(format!("unknown model {other:?} (use `infer-protein` for AA data)"))),
     };
     println!("best tree lnL      {:.4}", result.lnl);
     println!("NNI/SPR accepted   {}", result.accepted_moves);
@@ -438,7 +591,9 @@ fn infer(opts: &Opts) -> Result<(), String> {
         let (alpha, lnl_g) = if gamma == "estimate" {
             estimate_alpha(&Jc69, &data, &result.tree, 4, 0.05, 50.0)
         } else {
-            let a: f64 = gamma.parse().map_err(|_| format!("--gamma: bad value {gamma:?}"))?;
+            let a: f64 = gamma
+                .parse()
+                .map_err(|_| CliError::usage(format!("--gamma: bad value {gamma:?}")))?;
             let eng = GammaEngine::new(&Jc69, &data, a, 4);
             (a, eng.log_likelihood(&result.tree))
         };
@@ -464,9 +619,10 @@ fn infer(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn infer_protein(opts: &Opts) -> Result<(), String> {
-    let path = opts.get("input").ok_or("--input is required")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn infer_protein(opts: &Opts) -> Result<(), CliError> {
+    let path = opts.get("input").ok_or_else(|| CliError::usage("--input is required"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let data = ProteinData::from_fasta(&text).map_err(|e| format!("{path}: {e}"))?;
     let seed = get(opts, "seed", 42u64)?;
     println!(
@@ -489,15 +645,15 @@ fn run_search<M: SubstModel>(
     cfg: &SearchConfig,
     kind: &str,
     seed: u64,
-) -> Result<SearchResult, String> {
+) -> Result<SearchResult, CliError> {
     match kind {
         "nni" => Ok(hill_climb(model, data, cfg, seed)),
         "spr" => Ok(spr_hill_climb(model, data, cfg, 3, seed)),
-        other => Err(format!("unknown search {other:?}")),
+        other => Err(CliError::usage(format!("unknown search {other:?}"))),
     }
 }
 
-fn predict(opts: &Opts) -> Result<(), String> {
+fn predict(opts: &Opts) -> Result<(), CliError> {
     let bootstraps = get(opts, "bootstraps", 8usize)?;
     let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
     let aln = load_alignment(opts)?;
@@ -523,7 +679,7 @@ fn predict(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn demo(opts: &Opts) -> Result<(), String> {
+fn demo(opts: &Opts) -> Result<(), CliError> {
     let taxa = get(opts, "taxa", 16usize)?;
     let sites = get(opts, "sites", 400usize)?;
     let seed = get(opts, "seed", 7u64)?;
@@ -531,7 +687,7 @@ fn demo(opts: &Opts) -> Result<(), String> {
     match opts.get("format").map(String::as_str).unwrap_or("fasta") {
         "fasta" => print!("{}", aln.to_fasta()),
         "phylip" => print!("{}", aln.to_phylip()),
-        other => return Err(format!("unknown format {other:?}")),
+        other => return Err(CliError::usage(format!("unknown format {other:?}"))),
     }
     Ok(())
 }

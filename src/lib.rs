@@ -49,6 +49,7 @@
 pub mod adapters;
 pub mod bridge;
 pub mod parallel;
+pub mod serve;
 
 pub use adapters::{DerivBody, EvaluateBody, NewviewBody, OffloadedEngine};
 pub use bridge::workload_for;

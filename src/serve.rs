@@ -1,0 +1,723 @@
+//! `multigrain serve` — the live telemetry plane over the native runtime.
+//!
+//! Service mode keeps a native [`MgpsRuntime`] resident, admits off-load
+//! work continuously from seeded worker processes, and exposes the run's
+//! observability state over a plain `std::net` HTTP listener:
+//!
+//! * `GET /metrics` — Prometheus text format: every counter in the shared
+//!   schema as a `_total`, every histogram as cumulative buckets, per-SPE
+//!   busy gauges, and the current LLP degree
+//!   ([`mgps_obs::prometheus_text`]).
+//! * `GET /health` — a JSON verdict (`ok` / `degraded`) with the active
+//!   alarm list ([`mgps_obs::health_json`]).
+//! * `GET /events` — an NDJSON stream of MGPS window decisions
+//!   (`{"type":"decision","u":..,"t":..,"degree":..}`) and health alarms
+//!   as they happen; the backlog is replayed first, then the connection
+//!   stays open and tails the journal.
+//!
+//! Scrapes never touch the hot path: a dedicated telemetry thread drains
+//! [`SnapshotSource`] deltas and the trace rings on a fixed cadence, and
+//! HTTP handlers render from that thread's last published [`LiveStatus`].
+//! The same thread feeds the online [`HealthDetector`], so
+//! utilization-collapse, stall-spike, and ring-drop alarms appear both on
+//! `/events` and — merged as [`EventKind::Health`] records — in the final
+//! RunLog the service writes at shutdown.
+//!
+//! Shutdown (SIGINT or `--for-ms` expiry) is graceful: workers finish
+//! their in-flight off-load, the rings are drained, health events are
+//! merged into the RunLog, and the native-mode invariant checker runs
+//! over the result — an interrupted run still yields a checker-valid log.
+//!
+//! [`EventKind::Health`]: cellsim::event::EventKind::Health
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cellsim::event::SchedulerTag;
+use mgps_analysis::{check_run_with, check_trace_sanity, CheckMode};
+use mgps_obs::{
+    health_json, merge_health_events, prometheus_text, runlog_from_trace, HealthConfig,
+    HealthDetector, HealthEvent, LiveDecision, LiveStatus, NativeRunMeta,
+};
+use mgps_runtime::native::{LoopBody, LoopSite, MgpsRuntime, RuntimeConfig, SpeContext};
+use mgps_runtime::policy::SchedulerKind;
+use mgps_runtime::{AtomicMetrics, SnapshotSource, TraceEventKind, Tracer};
+
+/// Construction parameters for service mode.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to listen on (`0` asks the OS for an ephemeral port; the
+    /// bound address is printed on stdout either way).
+    pub port: u16,
+    /// Worker processes admitting off-load work.
+    pub workers: usize,
+    /// Off-loads each worker admits before going idle. Bounded so a
+    /// default-capacity ring never wraps: the final RunLog stays complete
+    /// and checker-valid no matter how long the service stays up.
+    pub tasks_per_worker: usize,
+    /// Seed for the synthetic workload's task-size stream.
+    pub seed: u64,
+    /// Telemetry cadence: snapshot + ring drain + health evaluation.
+    pub poll_ms: u64,
+    /// Per-thread trace-ring capacity (small values demonstrate the
+    /// ring-drop alarm).
+    pub ring_capacity: usize,
+    /// Self-terminate after this long (for tests and CI; interactive runs
+    /// stop on SIGINT).
+    pub duration_ms: Option<u64>,
+    /// Where to write the final merged RunLog (JSON).
+    pub out: Option<PathBuf>,
+    /// Where to write the final epoch-stamped metrics snapshot (JSON).
+    pub snapshot_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            port: 0,
+            workers: 2,
+            tasks_per_worker: 256,
+            seed: 7,
+            poll_ms: 100,
+            ring_capacity: mgps_runtime::tracing::DEFAULT_RING_CAPACITY,
+            duration_ms: None,
+            out: None,
+            snapshot_out: None,
+        }
+    }
+}
+
+/// What a finished service run amounted to.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Invariant violations the native-mode checker found in the final
+    /// merged log (plus one per trace-sanity issue).
+    pub violations: usize,
+    /// Trace-ring events lost to wrap-around.
+    pub dropped_events: u64,
+    /// Slugs of every alarm that fired during the run.
+    pub alarms: Vec<String>,
+    /// Off-loads completed.
+    pub tasks_completed: u64,
+}
+
+/// How service mode failed, split along the CLI's exit-code seams.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem trouble.
+    Io(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl ServeError {
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::Io(m) | ServeError::Other(m) => m,
+        }
+    }
+}
+
+/// A deterministic splitmix-style stream for workload shaping.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A pure-arithmetic loop body: no clocks, so the SPE-side work is
+/// identical on every platform and the lint rules stay trivially true.
+struct SpinBody {
+    n: usize,
+    rounds: u32,
+}
+
+impl LoopBody for SpinBody {
+    type Acc = u64;
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn run_chunk(&self, range: Range<usize>, _ctx: &mut SpeContext) -> u64 {
+        let mut s = 0u64;
+        for i in range {
+            let mut x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..self.rounds {
+                x = x.rotate_left(13).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            }
+            s = s.wrapping_add(std::hint::black_box(x));
+        }
+        s
+    }
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b)
+    }
+}
+
+/// SIGINT plumbing: the handler only flips an atomic, which is
+/// async-signal-safe; everything else happens on ordinary threads.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    pub fn pending() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+/// State shared between the telemetry thread and the HTTP handlers.
+struct Shared {
+    /// Shutdown requested (signal, timer, or fatal error).
+    stop: AtomicBool,
+    /// The last published scrape material; handlers render from this and
+    /// never touch the runtime or the rings.
+    status: Mutex<Option<LiveStatus>>,
+    /// NDJSON journal of decisions and health events, append-only.
+    journal: Mutex<Vec<String>>,
+    /// Every health event, for the final RunLog merge.
+    health: Mutex<Vec<HealthEvent>>,
+}
+
+impl Shared {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Run service mode to completion. Blocks until SIGINT or `duration_ms`.
+pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
+    sigint::install();
+
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+        .map_err(|e| ServeError::Io(format!("bind 127.0.0.1:{}: {e}", cfg.port)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Io(format!("set_nonblocking: {e}")))?;
+    let addr = listener.local_addr().map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+    println!("multigrain serve: listening on http://{addr}");
+    std::io::stdout().flush().ok();
+
+    let metrics = Arc::new(AtomicMetrics::new());
+    let tracer = Tracer::new(cfg.ring_capacity);
+    let rt_cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+    let n_spes = rt_cfg.n_spes;
+    let rt = MgpsRuntime::with_observability(
+        rt_cfg,
+        Arc::clone(&metrics) as Arc<dyn mgps_runtime::MetricsSink>,
+        Some(Arc::clone(&tracer)),
+    );
+
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        status: Mutex::new(None),
+        journal: Mutex::new(Vec::new()),
+        health: Mutex::new(Vec::new()),
+    });
+
+    std::thread::scope(|s| {
+        // Workload: each worker is one "process" admitting off-loads.
+        for w in 0..cfg.workers {
+            let shared = Arc::clone(&shared);
+            let rt = &rt;
+            let mut lcg = Lcg(cfg.seed.wrapping_add(w as u64).wrapping_mul(0x9e37) | 1);
+            s.spawn(move || {
+                let mut ctx = rt.enter_process();
+                for _ in 0..cfg.tasks_per_worker {
+                    if shared.stopped() {
+                        break;
+                    }
+                    let n = 32 + (lcg.next() % 97) as usize;
+                    let rounds = 64 + (lcg.next() % 512) as u32;
+                    let body = Arc::new(SpinBody { n, rounds });
+                    if ctx.offload_loop(LoopSite(w as u64), body).is_err() {
+                        break;
+                    }
+                    // A little PPE-side think time between off-loads keeps
+                    // task parallelism (the paper's U) genuinely variable.
+                    ctx.ppe_compute(|| std::thread::sleep(Duration::from_micros(
+                        200 + lcg.next() % 800,
+                    )));
+                }
+            });
+        }
+
+        // Telemetry: the only thread that drains snapshots and rings.
+        {
+            let shared = Arc::clone(&shared);
+            let rt = &rt;
+            let tracer = Arc::clone(&tracer);
+            let mut source = SnapshotSource::new(Arc::clone(&metrics));
+            let mut detector = HealthDetector::new(HealthConfig::for_spes(n_spes));
+            let poll = Duration::from_millis(cfg.poll_ms.max(1));
+            s.spawn(move || {
+                // Per-ring cursors: rings are append-only until capacity
+                // and registration order is stable, so `events[cursor..]`
+                // is exactly what arrived since the previous tick.
+                let mut cursors: Vec<usize> = Vec::new();
+                loop {
+                    let last = shared.stopped();
+                    telemetry_tick(
+                        &shared, rt, &tracer, &mut source, &mut detector, &mut cursors,
+                    );
+                    if last {
+                        break;
+                    }
+                    let mut slept = Duration::ZERO;
+                    while slept < poll && !shared.stopped() {
+                        let step = poll.min(Duration::from_millis(10));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            });
+        }
+
+        // HTTP acceptor: non-blocking so it can notice shutdown.
+        {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || {
+                while !shared.stopped() {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            s.spawn(move || handle_connection(stream, &shared));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            });
+        }
+
+        // Lifetime control: SIGINT or the --for-ms timer flips `stop`.
+        let started = std::time::Instant::now();
+        loop {
+            if sigint::pending() {
+                println!("multigrain serve: SIGINT, draining");
+                break;
+            }
+            if let Some(ms) = cfg.duration_ms {
+                if started.elapsed() >= Duration::from_millis(ms) {
+                    println!("multigrain serve: duration reached, draining");
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        shared.stop.store(true, Ordering::SeqCst);
+    });
+
+    // Workers, telemetry, and handlers have joined; tear the pool down so
+    // every SPE ring is complete, then drain once more for the record.
+    rt.shutdown();
+    let trace = tracer.drain();
+    let dropped = trace.dropped_events();
+    let sanity = check_trace_sanity(&trace);
+
+    let mut log = runlog_from_trace(
+        &trace,
+        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: cfg.seed },
+    );
+    let health = shared.health.lock().unwrap_or_else(|e| e.into_inner());
+    merge_health_events(&mut log, &health);
+    let report = check_run_with(&log, CheckMode::Native);
+
+    if let Some(path) = &cfg.out {
+        std::fs::write(path, log.to_value().to_json())
+            .map_err(|e| ServeError::Io(format!("write {}: {e}", path.display())))?;
+        println!("multigrain serve: wrote run log to {}", path.display());
+    }
+    if let Some(path) = &cfg.snapshot_out {
+        let mut source = SnapshotSource::new(Arc::clone(&metrics));
+        let snap = source.snapshot();
+        let status = shared.status.lock().unwrap_or_else(|e| e.into_inner());
+        let alarms = status.as_ref().map(|st| st.active_alarms.clone()).unwrap_or_default();
+        let last = LiveStatus {
+            epoch: snap.epoch,
+            uptime_ns: tracer.now_ns(),
+            metrics: snap.metrics,
+            spe_busy: vec![false; n_spes],
+            degree: 0,
+            pending_offloads: 0,
+            gate_contention_ns: 0,
+            dropped_events: dropped,
+            active_alarms: alarms,
+        };
+        std::fs::write(path, health_json(&last).to_json())
+            .map_err(|e| ServeError::Io(format!("write {}: {e}", path.display())))?;
+    }
+
+    let tasks_completed = metrics.get(mgps_runtime::Counter::TasksCompleted);
+    let alarms: Vec<String> =
+        health.iter().map(|h| h.kind.slug().to_string()).collect();
+    let violations = report.violations.len() + sanity.violations.len();
+    if !sanity.is_clean() {
+        println!("{}", sanity.render());
+    }
+    if !report.is_clean() {
+        println!("{}", report.render());
+    }
+    println!(
+        "multigrain serve: {} tasks, {} events, {} dropped, {} alarm(s), {} violation(s)",
+        tasks_completed,
+        log.events.len(),
+        dropped,
+        alarms.len(),
+        violations,
+    );
+
+    Ok(ServeOutcome { violations, dropped_events: dropped, alarms, tasks_completed })
+}
+
+/// One telemetry tick: snapshot delta, new trace events, health rules,
+/// publish `LiveStatus`.
+fn telemetry_tick(
+    shared: &Shared,
+    rt: &MgpsRuntime,
+    tracer: &Tracer,
+    source: &mut SnapshotSource,
+    detector: &mut HealthDetector,
+    cursors: &mut Vec<usize>,
+) {
+    let now_ns = tracer.now_ns();
+    let delta = source.delta();
+    let trace = tracer.drain();
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut fired: Vec<HealthEvent> = Vec::new();
+    if cursors.len() < trace.threads.len() {
+        cursors.resize(trace.threads.len(), 0);
+    }
+    for (ring, cursor) in trace.threads.iter().zip(cursors.iter_mut()) {
+        for ev in &ring.events[*cursor..] {
+            if let TraceEventKind::DegreeDecision { degree, waiting, n_spes, window, window_fill, u } =
+                ev.kind
+            {
+                let d = LiveDecision {
+                    at_ns: ev.at_ns,
+                    u,
+                    t: waiting,
+                    degree,
+                    n_spes,
+                    window,
+                    window_fill,
+                };
+                lines.push(d.to_json_line());
+                if let Some(h) = detector.observe_decision(&d) {
+                    lines.push(h.to_json_line());
+                    fired.push(h);
+                }
+            }
+        }
+        *cursor = ring.events.len();
+    }
+    for h in detector.observe_delta(now_ns, &delta, trace.dropped_events()) {
+        lines.push(h.to_json_line());
+        fired.push(h);
+    }
+
+    let status = LiveStatus {
+        epoch: source.epoch(),
+        uptime_ns: now_ns,
+        metrics: source.last().clone(),
+        spe_busy: rt.spe_busy(),
+        degree: rt.current_degree(),
+        pending_offloads: rt.pending_offloads(),
+        gate_contention_ns: rt.gate_contention_ns(),
+        dropped_events: trace.dropped_events(),
+        active_alarms: detector.active_alarms(),
+    };
+
+    if !lines.is_empty() {
+        shared.journal.lock().unwrap_or_else(|e| e.into_inner()).extend(lines);
+    }
+    if !fired.is_empty() {
+        shared.health.lock().unwrap_or_else(|e| e.into_inner()).extend(fired);
+    }
+    *shared.status.lock().unwrap_or_else(|e| e.into_inner()) = Some(status);
+}
+
+/// Serve one HTTP connection. Request parsing is deliberately minimal:
+/// the first line's method and path decide everything.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    stream.set_read_timeout(Some(Duration::from_millis(500))).ok();
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let mut first = request.lines().next().unwrap_or("").split_whitespace();
+    let method = first.next().unwrap_or("");
+    let path = first.next().unwrap_or("");
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET is served\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let status = shared.status.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            match status {
+                Some(st) => respond(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    &prometheus_text(&st),
+                ),
+                None => respond(&mut stream, "503 Service Unavailable", "text/plain", "warming up\n"),
+            }
+        }
+        "/health" => {
+            let status = shared.status.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            match status {
+                Some(st) => {
+                    let mut body = health_json(&st).to_json();
+                    body.push('\n');
+                    respond(&mut stream, "200 OK", "application/json", &body);
+                }
+                None => respond(&mut stream, "503 Service Unavailable", "text/plain", "warming up\n"),
+            }
+        }
+        "/events" => stream_events(stream, shared),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "try /metrics, /health, /events\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let mut w = BufWriter::new(stream);
+    let _ = w.write_all(header.as_bytes());
+    let _ = w.write_all(body.as_bytes());
+    let _ = w.flush();
+}
+
+/// `/events`: replay the journal backlog, then tail it until shutdown or
+/// the client hangs up.
+fn stream_events(stream: TcpStream, shared: &Shared) {
+    let mut w = BufWriter::new(stream);
+    let header = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n";
+    if w.write_all(header.as_bytes()).is_err() {
+        return;
+    }
+    let mut sent = 0usize;
+    loop {
+        let backlog: Vec<String> = {
+            let journal = shared.journal.lock().unwrap_or_else(|e| e.into_inner());
+            journal[sent.min(journal.len())..].to_vec()
+        };
+        for line in &backlog {
+            if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        sent += backlog.len();
+        if w.flush().is_err() {
+            return;
+        }
+        if shared.stopped() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `multigrain top` — the scrape-side terminal dashboard.
+// ---------------------------------------------------------------------------
+
+/// Construction parameters for the `top` dashboard.
+#[derive(Debug, Clone)]
+pub struct TopConfig {
+    /// Address of a running service, `host:port` (scheme optional).
+    pub url: String,
+    /// Frames to render before exiting; `0` runs until the scrape fails.
+    pub frames: u64,
+    /// Delay between frames.
+    pub interval_ms: u64,
+    /// Plain output: no ANSI clear between frames (for logs and CI).
+    pub plain: bool,
+}
+
+/// Fetch `path` from `addr` over a one-shot HTTP/1.1 GET.
+pub fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let addr = addr.trim_start_matches("http://").trim_end_matches('/');
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("read: {e}"))?;
+    let Some((head, body)) = raw.split_once("\r\n\r\n") else {
+        return Err("malformed HTTP response".to_string());
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Pull one `/metrics` scrape and render one frame per `cfg`, repeating.
+pub fn run_top(cfg: &TopConfig) -> Result<(), String> {
+    let mut frame = 0u64;
+    // Client-side busy-sample accumulation turns the instantaneous
+    // per-SPE busy flags into a utilization estimate across frames.
+    let mut busy_samples: Vec<u64> = Vec::new();
+    let mut total_samples = 0u64;
+    loop {
+        let text = http_get(&cfg.url, "/metrics")?;
+        let families = mgps_obs::parse_prometheus(&text)?;
+        if !cfg.plain {
+            // Clear screen + home, the ANSI way `top` does it.
+            print!("\u{1b}[2J\u{1b}[H");
+        }
+        render_frame(&families, &cfg.url, &mut busy_samples, &mut total_samples);
+        frame += 1;
+        if cfg.frames != 0 && frame >= cfg.frames {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(cfg.interval_ms.max(50)));
+    }
+}
+
+fn gauge(families: &[mgps_obs::PromFamily], name: &str) -> Option<f64> {
+    families
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| f.samples.first())
+        .map(|s| s.value)
+}
+
+fn render_frame(
+    families: &[mgps_obs::PromFamily],
+    url: &str,
+    busy_samples: &mut Vec<u64>,
+    total_samples: &mut u64,
+) {
+    let epoch = gauge(families, "multigrain_snapshot_epoch").unwrap_or(0.0);
+    let uptime_s = gauge(families, "multigrain_uptime_ns").unwrap_or(0.0) / 1e9;
+    let degree = gauge(families, "multigrain_llp_degree").unwrap_or(0.0);
+    let pending = gauge(families, "multigrain_pending_offloads").unwrap_or(0.0);
+    println!(
+        "multigrain top — {url}   epoch {epoch:.0}   uptime {uptime_s:.1}s   degree {degree:.0}   pending {pending:.0}"
+    );
+
+    let mut spes: Vec<(usize, bool)> = families
+        .iter()
+        .find(|f| f.name == "multigrain_spe_busy")
+        .map(|f| {
+            f.samples
+                .iter()
+                .filter_map(|s| {
+                    let idx: usize = s.label("spe")?.parse().ok()?;
+                    Some((idx, s.value > 0.5))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    spes.sort_by_key(|&(i, _)| i);
+    if busy_samples.len() < spes.len() {
+        busy_samples.resize(spes.len(), 0);
+    }
+    *total_samples += 1;
+    for &(i, busy) in &spes {
+        if busy {
+            busy_samples[i] += 1;
+        }
+        let util = busy_samples[i] as f64 / (*total_samples).max(1) as f64;
+        let filled = (util * 20.0).round() as usize;
+        let bar: String = std::iter::repeat_n('#', filled)
+            .chain(std::iter::repeat_n('-', 20 - filled))
+            .collect();
+        println!(
+            " SPE {i} [{bar}] {:>3.0}%  {}",
+            util * 100.0,
+            if busy { "busy" } else { "idle" }
+        );
+    }
+
+    let counter = |name: &str| gauge(families, name).unwrap_or(0.0);
+    println!(
+        " offloads {:.0}   completed {:.0}   llp on/off {:.0}/{:.0}   ctx switches {:.0}",
+        counter("multigrain_offloads_total"),
+        counter("multigrain_tasks_completed_total"),
+        counter("multigrain_llp_activations_total"),
+        counter("multigrain_llp_deactivations_total"),
+        counter("multigrain_ctx_switch_offload_total"),
+    );
+    println!(
+        " stalls: mailbox {:.0}  queue {:.0}   gate wait {:.1}ms   ring drops {:.0}",
+        counter("multigrain_mailbox_stalls_total"),
+        counter("multigrain_offload_queue_stalls_total"),
+        counter("multigrain_gate_contention_ns") / 1e6,
+        counter("multigrain_trace_dropped_events"),
+    );
+
+    let alarms: Vec<String> = families
+        .iter()
+        .find(|f| f.name == "multigrain_alarm_active")
+        .map(|f| {
+            f.samples
+                .iter()
+                .filter(|s| s.value > 0.5)
+                .filter_map(|s| s.label("alarm").map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    if alarms.is_empty() {
+        println!(" alarms: (none)");
+    } else {
+        println!(" alarms: {}", alarms.join(", "));
+    }
+}

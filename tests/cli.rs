@@ -164,3 +164,60 @@ fn missing_input_is_a_clean_error() {
     assert!(!ok);
     assert!(stderr.contains("--input is required"));
 }
+
+/// Like [`run_cli`] but surfaces the numeric exit code, for the
+/// classified-exit-code contract (0 ok / 1 other / 2 usage / 3 I/O /
+/// 4 checker violation — see the USAGE text).
+fn run_cli_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(bin()).args(args).output().expect("CLI runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("CLI exited normally"),
+    )
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    // Unknown command, unknown flag value, malformed flag, and a
+    // zero count all classify as usage trouble.
+    for args in [
+        vec!["bogus"],
+        vec!["simulate", "--scheduler", "fifo"],
+        vec!["trace", "--bootstraps", "many"],
+        vec!["simulate", "notaflag"],
+        vec!["simulate", "--cells", "0"],
+        vec!["top", "--plain", "sometimes"],
+    ] {
+        let (_, stderr, code) = run_cli_code(&args);
+        assert_eq!(code, 2, "{args:?} should be usage (2): {stderr}");
+    }
+    // And no-args prints usage with the same code.
+    let (_, _, code) = run_cli_code(&[]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn io_errors_exit_with_code_3() {
+    // A path under a non-directory cannot be created or written.
+    let (_, stderr, code) = run_cli_code(&[
+        "trace",
+        "--bootstraps",
+        "2",
+        "--scale",
+        "50",
+        "--out",
+        "/dev/null/nope/trace.json",
+    ]);
+    assert_eq!(code, 3, "unwritable --out should be I/O (3): {stderr}");
+
+    let (_, stderr, code) = run_cli_code(&["infer", "--input", "/definitely/not/here.fasta"]);
+    assert_eq!(code, 3, "unreadable --input should be I/O (3): {stderr}");
+}
+
+#[test]
+fn clean_runs_exit_with_code_0() {
+    let (_, stderr, code) =
+        run_cli_code(&["simulate", "--scheduler", "mgps", "--bootstraps", "2", "--scale", "5000"]);
+    assert_eq!(code, 0, "{stderr}");
+}

@@ -1,0 +1,232 @@
+//! End-to-end tests of `multigrain serve`: scrape all three endpoints of
+//! a live service, interrupt it, and verify the graceful-shutdown
+//! contract — the interrupted run still writes a checker-valid RunLog —
+//! plus the ring-drop alarm path (undersized rings ⇒ `ring_drop` health
+//! event ⇒ exit code 4).
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use cellsim::event::{EventKind, RunLog};
+use mgps_analysis::{check_run_with, CheckMode};
+use mgps_obs::{parse_prometheus, validate_families};
+use multigrain::serve::http_get;
+
+fn bin() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test executable path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("multigrain");
+    p
+}
+
+/// Spawn `multigrain serve` with `extra` flags and wait for its stdout to
+/// announce the bound address. Returns the child and `host:port`.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(bin())
+        .arg("serve")
+        .args(["--port", "0", "--poll-ms", "50"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("serve prints its address")
+        .expect("stdout is UTF-8");
+    let addr = first
+        .rsplit("http://")
+        .next()
+        .expect("address after scheme")
+        .trim()
+        .to_string();
+    assert!(addr.starts_with("127.0.0.1:"), "unexpected announce line: {first}");
+    // Keep draining stdout in the background so the child never blocks on
+    // a full pipe.
+    std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
+    (child, addr)
+}
+
+/// Wait for the child to exit, with a hard timeout.
+fn wait_with_timeout(child: &mut Child, limit: Duration) -> i32 {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status.code().expect("exited normally");
+        }
+        assert!(start.elapsed() < limit, "serve did not exit within {limit:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Tail the `/events` NDJSON stream until `pred` matches a complete line
+/// or the deadline passes. Returns the matching line, if any. `/events`
+/// never ends on its own (it tails the journal until shutdown), so this
+/// reads incrementally instead of waiting for EOF.
+fn events_line_matching(
+    addr: &str,
+    pred: impl Fn(&str) -> bool,
+    limit: Duration,
+) -> Option<String> {
+    use std::io::{Read, Write};
+    let start = Instant::now();
+    let mut stream = loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(_) if start.elapsed() < limit => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    };
+    stream.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+    stream
+        .write_all(format!("GET /events HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    let mut buf = [0u8; 4096];
+    while start.elapsed() < limit {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) => {} // timeout tick; check what we have so far
+        }
+        // Only scan complete lines: the final fragment may be mid-write.
+        if let Some((_, body)) = raw.split_once("\r\n\r\n") {
+            if let Some((complete, _)) = body.rsplit_once('\n') {
+                if let Some(found) = complete.lines().find(|l| pred(l)) {
+                    return Some(found.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Retry a scrape until the telemetry thread has published a status.
+fn scrape(addr: &str, path: &str) -> String {
+    let start = Instant::now();
+    loop {
+        match http_get(addr, path) {
+            Ok(body) => return body,
+            Err(e) => {
+                assert!(
+                    start.elapsed() < Duration::from_secs(5),
+                    "{path} never became ready: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_exposes_metrics_health_and_events_then_survives_sigint() {
+    let dir = std::env::temp_dir().join(format!("mg-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("serve-run.json");
+
+    let (mut child, addr) =
+        spawn_serve(&["--tasks", "400", "--out", log_path.to_str().unwrap()]);
+
+    // /metrics parses as strict Prometheus text and the histogram
+    // families validate (cumulative buckets, +Inf == _count).
+    let metrics = scrape(&addr, "/metrics");
+    let families = parse_prometheus(&metrics).expect("metrics parse");
+    validate_families(&families).expect("families validate");
+    assert!(metrics.contains("multigrain_offloads_total"));
+    assert!(metrics.contains("multigrain_task_dur_ns_bucket"));
+    assert!(metrics.contains("multigrain_spe_busy{spe=\"0\"}"));
+    assert!(metrics.contains("multigrain_llp_degree"));
+
+    // /health is JSON with an overall verdict.
+    let health = scrape(&addr, "/health");
+    let parsed = minijson::parse(&health).expect("health is JSON");
+    assert_eq!(parsed.get("status").and_then(|v| v.as_str()), Some("ok"), "{health}");
+
+    // /events streams NDJSON; decision lines carry the paper's
+    // observables spelled out.
+    let first = events_line_matching(
+        &addr,
+        |l| l.contains("\"type\":\"decision\""),
+        Duration::from_secs(10),
+    )
+    .expect("a decision line on /events");
+    let ev = minijson::parse(&first).expect("event line is JSON");
+    assert_eq!(ev.get("type").and_then(|v| v.as_str()), Some("decision"), "{first}");
+    assert!(ev.get("u").is_some() && ev.get("degree").is_some(), "{first}");
+
+    // SIGINT: graceful shutdown, exit 0, and the interrupted run's log
+    // passes the native-mode invariant checker.
+    unsafe {
+        libc_kill(child.id() as i32, 2);
+    }
+    let code = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(code, 0, "interrupted serve should still exit cleanly");
+
+    let text = std::fs::read_to_string(&log_path).expect("run log written");
+    let log = RunLog::from_value(&minijson::parse(&text).expect("log is JSON"))
+        .expect("log deserializes");
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "interrupted run must be checker-valid:\n{}", report.render());
+    assert!(log.events.iter().any(|e| matches!(e.kind, EventKind::Offload { .. })));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn undersized_rings_raise_the_ring_drop_alarm_and_exit_4() {
+    let dir = std::env::temp_dir().join(format!("mg-serve-drop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("drop-run.json");
+
+    let (mut child, addr) = spawn_serve(&[
+        "--tasks",
+        "300",
+        "--ring-capacity",
+        "32",
+        "--for-ms",
+        "1500",
+        "--out",
+        log_path.to_str().unwrap(),
+    ]);
+
+    // The alarm reaches the /events stream while the service is live.
+    let alarm = events_line_matching(
+        &addr,
+        |l| l.contains("\"alarm\":\"ring_drop\""),
+        Duration::from_secs(10),
+    );
+    assert!(alarm.is_some(), "ring_drop alarm never appeared on /events");
+
+    // Dropped events mean an incomplete log: the checker objects and the
+    // CLI reports it as a violation exit.
+    let code = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(code, 4, "ring drops should classify as a checker violation");
+
+    // The alarm is also merged into the written RunLog as a health event.
+    let text = std::fs::read_to_string(&log_path).expect("run log written");
+    let log = RunLog::from_value(&minijson::parse(&text).expect("log is JSON"))
+        .expect("log deserializes");
+    assert!(
+        log.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Health { alarm, .. } if alarm == "ring_drop"
+        )),
+        "ring_drop health event should be merged into the run log"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+extern "C" {
+    #[link_name = "kill"]
+    fn libc_kill(pid: i32, sig: i32) -> i32;
+}
