@@ -49,11 +49,21 @@
 //! | `ctx-switch` | EDTLP-family schedulers switch contexts only at off-load points; the Linux baseline only at quantum expiry after a full quantum |
 //! | `mgps-degree` | MGPS loop degrees stay in `1..=max(1, floor(n_spes/waiting))`, the utilization window is exactly `n_spes` long and never over-filled, and only MGPS runs make degree decisions |
 //! | `chunk-coverage` | each work-shared loop is partitioned into exactly `degree` chunks that tile `0..loop_iters` with one chunk per team member |
+//! | `fault-policy` | a `fault_policy` header, when present, parses back into a legal fault plan |
+//! | `fault-recovery` | fault/retry/fallback events appear only under a declared plan; retries are sequential with the declared backoff and bounded by `max_retries`; every faulted (or, when armed, merely off-loaded) task is resolved exactly once — retried to completion, fallen back, or flagged lost — never duplicated |
+//! | `quarantine` | quarantine intervals per SPE are exclusive (enter once, leave once, in order), entry requires `k` consecutive faults, and no quarantined SPE is granted work |
+//!
+//! Two relaxations apply when a fault plan is armed (`fault_policy`
+//! header present): `fifo-order` is skipped (watchdog retries legally
+//! re-enter the queue out of id order) and the degree in force is not
+//! pinned between `DegreeDecision` events (grants clamp to the healthy-SPE
+//! count, which the decision stream cannot see).
 
 use std::collections::HashMap;
 
 use cellsim::event::{EventKind, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use des::trace::TraceRecord;
+use mgps_runtime::faults::{FaultKind, FaultPlan};
 use mgps_runtime::tracing::TraceLog;
 
 /// What produced the log under check, selecting which invariants apply
@@ -160,6 +170,29 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     let mut last_started: Option<u64> = None;
     let mut expected_degree: usize = initial_degree(log.scheduler);
 
+    // Fault-plane replay state. The header's canonical spec rebuilds the
+    // exact plan, letting the checker recompute the declared backoff
+    // sequence instead of trusting the recorded values.
+    let plan: Option<FaultPlan> = match log.fault_policy.as_deref() {
+        None => None,
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(p) => Some(p),
+            Err(err) => {
+                v.push(Violation {
+                    rule: "fault-policy",
+                    seq: None,
+                    message: format!("unparseable fault_policy header '{spec}': {err}"),
+                });
+                None
+            }
+        },
+    };
+    let armed = plan.is_some();
+    let mut task_faults: HashMap<u64, u64> = HashMap::new(); // task -> faults seen
+    let mut task_fallback: HashMap<u64, u64> = HashMap::new(); // task -> fallback seq
+    let mut task_retry_next: HashMap<u64, u64> = HashMap::new(); // task -> expected attempt
+    let mut in_quarantine: Vec<bool> = vec![false; n_spes];
+
     for (i, e) in log.events.iter().enumerate() {
         // causal-time: dense sequence numbers, monotone timestamps. Ties are
         // legal (many events share an instant); the recorded order *is* the
@@ -200,12 +233,21 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
             }
             EventKind::TaskStart { proc, task, degree, team } => {
                 check_task_start(
-                    log, mode, e.seq, *proc, *task, *degree, team, expected_degree, &offloaded,
-                    &last_started, &mut busy, v,
+                    log, mode, armed, e.seq, *proc, *task, *degree, team, expected_degree,
+                    &offloaded, &last_started, &mut busy, v,
                 );
                 for &spe in team {
                     if spe < n_spes {
                         busy_since[spe] = e.at_ns;
+                        if in_quarantine[spe] {
+                            v.push(Violation {
+                                rule: "quarantine",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "task {task} starts on SPE {spe} while it is quarantined"
+                                ),
+                            });
+                        }
                     }
                 }
                 last_started = Some(*task);
@@ -355,7 +397,8 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                 // Informational, but its vocabulary is closed: an unknown
                 // alarm or severity slug means a producer drifted from the
                 // schema.
-                const ALARMS: [&str; 3] = ["utilization_collapse", "stall_spike", "ring_drop"];
+                const ALARMS: [&str; 4] =
+                    ["utilization_collapse", "stall_spike", "ring_drop", "quarantine_storm"];
                 if !ALARMS.contains(&alarm.as_str()) {
                     v.push(Violation {
                         rule: "health-schema",
@@ -369,6 +412,205 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                         seq: Some(e.seq),
                         message: format!("unknown health severity '{severity}'"),
                     });
+                }
+            }
+            EventKind::FaultInjected { spe, task, fault, attempt } => {
+                if !armed {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "fault injected into task {task} but the log declares no fault policy"
+                        ),
+                    });
+                }
+                if *spe >= n_spes {
+                    v.push(bad_spe("fault-recovery", e.seq, *spe, n_spes));
+                } else if in_quarantine[*spe] {
+                    v.push(Violation {
+                        rule: "quarantine",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "fault on SPE {spe} while it is quarantined (must not be granted work)"
+                        ),
+                    });
+                }
+                if FaultKind::from_name(fault).is_none() {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!("unknown fault kind slug '{fault}'"),
+                    });
+                }
+                if !offloaded.contains_key(task) {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!("fault for task {task} which was never off-loaded"),
+                    });
+                }
+                let faults = task_faults.entry(*task).or_insert(0);
+                *faults += 1;
+                if *faults != attempt + 1 {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} fault on attempt {attempt} but {faults} fault(s) recorded \
+                             (every attempt up to here must have faulted)"
+                        ),
+                    });
+                }
+            }
+            EventKind::OffloadRetry { task, attempt, backoff_ns } => {
+                let expected = task_retry_next.get(task).copied().unwrap_or(1);
+                if *attempt != expected {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} retry numbered {attempt}; expected {expected} (retries are sequential from 1)"
+                        ),
+                    });
+                }
+                task_retry_next.insert(*task, *attempt + 1);
+                if task_faults.get(task).copied().unwrap_or(0) < *attempt {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!("task {task} retried without a preceding fault"),
+                    });
+                }
+                if let Some(p) = &plan {
+                    if *attempt >= 1 && *attempt <= u64::from(u32::MAX) {
+                        let declared = p.backoff_ns(*task, *attempt as u32);
+                        if *backoff_ns != declared {
+                            v.push(Violation {
+                                rule: "fault-recovery",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "task {task} retry {attempt} backed off {backoff_ns} ns; the declared policy computes {declared} ns"
+                                ),
+                            });
+                        }
+                    }
+                    if *attempt > u64::from(p.policy.max_retries) {
+                        v.push(Violation {
+                            rule: "fault-recovery",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "task {task} retry {attempt} exceeds the declared max_retries {}",
+                                p.policy.max_retries
+                            ),
+                        });
+                    }
+                }
+            }
+            EventKind::SpeQuarantined { spe, faults } => {
+                if !armed {
+                    v.push(Violation {
+                        rule: "quarantine",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "SPE {spe} quarantined but the log declares no fault policy"
+                        ),
+                    });
+                }
+                if *spe >= n_spes {
+                    v.push(bad_spe("quarantine", e.seq, *spe, n_spes));
+                } else if in_quarantine[*spe] {
+                    v.push(Violation {
+                        rule: "quarantine",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "SPE {spe} quarantined twice (intervals must be exclusive)"
+                        ),
+                    });
+                } else {
+                    in_quarantine[*spe] = true;
+                }
+                if let Some(p) = &plan {
+                    if *faults < u64::from(p.policy.quarantine_k) {
+                        v.push(Violation {
+                            rule: "quarantine",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "SPE {spe} quarantined after {faults} consecutive fault(s); the policy requires k={}",
+                                p.policy.quarantine_k
+                            ),
+                        });
+                    }
+                }
+            }
+            EventKind::SpeReadmitted { spe } => {
+                if *spe >= n_spes {
+                    v.push(bad_spe("quarantine", e.seq, *spe, n_spes));
+                } else if !in_quarantine[*spe] {
+                    v.push(Violation {
+                        rule: "quarantine",
+                        seq: Some(e.seq),
+                        message: format!("SPE {spe} re-admitted while not quarantined"),
+                    });
+                } else {
+                    in_quarantine[*spe] = false;
+                }
+            }
+            EventKind::PpeFallback { proc, task, attempts } => {
+                if !armed {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} fell back to the PPE but the log declares no fault policy"
+                        ),
+                    });
+                }
+                match offloaded.get(task) {
+                    None => v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "PPE fallback for task {task} which was never off-loaded"
+                        ),
+                    }),
+                    Some((owner, _)) if *owner != *proc => v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} off-loaded by proc {owner} but fell back for proc {proc}"
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+                if tasks.get(task).is_some_and(|t| t.ended) {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} fell back to the PPE after completing on SPEs (duplicated)"
+                        ),
+                    });
+                }
+                if let Some(prev) = task_fallback.insert(*task, e.seq) {
+                    v.push(Violation {
+                        rule: "fault-recovery",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "task {task} fell back twice (first at event {prev})"
+                        ),
+                    });
+                }
+                if let Some(p) = &plan {
+                    if *attempts > u64::from(p.policy.max_retries) + 1 {
+                        v.push(Violation {
+                            rule: "fault-recovery",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "task {task} fell back after {attempts} attempts; the policy allows at most {}",
+                                p.policy.max_retries + 1
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -389,6 +631,56 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
             });
         }
         check_chunk_coverage(mode, *task, info, log.loop_iters, &mut report.violations);
+    }
+    // fault-recovery: every faulted off-load must resolve exactly once —
+    // either its retry eventually ran on SPEs (TaskStart/TaskEnd) or it
+    // degraded to the PPE (PpeFallback), never both and never neither.
+    let mut faulted: Vec<_> = task_faults.keys().copied().collect();
+    faulted.sort_unstable();
+    for task in faulted {
+        let ended = tasks.get(&task).is_some_and(|t| t.ended);
+        let fell_back = task_fallback.contains_key(&task);
+        if ended && fell_back {
+            report.violations.push(Violation {
+                rule: "fault-recovery",
+                seq: None,
+                message: format!(
+                    "task {task} both completed on SPEs and fell back to the PPE (duplicated)"
+                ),
+            });
+        }
+        if !ended && !fell_back {
+            report.violations.push(Violation {
+                rule: "fault-recovery",
+                seq: None,
+                message: format!(
+                    "task {task} faulted but never completed anywhere (lost)"
+                ),
+            });
+        }
+    }
+    if armed {
+        // With a fault plan armed the run may still end with work stuck in
+        // the queue (retries exhausted, fallback disabled). Surface every
+        // off-loaded task that resolved nowhere; unarmed logs are already
+        // covered by task-lifecycle above.
+        let mut pending: Vec<_> = offloaded
+            .keys()
+            .filter(|t| {
+                !tasks.contains_key(*t)
+                    && !task_fallback.contains_key(*t)
+                    && !task_faults.contains_key(*t)
+            })
+            .copied()
+            .collect();
+        pending.sort_unstable();
+        for task in pending {
+            report.violations.push(Violation {
+                rule: "fault-recovery",
+                seq: None,
+                message: format!("task {task} was off-loaded but never started, faulted, or fell back (lost)"),
+            });
+        }
     }
     if mode == CheckMode::Simulated {
         for (spe, occupant) in busy.iter().enumerate() {
@@ -548,6 +840,7 @@ fn check_ctx_switch(
 fn check_task_start(
     log: &RunLog,
     mode: CheckMode,
+    armed: bool,
     seq: u64,
     proc: usize,
     task: u64,
@@ -562,8 +855,9 @@ fn check_task_start(
     // fifo-order: the request queue is FIFO and task ids are assigned in
     // off-load order, so grants must start strictly ascending task ids.
     // Native ids are per-process and host threads race to dispatch, so
-    // the rule only holds under simulation.
-    if mode == CheckMode::Simulated {
+    // the rule only holds under simulation — and retried/faulted grants
+    // re-enter the queue out of id order, so an armed plan waives it too.
+    if mode == CheckMode::Simulated && !armed {
         if let Some(prev) = last_started {
             if task <= *prev {
                 v.push(Violation {
@@ -590,8 +884,10 @@ fn check_task_start(
         Some(_) => {}
     }
     // Natively the degree in force is sampled per off-load, not pinned
-    // between DegreeDecision events, so only the simulator pins it.
-    if mode == CheckMode::Simulated && degree != expected_degree {
+    // between DegreeDecision events, so only the simulator pins it. An
+    // armed fault plan clamps grants to the healthy-SPE count below the
+    // decided degree, so quarantine waives the pin as well.
+    if mode == CheckMode::Simulated && !armed && degree != expected_degree {
         v.push(Violation {
             rule: "mgps-degree",
             seq: Some(seq),

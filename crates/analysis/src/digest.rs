@@ -55,6 +55,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 228,
             mgps_window: None,
+            fault_policy: None,
             events: Vec::new(),
         };
         assert_eq!(trace_digest(&log), trace_digest(&log.clone()));

@@ -5,6 +5,7 @@
 use cellsim::event::{EventKind, EventRecord, RunLog, SchedulerTag, SwitchReason};
 use cellsim::machine::{run, SimConfig};
 use mgps_analysis::{check_run, trace_digest};
+use mgps_runtime::faults::FaultPlan;
 use mgps_runtime::policy::SchedulerKind;
 
 /// Workload scale for the integration runs (large = fast).
@@ -82,6 +83,7 @@ fn minimal_log() -> RunLog {
         local_store_bytes: 256 * 1024,
         loop_iters: 64,
         mgps_window: None,
+            fault_policy: None,
         events: kinds
             .into_iter()
             .enumerate()
@@ -219,4 +221,207 @@ fn chunk_gap_is_flagged() {
     // The single chunk covers only half the iteration space.
     log.events[5].kind = EventKind::Chunk { task: 0, loop_iters: 64, start: 0, len: 32, worker: 0 };
     assert_eq!(rules_of(&log), vec!["chunk-coverage"]);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-recovery and quarantine rules.
+// ---------------------------------------------------------------------------
+
+const FAULT_SPEC: &str = "seed=9,retries=1,backoff=1000,k=3,readmit=8";
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::parse(FAULT_SPEC).expect("fixture spec must parse")
+}
+
+/// [`minimal_log`] plus a second task that faults twice and degrades to
+/// the PPE — a complete, policy-conforming recovery story the checker
+/// must accept, and each corruption below must break.
+fn faulted_log() -> RunLog {
+    let plan = fault_plan();
+    let mut log = minimal_log();
+    log.fault_policy = Some(plan.to_spec());
+    let tail = vec![
+        (91, EventKind::Offload { proc: 1, task: 1 }),
+        (95, EventKind::FaultInjected { spe: 1, task: 1, fault: "spe_stall".into(), attempt: 0 }),
+        (100, EventKind::OffloadRetry { task: 1, attempt: 1, backoff_ns: plan.backoff_ns(1, 1) }),
+        (105, EventKind::FaultInjected { spe: 1, task: 1, fault: "spe_crash".into(), attempt: 1 }),
+        (110, EventKind::PpeFallback { proc: 1, task: 1, attempts: 2 }),
+    ];
+    let base = log.events.len();
+    for (i, (at_ns, kind)) in tail.into_iter().enumerate() {
+        log.events.push(EventRecord { seq: (base + i) as u64, at_ns, kind });
+    }
+    log
+}
+
+#[test]
+fn conforming_fault_recovery_is_clean() {
+    let report = check_run(&faulted_log());
+    assert!(report.is_clean(), "recovery fixture must be clean:\n{}", report.render());
+}
+
+#[test]
+fn unparseable_fault_policy_is_flagged() {
+    let mut log = minimal_log();
+    log.fault_policy = Some("definitely-not-a-spec".into());
+    assert!(rules_of(&log).contains(&"fault-policy"));
+}
+
+#[test]
+fn fault_events_without_a_declared_policy_are_flagged() {
+    let mut log = faulted_log();
+    log.fault_policy = None;
+    assert!(rules_of(&log).contains(&"fault-recovery"));
+}
+
+#[test]
+fn lost_task_is_flagged() {
+    let mut log = faulted_log();
+    log.events.pop(); // drop the PpeFallback: the faulted task resolves nowhere
+    let report = check_run(&log);
+    assert!(
+        report.violations.iter().any(|v| v.rule == "fault-recovery" && v.message.contains("lost")),
+        "dropping the fallback must lose the task:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn duplicated_completion_is_flagged() {
+    let mut log = faulted_log();
+    // Task 1 "also" completes on SPEs after falling back.
+    let base = log.events.len();
+    for (i, (at_ns, kind)) in [
+        (115u64, EventKind::TaskStart { proc: 1, task: 1, degree: 1, team: vec![2] }),
+        (116, EventKind::Chunk { task: 1, loop_iters: 64, start: 0, len: 64, worker: 2 }),
+        (120, EventKind::TaskEnd { proc: 1, task: 1, team: vec![2] }),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        log.events.push(EventRecord { seq: (base + i) as u64, at_ns, kind });
+    }
+    let report = check_run(&log);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "fault-recovery" && v.message.contains("duplicated")),
+        "double completion must be flagged:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn undeclared_backoff_is_flagged() {
+    let mut log = faulted_log();
+    let declared = fault_plan().backoff_ns(1, 1);
+    for e in &mut log.events {
+        if let EventKind::OffloadRetry { backoff_ns, .. } = &mut e.kind {
+            *backoff_ns = declared + 1;
+        }
+    }
+    assert!(rules_of(&log).contains(&"fault-recovery"));
+}
+
+#[test]
+fn double_quarantine_is_flagged() {
+    let mut log = faulted_log();
+    let base = log.events.len();
+    for (i, at_ns) in [115u64, 120].into_iter().enumerate() {
+        log.events.push(EventRecord {
+            seq: (base + i) as u64,
+            at_ns,
+            kind: EventKind::SpeQuarantined { spe: 2, faults: 3 },
+        });
+    }
+    let report = check_run(&log);
+    assert!(
+        report.violations.iter().any(|v| v.rule == "quarantine" && v.message.contains("twice")),
+        "overlapping quarantine intervals must be flagged:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn readmission_without_quarantine_is_flagged() {
+    let mut log = faulted_log();
+    let base = log.events.len();
+    log.events.push(EventRecord {
+        seq: base as u64,
+        at_ns: 115,
+        kind: EventKind::SpeReadmitted { spe: 4 },
+    });
+    assert!(rules_of(&log).contains(&"quarantine"));
+}
+
+#[test]
+fn work_on_a_quarantined_spe_is_flagged() {
+    let mut log = faulted_log();
+    // Quarantine SPE 0 before task 0 is granted to it.
+    log.events.insert(
+        1,
+        EventRecord { seq: 0, at_ns: 1, kind: EventKind::SpeQuarantined { spe: 0, faults: 3 } },
+    );
+    for (i, e) in log.events.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+    assert!(rules_of(&log).contains(&"quarantine"));
+}
+
+#[test]
+fn premature_quarantine_below_k_is_flagged() {
+    let mut log = faulted_log();
+    let base = log.events.len();
+    log.events.push(EventRecord {
+        seq: base as u64,
+        at_ns: 115,
+        kind: EventKind::SpeQuarantined { spe: 2, faults: 1 }, // policy says k=3
+    });
+    assert!(rules_of(&log).contains(&"quarantine"));
+}
+
+#[test]
+fn armed_simulator_runs_stay_checker_clean_under_every_scheduler() {
+    for scheduler in [
+        SchedulerKind::Edtlp,
+        SchedulerKind::LinuxLike,
+        SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+        SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+        SchedulerKind::Mgps,
+    ] {
+        let mut cfg = SimConfig::cell_42sc(scheduler, 2, SCALE);
+        cfg.seed = 0x5eed;
+        cfg.record_events = true;
+        cfg.faults =
+            FaultPlan::parse("seed=5,stall=0.05,dma=0.02,broken=1").expect("spec must parse");
+        let result = run(cfg);
+        assert!(!result.unrecovered, "{scheduler:?}: recovery must complete every task");
+        let log = result.run_log.expect("record_events was set");
+        assert!(log.fault_policy.is_some(), "armed runs must declare their plan");
+        let report = check_run(&log);
+        assert!(
+            report.is_clean(),
+            "{scheduler:?} armed run must satisfy every invariant:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn lethal_plan_trips_the_checker() {
+    let mut cfg = SimConfig::cell_42sc(SchedulerKind::Edtlp, 2, SCALE);
+    cfg.seed = 0x5eed;
+    cfg.record_events = true;
+    cfg.faults =
+        FaultPlan::parse("seed=3,pin=crash@0,retries=0,fallback=off").expect("spec must parse");
+    let result = run(cfg);
+    assert!(result.unrecovered, "a lost task must surface in the report");
+    let log = result.run_log.expect("record_events was set");
+    let report = check_run(&log);
+    assert!(
+        report.violations.iter().any(|v| v.rule == "fault-recovery" && v.message.contains("lost")),
+        "the checker must convict the lethal plan:\n{}",
+        report.render()
+    );
 }

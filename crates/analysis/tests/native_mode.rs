@@ -19,6 +19,7 @@ fn native_log(events: Vec<(u64, EventKind)>) -> RunLog {
         local_store_bytes: 256 * 1024,
         loop_iters: 0,
         mgps_window: None,
+            fault_policy: None,
         events: events
             .into_iter()
             .enumerate()

@@ -89,6 +89,51 @@ pub fn native_offload_wall(
     started.elapsed()
 }
 
+/// Wall time of `offloads` sequential EDTLP off-loads with the fault
+/// plane unarmed (the default inert [`FaultPlan`]) or armed with a plan
+/// that can never fire (a single pin on a task id the workload never
+/// reaches).
+///
+/// Unarmed, the entire fault plane is one `Option::is_some` check at the
+/// top of `offload_loop` — the quantity the DESIGN budget bounds at < 1 %
+/// and the bench regression gate tracks across commits. Armed-but-quiet
+/// additionally pays one mutex'd fault-round decision per off-load, which
+/// is the marginal bookkeeping cost chaos runs accept.
+///
+/// [`FaultPlan`]: mgps_runtime::faults::FaultPlan
+pub fn fault_offload_wall(
+    armed: bool,
+    offloads: usize,
+    work: std::time::Duration,
+) -> std::time::Duration {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use mgps_runtime::faults::FaultPlan;
+    use mgps_runtime::native::{LoopSite, MgpsRuntime, RuntimeConfig};
+    use mgps_runtime::NopMetrics;
+
+    const ITERS_PER_OFFLOAD: usize = 8;
+    let mut cfg = RuntimeConfig::cell(SchedulerKind::Edtlp);
+    cfg.switch_cost = Duration::ZERO;
+    if armed {
+        // A pinned fault on a task id the run never issues: every armed
+        // code path executes, no fault ever fires.
+        cfg.faults = FaultPlan::parse(&format!("seed=7,pin=crash@{}", u64::MAX))
+            .expect("quiet plan parses");
+        assert!(cfg.faults.armed());
+    }
+    let rt = MgpsRuntime::with_observability(cfg, Arc::new(NopMetrics), None);
+    let mut ctx = rt.enter_process();
+    let spin = work / ITERS_PER_OFFLOAD as u32;
+    let started = Instant::now();
+    for _ in 0..offloads {
+        let body = Arc::new(SpinBody { n: ITERS_PER_OFFLOAD, spin });
+        std::hint::black_box(ctx.offload_loop(LoopSite(0), body).expect("offload succeeds"));
+    }
+    started.elapsed()
+}
+
 /// Wall time of `offloads` sequential EDTLP off-loads while a scraper
 /// thread drains epoch snapshots at the given cadence.
 ///

@@ -210,12 +210,64 @@ pub enum EventKind {
     /// places no scheduling constraint; reports surface it prominently.
     Health {
         /// Stable alarm slug (`utilization_collapse`, `stall_spike`,
-        /// `ring_drop`).
+        /// `ring_drop`, `quarantine_storm`).
         alarm: String,
         /// `warning` or `critical`.
         severity: String,
         /// Human-readable explanation of what tripped.
         detail: String,
+    },
+    /// The fault plane sabotaged off-load attempt `attempt` of `task`,
+    /// which had been assigned to lead SPE `spe`. The attempt produces no
+    /// `TaskStart`; the watchdog reclaims the team and recovery decides
+    /// between a retry, the PPE fallback, or (lethal plans only) a lost
+    /// task the checker must flag.
+    FaultInjected {
+        /// Team-lead SPE of the sabotaged assignment.
+        spe: usize,
+        /// The faulted task.
+        task: u64,
+        /// Stable fault-kind slug (`spe_stall`, `spe_crash`, `dma_error`,
+        /// `mailbox_drop`).
+        fault: String,
+        /// Off-load attempt number (0 = original off-load).
+        attempt: u64,
+    },
+    /// Recovery re-queued faulted `task` for off-load attempt `attempt`
+    /// after waiting the declared exponential backoff. Not an `Offload`:
+    /// the task keeps its identity and its single completion obligation.
+    OffloadRetry {
+        /// The retried task.
+        task: u64,
+        /// The new attempt number (≥ 1, strictly increasing per task).
+        attempt: u64,
+        /// Backoff waited before this retry, ns (must match the policy
+        /// declared in the log header).
+        backoff_ns: u64,
+    },
+    /// `spe` exceeded the policy's consecutive-fault threshold and was
+    /// removed from scheduling (no team may include it until readmitted).
+    SpeQuarantined {
+        /// The quarantined SPE.
+        spe: usize,
+        /// Consecutive faults that tripped the threshold.
+        faults: u64,
+    },
+    /// A re-admission probe returned quarantined `spe` to scheduling.
+    SpeReadmitted {
+        /// The readmitted SPE.
+        spe: usize,
+    },
+    /// Terminal degradation: `task` ran to completion on the PPE fallback
+    /// copy. This is the task's completion record — a fallen-back task
+    /// has no `TaskStart`/`TaskEnd`.
+    PpeFallback {
+        /// Owning worker process.
+        proc: usize,
+        /// The task completed on the PPE.
+        task: u64,
+        /// Off-load attempts consumed before falling back.
+        attempts: u64,
     },
 }
 
@@ -290,6 +342,12 @@ pub struct RunLog {
     pub loop_iters: usize,
     /// MGPS utilization-window length, when the run used MGPS.
     pub mgps_window: Option<usize>,
+    /// Canonical fault spec (`FaultPlan::to_spec`) when a fault plan was
+    /// armed for the run. Its presence tells the checker to (a) enforce
+    /// the fault-recovery/quarantine/backoff rules against this exact
+    /// declared policy and (b) relax FIFO start order and degree pinning,
+    /// which retries and healthy-SPE clamping legitimately perturb.
+    pub fault_policy: Option<String>,
     /// The events, in emission order.
     pub events: Vec<EventRecord>,
 }
@@ -455,6 +513,34 @@ impl EventKind {
                 ("severity", severity.clone().into()),
                 ("detail", detail.clone().into()),
             ]),
+            EventKind::FaultInjected { spe, task, fault, attempt } => Value::object(vec![
+                ("type", "fault_injected".into()),
+                ("spe", (*spe).into()),
+                ("task", (*task).into()),
+                ("fault", fault.clone().into()),
+                ("attempt", (*attempt).into()),
+            ]),
+            EventKind::OffloadRetry { task, attempt, backoff_ns } => Value::object(vec![
+                ("type", "offload_retry".into()),
+                ("task", (*task).into()),
+                ("attempt", (*attempt).into()),
+                ("backoff_ns", (*backoff_ns).into()),
+            ]),
+            EventKind::SpeQuarantined { spe, faults } => Value::object(vec![
+                ("type", "spe_quarantined".into()),
+                ("spe", (*spe).into()),
+                ("faults", (*faults).into()),
+            ]),
+            EventKind::SpeReadmitted { spe } => Value::object(vec![
+                ("type", "spe_readmitted".into()),
+                ("spe", (*spe).into()),
+            ]),
+            EventKind::PpeFallback { proc, task, attempts } => Value::object(vec![
+                ("type", "ppe_fallback".into()),
+                ("proc", (*proc).into()),
+                ("task", (*task).into()),
+                ("attempts", (*attempts).into()),
+            ]),
         }
     }
 
@@ -537,6 +623,27 @@ impl EventKind {
                 severity: str_field(v, "severity")?.to_string(),
                 detail: str_field(v, "detail")?.to_string(),
             },
+            "fault_injected" => EventKind::FaultInjected {
+                spe: usize_field(v, "spe")?,
+                task: u64_field(v, "task")?,
+                fault: str_field(v, "fault")?.to_string(),
+                attempt: u64_field(v, "attempt")?,
+            },
+            "offload_retry" => EventKind::OffloadRetry {
+                task: u64_field(v, "task")?,
+                attempt: u64_field(v, "attempt")?,
+                backoff_ns: u64_field(v, "backoff_ns")?,
+            },
+            "spe_quarantined" => EventKind::SpeQuarantined {
+                spe: usize_field(v, "spe")?,
+                faults: u64_field(v, "faults")?,
+            },
+            "spe_readmitted" => EventKind::SpeReadmitted { spe: usize_field(v, "spe")? },
+            "ppe_fallback" => EventKind::PpeFallback {
+                proc: usize_field(v, "proc")?,
+                task: u64_field(v, "task")?,
+                attempts: u64_field(v, "attempts")?,
+            },
             other => return Err(format!("unknown event type '{other}'")),
         };
         Ok(kind)
@@ -571,6 +678,10 @@ impl RunLog {
                 "mgps_window",
                 self.mgps_window.map_or(Value::Null, Into::into),
             ),
+            (
+                "fault_policy",
+                self.fault_policy.clone().map_or(Value::Null, Into::into),
+            ),
             ("events", Value::Array(events)),
         ])
     }
@@ -601,6 +712,10 @@ impl RunLog {
             local_store_bytes: usize_field(v, "local_store_bytes")?,
             loop_iters: usize_field(v, "loop_iters")?,
             mgps_window: v.get("mgps_window").and_then(Value::as_u64).map(|n| n as usize),
+            fault_policy: v
+                .get("fault_policy")
+                .and_then(Value::as_str)
+                .map(str::to_string),
             events,
         })
     }
@@ -619,6 +734,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 228,
             mgps_window: Some(8),
+            fault_policy: None,
             events: vec![
                 EventRecord {
                     seq: 0,
@@ -755,10 +871,49 @@ mod tests {
                     detail: "U<=1 with degree 1 for 3 windows".to_string(),
                 },
             },
+            EventRecord {
+                seq: 14,
+                at_ns: 105,
+                kind: EventKind::FaultInjected {
+                    spe: 3,
+                    task: 7,
+                    fault: "spe_stall".to_string(),
+                    attempt: 0,
+                },
+            },
+            EventRecord {
+                seq: 15,
+                at_ns: 106,
+                kind: EventKind::OffloadRetry { task: 7, attempt: 1, backoff_ns: 50_500 },
+            },
+            EventRecord {
+                seq: 16,
+                at_ns: 107,
+                kind: EventKind::SpeQuarantined { spe: 3, faults: 3 },
+            },
+            EventRecord {
+                seq: 17,
+                at_ns: 108,
+                kind: EventKind::SpeReadmitted { spe: 3 },
+            },
+            EventRecord {
+                seq: 18,
+                at_ns: 109,
+                kind: EventKind::PpeFallback { proc: 0, task: 7, attempts: 4 },
+            },
         ]);
+        log.fault_policy = Some("seed=1,stall=0.05,retries=3".to_string());
         let text = log.to_value().to_json_pretty();
         let back = RunLog::from_value(&minijson::parse(&text).unwrap()).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn absent_fault_policy_reads_back_as_none() {
+        let log = sample_log();
+        let text = log.to_value().to_json_pretty();
+        let back = RunLog::from_value(&minijson::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.fault_policy, None);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 
 use des::prelude::*;
+use mgps_runtime::faults::FaultPlan;
 use mgps_runtime::policy::{
     partition, Directive, MgpsConfig, MgpsScheduler, PpePolicyKind, PpeScheduler, ProcId,
     SchedulerKind, TaskId,
@@ -87,6 +88,12 @@ pub struct SimConfig {
     /// (task/DMA/mailbox/local-store/degree events). Costs memory
     /// proportional to the event count; off by default.
     pub record_events: bool,
+    /// Seeded fault-injection plan (inert by default). When armed, grants
+    /// can be sabotaged and the recovery machinery (watchdog reclaim,
+    /// bounded retry with declared backoff, SPE quarantine with
+    /// re-admission probes, PPE fallback) engages; the canonical spec is
+    /// recorded in the RunLog header for the checker.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -104,9 +111,15 @@ impl SimConfig {
             mgps_config: None,
             record_timeline: false,
             record_events: false,
+            faults: FaultPlan::inert(),
         }
     }
 }
+
+/// Slowdown of the scalar PPE fallback copy relative to the vectorized SPE
+/// version (the paper's dual-version functions; matches the gap the native
+/// runtime's granularity tests observe).
+const PPE_FALLBACK_SLOWDOWN: f64 = 3.0;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -138,6 +151,9 @@ struct ProcState {
     /// Task id of the off-load in flight (valid from off-load request
     /// until completion).
     current_task: u64,
+    /// Off-load attempt counter for the task in flight: 0 for the original
+    /// off-load, incremented per watchdog-driven retry.
+    attempt: u32,
     /// Off-load request timestamp of the task in flight.
     task_started_ns: u64,
     /// When this process last acquired a PPE context.
@@ -187,6 +203,19 @@ pub struct CellMachine {
     tasks_completed: u64,
     llp_switches: u64,
     dma_fallbacks: u64,
+    // fault plane
+    /// Per-SPE quarantine flags (true = out of service).
+    quarantined: Vec<bool>,
+    /// Per-SPE consecutive-fault counters; a clean completion resets the
+    /// whole team's counters.
+    consec_faults: Vec<u32>,
+    /// `tasks_completed` at the moment each SPE was quarantined; the
+    /// re-admission probe fires `readmit_period` completions later.
+    quarantine_marks: Vec<u64>,
+    /// Minimum drawn task duration so far — the watchdog's timing history
+    /// (pure sim-time arithmetic, no wall clock).
+    min_task_ns: Option<u64>,
+    fault_stats: FaultReport,
 }
 
 impl CellMachine {
@@ -267,6 +296,7 @@ impl CellMachine {
                     remaining: cfg.workload.tasks_per_bootstrap,
                     phase: Phase::Ready,
                     current_task: 0,
+                    attempt: 0,
                     task_started_ns: 0,
                     ctx_acquired_ns: 0,
                     polluted: false,
@@ -291,12 +321,28 @@ impl CellMachine {
             tasks_completed: 0,
             llp_switches: 0,
             dma_fallbacks: 0,
+            quarantined: vec![false; n_spes],
+            consec_faults: vec![0; n_spes],
+            quarantine_marks: vec![0; n_spes],
+            min_task_ns: None,
+            fault_stats: FaultReport::default(),
             cfg,
         }
     }
 
+    /// Idle SPEs available for a grant (quarantined SPEs are out of
+    /// service and never count).
     fn idle_spes(&self) -> usize {
-        self.spes.iter().filter(|s| !s.is_busy()).count()
+        self.spes
+            .iter()
+            .zip(&self.quarantined)
+            .filter(|(s, &q)| !s.is_busy() && !q)
+            .count()
+    }
+
+    /// SPEs currently in service (not quarantined).
+    fn healthy_spes(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
     }
 
     /// Append an event record, when structured logging is enabled.
@@ -323,9 +369,12 @@ impl CellMachine {
         self.cfg.scheduler == SchedulerKind::LinuxLike
     }
 
-    /// The loop degree a grant issued now would use.
+    /// The loop degree a grant issued now would use. Clamped to the
+    /// healthy-SPE count so fixed-degree schedulers (static hybrid) cannot
+    /// deadlock waiting for a team quarantine has made impossible.
     fn grant_degree(&self) -> usize {
-        self.current_degree.clamp(1, self.spes.len())
+        let healthy = self.healthy_spes().max(1);
+        self.current_degree.clamp(1, self.spes.len()).min(healthy)
     }
 
     /// Count of processes on `cell`'s PPE (either SMT context) currently in
@@ -356,6 +405,24 @@ pub struct TimelineEntry {
     pub start: SimTime,
     /// Task end time.
     pub end: SimTime,
+}
+
+/// Fault-plane outcome counters for one run (all zero when no plan was
+/// armed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults injected (sabotaged grant attempts).
+    pub injected: u64,
+    /// Off-load retries issued after watchdog reclaim.
+    pub retries: u64,
+    /// Tasks completed by the scalar PPE fallback kernel copy.
+    pub ppe_fallbacks: u64,
+    /// SPE quarantine entries.
+    pub quarantines: u64,
+    /// Quarantine re-admissions.
+    pub readmissions: u64,
+    /// Tasks lost outright (retries exhausted with the fallback disabled).
+    pub lost: u64,
 }
 
 /// Summary of one simulation run.
@@ -396,6 +463,13 @@ pub struct RunReport {
     /// Completion time of each worker process (bootstrap), in process
     /// order — exposes the Linux baseline's wave structure directly.
     pub proc_finish: Vec<SimDuration>,
+    /// Fault-plane counters (all zero when no plan was armed).
+    pub faults: FaultReport,
+    /// Whether some bootstrap failed to complete — possible only under a
+    /// lethal fault plan (fallback disabled and retries exhausted, or an
+    /// all-quarantined machine with no fallback). Unfaulted runs always
+    /// finish. Maps to CLI exit code 5.
+    pub unrecovered: bool,
 }
 
 /// Run one simulation to completion.
@@ -407,11 +481,21 @@ pub fn run(cfg: SimConfig) -> RunReport {
     sim.run();
     let now = sim.now();
     let m = sim.model();
-    let makespan_time = m.finish.expect("simulation ended without finishing all bootstraps");
+    let makespan_time = match m.finish {
+        Some(t) => t,
+        None => {
+            // Only a lethal fault plan can strand a bootstrap; anything
+            // else ending early is a simulator bug.
+            assert!(
+                m.cfg.faults.armed(),
+                "simulation ended without finishing all bootstraps"
+            );
+            now
+        }
+    };
     let makespan = makespan_time.since(SimTime::ZERO);
     let utils: Vec<f64> = m.spes.iter().map(|s| s.utilization(makespan_time)).collect();
     let mean = utils.iter().sum::<f64>() / utils.len() as f64;
-    let _ = now;
     RunReport {
         makespan,
         paper_scale_secs: makespan.as_secs_f64() * scale,
@@ -444,6 +528,11 @@ pub fn run(cfg: SimConfig) -> RunReport {
                 local_store_bytes: m.cfg.params.local_store_bytes,
                 loop_iters: m.cfg.workload.loop_iters,
                 mgps_window: m.mgps.as_ref().map(|s| s.config().window),
+                fault_policy: if m.cfg.faults.armed() {
+                    Some(m.cfg.faults.to_spec())
+                } else {
+                    None
+                },
                 events: m.events.clone(),
             })
         } else {
@@ -452,8 +541,10 @@ pub fn run(cfg: SimConfig) -> RunReport {
         proc_finish: m
             .procs
             .iter()
-            .map(|p| p.finished.expect("all processes finished").since(SimTime::ZERO))
+            .map(|p| p.finished.unwrap_or(makespan_time).since(SimTime::ZERO))
             .collect(),
+        faults: m.fault_stats,
+        unrecovered: m.finish.is_none(),
     }
 }
 
@@ -536,6 +627,7 @@ fn gap_done(sim: &mut S, p: usize) {
         let t = TaskId(m.next_task);
         m.next_task += 1;
         m.procs[p].current_task = t.0;
+        m.procs[p].attempt = 0;
         m.procs[p].task_started_ns = now_ns;
         m.procs[p].phase = Phase::WaitingSpe;
         if let Some(mgps) = m.mgps.as_mut() {
@@ -571,37 +663,70 @@ fn gap_done(sim: &mut S, p: usize) {
 
 /// Grant queued off-load requests while SPEs allow (FIFO).
 fn try_dispatch_queue(sim: &mut S) {
+    enum Grant {
+        Spe(usize, usize),
+        Fallback(usize),
+    }
     loop {
         let grant = {
             let m = sim.model();
             match m.request_queue.front() {
                 Some(&p) => {
-                    let degree = m.grant_degree();
-                    if m.idle_spes() >= degree {
-                        Some((p, degree))
+                    if m.healthy_spes() == 0 {
+                        // Every SPE is quarantined: terminal degradation
+                        // reroutes the queue head straight to the scalar
+                        // PPE copy (if the policy allows; otherwise the
+                        // queue waits on a re-admission probe that, with
+                        // no completions happening, never comes — the
+                        // lethal configuration).
+                        if m.cfg.faults.policy.ppe_fallback {
+                            Some(Grant::Fallback(p))
+                        } else {
+                            None
+                        }
                     } else {
-                        None
+                        let degree = m.grant_degree();
+                        if m.idle_spes() >= degree {
+                            Some(Grant::Spe(p, degree))
+                        } else {
+                            None
+                        }
                     }
                 }
                 None => None,
             }
         };
-        let Some((p, degree)) = grant else { return };
-        sim.model_mut().request_queue.pop_front();
-        grant_task(sim, p, degree);
+        match grant {
+            Some(Grant::Spe(p, degree)) => {
+                sim.model_mut().request_queue.pop_front();
+                grant_task(sim, p, degree);
+            }
+            Some(Grant::Fallback(p)) => {
+                sim.model_mut().request_queue.pop_front();
+                ppe_fallback_start(sim, p);
+            }
+            None => return,
+        }
     }
+}
+
+/// What a grant turned into: a running task, or a sabotaged attempt that
+/// wedges its team until the watchdog reclaims it.
+enum Granted {
+    Run { duration: SimDuration, dma_latency: Option<SimDuration> },
+    Faulted { watchdog: SimDuration },
 }
 
 /// Start `p`'s task on a team of `degree` SPEs.
 fn grant_task(sim: &mut S, p: usize, degree: usize) {
     let now = sim.now();
-    let (duration, team, dma_latency) = {
+    let (granted, team) = {
         let m = sim.model_mut();
         let epoch = m.image_epoch;
         let mut team = Vec::with_capacity(degree);
         let mut reloaded = Vec::new();
         for (i, spe) in m.spes.iter_mut().enumerate() {
-            if !spe.is_busy() {
+            if !spe.is_busy() && !m.quarantined[i] {
                 if spe.start_task(now, epoch) {
                     reloaded.push(i);
                 }
@@ -612,7 +737,7 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
             }
         }
         let reload = !reloaded.is_empty();
-        assert_eq!(team.len(), degree, "grant without enough idle SPEs");
+        assert_eq!(team.len(), degree, "grant without enough idle healthy SPEs");
         let now_ns = now.as_nanos();
         // Team members reload in parallel; each pays the full stall, the
         // task-level delay is one code_load_cost (added below).
@@ -621,10 +746,48 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
             m.emit(now_ns, EventKind::CodeReload { spe, stall_ns });
         }
         let task = m.procs[p].current_task;
+        let lead = team[0];
+        // Draw the kernel timing up front — in the simulator the drawn
+        // duration *is* the task's true duration, so its running minimum
+        // is the engine's own timing history, which the watchdog deadline
+        // scales (no wall-clock constants).
+        let (jitter, kind) = {
+            let w = m.cfg.workload;
+            (w.draw_jitter(&mut m.rng), w.draw_kind(&mut m.rng))
+        };
+        let mut dur = m.cfg.workload.kernel_task_duration(
+            kind,
+            m.cfg.profile,
+            degree,
+            jitter,
+            m.cfg.workload.heterogeneous_kernels,
+        );
+        let drawn_ns = dur.as_nanos();
+        m.min_task_ns = Some(m.min_task_ns.map_or(drawn_ns, |v| v.min(drawn_ns)));
+        let attempt = m.procs[p].attempt;
+        if let Some(fault) = m.cfg.faults.decide(task, attempt, lead) {
+            // The attempt dies before the start protocol completes: no
+            // mailbox traffic, no DMA, no TaskStart — just a wedged team
+            // the watchdog must reclaim.
+            m.fault_stats.injected += 1;
+            m.consec_faults[lead] += 1;
+            m.emit(
+                now_ns,
+                EventKind::FaultInjected {
+                    spe: lead,
+                    task,
+                    fault: fault.name().to_string(),
+                    attempt: u64::from(attempt),
+                },
+            );
+            m.procs[p].phase = Phase::OnSpe;
+            let hint = m.min_task_ns.unwrap_or(drawn_ns);
+            let watchdog = SimDuration::from_nanos(m.cfg.faults.watchdog_ns(hint));
+            (Granted::Faulted { watchdog }, team)
+        } else {
         let buffer_bytes = m.cfg.workload.input_bytes + m.cfg.workload.output_bytes;
         // PPE -> SPU start command through the lead SPE's inbound mailbox
         // (4-entry; our one-in-flight protocol can never fill it).
-        let lead = team[0];
         let task_lo = m.next_task as u32;
         let posted = m.mailboxes[lead].signal_start(task_lo);
         debug_assert!(posted, "inbound mailbox overflow with one task in flight");
@@ -682,17 +845,6 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
             }
         }
 
-        let (jitter, kind) = {
-            let w = m.cfg.workload;
-            (w.draw_jitter(&mut m.rng), w.draw_kind(&mut m.rng))
-        };
-        let mut dur = m.cfg.workload.kernel_task_duration(
-            kind,
-            m.cfg.profile,
-            degree,
-            jitter,
-            m.cfg.workload.heterogeneous_kernels,
-        );
         // Input/output DMA through the EIB. The optimized kernels aggregate
         // and double-buffer transfers (§5.1), so the latency overlaps the
         // computation (it is already inside the measured 96 µs task time);
@@ -723,14 +875,149 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
                 m.timeline.push(TimelineEntry { spe, proc: p, start, end: start + dur });
             }
         }
-        (dur, team, dma_latency)
+        (Granted::Run { duration: dur, dma_latency }, team)
+        }
     };
-    // Release the bus slot when the transfer lands (keeps EIB occupancy
-    // honest for concurrent transfers).
-    if let Some(lat) = dma_latency {
-        sim.schedule_in(lat, |sim| sim.model_mut().eib.end_transfer());
+    match granted {
+        Granted::Run { duration, dma_latency } => {
+            // Release the bus slot when the transfer lands (keeps EIB
+            // occupancy honest for concurrent transfers).
+            if let Some(lat) = dma_latency {
+                sim.schedule_in(lat, |sim| sim.model_mut().eib.end_transfer());
+            }
+            sim.schedule_in(duration, move |sim| task_complete(sim, p, team.clone()));
+        }
+        Granted::Faulted { watchdog } => {
+            sim.schedule_in(watchdog, move |sim| watchdog_fire(sim, p, team.clone()));
+        }
     }
-    sim.schedule_in(duration, move |sim| task_complete(sim, p, team.clone()));
+}
+
+/// The watchdog deadline for `p`'s faulted attempt expired: reclaim the
+/// wedged team, quarantine the lead if it crossed `k` consecutive faults,
+/// then retry (with declared backoff), fall back to the PPE, or — under a
+/// lethal policy — abandon the task.
+fn watchdog_fire(sim: &mut S, p: usize, team: Vec<usize>) {
+    let now = sim.now();
+    let now_ns = now.as_nanos();
+    let (task, attempt) = {
+        let m = sim.model_mut();
+        for &s in &team {
+            m.spes[s].finish_task(now);
+        }
+        let lead = team[0];
+        let pol = m.cfg.faults.policy;
+        if !m.quarantined[lead] && m.consec_faults[lead] >= pol.quarantine_k {
+            m.quarantined[lead] = true;
+            m.quarantine_marks[lead] = m.tasks_completed;
+            m.fault_stats.quarantines += 1;
+            let faults = u64::from(m.consec_faults[lead]);
+            m.emit(now_ns, EventKind::SpeQuarantined { spe: lead, faults });
+            sync_mgps_healthy(m);
+        }
+        (m.procs[p].current_task, m.procs[p].attempt)
+    };
+    let pol = sim.model().cfg.faults.policy;
+    if attempt < pol.max_retries {
+        let backoff_ns = sim.model().cfg.faults.backoff_ns(task, attempt + 1);
+        sim.schedule_in(SimDuration::from_nanos(backoff_ns), move |sim| {
+            retry_offload(sim, p, backoff_ns)
+        });
+    } else if pol.ppe_fallback {
+        ppe_fallback_start(sim, p);
+    } else {
+        // Lethal configuration: the task is lost and its bootstrap never
+        // finishes — exactly the failure the checker must flag.
+        let m = sim.model_mut();
+        m.fault_stats.lost += 1;
+        m.procs[p].phase = Phase::WaitingSpe;
+    }
+    // The reclaimed team may unblock queued requests.
+    try_dispatch_queue(sim);
+}
+
+/// `p` re-off-loads its faulted task after the declared backoff.
+fn retry_offload(sim: &mut S, p: usize, backoff_ns: u64) {
+    let now_ns = sim.now().as_nanos();
+    {
+        let m = sim.model_mut();
+        m.procs[p].attempt += 1;
+        m.fault_stats.retries += 1;
+        m.procs[p].phase = Phase::WaitingSpe;
+        let task = m.procs[p].current_task;
+        let attempt = u64::from(m.procs[p].attempt);
+        m.request_queue.push_back(p);
+        m.emit(now_ns, EventKind::OffloadRetry { task, attempt, backoff_ns });
+    }
+    try_dispatch_queue(sim);
+}
+
+/// Run `p`'s task on the PPE's scalar kernel copy (the paper's dual-version
+/// functions): the terminal degradation — the task still completes.
+fn ppe_fallback_start(sim: &mut S, p: usize) {
+    let dur = {
+        let m = sim.model_mut();
+        m.procs[p].phase = Phase::OnSpe;
+        let (jitter, kind) = {
+            let w = m.cfg.workload;
+            (w.draw_jitter(&mut m.rng), w.draw_kind(&mut m.rng))
+        };
+        m.cfg
+            .workload
+            .kernel_task_duration(kind, m.cfg.profile, 1, jitter, m.cfg.workload.heterogeneous_kernels)
+            .mul_f64(PPE_FALLBACK_SLOWDOWN)
+    };
+    sim.schedule_in(dur, move |sim| ppe_fallback_complete(sim, p));
+}
+
+/// `p`'s task finished on the PPE fallback path.
+fn ppe_fallback_complete(sim: &mut S, p: usize) {
+    let now_ns = sim.now().as_nanos();
+    {
+        let m = sim.model_mut();
+        let task = m.procs[p].current_task;
+        let attempts = u64::from(m.procs[p].attempt) + 1;
+        m.emit(now_ns, EventKind::PpeFallback { proc: p, task, attempts });
+        m.fault_stats.ppe_fallbacks += 1;
+        m.tasks_completed += 1;
+        m.procs[p].remaining -= 1;
+        mgps_departure(m, p, now_ns);
+        maybe_readmit(m, now_ns);
+    }
+    try_dispatch_queue(sim);
+    reacquire_ppe(sim, p);
+}
+
+/// Re-admission probes: a quarantined SPE re-enters service
+/// `readmit_period` completions after it was benched, with its
+/// consecutive-fault counter left one below the threshold so a single
+/// further fault re-quarantines it immediately.
+fn maybe_readmit(m: &mut CellMachine, now_ns: u64) {
+    let period = u64::from(m.cfg.faults.policy.readmit_period.max(1));
+    let mut changed = false;
+    for spe in 0..m.quarantined.len() {
+        if m.quarantined[spe]
+            && m.tasks_completed.saturating_sub(m.quarantine_marks[spe]) >= period
+        {
+            m.quarantined[spe] = false;
+            m.consec_faults[spe] = m.cfg.faults.policy.quarantine_k.saturating_sub(1);
+            m.fault_stats.readmissions += 1;
+            m.emit(now_ns, EventKind::SpeReadmitted { spe });
+            changed = true;
+        }
+    }
+    if changed {
+        sync_mgps_healthy(m);
+    }
+}
+
+/// Push the healthy-SPE count into the MGPS policy so subsequent LLP
+/// degrees are `⌊healthy / T⌋`.
+fn sync_mgps_healthy(m: &mut CellMachine) {
+    let healthy = m.healthy_spes();
+    if let Some(mgps) = m.mgps.as_mut() {
+        mgps.set_healthy(healthy);
+    }
 }
 
 /// `p`'s task finished on `team`.
@@ -779,49 +1066,63 @@ fn task_complete(sim: &mut S, p: usize, team: Vec<usize>) {
         m.emit(now_ns, EventKind::TaskEnd { proc: p, task, team: team.clone() });
         m.tasks_completed += 1;
         m.procs[p].remaining -= 1;
-
-        // MGPS adaptation on departure.
-        let started = m.procs[p].task_started_ns;
-        let waiting = m
-            .procs
-            .iter()
-            .filter(|pr| pr.admitted && pr.phase != Phase::Done)
-            .count()
-            .max(1);
-        let tid = TaskId(m.next_task); // id only used for bookkeeping
-        let decision = m.mgps.as_mut().and_then(|mgps| {
-            mgps.on_departure(tid, started, now_ns, waiting)
-                .map(|d| (d, mgps.config().window, mgps.window_fill()))
-        });
-        if let Some((directive, window, window_fill)) = decision {
-            let new_degree = match directive {
-                Directive::ActivateLlp(d) => d.0,
-                Directive::DeactivateLlp => 1,
-            };
-            let n_spes = m.spes.len();
-            m.emit(
-                now_ns,
-                EventKind::DegreeDecision {
-                    degree: new_degree,
-                    waiting,
-                    n_spes,
-                    window,
-                    window_fill,
-                },
-            );
-            if new_degree != m.current_degree {
-                m.current_degree = new_degree;
-                // Switching between plain and loop-parallel kernel
-                // versions replaces SPE code images (§5.4).
-                m.image_epoch += 1;
-                m.llp_switches += 1;
-            }
+        // A clean completion clears the team's consecutive-fault counters
+        // and advances the re-admission clock.
+        for &s in &team {
+            m.consec_faults[s] = 0;
         }
+        mgps_departure(m, p, now_ns);
+        maybe_readmit(m, now_ns);
     }
     // Freed SPEs may unblock queued requests.
     try_dispatch_queue(sim);
+    reacquire_ppe(sim, p);
+}
 
-    // Re-acquire the PPE.
+/// MGPS adaptation on a task departure (shared by the SPE-completion and
+/// PPE-fallback paths).
+fn mgps_departure(m: &mut CellMachine, p: usize, now_ns: u64) {
+    let started = m.procs[p].task_started_ns;
+    let waiting = m
+        .procs
+        .iter()
+        .filter(|pr| pr.admitted && pr.phase != Phase::Done)
+        .count()
+        .max(1);
+    let tid = TaskId(m.next_task); // id only used for bookkeeping
+    let decision = m.mgps.as_mut().and_then(|mgps| {
+        mgps.on_departure(tid, started, now_ns, waiting)
+            .map(|d| (d, mgps.config().window, mgps.window_fill()))
+    });
+    if let Some((directive, window, window_fill)) = decision {
+        let new_degree = match directive {
+            Directive::ActivateLlp(d) => d.0,
+            Directive::DeactivateLlp => 1,
+        };
+        let n_spes = m.spes.len();
+        m.emit(
+            now_ns,
+            EventKind::DegreeDecision {
+                degree: new_degree,
+                waiting,
+                n_spes,
+                window,
+                window_fill,
+            },
+        );
+        if new_degree != m.current_degree {
+            m.current_degree = new_degree;
+            // Switching between plain and loop-parallel kernel
+            // versions replaces SPE code images (§5.4).
+            m.image_epoch += 1;
+            m.llp_switches += 1;
+        }
+    }
+}
+
+/// Give `p` its PPE context back after a completed task (SPE completion or
+/// PPE fallback alike).
+fn reacquire_ppe(sim: &mut S, p: usize) {
     let ppe = sim.model().procs[p].ppe;
     if sim.model().is_linux() {
         if sim.model().ppes[ppe].is_running(ProcId(p)) {
@@ -1167,6 +1468,129 @@ mod tests {
         let c = cfg(SchedulerKind::Edtlp, 3);
         let r = run(c);
         assert_eq!(r.mailbox_messages, 2 * r.tasks_completed);
+    }
+
+    #[test]
+    fn faulted_runs_recover_every_task_and_stay_deterministic() {
+        let mut c = cfg(SchedulerKind::Edtlp, 3);
+        c.faults = FaultPlan::parse("seed=5,stall=0.05,dma=0.02").unwrap();
+        c.record_events = true;
+        let a = run(c);
+        let b = run(c);
+        assert!(a.faults.injected > 0, "a 7% combined rate over ~400 tasks must fire");
+        assert!(a.faults.retries > 0);
+        assert_eq!(a.faults.lost, 0);
+        assert!(!a.unrecovered);
+        assert_eq!(a.tasks_completed, 3 * c.workload.tasks_per_bootstrap as u64);
+        assert_eq!(a.makespan, b.makespan);
+        // Byte-identical replay: same seed + same spec → same log.
+        assert_eq!(format!("{:?}", a.run_log), format!("{:?}", b.run_log));
+        let log = a.run_log.unwrap();
+        assert_eq!(log.fault_policy.as_deref(), Some(c.faults.to_spec().as_str()));
+    }
+
+    #[test]
+    fn unarmed_plan_leaves_runs_identical_to_default() {
+        let mut c = cfg(SchedulerKind::Mgps, 2);
+        c.record_events = true;
+        let base = run(c);
+        // Tweaking recovery knobs without arming any fault source must not
+        // perturb the schedule (the <1%-overhead claim starts here).
+        c.faults.policy.max_retries = 9;
+        c.faults.policy.watchdog_factor = 2;
+        let tweaked = run(c);
+        assert_eq!(base.makespan, tweaked.makespan);
+        assert_eq!(format!("{:?}", base.run_log), format!("{:?}", tweaked.run_log));
+        assert_eq!(base.faults, FaultReport::default());
+        assert!(base.run_log.unwrap().fault_policy.is_none());
+    }
+
+    #[test]
+    fn broken_spes_get_quarantined_and_mgps_throttles_degree() {
+        let mut c = cfg(SchedulerKind::Mgps, 1);
+        c.faults = FaultPlan::parse("seed=1,broken=4,readmit=1000000").unwrap();
+        c.record_events = true;
+        let r = run(c);
+        assert!(!r.unrecovered);
+        assert_eq!(r.faults.lost, 0);
+        assert_eq!(r.faults.quarantines, 4, "all four broken SPEs must be benched");
+        assert_eq!(r.faults.readmissions, 0, "re-admission pushed past the run");
+        // Decision log: once the broken half is quarantined, a single
+        // bootstrap (T = 1) gets floor(healthy/1) = 4 SPEs, not 8.
+        let log = r.run_log.unwrap();
+        let mut benched = 0u32;
+        let mut max_after = 0usize;
+        let mut decisions_after = 0u32;
+        for e in &log.events {
+            match &e.kind {
+                EventKind::SpeQuarantined { .. } => benched += 1,
+                EventKind::DegreeDecision { degree, .. } if benched >= 4 => {
+                    decisions_after += 1;
+                    max_after = max_after.max(*degree);
+                }
+                _ => {}
+            }
+        }
+        assert!(decisions_after > 0, "MGPS must keep deciding after quarantine");
+        assert_eq!(max_after, 4, "degree must drop to the healthy-SPE count");
+    }
+
+    #[test]
+    fn all_spes_broken_still_completes_via_ppe_fallback() {
+        let mut c = cfg(SchedulerKind::Edtlp, 1);
+        c.faults = FaultPlan::parse("seed=2,broken=8,k=1,retries=0,readmit=1000000").unwrap();
+        let r = run(c);
+        assert!(!r.unrecovered, "the task always completes somewhere");
+        assert_eq!(r.tasks_completed, c.workload.tasks_per_bootstrap as u64);
+        assert_eq!(r.faults.quarantines, 8);
+        assert_eq!(r.faults.lost, 0);
+        assert_eq!(
+            r.faults.ppe_fallbacks, r.tasks_completed,
+            "with every SPE benched, everything runs on the PPE copy"
+        );
+    }
+
+    #[test]
+    fn quarantined_spes_are_readmitted_and_serve_again() {
+        let mut c = cfg(SchedulerKind::Edtlp, 2);
+        c.faults =
+            FaultPlan::parse("seed=4,pin=stall@0,pin=crash@1,k=1,retries=0,readmit=4").unwrap();
+        c.record_events = true;
+        let r = run(c);
+        assert!(!r.unrecovered);
+        assert_eq!(r.faults.injected, 2);
+        assert_eq!(r.faults.quarantines, 2);
+        assert!(r.faults.readmissions >= 2, "short readmit period must re-admit");
+        let log = r.run_log.unwrap();
+        let readmits =
+            log.events.iter().filter(|e| matches!(e.kind, EventKind::SpeReadmitted { .. })).count();
+        assert_eq!(readmits as u64, r.faults.readmissions);
+    }
+
+    #[test]
+    fn lethal_plan_loses_the_task_and_reports_unrecovered() {
+        let mut c = cfg(SchedulerKind::Edtlp, 2);
+        c.faults = FaultPlan::parse("seed=3,pin=crash@0,retries=0,fallback=off").unwrap();
+        let r = run(c);
+        assert!(r.unrecovered);
+        assert_eq!(r.faults.lost, 1);
+        assert_eq!(
+            r.tasks_completed,
+            c.workload.tasks_per_bootstrap as u64,
+            "the healthy bootstrap still finishes; the faulted one is stranded"
+        );
+    }
+
+    #[test]
+    fn fixed_degree_hybrid_survives_quarantine_via_degree_clamp() {
+        // llp4 on a machine where 6 of 8 SPEs go bad: grant degree must
+        // clamp to the healthy count instead of deadlocking.
+        let mut c = cfg(SchedulerKind::StaticHybrid { spes_per_loop: 4 }, 2);
+        c.faults = FaultPlan::parse("seed=6,broken=6,k=1,readmit=1000000").unwrap();
+        let r = run(c);
+        assert!(!r.unrecovered);
+        assert_eq!(r.faults.lost, 0);
+        assert_eq!(r.faults.quarantines, 6);
     }
 
     #[test]

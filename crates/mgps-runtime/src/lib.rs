@@ -48,11 +48,13 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod native;
 pub mod policy;
 pub mod tracing;
 
+pub use faults::{FaultKind, FaultPlan, RecoveryPolicy};
 pub use metrics::{
     AtomicMetrics, Counter, HistKind, MetricsSink, MetricsSinkExt, MetricsSnapshot, NopMetrics,
     Snapshot, SnapshotDelta, SnapshotSource,

@@ -74,11 +74,21 @@ pub enum Counter {
     DmaIssues,
     /// DMA transfers that took the contended/fallback path.
     DmaFallbacks,
+    /// Faults injected by an armed chaos plan.
+    FaultsInjected,
+    /// Off-loads re-queued after a watchdog-detected fault.
+    OffloadRetries,
+    /// Tasks that degraded to the scalar PPE fallback version.
+    PpeFallbacks,
+    /// SPEs benched after `k` consecutive faults.
+    SpeQuarantines,
+    /// Quarantined SPEs returned to service by a re-admission probe.
+    SpeReadmissions,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Offloads,
         Counter::TasksCompleted,
         Counter::CtxSwitchOffload,
@@ -93,6 +103,11 @@ impl Counter {
         Counter::LlpDeactivations,
         Counter::DmaIssues,
         Counter::DmaFallbacks,
+        Counter::FaultsInjected,
+        Counter::OffloadRetries,
+        Counter::PpeFallbacks,
+        Counter::SpeQuarantines,
+        Counter::SpeReadmissions,
     ];
 
     /// Stable snake_case name used in JSON summaries.
@@ -112,6 +127,11 @@ impl Counter {
             Counter::LlpDeactivations => "llp_deactivations",
             Counter::DmaIssues => "dma_issues",
             Counter::DmaFallbacks => "dma_fallbacks",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::OffloadRetries => "offload_retries",
+            Counter::PpeFallbacks => "ppe_fallbacks",
+            Counter::SpeQuarantines => "spe_quarantines",
+            Counter::SpeReadmissions => "spe_readmissions",
         }
     }
 }

@@ -19,6 +19,7 @@ use super::sync::Mutex;
 use super::gate::{GateMode, PpeGate, PpeToken};
 use super::pool::{OffloadError, SpePool, SpeStats};
 use super::team::{LoopBody, LoopSite, TeamRunner, TraceTask};
+use crate::faults::FaultPlan;
 use crate::metrics::{Counter, HistKind, MetricsSink, MetricsSinkExt, NopMetrics};
 use crate::tracing::{TraceEventKind, TraceHandle, Tracer};
 use crate::policy::granularity::{GranularityController, GranularityDecision};
@@ -45,6 +46,10 @@ pub struct RuntimeConfig {
     /// that fail the off-load profitability test). Re-probe period in
     /// requests; `None` disables [`ProcessCtx::offload_kernel`].
     pub granularity_retry: Option<u64>,
+    /// Seeded chaos plan (inert by default). When armed, off-load attempts
+    /// can be killed deterministically; the runtime recovers by bounded
+    /// retry with backoff, SPE quarantine, and the scalar PPE fallback.
+    pub faults: FaultPlan,
 }
 
 impl RuntimeConfig {
@@ -59,12 +64,19 @@ impl RuntimeConfig {
             code_load_cost: Duration::ZERO,
             worker_startup: Duration::ZERO,
             granularity_retry: None,
+            faults: FaultPlan::inert(),
         }
     }
 
     /// Enable dynamic granularity control with the given re-probe period.
     pub fn with_granularity_control(mut self, retry_period: u64) -> RuntimeConfig {
         self.granularity_retry = Some(retry_period);
+        self
+    }
+
+    /// Arm the given chaos plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> RuntimeConfig {
+        self.faults = plan;
         self
     }
 }
@@ -74,6 +86,30 @@ enum DegreePolicy {
     #[allow(dead_code)]
     Fixed(usize),
     Adaptive(Mutex<MgpsScheduler>),
+}
+
+/// Mutable bookkeeping of the armed fault plane (absent on inert plans, so
+/// the unfaulted hot path pays a single `Option` check per off-load).
+struct FaultState {
+    /// Consecutive faults charged to each SPE; reset on success.
+    consec: Vec<u32>,
+    /// Tick at which each quarantined SPE was benched (`None` = healthy).
+    benched_at: Vec<Option<u64>>,
+    /// Fault-plane clock: advances on every injected fault and every
+    /// successful off-load, so re-admission probes are paced by runtime
+    /// activity, not wall time.
+    ticks: u64,
+}
+
+/// Outcome of one locked round against the fault plan.
+enum FaultRound {
+    /// No fault: run on the SPEs with the given (health-clamped) degree.
+    Run { lead: usize, degree: usize },
+    /// Faulted with retry budget left: back off, then try again.
+    Retry { backoff_ns: u64 },
+    /// Faulted with retries exhausted (or no healthy SPE remains):
+    /// terminal degradation. `attempts` is the number of SPE attempts made.
+    Exhausted { attempts: u64 },
 }
 
 /// The native multigrain runtime.
@@ -89,6 +125,7 @@ pub struct MgpsRuntime {
     epoch: Instant,
     config: RuntimeConfig,
     granularity: Option<Mutex<GranularityController>>,
+    fault_state: Option<Mutex<FaultState>>,
     metrics: Arc<dyn MetricsSink>,
     tracer: Option<Arc<Tracer>>,
 }
@@ -149,6 +186,13 @@ impl MgpsRuntime {
         let granularity = config
             .granularity_retry
             .map(|retry| Mutex::new(GranularityController::new(retry)));
+        let fault_state = config.faults.armed().then(|| {
+            Mutex::new(FaultState {
+                consec: vec![0; config.n_spes],
+                benched_at: vec![None; config.n_spes],
+                ticks: 0,
+            })
+        });
         MgpsRuntime {
             pool,
             runner,
@@ -161,6 +205,7 @@ impl MgpsRuntime {
             epoch: Instant::now(),
             config,
             granularity,
+            fault_state,
             metrics,
             tracer,
         }
@@ -201,6 +246,12 @@ impl MgpsRuntime {
     /// SPEs currently idle.
     pub fn idle_spes(&self) -> usize {
         self.pool.idle_count()
+    }
+
+    /// SPEs in service: total minus those quarantined by the fault plane
+    /// (always the full pool when no fault plan is armed).
+    pub fn healthy_spes(&self) -> usize {
+        self.pool.healthy_count()
     }
 
     /// Off-loads queued in the pool waiting for an SPE.
@@ -246,6 +297,121 @@ impl MgpsRuntime {
 
     fn ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// One locked round against the fault plan for `(task, attempt)`: pick
+    /// a deterministic probe lead from the healthy set, ask the plan, and
+    /// book the consequences (fault counters, quarantine, re-admission)
+    /// atomically — so a fault is never charged to an SPE another process
+    /// just quarantined, which is exactly what the checker's quarantine
+    /// rule forbids.
+    ///
+    /// The probe lead is the fault plane's *model* of placement (the pool
+    /// races real threads for the actual SPE); charging the model's choice
+    /// is what keeps the fault pattern reproducible per `(seed, spec)`.
+    /// Faults are injected synchronously — the native engine has no
+    /// simulated clock to stall against, so a stall and a crash both
+    /// surface as an immediately-failed attempt; the watchdog-deadline
+    /// derivation is exercised by the simulator, which owns virtual time.
+    fn fault_round(&self, task: TaskId, attempt: u32, trace: Option<&TraceHandle>) -> FaultRound {
+        let plan = &self.config.faults;
+        let mut st = self.fault_state.as_ref().expect("fault plan armed").lock();
+        let healthy: Vec<usize> =
+            (0..st.benched_at.len()).filter(|&s| st.benched_at[s].is_none()).collect();
+        if healthy.is_empty() {
+            // Unreachable (the last healthy SPE is never benched), kept as
+            // a terminal-degradation safety net.
+            return FaultRound::Exhausted { attempts: u64::from(attempt) };
+        }
+        let lead = healthy[(task.0 as usize).wrapping_add(attempt as usize) % healthy.len()];
+        let Some(kind) = plan.decide(task.0, attempt, lead) else {
+            let degree = self.current_degree().clamp(1, healthy.len());
+            return FaultRound::Run { lead, degree };
+        };
+        self.metrics.incr(Counter::FaultsInjected);
+        if let Some(t) = trace {
+            t.record(TraceEventKind::FaultInjected {
+                spe: lead,
+                task: task.0,
+                fault: kind.name().to_string(),
+                attempt: u64::from(attempt),
+            });
+        }
+        st.ticks += 1;
+        st.consec[lead] += 1;
+        // Bench the SPE after k consecutive faults — but never below the
+        // active loop degree (a team reservation must always be able to
+        // fill), and only while it is idle (pool.quarantine refuses busy
+        // SPEs; the next fault retries the bench).
+        if st.consec[lead] >= plan.policy.quarantine_k
+            && healthy.len() > self.current_degree().max(1)
+            && self.pool.quarantine(lead)
+        {
+            st.benched_at[lead] = Some(st.ticks);
+            self.metrics.incr(Counter::SpeQuarantines);
+            if let Some(t) = trace {
+                t.record(TraceEventKind::SpeQuarantined {
+                    spe: lead,
+                    faults: u64::from(st.consec[lead]),
+                });
+            }
+        }
+        self.maybe_readmit(&mut st, trace);
+        self.sync_healthy(&st);
+        if attempt < plan.policy.max_retries {
+            let next = attempt + 1;
+            let backoff_ns = plan.backoff_ns(task.0, next);
+            self.metrics.incr(Counter::OffloadRetries);
+            if let Some(t) = trace {
+                t.record(TraceEventKind::OffloadRetry {
+                    task: task.0,
+                    attempt: u64::from(next),
+                    backoff_ns,
+                });
+            }
+            FaultRound::Retry { backoff_ns }
+        } else {
+            FaultRound::Exhausted { attempts: u64::from(attempt) + 1 }
+        }
+    }
+
+    /// Book a successful off-load attempt with the fault plane.
+    fn fault_success(&self, lead: usize, trace: Option<&TraceHandle>) {
+        let mut st = self.fault_state.as_ref().expect("fault plan armed").lock();
+        st.ticks += 1;
+        st.consec[lead] = 0;
+        self.maybe_readmit(&mut st, trace);
+        self.sync_healthy(&st);
+    }
+
+    /// Re-admission probe: return every SPE benched at least
+    /// `readmit_period` ticks ago to service, with its consecutive-fault
+    /// count reset to `k - 1` — one more fault re-benches it immediately,
+    /// so a still-broken SPE costs a single probe per period.
+    fn maybe_readmit(&self, st: &mut FaultState, trace: Option<&TraceHandle>) {
+        let policy = &self.config.faults.policy;
+        let period = u64::from(policy.readmit_period.max(1));
+        for spe in 0..st.benched_at.len() {
+            let Some(mark) = st.benched_at[spe] else { continue };
+            if st.ticks.saturating_sub(mark) < period || !self.pool.readmit(spe) {
+                continue;
+            }
+            st.benched_at[spe] = None;
+            st.consec[spe] = policy.quarantine_k.saturating_sub(1);
+            self.metrics.incr(Counter::SpeReadmissions);
+            if let Some(t) = trace {
+                t.record(TraceEventKind::SpeReadmitted { spe });
+            }
+        }
+    }
+
+    /// Report the healthy-SPE count to the MGPS scheduler, which sizes LLP
+    /// teams as `⌊healthy / T⌋` while part of the pool is benched.
+    fn sync_healthy(&self, st: &FaultState) {
+        if let DegreePolicy::Adaptive(sched) = &self.degree_policy {
+            let healthy = st.benched_at.iter().filter(|b| b.is_none()).count();
+            sched.lock().set_healthy(healthy);
+        }
     }
 
     fn record_offload(&self, task: TaskId, now_ns: u64) {
@@ -322,6 +488,9 @@ impl ProcessCtx<'_> {
         body: Arc<B>,
     ) -> Result<B::Acc, OffloadError> {
         let rt = self.rt;
+        if rt.fault_state.is_some() {
+            return self.offload_loop_armed(site, body);
+        }
         let task = TaskId(rt.next_task.fetch_add(1, Ordering::Relaxed));
         let started_ns = rt.ns();
         rt.record_offload(task, started_ns);
@@ -340,6 +509,72 @@ impl ProcessCtx<'_> {
         rt.inflight.fetch_sub(1, Ordering::Relaxed);
         rt.metrics.observe(HistKind::TaskDurNs, rt.ns().saturating_sub(started_ns));
         rt.record_departure(task, started_ns, trace);
+        result
+    }
+
+    /// [`Self::offload_loop`] with the fault plane armed: every attempt is
+    /// put to the plan first; faulted attempts retry with the declared
+    /// backoff, and exhausted tasks run the kernel's PPE copy on this
+    /// thread (or surface [`OffloadError::Unrecovered`] if the policy
+    /// forbids the fallback).
+    fn offload_loop_armed<B: LoopBody>(
+        &mut self,
+        site: LoopSite,
+        body: Arc<B>,
+    ) -> Result<B::Acc, OffloadError> {
+        let rt = self.rt;
+        let plan = rt.config.faults;
+        let task = TaskId(rt.next_task.fetch_add(1, Ordering::Relaxed));
+        let started_ns = rt.ns();
+        rt.record_offload(task, started_ns);
+        rt.metrics.incr(Counter::Offloads);
+        if let Some(t) = &self.trace {
+            t.record(TraceEventKind::Offload { proc: self.proc, task: task.0 });
+        }
+        rt.inflight.fetch_add(1, Ordering::Relaxed);
+        let proc = self.proc;
+        let mut attempt: u32 = 0;
+        let result = loop {
+            let trace = self.trace.as_ref();
+            match rt.fault_round(task, attempt, trace) {
+                FaultRound::Run { lead, degree } => {
+                    let tt = trace.map(|handle| TraceTask { handle, proc, task: task.0 });
+                    let attempt_body = Arc::clone(&body);
+                    let r = self.token.offload_traced(trace.map(|t| (t, proc)), || {
+                        rt.runner.parallel_reduce_traced(site, degree, attempt_body, tt)
+                    });
+                    rt.fault_success(lead, trace);
+                    break r;
+                }
+                FaultRound::Retry { backoff_ns } => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_nanos(backoff_ns));
+                }
+                FaultRound::Exhausted { attempts } => {
+                    if !plan.policy.ppe_fallback {
+                        break Err(OffloadError::Unrecovered);
+                    }
+                    // Terminal degradation: the kernel's PPE copy, on the
+                    // calling thread, while it holds its context (the
+                    // sentinel SPE id routes dual-version kernels).
+                    let scratch = self.ppe_scratch.get_or_insert_with(|| {
+                        Box::new(super::context::SpeContext::new(
+                            crate::policy::SpeId(usize::MAX),
+                            Duration::ZERO,
+                        ))
+                    });
+                    let out = body.run_chunk(0..body.len(), scratch);
+                    rt.metrics.incr(Counter::PpeFallbacks);
+                    if let Some(t) = &self.trace {
+                        t.record(TraceEventKind::PpeFallback { proc, task: task.0, attempts });
+                    }
+                    break Ok(out);
+                }
+            }
+        };
+        rt.inflight.fetch_sub(1, Ordering::Relaxed);
+        rt.metrics.observe(HistKind::TaskDurNs, rt.ns().saturating_sub(started_ns));
+        rt.record_departure(task, started_ns, self.trace.as_ref());
         result
     }
 
@@ -643,6 +878,127 @@ mod tests {
         let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
         run_workers(&rt, 3, 5, 16);
         assert_eq!(rt.tasks_in_flight(), 0);
+    }
+
+    #[test]
+    fn armed_runtime_retries_pinned_faults_and_still_computes() {
+        use crate::metrics::AtomicMetrics;
+        let plan = FaultPlan::parse("seed=1,pin=crash@0,backoff=1000").unwrap();
+        let metrics = Arc::new(AtomicMetrics::new());
+        let tracer = Tracer::with_default_capacity();
+        let rt = MgpsRuntime::with_observability(
+            RuntimeConfig::cell(SchedulerKind::Edtlp).with_faults(plan),
+            Arc::<AtomicMetrics>::clone(&metrics),
+            Some(Arc::clone(&tracer)),
+        );
+        {
+            let mut ctx = rt.enter_process();
+            for _ in 0..4 {
+                let body = Arc::new(SpinSum { n: 50, spin: Duration::ZERO });
+                assert_eq!(ctx.offload_loop(LoopSite(1), body).unwrap(), expected(50));
+            }
+        }
+        assert_eq!(metrics.get(Counter::FaultsInjected), 1);
+        assert_eq!(metrics.get(Counter::OffloadRetries), 1);
+        assert_eq!(metrics.get(Counter::PpeFallbacks), 0);
+        let log = tracer.drain();
+        let kinds: Vec<_> = log.threads.iter().flat_map(|t| &t.events).map(|e| &e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            TraceEventKind::FaultInjected { task: 0, attempt: 0, .. }
+        )));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            TraceEventKind::OffloadRetry { task: 0, attempt: 1, .. }
+        )));
+    }
+
+    #[test]
+    fn exhausted_retries_run_the_ppe_fallback_copy() {
+        use crate::metrics::AtomicMetrics;
+        let plan = FaultPlan::parse("seed=2,pin=dma@0,retries=0,backoff=1000").unwrap();
+        let metrics = Arc::new(AtomicMetrics::new());
+        let rt = MgpsRuntime::with_metrics(
+            RuntimeConfig::cell(SchedulerKind::Edtlp).with_faults(plan),
+            Arc::<AtomicMetrics>::clone(&metrics),
+        );
+        let mut ctx = rt.enter_process();
+        // Task 0 faults its only permitted attempt, so it must complete on
+        // the PPE copy — observable through the sentinel SPE id.
+        let body = Arc::new(DualVersion { n: 4, spin: Duration::from_micros(1) });
+        assert_eq!(ctx.offload_loop(LoopSite(1), body).unwrap(), 4);
+        assert_eq!(metrics.get(Counter::FaultsInjected), 1);
+        assert_eq!(metrics.get(Counter::PpeFallbacks), 1);
+        assert_eq!(metrics.get(Counter::OffloadRetries), 0);
+        // Later tasks are untouched by the pin.
+        let body = Arc::new(SpinSum { n: 10, spin: Duration::ZERO });
+        assert_eq!(ctx.offload_loop(LoopSite(1), body).unwrap(), expected(10));
+        assert_eq!(metrics.get(Counter::PpeFallbacks), 1);
+    }
+
+    #[test]
+    fn lethal_plans_surface_unrecovered_errors() {
+        let plan = FaultPlan::parse("seed=3,pin=crash@0,retries=0,fallback=off").unwrap();
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp).with_faults(plan));
+        let mut ctx = rt.enter_process();
+        let body = Arc::new(SpinSum { n: 10, spin: Duration::ZERO });
+        assert_eq!(
+            ctx.offload_loop(LoopSite(1), Arc::clone(&body)),
+            Err(OffloadError::Unrecovered)
+        );
+        // The runtime survives the loss; the next task is unaffected.
+        assert_eq!(ctx.offload_loop(LoopSite(1), body).unwrap(), expected(10));
+    }
+
+    #[test]
+    fn broken_spes_are_quarantined_and_later_probed_for_readmission() {
+        use crate::metrics::AtomicMetrics;
+        // SPE 0 is hard-broken: every probe that lands on it faults. After
+        // k=3 consecutive faults it is benched; 4 fault-plane ticks later a
+        // re-admission probe returns it (and its next fault re-benches it).
+        let plan = FaultPlan::parse("seed=4,broken=1,k=3,readmit=4,backoff=1000").unwrap();
+        let metrics = Arc::new(AtomicMetrics::new());
+        let rt = MgpsRuntime::with_metrics(
+            RuntimeConfig::cell(SchedulerKind::Edtlp).with_faults(plan),
+            Arc::<AtomicMetrics>::clone(&metrics),
+        );
+        {
+            let mut ctx = rt.enter_process();
+            for _ in 0..64 {
+                let body = Arc::new(SpinSum { n: 16, spin: Duration::ZERO });
+                assert_eq!(ctx.offload_loop(LoopSite(1), body).unwrap(), expected(16));
+            }
+        }
+        assert!(metrics.get(Counter::FaultsInjected) >= 3);
+        assert!(
+            metrics.get(Counter::SpeQuarantines) >= 1,
+            "three consecutive faults must bench the broken SPE"
+        );
+        assert!(
+            metrics.get(Counter::SpeReadmissions) >= 1,
+            "the bench must be probed for re-admission"
+        );
+        assert!(
+            metrics.get(Counter::SpeQuarantines) >= metrics.get(Counter::SpeReadmissions),
+            "an SPE cannot be re-admitted more often than it was benched"
+        );
+        // Every admitted task completed exactly once on an SPE team.
+        assert_eq!(metrics.get(Counter::PpeFallbacks), 0);
+    }
+
+    #[test]
+    fn quarantine_shrinks_and_readmission_restores_healthy_spes() {
+        let plan = FaultPlan::parse("seed=5,broken=2,k=1,readmit=1000,backoff=1000").unwrap();
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp).with_faults(plan));
+        assert_eq!(rt.healthy_spes(), 8);
+        let mut ctx = rt.enter_process();
+        // k=1: the first fault on each broken SPE benches it outright; the
+        // huge readmit period keeps both benched for the whole run.
+        for _ in 0..32 {
+            let body = Arc::new(SpinSum { n: 8, spin: Duration::ZERO });
+            ctx.offload_loop(LoopSite(1), body).unwrap();
+        }
+        assert_eq!(rt.healthy_spes(), 6, "both broken SPEs must be benched");
     }
 
     #[test]

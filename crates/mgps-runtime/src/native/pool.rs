@@ -37,12 +37,18 @@ pub enum OffloadError {
     /// The job panicked on the SPE; the panic was contained and the SPE
     /// returned to service.
     TaskPanicked,
+    /// An armed fault plan killed every SPE attempt, retries are exhausted,
+    /// and the recovery policy forbids the PPE fallback.
+    Unrecovered,
 }
 
 impl std::fmt::Display for OffloadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OffloadError::TaskPanicked => f.write_str("off-loaded task panicked"),
+            OffloadError::Unrecovered => {
+                f.write_str("off-load unrecovered: retries exhausted and PPE fallback disabled")
+            }
         }
     }
 }
@@ -84,6 +90,11 @@ struct PoolState {
     /// Maintained by the workers; used for affinity placement — the
     /// memory-aware scheduling the paper lists as future work (§6).
     resident: Vec<Option<ImageId>>,
+    /// SPEs benched by the fault plane. Only an *idle* SPE can be benched
+    /// (so a quarantined SPE is never mid-job and can never appear in a
+    /// team that started after its quarantine); it sits out — neither idle
+    /// nor busy — until re-admitted.
+    quarantined: Vec<bool>,
 }
 
 struct Shared {
@@ -163,6 +174,7 @@ impl SpePool {
                 idle: (0..n_spes).rev().map(SpeId).collect(),
                 pending: std::collections::VecDeque::new(),
                 resident: vec![None; n_spes],
+                quarantined: vec![false; n_spes],
             }),
             idle_changed: Condvar::new(),
             panics: AtomicU64::new(0),
@@ -210,10 +222,64 @@ impl SpePool {
     /// SPE worker's time.
     pub fn busy_map(&self) -> Vec<bool> {
         let mut busy = vec![true; self.n_spes()];
-        for spe in &self.shared.state.lock().idle {
+        let st = self.shared.state.lock();
+        for spe in &st.idle {
             busy[spe.0] = false;
         }
+        // A quarantined SPE is sitting out, not running anything.
+        for (spe, quarantined) in st.quarantined.iter().enumerate() {
+            if *quarantined {
+                busy[spe] = false;
+            }
+        }
         busy
+    }
+
+    /// SPEs in service (total minus quarantined).
+    pub fn healthy_count(&self) -> usize {
+        let st = self.shared.state.lock();
+        st.quarantined.iter().filter(|q| !**q).count()
+    }
+
+    /// Bench an idle SPE: it is removed from the idle set and receives no
+    /// work until re-admitted. Returns `false` if the id is out of range,
+    /// the SPE is already quarantined, or the SPE is not idle — benching a
+    /// busy SPE could race a team reservation that already claimed it, so
+    /// the fault plane retries at the SPE's next fault instead.
+    pub fn quarantine(&self, spe: usize) -> bool {
+        let mut st = self.shared.state.lock();
+        if spe >= self.n_spes() || st.quarantined[spe] {
+            return false;
+        }
+        let Some(pos) = st.idle.iter().position(|s| s.0 == spe) else {
+            return false;
+        };
+        st.idle.remove(pos);
+        st.quarantined[spe] = true;
+        true
+    }
+
+    /// Return a quarantined SPE to service. If work is queued it is handed
+    /// to the returning SPE immediately; otherwise the SPE goes idle.
+    /// Returns `false` if the SPE was not quarantined.
+    pub fn readmit(&self, spe: usize) -> bool {
+        let mut st = self.shared.state.lock();
+        if spe >= self.n_spes() || !st.quarantined[spe] {
+            return false;
+        }
+        st.quarantined[spe] = false;
+        match st.pending.pop_front() {
+            Some(job) => {
+                drop(st);
+                self.direct[spe].send(WorkerMsg::Run(job)).expect("virtual SPE thread hung up");
+            }
+            None => {
+                st.idle.push(SpeId(spe));
+                drop(st);
+                self.shared.idle_changed.notify_all();
+            }
+        }
+        true
     }
 
     /// Jobs completed over the pool's lifetime.
@@ -416,7 +482,9 @@ fn worker_loop(
             if result.is_err() {
                 shared.panics.fetch_add(1, Ordering::Relaxed);
             }
-            // Pull more work if any is queued; otherwise go idle.
+            // Pull more work if any is queued; otherwise go idle. (A
+            // quarantined SPE never reaches this point: only idle SPEs can
+            // be benched, and a benched SPE is fed again only by readmit.)
             let mut st = shared.state.lock();
             match st.pending.pop_front() {
                 Some(next) => {
@@ -640,5 +708,60 @@ mod tests {
     fn reserving_more_than_pool_size_panics() {
         let pool = SpePool::new(2, Duration::ZERO);
         let _ = pool.reserve(3);
+    }
+
+    #[test]
+    fn quarantined_spe_receives_no_work_until_readmitted() {
+        let pool = SpePool::new(2, Duration::ZERO);
+        assert!(pool.quarantine(0));
+        assert!(!pool.quarantine(0), "double quarantine must be refused");
+        assert!(!pool.quarantine(9), "out-of-range id must be refused");
+        assert_eq!(pool.healthy_count(), 1);
+        for _ in 0..8 {
+            let spe = pool.offload(|ctx| ctx.id.0).wait().unwrap();
+            assert_eq!(spe, 1, "all work must land on the healthy SPE");
+        }
+        assert!(pool.readmit(0));
+        assert!(!pool.readmit(0), "readmitting a healthy SPE must be refused");
+        assert_eq!(pool.healthy_count(), 2);
+        // The returning SPE is pushed to the back of the idle stack, so it
+        // is the next one popped.
+        assert_eq!(pool.offload(|ctx| ctx.id.0).wait().unwrap(), 0);
+    }
+
+    #[test]
+    fn busy_spes_cannot_be_quarantined() {
+        let pool = SpePool::new(1, Duration::ZERO);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let h = pool.offload(move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock();
+            while !*open {
+                cv.wait(&mut open);
+            }
+        });
+        assert!(!pool.quarantine(0), "a busy SPE must not be benched");
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        h.wait().unwrap();
+        assert_eq!(pool.healthy_count(), 1);
+    }
+
+    #[test]
+    fn readmission_drains_the_pending_queue() {
+        let pool = SpePool::new(1, Duration::ZERO);
+        assert!(pool.quarantine(0));
+        // With the only SPE benched, work queues rather than dispatching.
+        let h = pool.offload(|_| 77);
+        assert_eq!(h.try_wait().unwrap(), None);
+        assert_eq!(pool.pending_len(), 1);
+        // Re-admission hands the queued job straight to the returning SPE.
+        assert!(pool.readmit(0));
+        assert_eq!(h.wait().unwrap(), 77);
+        assert_eq!(pool.pending_len(), 0);
     }
 }

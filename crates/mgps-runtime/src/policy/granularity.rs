@@ -281,6 +281,44 @@ mod tests {
     }
 
     #[test]
+    fn fault_storm_timings_cannot_permanently_disable_a_kernel() {
+        // Adversarial timing: every warmup sample lands during a fault
+        // storm (retries + watchdog stalls inflate wall-clock SPE times
+        // 100×), so the kernel gets throttled on corrupt data. Once the
+        // storm passes — SPEs re-admitted from quarantine — the periodic
+        // re-probe must observe one clean sample and the minimum estimator
+        // must rehabilitate the kernel permanently.
+        let mut c = GranularityController::new(4);
+        c.set_costs(KernelKind::Evaluate, 0, 1_000);
+        for _ in 0..MIN_SPE_SAMPLES {
+            assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::Offload);
+            c.record_spe(KernelKind::Evaluate, 5_000_000); // storm-inflated
+        }
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::RunOnPpe);
+        c.record_ppe(KernelKind::Evaluate, 120_000);
+        // Verdict on the corrupt profile: throttled, as it must be — the
+        // controller cannot distinguish a storm from a genuinely slow SPE.
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::RunOnPpe);
+        assert!(c.is_throttled(KernelKind::Evaluate));
+        // Storm ends. Drain decisions until the periodic probe off-loads;
+        // its clean measurement must win the minimum and clear the throttle.
+        let mut probed = false;
+        for _ in 0..8 {
+            if c.decide(KernelKind::Evaluate, true) == GranularityDecision::Offload {
+                c.record_spe(KernelKind::Evaluate, 40_000); // healthy again
+                probed = true;
+                break;
+            }
+        }
+        assert!(probed, "a throttled kernel must still be re-probed");
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::Offload);
+        assert!(!c.is_throttled(KernelKind::Evaluate));
+        // And no amount of later storm residue can undo the clean minimum.
+        c.record_spe(KernelKind::Evaluate, 5_000_000);
+        assert_eq!(c.decide(KernelKind::Evaluate, true), GranularityDecision::Offload);
+    }
+
+    #[test]
     fn timings_track_the_minimum_sample() {
         let mut c = GranularityController::new(8);
         c.record_spe(KernelKind::MakeNewz, 30_000);

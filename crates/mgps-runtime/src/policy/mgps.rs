@@ -71,6 +71,10 @@ pub struct MgpsScheduler {
     deactivations: u64,
     /// `U` of the most recent evaluation (0 before the first).
     last_u: usize,
+    /// SPEs currently in service (`n_spes` minus quarantined). LLP degree
+    /// is computed as `⌊healthy / T⌋`, so quarantine throttles loop-level
+    /// parallelism exactly as utilization does.
+    healthy: usize,
 }
 
 impl MgpsScheduler {
@@ -87,7 +91,23 @@ impl MgpsScheduler {
             activations: 0,
             deactivations: 0,
             last_u: 0,
+            healthy: cfg.n_spes,
         }
+    }
+
+    /// Report the number of SPEs currently in service. The fault plane
+    /// calls this on every quarantine/re-admission transition; subsequent
+    /// evaluations size LLP teams as `⌊healthy / T⌋` instead of
+    /// `⌊n_spes / T⌋`. Clamped to `[0, n_spes]`.
+    pub fn set_healthy(&mut self, healthy: usize) {
+        self.healthy = healthy.min(self.cfg.n_spes);
+    }
+
+    /// SPEs currently in service (as last reported via [`set_healthy`]).
+    ///
+    /// [`set_healthy`]: MgpsScheduler::set_healthy
+    pub fn healthy(&self) -> usize {
+        self.healthy
     }
 
     /// Current loop-level parallelism directive.
@@ -177,7 +197,7 @@ impl MgpsScheduler {
         self.last_u = u;
         if u <= self.cfg.u_threshold {
             let t = waiting_tasks.max(1);
-            let degree = (self.cfg.n_spes / t).clamp(1, self.cfg.n_spes);
+            let degree = (self.healthy.max(1) / t).clamp(1, self.cfg.n_spes);
             if degree > 1 {
                 let d = LoopDegree(degree);
                 if self.llp != d {
@@ -338,6 +358,26 @@ mod tests {
         assert_eq!(s.deactivations(), 1);
         drive(&mut s, 8, 1, 1); // activate(8)
         assert_eq!(s.activations(), 2);
+    }
+
+    #[test]
+    fn quarantine_throttles_llp_degree() {
+        let mut s = sched();
+        assert_eq!(s.healthy(), 8);
+        // Full health, one bootstrap: all 8 SPEs to the loop.
+        assert_eq!(s.on_timer(1, 1), Directive::ActivateLlp(LoopDegree(8)));
+        // Half the SPEs quarantined: degree drops to floor(4/1) = 4.
+        s.set_healthy(4);
+        assert_eq!(s.on_timer(1, 1), Directive::ActivateLlp(LoopDegree(4)));
+        // Two waiting tasks share the healthy half: floor(4/2) = 2.
+        assert_eq!(s.on_timer(1, 2), Directive::ActivateLlp(LoopDegree(2)));
+        // Everything quarantined: LLP cannot help; deactivate.
+        s.set_healthy(0);
+        assert_eq!(s.on_timer(1, 1), Directive::DeactivateLlp);
+        // Re-admission restores the full degree (clamped to n_spes).
+        s.set_healthy(99);
+        assert_eq!(s.healthy(), 8);
+        assert_eq!(s.on_timer(1, 1), Directive::ActivateLlp(LoopDegree(8)));
     }
 
     #[test]

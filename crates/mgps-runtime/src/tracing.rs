@@ -146,6 +146,47 @@ pub enum TraceEventKind {
         /// Off-loads held in the window sample.
         window_fill: usize,
     },
+    /// An armed chaos plan killed an off-load attempt.
+    FaultInjected {
+        /// Lead SPE of the doomed attempt.
+        spe: usize,
+        /// The faulted task.
+        task: u64,
+        /// Fault kind slug (`mgps_runtime::faults::FaultKind::name`).
+        fault: String,
+        /// Zero-based attempt index that faulted.
+        attempt: u64,
+    },
+    /// A faulted off-load was re-queued after backoff.
+    OffloadRetry {
+        /// The retried task.
+        task: u64,
+        /// One-based retry number.
+        attempt: u64,
+        /// Backoff delay applied before the retry, ns.
+        backoff_ns: u64,
+    },
+    /// An SPE was benched after `k` consecutive faults.
+    SpeQuarantined {
+        /// The benched SPE.
+        spe: usize,
+        /// Consecutive faults that triggered the bench.
+        faults: u64,
+    },
+    /// A quarantined SPE passed a re-admission probe.
+    SpeReadmitted {
+        /// The returning SPE.
+        spe: usize,
+    },
+    /// A task exhausted its retries and ran the scalar PPE fallback.
+    PpeFallback {
+        /// Owning process.
+        proc: usize,
+        /// The degraded task.
+        task: u64,
+        /// Total SPE attempts made before giving up.
+        attempts: u64,
+    },
 }
 
 /// One recorded event: a timestamp from the tracer's clock plus payload.

@@ -4,9 +4,11 @@
 //! trace-event format, loadable in `chrome://tracing` or Perfetto. The
 //! layout:
 //!
-//! * one thread per SPE (`tid = spe`) carrying task-occupancy spans,
-//! * one `MGPS` thread (`tid = n_spes`) carrying decision instants and an
-//!   `llp_degree` counter track,
+//! * one thread per SPE (`tid = spe`) carrying task-occupancy spans —
+//!   plus, on faulted runs, `quarantined` bench spans and `fault: <kind>`
+//!   instants (distinguishable from occupancy by name),
+//! * one `MGPS` thread (`tid = n_spes`) carrying decision instants, an
+//!   `llp_degree` counter track, and `ppe fallback` instants,
 //! * one DMA thread per SPE (`tid = n_spes + 1 + spe`) carrying transfer
 //!   spans.
 //!
@@ -97,6 +99,52 @@ pub fn chrome_trace(log: &RunLog) -> String {
         ]));
     }
 
+    for q in &tl.quarantines {
+        events.push(Value::object(vec![
+            ("name", "quarantined".into()),
+            ("ph", "X".into()),
+            ("pid", 0u64.into()),
+            ("tid", (q.spe as u64).into()),
+            ("ts", q.start_ns.into()),
+            ("dur", (q.end_ns - q.start_ns).into()),
+            ("args", Value::object(vec![("spe", q.spe.into())])),
+        ]));
+    }
+
+    for e in &log.events {
+        match &e.kind {
+            cellsim::event::EventKind::FaultInjected { spe, task, fault, attempt } => {
+                events.push(Value::object(vec![
+                    ("name", format!("fault: {fault}").into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("pid", 0u64.into()),
+                    ("tid", (*spe as u64).into()),
+                    ("ts", e.at_ns.into()),
+                    (
+                        "args",
+                        Value::object(vec![("task", (*task).into()), ("attempt", (*attempt).into())]),
+                    ),
+                ]));
+            }
+            cellsim::event::EventKind::PpeFallback { task, attempts, .. } => {
+                events.push(Value::object(vec![
+                    ("name", format!("ppe fallback task {task}").into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("pid", 0u64.into()),
+                    ("tid", mgps_tid.into()),
+                    ("ts", e.at_ns.into()),
+                    (
+                        "args",
+                        Value::object(vec![("task", (*task).into()), ("attempts", (*attempts).into())]),
+                    ),
+                ]));
+            }
+            _ => {}
+        }
+    }
+
     for d in &decisions(log) {
         events.push(Value::object(vec![
             ("name", format!("degree -> {}", d.degree).into()),
@@ -160,6 +208,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 16,
             mgps_window: Some(1),
+            fault_policy: None,
             events: events
                 .into_iter()
                 .enumerate()
@@ -211,5 +260,43 @@ mod tests {
     fn export_is_byte_deterministic() {
         let log = small_log();
         assert_eq!(chrome_trace(&log), chrome_trace(&log));
+    }
+
+    #[test]
+    fn faulted_runs_export_quarantine_spans_and_fault_instants() {
+        let mut log = small_log();
+        log.fault_policy = Some("seed=1,stall=0.5".into());
+        let base = log.events.len() as u64;
+        for (i, (at_ns, kind)) in [
+            (
+                130,
+                EventKind::FaultInjected {
+                    spe: 1,
+                    task: 1,
+                    fault: "spe_stall".into(),
+                    attempt: 0,
+                },
+            ),
+            (140, EventKind::SpeQuarantined { spe: 1, faults: 3 }),
+            (180, EventKind::SpeReadmitted { spe: 1 }),
+            (190, EventKind::PpeFallback { proc: 0, task: 1, attempts: 4 }),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            log.events.push(EventRecord { seq: base + i as u64, at_ns, kind });
+        }
+        let json = chrome_trace(&log);
+        let v = minijson::parse(&json).expect("trace parses");
+        assert!(json.contains("\"fault: spe_stall\""));
+        assert!(json.contains("\"ppe fallback task 1\""));
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let bench = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("quarantined"))
+            .expect("quarantine span present");
+        assert_eq!(bench.get("tid").and_then(Value::as_u64), Some(1));
+        assert_eq!(bench.get("ts").and_then(Value::as_u64), Some(140));
+        assert_eq!(bench.get("dur").and_then(Value::as_u64), Some(40));
     }
 }

@@ -91,12 +91,20 @@ pub enum AlarmKind {
     /// A trace ring overflowed and dropped events: every downstream fold
     /// of this run is now incomplete.
     RingDrop,
+    /// Several SPEs were quarantined within one snapshot interval: the
+    /// machine is shedding compute capacity faster than re-admission can
+    /// restore it (the fault plane's signature failure pattern).
+    QuarantineStorm,
 }
 
 impl AlarmKind {
     /// Every alarm kind, in rendering order.
-    pub const ALL: [AlarmKind; 3] =
-        [AlarmKind::UtilizationCollapse, AlarmKind::StallSpike, AlarmKind::RingDrop];
+    pub const ALL: [AlarmKind; 4] = [
+        AlarmKind::UtilizationCollapse,
+        AlarmKind::StallSpike,
+        AlarmKind::RingDrop,
+        AlarmKind::QuarantineStorm,
+    ];
 
     /// Stable snake_case slug (the `alarm` field of
     /// [`EventKind::Health`]; the checker rejects unknown slugs).
@@ -105,6 +113,7 @@ impl AlarmKind {
             AlarmKind::UtilizationCollapse => "utilization_collapse",
             AlarmKind::StallSpike => "stall_spike",
             AlarmKind::RingDrop => "ring_drop",
+            AlarmKind::QuarantineStorm => "quarantine_storm",
         }
     }
 
@@ -166,6 +175,9 @@ pub struct HealthConfig {
     pub stall_min_events: u64,
     /// EWMA weight of the newest interval in the rolling stall baseline.
     pub baseline_alpha: f64,
+    /// Quarantines within one snapshot interval at or above this fire
+    /// quarantine-storm.
+    pub quarantine_storm_spes: u64,
 }
 
 impl HealthConfig {
@@ -178,6 +190,9 @@ impl HealthConfig {
             stall_spike_factor: 4.0,
             stall_min_events: 16,
             baseline_alpha: 0.3,
+            // A quarter of the machine benched in one interval is a storm;
+            // a single flaky SPE is the recovery plane doing its job.
+            quarantine_storm_spes: (n_spes as u64 / 4).max(2),
         }
     }
 }
@@ -197,6 +212,7 @@ pub struct HealthDetector {
     stall_baseline: Option<f64>,
     stall_latched: bool,
     drop_latched: bool,
+    storm_latched: bool,
     active: Vec<AlarmKind>,
 }
 
@@ -210,6 +226,7 @@ impl HealthDetector {
             stall_baseline: None,
             stall_latched: false,
             drop_latched: false,
+            storm_latched: false,
             active: Vec::new(),
         }
     }
@@ -297,6 +314,24 @@ impl HealthDetector {
                 format!("{dropped_events} trace event(s) dropped by full rings; downstream folds are incomplete"),
             ));
         }
+
+        let quarantines = delta.get(Counter::SpeQuarantines);
+        if quarantines >= self.cfg.quarantine_storm_spes {
+            if !self.storm_latched {
+                self.storm_latched = true;
+                out.push(self.raise(
+                    AlarmKind::QuarantineStorm,
+                    at_ns,
+                    format!(
+                        "{quarantines} SPE(s) quarantined in one interval (threshold {}); compute capacity is collapsing",
+                        self.cfg.quarantine_storm_spes
+                    ),
+                ));
+            }
+        } else if self.storm_latched {
+            self.storm_latched = false;
+            self.clear(AlarmKind::QuarantineStorm);
+        }
         out
     }
 }
@@ -351,6 +386,8 @@ pub struct LiveStatus {
     pub metrics: MetricsSnapshot,
     /// Per-SPE busy flags, indexed by SPE id.
     pub spe_busy: Vec<bool>,
+    /// SPEs currently in service (total minus quarantined).
+    pub healthy_spes: usize,
     /// LLP degree currently in force.
     pub degree: usize,
     /// Off-loads queued waiting for an SPE.
@@ -403,6 +440,7 @@ pub fn prometheus_text(status: &LiveStatus) -> String {
     }
     for (name, value) in [
         ("llp_degree", status.degree as u64),
+        ("healthy_spes", status.healthy_spes as u64),
         ("pending_offloads", status.pending_offloads as u64),
         ("snapshot_epoch", status.epoch),
         ("uptime_ns", status.uptime_ns),
@@ -593,6 +631,7 @@ mod tests {
             uptime_ns: 1_000_000,
             metrics,
             spe_busy: vec![true, false, true, false],
+            healthy_spes: 4,
             degree: 2,
             pending_offloads: 1,
             gate_contention_ns: 42,
@@ -616,8 +655,8 @@ mod tests {
         let families = parse_prometheus(&text).expect("exporter output must parse");
         validate_families(&families).expect("families must validate");
 
-        // 14 counters + 4 histograms + spe_busy + 6 scalar gauges + alarms.
-        assert_eq!(families.len(), 14 + 4 + 1 + 6 + 1);
+        // 19 counters + 4 histograms + spe_busy + 7 scalar gauges + alarms.
+        assert_eq!(families.len(), 19 + 4 + 1 + 7 + 1);
         let offloads = families.iter().find(|f| f.name == "multigrain_offloads_total").unwrap();
         assert_eq!(offloads.kind, "counter");
         assert_eq!(offloads.samples[0].value, 7.0);
@@ -761,6 +800,35 @@ mod tests {
         }
     }
 
+    fn delta_with_quarantines(epoch: u64, quarantines: u64) -> SnapshotDelta {
+        let mut d = delta_with_stalls(epoch, 0);
+        d.counters[Counter::SpeQuarantines as usize] = quarantines;
+        d
+    }
+
+    #[test]
+    fn quarantine_storm_fires_on_mass_benching_and_rearms() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        // One flaky SPE benched: the recovery plane working, not a storm.
+        assert!(det.observe_delta(10, &delta_with_quarantines(1, 1), 0).is_empty());
+        // Four of eight benched in one interval: storm.
+        let fired = det.observe_delta(20, &delta_with_quarantines(2, 4), 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlarmKind::QuarantineStorm);
+        assert_eq!(fired[0].to_event_kind(), EventKind::Health {
+            alarm: "quarantine_storm".to_string(),
+            severity: "warning".to_string(),
+            detail: fired[0].detail.clone(),
+        });
+        // Latched while the storm continues...
+        assert!(det.observe_delta(30, &delta_with_quarantines(3, 4), 0).is_empty());
+        assert_eq!(det.active_alarms(), vec![AlarmKind::QuarantineStorm]);
+        // ...clears on a quiet interval, and re-arms.
+        assert!(det.observe_delta(40, &delta_with_quarantines(4, 0), 0).is_empty());
+        assert!(det.active_alarms().is_empty());
+        assert_eq!(det.observe_delta(50, &delta_with_quarantines(5, 5), 0).len(), 1);
+    }
+
     #[test]
     fn ring_drop_fires_once_and_stays_latched() {
         let mut det = HealthDetector::new(HealthConfig::for_spes(8));
@@ -788,6 +856,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 0,
             mgps_window: Some(2),
+            fault_policy: None,
             events: vec![
                 EventRecord { seq: 0, at_ns: 10, kind: EventKind::Offload { proc: 0, task: 0 } },
                 EventRecord { seq: 1, at_ns: 30, kind: EventKind::Offload { proc: 0, task: 1 } },

@@ -26,7 +26,7 @@ use mgps_runtime::tracing::{TraceEventKind, TraceLog};
 /// Run-level metadata the rings do not carry (the trace records *what
 /// happened*; which scheduler and machine shape produced it is the
 /// caller's knowledge).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NativeRunMeta {
     /// Scheduling scheme of the run (drives the checker's context-switch
     /// discipline).
@@ -35,17 +35,25 @@ pub struct NativeRunMeta {
     pub n_spes: usize,
     /// Workload seed, if any (0 for unseeded native runs).
     pub seed: u64,
+    /// Canonical fault spec of the armed `FaultPlan`, if any — lands in
+    /// the RunLog header so the checker can audit the recovery policy.
+    pub fault_policy: Option<String>,
 }
 
 fn kind_rank(kind: &TraceEventKind) -> u8 {
     match kind {
         TraceEventKind::Offload { .. } => 0,
-        TraceEventKind::TaskStart { .. } => 1,
-        TraceEventKind::CodeReload { .. } | TraceEventKind::DmaComplete { .. } => 2,
-        TraceEventKind::Chunk { .. } => 3,
-        TraceEventKind::TaskEnd { .. } => 4,
-        TraceEventKind::CtxSwitch { .. } => 5,
-        TraceEventKind::DegreeDecision { .. } => 6,
+        // A fault precedes the quarantine it causes, which precedes the
+        // retry it forces; all precede any same-instant grant.
+        TraceEventKind::FaultInjected { .. } => 1,
+        TraceEventKind::SpeQuarantined { .. } | TraceEventKind::SpeReadmitted { .. } => 2,
+        TraceEventKind::OffloadRetry { .. } => 3,
+        TraceEventKind::TaskStart { .. } => 4,
+        TraceEventKind::CodeReload { .. } | TraceEventKind::DmaComplete { .. } => 5,
+        TraceEventKind::Chunk { .. } => 6,
+        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 7,
+        TraceEventKind::CtxSwitch { .. } => 8,
+        TraceEventKind::DegreeDecision { .. } => 9,
     }
 }
 
@@ -75,6 +83,17 @@ fn to_event_kind(kind: &TraceEventKind) -> EventKind {
             // history (`crate::decisions`), so the trace's sample is
             // dropped rather than duplicated into the log schema.
             EventKind::DegreeDecision { degree, waiting, n_spes, window, window_fill }
+        }
+        TraceEventKind::FaultInjected { spe, task, fault, attempt } => {
+            EventKind::FaultInjected { spe, task, fault, attempt }
+        }
+        TraceEventKind::OffloadRetry { task, attempt, backoff_ns } => {
+            EventKind::OffloadRetry { task, attempt, backoff_ns }
+        }
+        TraceEventKind::SpeQuarantined { spe, faults } => EventKind::SpeQuarantined { spe, faults },
+        TraceEventKind::SpeReadmitted { spe } => EventKind::SpeReadmitted { spe },
+        TraceEventKind::PpeFallback { proc, task, attempts } => {
+            EventKind::PpeFallback { proc, task, attempts }
         }
     }
 }
@@ -109,6 +128,7 @@ pub fn runlog_from_trace(trace: &TraceLog, meta: NativeRunMeta) -> RunLog {
             SchedulerTag::Mgps => Some(meta.n_spes),
             _ => None,
         },
+        fault_policy: meta.fault_policy,
         events,
     }
 }
@@ -138,7 +158,7 @@ mod tests {
         }
         let run = runlog_from_trace(
             &log,
-            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0 },
+            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None },
         );
         assert_eq!(run.events.len(), 3);
         assert!(matches!(run.events[0].kind, EventKind::Offload { .. }));
@@ -152,7 +172,7 @@ mod tests {
         let tracer = Tracer::new(4);
         let run = runlog_from_trace(
             &tracer.drain(),
-            NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes: 8, seed: 7 },
+            NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes: 8, seed: 7, fault_policy: None },
         );
         assert_eq!(run.scheduler, SchedulerTag::Mgps);
         assert_eq!(run.n_spes, 8);

@@ -174,6 +174,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 16,
             mgps_window: None,
+            fault_policy: None,
             events: events
                 .into_iter()
                 .enumerate()

@@ -243,6 +243,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 16,
             mgps_window: None,
+            fault_policy: None,
             events: events
                 .into_iter()
                 .enumerate()
@@ -313,6 +314,49 @@ mod tests {
         for needle in ["http://", "https://", "<script", "src="] {
             assert!(!html.contains(needle), "found {needle}");
         }
+    }
+
+    #[test]
+    fn report_survives_a_run_whose_only_offload_faulted() {
+        // Off-load 0 faults every attempt and completes on the PPE: the
+        // log has no TaskStart/TaskEnd at all, so the timeline is empty,
+        // every SPE is zero-busy, and the critical path has no steps. The
+        // report must render zeros, not divide by them.
+        let events = vec![
+            (10, EventKind::Offload { proc: 0, task: 0 }),
+            (
+                15,
+                EventKind::FaultInjected {
+                    spe: 0,
+                    task: 0,
+                    fault: "spe_crash".into(),
+                    attempt: 0,
+                },
+            ),
+            (40, EventKind::PpeFallback { proc: 0, task: 0, attempts: 1 }),
+        ];
+        let log = RunLog {
+            scheduler: SchedulerTag::Edtlp,
+            n_spes: 2,
+            quantum_ns: 0,
+            seed: 3,
+            local_store_bytes: 256 * 1024,
+            loop_iters: 16,
+            mgps_window: None,
+            fault_policy: Some("seed=1,pin=crash@0,retries=0".into()),
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at_ns, kind))| EventRecord { seq: i as u64, at_ns, kind })
+                .collect(),
+        };
+        let html = html_report(&log, RunSource::Simulated);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("0 tasks"));
+        assert!(!html.contains("NaN") && !html.contains("inf"), "no poisoned arithmetic");
+        // Zero-duration what-if rows report identity speedups.
+        assert!(html.contains("1.00\u{d7}"));
+        assert!(folded_stacks(&log).is_empty(), "no completed off-loads, no stacks");
     }
 
     #[test]

@@ -338,6 +338,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 16,
             mgps_window: Some(1),
+            fault_policy: None,
             events: events
                 .into_iter()
                 .enumerate()

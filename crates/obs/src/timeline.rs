@@ -36,6 +36,18 @@ pub struct DmaSpan {
     pub end_ns: u64,
 }
 
+/// One fault-plane bench interval on one SPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineSpan {
+    /// The benched SPE.
+    pub spe: usize,
+    /// Quarantine start, ns.
+    pub start_ns: u64,
+    /// Re-admission time, ns (the end of the log for an SPE still benched
+    /// when the run finished).
+    pub end_ns: u64,
+}
+
 /// The complete per-SPE occupancy picture of one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
@@ -47,6 +59,8 @@ pub struct Timeline {
     pub tasks: Vec<TaskSpan>,
     /// DMA transfer intervals, in issue order.
     pub dmas: Vec<DmaSpan>,
+    /// Fault-plane quarantine intervals, in quarantine order.
+    pub quarantines: Vec<QuarantineSpan>,
 }
 
 impl Timeline {
@@ -56,6 +70,8 @@ impl Timeline {
         let mut tl = Timeline { n_spes: log.n_spes, ..Timeline::default() };
         // task -> (proc, degree, team, start_ns)
         let mut open: HashMap<u64, (usize, usize, Vec<usize>, u64)> = HashMap::new();
+        // spe -> quarantine start_ns
+        let mut benched: HashMap<usize, u64> = HashMap::new();
         for e in &log.events {
             tl.makespan_ns = tl.makespan_ns.max(e.at_ns);
             match &e.kind {
@@ -85,8 +101,23 @@ impl Timeline {
                     });
                     tl.makespan_ns = tl.makespan_ns.max(e.at_ns + latency_ns);
                 }
+                EventKind::SpeQuarantined { spe, .. } => {
+                    benched.entry(*spe).or_insert(e.at_ns);
+                }
+                EventKind::SpeReadmitted { spe } => {
+                    if let Some(start_ns) = benched.remove(spe) {
+                        tl.quarantines.push(QuarantineSpan { spe: *spe, start_ns, end_ns: e.at_ns });
+                    }
+                }
                 _ => {}
             }
+        }
+        // An SPE still benched when the run ends was out of service to the
+        // very end — unlike unterminated tasks, that interval is real.
+        let mut tail: Vec<_> = benched.into_iter().collect();
+        tail.sort_unstable();
+        for (spe, start_ns) in tail {
+            tl.quarantines.push(QuarantineSpan { spe, start_ns, end_ns: tl.makespan_ns });
         }
         tl
     }
@@ -111,6 +142,17 @@ impl Timeline {
             }
         }
         dma
+    }
+
+    /// Nanoseconds each SPE spent quarantined by the fault plane.
+    pub fn quarantine_ns(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.n_spes];
+        for s in &self.quarantines {
+            if s.spe < self.n_spes {
+                out[s.spe] += s.end_ns - s.start_ns;
+            }
+        }
+        out
     }
 
     /// Nanoseconds each SPE sat idle over the makespan.
@@ -153,6 +195,7 @@ mod tests {
             local_store_bytes: 256 * 1024,
             loop_iters: 16,
             mgps_window: None,
+            fault_policy: None,
             events: events
                 .into_iter()
                 .enumerate()
@@ -188,6 +231,27 @@ mod tests {
         assert_eq!(tl.dmas, vec![DmaSpan { spe: 2, bytes: 4096, start_ns: 50, end_ns: 80 }]);
         assert_eq!(tl.makespan_ns, 80);
         assert_eq!(tl.dma_ns(), vec![0, 0, 30, 0]);
+    }
+
+    #[test]
+    fn quarantine_spans_close_on_readmission_or_run_end() {
+        let log = log_with(vec![
+            (10, EventKind::SpeQuarantined { spe: 1, faults: 3 }),
+            (40, EventKind::SpeReadmitted { spe: 1 }),
+            (50, EventKind::SpeQuarantined { spe: 3, faults: 3 }),
+            (90, EventKind::TaskStart { proc: 0, task: 0, degree: 1, team: vec![0] }),
+            (100, EventKind::TaskEnd { proc: 0, task: 0, team: vec![0] }),
+        ]);
+        let tl = Timeline::from_log(&log);
+        assert_eq!(
+            tl.quarantines,
+            vec![
+                QuarantineSpan { spe: 1, start_ns: 10, end_ns: 40 },
+                // Never re-admitted: benched to the end of the run.
+                QuarantineSpan { spe: 3, start_ns: 50, end_ns: 100 },
+            ]
+        );
+        assert_eq!(tl.quarantine_ns(), vec![0, 30, 0, 50]);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn starved_gate_fixture(low_windows: usize) -> RunLog {
         local_store_bytes: 256 * 1024,
         loop_iters: 16,
         mgps_window: Some(8),
+            fault_policy: None,
         events,
     }
 }

@@ -86,7 +86,7 @@ fn native_run_passes_the_full_observability_stack() {
     // Merge and check the full native invariant catalog.
     let log: RunLog = runlog_from_trace(
         &trace,
-        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: 0 },
+        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: 0, fault_policy: None },
     );
     let report = check_run_with(&log, CheckMode::Native);
     assert!(report.is_clean(), "{}", report.render());
@@ -118,6 +118,59 @@ fn native_run_passes_the_full_observability_stack() {
     assert!(json.contains("task "));
 }
 
+/// An *armed* native run — pinned fault on off-load 0 plus a 20 % stall
+/// rate — must still produce a log the native-mode checker accepts: every
+/// faulted off-load resolved exactly once, retries sequential with the
+/// declared backoff, quarantine intervals exclusive. The fault events
+/// also have to survive the merge into RunLog order.
+#[test]
+fn armed_native_run_stays_checker_valid() {
+    use mgps_runtime::faults::FaultPlan;
+
+    let plan = FaultPlan::parse("seed=5,stall=0.2,pin=dma_error@0").expect("spec parses");
+    let tracer = Tracer::with_default_capacity();
+    let mut cfg = RuntimeConfig::cell(SchedulerKind::Edtlp);
+    cfg.switch_cost = Duration::ZERO;
+    cfg.faults = plan;
+    let n_spes = cfg.n_spes;
+    let rt =
+        MgpsRuntime::with_observability(cfg, Arc::new(NopMetrics), Some(Arc::clone(&tracer)));
+    {
+        let mut ctx = rt.enter_process();
+        for _ in 0..16 {
+            let body = Arc::new(Spin { n: 32, spin: Duration::from_micros(5) });
+            ctx.offload_loop(LoopSite(1), body).unwrap();
+        }
+    }
+    let trace = tracer.drain();
+
+    let log: RunLog = runlog_from_trace(
+        &trace,
+        NativeRunMeta {
+            scheduler: SchedulerTag::Edtlp,
+            n_spes,
+            seed: 0,
+            fault_policy: Some(plan.to_spec()),
+        },
+    );
+    let injected = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+        .count();
+    let retried = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::OffloadRetry { .. }))
+        .count();
+    assert!(injected >= 1, "the pinned fault on off-load 0 must fire");
+    assert!(retried >= 1, "a faulted off-load must retry (or fall back)");
+
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "armed run must be checker-valid:\n{}", report.render());
+    assert_eq!(report.tasks_checked, 16, "every admitted task completed exactly once");
+}
+
 /// Golden structure of [`PhaseBreakdown`] over a native LLP team run:
 /// the master/worker reduction recorded by `parallel_reduce_traced`
 /// yields one off-load whose span covers dispatch through reduction,
@@ -145,7 +198,7 @@ fn llp_team_run_phases_include_the_reduction_span() {
 
     let log = runlog_from_trace(
         &tracer.drain(),
-        NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0 },
+        NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None },
     );
     let report = check_run_with(&log, CheckMode::Native);
     assert!(report.is_clean(), "{}", report.render());

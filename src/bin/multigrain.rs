@@ -41,11 +41,15 @@ use multigrain::ParallelAnalysis;
 /// * `3` — I/O: a file or socket could not be read, written, or bound
 /// * `4` — checker: the run violated a schedule invariant (or a trace
 ///   refused export because it would record an illegal schedule)
+/// * `5` — unrecovered fault: an armed `--faults` plan stranded at least
+///   one task (retries exhausted with the PPE fallback disabled) — the
+///   run *completed* but the workload did not
 #[derive(Debug)]
 enum CliError {
     Usage(String),
     Io(String),
     Violation(String),
+    Unrecovered(String),
     Other(String),
 }
 
@@ -59,6 +63,9 @@ impl CliError {
     fn violation(msg: impl Into<String>) -> CliError {
         CliError::Violation(msg.into())
     }
+    fn unrecovered(msg: impl Into<String>) -> CliError {
+        CliError::Unrecovered(msg.into())
+    }
 
     fn code(&self) -> u8 {
         match self {
@@ -66,12 +73,17 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Io(_) => 3,
             CliError::Violation(_) => 4,
+            CliError::Unrecovered(_) => 5,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Io(m) | CliError::Violation(m) | CliError::Other(m) => m,
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Violation(m)
+            | CliError::Unrecovered(m)
+            | CliError::Other(m) => m,
         }
     }
 }
@@ -101,6 +113,7 @@ fn main() -> ExitCode {
         "trace" => trace(&opts),
         "profile" => profile(&opts),
         "analyze" => analyze(&opts),
+        "chaos" => chaos(&opts),
         "serve" => serve_cmd(&opts),
         "top" => top_cmd(&opts),
         "infer" => infer(&opts),
@@ -132,10 +145,20 @@ multigrain — dynamic multigrain parallelization (PPoPP'07 reproduction)
 USAGE:
   multigrain simulate [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
                       [--cells N] [--scale N] [--profile optimized|naive|ppe]
+                      [--faults SPEC]
   multigrain trace    [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
                       [--cells N] [--scale N] [--seed N] [--out FILE] [--check on|off]
+                      [--faults SPEC]
                       (replay one run with event recording; write a Chrome
                        trace-event JSON and print a per-SPE metrics summary)
+  multigrain chaos    [--scheduler edtlp|linux|llp2|llp4|mgps|all] [--bootstraps N]
+                      [--scale N] [--seed N] [--rates F,F,...] [--faults SPEC]
+                      (seeded fault sweep: inject every fault kind at each
+                       rate under each scheduler, push every recorded log
+                       through the schedule checker, and report survival —
+                       tasks completed, retries, fallbacks, quarantines,
+                       losses; --faults runs one explicit spec instead of
+                       the rate sweep)
   multigrain profile  [--scheduler edtlp|linux|llp2|llp4|mgps] [--bootstraps N]
                       [--cells N] [--scale N] [--seed N] [--out FILE.html]
                       (critical-path profile: per-phase blame for the makespan,
@@ -162,12 +185,24 @@ USAGE:
   multigrain predict  --input FILE [--bootstraps N] [--scale N]
   multigrain demo     [--taxa N] [--sites N] [--seed N] [--format fasta|phylip]
 
+FAULT SPECS (--faults):
+  comma-separated key=value pairs, e.g.
+    seed=7,stall=0.05,dma=0.01          5% stalls + 1% DMA errors
+    pin=crash@0                         crash exactly off-load 0
+    broken=2,k=3,readmit=32             SPEs 0-1 always fault; bench after
+                                        3 consecutive faults, probe every 32
+    crash=0.5,retries=0,fallback=off    lethal: tasks are lost (exit 5, or
+                                        4 where the checker sees the log)
+  keys: seed, stall|crash|dma|mbox (fraction), broken, pin=<kind>@<task>,
+        retries, backoff (ns), k, readmit, fallback=on|off, watchdog
+
 EXIT CODES:
   0  success
   1  other error (data, search, internal)
   2  usage: unknown command/flag or unparseable value
   3  I/O: file or socket could not be read, written, or bound
-  4  checker: a schedule-invariant violation was detected";
+  4  checker: a schedule-invariant violation was detected
+  5  unrecovered fault: an armed fault plan stranded at least one task";
 
 type Opts = HashMap<String, String>;
 
@@ -204,6 +239,15 @@ fn positive(opts: &Opts, key: &str, default: usize, what: &str) -> Result<usize,
     Ok(v)
 }
 
+/// Parse `--faults` into a [`FaultPlan`] (inert when the flag is absent).
+fn faults_of(opts: &Opts) -> Result<mgps_runtime::faults::FaultPlan, CliError> {
+    match opts.get("faults") {
+        None => Ok(mgps_runtime::faults::FaultPlan::inert()),
+        Some(spec) => mgps_runtime::faults::FaultPlan::parse(spec)
+            .map_err(|e| CliError::usage(format!("--faults: {e}"))),
+    }
+}
+
 fn scheduler_of(opts: &Opts) -> Result<SchedulerKind, CliError> {
     Ok(match opts.get("scheduler").map(String::as_str).unwrap_or("mgps") {
         "edtlp" => SchedulerKind::Edtlp,
@@ -235,7 +279,9 @@ fn simulate(opts: &Opts) -> Result<(), CliError> {
     }
     let cells = positive(opts, "cells", 1, "the blade needs at least 1 Cell processor")?;
     let scale = positive(opts, "scale", 500, "the workload scale must be at least 1")?;
+    let faults = faults_of(opts)?;
     let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
+    cfg.faults = faults;
     cfg.profile = match opts.get("profile").map(String::as_str).unwrap_or("optimized") {
         "optimized" => KernelProfile::Optimized,
         "naive" => KernelProfile::Naive,
@@ -252,6 +298,19 @@ fn simulate(opts: &Opts) -> Result<(), CliError> {
     println!("code reloads       {}", r.code_reloads);
     if let Some((evals, acts, deacts)) = r.mgps_counters {
         println!("MGPS               {evals} windows, {acts} activations, {deacts} deactivations, final degree {}", r.final_degree);
+    }
+    if faults.armed() {
+        let f = r.faults;
+        println!(
+            "faults             {} injected, {} retries, {} PPE fallbacks, {} quarantines, {} readmissions, {} lost",
+            f.injected, f.retries, f.ppe_fallbacks, f.quarantines, f.readmissions, f.lost
+        );
+    }
+    if r.unrecovered {
+        return Err(CliError::unrecovered(format!(
+            "{} task(s) lost: retries exhausted with the PPE fallback disabled",
+            r.faults.lost
+        )));
     }
     Ok(())
 }
@@ -282,7 +341,14 @@ fn trace(opts: &Opts) -> Result<(), CliError> {
     let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
     cfg.seed = seed;
     cfg.record_events = true;
+    cfg.faults = faults_of(opts)?;
     let r = run_simulation(cfg);
+    if r.unrecovered {
+        return Err(CliError::unrecovered(format!(
+            "refusing to export a trace of a stranded workload: {} task(s) lost",
+            r.faults.lost
+        )));
+    }
     let log = r.run_log.expect("record_events was set");
     let summary = ObsSummary::from_log(&log);
 
@@ -489,6 +555,132 @@ fn analyze(opts: &Opts) -> Result<(), CliError> {
         return Err(CliError::violation(format!("{violations} schedule-invariant violation(s) found")));
     }
     println!("all schedule invariants hold; replay is digest-deterministic");
+    Ok(())
+}
+
+/// `multigrain chaos` — seeded fault sweeps with checker-verified survival.
+///
+/// For each scheduler and each fault rate, arms a [`FaultPlan`] injecting
+/// every fault kind at that rate, replays the workload with event
+/// recording, and pushes the log through the schedule-invariant checker.
+/// Each cell is replayed a second time to prove the faulted run is
+/// digest-deterministic — same (workload seed, fault spec) pair, same
+/// byte-identical event stream.
+///
+/// Exit classification, most-diagnostic first: any checker violation is 4
+/// (a lethal plan that *loses* tasks lands here — the checker sees the
+/// stranded off-load in the log); otherwise a stranded workload that the
+/// checker could not see is 5; otherwise 0 and every admitted task
+/// completed exactly once.
+///
+/// [`FaultPlan`]: mgps_runtime::faults::FaultPlan
+fn chaos(opts: &Opts) -> Result<(), CliError> {
+    use mgps_runtime::faults::{FaultPlan, PPM};
+
+    let bootstraps = get(opts, "bootstraps", 4usize)?;
+    if bootstraps == 0 {
+        return Err(CliError::usage("--bootstraps: the chaos runs need at least 1 bootstrap"));
+    }
+    let scale = positive(opts, "scale", 2_000, "the workload scale must be at least 1")?;
+    let seed = get(opts, "seed", 0x5eedu64)?;
+
+    let schedulers: Vec<SchedulerKind> =
+        match opts.get("scheduler").map(String::as_str).unwrap_or("all") {
+            "all" => vec![
+                SchedulerKind::Edtlp,
+                SchedulerKind::LinuxLike,
+                SchedulerKind::StaticHybrid { spes_per_loop: 2 },
+                SchedulerKind::StaticHybrid { spes_per_loop: 4 },
+                SchedulerKind::Mgps,
+            ],
+            _ => vec![scheduler_of(opts)?],
+        };
+
+    // One explicit spec, or a sweep arming every fault kind at each rate.
+    let plans: Vec<FaultPlan> = match opts.get("faults") {
+        Some(spec) => vec![
+            FaultPlan::parse(spec).map_err(|e| CliError::usage(format!("--faults: {e}")))?
+        ],
+        None => {
+            let rates = opts.get("rates").map(String::as_str).unwrap_or("0.001,0.01,0.05");
+            rates
+                .split(',')
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .map(|r| {
+                    let f: f64 = r
+                        .parse()
+                        .ok()
+                        .filter(|f| (0.0..=1.0).contains(f))
+                        .ok_or_else(|| {
+                            CliError::usage(format!("--rates: expected fractions in [0,1], got {r:?}"))
+                        })?;
+                    let ppm = (f * PPM as f64).round() as u32;
+                    Ok(FaultPlan { seed, rate_ppm: [ppm; 4], ..FaultPlan::inert() })
+                })
+                .collect::<Result<_, CliError>>()?
+        }
+    };
+
+    println!("chaos sweep ({bootstraps} bootstraps, scale {scale}, seed {seed:#x})");
+    let mut violations = 0usize;
+    let mut lost = 0u64;
+    for plan in &plans {
+        println!("fault spec: {}", plan.to_spec());
+        for &scheduler in &schedulers {
+            let record = || {
+                let mut cfg = SimConfig::cell_42sc(scheduler, bootstraps, scale);
+                cfg.seed = seed;
+                cfg.record_events = true;
+                cfg.faults = *plan;
+                run_simulation(cfg)
+            };
+            let r = record();
+            let log = r.run_log.as_ref().expect("record_events was set");
+            let report = mgps_analysis::check_run(log);
+            let digest = mgps_analysis::digest_hex(log);
+            let replay =
+                mgps_analysis::digest_hex(record().run_log.as_ref().expect("record_events was set"));
+            if replay != digest {
+                return Err(CliError::violation(format!(
+                    "{} chaos replay diverged: digest {digest} vs {replay} from the same seed",
+                    scheduler.label()
+                )));
+            }
+            let f = r.faults;
+            let verdict = if !report.is_clean() {
+                format!("{} VIOLATION(S)", report.violations.len())
+            } else if r.unrecovered {
+                "STRANDED".to_string()
+            } else {
+                "survived".to_string()
+            };
+            println!(
+                "  {:<44} {:>5} tasks  {:>4} faults {:>4} retries {:>4} fallbacks {:>3} bench {:>3} readmit {:>3} lost  {verdict}",
+                scheduler.label(),
+                r.tasks_completed,
+                f.injected,
+                f.retries,
+                f.ppe_fallbacks,
+                f.quarantines,
+                f.readmissions,
+                f.lost
+            );
+            print!("{}", report.render());
+            violations += report.violations.len();
+            lost += f.lost;
+        }
+    }
+
+    if violations > 0 {
+        return Err(CliError::violation(format!(
+            "{violations} schedule-invariant violation(s) across the sweep"
+        )));
+    }
+    if lost > 0 {
+        return Err(CliError::unrecovered(format!("{lost} task(s) lost across the sweep")));
+    }
+    println!("every admitted task completed exactly once; replay is digest-deterministic");
     Ok(())
 }
 

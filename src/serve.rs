@@ -355,7 +355,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 
     let mut log = runlog_from_trace(
         &trace,
-        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: cfg.seed },
+        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: cfg.seed, fault_policy: None },
     );
     let health = shared.health.lock().unwrap_or_else(|e| e.into_inner());
     merge_health_events(&mut log, &health);
@@ -376,6 +376,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
             uptime_ns: tracer.now_ns(),
             metrics: snap.metrics,
             spe_busy: vec![false; n_spes],
+            healthy_spes: n_spes,
             degree: 0,
             pending_offloads: 0,
             gate_contention_ns: 0,
@@ -460,6 +461,7 @@ fn telemetry_tick(
         uptime_ns: now_ns,
         metrics: source.last().clone(),
         spe_busy: rt.spe_busy(),
+        healthy_spes: rt.healthy_spes(),
         degree: rt.current_degree(),
         pending_offloads: rt.pending_offloads(),
         gate_contention_ns: rt.gate_contention_ns(),
@@ -544,6 +546,13 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
 
 /// `/events`: replay the journal backlog, then tail it until shutdown or
 /// the client hangs up.
+///
+/// Every line is flushed as soon as it is written, so a tail sees each
+/// decision the moment the journal records it rather than whenever a
+/// buffer happens to fill. A mid-stream disconnect (EPIPE / connection
+/// reset) only ends *this* connection thread: the error is swallowed
+/// here, the telemetry thread never notices, and the service still shuts
+/// down cleanly with a checker-valid log.
 fn stream_events(stream: TcpStream, shared: &Shared) {
     let mut w = BufWriter::new(stream);
     let header = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n";
@@ -557,7 +566,10 @@ fn stream_events(stream: TcpStream, shared: &Shared) {
             journal[sent.min(journal.len())..].to_vec()
         };
         for line in &backlog {
-            if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            if w.write_all(line.as_bytes()).is_err()
+                || w.write_all(b"\n").is_err()
+                || w.flush().is_err()
+            {
                 return;
             }
         }
@@ -645,11 +657,28 @@ fn render_frame(
     busy_samples: &mut Vec<u64>,
     total_samples: &mut u64,
 ) {
+    print!("{}", frame_text(families, url, busy_samples, total_samples));
+}
+
+/// Render one `top` frame from a `/metrics` scrape. Total function of its
+/// inputs: a zero-duration or zero-busy scrape (a run whose very first
+/// off-load faulted, an idle service, a scrape with no SPE samples at all)
+/// renders zeros and empty bars rather than dividing by zero or indexing
+/// out of range.
+fn frame_text(
+    families: &[mgps_obs::PromFamily],
+    url: &str,
+    busy_samples: &mut Vec<u64>,
+    total_samples: &mut u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let epoch = gauge(families, "multigrain_snapshot_epoch").unwrap_or(0.0);
     let uptime_s = gauge(families, "multigrain_uptime_ns").unwrap_or(0.0) / 1e9;
     let degree = gauge(families, "multigrain_llp_degree").unwrap_or(0.0);
     let pending = gauge(families, "multigrain_pending_offloads").unwrap_or(0.0);
-    println!(
+    let _ = writeln!(
+        out,
         "multigrain top — {url}   epoch {epoch:.0}   uptime {uptime_s:.1}s   degree {degree:.0}   pending {pending:.0}"
     );
 
@@ -667,8 +696,11 @@ fn render_frame(
         })
         .unwrap_or_default();
     spes.sort_by_key(|&(i, _)| i);
-    if busy_samples.len() < spes.len() {
-        busy_samples.resize(spes.len(), 0);
+    // Size the accumulator by the largest labeled index, not the sample
+    // count — a sparse or truncated scrape must not index out of range.
+    let needed = spes.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
+    if busy_samples.len() < needed {
+        busy_samples.resize(needed, 0);
     }
     *total_samples += 1;
     for &(i, busy) in &spes {
@@ -676,11 +708,12 @@ fn render_frame(
             busy_samples[i] += 1;
         }
         let util = busy_samples[i] as f64 / (*total_samples).max(1) as f64;
-        let filled = (util * 20.0).round() as usize;
+        let filled = ((util * 20.0).round() as usize).min(20);
         let bar: String = std::iter::repeat_n('#', filled)
             .chain(std::iter::repeat_n('-', 20 - filled))
             .collect();
-        println!(
+        let _ = writeln!(
+            out,
             " SPE {i} [{bar}] {:>3.0}%  {}",
             util * 100.0,
             if busy { "busy" } else { "idle" }
@@ -688,7 +721,8 @@ fn render_frame(
     }
 
     let counter = |name: &str| gauge(families, name).unwrap_or(0.0);
-    println!(
+    let _ = writeln!(
+        out,
         " offloads {:.0}   completed {:.0}   llp on/off {:.0}/{:.0}   ctx switches {:.0}",
         counter("multigrain_offloads_total"),
         counter("multigrain_tasks_completed_total"),
@@ -696,12 +730,22 @@ fn render_frame(
         counter("multigrain_llp_deactivations_total"),
         counter("multigrain_ctx_switch_offload_total"),
     );
-    println!(
+    let _ = writeln!(
+        out,
         " stalls: mailbox {:.0}  queue {:.0}   gate wait {:.1}ms   ring drops {:.0}",
         counter("multigrain_mailbox_stalls_total"),
         counter("multigrain_offload_queue_stalls_total"),
         counter("multigrain_gate_contention_ns") / 1e6,
         counter("multigrain_trace_dropped_events"),
+    );
+    let healthy = gauge(families, "multigrain_healthy_spes").unwrap_or(spes.len() as f64);
+    let _ = writeln!(
+        out,
+        " faults {:.0}   retries {:.0}   fallbacks {:.0}   quarantined {:.0}   healthy {healthy:.0}",
+        counter("multigrain_faults_injected_total"),
+        counter("multigrain_offload_retries_total"),
+        counter("multigrain_ppe_fallbacks_total"),
+        counter("multigrain_spe_quarantines_total") - counter("multigrain_spe_readmissions_total"),
     );
 
     let alarms: Vec<String> = families
@@ -716,8 +760,81 @@ fn render_frame(
         })
         .unwrap_or_default();
     if alarms.is_empty() {
-        println!(" alarms: (none)");
+        let _ = writeln!(out, " alarms: (none)");
     } else {
-        println!(" alarms: {}", alarms.join(", "));
+        let _ = writeln!(out, " alarms: {}", alarms.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_frame_survives_a_zero_duration_scrape() {
+        // A service scraped before any work ran (or whose very first
+        // off-load faulted): every gauge zero, every SPE idle.
+        let scrape = "\
+# TYPE multigrain_spe_busy gauge
+multigrain_spe_busy{spe=\"0\"} 0
+multigrain_spe_busy{spe=\"1\"} 0
+# TYPE multigrain_snapshot_epoch gauge
+multigrain_snapshot_epoch 0
+# TYPE multigrain_uptime_ns gauge
+multigrain_uptime_ns 0
+";
+        let families = mgps_obs::parse_prometheus(scrape).unwrap();
+        let mut busy = Vec::new();
+        let mut total = 0u64;
+        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        assert!(frame.contains("epoch 0"));
+        assert!(frame.contains("SPE 0 [--------------------]   0%  idle"));
+        assert!(frame.contains("offloads 0"));
+        assert!(frame.contains("healthy 2"), "absent gauge falls back to the SPE count");
+        assert!(frame.contains("alarms: (none)"));
+    }
+
+    #[test]
+    fn top_frame_survives_sparse_and_empty_spe_samples() {
+        // No SPE family at all.
+        let families = mgps_obs::parse_prometheus("# TYPE multigrain_llp_degree gauge\nmultigrain_llp_degree 1\n").unwrap();
+        let mut busy = Vec::new();
+        let mut total = 0u64;
+        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        assert!(frame.contains("degree 1"));
+        // A sparse scrape whose only sample has a high index must size the
+        // accumulator by index, not sample count.
+        let sparse = "# TYPE multigrain_spe_busy gauge\nmultigrain_spe_busy{spe=\"5\"} 1\n";
+        let families = mgps_obs::parse_prometheus(sparse).unwrap();
+        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        assert!(frame.contains("SPE 5"));
+        assert_eq!(busy.len(), 6);
+    }
+
+    #[test]
+    fn top_frame_reports_fault_plane_activity() {
+        let scrape = "\
+# TYPE multigrain_faults_injected_total counter
+multigrain_faults_injected_total 7
+# TYPE multigrain_offload_retries_total counter
+multigrain_offload_retries_total 5
+# TYPE multigrain_ppe_fallbacks_total counter
+multigrain_ppe_fallbacks_total 2
+# TYPE multigrain_spe_quarantines_total counter
+multigrain_spe_quarantines_total 3
+# TYPE multigrain_spe_readmissions_total counter
+multigrain_spe_readmissions_total 1
+# TYPE multigrain_healthy_spes gauge
+multigrain_healthy_spes 6
+# TYPE multigrain_alarm_active gauge
+multigrain_alarm_active{alarm=\"quarantine_storm\"} 1
+";
+        let families = mgps_obs::parse_prometheus(scrape).unwrap();
+        let mut busy = Vec::new();
+        let mut total = 0u64;
+        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        assert!(frame.contains("faults 7   retries 5   fallbacks 2   quarantined 2   healthy 6"));
+        assert!(frame.contains("alarms: quarantine_storm"));
     }
 }

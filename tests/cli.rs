@@ -167,7 +167,7 @@ fn missing_input_is_a_clean_error() {
 
 /// Like [`run_cli`] but surfaces the numeric exit code, for the
 /// classified-exit-code contract (0 ok / 1 other / 2 usage / 3 I/O /
-/// 4 checker violation — see the USAGE text).
+/// 4 checker violation / 5 unrecovered fault — see the USAGE text).
 fn run_cli_code(args: &[&str]) -> (String, String, i32) {
     let out = Command::new(bin()).args(args).output().expect("CLI runs");
     (
@@ -220,4 +220,58 @@ fn clean_runs_exit_with_code_0() {
     let (_, stderr, code) =
         run_cli_code(&["simulate", "--scheduler", "mgps", "--bootstraps", "2", "--scale", "5000"]);
     assert_eq!(code, 0, "{stderr}");
+}
+
+#[test]
+fn unrecovered_faults_exit_with_code_5() {
+    // Retries exhausted with the PPE fallback disabled: tasks are lost,
+    // the run completes but the workload does not.
+    let lethal = "seed=9,crash=0.5,retries=0,fallback=off";
+    let (stdout, stderr, code) = run_cli_code(&[
+        "simulate", "--scheduler", "mgps", "--bootstraps", "2", "--scale", "4000", "--faults",
+        lethal,
+    ]);
+    assert_eq!(code, 5, "lethal plan should be unrecovered (5): {stderr}");
+    assert!(stdout.contains("lost"), "fault counters expected: {stdout}");
+    assert!(stderr.contains("task(s) lost"), "stderr names the loss: {stderr}");
+
+    // The same plan through `trace` refuses to export, same class.
+    let (_, stderr, code) = run_cli_code(&[
+        "trace", "--scheduler", "mgps", "--bootstraps", "2", "--scale", "4000", "--faults", lethal,
+        "--out", "/dev/null",
+    ]);
+    assert_eq!(code, 5, "stranded trace should be unrecovered (5): {stderr}");
+
+    // A malformed spec stays a usage error, not a fault outcome.
+    let (_, _, code) = run_cli_code(&["simulate", "--faults", "stall=2.0"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn survivable_faults_exit_with_code_0_and_report_recovery() {
+    let (stdout, stderr, code) = run_cli_code(&[
+        "simulate", "--scheduler", "mgps", "--bootstraps", "2", "--scale", "4000", "--faults",
+        "seed=9,stall=0.05",
+    ]);
+    assert_eq!(code, 0, "recovered run should be clean (0): {stderr}");
+    assert!(stdout.contains("faults"), "fault summary expected: {stdout}");
+    assert!(stdout.contains("0 lost"), "nothing may be lost: {stdout}");
+}
+
+#[test]
+fn chaos_sweep_survives_and_lethal_spec_trips_the_checker() {
+    // The seeded sweep across every scheduler completes every task.
+    let (stdout, stderr, code) =
+        run_cli_code(&["chaos", "--bootstraps", "2", "--scale", "4000", "--rates", "0.01"]);
+    assert_eq!(code, 0, "sweep must survive: {stderr}");
+    assert!(stdout.contains("every admitted task completed exactly once"), "{stdout}");
+
+    // A known-lethal spec loses tasks, and the checker sees it in the
+    // recorded log: classified as a violation (4), not unrecovered (5).
+    let (stdout, stderr, code) = run_cli_code(&[
+        "chaos", "--bootstraps", "2", "--scale", "4000", "--faults",
+        "seed=9,crash=0.5,retries=0,fallback=off",
+    ]);
+    assert_eq!(code, 4, "lethal chaos should be a checker violation (4): {stderr}");
+    assert!(stdout.contains("lost"), "{stdout}");
 }

@@ -182,6 +182,73 @@ fn serve_exposes_metrics_health_and_events_then_survives_sigint() {
 }
 
 #[test]
+fn events_client_disconnect_mid_stream_does_not_kill_the_service() {
+    use std::io::{Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("mg-serve-epipe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("epipe-run.json");
+
+    let (mut child, addr) = spawn_serve(&[
+        "--tasks",
+        "400",
+        "--for-ms",
+        "2500",
+        "--out",
+        log_path.to_str().unwrap(),
+    ]);
+
+    // Open /events, read until at least one journal line has actually been
+    // streamed (so the server is mid-conversation, not idle), then drop
+    // the socket without so much as a FIN handshake.
+    let start = Instant::now();
+    let mut stream = loop {
+        match std::net::TcpStream::connect(&addr) {
+            Ok(s) => break s,
+            Err(_) if start.elapsed() < Duration::from_secs(5) => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    };
+    stream.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+    stream
+        .write_all(format!("GET /events HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    let mut buf = [0u8; 4096];
+    while start.elapsed() < Duration::from_secs(10) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) => {}
+        }
+        if raw.split_once("\r\n\r\n").is_some_and(|(_, body)| body.contains('\n')) {
+            break;
+        }
+    }
+    assert!(
+        raw.split_once("\r\n\r\n").is_some_and(|(_, body)| body.contains('\n')),
+        "never saw a streamed line before disconnecting: {raw:?}"
+    );
+    // Abort the connection: subsequent server writes hit EPIPE/ECONNRESET.
+    drop(stream);
+
+    // The telemetry thread must shrug it off: the timed run still drains,
+    // exits 0, and writes a checker-valid log.
+    let code = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(code, 0, "a client hangup must not take down the service");
+
+    let text = std::fs::read_to_string(&log_path).expect("run log written");
+    let log = RunLog::from_value(&minijson::parse(&text).expect("log is JSON"))
+        .expect("log deserializes");
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "post-hangup log must be checker-valid:\n{}", report.render());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn undersized_rings_raise_the_ring_drop_alarm_and_exit_4() {
     let dir = std::env::temp_dir().join(format!("mg-serve-drop-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
