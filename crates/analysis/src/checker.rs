@@ -59,7 +59,7 @@
 //! pinned between `DegreeDecision` events (grants clamp to the healthy-SPE
 //! count, which the decision stream cannot see).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cellsim::event::{EventKind, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use des::trace::TraceRecord;
@@ -164,9 +164,9 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     let mut busy_since: Vec<u64> = vec![0; n_spes]; // start ns of the occupant
     let mut ls_in_use: Vec<usize> = vec![0; n_spes];
     let mut mailbox_occ: Vec<[usize; 3]> = vec![[0; 3]; n_spes];
-    let mut offloaded: HashMap<u64, (usize, u64)> = HashMap::new(); // task -> (proc, seq)
+    let mut offloaded: BTreeMap<u64, (usize, u64)> = BTreeMap::new(); // task -> (proc, seq)
     let mut last_offload_at: HashMap<usize, u64> = HashMap::new(); // proc -> at_ns
-    let mut tasks: HashMap<u64, TaskInfo> = HashMap::new();
+    let mut tasks: BTreeMap<u64, TaskInfo> = BTreeMap::new();
     let mut last_started: Option<u64> = None;
     let mut expected_degree: usize = initial_degree(log.scheduler);
 
@@ -188,7 +188,7 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
         },
     };
     let armed = plan.is_some();
-    let mut task_faults: HashMap<u64, u64> = HashMap::new(); // task -> faults seen
+    let mut task_faults: BTreeMap<u64, u64> = BTreeMap::new(); // task -> faults seen
     let mut task_fallback: HashMap<u64, u64> = HashMap::new(); // task -> fallback seq
     let mut task_retry_next: HashMap<u64, u64> = HashMap::new(); // task -> expected attempt
     let mut in_quarantine: Vec<bool> = vec![false; n_spes];
@@ -620,9 +620,7 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     // the iteration space exactly once across its team.
     report.spe_busy_ns = spe_busy_ns;
     report.tasks_checked = tasks.len();
-    let mut ordered: Vec<_> = tasks.iter().collect();
-    ordered.sort_by_key(|(task, _)| **task);
-    for (task, info) in ordered {
+    for (task, info) in &tasks {
         if !info.ended {
             report.violations.push(Violation {
                 rule: "task-lifecycle",
@@ -635,11 +633,9 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     // fault-recovery: every faulted off-load must resolve exactly once —
     // either its retry eventually ran on SPEs (TaskStart/TaskEnd) or it
     // degraded to the PPE (PpeFallback), never both and never neither.
-    let mut faulted: Vec<_> = task_faults.keys().copied().collect();
-    faulted.sort_unstable();
-    for task in faulted {
-        let ended = tasks.get(&task).is_some_and(|t| t.ended);
-        let fell_back = task_fallback.contains_key(&task);
+    for task in task_faults.keys() {
+        let ended = tasks.get(task).is_some_and(|t| t.ended);
+        let fell_back = task_fallback.contains_key(task);
         if ended && fell_back {
             report.violations.push(Violation {
                 rule: "fault-recovery",
@@ -664,16 +660,11 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
         // the queue (retries exhausted, fallback disabled). Surface every
         // off-loaded task that resolved nowhere; unarmed logs are already
         // covered by task-lifecycle above.
-        let mut pending: Vec<_> = offloaded
-            .keys()
-            .filter(|t| {
-                !tasks.contains_key(*t)
-                    && !task_fallback.contains_key(*t)
-                    && !task_faults.contains_key(*t)
-            })
-            .copied()
-            .collect();
-        pending.sort_unstable();
+        let pending = offloaded.keys().filter(|t| {
+            !tasks.contains_key(*t)
+                && !task_fallback.contains_key(*t)
+                && !task_faults.contains_key(*t)
+        });
         for task in pending {
             report.violations.push(Violation {
                 rule: "fault-recovery",
@@ -847,7 +838,7 @@ fn check_task_start(
     degree: usize,
     team: &[usize],
     expected_degree: usize,
-    offloaded: &HashMap<u64, (usize, u64)>,
+    offloaded: &BTreeMap<u64, (usize, u64)>,
     last_started: &Option<u64>,
     busy: &mut [Option<u64>],
     v: &mut Vec<Violation>,
@@ -930,7 +921,7 @@ fn check_task_end(
     proc: usize,
     task: u64,
     team: &[usize],
-    tasks: &mut HashMap<u64, TaskInfo>,
+    tasks: &mut BTreeMap<u64, TaskInfo>,
     busy: &mut [Option<u64>],
     v: &mut Vec<Violation>,
 ) {

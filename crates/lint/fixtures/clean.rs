@@ -1,0 +1,16 @@
+//! Fixture: a clean file — ordered collections, a single un-nested
+//! lock, no clocks, no entropy, no panics. The audit must stay silent.
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+pub struct Clean {
+    seen: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl Clean {
+    pub fn note(&self, k: u64, v: u64) {
+        if let Ok(mut m) = self.seen.lock() {
+            m.insert(k, v);
+        }
+    }
+}

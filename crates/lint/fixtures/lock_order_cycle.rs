@@ -1,0 +1,24 @@
+//! Fixture: a lock-order cycle (`alpha → beta` in one method,
+//! `beta → alpha` in another) — trips `lock-order` and nothing else.
+use std::sync::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

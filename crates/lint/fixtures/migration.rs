@@ -1,0 +1,11 @@
+//! Fixture: the old substring grep's false-hit classes. The doc lines
+//! and the string literal below spell out Instant::now and SystemTime;
+//! the token engine must pass this file while the legacy scan counts
+//! three hit lines.
+//!
+//! Timing is simulated here; code that reaches for `std::time::Instant`
+//! is wrong by design.
+
+pub fn describe() -> &'static str {
+    "never call Instant::now or SystemTime in sim code"
+}

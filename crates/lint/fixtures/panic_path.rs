@@ -1,0 +1,9 @@
+//! Fixture: trips `panic-path` and nothing else (planted as the serve
+//! request path).
+pub fn handle(req: Option<&str>) -> String {
+    let body = req.unwrap();
+    if body.is_empty() {
+        panic!("empty request");
+    }
+    body.to_string()
+}

@@ -1,0 +1,5 @@
+//! Fixture: trips `rng-discipline` and nothing else.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

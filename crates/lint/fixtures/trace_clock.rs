@@ -1,0 +1,7 @@
+//! Fixture: trips `trace-clock` and nothing else (planted as the
+//! runtime's tracing.rs, the only file in that rule's scope).
+use std::time::Instant;
+
+pub fn now_ns() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

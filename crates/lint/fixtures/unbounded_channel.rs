@@ -1,0 +1,6 @@
+//! Fixture: trips `unbounded-channel` and nothing else.
+use crossbeam::channel;
+
+pub fn plumbing() -> (channel::Sender<u64>, channel::Receiver<u64>) {
+    channel::unbounded()
+}

@@ -1,0 +1,14 @@
+//! Fixture: trips `unordered-iter` and nothing else — one `for … in
+//! &map` loop and one `.keys()` call on a hashed collection.
+use std::collections::HashMap;
+
+pub fn render() -> Vec<u64> {
+    let mut tally: HashMap<u64, u64> = HashMap::new();
+    tally.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, _) in &tally {
+        out.push(*k);
+    }
+    out.extend(tally.keys().copied());
+    out
+}

@@ -1,0 +1,7 @@
+//! Fixture: trips `wall-clock` and nothing else.
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

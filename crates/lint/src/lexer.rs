@@ -1,0 +1,450 @@
+//! A small Rust lexer for static analysis.
+//!
+//! This is not a compiler front end: it produces a flat token stream with
+//! source spans, which is exactly what the rule layer needs to match
+//! forbidden constructs *in code* while ignoring the same spelling inside
+//! comments, string literals, and raw strings — the false-hit classes of
+//! the old substring grep. Three properties matter:
+//!
+//! * **Comments and strings are stripped from the token stream** but not
+//!   discarded: comments are collected separately (allow-markers live in
+//!   them) and string/char literals become opaque literal tokens so rules
+//!   can still reason about position without matching their contents.
+//! * **Every token carries `line`/`col`** (1-based), so findings point at
+//!   clickable locations.
+//! * **`#[cfg(test)]` regions are delimited.** Rules that only guard
+//!   production behavior (panic paths, iteration order) skip them; rules
+//!   that guard the determinism of the tree as a whole (clocks, RNG)
+//!   do not.
+//!
+//! The lexer is intentionally forgiving: unterminated literals lex to the
+//! end of file rather than erroring, because an audit must never be the
+//! thing that fails to parse the tree rustc already accepted.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation. Multi-character `::` is glued into one token; all
+    /// other punctuation is one character per token.
+    Punct,
+    /// String, raw-string, byte-string, or char literal (contents opaque).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// A lifetime (`'a`). Kept distinct so `'a` never looks like a char.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token text (empty for [`TokKind::Literal`] — contents are
+    /// deliberately opaque so rules cannot match inside strings).
+    pub text: String,
+    /// What it is.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One comment, kept for allow-marker parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body (without the `//` / `/*` introducer).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// A lexed source file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Lex `src` into tokens, comments, and test regions.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        // Line comment (also covers doc comments `///` and `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            comments.push(Comment { text, line: tline });
+            continue;
+        }
+        // Block comment, possibly nested (Rust allows it).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i + 2;
+            bump!();
+            bump!();
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            let end = i.saturating_sub(2).max(start);
+            let text: String = chars[start..end].iter().collect();
+            comments.push(Comment { text, line: tline });
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br#"..."# (any # count).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // Consume up to and including the opening quote.
+            while i <= j {
+                bump!();
+            }
+            // Scan for `"` followed by `hashes` `#`s.
+            'raw: while i < chars.len() {
+                if chars[i] == '"' {
+                    let mut k = 1usize;
+                    let mut ok = true;
+                    while k <= hashes {
+                        if chars.get(i + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            bump!();
+                        }
+                        break 'raw;
+                    }
+                }
+                bump!();
+            }
+            toks.push(Tok { text: String::new(), kind: TokKind::Literal, line: tline, col: tcol });
+            continue;
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                }
+                bump!();
+            }
+            if i < chars.len() {
+                bump!(); // closing quote
+            }
+            toks.push(Tok { text: String::new(), kind: TokKind::Literal, line: tline, col: tcol });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_lifetime = match next {
+                Some(n) if n == '_' || n.is_alphabetic() => {
+                    // 'a' is a char, 'a (no closing quote) is a lifetime.
+                    // Find the end of the ident run and check for a quote.
+                    let mut j = i + 1;
+                    while chars.get(j).is_some_and(|ch| ch.is_alphanumeric() || *ch == '_') {
+                        j += 1;
+                    }
+                    chars.get(j) != Some(&'\'')
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                bump!(); // the quote
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok { text, kind: TokKind::Lifetime, line: tline, col: tcol });
+            } else {
+                bump!(); // opening quote
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        bump!();
+                    }
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!(); // closing quote
+                }
+                toks.push(Tok {
+                    text: String::new(),
+                    kind: TokKind::Literal,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok { text, kind: TokKind::Ident, line: tline, col: tcol });
+            continue;
+        }
+        // Numbers (coarse: `1.5` lexes as Number, Punct('.'), Number —
+        // no rule needs numeric values, only that they are not idents).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok { text, kind: TokKind::Number, line: tline, col: tcol });
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Punctuation; glue `::` (the only multi-char operator rules
+        // match on paths).
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            bump!();
+            bump!();
+            toks.push(Tok { text: "::".into(), kind: TokKind::Punct, line: tline, col: tcol });
+            continue;
+        }
+        bump!();
+        toks.push(Tok { text: c.to_string(), kind: TokKind::Punct, line: tline, col: tcol });
+    }
+
+    let test_regions = find_test_regions(&toks);
+    Lexed { toks, comments, test_regions }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    // Must not be the start of an identifier like `raw` or `brr`.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Find line ranges of items annotated `#[cfg(test)]`: from the attribute
+/// to the closing brace of the item body (or the terminating `;` for
+/// brace-less items).
+fn find_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_attr = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            let mut depth = 0usize;
+            j += 1;
+            while j < toks.len() {
+                if toks[j].text == "[" {
+                    depth += 1;
+                } else if toks[j].text == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan to the item body: the first `{` begins it; a `;` first
+        // means a brace-less item (e.g. `#[cfg(test)] use ...;`).
+        let mut end_line = start_line;
+        while j < toks.len() {
+            if toks[j].text == ";" {
+                end_line = toks[j].line;
+                j += 1;
+                break;
+            }
+            if toks[j].text == "{" {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].text == "{" {
+                        depth += 1;
+                    } else if toks[j].text == "}" {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = toks[j].line;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+/// Positions in `toks` where the texts of `needle` appear consecutively.
+pub fn find_seq(toks: &[Tok], needle: &[&str]) -> Vec<usize> {
+    if needle.is_empty() || toks.len() < needle.len() {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    'outer: for i in 0..=(toks.len() - needle.len()) {
+        for (k, want) in needle.iter().enumerate() {
+            if toks[i + k].text != *want {
+                continue 'outer;
+            }
+        }
+        hits.push(i);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_tokenize() {
+        let src = r##"
+// Instant::now in a comment
+/* SystemTime in a block /* nested */ comment */
+let s = "Instant::now inside a string";
+let r = r#"SystemTime raw"#;
+let t = Instant::now();
+"##;
+        let lx = lex(src);
+        let hits = find_seq(&lx.toks, &["Instant", "::", "now"]);
+        assert_eq!(hits.len(), 1, "only the code use should match");
+        assert_eq!(lx.toks[hits[0]].line, 6);
+        assert!(find_seq(&lx.toks, &["SystemTime"]).is_empty());
+        assert_eq!(lx.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';");
+        assert_eq!(lx.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 3);
+        assert_eq!(lx.toks.iter().filter(|t| t.kind == TokKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_delimited() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lx = lex(src);
+        assert_eq!(lx.test_regions, vec![(2, 5)]);
+        assert!(lx.in_test_region(4));
+        assert!(!lx.in_test_region(1));
+        assert!(!lx.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_skips_additional_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn t() {}\n}\n";
+        let lx = lex(src);
+        assert_eq!(lx.test_regions, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let lx = lex("let x = 1;\n  foo();\n");
+        let foo = lx.toks.iter().find(|t| t.text == "foo").unwrap();
+        assert_eq!((foo.line, foo.col), (2, 3));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let lx = lex("a::b:c");
+        let texts: Vec<&str> = lx.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "::", "b", ":", "c"]);
+    }
+}

@@ -1,0 +1,427 @@
+//! Lexical lock-order analysis over `mgps-runtime`.
+//!
+//! Finds every `.lock()` call, names the lock by the last plain field or
+//! binding in the receiver chain (`self.shared.state.lock()` → `state`;
+//! `self.fault_state.as_ref()?.lock()` → `fault_state`), and tracks guard
+//! liveness lexically:
+//!
+//! * a `let`-bound guard lives until its enclosing block closes or an
+//!   explicit `drop(guard)`;
+//! * a temporary guard (`self.x.lock().do_it()`) lives until the end of
+//!   its statement — deliberately *over*-approximating `if`-condition
+//!   temporaries (dropped earlier at runtime) so that `match x.lock().y`
+//!   temporaries, which genuinely live for the whole match, are covered.
+//!
+//! Every acquisition that happens while another guard is (lexically) live
+//! adds an edge `held → acquired` to the lock-order graph. The rule fails
+//! on any cycle, including the self-edge of a double acquisition. This is
+//! the static complement of the loom models: loom explores schedules of
+//! the orders that exist, this proves no conflicting order exists in the
+//! first place.
+
+use crate::lexer::TokKind;
+use crate::{Finding, SourceFile};
+
+/// One acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock name (receiver's last plain field/binding).
+    pub lock: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line of the `.lock()` call.
+    pub line: u32,
+}
+
+/// One `held → acquired` edge with its witnessing site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub held: String,
+    /// The lock acquired under it.
+    pub acquired: String,
+    /// Where the inner acquisition happens.
+    pub site: LockSite,
+}
+
+/// The lock-order graph of the scanned tree.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every acquisition site seen (deduplicated by file/line).
+    pub sites: Vec<LockSite>,
+    /// Nested-acquisition edges.
+    pub edges: Vec<LockEdge>,
+    /// Detected cycles, as lock-name paths (`a → b → a`).
+    pub cycles: Vec<Vec<String>>,
+}
+
+struct Guard {
+    lock: String,
+    /// Binding name for `let` guards; `None` for statement temporaries.
+    name: Option<String>,
+    /// Brace depth at acquisition.
+    depth: usize,
+}
+
+/// Scan one file, appending sites and edges to `graph`.
+pub fn scan_file(file: &SourceFile, skip_tests: bool, graph: &mut LockGraph) {
+    let toks = &file.lexed.toks;
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                held.retain(|g| g.depth <= depth);
+            }
+            ";" => held.retain(|g| !(g.name.is_none() && g.depth == depth)),
+            "drop"
+                // `drop(guard)` ends a named guard early.
+                if toks.get(i + 1).is_some_and(|t| t.text == "(") => {
+                    if let Some(arg) = toks.get(i + 2) {
+                        held.retain(|g| g.name.as_deref() != Some(arg.text.as_str()));
+                    }
+                }
+            "lock" => {
+                let is_call = i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|t| t.text == "(")
+                    && toks.get(i + 2).is_some_and(|t| t.text == ")");
+                if is_call && !(skip_tests && file.lexed.in_test_region(t.line)) {
+                    let lock = receiver_name(file, i - 1).unwrap_or_else(|| "<expr>".into());
+                    let site = LockSite { lock: lock.clone(), file: file.rel.clone(), line: t.line };
+                    for g in &held {
+                        graph.edges.push(LockEdge {
+                            held: g.lock.clone(),
+                            acquired: lock.clone(),
+                            site: site.clone(),
+                        });
+                    }
+                    if !graph.sites.iter().any(|s| s.file == site.file && s.line == site.line) {
+                        graph.sites.push(site);
+                    }
+                    // `let decision = m.lock().decide(…);` binds the *result*
+                    // of `decide`, not the guard — the guard is a statement
+                    // temporary. Only a statement that ends right after the
+                    // `.lock()` call (modulo `.unwrap()`/`.expect(…)`/`?`)
+                    // binds the guard itself.
+                    let name = if guard_is_statement_value(file, i) {
+                        let_target(file, i)
+                    } else {
+                        None
+                    };
+                    held.push(Guard { lock, name, depth });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Walk back from the closing token at `i` (`)` or `]`) to its matching
+/// opener, returning the opener's index.
+fn balance_back(toks: &[crate::lexer::Tok], mut i: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    loop {
+        let t = toks[i].text.as_str();
+        if t == close {
+            depth += 1;
+        } else if t == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+}
+
+/// Walk the postfix chain left of the `.` at `dot` and return the last
+/// plain field or binding: method calls (`.as_ref()`, `.expect(…)`),
+/// `?`, and index expressions are skipped until a non-call ident appears
+/// (`self.shared.state.lock()` → `state`;
+/// `self.fault_state.as_ref().unwrap().lock()` → `fault_state`).
+fn receiver_name(file: &SourceFile, dot: usize) -> Option<String> {
+    let toks = &file.lexed.toks;
+    let mut i = dot; // points at '.'
+    loop {
+        if i == 0 {
+            return None;
+        }
+        i -= 1; // token left of the '.'
+        // Skip trailing `?`, call argument lists, and index expressions.
+        loop {
+            match toks[i].text.as_str() {
+                "?" => {
+                    if i == 0 {
+                        return None;
+                    }
+                    i -= 1;
+                }
+                ")" => {
+                    i = balance_back(toks, i, "(", ")")?;
+                    if i == 0 {
+                        return None;
+                    }
+                    i -= 1;
+                }
+                "]" => {
+                    i = balance_back(toks, i, "[", "]")?;
+                    if i == 0 {
+                        return None;
+                    }
+                    i -= 1;
+                }
+                _ => break,
+            }
+        }
+        if toks[i].kind != TokKind::Ident {
+            return None;
+        }
+        let is_call = toks.get(i + 1).is_some_and(|t| t.text == "(");
+        if !is_call {
+            return Some(toks[i].text.clone());
+        }
+        // A method name: the chain continues across the '.' to its left.
+        if i == 0 || toks[i - 1].text != "." {
+            return None;
+        }
+        i -= 1; // at the '.'; the outer loop steps left of it
+    }
+}
+
+/// True when the `.lock()` call at token `at` is the final value of its
+/// statement, i.e. the guard itself is what a surrounding `let` binds.
+/// `.unwrap()` / `.expect(…)` wrappers and `?` forward the guard; any
+/// other postfix (`.decide(…)`, `.field`) consumes it within the
+/// statement.
+fn guard_is_statement_value(file: &SourceFile, at: usize) -> bool {
+    let toks = &file.lexed.toks;
+    let mut j = at + 3; // past `lock ( )`
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some(";") => return true,
+            Some("?") => j += 1,
+            Some(".") => {
+                let forwards = toks
+                    .get(j + 1)
+                    .is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+                    && toks.get(j + 2).is_some_and(|t| t.text == "(");
+                if !forwards {
+                    return false;
+                }
+                let mut d = 0usize;
+                let mut k = j + 2;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" => d += 1,
+                        ")" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// If the statement containing token `at` is a `let` binding, return the
+/// bound name (skipping `mut`).
+fn let_target(file: &SourceFile, at: usize) -> Option<String> {
+    let toks = &file.lexed.toks;
+    let mut i = at;
+    while i > 0 {
+        let t = &toks[i].text;
+        if t == ";" || t == "{" || t == "}" {
+            return None;
+        }
+        if t == "let" {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|t| t.text == "mut") {
+                k += 1;
+            }
+            let b = toks.get(k)?;
+            return (b.kind == TokKind::Ident).then(|| b.text.clone());
+        }
+        i -= 1;
+    }
+    None
+}
+
+/// Detect cycles in the edge set; returns findings (one per cycle) and
+/// records the cycles on the graph.
+pub fn cycle_findings(graph: &mut LockGraph, why: &str) -> Vec<Finding> {
+    let mut nodes: Vec<String> = Vec::new();
+    for e in &graph.edges {
+        for n in [&e.held, &e.acquired] {
+            if !nodes.contains(n) {
+                nodes.push(n.clone());
+            }
+        }
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    // DFS from each node; report one cycle per distinct start node.
+    for start in &nodes {
+        let mut stack = vec![(start.clone(), vec![start.clone()])];
+        let mut seen: Vec<String> = Vec::new();
+        while let Some((node, path)) = stack.pop() {
+            for e in graph.edges.iter().filter(|e| e.held == node) {
+                if e.acquired == *start {
+                    let mut cyc = path.clone();
+                    cyc.push(start.clone());
+                    // Canonical form: only keep the rotation that starts
+                    // at the lexicographically smallest lock, so each
+                    // cycle is reported once.
+                    if cyc[..cyc.len() - 1].iter().min() == Some(start)
+                        && !cycles.contains(&cyc)
+                    {
+                        cycles.push(cyc);
+                    }
+                } else if !seen.contains(&e.acquired) && !path.contains(&e.acquired) {
+                    seen.push(e.acquired.clone());
+                    let mut p = path.clone();
+                    p.push(e.acquired.clone());
+                    stack.push((e.acquired.clone(), p));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for cyc in &cycles {
+        let witness = graph
+            .edges
+            .iter()
+            .find(|e| e.held == cyc[0] && cyc.get(1).is_some_and(|n| *n == e.acquired));
+        let (file, line) = witness.map_or((String::from("?"), 0), |e| {
+            (e.site.file.clone(), e.site.line)
+        });
+        out.push(Finding {
+            rule: "lock-order".into(),
+            file,
+            line,
+            col: 1,
+            excerpt: String::new(),
+            why: why.to_string(),
+            note: format!("lock-order cycle: {}", cyc.join(" -> ")),
+        });
+    }
+    graph.cycles = cycles;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile { rel: "t.rs".into(), lines: src.lines().map(String::from).collect(), lexed: lex(src) }
+    }
+
+    fn graph_of(src: &str) -> LockGraph {
+        let mut g = LockGraph::default();
+        scan_file(&file(src), true, &mut g);
+        g
+    }
+
+    #[test]
+    fn nested_let_guards_create_an_edge() {
+        let g = graph_of(
+            "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n",
+        );
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!((g.edges[0].held.as_str(), g.edges[0].acquired.as_str()), ("alpha", "beta"));
+    }
+
+    #[test]
+    fn sequential_temporaries_do_not_nest() {
+        let g = graph_of("fn f(&self) {\n    self.alpha.lock().push(1);\n    self.beta.lock().push(2);\n}\n");
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn drop_ends_a_guard() {
+        let g = graph_of(
+            "fn f(&self) {\n    let a = self.alpha.lock();\n    drop(a);\n    let b = self.beta.lock();\n}\n",
+        );
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn block_close_ends_a_guard() {
+        let g = graph_of(
+            "fn f(&self) {\n    {\n        let a = self.alpha.lock();\n    }\n    let b = self.beta.lock();\n}\n",
+        );
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn method_chain_receivers_resolve_to_the_field() {
+        let g = graph_of("fn f(&self) {\n    let s = self.fault_state.as_ref().unwrap().lock();\n}\n");
+        assert_eq!(g.sites.len(), 1);
+        assert_eq!(g.sites[0].lock, "fault_state");
+    }
+
+    #[test]
+    fn let_of_a_guard_method_result_is_a_temporary() {
+        // Binds the decision, not the guard: no edge to the later lock.
+        let g = graph_of(
+            "fn f(&self) {\n    let d = self.alpha.lock().decide(1, true);\n    \
+             let b = self.alpha.lock();\n}\n",
+        );
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+        assert_eq!(g.sites.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_wrapped_guard_still_binds() {
+        let g = graph_of(
+            "fn f(&self) {\n    let a = self.alpha.lock().unwrap();\n    \
+             let b = self.beta.lock();\n}\n",
+        );
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!((g.edges[0].held.as_str(), g.edges[0].acquired.as_str()), ("alpha", "beta"));
+    }
+
+    #[test]
+    fn opposite_orders_are_a_cycle() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n\
+                   fn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n";
+        let mut g = graph_of(src);
+        let findings = cycle_findings(&mut g, "why");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].note.contains("alpha -> beta -> alpha"), "{}", findings[0].note);
+    }
+
+    #[test]
+    fn double_acquisition_is_a_self_cycle() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.alpha.lock();\n}\n";
+        let mut g = graph_of(src);
+        let findings = cycle_findings(&mut g, "why");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].note.contains("alpha -> alpha"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n\
+                   fn g(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n";
+        let mut g = graph_of(src);
+        assert!(cycle_findings(&mut g, "why").is_empty());
+        assert_eq!(g.edges.len(), 2);
+    }
+}

@@ -217,6 +217,12 @@ impl FaultPlan {
         hint_ns.max(1).saturating_mul(self.policy.watchdog_factor.max(1))
     }
 
+    /// Index of `kind` in [`FaultKind::ALL`], or `None` if the table and
+    /// the enum ever drift apart.
+    fn kind_index(kind: FaultKind) -> Option<usize> {
+        FaultKind::ALL.iter().position(|k| *k == kind)
+    }
+
     /// Parse a fault spec: comma-separated `key=value` pairs.
     ///
     /// Keys: `seed=<u64>`, rates `stall=`/`crash=`/`dma=`/`mbox=`
@@ -235,8 +241,10 @@ impl FaultPlan {
             match key {
                 "seed" => plan.seed = parse_num(key, value)?,
                 "stall" | "crash" | "dma" | "mbox" => {
-                    let kind = FaultKind::from_name(key).expect("alias covered");
-                    let idx = FaultKind::ALL.iter().position(|k| *k == kind).expect("in ALL");
+                    let kind = FaultKind::from_name(key)
+                        .ok_or_else(|| format!("unknown fault kind '{key}'"))?;
+                    let idx = Self::kind_index(kind)
+                        .ok_or_else(|| format!("fault kind '{key}' missing from ALL"))?;
                     plan.rate_ppm[idx] = parse_rate(key, value)?;
                 }
                 "broken" => plan.broken_spes = parse_num(key, value)?,
@@ -251,8 +259,9 @@ impl FaultPlan {
                         return Err(format!("too many pins (max {MAX_PINS})"));
                     }
                     plan.pin_task[i] = parse_num("pin task", task)?;
-                    plan.pin_kind[i] =
-                        FaultKind::ALL.iter().position(|k| *k == kind).expect("in ALL") as u8;
+                    plan.pin_kind[i] = Self::kind_index(kind)
+                        .ok_or_else(|| format!("fault kind '{kname}' missing from ALL"))?
+                        as u8;
                     plan.pin_len += 1;
                 }
                 "retries" => plan.policy.max_retries = parse_num(key, value)?,

@@ -315,7 +315,15 @@ impl MgpsRuntime {
     /// derivation is exercised by the simulator, which owns virtual time.
     fn fault_round(&self, task: TaskId, attempt: u32, trace: Option<&TraceHandle>) -> FaultRound {
         let plan = &self.config.faults;
-        let mut st = self.fault_state.as_ref().expect("fault plan armed").lock();
+        let Some(fault_state) = self.fault_state.as_ref() else {
+            // Armed plan without state should be unreachable (state is
+            // built whenever the plan arms); degrade to an unfaulted run
+            // rather than bringing the recovery ladder down with a panic.
+            let lead = task.0 as usize % self.config.n_spes.max(1);
+            let degree = self.current_degree().max(1);
+            return FaultRound::Run { lead, degree };
+        };
+        let mut st = fault_state.lock();
         let healthy: Vec<usize> =
             (0..st.benched_at.len()).filter(|&s| st.benched_at[s].is_none()).collect();
         if healthy.is_empty() {
@@ -377,7 +385,10 @@ impl MgpsRuntime {
 
     /// Book a successful off-load attempt with the fault plane.
     fn fault_success(&self, lead: usize, trace: Option<&TraceHandle>) {
-        let mut st = self.fault_state.as_ref().expect("fault plan armed").lock();
+        let Some(fault_state) = self.fault_state.as_ref() else {
+            return; // nothing to book against — see fault_round
+        };
+        let mut st = fault_state.lock();
         st.ticks += 1;
         st.consec[lead] = 0;
         self.maybe_readmit(&mut st, trace);
@@ -603,6 +614,7 @@ impl ProcessCtx<'_> {
         let controller = rt
             .granularity
             .as_ref()
+            // xtask-allow: panic-path — documented `# Panics` API precondition, pinned by a should_panic test
             .expect("granularity control not enabled on this runtime");
         let decision = controller.lock().decide(kind, true);
         match decision {

@@ -21,7 +21,7 @@ use super::sync::{Condvar, Mutex, COMMAND_QUEUE_DEPTH};
 use super::context::{ImageId, SpeContext};
 use crate::metrics::{Counter, MetricsSink, MetricsSinkExt, NopMetrics};
 use crate::policy::SpeId;
-use crate::tracing::{TraceHandle, Tracer};
+use crate::tracing::{TraceEventKind, TraceHandle, TraceMailbox, Tracer};
 
 /// A unit of work executed on a virtual SPE.
 pub type Job = Box<dyn FnOnce(&mut SpeContext) + Send>;
@@ -470,8 +470,38 @@ fn worker_loop(
             WorkerMsg::Shutdown => break,
         };
         loop {
+            // Model the start signal: the PPE posts the job into this SPE's
+            // inbound mailbox and the SPE drains it. Recorded back-to-back
+            // on the SPE's own ring, so the per-SPE occupancy replay the
+            // checker runs (0 → 1 → 0) is consistent by construction.
+            if let Some(h) = ctx.trace() {
+                h.record(TraceEventKind::MailboxWrite {
+                    spe: id.0,
+                    mailbox: TraceMailbox::Inbound,
+                    occupancy: 1,
+                });
+                h.record(TraceEventKind::MailboxRead {
+                    spe: id.0,
+                    mailbox: TraceMailbox::Inbound,
+                    occupancy: 0,
+                });
+            }
             ctx.begin_task();
             let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+            // Account the job's local-store scratch as an alloc/free pair:
+            // the data region is bump-allocated during the job and released
+            // at task teardown (`begin_task` resets it lazily).
+            let scratch = ctx.local_store.used();
+            if scratch > 0 {
+                if let Some(h) = ctx.trace() {
+                    h.record(TraceEventKind::LsAlloc {
+                        spe: id.0,
+                        bytes: scratch,
+                        in_use: scratch,
+                    });
+                    h.record(TraceEventKind::LsFree { spe: id.0, bytes: scratch, in_use: 0 });
+                }
+            }
             shared.completed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.incr(Counter::TasksCompleted);
             let reloads_now = ctx.code_reloads();

@@ -254,10 +254,23 @@ impl TeamRunner {
             self.pool.run_on(
                 *w,
                 Box::new(move |ctx: &mut SpeContext| {
-                    // fetch_data(): workers pay the argument-fetch latency
-                    // before their first iteration.
+                    // fetch_data(): workers stage the argument block through
+                    // local store and pay the fetch latency before their
+                    // first iteration.
                     if !startup.is_zero() {
+                        let staged = ctx.local_store.alloc(ARG_FETCH_BYTES).is_ok();
                         if let (Some(_), Some(h)) = (task_id, ctx.trace()) {
+                            // The issue event models the argument fetch as a
+                            // single-element list transfer into the start of
+                            // the data region.
+                            if staged {
+                                h.record(TraceEventKind::Dma {
+                                    spe: ctx.id.0,
+                                    element_bytes: vec![ARG_FETCH_BYTES],
+                                    local_addr: 0,
+                                    main_addr: 0,
+                                });
+                            }
                             // Timestamp = transfer start; the latency is the
                             // span length (mirrors the simulator's DMA span).
                             h.record(TraceEventKind::DmaComplete {

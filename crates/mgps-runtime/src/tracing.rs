@@ -34,7 +34,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant; // xtask-allow: trace-clock
+use std::time::Instant; // xtask-allow: trace-clock — TraceClock is the designated owner of the host clock
 
 /// Default per-ring capacity (events). At ~80 bytes an event this bounds a
 /// ring at well under a megabyte.
@@ -45,12 +45,12 @@ pub const DEFAULT_RING_CAPACITY: usize = 8192;
 /// tracing path.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceClock {
-    epoch: Instant, // xtask-allow: trace-clock
+    epoch: Instant, // xtask-allow: trace-clock — the epoch TraceClock measures from
 }
 
 impl TraceClock {
     fn new() -> TraceClock {
-        TraceClock { epoch: Instant::now() } // xtask-allow: trace-clock
+        TraceClock { epoch: Instant::now() } // xtask-allow: trace-clock — the one sanctioned clock read
     }
 
     /// Nanoseconds elapsed since the epoch.
@@ -187,6 +187,65 @@ pub enum TraceEventKind {
         /// Total SPE attempts made before giving up.
         attempts: u64,
     },
+    /// A DMA transfer was issued (list transfer: one entry per element).
+    Dma {
+        /// The issuing SPE.
+        spe: usize,
+        /// Element sizes of the (list) transfer, bytes.
+        element_bytes: Vec<usize>,
+        /// Local-store offset of the transfer.
+        local_addr: usize,
+        /// Main-memory address (modeled; 0 on the native engine).
+        main_addr: usize,
+    },
+    /// A value was posted to an SPE mailbox.
+    MailboxWrite {
+        /// The SPE whose mailbox was written.
+        spe: usize,
+        /// Which of the three architected mailboxes.
+        mailbox: TraceMailbox,
+        /// Mailbox occupancy after the write.
+        occupancy: usize,
+    },
+    /// A value was drained from an SPE mailbox.
+    MailboxRead {
+        /// The SPE whose mailbox was read.
+        spe: usize,
+        /// Which of the three architected mailboxes.
+        mailbox: TraceMailbox,
+        /// Mailbox occupancy after the read.
+        occupancy: usize,
+    },
+    /// Local-store bytes were reserved on an SPE.
+    LsAlloc {
+        /// The allocating SPE.
+        spe: usize,
+        /// Bytes reserved.
+        bytes: usize,
+        /// Local-store bytes in use after the reservation.
+        in_use: usize,
+    },
+    /// Local-store bytes were released on an SPE.
+    LsFree {
+        /// The releasing SPE.
+        spe: usize,
+        /// Bytes released.
+        bytes: usize,
+        /// Local-store bytes in use after the release.
+        in_use: usize,
+    },
+}
+
+/// The three architected SPE mailboxes — a plain-data mirror of the
+/// simulator's `MailboxKind` (same reasoning as [`TraceEventKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMailbox {
+    /// PPE → SPE, four deep.
+    Inbound,
+    /// SPE → PPE, one deep.
+    Outbound,
+    /// SPE → PPE interrupting, one deep.
+    OutboundInterrupt,
 }
 
 /// One recorded event: a timestamp from the tracer's clock plus payload.

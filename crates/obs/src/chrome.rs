@@ -8,9 +8,13 @@
 //!   plus, on faulted runs, `quarantined` bench spans and `fault: <kind>`
 //!   instants (distinguishable from occupancy by name),
 //! * one `MGPS` thread (`tid = n_spes`) carrying decision instants, an
-//!   `llp_degree` counter track, and `ppe fallback` instants,
+//!   `llp_degree` counter track, `ppe fallback` instants, and
+//!   `retry task …` instants,
 //! * one DMA thread per SPE (`tid = n_spes + 1 + spe`) carrying transfer
-//!   spans.
+//!   spans,
+//! * `chunk [a, b)` instants on the worker SPE's thread, and one
+//!   `ls_in_use <spe>` counter track per SPE with local-store occupancy
+//!   sampled at every `LsAlloc`/`LsFree`.
 //!
 //! Timestamps and durations are **integer nanoseconds** — no floating
 //! point anywhere — so a deterministic run produces a byte-identical
@@ -139,6 +143,53 @@ pub fn chrome_trace(log: &RunLog) -> String {
                         "args",
                         Value::object(vec![("task", (*task).into()), ("attempts", (*attempts).into())]),
                     ),
+                ]));
+            }
+            cellsim::event::EventKind::Chunk { task, start, len, worker, .. } => {
+                events.push(Value::object(vec![
+                    ("name", format!("chunk [{start}, {})", start + len).into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("pid", 0u64.into()),
+                    ("tid", (*worker as u64).into()),
+                    ("ts", e.at_ns.into()),
+                    (
+                        "args",
+                        Value::object(vec![
+                            ("task", (*task).into()),
+                            ("start", (*start).into()),
+                            ("len", (*len).into()),
+                        ]),
+                    ),
+                ]));
+            }
+            cellsim::event::EventKind::OffloadRetry { task, attempt, backoff_ns } => {
+                events.push(Value::object(vec![
+                    ("name", format!("retry task {task} (attempt {attempt})").into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("pid", 0u64.into()),
+                    ("tid", mgps_tid.into()),
+                    ("ts", e.at_ns.into()),
+                    (
+                        "args",
+                        Value::object(vec![
+                            ("task", (*task).into()),
+                            ("attempt", (*attempt).into()),
+                            ("backoff_ns", (*backoff_ns).into()),
+                        ]),
+                    ),
+                ]));
+            }
+            cellsim::event::EventKind::LsAlloc { spe, in_use, .. }
+            | cellsim::event::EventKind::LsFree { spe, in_use, .. } => {
+                // One counter track per SPE: local-store occupancy over time.
+                events.push(Value::object(vec![
+                    ("name", format!("ls_in_use {spe}").into()),
+                    ("ph", "C".into()),
+                    ("pid", 0u64.into()),
+                    ("ts", e.at_ns.into()),
+                    ("args", Value::object(vec![("bytes", (*in_use).into())])),
                 ]));
             }
             _ => {}

@@ -43,7 +43,7 @@
 //!
 //! [`RunLog`]: cellsim::event::RunLog
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use cellsim::event::{EventKind, RunLog};
 
@@ -256,7 +256,7 @@ pub fn what_if(log: &RunLog, knobs: WhatIf) -> WhatIfOutcome {
     // PPE gap preceding each task: gap_0 = offload_0, gap_i = offload_i −
     // end_{i−1}. The gaps are what the replay preserves; starts and ends
     // are recomputed.
-    let mut chains: HashMap<usize, Vec<(u64, &TaskRec)>> = HashMap::new();
+    let mut chains: BTreeMap<usize, Vec<(u64, &TaskRec)>> = BTreeMap::new();
     for r in &recs {
         let chain = chains.entry(r.proc).or_default();
         let prev_end = chain.last().map(|&(_, p)| p.end_ns).unwrap_or(0);
@@ -268,8 +268,7 @@ pub fn what_if(log: &RunLog, knobs: WhatIf) -> WhatIfOutcome {
     // (FIFO in replayed off-load order), taking the `degree` earliest-free
     // servers and starting when the last of them frees.
     let mut free = vec![0u64; n_spes];
-    let mut procs: Vec<usize> = chains.keys().copied().collect();
-    procs.sort_unstable();
+    let procs: Vec<usize> = chains.keys().copied().collect();
     let mut next: HashMap<usize, usize> = procs.iter().map(|&p| (p, 0)).collect();
     let mut ready: HashMap<usize, u64> =
         procs.iter().map(|&p| (p, chains[&p][0].0)).collect();

@@ -16,12 +16,13 @@
 //! lifecycle rules care about same-instant precedence (a task must start
 //! before it ends, an off-load precedes its task). The merge therefore
 //! sorts *stably* by `(at_ns, kind_rank)` where the rank encodes causal
-//! precedence: off-load < task start < code reload / DMA < chunk <
+//! precedence: off-load < fault ladder < mailbox write < mailbox read <
+//! task start < code reload / DMA / LS alloc < chunk < LS free <
 //! task end < context switch < degree decision.
 
-use cellsim::event::{EventKind, EventRecord, RunLog, SchedulerTag, SwitchReason};
+use cellsim::event::{EventKind, EventRecord, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use mgps_runtime::native::LOCAL_STORE_BYTES;
-use mgps_runtime::tracing::{TraceEventKind, TraceLog};
+use mgps_runtime::tracing::{TraceEventKind, TraceLog, TraceMailbox};
 
 /// Run-level metadata the rings do not carry (the trace records *what
 /// happened*; which scheduler and machine shape produced it is the
@@ -48,12 +49,30 @@ fn kind_rank(kind: &TraceEventKind) -> u8 {
         TraceEventKind::FaultInjected { .. } => 1,
         TraceEventKind::SpeQuarantined { .. } | TraceEventKind::SpeReadmitted { .. } => 2,
         TraceEventKind::OffloadRetry { .. } => 3,
-        TraceEventKind::TaskStart { .. } => 4,
-        TraceEventKind::CodeReload { .. } | TraceEventKind::DmaComplete { .. } => 5,
-        TraceEventKind::Chunk { .. } => 6,
-        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 7,
-        TraceEventKind::CtxSwitch { .. } => 8,
-        TraceEventKind::DegreeDecision { .. } => 9,
+        // The start signal (inbound mailbox post + drain) precedes the
+        // task it starts; a write precedes its same-instant read.
+        TraceEventKind::MailboxWrite { .. } => 4,
+        TraceEventKind::MailboxRead { .. } => 5,
+        TraceEventKind::TaskStart { .. } => 6,
+        TraceEventKind::CodeReload { .. }
+        | TraceEventKind::Dma { .. }
+        | TraceEventKind::DmaComplete { .. }
+        | TraceEventKind::LsAlloc { .. } => 7,
+        TraceEventKind::Chunk { .. } => 8,
+        // Scratch is released at task teardown: after the chunks, before
+        // (or with) the task end.
+        TraceEventKind::LsFree { .. } => 9,
+        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 10,
+        TraceEventKind::CtxSwitch { .. } => 11,
+        TraceEventKind::DegreeDecision { .. } => 12,
+    }
+}
+
+fn to_mailbox_kind(mailbox: TraceMailbox) -> MailboxKind {
+    match mailbox {
+        TraceMailbox::Inbound => MailboxKind::Inbound,
+        TraceMailbox::Outbound => MailboxKind::Outbound,
+        TraceMailbox::OutboundInterrupt => MailboxKind::OutboundInterrupt,
     }
 }
 
@@ -95,6 +114,17 @@ fn to_event_kind(kind: &TraceEventKind) -> EventKind {
         TraceEventKind::PpeFallback { proc, task, attempts } => {
             EventKind::PpeFallback { proc, task, attempts }
         }
+        TraceEventKind::Dma { spe, element_bytes, local_addr, main_addr } => {
+            EventKind::Dma { spe, element_bytes, local_addr, main_addr }
+        }
+        TraceEventKind::MailboxWrite { spe, mailbox, occupancy } => {
+            EventKind::MailboxWrite { spe, mailbox: to_mailbox_kind(mailbox), occupancy }
+        }
+        TraceEventKind::MailboxRead { spe, mailbox, occupancy } => {
+            EventKind::MailboxRead { spe, mailbox: to_mailbox_kind(mailbox), occupancy }
+        }
+        TraceEventKind::LsAlloc { spe, bytes, in_use } => EventKind::LsAlloc { spe, bytes, in_use },
+        TraceEventKind::LsFree { spe, bytes, in_use } => EventKind::LsFree { spe, bytes, in_use },
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! [`RunLog`]: cellsim::event::RunLog
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cellsim::event::{EventKind, RunLog};
 
@@ -71,7 +71,7 @@ impl Timeline {
         // task -> (proc, degree, team, start_ns)
         let mut open: HashMap<u64, (usize, usize, Vec<usize>, u64)> = HashMap::new();
         // spe -> quarantine start_ns
-        let mut benched: HashMap<usize, u64> = HashMap::new();
+        let mut benched: BTreeMap<usize, u64> = BTreeMap::new();
         for e in &log.events {
             tl.makespan_ns = tl.makespan_ns.max(e.at_ns);
             match &e.kind {
@@ -114,9 +114,7 @@ impl Timeline {
         }
         // An SPE still benched when the run ends was out of service to the
         // very end — unlike unterminated tasks, that interval is real.
-        let mut tail: Vec<_> = benched.into_iter().collect();
-        tail.sort_unstable();
-        for (spe, start_ns) in tail {
+        for (spe, start_ns) in benched {
             tl.quarantines.push(QuarantineSpan { spe, start_ns, end_ns: tl.makespan_ns });
         }
         tl

@@ -113,6 +113,7 @@ fn main() -> ExitCode {
         "trace" => trace(&opts),
         "profile" => profile(&opts),
         "analyze" => analyze(&opts),
+        "audit" => audit_cmd(&opts),
         "chaos" => chaos(&opts),
         "serve" => serve_cmd(&opts),
         "top" => top_cmd(&opts),
@@ -168,6 +169,14 @@ USAGE:
                       (replay every scheduler with event recording, statically
                        verify all schedule invariants, prove digest determinism,
                        and sweep every table/figure regenerator through the checker)
+  multigrain audit    [--root PATH] [--json on|off] [--out FILE]
+                      (static determinism & concurrency audit of the source
+                       tree: lexes every crate and runs the eight-rule
+                       catalog — wall-clock, unbounded-channel, trace-clock,
+                       unordered-iter, rng-discipline, lock-order,
+                       event-coverage, panic-path; exit 4 on any FORBIDDEN
+                       finding, exemption-budget breach, coverage hole, or
+                       lock-order cycle)
   multigrain serve    [--port N] [--workers N] [--tasks N] [--seed N] [--poll-ms N]
                       [--ring-capacity N] [--for-ms N] [--out FILE] [--snapshot-out FILE]
                       (live telemetry plane: keep the native MGPS pool resident,
@@ -237,6 +246,44 @@ fn positive(opts: &Opts, key: &str, default: usize, what: &str) -> Result<usize,
         return Err(CliError::usage(format!("--{key}: {what}")));
     }
     Ok(v)
+}
+
+/// `multigrain audit`: run the `mgps-lint` static analysis over the source
+/// tree at `--root` (default: the current directory).
+fn audit_cmd(opts: &Opts) -> Result<(), CliError> {
+    let root = std::path::PathBuf::from(
+        opts.get("root").map(String::as_str).unwrap_or("."),
+    );
+    if !root.join("Cargo.toml").is_file() {
+        return Err(CliError::io(format!(
+            "--root: {} does not look like a workspace (no Cargo.toml)",
+            root.display()
+        )));
+    }
+    let json = match opts.get("json").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(other) => {
+            return Err(CliError::usage(format!("--json wants on|off, got {other:?}")))
+        }
+    };
+    let report = mgps_lint::audit(&root);
+    let rendered =
+        if json { report.to_value().to_json_pretty() + "\n" } else { report.render_text() };
+    match opts.get("out") {
+        Some(path) => std::fs::write(path, &rendered)
+            .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?,
+        None => print!("{rendered}"),
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(CliError::violation(format!(
+            "audit found {} forbidden finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        )))
+    }
 }
 
 /// Parse `--faults` into a [`FaultPlan`] (inert when the flag is absent).

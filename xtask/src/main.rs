@@ -1,129 +1,24 @@
-//! `cargo xtask lint` — repo-specific source lints that rustc/clippy
-//! cannot express:
+//! `cargo xtask lint` — thin driver over the `mgps-lint` static analysis
+//! engine (see `crates/lint`).
 //!
-//! 1. **No wall-clock in simulation paths.** Files under `crates/des/src`
-//!    and `crates/cellsim/src` model virtual time; any use of
-//!    `std::time::Instant`, `SystemTime`, or `Duration`-producing clock
-//!    reads would leak host timing into supposedly deterministic
-//!    simulations. (`mgps-runtime::native` legitimately measures real
-//!    time and is exempt.)
-//! 2. **No unbounded channels in `mgps-runtime::native`.** Every channel
-//!    in the native runtime must be constructed with an explicit bound so
-//!    back-pressure is part of the design; `channel::unbounded` and raw
-//!    `std::sync::mpsc::channel` are rejected.
-//! 3. **One clock in the tracing hot path.** `mgps-runtime::tracing`
-//!    timestamps every span; all reads must flow through the designated
-//!    monotonic `TraceClock` so traces stay comparable and the record
-//!    path never touches `SystemTime` (non-monotonic) or sprouts ad-hoc
-//!    `Instant` math. The `TraceClock` internals themselves carry
-//!    `xtask-allow: trace-clock` markers.
+//! The engine lexes the workspace (comments and string literals can no
+//! longer produce hits, `tests/` and `benches/` trees are covered) and
+//! runs the eight-rule catalog: wall-clock, unbounded-channel,
+//! trace-clock, unordered-iter, rng-discipline, lock-order,
+//! event-coverage, and panic-path. Exemptions require a justified
+//! `// xtask-allow: <rule> — <why>` marker and are bounded per rule by an
+//! exemption budget; CI fails when either discipline slips.
 //!
-//! A line can opt out with a trailing `// xtask-allow: <rule>` comment,
-//! which is itself reported so exemptions stay visible in the lint
-//! output.
+//! Usage:
+//!
+//! ```text
+//! cargo xtask lint              # human-readable report
+//! cargo xtask lint --json       # machine-readable report on stdout
+//! cargo xtask lint --json --out lint-report.json
+//! ```
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-struct Rule {
-    name: &'static str,
-    roots: &'static [&'static str],
-    needles: &'static [&'static str],
-    why: &'static str,
-}
-
-const RULES: &[Rule] = &[
-    Rule {
-        name: "wall-clock",
-        roots: &["crates/des/src", "crates/cellsim/src"],
-        needles: &[
-            "std::time::Instant",
-            "Instant::now",
-            "SystemTime",
-            "time::SystemTime",
-        ],
-        why: "simulation code must use virtual SimTime, never host clocks",
-    },
-    Rule {
-        name: "unbounded-channel",
-        roots: &["crates/mgps-runtime/src/native"],
-        needles: &["channel::unbounded", "mpsc::channel(", "unbounded()"],
-        why: "native runtime channels must carry an explicit capacity bound",
-    },
-    Rule {
-        name: "trace-clock",
-        roots: &["crates/mgps-runtime/src/tracing.rs"],
-        needles: &[
-            "std::time::Instant",
-            "Instant::now",
-            "SystemTime",
-            "time::SystemTime",
-        ],
-        why: "the tracing hot path must read time only through the designated \
-              monotonic TraceClock",
-    },
-];
-
-fn rust_files(root: &Path, out: &mut Vec<PathBuf>) {
-    // A rule root may name a single file rather than a directory.
-    if root.is_file() {
-        if root.extension().is_some_and(|e| e == "rs") {
-            out.push(root.to_path_buf());
-        }
-        return;
-    }
-    let Ok(entries) = std::fs::read_dir(root) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn lint(repo_root: &Path) -> Result<(), usize> {
-    let mut violations = 0usize;
-    for rule in RULES {
-        for root in rule.roots {
-            let mut files = Vec::new();
-            rust_files(&repo_root.join(root), &mut files);
-            files.sort();
-            for file in files {
-                let Ok(text) = std::fs::read_to_string(&file) else {
-                    continue;
-                };
-                for (idx, line) in text.lines().enumerate() {
-                    let hit = rule.needles.iter().any(|n| line.contains(n));
-                    if !hit {
-                        continue;
-                    }
-                    let loc = format!("{}:{}", file.display(), idx + 1);
-                    if line.contains(&format!("xtask-allow: {}", rule.name)) {
-                        println!("xtask lint: ALLOWED [{}] {loc}", rule.name);
-                    } else {
-                        eprintln!(
-                            "xtask lint: FORBIDDEN [{}] {loc}\n  {}\n  rule: {}",
-                            rule.name,
-                            line.trim(),
-                            rule.why
-                        );
-                        violations += 1;
-                    }
-                }
-            }
-        }
-    }
-    if violations == 0 {
-        println!("xtask lint: clean ({} rules)", RULES.len());
-        Ok(())
-    } else {
-        Err(violations)
-    }
-}
 
 fn repo_root() -> PathBuf {
     // xtask lives at <repo>/xtask; the manifest dir's parent is the root.
@@ -134,19 +29,45 @@ fn repo_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1).unwrap_or_default();
-    match task.as_str() {
-        "lint" => match lint(&repo_root()) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(n) => {
-                eprintln!("xtask lint: {n} violation(s)");
-                ExitCode::FAILURE
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(task) = args.first() else {
+        eprintln!("usage: cargo xtask lint [--json] [--out <file>]");
+        return ExitCode::FAILURE;
+    };
+    if task != "lint" {
+        eprintln!("usage: cargo xtask lint [--json] [--out <file>]");
+        return ExitCode::FAILURE;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let report = mgps_lint::audit(&repo_root());
+    let rendered =
+        if json { report.to_value().to_json_pretty() + "\n" } else { report.render_text() };
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("xtask lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
             }
-        },
-        _ => {
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::FAILURE
+            eprintln!("xtask lint: report written to {}", path.display());
+            if !report.clean() {
+                eprintln!("xtask lint: {} violation(s)", report.findings.len());
+            }
         }
+        None => print!("{rendered}"),
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        if !json && out_path.is_none() {
+            eprintln!("xtask lint: {} violation(s)", report.findings.len());
+        }
+        ExitCode::FAILURE
     }
 }
 
@@ -156,50 +77,30 @@ mod tests {
 
     #[test]
     fn repo_passes_lint() {
-        assert!(lint(&repo_root()).is_ok());
+        let report = mgps_lint::audit(&repo_root());
+        assert!(
+            report.clean(),
+            "repo must pass its own audit:\n{}",
+            report.render_text()
+        );
     }
 
     #[test]
-    fn forbidden_pattern_is_detected() {
-        // Exercise the scanner on a synthetic tree.
+    fn repo_coverage_matrix_has_no_holes() {
+        let report = mgps_lint::audit(&repo_root());
+        assert_eq!(report.coverage.hole_count(), 0, "\n{}", report.render_text());
+        assert!(!report.coverage.rows.is_empty(), "EventKind variants must parse");
+    }
+
+    #[test]
+    fn forbidden_pattern_is_detected_in_a_synthetic_tree() {
         let dir = std::env::temp_dir().join(format!("xtask-lint-{}", std::process::id()));
         let sim = dir.join("crates/des/src");
         std::fs::create_dir_all(&sim).unwrap();
-        std::fs::write(sim.join("bad.rs"), "let t = Instant::now();\n").unwrap();
-        let r = lint(&dir);
+        std::fs::write(sim.join("bad.rs"), "fn f() { let t = Instant::now(); }\n").unwrap();
+        let report = mgps_lint::audit(&dir);
         std::fs::remove_dir_all(&dir).ok();
-        assert_eq!(r, Err(1));
-    }
-
-    #[test]
-    fn trace_clock_rule_scans_its_single_file_root() {
-        let dir = std::env::temp_dir().join(format!("xtask-lint-tc-{}", std::process::id()));
-        let rt = dir.join("crates/mgps-runtime/src");
-        std::fs::create_dir_all(&rt).unwrap();
-        // An undesignated clock read inside the tracing module trips the
-        // rule; the designated reader's allow marker suppresses it.
-        std::fs::write(
-            rt.join("tracing.rs"),
-            "let a = Instant::now();\nlet b = Instant::now(); // xtask-allow: trace-clock\n",
-        )
-        .unwrap();
-        let r = lint(&dir);
-        std::fs::remove_dir_all(&dir).ok();
-        assert_eq!(r, Err(1));
-    }
-
-    #[test]
-    fn allow_marker_suppresses() {
-        let dir = std::env::temp_dir().join(format!("xtask-lint-ok-{}", std::process::id()));
-        let sim = dir.join("crates/cellsim/src");
-        std::fs::create_dir_all(&sim).unwrap();
-        std::fs::write(
-            sim.join("ok.rs"),
-            "let t = Instant::now(); // xtask-allow: wall-clock\n",
-        )
-        .unwrap();
-        let r = lint(&dir);
-        std::fs::remove_dir_all(&dir).ok();
-        assert!(r.is_ok());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "wall-clock");
     }
 }
