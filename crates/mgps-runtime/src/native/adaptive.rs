@@ -589,6 +589,26 @@ impl ProcessCtx<'_> {
         result
     }
 
+    /// [`Self::offload_kernel`] when the runtime has granularity control,
+    /// [`Self::offload_loop`] otherwise — so a host application can apply
+    /// the §5.2 profitability test wherever the runtime is configured for
+    /// it without committing to either API at the call site.
+    ///
+    /// # Errors
+    /// Propagates [`OffloadError::TaskPanicked`] if the kernel panicked.
+    pub fn offload_adaptive<B: LoopBody>(
+        &mut self,
+        site: LoopSite,
+        kind: KernelKind,
+        body: Arc<B>,
+    ) -> Result<B::Acc, OffloadError> {
+        if self.rt.granularity.is_some() {
+            self.offload_kernel(site, kind, body)
+        } else {
+            self.offload_loop(site, body)
+        }
+    }
+
     /// Off-load a kernel of the named `kind` under dynamic granularity
     /// control (§5.2): the runtime optimistically off-loads, measures both
     /// the SPE and the PPE versions, and throttles kernels that fail the

@@ -26,6 +26,15 @@ pub use parking_lot::{Condvar, Mutex, MutexGuard};
 #[cfg(loom)]
 pub use self::loom_shim::{Condvar, Mutex, MutexGuard};
 
+/// Atomics, routed through loom when model-checking. The sharded PPE gate
+/// builds its per-context slot words from these so the same code is
+/// exercised by the loom models and the real runtime.
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
 #[cfg(loom)]
 mod loom_shim {
     //! parking_lot-shaped wrappers over `loom::sync`.

@@ -86,6 +86,41 @@ fn yield_on_offload_hands_the_context_to_a_waiter() {
     });
 }
 
+#[test]
+fn sharded_gate_slow_path_never_loses_a_wakeup() {
+    loom::model(|| {
+        // Capacity 1 with two releasers and one late acquirer: the acquirer
+        // misses the CAS fast path in some schedules and must park on the
+        // slow-path condvar. In every schedule it must eventually claim a
+        // stripe — a lost wakeup shows up as a loom hang — and contention
+        // accounting must stay monotone (never wrap from saturation bugs).
+        let gate = Arc::new(PpeGate::new(1, GateMode::YieldOnOffload, Duration::ZERO));
+        let first = {
+            let gate = Arc::clone(&gate);
+            loom::thread::spawn(move || {
+                let token = gate.enter();
+                loom::thread::yield_now();
+                drop(token);
+            })
+        };
+        let second = {
+            let gate = Arc::clone(&gate);
+            loom::thread::spawn(move || {
+                let token = gate.enter();
+                drop(token);
+            })
+        };
+        let token = gate.enter();
+        drop(token);
+        first.join().unwrap();
+        second.join().unwrap();
+        assert!(gate.contention_ns() < u64::MAX);
+        // All stripes free again once every holder is gone.
+        let t = gate.enter();
+        assert!(t.holds_context());
+    });
+}
+
 /// Counts its chunk invocations so the barrier check can prove every
 /// worker's partial was produced and merged exactly once.
 struct CountingSum {

@@ -23,6 +23,7 @@ use std::ops::Range;
 
 use crate::alignment::PatternAlignment;
 use crate::dna::STATES;
+use crate::lanes::{DefaultPath, KernelPath};
 use crate::model::SubstModel;
 #[cfg(test)]
 use crate::model::Matrix;
@@ -116,16 +117,101 @@ impl Clv {
         (&self.vals, &self.scale)
     }
 
-    /// Overwrite patterns `[start, start + part.n_patterns())` with `part`.
+    /// Overwrite patterns `[start, start + part.n_patterns())` with `part`,
+    /// splicing `vals` and `scale` together so the two can never disagree.
     ///
     /// # Panics
-    /// Panics if the splice falls outside this CLV.
+    /// Panics — naming the offending range — if the splice falls outside
+    /// this CLV. The bound is checked with overflow-safe arithmetic so a
+    /// pathological `start` near `usize::MAX` is rejected here rather than
+    /// surfacing as an unrelated slice panic.
     pub fn splice(&mut self, start: usize, part: &Clv) {
         let n = part.n_patterns();
-        assert!(start + n <= self.n_patterns(), "splice out of range");
+        let end = start.saturating_add(n);
+        assert!(
+            end <= self.n_patterns(),
+            "splice range {start}..{end} outside CLV of {} patterns",
+            self.n_patterns(),
+        );
         self.vals[start * STATES..(start + n) * STATES].copy_from_slice(&part.vals);
         self.scale[start..start + n].copy_from_slice(&part.scale);
     }
+
+    /// Tear a CLV back into raw storage (for recycling via [`ClvArena`]).
+    pub fn into_raw(self) -> (Vec<f64>, Vec<u32>) {
+        (self.vals, self.scale)
+    }
+}
+
+/// A free list of CLV storage for the native hot path.
+///
+/// Chunked `newview` producers and the splice targets that reassemble
+/// their pieces used to allocate (and zero) `vec![0.0; n * STATES]` per
+/// call; at one off-load per internal node per tree evaluation that is
+/// thousands of short-lived multi-kilobyte allocations per optimization
+/// pass. An arena is owned per worker (never shared across processes) and
+/// recycles the `vals`/`scale` pairs across passes instead.
+///
+/// Buffers handed out by [`ClvArena::take`] have **unspecified contents**
+/// — callers overwrite every pattern they claim (range kernels write their
+/// whole range; splice targets are covered by a full partition), so zeroing
+/// would be pure overhead.
+#[derive(Debug, Default)]
+pub struct ClvArena {
+    free: Vec<(Vec<f64>, Vec<u32>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ClvArena {
+    /// Retain at most this many free buffers; beyond it, returned storage
+    /// is dropped so a degree spike cannot pin memory forever.
+    const MAX_FREE: usize = 64;
+
+    /// An empty arena.
+    pub fn new() -> ClvArena {
+        ClvArena::default()
+    }
+
+    /// A CLV of `n` patterns with unspecified contents, reusing recycled
+    /// storage when a free buffer has sufficient capacity.
+    pub fn take(&mut self, n: usize) -> Clv {
+        let want = n * STATES;
+        if let Some(pos) = self
+            .free
+            .iter()
+            .rposition(|(v, s)| v.capacity() >= want && s.capacity() >= n)
+        {
+            self.hits += 1;
+            let (mut vals, mut scale) = self.free.swap_remove(pos);
+            vals.resize(want, 0.0);
+            scale.resize(n, 0);
+            Clv { vals, scale }
+        } else {
+            self.misses += 1;
+            Clv { vals: vec![0.0; want], scale: vec![0; n] }
+        }
+    }
+
+    /// Recycle a CLV's storage into the free list.
+    pub fn put(&mut self, clv: Clv) {
+        if self.free.len() < Self::MAX_FREE {
+            self.free.push(clv.into_raw());
+        }
+    }
+
+    /// `(reuse hits, allocation misses)` since construction (diagnostic).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// View a pattern slice as the fixed-width lane array the kernel paths
+/// operate on.
+#[inline(always)]
+fn four(s: &[f64]) -> &[f64; 4] {
+    const { assert!(STATES == 4) };
+    s.try_into().expect("pattern slice is 4 wide")
 }
 
 /// The likelihood engine: a substitution model bound to a pattern-compressed
@@ -156,6 +242,21 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
         Clv { vals, scale: vec![0; n] }
     }
 
+    /// Fill `out` (any contents) with the tip CLV of `taxon` — the
+    /// arena-recycling form of [`Self::tip_clv`].
+    ///
+    /// # Panics
+    /// Panics if `out` is not sized for this alignment.
+    pub fn tip_clv_into(&self, taxon: usize, out: &mut Clv) {
+        let n = self.data.n_patterns();
+        assert_eq!(out.n_patterns(), n, "tip CLV size mismatch");
+        for p in 0..n {
+            out.vals[p * STATES..(p + 1) * STATES]
+                .copy_from_slice(&self.data.mask(taxon, p).tip_clv());
+            out.scale[p] = 0;
+        }
+    }
+
     /// Felsenstein pruning step over all patterns: the parent CLV from two
     /// children across branches `t_left` and `t_right`.
     pub fn newview(&self, left: &Clv, t_left: f64, right: &Clv, t_right: f64) -> Clv {
@@ -175,11 +276,25 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
         t_right: f64,
         range: Range<usize>,
     ) -> Clv {
-        let mut out = self.empty_clv();
-        self.newview_range(left, t_left, right, t_right, range.clone(), &mut out);
-        let vals = out.vals[range.start * STATES..range.end * STATES].to_vec();
-        let scale = out.scale[range.clone()].to_vec();
-        Clv { vals, scale }
+        let mut out = Clv { vals: vec![0.0; range.len() * STATES], scale: vec![0; range.len()] };
+        self.newview_range_into(left, t_left, right, t_right, range, &mut out);
+        out
+    }
+
+    /// [`Self::newview_chunk`] drawing its output buffer from `arena` —
+    /// the allocation-free form the off-loaded hot path uses.
+    pub fn newview_chunk_in(
+        &self,
+        left: &Clv,
+        t_left: f64,
+        right: &Clv,
+        t_right: f64,
+        range: Range<usize>,
+        arena: &mut ClvArena,
+    ) -> Clv {
+        let mut out = arena.take(range.len());
+        self.newview_range_into(left, t_left, right, t_right, range, &mut out);
+        out
     }
 
     /// The chunked form of [`Self::newview`]: fill `out` for `range` only.
@@ -197,26 +312,100 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
         range: Range<usize>,
         out: &mut Clv,
     ) {
+        self.newview_range_with::<DefaultPath>(left, t_left, right, t_right, range, out);
+    }
+
+    /// [`Self::newview_range`] through an explicit kernel path (the
+    /// feature-matrix tests and benches pin [`crate::lanes::Scalar`] vs
+    /// [`crate::lanes::Simd4`] against each other here).
+    pub fn newview_range_with<K: KernelPath>(
+        &self,
+        left: &Clv,
+        t_left: f64,
+        right: &Clv,
+        t_right: f64,
+        range: Range<usize>,
+        out: &mut Clv,
+    ) {
+        let n = self.data.n_patterns();
+        assert_eq!(out.n_patterns(), n, "output CLV size mismatch");
+        let (head, tail) = (range.start * STATES, range.end * STATES);
+        self.newview_body::<K>(
+            left,
+            t_left,
+            right,
+            t_right,
+            range.clone(),
+            &mut out.vals[head..tail],
+            &mut out.scale[range],
+        );
+    }
+
+    /// Compute patterns `range` of a `newview` directly into range-sized
+    /// output slices (`out_vals.len() == STATES * range.len()`,
+    /// `out_scale.len() == range.len()`), skipping the full-width buffer
+    /// entirely — the form chunk producers use.
+    ///
+    /// # Panics
+    /// Panics if CLV or output sizes disagree with the alignment/range.
+    pub fn newview_range_into(
+        &self,
+        left: &Clv,
+        t_left: f64,
+        right: &Clv,
+        t_right: f64,
+        range: Range<usize>,
+        out: &mut Clv,
+    ) {
+        self.newview_range_into_with::<DefaultPath>(left, t_left, right, t_right, range, out);
+    }
+
+    /// [`Self::newview_range_into`] through an explicit kernel path.
+    pub fn newview_range_into_with<K: KernelPath>(
+        &self,
+        left: &Clv,
+        t_left: f64,
+        right: &Clv,
+        t_right: f64,
+        range: Range<usize>,
+        out: &mut Clv,
+    ) {
+        assert_eq!(out.n_patterns(), range.len(), "chunk output CLV size mismatch");
+        let Clv { vals, scale } = out;
+        self.newview_body::<K>(left, t_left, right, t_right, range, vals, scale);
+    }
+
+    /// The one generic chunk body both kernel paths share: patterns
+    /// `range` of the pruning step, written to range-sized slices.
+    #[allow(clippy::too_many_arguments)] // the pruning step's full operand list
+    fn newview_body<K: KernelPath>(
+        &self,
+        left: &Clv,
+        t_left: f64,
+        right: &Clv,
+        t_right: f64,
+        range: Range<usize>,
+        out_vals: &mut [f64],
+        out_scale: &mut [u32],
+    ) {
         let n = self.data.n_patterns();
         assert_eq!(left.n_patterns(), n, "left CLV size mismatch");
         assert_eq!(right.n_patterns(), n, "right CLV size mismatch");
-        assert_eq!(out.n_patterns(), n, "output CLV size mismatch");
-        let pl = self.model.prob_matrix(t_left);
-        let pr = self.model.prob_matrix(t_right);
-        for i in range {
-            let l = left.pattern(i);
-            let r = right.pattern(i);
-            let base = i * STATES;
+        assert!(range.end <= n, "chunk range {range:?} outside {n} patterns");
+        assert_eq!(out_vals.len(), range.len() * STATES, "chunk vals size mismatch");
+        assert_eq!(out_scale.len(), range.len(), "chunk scale size mismatch");
+        let pl = K::prepare(&self.model.prob_matrix(t_left));
+        let pr = K::prepare(&self.model.prob_matrix(t_right));
+        for (j, i) in range.enumerate() {
+            let l = four(left.pattern(i));
+            let r = four(right.pattern(i));
+            let suml = K::matvec(&pl, l);
+            let sumr = K::matvec(&pr, r);
+            let o = &mut out_vals[j * STATES..(j + 1) * STATES];
             let mut min_ok = false;
             for x in 0..STATES {
-                let mut suml = 0.0;
-                let mut sumr = 0.0;
-                for y in 0..STATES {
-                    suml += pl[x][y] * l[y];
-                    sumr += pr[x][y] * r[y];
-                }
-                let v = suml * sumr;
-                out.vals[base + x] = v;
+                let v = suml[x] * sumr[x];
+                o[x] = v;
                 if v > SCALE_THRESHOLD {
                     min_ok = true;
                 }
@@ -224,11 +413,11 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
             let mut scale = left.scale[i] + right.scale[i];
             if !min_ok {
                 for x in 0..STATES {
-                    out.vals[base + x] *= SCALE_MULTIPLIER;
+                    o[x] *= SCALE_MULTIPLIER;
                 }
                 scale += 1;
             }
-            out.scale[i] = scale;
+            out_scale[j] = scale;
         }
     }
 
@@ -251,21 +440,28 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
     /// pattern space reproduces [`Self::evaluate`] exactly (modulo FP
     /// reassociation) — this is the loop the paper parallelizes first.
     pub fn evaluate_range(&self, u: &Clv, v: &Clv, t: f64, range: Range<usize>) -> f64 {
-        let p = self.model.prob_matrix(t);
+        self.evaluate_range_with::<DefaultPath>(u, v, t, range)
+    }
+
+    /// [`Self::evaluate_range`] through an explicit kernel path.
+    pub fn evaluate_range_with<K: KernelPath>(
+        &self,
+        u: &Clv,
+        v: &Clv,
+        t: f64,
+        range: Range<usize>,
+    ) -> f64 {
+        let p = K::prepare(&self.model.prob_matrix(t));
         let pi = self.model.base_freqs();
         let ln_min = log_scale();
         let w = self.data.weights();
         let mut sum = 0.0;
         for i in range {
-            let lu = u.pattern(i);
-            let lv = v.pattern(i);
+            let lu = four(u.pattern(i));
+            let inner = K::matvec(&p, four(v.pattern(i)));
             let mut term = 0.0;
             for x in 0..STATES {
-                let mut inner = 0.0;
-                for y in 0..STATES {
-                    inner += p[x][y] * lv[y];
-                }
-                term += pi[x] * lu[x] * inner;
+                term += pi[x] * lu[x] * inner[x];
             }
             // term = log(term) + exp * log(minlikelihood); sum += w * term
             let ln = term.max(f64::MIN_POSITIVE).ln()
@@ -280,19 +476,15 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
     /// Mixture models combine these across rate categories before taking
     /// logs.
     pub fn site_terms(&self, u: &Clv, v: &Clv, t: f64) -> Vec<(f64, u32)> {
-        let p = self.model.prob_matrix(t);
+        let p = DefaultPath::prepare(&self.model.prob_matrix(t));
         let pi = self.model.base_freqs();
         let mut out = Vec::with_capacity(self.data.n_patterns());
         for i in 0..self.data.n_patterns() {
-            let lu = u.pattern(i);
-            let lv = v.pattern(i);
+            let lu = four(u.pattern(i));
+            let inner = DefaultPath::matvec(&p, four(v.pattern(i)));
             let mut term = 0.0;
             for x in 0..STATES {
-                let mut inner = 0.0;
-                for y in 0..STATES {
-                    inner += p[x][y] * lv[y];
-                }
-                term += pi[x] * lu[x] * inner;
+                term += pi[x] * lu[x] * inner[x];
             }
             out.push((term, u.scale_of(i) + v.scale_of(i)));
         }
@@ -314,28 +506,36 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
         t: f64,
         range: Range<usize>,
     ) -> (f64, f64) {
-        let p = self.model.prob_matrix(t);
-        let d1m = self.model.d1_matrix(t);
-        let d2m = self.model.d2_matrix(t);
+        self.lnl_derivatives_range_with::<DefaultPath>(u, v, t, range)
+    }
+
+    /// [`Self::lnl_derivatives_range`] through an explicit kernel path.
+    pub fn lnl_derivatives_range_with<K: KernelPath>(
+        &self,
+        u: &Clv,
+        v: &Clv,
+        t: f64,
+        range: Range<usize>,
+    ) -> (f64, f64) {
+        let p = K::prepare(&self.model.prob_matrix(t));
+        let d1m = K::prepare(&self.model.d1_matrix(t));
+        let d2m = K::prepare(&self.model.d2_matrix(t));
         let pi = self.model.base_freqs();
         let w = self.data.weights();
         let mut d1 = 0.0;
         let mut d2 = 0.0;
         for i in range {
-            let lu = u.pattern(i);
-            let lv = v.pattern(i);
+            let lu = four(u.pattern(i));
+            let lv = four(v.pattern(i));
+            let s = K::matvec(&p, lv);
+            let ds = K::matvec(&d1m, lv);
+            let dds = K::matvec(&d2m, lv);
             let (mut l, mut dl, mut ddl) = (0.0, 0.0, 0.0);
             for x in 0..STATES {
-                let (mut s, mut ds, mut dds) = (0.0, 0.0, 0.0);
-                for y in 0..STATES {
-                    s += p[x][y] * lv[y];
-                    ds += d1m[x][y] * lv[y];
-                    dds += d2m[x][y] * lv[y];
-                }
                 let f = pi[x] * lu[x];
-                l += f * s;
-                dl += f * ds;
-                ddl += f * dds;
+                l += f * s[x];
+                dl += f * ds[x];
+                ddl += f * dds[x];
             }
             // Scaling factors multiply l, dl, ddl identically, so the
             // ratios below are scale-free.

@@ -1,0 +1,255 @@
+//! Chunked/whole kernel equivalence and the scalar/SIMD feature matrix.
+//!
+//! The work-sharing teams split the pattern space into arbitrary chunks,
+//! so any partition of `0..n` must reproduce the whole-range kernels —
+//! for `newview` bit-identically (values *and* scaling exponents: the
+//! scale-carry at chunk boundaries is the historical bug class), for the
+//! `evaluate`/derivative sums up to FP reassociation of the partial sums.
+//!
+//! The same harness pins the two kernel paths ([`Scalar`] and [`Simd4`])
+//! against each other: they are required to agree to ≤1 ulp per site term
+//! and produce identical scaling counts, and in fact agree exactly.
+
+use phylo::alignment::{Alignment, PatternAlignment};
+use phylo::lanes::{Scalar, Simd4};
+use phylo::likelihood::{Clv, ClvArena, LikelihoodEngine};
+use phylo::model::Jc69;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A CLV with adversarial contents: magnitudes straddling the rescaling
+/// threshold (so chunk boundaries land next to rescale decisions) and
+/// nonzero incoming scale exponents (the carry that must survive
+/// chunking).
+fn random_clv(n: usize, rng: &mut SmallRng) -> Clv {
+    let mut vals = Vec::with_capacity(n * 4);
+    let mut scale = Vec::with_capacity(n);
+    for _ in 0..n {
+        for _ in 0..4 {
+            let mag = match rng.gen_range(0..4u8) {
+                0 => 1e-110, // below SCALE_THRESHOLD: forces rescaling
+                1 => 1e-60,
+                _ => 0.5,
+            };
+            vals.push(mag * (0.5 + rng.gen::<f64>()));
+        }
+        scale.push(rng.gen_range(0..3u32));
+    }
+    Clv::from_raw(vals, scale)
+}
+
+/// Like [`random_clv`], but honoring the invariant rescaling maintains:
+/// at least one state per pattern is of normal magnitude. `evaluate` /
+/// derivative inputs always satisfy this (they are rescaled `newview`
+/// outputs); without it `l·l` underflows and the derivative ratio is
+/// legitimately NaN.
+fn random_rescaled_clv(n: usize, rng: &mut SmallRng) -> Clv {
+    let (mut vals, scale) = random_clv(n, rng).into_raw();
+    for p in 0..n {
+        let anchor = rng.gen_range(0..4);
+        vals[p * 4 + anchor] = 0.2 + rng.gen::<f64>();
+    }
+    Clv::from_raw(vals, scale)
+}
+
+/// Turn fractional cut points into a sorted partition of `0..n`.
+fn partition(n: usize, cuts: &[f64]) -> Vec<usize> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|f| (f * n as f64) as usize).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+}
+
+/// Distance in units-in-the-last-place between two finite doubles.
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    // Map to a monotone integer line (sign-magnitude -> offset binary).
+    fn ordered(x: f64) -> i64 {
+        let b = x.to_bits() as i64;
+        if b < 0 { i64::MIN ^ b } else { b }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+proptest! {
+    /// Any partition of the pattern space, spliced back together,
+    /// reproduces the whole-range `newview` bit-for-bit — values and
+    /// scaling exponents.
+    #[test]
+    fn newview_over_any_partition_is_bit_identical(
+        seed in 0u64..u64::MAX,
+        sites in 8usize..160,
+        cuts in prop::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let aln = Alignment::synthetic(4, sites, &Jc69, 0.3, seed ^ 0xA5A5);
+        let data = PatternAlignment::compress(&aln);
+        let engine = LikelihoodEngine::new(&Jc69, &data);
+        let n = data.n_patterns();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let left = random_clv(n, &mut rng);
+        let right = random_clv(n, &mut rng);
+        let (tl, tr) = (rng.gen_range(1e-4..2.0), rng.gen_range(1e-4..2.0));
+
+        let whole = engine.newview(&left, tl, &right, tr);
+        prop_assert!(whole.total_scalings() > 0, "adversarial CLVs should force rescaling");
+
+        let bounds = partition(n, &cuts);
+        let mut arena = ClvArena::new();
+        let mut assembled = engine.empty_clv();
+        for w in bounds.windows(2) {
+            let piece = engine.newview_chunk_in(&left, tl, &right, tr, w[0]..w[1], &mut arena);
+            assembled.splice(w[0], &piece);
+            arena.put(piece);
+        }
+        prop_assert_eq!(&whole, &assembled);
+
+        // And chunk by chunk, the two kernel paths agree exactly.
+        for w in bounds.windows(2) {
+            let mut a = arena.take(w[1] - w[0]);
+            let mut b = arena.take(w[1] - w[0]);
+            engine.newview_range_into_with::<Scalar>(&left, tl, &right, tr, w[0]..w[1], &mut a);
+            engine.newview_range_into_with::<Simd4>(&left, tl, &right, tr, w[0]..w[1], &mut b);
+            prop_assert_eq!(&a, &b, "scalar/simd divergence in chunk {}..{}", w[0], w[1]);
+        }
+    }
+
+    /// Partial `evaluate`/derivative sums over any partition reproduce the
+    /// whole-range sums (up to reassociation of the partials), and the two
+    /// kernel paths agree to ≤1 ulp per site term — in practice exactly.
+    #[test]
+    fn evaluate_and_derivatives_over_any_partition_sum_to_whole(
+        seed in 0u64..u64::MAX,
+        sites in 8usize..160,
+        cuts in prop::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let aln = Alignment::synthetic(4, sites, &Jc69, 0.3, seed ^ 0x5A5A);
+        let data = PatternAlignment::compress(&aln);
+        let engine = LikelihoodEngine::new(&Jc69, &data);
+        let n = data.n_patterns();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let u = random_rescaled_clv(n, &mut rng);
+        let v = random_rescaled_clv(n, &mut rng);
+        let t = rng.gen_range(1e-4..2.0);
+
+        let whole = engine.evaluate(&u, &v, t);
+        let (wd1, wd2) = engine.lnl_derivatives(&u, &v, t);
+        let bounds = partition(n, &cuts);
+        let (mut sum, mut d1, mut d2) = (0.0, 0.0, 0.0);
+        for w in bounds.windows(2) {
+            sum += engine.evaluate_range(&u, &v, t, w[0]..w[1]);
+            let (a, b) = engine.lnl_derivatives_range(&u, &v, t, w[0]..w[1]);
+            d1 += a;
+            d2 += b;
+        }
+        let tol = 1e-9 * (1.0 + whole.abs());
+        prop_assert!((sum - whole).abs() < tol, "evaluate: {sum} vs {whole}");
+        prop_assert!((d1 - wd1).abs() < 1e-9 * (1.0 + wd1.abs()), "d1: {d1} vs {wd1}");
+        prop_assert!((d2 - wd2).abs() < 1e-9 * (1.0 + wd2.abs()), "d2: {d2} vs {wd2}");
+
+        // Per-site terms across the paths: ≤1 ulp apart (exact today).
+        for i in 0..n {
+            let a = engine.evaluate_range_with::<Scalar>(&u, &v, t, i..i + 1);
+            let b = engine.evaluate_range_with::<Simd4>(&u, &v, t, i..i + 1);
+            prop_assert!(ulp_diff(a, b) <= 1, "site {i}: {a} vs {b}");
+        }
+        let (s1, s2) = engine.lnl_derivatives_range_with::<Scalar>(&u, &v, t, 0..n);
+        let (v1, v2) = engine.lnl_derivatives_range_with::<Simd4>(&u, &v, t, 0..n);
+        prop_assert!(ulp_diff(s1, v1) <= 1 && ulp_diff(s2, v2) <= 1);
+    }
+}
+
+/// The two paths make identical rescaling decisions on a workload that
+/// actually rescales (deep caterpillar), and the engine's default path —
+/// whichever the `simd-kernels` feature selects — matches both.
+#[test]
+fn kernel_paths_produce_identical_scaling_counts() {
+    let aln = Alignment::synthetic(48, 24, &Jc69, 0.5, 9);
+    let data = PatternAlignment::compress(&aln);
+    let engine = LikelihoodEngine::new(&Jc69, &data);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let n = data.n_patterns();
+    let left = random_clv(n, &mut rng);
+    let right = random_clv(n, &mut rng);
+
+    let mut a = engine.empty_clv();
+    let mut b = engine.empty_clv();
+    engine.newview_range_with::<Scalar>(&left, 0.7, &right, 1.3, 0..n, &mut a);
+    engine.newview_range_with::<Simd4>(&left, 0.7, &right, 1.3, 0..n, &mut b);
+    assert!(a.total_scalings() > 0, "workload must rescale for this test to bite");
+    assert_eq!(a.total_scalings(), b.total_scalings());
+    assert_eq!(a, b, "paths diverged beyond scaling counts");
+
+    let default = engine.newview(&left, 0.7, &right, 1.3);
+    assert_eq!(default, a, "engine default path disagrees with the explicit paths");
+}
+
+/// Off-by-one chunk boundary regression: a splice ending exactly at
+/// `n_patterns` is legal; one pattern further must panic with a message
+/// naming the offending range.
+#[test]
+fn splice_accepts_exact_boundary_and_names_range_on_overflow() {
+    let aln = Alignment::synthetic(4, 40, &Jc69, 0.1, 3);
+    let data = PatternAlignment::compress(&aln);
+    let engine = LikelihoodEngine::new(&Jc69, &data);
+    let n = data.n_patterns();
+    let tip = engine.tip_clv(0);
+
+    // Last chunk flush against the end: fine, and scale moves with vals.
+    let mut whole = engine.empty_clv();
+    let piece = engine.newview_chunk(&tip, 0.1, &engine.tip_clv(1), 0.2, n - 3..n);
+    whole.splice(n - 3, &piece);
+    for (off, i) in (n - 3..n).enumerate() {
+        assert_eq!(whole.pattern(i), piece.pattern(off));
+        assert_eq!(whole.scale_of(i), piece.scale_of(off));
+    }
+
+    // One pattern past the end: rejected, range in the message.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut c = engine.empty_clv();
+        c.splice(n - 2, &piece);
+    }))
+    .unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    let want = format!("{}..{}", n - 2, n + 1);
+    assert!(msg.contains(&want), "panic message {msg:?} should name range {want}");
+
+    // A start near usize::MAX must not wrap past the bound check.
+    let wrap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut c = engine.empty_clv();
+        c.splice(usize::MAX - 1, &piece);
+    }));
+    assert!(wrap.is_err(), "overflowing splice start must panic, not silently write");
+}
+
+/// The arena recycles storage (hits after warm-up) and recycled buffers
+/// produce the same chunks as fresh ones.
+#[test]
+fn clv_arena_reuses_storage_without_changing_results() {
+    let aln = Alignment::synthetic(4, 120, &Jc69, 0.2, 5);
+    let data = PatternAlignment::compress(&aln);
+    let engine = LikelihoodEngine::new(&Jc69, &data);
+    let n = data.n_patterns();
+    let (l, r) = (engine.tip_clv(0), engine.tip_clv(1));
+
+    let mut arena = ClvArena::new();
+    let fresh = engine.newview_chunk(&l, 0.1, &r, 0.2, 0..n);
+    for _ in 0..8 {
+        let piece = engine.newview_chunk_in(&l, 0.1, &r, 0.2, 0..n, &mut arena);
+        assert_eq!(piece, fresh);
+        arena.put(piece);
+        // Differently-sized chunks reuse the same (larger) storage.
+        let half = engine.newview_chunk_in(&l, 0.1, &r, 0.2, 0..n / 2, &mut arena);
+        assert_eq!(half.n_patterns(), n / 2);
+        assert_eq!(half.pattern(0), fresh.pattern(0));
+        arena.put(half);
+    }
+    let (hits, misses) = arena.stats();
+    assert!(hits >= 14, "arena should recycle, got {hits} hits / {misses} misses");
+    assert!(misses <= 2, "at most the warm-up allocations may miss, got {misses}");
+}

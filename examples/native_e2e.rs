@@ -1,0 +1,50 @@
+//! Native end-to-end wall-clock measurement: a fixed bootstrap analysis
+//! run entirely through the off-loaded engine (every `newview`/`evaluate`/
+//! `makenewz` work-shared on the native MGPS runtime).
+//!
+//! ```text
+//! cargo run --release --example native_e2e [taxa sites bootstraps workers]
+//! ```
+//!
+//! Prints one line of wall-clock and checksum data. The log-likelihood sum
+//! doubles as a correctness anchor: kernel or allocator changes that alter
+//! results show up as a checksum drift, not just a timing delta.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mgps_runtime::policy::SchedulerKind;
+use multigrain::parallel::ParallelAnalysis;
+use phylo::alignment::{Alignment, PatternAlignment};
+use phylo::model::Jc69;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |default: usize| -> usize {
+        args.next().and_then(|a| a.parse().ok()).unwrap_or(default)
+    };
+    let taxa = next(24);
+    let sites = next(600);
+    let bootstraps = next(8);
+    let workers = next(2);
+
+    let aln = Alignment::synthetic(taxa, sites, &Jc69, 0.1, 7);
+    let data = Arc::new(PatternAlignment::compress(&aln));
+    let analysis = ParallelAnalysis::cell(SchedulerKind::Mgps, workers);
+
+    // Warm-up pass: fault in code paths and (where present) allocator pools.
+    let _ = analysis.run_bootstraps(Jc69, &data, workers.min(bootstraps), 1);
+
+    let start = Instant::now();
+    let (reps, stats) = analysis.run_bootstraps(Jc69, &data, bootstraps, 42);
+    let wall = start.elapsed();
+
+    let lnl_sum: f64 = reps.iter().map(|r| r.lnl).sum();
+    println!(
+        "native_e2e taxa={taxa} sites={sites} bootstraps={bootstraps} workers={workers} \
+         wall_ms={:.1} lnl_sum={lnl_sum:.6} ctx_switches={} throttled={:?}",
+        wall.as_secs_f64() * 1e3,
+        stats.context_switches,
+        stats.throttled,
+    );
+}

@@ -17,11 +17,14 @@
 //! (EDTLP / static hybrid / MGPS) currently dictates.
 
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mgps_runtime::native::{LoopBody, LoopSite, OffloadError, ProcessCtx, SpeContext};
+use mgps_runtime::policy::KernelKind;
 use phylo::alignment::PatternAlignment;
-use phylo::likelihood::{clamp_branch, newton_branch_step, Clv, LikelihoodEngine, NEWTON_MAX_ITERS};
+use phylo::likelihood::{
+    clamp_branch, newton_branch_step, Clv, ClvArena, LikelihoodEngine, NEWTON_MAX_ITERS,
+};
 use phylo::model::SubstModel;
 use phylo::search::ScoringEngine;
 use phylo::tree::Tree;
@@ -70,6 +73,13 @@ impl<M: SubstModel + Clone + 'static> LoopBody for EvaluateBody<M> {
 /// Felsenstein pruning (`newview`) as an off-loadable body. Each chunk
 /// yields `(start_pattern, clv_piece)`; the merge concatenates pieces and
 /// the caller splices them into a full CLV.
+///
+/// Chunk output buffers come from a shared [`ClvArena`] rather than fresh
+/// allocations: a worker takes a piece under a brief lock, computes into it
+/// lock-free, and the engine returns the piece after splicing. The arena
+/// holds *host-heap* buffers — the simulated local-store staging accounted
+/// by `LsAlloc`/`LsFree` trace events is untouched, so those events stay
+/// truthful.
 pub struct NewviewBody<M> {
     /// Substitution model.
     pub model: M,
@@ -83,6 +93,8 @@ pub struct NewviewBody<M> {
     pub right: Arc<Clv>,
     /// Right branch length.
     pub t_right: f64,
+    /// Recycled chunk-output storage, shared with the owning engine.
+    pub arena: Arc<Mutex<ClvArena>>,
 }
 
 impl<M: SubstModel + Clone + 'static> LoopBody for NewviewBody<M> {
@@ -100,12 +112,14 @@ impl<M: SubstModel + Clone + 'static> LoopBody for NewviewBody<M> {
         if range.is_empty() {
             return Vec::new();
         }
-        let piece = LikelihoodEngine::new(&self.model, &self.data).newview_chunk(
+        let mut piece = self.arena.lock().unwrap().take(range.len());
+        LikelihoodEngine::new(&self.model, &self.data).newview_range_into(
             &self.left,
             self.t_left,
             &self.right,
             self.t_right,
             range.clone(),
+            &mut piece,
         );
         vec![(range.start, piece)]
     }
@@ -158,17 +172,41 @@ pub struct OffloadedEngine<'a, 'rt, M> {
     model: M,
     data: Arc<PatternAlignment>,
     offloads: u64,
+    /// Per-worker-process CLV recycler. Shared (briefly) with chunk bodies
+    /// so piece buffers taken on SPE threads flow back after splicing.
+    arena: Arc<Mutex<ClvArena>>,
 }
 
 impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
     /// Bind a worker process to `model` and `data`.
     pub fn new(ctx: &'a mut ProcessCtx<'rt>, model: M, data: Arc<PatternAlignment>) -> Self {
-        OffloadedEngine { ctx, model, data, offloads: 0 }
+        OffloadedEngine {
+            ctx,
+            model,
+            data,
+            offloads: 0,
+            arena: Arc::new(Mutex::new(ClvArena::new())),
+        }
     }
 
     /// Kernels off-loaded so far.
     pub fn offloads(&self) -> u64 {
         self.offloads
+    }
+
+    /// `(hits, misses)` of the CLV arena: how many buffer requests were
+    /// served from recycled storage vs fresh allocation.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        self.arena.lock().unwrap().stats()
+    }
+
+    /// Return a CLV to the arena if this was the last reference to it.
+    /// Opportunistic: a still-shared CLV is simply dropped by its other
+    /// holders later.
+    fn reclaim(&self, clv: Arc<Clv>) {
+        if let Some(clv) = Arc::into_inner(clv) {
+            self.arena.lock().unwrap().put(clv);
+        }
     }
 
     fn unwrap_offload<T>(r: Result<T, OffloadError>) -> T {
@@ -178,20 +216,42 @@ impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
     /// Off-loaded `newview`: the parent CLV of two children.
     pub fn newview(&mut self, left: Arc<Clv>, t_left: f64, right: Arc<Clv>, t_right: f64) -> Clv {
         self.offloads += 1;
+        let n = self.data.n_patterns();
         let body = Arc::new(NewviewBody {
             model: self.model.clone(),
             data: Arc::clone(&self.data),
-            left,
+            left: Arc::clone(&left),
             t_left,
-            right,
+            right: Arc::clone(&right),
             t_right,
+            arena: Arc::clone(&self.arena),
         });
-        let mut pieces = Self::unwrap_offload(self.ctx.offload_loop(SITE_NEWVIEW, body));
+        let mut pieces =
+            Self::unwrap_offload(self.ctx.offload_adaptive(SITE_NEWVIEW, KernelKind::NewView, body));
         pieces.sort_by_key(|&(start, _)| start);
-        let mut out = LikelihoodEngine::new(&self.model, &self.data).empty_clv();
-        for (start, piece) in pieces {
-            out.splice(start, &piece);
+        // The splice target comes from the arena with unspecified contents,
+        // so the pieces must tile 0..n exactly — no gap may survive.
+        let mut out = self.arena.lock().unwrap().take(n);
+        let mut covered = 0;
+        for (start, piece) in &pieces {
+            assert_eq!(
+                *start,
+                covered,
+                "newview pieces leave a gap at pattern {covered} (next piece starts at {start})"
+            );
+            out.splice(*start, piece);
+            covered += piece.n_patterns();
         }
+        assert_eq!(covered, n, "newview pieces cover {covered} of {n} patterns");
+        let mut arena = self.arena.lock().unwrap();
+        for (_, piece) in pieces {
+            arena.put(piece);
+        }
+        drop(arena);
+        // The children were consumed by this newview; recycle their storage
+        // when nothing else (tests, the evaluate edge) still holds them.
+        self.reclaim(left);
+        self.reclaim(right);
         out
     }
 
@@ -201,11 +261,18 @@ impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
         let body = Arc::new(EvaluateBody {
             model: self.model.clone(),
             data: Arc::clone(&self.data),
-            u,
-            v,
+            u: Arc::clone(&u),
+            v: Arc::clone(&v),
             t,
         });
-        Self::unwrap_offload(self.ctx.offload_loop(SITE_EVALUATE, body))
+        let lnl = Self::unwrap_offload(self.ctx.offload_adaptive(
+            SITE_EVALUATE,
+            KernelKind::Evaluate,
+            body,
+        ));
+        self.reclaim(u);
+        self.reclaim(v);
+        lnl
     }
 
     /// Off-loaded `makenewz`: Newton–Raphson branch-length optimization
@@ -221,7 +288,11 @@ impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
                 v: Arc::clone(v),
                 t,
             });
-            let (d1, d2) = Self::unwrap_offload(self.ctx.offload_loop(SITE_DERIV, body));
+            let (d1, d2) = Self::unwrap_offload(self.ctx.offload_adaptive(
+                SITE_DERIV,
+                KernelKind::MakeNewz,
+                body,
+            ));
             let (next, converged) = newton_branch_step(t, d1, d2);
             t = next;
             if converged {
@@ -236,7 +307,9 @@ impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
     /// RAxML's call pattern).
     pub fn clv_toward(&mut self, tree: &Tree, node: usize, parent: usize) -> Arc<Clv> {
         if tree.is_tip(node) {
-            return Arc::new(LikelihoodEngine::new(&self.model, &self.data).tip_clv(node));
+            let mut clv = self.arena.lock().unwrap().take(self.data.n_patterns());
+            LikelihoodEngine::new(&self.model, &self.data).tip_clv_into(node, &mut clv);
+            return Arc::new(clv);
         }
         let mut children: Vec<_> =
             tree.neighbors(node).iter().filter(|&&(n, _)| n != parent).copied().collect();
@@ -265,6 +338,8 @@ impl<'a, 'rt, M: SubstModel + Clone + 'static> OffloadedEngine<'a, 'rt, M> {
             let cv = self.clv_toward(tree, b, a);
             let t = self.makenewz(&cu, &cv, tree.length(e));
             tree.set_length(e, t);
+            self.reclaim(cu);
+            self.reclaim(cv);
         }
         self.log_likelihood(tree)
     }
@@ -356,6 +431,31 @@ mod tests {
                 "branch {e:?} diverged"
             );
         }
+    }
+
+    #[test]
+    fn arena_recycles_clvs_across_passes_without_changing_results() {
+        let data = data();
+        let direct = LikelihoodEngine::new(&Jc69, &data);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tree = Tree::random(8, 0.12, &mut rng);
+        let want = direct.log_likelihood(&tree);
+
+        let rt = MgpsRuntime::new(RuntimeConfig::cell(SchedulerKind::Edtlp));
+        let mut ctx = rt.enter_process();
+        let mut eng = OffloadedEngine::new(&mut ctx, Jc69, Arc::clone(&data));
+        for pass in 0..4 {
+            let got = eng.log_likelihood(&tree);
+            assert!((got - want).abs() < 1e-9, "pass {pass}: {got} vs direct {want}");
+        }
+        let (hits, misses) = eng.arena_stats();
+        // Warm passes are served from recycled storage: every tip CLV,
+        // splice target, and chunk piece after the first traversal should
+        // be an arena hit, not a fresh allocation.
+        assert!(
+            hits > misses,
+            "arena barely recycling: {hits} hits vs {misses} misses"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use mgps_runtime::native::{MgpsRuntime, RuntimeConfig};
-use mgps_runtime::policy::SchedulerKind;
+use mgps_runtime::policy::{KernelKind, SchedulerKind};
 use phylo::alignment::PatternAlignment;
 use phylo::bootstrap::bootstrap_replicate;
 use phylo::model::SubstModel;
@@ -30,9 +30,16 @@ pub struct ParallelAnalysis {
 
 impl ParallelAnalysis {
     /// A Cell-shaped analysis under `scheduler` with `workers` processes.
+    ///
+    /// Dynamic granularity control (§5.2) is enabled: each kernel is
+    /// optimistically off-loaded and measured, and kernels that fail the
+    /// `t_spe + t_code + 2·t_comm < t_ppe` profitability test fall back to
+    /// their PPE copies until a periodic re-probe. On hosts where a
+    /// kernel's chunk time is smaller than the off-load signalling cost,
+    /// this is where most of the end-to-end time goes.
     pub fn cell(scheduler: SchedulerKind, workers: usize) -> ParallelAnalysis {
         ParallelAnalysis {
-            runtime: RuntimeConfig::cell(scheduler),
+            runtime: RuntimeConfig::cell(scheduler).with_granularity_control(64),
             workers,
             search: SearchConfig::default(),
         }
@@ -97,6 +104,7 @@ impl ParallelAnalysis {
             context_switches: rt.context_switches(),
             final_degree: rt.current_degree(),
             mgps: rt.mgps_stats(),
+            throttled: KernelKind::ALL.map(|k| rt.is_throttled(k)),
         };
         let results = results
             .into_iter()
@@ -116,4 +124,7 @@ pub struct AnalysisStats {
     /// MGPS counters `(evaluations, activations, deactivations)`, when the
     /// adaptive scheduler was used.
     pub mgps: Option<(u64, u64, u64)>,
+    /// Which kernels the granularity controller has throttled to the PPE,
+    /// in [`KernelKind::ALL`] order.
+    pub throttled: [bool; 3],
 }

@@ -60,6 +60,12 @@ impl IntoBenchmarkId for &str {
     }
 }
 
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
 impl IntoBenchmarkId for BenchmarkId {
     fn into_id(self) -> String {
         self.id
