@@ -414,6 +414,38 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                     });
                 }
             }
+            EventKind::GranularityVerdict { kernel, offload, throttled, reprobe } => {
+                // Informational, like Health, but with a closed kernel
+                // vocabulary and internally consistent flags: a re-probe is
+                // by definition a granted off-load, and a PPE verdict only
+                // happens to a throttled kernel.
+                const KERNELS: [&str; 3] = ["newview", "makenewz", "evaluate"];
+                if !KERNELS.contains(&kernel.as_str()) {
+                    v.push(Violation {
+                        rule: "granularity-schema",
+                        seq: Some(e.seq),
+                        message: format!("unknown kernel slug '{kernel}' in granularity verdict"),
+                    });
+                }
+                if *reprobe && !offload {
+                    v.push(Violation {
+                        rule: "granularity-schema",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "granularity verdict for '{kernel}' marks a re-probe without an off-load"
+                        ),
+                    });
+                }
+                if !offload && !throttled {
+                    v.push(Violation {
+                        rule: "granularity-schema",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "granularity verdict keeps '{kernel}' on the PPE without marking it throttled"
+                        ),
+                    });
+                }
+            }
             EventKind::FaultInjected { spe, task, fault, attempt } => {
                 if !armed {
                     v.push(Violation {

@@ -1,0 +1,46 @@
+//! Anchors for the granularity atlas: one checked sweep cell, frontier
+//! detection, and both artifact renderers over the seeded mini grid —
+//! so regressions in the characterization path show up in the bench
+//! gate next to the figures they feed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{sweep, SweepConfig};
+use mgps_obs::GridSpec;
+
+fn atlas_anchors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atlas");
+    g.sample_size(10);
+
+    // One cell end to end: SimConfig synthesis, the checked run, the
+    // critical-path fold, and record assembly.
+    let cell = {
+        let mut cfg = SweepConfig::new(GridSpec {
+            name: "anchor".to_string(),
+            task_mean_ns: vec![96_000],
+            ppe_gap_ns: vec![11_000],
+            loop_iters: vec![228],
+            schedulers: vec!["mgps".to_string()],
+        });
+        cfg.seed = 7;
+        cfg.scale = 4_000;
+        cfg.n_bootstraps = 2;
+        cfg
+    };
+    g.bench_function("sweep_one_cell", |b| b.iter(|| sweep(&cell)));
+
+    // Analysis and rendering over a full mini atlas, swept once.
+    let mini = {
+        let mut cfg = SweepConfig::new(GridSpec::preset("mini").expect("mini preset"));
+        cfg.seed = 7;
+        cfg.scale = 4_000;
+        cfg.n_bootstraps = 2;
+        sweep(&cfg)
+    };
+    g.bench_function("frontier_mini", |b| b.iter(|| mini.frontier()));
+    g.bench_function("json_mini", |b| b.iter(|| mini.to_json()));
+    g.bench_function("html_mini", |b| b.iter(|| mini.render_html()));
+    g.finish();
+}
+
+criterion_group!(benches, atlas_anchors);
+criterion_main!(benches);

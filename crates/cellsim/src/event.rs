@@ -269,6 +269,21 @@ pub enum EventKind {
         /// Off-load attempts consumed before falling back.
         attempts: u64,
     },
+    /// The granularity controller ruled on where a kernel invocation runs
+    /// (the §5.2 inequality `t_spe + t_code + 2·t_comm < t_ppe`).
+    /// Informational, like [`EventKind::Health`]: the checker verifies its
+    /// shape but it places no scheduling constraint.
+    GranularityVerdict {
+        /// Kernel slug (`newview`, `makenewz`, `evaluate`).
+        kernel: String,
+        /// Whether the invocation was granted an SPE off-load.
+        offload: bool,
+        /// Whether the kernel is throttled after this verdict.
+        throttled: bool,
+        /// Whether the off-load was a periodic re-probe of a throttled
+        /// kernel (implies `offload`).
+        reprobe: bool,
+    },
 }
 
 /// An [`EventKind`] stamped with its emission order and simulated time.
@@ -363,6 +378,12 @@ fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("missing boolean field '{key}'"))
 }
 
 fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
@@ -541,6 +562,15 @@ impl EventKind {
                 ("task", (*task).into()),
                 ("attempts", (*attempts).into()),
             ]),
+            EventKind::GranularityVerdict { kernel, offload, throttled, reprobe } => {
+                Value::object(vec![
+                    ("type", "granularity_verdict".into()),
+                    ("kernel", kernel.clone().into()),
+                    ("offload", (*offload).into()),
+                    ("throttled", (*throttled).into()),
+                    ("reprobe", (*reprobe).into()),
+                ])
+            }
         }
     }
 
@@ -643,6 +673,12 @@ impl EventKind {
                 proc: usize_field(v, "proc")?,
                 task: u64_field(v, "task")?,
                 attempts: u64_field(v, "attempts")?,
+            },
+            "granularity_verdict" => EventKind::GranularityVerdict {
+                kernel: str_field(v, "kernel")?.to_string(),
+                offload: bool_field(v, "offload")?,
+                throttled: bool_field(v, "throttled")?,
+                reprobe: bool_field(v, "reprobe")?,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -900,6 +936,16 @@ mod tests {
                 seq: 18,
                 at_ns: 109,
                 kind: EventKind::PpeFallback { proc: 0, task: 7, attempts: 4 },
+            },
+            EventRecord {
+                seq: 19,
+                at_ns: 110,
+                kind: EventKind::GranularityVerdict {
+                    kernel: "makenewz".to_string(),
+                    offload: false,
+                    throttled: true,
+                    reprobe: false,
+                },
             },
         ]);
         log.fault_policy = Some("seed=1,stall=0.05,retries=3".to_string());

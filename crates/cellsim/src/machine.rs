@@ -94,6 +94,12 @@ pub struct SimConfig {
     /// re-admission probes, PPE fallback) engages; the canonical spec is
     /// recorded in the RunLog header for the checker.
     pub faults: FaultPlan,
+    /// Emit a [`EventKind::GranularityVerdict`] per granted task, replaying
+    /// the §5.2 off-load inequality against the drawn kernel timings (the
+    /// PPE side uses the dual-version slowdown the fallback kernels pay).
+    /// Off by default so existing event streams and replay digests are
+    /// unchanged; the granularity atlas turns it on.
+    pub granularity_verdicts: bool,
 }
 
 impl SimConfig {
@@ -112,6 +118,7 @@ impl SimConfig {
             record_timeline: false,
             record_events: false,
             faults: FaultPlan::inert(),
+            granularity_verdicts: false,
         }
     }
 }
@@ -865,6 +872,23 @@ fn grant_task(sim: &mut S, p: usize, degree: usize) {
             now_ns,
             EventKind::DmaComplete { spe: lead, bytes: buffer_bytes, latency_ns },
         );
+        if m.cfg.granularity_verdicts {
+            // Replay the §5.2 inequality for this grant: the drawn SPE
+            // time, the reload stall actually paid, the modeled DMA
+            // latency, and the dual-version PPE copy's slowdown.
+            let t_code = if reload { stall_ns } else { 0 };
+            let t_ppe = (drawn_ns as f64 * PPE_FALLBACK_SLOWDOWN) as u64;
+            let offload = drawn_ns + t_code + 2 * latency_ns < t_ppe;
+            m.emit(
+                now_ns,
+                EventKind::GranularityVerdict {
+                    kernel: kind.name().to_string(),
+                    offload,
+                    throttled: !offload,
+                    reprobe: false,
+                },
+            );
+        }
         if reload {
             dur += m.cfg.params.code_load_cost;
         }

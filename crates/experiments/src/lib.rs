@@ -12,11 +12,13 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod atlas;
 pub mod checked;
 pub mod exps;
 pub mod report;
 
 pub use ablations::{ablation_threshold, ablation_window, kernel_mix, spe_opt_ladder};
+pub use atlas::{cell_seed, scheduler_of_slug, sweep, SweepConfig};
 pub use checked::{assert_clean, checked_run, reset_tally, tally, CheckTally};
 pub use exps::*;
 pub use report::{Experiment, Row, Series};

@@ -194,6 +194,44 @@ impl Experiment {
         Ok(e)
     }
 
+    /// Render as a self-contained HTML fragment-free document, on the
+    /// same [`mgps_obs::htmlkit`] scaffold as the profiling report and
+    /// the granularity atlas (shared styling, "n/a" for absent values,
+    /// byte-deterministic).
+    pub fn render_html(&self) -> String {
+        use mgps_obs::htmlkit::{esc, na_cell, Page};
+        let mut page = Page::new(&format!("experiment {}: {}", self.id, self.title));
+        page.heading(1, &format!("{} — {}", self.id, self.title));
+        if !self.rows.is_empty() {
+            page.table_start(&["row", "measured", "paper", "ratio"]);
+            for r in &self.rows {
+                let paper = na_cell(r.paper.map(|p| format!("{p:.2}")));
+                let ratio = na_cell(r.ratio().map(|q| format!("{q:.2}")));
+                page.table_row(
+                    None,
+                    &format!(
+                        "<td>{}</td><td>{:.2}</td><td>{paper}</td><td>{ratio}</td>",
+                        esc(&r.label),
+                        r.measured
+                    ),
+                );
+            }
+            page.table_end();
+        }
+        for s in &self.series {
+            page.heading(2, &format!("series: {}", s.label));
+            page.table_start(&["x", "seconds"]);
+            for (x, y) in &s.points {
+                page.table_row(None, &format!("<td>{x}</td><td>{y:.2}</td>"));
+            }
+            page.table_end();
+        }
+        for n in &self.notes {
+            page.para(&format!("note: {}", esc(n)));
+        }
+        page.finish()
+    }
+
     /// Write `self` as pretty JSON under `dir/<id>.json`, returning the
     /// path.
     ///
@@ -270,6 +308,20 @@ mod tests {
         assert!(txt.contains("curve"));
         assert!(txt.contains("a note"));
         assert!(txt.contains("1.50"));
+    }
+
+    #[test]
+    fn html_rendering_is_self_contained_with_na_for_missing_refs() {
+        let html = sample().render_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        for needle in ["http://", "https://", "<script", "src="] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
+        // "three" has no paper reference: its cells say n/a, not NaN.
+        assert!(html.contains("<td>three</td><td>9.00</td><td>n/a</td><td>n/a</td>"));
+        assert!(html.contains("1.50"));
+        assert!(html.contains("series: curve"));
+        assert_eq!(html, sample().render_html(), "byte-deterministic");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Golden determinism contract for the granularity atlas: the seeded
+//! 2×2×2×5 `mini` grid must reproduce byte-identical JSON and HTML
+//! across independent re-runs, validate against `mgps-atlas/v1`, keep
+//! every blame partition equal to its cell's makespan, and detect at
+//! least one crossover frontier.
+
+use experiments::{sweep, SweepConfig};
+use minijson::Value;
+use mgps_obs::atlas::ATLAS_SCHEMA;
+use mgps_obs::GridSpec;
+
+fn mini_config() -> SweepConfig {
+    let mut cfg = SweepConfig::new(GridSpec::preset("mini").expect("mini preset"));
+    cfg.seed = 7;
+    cfg.scale = 4_000;
+    cfg.n_bootstraps = 2;
+    cfg
+}
+
+#[test]
+fn mini_atlas_is_golden() {
+    let cfg = mini_config();
+    let first = sweep(&cfg);
+    let second = sweep(&cfg);
+
+    // The golden property: identical bytes, not merely identical values.
+    let json = first.to_json();
+    assert_eq!(json, second.to_json(), "mini atlas JSON must be byte-identical across re-runs");
+    assert_eq!(
+        first.render_html(),
+        second.render_html(),
+        "mini atlas HTML must be byte-identical across re-runs"
+    );
+
+    // Schema and shape of the document.
+    let doc = minijson::parse(&json).expect("atlas JSON parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some(ATLAS_SCHEMA));
+    assert_eq!(doc.get("seed").and_then(Value::as_u64), Some(7));
+    let cells = doc.get("cells").and_then(Value::as_array).expect("cells");
+    assert_eq!(cells.len(), 40, "2x2x2x5 mini grid runs 40 cells");
+
+    // Every cell is checker-clean here, and its blame partition sums
+    // exactly to its makespan.
+    for cell in cells {
+        assert_eq!(cell.get("violations").and_then(Value::as_u64), Some(0));
+        assert_eq!(cell.get("degenerate").and_then(Value::as_bool), Some(false));
+        let makespan = cell.get("makespan_ns").and_then(Value::as_u64).expect("makespan");
+        let blame = cell.get("blame").expect("blame");
+        let total: u64 = ["t_ppe", "t_wait", "t_spe", "t_code", "t_comm"]
+            .iter()
+            .map(|k| blame.get(k).and_then(Value::as_u64).expect("phase"))
+            .sum();
+        assert_eq!(total, makespan, "blame must partition the makespan exactly");
+    }
+
+    // The mini grid straddles at least one scheduler crossover.
+    let frontier = doc.get("frontier").and_then(Value::as_array).expect("frontier");
+    assert!(!frontier.is_empty(), "mini grid must detect a crossover frontier");
+    assert!(!first.frontier().is_empty());
+
+    // Winner bookkeeping: every decided point is won by someone.
+    let winners = doc.get("winners").expect("winners");
+    assert_eq!(winners.get("points").and_then(Value::as_u64), Some(8));
+    assert_eq!(winners.get("decided").and_then(Value::as_u64), Some(8));
+}

@@ -84,11 +84,17 @@ pub enum Counter {
     SpeQuarantines,
     /// Quarantined SPEs returned to service by a re-admission probe.
     SpeReadmissions,
+    /// Granularity-controller verdicts that kept a kernel on the PPE
+    /// (the §5.2 inequality failed or the kernel is throttled).
+    KernelThrottles,
+    /// Off-loads granted to a previously throttled kernel by a periodic
+    /// re-probe.
+    KernelReprobes,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Offloads,
         Counter::TasksCompleted,
         Counter::CtxSwitchOffload,
@@ -108,6 +114,8 @@ impl Counter {
         Counter::PpeFallbacks,
         Counter::SpeQuarantines,
         Counter::SpeReadmissions,
+        Counter::KernelThrottles,
+        Counter::KernelReprobes,
     ];
 
     /// Stable snake_case name used in JSON summaries.
@@ -132,6 +140,8 @@ impl Counter {
             Counter::PpeFallbacks => "ppe_fallbacks",
             Counter::SpeQuarantines => "spe_quarantines",
             Counter::SpeReadmissions => "spe_readmissions",
+            Counter::KernelThrottles => "kernel_throttles",
+            Counter::KernelReprobes => "kernel_reprobes",
         }
     }
 }

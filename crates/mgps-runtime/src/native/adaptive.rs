@@ -636,15 +636,42 @@ impl ProcessCtx<'_> {
             .as_ref()
             // xtask-allow: panic-path — documented `# Panics` API precondition, pinned by a should_panic test
             .expect("granularity control not enabled on this runtime");
-        let decision = controller.lock().decide(kind, true);
+        let (decision, was_throttled, now_throttled) = {
+            let mut c = controller.lock();
+            let was = c.is_throttled(kind);
+            let d = c.decide(kind, true);
+            (d, was, c.is_throttled(kind))
+        };
         match decision {
             GranularityDecision::Offload => {
+                // An off-load granted to a throttled kernel is a periodic
+                // re-probe (the controller rechecking its verdict).
+                if was_throttled {
+                    rt.metrics.incr(Counter::KernelReprobes);
+                }
+                if let Some(t) = &self.trace {
+                    t.record(TraceEventKind::GranularityVerdict {
+                        kernel: kind.name().to_string(),
+                        offload: true,
+                        throttled: now_throttled,
+                        reprobe: was_throttled,
+                    });
+                }
                 let start = Instant::now();
                 let out = self.offload_loop(site, body)?;
                 controller.lock().record_spe(kind, start.elapsed().as_nanos() as u64);
                 Ok(out)
             }
             GranularityDecision::RunOnPpe => {
+                rt.metrics.incr(Counter::KernelThrottles);
+                if let Some(t) = &self.trace {
+                    t.record(TraceEventKind::GranularityVerdict {
+                        kernel: kind.name().to_string(),
+                        offload: false,
+                        throttled: true,
+                        reprobe: false,
+                    });
+                }
                 // The PPE version: run on the calling thread, holding the
                 // context (no SPE, no team). The sentinel SPE id lets
                 // kernels with distinct PPE/SPE code paths pick theirs.

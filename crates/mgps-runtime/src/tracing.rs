@@ -234,6 +234,20 @@ pub enum TraceEventKind {
         /// Local-store bytes in use after the release.
         in_use: usize,
     },
+    /// The granularity controller ruled on where a kernel invocation runs
+    /// (the §5.2 inequality: off-load only when
+    /// `t_spe + t_code + 2·t_comm < t_ppe`).
+    GranularityVerdict {
+        /// Kernel slug (`mgps_runtime::policy::KernelKind::name`).
+        kernel: String,
+        /// Whether the invocation was granted an SPE off-load.
+        offload: bool,
+        /// Whether the kernel is throttled after this verdict.
+        throttled: bool,
+        /// Whether this off-load was a periodic re-probe of a throttled
+        /// kernel (implies `offload`).
+        reprobe: bool,
+    },
 }
 
 /// The three architected SPE mailboxes — a plain-data mirror of the

@@ -1,0 +1,908 @@
+//! The granularity atlas — characterization of the multigrain space.
+//!
+//! An atlas is a seeded sweep over the four axes that decide whether
+//! off-loading and loop-level parallelism pay on the Cell: **task size**
+//! (`task_mean`), **arrival rate** (the PPE inter-release gap),
+//! **loop width** (`loop_iters`), and the **scheduler**. Every cell of
+//! the grid is one invariant-checked simulation run
+//! (`experiments::atlas::sweep` drives them through
+//! `experiments::checked_run`), folded here into a [`CellRecord`]: the
+//! makespan, mean SPE utilization, context switches, the exact
+//! `t_ppe`/`t_wait`/`t_spe`/`t_code`/`t_comm` blame partition from
+//! [`crate::critpath`] (which sums to the cell's makespan by
+//! construction), the MGPS decision inputs, and the granularity-verdict
+//! tallies.
+//!
+//! Two artifacts render from an [`Atlas`], both byte-deterministic for a
+//! given seed:
+//!
+//! * **JSON** (schema [`ATLAS_SCHEMA`]) — per-cell records, the
+//!   per-scheduler winner summary, and the **crossover frontier**: every
+//!   pair of axis-neighbouring grid points whose best scheduler differs.
+//! * **HTML** — a self-contained report ([`crate::htmlkit`] contract)
+//!   with per-scheduler makespan/utilization heatmaps, the winner map
+//!   with frontier overlay, and a per-cell blame drill-down table.
+//!
+//! Cells whose checker run reported a violation are **refused**: they
+//! carry no metrics and render as explicit `n/a` / `null`, never as a
+//! number the checker did not vouch for. Degenerate cells (no work, zero
+//! makespan) are likewise rendered as absent rather than as NaN,
+//! mirroring the non-finite guards on experiment ratio columns.
+
+use std::fmt::Write as _;
+
+use minijson::Value;
+
+use crate::critpath::{Phase, PhaseBlame};
+use crate::htmlkit::{esc, Page};
+
+/// Schema identifier stamped into every atlas JSON document.
+pub const ATLAS_SCHEMA: &str = "mgps-atlas/v1";
+
+/// The five scheduler slugs, in canonical atlas axis order (the CLI's
+/// `--scheduler` vocabulary).
+pub const SCHEDULER_SLUGS: [&str; 5] = ["edtlp", "linux", "llp2", "llp4", "mgps"];
+
+/// The swept grid: the three workload axes plus the scheduler axis.
+///
+/// Grid points are the cross product of the workload axes; each point is
+/// run once per scheduler. Axis values are listed in sweep order, and
+/// cells are enumerated task-mean-major, scheduler-minor (see
+/// [`GridSpec::cell_index`]), which fixes the shard partition and the
+/// JSON cell order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Preset name (or "custom").
+    pub name: String,
+    /// Mean off-loaded task durations, ns.
+    pub task_mean_ns: Vec<u64>,
+    /// PPE inter-release gaps (arrival rate axis), ns.
+    pub ppe_gap_ns: Vec<u64>,
+    /// Parallel-loop widths (iterations available to LLP).
+    pub loop_iters: Vec<usize>,
+    /// Scheduler slugs from [`SCHEDULER_SLUGS`].
+    pub schedulers: Vec<String>,
+}
+
+impl GridSpec {
+    /// A named preset: `mini` (2×2×2×5, the golden/CI grid) or
+    /// `default` (3×2×2×5, wide enough to cross a scheduler frontier).
+    pub fn preset(name: &str) -> Option<GridSpec> {
+        let schedulers = SCHEDULER_SLUGS.iter().map(|s| s.to_string()).collect();
+        match name {
+            "mini" => Some(GridSpec {
+                name: "mini".to_string(),
+                task_mean_ns: vec![24_000, 96_000],
+                ppe_gap_ns: vec![11_000, 44_000],
+                loop_iters: vec![57, 228],
+                schedulers,
+            }),
+            "default" => Some(GridSpec {
+                name: "default".to_string(),
+                task_mean_ns: vec![6_000, 24_000, 96_000],
+                ppe_gap_ns: vec![11_000, 44_000],
+                loop_iters: vec![57, 228],
+                schedulers,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Workload points in the grid (cells / schedulers).
+    pub fn points(&self) -> usize {
+        self.task_mean_ns.len() * self.ppe_gap_ns.len() * self.loop_iters.len()
+    }
+
+    /// Total cells (points × schedulers).
+    pub fn cells(&self) -> usize {
+        self.points() * self.schedulers.len()
+    }
+
+    /// Flat cell index of `(task, gap, iters, scheduler)` axis indices —
+    /// task-mean-major, scheduler-minor.
+    pub fn cell_index(&self, ti: usize, gi: usize, li: usize, si: usize) -> usize {
+        ((ti * self.ppe_gap_ns.len() + gi) * self.loop_iters.len() + li)
+            * self.schedulers.len()
+            + si
+    }
+
+    /// Flat point index of `(task, gap, iters)` axis indices.
+    pub fn point_index(&self, ti: usize, gi: usize, li: usize) -> usize {
+        (ti * self.ppe_gap_ns.len() + gi) * self.loop_iters.len() + li
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("name", self.name.as_str().into()),
+            ("task_mean_ns", Value::array(self.task_mean_ns.iter().copied())),
+            ("ppe_gap_ns", Value::array(self.ppe_gap_ns.iter().copied())),
+            ("loop_iters", Value::array(self.loop_iters.iter().copied())),
+            ("schedulers", Value::array(self.schedulers.iter().map(|s| s.as_str()))),
+        ])
+    }
+}
+
+/// The workload coordinates of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointCoords {
+    /// Mean task duration, ns.
+    pub task_mean_ns: u64,
+    /// PPE inter-release gap, ns.
+    pub ppe_gap_ns: u64,
+    /// Parallel-loop width.
+    pub loop_iters: usize,
+}
+
+impl PointCoords {
+    fn to_value(self) -> Value {
+        Value::object(vec![
+            ("task_mean_ns", self.task_mean_ns.into()),
+            ("ppe_gap_ns", self.ppe_gap_ns.into()),
+            ("loop_iters", self.loop_iters.into()),
+        ])
+    }
+}
+
+/// MGPS policy inputs observed over a cell's run: how many window
+/// decisions fired and the mean replayed `U` / window fill feeding them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgpsInputs {
+    /// Window decisions taken.
+    pub decisions: usize,
+    /// Mean replayed `U` across decisions (`None` when undefined).
+    pub mean_u: Option<f64>,
+    /// Mean window fill across decisions (`None` when undefined).
+    pub mean_window_fill: Option<f64>,
+}
+
+/// Granularity-verdict tallies for one cell (the §5.2 inequality's
+/// rulings, recorded when `granularity_verdicts` is armed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Rulings that kept the kernel on the PPE.
+    pub throttle: u64,
+    /// Rulings that off-loaded while the kernel was clear.
+    pub offload: u64,
+    /// Off-loads that re-probed a throttled kernel.
+    pub reprobe: u64,
+}
+
+/// Everything measured from one checker-clean cell run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Critical-path makespan, ns (equals `blame.total()` exactly).
+    pub makespan_ns: u64,
+    /// Mean SPE busy fraction — `None` when not finite (degenerate run).
+    pub mean_utilization: Option<f64>,
+    /// PPE context switches.
+    pub context_switches: u64,
+    /// Off-loaded tasks completed.
+    pub tasks_completed: u64,
+    /// Per-phase blame partition of the makespan.
+    pub blame: PhaseBlame,
+    /// MGPS decision inputs (`None` when the run took no window decision).
+    pub mgps: Option<MgpsInputs>,
+    /// Granularity-verdict tallies.
+    pub verdicts: VerdictCounts,
+}
+
+/// One cell of the atlas: coordinates, the per-cell seed, the checker
+/// verdict, and — only when the checker was clean — the metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Workload coordinates.
+    pub point: PointCoords,
+    /// Scheduler slug.
+    pub scheduler: String,
+    /// Seed this cell ran under (derived from the atlas seed).
+    pub seed: u64,
+    /// Schedule-invariant violations the checker reported for this cell.
+    /// Non-zero refuses the cell: `metrics` is `None`.
+    pub violations: usize,
+    /// Measured surface, absent when the cell was refused.
+    pub metrics: Option<CellMetrics>,
+}
+
+impl CellRecord {
+    /// Whether this cell has no renderable surface: the checker refused
+    /// it, or the run completed no work. Degenerate cells render as
+    /// explicit `n/a` / `null`, mirroring the non-finite guards on
+    /// experiment `Row::ratio`.
+    pub fn degenerate(&self) -> bool {
+        match &self.metrics {
+            None => true,
+            Some(m) => m.makespan_ns == 0 || m.tasks_completed == 0,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("task_mean_ns", self.point.task_mean_ns.into()),
+            ("ppe_gap_ns", self.point.ppe_gap_ns.into()),
+            ("loop_iters", self.point.loop_iters.into()),
+            ("scheduler", self.scheduler.as_str().into()),
+            ("seed", self.seed.into()),
+            ("violations", self.violations.into()),
+            ("degenerate", Value::Bool(self.degenerate())),
+        ];
+        match (&self.metrics, self.degenerate()) {
+            (Some(m), false) => {
+                members.push(("makespan_ns", m.makespan_ns.into()));
+                members.push((
+                    "mean_utilization",
+                    m.mean_utilization.map_or(Value::Null, Value::from),
+                ));
+                members.push(("context_switches", m.context_switches.into()));
+                members.push(("tasks", m.tasks_completed.into()));
+                members.push((
+                    "blame",
+                    Value::object(
+                        Phase::ALL.iter().map(|&p| (p.name(), m.blame.get(p).into())).collect(),
+                    ),
+                ));
+                members.push((
+                    "mgps",
+                    m.mgps.map_or(Value::Null, |g| {
+                        Value::object(vec![
+                            ("decisions", g.decisions.into()),
+                            ("mean_u", g.mean_u.map_or(Value::Null, Value::from)),
+                            (
+                                "mean_window_fill",
+                                g.mean_window_fill.map_or(Value::Null, Value::from),
+                            ),
+                        ])
+                    }),
+                ));
+                members.push((
+                    "verdicts",
+                    Value::object(vec![
+                        ("throttle", m.verdicts.throttle.into()),
+                        ("offload", m.verdicts.offload.into()),
+                        ("reprobe", m.verdicts.reprobe.into()),
+                    ]),
+                ));
+            }
+            _ => {
+                // Refused or degenerate: the surface is absent, never 0.
+                for key in ["makespan_ns", "mean_utilization", "context_switches", "tasks", "blame", "mgps", "verdicts"]
+                {
+                    members.push((key, Value::Null));
+                }
+            }
+        }
+        Value::object(members)
+    }
+}
+
+/// One edge of the crossover frontier: two axis-neighbouring grid points
+/// whose best (minimum-makespan, checker-clean) scheduler differs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierEdge {
+    /// The axis the neighbours differ along: `task_mean`, `ppe_gap`, or
+    /// `loop_iters`.
+    pub axis: &'static str,
+    /// The lower-index point.
+    pub a: PointCoords,
+    /// The higher-index point.
+    pub b: PointCoords,
+    /// Winning scheduler at `a`.
+    pub winner_a: String,
+    /// Winning scheduler at `b`.
+    pub winner_b: String,
+}
+
+impl FrontierEdge {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("axis", self.axis.into()),
+            ("a", self.a.to_value()),
+            ("b", self.b.to_value()),
+            ("winner_a", self.winner_a.as_str().into()),
+            ("winner_b", self.winner_b.as_str().into()),
+        ])
+    }
+}
+
+/// A completed (possibly sharded) sweep: the grid, the run parameters,
+/// and every cell that this shard executed, in cell-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atlas {
+    /// The swept grid.
+    pub grid: GridSpec,
+    /// Base seed; per-cell seeds derive from it and the cell index.
+    pub seed: u64,
+    /// Workload scale divisor the cells ran at.
+    pub scale: usize,
+    /// Bootstraps per cell.
+    pub n_bootstraps: usize,
+    /// `Some((i, n))` when only cells with `index % n == i` ran.
+    pub shard: Option<(usize, usize)>,
+    /// Executed cells, ascending cell index.
+    pub cells: Vec<CellRecord>,
+}
+
+impl Atlas {
+    /// Look up the cell at the given workload coordinates and scheduler.
+    pub fn cell(&self, point: PointCoords, scheduler: &str) -> Option<&CellRecord> {
+        self.cells.iter().find(|c| c.point == point && c.scheduler == scheduler)
+    }
+
+    /// Total schedule-invariant violations across all cells.
+    pub fn violations(&self) -> usize {
+        self.cells.iter().map(|c| c.violations).sum()
+    }
+
+    /// Cells refused (violations) or degenerate (no work).
+    pub fn refused(&self) -> usize {
+        self.cells.iter().filter(|c| c.degenerate()).count()
+    }
+
+    /// The workload coordinates of point axis indices `(ti, gi, li)`.
+    pub fn point_coords(&self, ti: usize, gi: usize, li: usize) -> PointCoords {
+        PointCoords {
+            task_mean_ns: self.grid.task_mean_ns[ti],
+            ppe_gap_ns: self.grid.ppe_gap_ns[gi],
+            loop_iters: self.grid.loop_iters[li],
+        }
+    }
+
+    /// The winning scheduler at each grid point, indexed by
+    /// [`GridSpec::point_index`]: the minimum-makespan checker-clean cell,
+    /// ties broken by scheduler axis order. `None` when no cell at the
+    /// point has a renderable surface (all refused/degenerate, or the
+    /// point fell outside this shard).
+    pub fn winners(&self) -> Vec<Option<&str>> {
+        let mut winners: Vec<Option<(&str, u64)>> = vec![None; self.grid.points()];
+        for (ti, &tm) in self.grid.task_mean_ns.iter().enumerate() {
+            for (gi, &gap) in self.grid.ppe_gap_ns.iter().enumerate() {
+                for (li, &iters) in self.grid.loop_iters.iter().enumerate() {
+                    let point =
+                        PointCoords { task_mean_ns: tm, ppe_gap_ns: gap, loop_iters: iters };
+                    let pi = self.grid.point_index(ti, gi, li);
+                    for slug in &self.grid.schedulers {
+                        let Some(cell) = self.cell(point, slug) else { continue };
+                        if cell.degenerate() {
+                            continue;
+                        }
+                        let ms = cell.metrics.as_ref().expect("non-degenerate").makespan_ns;
+                        // Strict `<` keeps the first (axis-order) scheduler
+                        // on ties, making the winner deterministic.
+                        if winners[pi].is_none_or(|(_, best)| ms < best) {
+                            winners[pi] = Some((cell.scheduler.as_str(), ms));
+                        }
+                    }
+                }
+            }
+        }
+        winners.into_iter().map(|w| w.map(|(s, _)| s)).collect()
+    }
+
+    /// Points won per scheduler, in scheduler axis order.
+    pub fn winner_counts(&self) -> Vec<(String, usize)> {
+        let winners = self.winners();
+        self.grid
+            .schedulers
+            .iter()
+            .map(|s| {
+                (s.clone(), winners.iter().filter(|w| **w == Some(s.as_str())).count())
+            })
+            .collect()
+    }
+
+    /// The crossover frontier: every pair of grid points adjacent along
+    /// exactly one workload axis whose winning scheduler differs.
+    /// Edges are listed lower-point-first in point-index order.
+    pub fn frontier(&self) -> Vec<FrontierEdge> {
+        let winners = self.winners();
+        let mut edges = Vec::new();
+        let (nt, ng, nl) =
+            (self.grid.task_mean_ns.len(), self.grid.ppe_gap_ns.len(), self.grid.loop_iters.len());
+        for ti in 0..nt {
+            for gi in 0..ng {
+                for li in 0..nl {
+                    let here = self.grid.point_index(ti, gi, li);
+                    let neighbours: [(&'static str, Option<usize>); 3] = [
+                        ("task_mean", (ti + 1 < nt).then(|| self.grid.point_index(ti + 1, gi, li))),
+                        ("ppe_gap", (gi + 1 < ng).then(|| self.grid.point_index(ti, gi + 1, li))),
+                        ("loop_iters", (li + 1 < nl).then(|| self.grid.point_index(ti, gi, li + 1))),
+                    ];
+                    for (axis, there) in neighbours {
+                        let Some(there) = there else { continue };
+                        let (Some(wa), Some(wb)) = (winners[here], winners[there]) else {
+                            continue;
+                        };
+                        if wa != wb {
+                            let b = match axis {
+                                "task_mean" => self.point_coords(ti + 1, gi, li),
+                                "ppe_gap" => self.point_coords(ti, gi + 1, li),
+                                _ => self.point_coords(ti, gi, li + 1),
+                            };
+                            edges.push(FrontierEdge {
+                                axis,
+                                a: self.point_coords(ti, gi, li),
+                                b,
+                                winner_a: wa.to_string(),
+                                winner_b: wb.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Point indices touched by at least one frontier edge.
+    fn frontier_points(&self) -> Vec<bool> {
+        let mut on = vec![false; self.grid.points()];
+        for e in self.frontier() {
+            for p in [e.a, e.b] {
+                if let (Some(ti), Some(gi), Some(li)) = (
+                    self.grid.task_mean_ns.iter().position(|&t| t == p.task_mean_ns),
+                    self.grid.ppe_gap_ns.iter().position(|&g| g == p.ppe_gap_ns),
+                    self.grid.loop_iters.iter().position(|&l| l == p.loop_iters),
+                ) {
+                    on[self.grid.point_index(ti, gi, li)] = true;
+                }
+            }
+        }
+        on
+    }
+
+    /// The full `mgps-atlas/v1` document.
+    pub fn to_value(&self) -> Value {
+        let winners = self.winner_counts();
+        let decided = self.winners().iter().filter(|w| w.is_some()).count();
+        Value::object(vec![
+            ("schema", ATLAS_SCHEMA.into()),
+            ("grid", self.grid.to_value()),
+            ("seed", self.seed.into()),
+            ("scale", self.scale.into()),
+            ("bootstraps", self.n_bootstraps.into()),
+            (
+                "shard",
+                self.shard.map_or(Value::Null, |(i, n)| {
+                    Value::object(vec![("index", i.into()), ("of", n.into())])
+                }),
+            ),
+            ("cells", Value::Array(self.cells.iter().map(CellRecord::to_value).collect())),
+            (
+                "winners",
+                Value::object(vec![
+                    ("points", self.grid.points().into()),
+                    ("decided", decided.into()),
+                    (
+                        "by_scheduler",
+                        Value::Object(
+                            winners.into_iter().map(|(s, n)| (s, n.into())).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "frontier",
+                Value::Array(self.frontier().iter().map(FrontierEdge::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize as pretty JSON (byte-deterministic; member order fixed).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty() + "\n"
+    }
+
+    /// Render the self-contained HTML report: winner map with frontier
+    /// overlay, per-scheduler makespan/utilization heatmaps, and the
+    /// per-cell blame drill-down.
+    pub fn render_html(&self) -> String {
+        let extra_css = "\
+            .hm td{min-width:6.5em}\n\
+            .frontier{outline:3px double #c00;outline-offset:-3px}\n\
+            .q0{background:#eefbee}.q1{background:#dcf5dc}.q2{background:#c8eec8}\n\
+            .q3{background:#bfe6ad}.q4{background:#d9e49a}.q5{background:#ecd98a}\n\
+            .q6{background:#f3c57c}.q7{background:#f5a96b}.q8{background:#f2875e}\n\
+            .q9{background:#ea6553}\n";
+        let mut page = Page::with_style(
+            &format!("granularity atlas: {} seed {:#x}", self.grid.name, self.seed),
+            extra_css,
+        );
+        page.heading(1, &format!("granularity atlas — grid {}, seed {:#x}", self.grid.name, self.seed));
+        let shard = match self.shard {
+            Some((i, n)) => format!(", shard {i}/{n}"),
+            None => String::new(),
+        };
+        page.para(&format!(
+            "{} points x {} schedulers = {} cells ({} run{shard}), \
+             scale {}, {} bootstrap(s); {} cell(s) refused or degenerate, \
+             {} checker violation(s)",
+            self.grid.points(),
+            self.grid.schedulers.len(),
+            self.grid.cells(),
+            self.cells.len(),
+            self.scale,
+            self.n_bootstraps,
+            self.refused(),
+            self.violations(),
+        ));
+
+        self.winner_section(&mut page);
+        self.heatmap_sections(&mut page);
+        self.drilldown_section(&mut page);
+        page.finish()
+    }
+
+    fn winner_section(&self, page: &mut Page) {
+        let frontier = self.frontier();
+        page.heading(2, "winners and crossover frontier");
+        page.table_start(&["scheduler", "points won"]);
+        for (slug, n) in self.winner_counts() {
+            page.table_row(None, &format!("<td>{}</td><td>{n}</td>", esc(&slug)));
+        }
+        page.table_end();
+        page.para(&format!(
+            "{} frontier edge(s): axis-neighbouring points whose best \
+             scheduler differs (<span class=\"frontier\">outlined</span> below)",
+            frontier.len()
+        ));
+
+        let winners = self.winners();
+        let on_frontier = self.frontier_points();
+        for (li, &iters) in self.grid.loop_iters.iter().enumerate() {
+            page.heading(3, &format!("winner map, loop_iters = {iters}"));
+            let headers: Vec<String> = std::iter::once("task mean \\ PPE gap".to_string())
+                .chain(self.grid.ppe_gap_ns.iter().map(|g| format!("{} us", g / 1000)))
+                .collect();
+            page.table_start(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+            for (ti, &tm) in self.grid.task_mean_ns.iter().enumerate() {
+                let mut row = format!("<td>{} us</td>", tm / 1000);
+                for gi in 0..self.grid.ppe_gap_ns.len() {
+                    let pi = self.grid.point_index(ti, gi, li);
+                    let cell = match winners[pi] {
+                        Some(w) => esc(w),
+                        None => "<span class=\"na\">n/a</span>".to_string(),
+                    };
+                    let class = if on_frontier[pi] { " class=\"frontier\"" } else { "" };
+                    let _ = write!(row, "<td{class}>{cell}</td>");
+                }
+                page.table_row(None, &row);
+            }
+            page.table_end();
+        }
+        if !frontier.is_empty() {
+            page.table_start(&["axis", "from", "to", "winner flips"]);
+            for e in &frontier {
+                page.table_row(
+                    None,
+                    &format!(
+                        "<td>{}</td><td>{}</td><td>{}</td><td>{} -&gt; {}</td>",
+                        e.axis,
+                        point_label(e.a),
+                        point_label(e.b),
+                        esc(&e.winner_a),
+                        esc(&e.winner_b)
+                    ),
+                );
+            }
+            page.table_end();
+        }
+    }
+
+    /// Global makespan range over renderable cells, for the heat ramp.
+    fn makespan_range(&self) -> Option<(u64, u64)> {
+        let mut range: Option<(u64, u64)> = None;
+        for c in &self.cells {
+            if c.degenerate() {
+                continue;
+            }
+            let ms = c.metrics.as_ref().expect("non-degenerate").makespan_ns;
+            range = Some(match range {
+                None => (ms, ms),
+                Some((lo, hi)) => (lo.min(ms), hi.max(ms)),
+            });
+        }
+        range
+    }
+
+    fn heatmap_sections(&self, page: &mut Page) {
+        let Some((lo, hi)) = self.makespan_range() else {
+            page.para("<span class=\"na\">no renderable cells — heatmaps omitted</span>");
+            return;
+        };
+        page.heading(2, "per-scheduler heatmaps");
+        page.para(
+            "color = makespan on the shared green-to-red ramp (green is \
+             fastest anywhere in the atlas); each cell shows makespan and \
+             mean SPE utilization",
+        );
+        for slug in &self.grid.schedulers {
+            for (li, &iters) in self.grid.loop_iters.iter().enumerate() {
+                page.heading(3, &format!("{slug}, loop_iters = {iters}"));
+                let headers: Vec<String> = std::iter::once("task mean \\ PPE gap".to_string())
+                    .chain(self.grid.ppe_gap_ns.iter().map(|g| format!("{} us", g / 1000)))
+                    .collect();
+                page.raw("<table class=\"hm\"><tr>");
+                for h in &headers {
+                    page.raw(&format!("<th>{}</th>", esc(h)));
+                }
+                page.raw("</tr>\n");
+                for (ti, &tm) in self.grid.task_mean_ns.iter().enumerate() {
+                    let mut row = format!("<td>{} us</td>", tm / 1000);
+                    for (gi, _) in self.grid.ppe_gap_ns.iter().enumerate() {
+                        let point = self.point_coords(ti, gi, li);
+                        match self.cell(point, slug).filter(|c| !c.degenerate()) {
+                            Some(c) => {
+                                let m = c.metrics.as_ref().expect("non-degenerate");
+                                let q = heat_bucket(m.makespan_ns, lo, hi);
+                                let util = match m.mean_utilization {
+                                    Some(u) => format!("{:.0}%", u * 100.0),
+                                    None => "n/a".to_string(),
+                                };
+                                let _ = write!(
+                                    row,
+                                    "<td class=\"q{q}\">{:.2} ms<br>{util}</td>",
+                                    m.makespan_ns as f64 / 1e6
+                                );
+                            }
+                            None => row.push_str("<td class=\"na\">n/a</td>"),
+                        }
+                    }
+                    page.table_row(None, &row);
+                }
+                page.table_end();
+            }
+        }
+    }
+
+    fn drilldown_section(&self, page: &mut Page) {
+        page.heading(2, "per-cell blame drill-down");
+        page.para(
+            "every executed cell with its exact critical-path blame \
+             partition (the five phase columns sum to the makespan) and \
+             its granularity-verdict / MGPS decision inputs; refused and \
+             degenerate cells carry no numbers",
+        );
+        let mut headers = vec![
+            "task mean", "PPE gap", "loop iters", "scheduler", "makespan ms", "util %", "ctx",
+            "tasks",
+        ];
+        headers.extend(Phase::ALL.iter().map(|p| p.name()));
+        headers.extend(["verdicts t/o/r", "MGPS U / fill", "violations"]);
+        page.table_start(&headers);
+        for c in &self.cells {
+            let coord = format!(
+                "<td>{} us</td><td>{} us</td><td>{}</td><td>{}</td>",
+                c.point.task_mean_ns / 1000,
+                c.point.ppe_gap_ns / 1000,
+                c.point.loop_iters,
+                esc(&c.scheduler)
+            );
+            match (&c.metrics, c.degenerate()) {
+                (Some(m), false) => {
+                    let mut row = coord;
+                    let util = match m.mean_utilization {
+                        Some(u) => format!("{:.1}", u * 100.0),
+                        None => "<span class=\"na\">n/a</span>".to_string(),
+                    };
+                    let _ = write!(
+                        row,
+                        "<td>{:.3}</td><td>{util}</td><td>{}</td><td>{}</td>",
+                        m.makespan_ns as f64 / 1e6,
+                        m.context_switches,
+                        m.tasks_completed
+                    );
+                    for &p in &Phase::ALL {
+                        let _ = write!(row, "<td>{}</td>", m.blame.get(p));
+                    }
+                    let _ = write!(
+                        row,
+                        "<td>{}/{}/{}</td>",
+                        m.verdicts.throttle, m.verdicts.offload, m.verdicts.reprobe
+                    );
+                    match m.mgps {
+                        Some(g) => {
+                            let fmt = |v: Option<f64>| match v {
+                                Some(v) => format!("{v:.2}"),
+                                None => "n/a".to_string(),
+                            };
+                            let _ = write!(
+                                row,
+                                "<td>{} / {}</td>",
+                                fmt(g.mean_u),
+                                fmt(g.mean_window_fill)
+                            );
+                        }
+                        None => row.push_str("<td class=\"na\">n/a</td>"),
+                    }
+                    let _ = write!(row, "<td>{}</td>", c.violations);
+                    page.table_row(None, &row);
+                }
+                _ => {
+                    let mut row = coord;
+                    // 8 metric columns + 5 phases + verdicts + mgps = n/a.
+                    for _ in 0..11 {
+                        row.push_str("<td class=\"na\">n/a</td>");
+                    }
+                    let _ = write!(row, "<td>{}</td>", c.violations);
+                    page.table_row(Some("na"), &row);
+                }
+            }
+        }
+        page.table_end();
+    }
+}
+
+/// Map `ms` into one of ten heat buckets over `[lo, hi]`.
+fn heat_bucket(ms: u64, lo: u64, hi: u64) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (ms - lo) as f64 / (hi - lo) as f64;
+    ((t * 9.0).round() as usize).min(9)
+}
+
+fn point_label(p: PointCoords) -> String {
+    format!("({} us, {} us, {})", p.task_mean_ns / 1000, p.ppe_gap_ns / 1000, p.loop_iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(makespan_ns: u64, tasks: u64) -> CellMetrics {
+        CellMetrics {
+            makespan_ns,
+            mean_utilization: Some(0.5),
+            context_switches: 10,
+            tasks_completed: tasks,
+            blame: PhaseBlame { t_ppe_ns: makespan_ns, ..PhaseBlame::default() },
+            mgps: None,
+            verdicts: VerdictCounts::default(),
+        }
+    }
+
+    fn cell(tm: u64, gap: u64, iters: usize, sched: &str, m: Option<CellMetrics>) -> CellRecord {
+        CellRecord {
+            point: PointCoords { task_mean_ns: tm, ppe_gap_ns: gap, loop_iters: iters },
+            scheduler: sched.to_string(),
+            seed: 1,
+            violations: 0,
+            metrics: m,
+        }
+    }
+
+    /// A 2-point grid (task_mean axis) where the winner flips from
+    /// `edtlp` to `mgps` — exactly one frontier edge must be detected.
+    fn crossover_atlas() -> Atlas {
+        let grid = GridSpec {
+            name: "test".to_string(),
+            task_mean_ns: vec![10_000, 20_000],
+            ppe_gap_ns: vec![5_000],
+            loop_iters: vec![57],
+            schedulers: vec!["edtlp".to_string(), "mgps".to_string()],
+        };
+        Atlas {
+            grid,
+            seed: 7,
+            scale: 1,
+            n_bootstraps: 1,
+            shard: None,
+            cells: vec![
+                cell(10_000, 5_000, 57, "edtlp", Some(metrics(100, 5))),
+                cell(10_000, 5_000, 57, "mgps", Some(metrics(200, 5))),
+                cell(20_000, 5_000, 57, "edtlp", Some(metrics(300, 5))),
+                cell(20_000, 5_000, 57, "mgps", Some(metrics(250, 5))),
+            ],
+        }
+    }
+
+    #[test]
+    fn frontier_detects_known_crossover() {
+        let atlas = crossover_atlas();
+        assert_eq!(atlas.winners(), vec![Some("edtlp"), Some("mgps")]);
+        let frontier = atlas.frontier();
+        assert_eq!(frontier.len(), 1);
+        let e = &frontier[0];
+        assert_eq!(e.axis, "task_mean");
+        assert_eq!(e.a.task_mean_ns, 10_000);
+        assert_eq!(e.b.task_mean_ns, 20_000);
+        assert_eq!((e.winner_a.as_str(), e.winner_b.as_str()), ("edtlp", "mgps"));
+        let counts = atlas.winner_counts();
+        assert_eq!(counts, vec![("edtlp".to_string(), 1), ("mgps".to_string(), 1)]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduler_axis_order() {
+        let mut atlas = crossover_atlas();
+        for c in &mut atlas.cells {
+            c.metrics = Some(metrics(100, 5));
+        }
+        assert_eq!(atlas.winners(), vec![Some("edtlp"); 2]);
+        assert!(atlas.frontier().is_empty());
+    }
+
+    #[test]
+    fn refused_and_degenerate_cells_render_as_na_not_nan() {
+        let grid = GridSpec {
+            name: "test".to_string(),
+            task_mean_ns: vec![10_000],
+            ppe_gap_ns: vec![5_000],
+            loop_iters: vec![57],
+            schedulers: vec!["edtlp".to_string(), "mgps".to_string(), "linux".to_string()],
+        };
+        let mut refused = cell(10_000, 5_000, 57, "edtlp", None);
+        refused.violations = 2;
+        // Zero-makespan run: utilization is undefined, never NaN.
+        let degenerate = cell(10_000, 5_000, 57, "mgps", Some(CellMetrics {
+            mean_utilization: None,
+            ..metrics(0, 0)
+        }));
+        let ok = cell(10_000, 5_000, 57, "linux", Some(metrics(500, 3)));
+        let atlas = Atlas {
+            grid,
+            seed: 7,
+            scale: 1,
+            n_bootstraps: 1,
+            shard: None,
+            cells: vec![refused, degenerate, ok],
+        };
+
+        assert_eq!(atlas.violations(), 2);
+        assert_eq!(atlas.refused(), 2);
+        // The only renderable cell wins its point.
+        assert_eq!(atlas.winners(), vec![Some("linux")]);
+
+        let doc = minijson::parse(&atlas.to_json()).expect("atlas JSON parses");
+        let cells = doc.get("cells").and_then(Value::as_array).expect("cells array");
+        assert_eq!(cells.len(), 3);
+        for c in &cells[..2] {
+            assert_eq!(c.get("degenerate").and_then(Value::as_bool), Some(true));
+            assert_eq!(c.get("makespan_ns"), Some(&Value::Null));
+            assert_eq!(c.get("mean_utilization"), Some(&Value::Null));
+            assert_eq!(c.get("blame"), Some(&Value::Null));
+        }
+        assert_eq!(cells[2].get("degenerate").and_then(Value::as_bool), Some(false));
+        assert_eq!(cells[2].get("makespan_ns").and_then(Value::as_u64), Some(500));
+
+        let html = atlas.render_html();
+        assert!(html.contains("n/a"), "degenerate cells must render n/a");
+        assert!(!html.contains("NaN"), "no NaN may reach the report");
+        for needle in ["http://", "https://", "<script", "src="] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
+    }
+
+    #[test]
+    fn schema_and_shard_round_trip() {
+        let mut atlas = crossover_atlas();
+        atlas.shard = Some((1, 4));
+        let doc = minijson::parse(&atlas.to_json()).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some(ATLAS_SCHEMA));
+        let shard = doc.get("shard").expect("shard present");
+        assert_eq!(shard.get("index").and_then(Value::as_u64), Some(1));
+        assert_eq!(shard.get("of").and_then(Value::as_u64), Some(4));
+        let frontier = doc.get("frontier").and_then(Value::as_array).expect("frontier");
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].get("axis").and_then(Value::as_str), Some("task_mean"));
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        let atlas = crossover_atlas();
+        assert_eq!(atlas.to_json(), atlas.to_json());
+        assert_eq!(atlas.render_html(), atlas.render_html());
+    }
+
+    #[test]
+    fn grid_presets_and_indexing() {
+        let mini = GridSpec::preset("mini").expect("mini exists");
+        assert_eq!((mini.points(), mini.cells()), (8, 40));
+        let default = GridSpec::preset("default").expect("default exists");
+        assert_eq!(default.cells(), 60);
+        assert!(GridSpec::preset("nope").is_none());
+        // Scheduler-minor enumeration: consecutive indices share a point.
+        assert_eq!(mini.cell_index(0, 0, 0, 0), 0);
+        assert_eq!(mini.cell_index(0, 0, 0, 4), 4);
+        assert_eq!(mini.cell_index(0, 0, 1, 0), 5);
+        assert_eq!(mini.cell_index(1, 1, 1, 4), mini.cells() - 1);
+    }
+}

@@ -8,8 +8,9 @@
 //!   plus, on faulted runs, `quarantined` bench spans and `fault: <kind>`
 //!   instants (distinguishable from occupancy by name),
 //! * one `MGPS` thread (`tid = n_spes`) carrying decision instants, an
-//!   `llp_degree` counter track, `ppe fallback` instants, and
-//!   `retry task …` instants,
+//!   `llp_degree` counter track, `ppe fallback` instants,
+//!   `retry task …` instants, and `granularity: <kernel> -> …` verdict
+//!   instants,
 //! * one DMA thread per SPE (`tid = n_spes + 1 + spe`) carrying transfer
 //!   spans,
 //! * `chunk [a, b)` instants on the worker SPE's thread, and one
@@ -163,6 +164,31 @@ pub fn chrome_trace(log: &RunLog) -> String {
                     ),
                 ]));
             }
+            cellsim::event::EventKind::GranularityVerdict { kernel, offload, reprobe, .. } => {
+                let ruling = if *reprobe {
+                    "reprobe"
+                } else if *offload {
+                    "offload"
+                } else {
+                    "ppe"
+                };
+                events.push(Value::object(vec![
+                    ("name", format!("granularity: {kernel} -> {ruling}").into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("pid", 0u64.into()),
+                    ("tid", mgps_tid.into()),
+                    ("ts", e.at_ns.into()),
+                    (
+                        "args",
+                        Value::object(vec![
+                            ("kernel", kernel.as_str().into()),
+                            ("offload", Value::Bool(*offload)),
+                            ("reprobe", Value::Bool(*reprobe)),
+                        ]),
+                    ),
+                ]));
+            }
             cellsim::event::EventKind::OffloadRetry { task, attempt, backoff_ns } => {
                 events.push(Value::object(vec![
                     ("name", format!("retry task {task} (attempt {attempt})").into()),
@@ -305,6 +331,55 @@ mod tests {
         let tl = Timeline::from_log(&log);
         assert_eq!(busy_from_trace(&json, log.n_spes), tl.busy_ns());
         assert_eq!(tl.busy_ns(), vec![100, 100]);
+    }
+
+    #[test]
+    fn granularity_verdicts_export_as_mgps_instants() {
+        let mut log = small_log();
+        let base = log.events.len() as u64;
+        for (i, (at_ns, kind)) in [
+            (
+                30,
+                EventKind::GranularityVerdict {
+                    kernel: "makenewz".into(),
+                    offload: false,
+                    throttled: true,
+                    reprobe: false,
+                },
+            ),
+            (
+                60,
+                EventKind::GranularityVerdict {
+                    kernel: "makenewz".into(),
+                    offload: true,
+                    throttled: true,
+                    reprobe: true,
+                },
+            ),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            log.events.push(EventRecord { seq: base + i as u64, at_ns, kind });
+        }
+        let json = chrome_trace(&log);
+        let v = minijson::parse(&json).expect("trace parses");
+        assert!(json.contains("\"granularity: makenewz -> ppe\""));
+        assert!(json.contains("\"granularity: makenewz -> reprobe\""));
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let verdict = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Value::as_str) == Some("granularity: makenewz -> ppe")
+            })
+            .expect("verdict instant present");
+        // Rendered on the MGPS thread, not an SPE track.
+        assert_eq!(verdict.get("tid").and_then(Value::as_u64), Some(log.n_spes as u64));
+        assert_eq!(verdict.get("ts").and_then(Value::as_u64), Some(30));
+        assert_eq!(
+            verdict.get("args").and_then(|a| a.get("offload")).and_then(Value::as_bool),
+            Some(false)
+        );
     }
 
     #[test]

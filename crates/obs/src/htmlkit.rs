@@ -1,0 +1,155 @@
+//! Shared scaffolding for self-contained HTML reports.
+//!
+//! Every HTML artifact in the workspace — the profiling report
+//! ([`crate::report::html_report`]), the granularity atlas
+//! ([`crate::atlas`]), and the experiment bundle — renders through
+//! [`Page`], so they agree on the document skeleton, the table styling,
+//! and the self-containment contract: **no external references** (no
+//! scripts, no stylesheets, no images fetched over the network) and
+//! byte-deterministic output for identical inputs.
+
+use std::fmt::Write as _;
+
+/// The stylesheet every page embeds. Kept deliberately small: body copy,
+/// right-aligned numeric tables with left-aligned label columns, a `dom`
+/// highlight class for dominant rows, an `na` class for absent values,
+/// and a `legend` class for inline color keys.
+const STYLE: &str = "body{font:14px sans-serif;margin:2em;max-width:70em}\n\
+                     table{border-collapse:collapse;margin:1em 0}\n\
+                     td,th{border:1px solid #999;padding:.3em .7em;text-align:right}\n\
+                     th{background:#eee}\n\
+                     td:first-child,th:first-child{text-align:left}\n\
+                     .dom{font-weight:bold;background:#fdd}\n\
+                     .na{color:#999}\n\
+                     .legend span{padding:0 .6em;margin-right:.5em}\n";
+
+/// Escape `s` for embedding in HTML text or attribute content.
+pub fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// An HTML document under construction. [`Page::new`] writes the head;
+/// [`Page::finish`] closes the body and returns the bytes.
+#[derive(Debug)]
+pub struct Page {
+    html: String,
+}
+
+impl Page {
+    /// Start a page titled `title` (escaped) with the shared stylesheet.
+    pub fn new(title: &str) -> Page {
+        Page::with_style(title, "")
+    }
+
+    /// Start a page with `extra_css` appended to the shared stylesheet
+    /// (for page-specific classes like heatmap cells).
+    pub fn with_style(title: &str, extra_css: &str) -> Page {
+        let mut html = String::new();
+        let _ = write!(
+            html,
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+             <title>{}</title>\n<style>\n{STYLE}{extra_css}</style></head><body>\n",
+            esc(title),
+        );
+        Page { html }
+    }
+
+    /// Append a raw, already-escaped HTML fragment.
+    pub fn raw(&mut self, fragment: &str) {
+        self.html.push_str(fragment);
+    }
+
+    /// Append an `<h1>`/`<h2>`/... heading with escaped text.
+    pub fn heading(&mut self, level: u8, text: &str) {
+        let _ = writeln!(self.html, "<h{level}>{}</h{level}>", esc(text));
+    }
+
+    /// Append a paragraph of **raw** HTML (callers escape their own data;
+    /// this keeps inline `<b>`/`<span>` markup possible).
+    pub fn para(&mut self, inner_html: &str) {
+        let _ = writeln!(self.html, "<p>{inner_html}</p>");
+    }
+
+    /// Open a table with escaped header cells.
+    pub fn table_start(&mut self, headers: &[&str]) {
+        self.html.push_str("<table><tr>");
+        for h in headers {
+            let _ = write!(self.html, "<th>{}</th>", esc(h));
+        }
+        self.html.push_str("</tr>\n");
+    }
+
+    /// Append one table row of **raw** `<td>...` cell HTML, optionally
+    /// with a class on the `<tr>`.
+    pub fn table_row(&mut self, class: Option<&str>, cells_html: &str) {
+        match class {
+            Some(c) => {
+                let _ = writeln!(self.html, "<tr class=\"{c}\">{cells_html}</tr>");
+            }
+            None => {
+                let _ = writeln!(self.html, "<tr>{cells_html}</tr>");
+            }
+        }
+    }
+
+    /// Close the table opened by [`Page::table_start`].
+    pub fn table_end(&mut self) {
+        self.html.push_str("</table>\n");
+    }
+
+    /// Close the document and return the complete HTML.
+    pub fn finish(mut self) -> String {
+        self.html.push_str("</body></html>\n");
+        self.html
+    }
+}
+
+/// Render an `Option` value as a cell string, with `None` as "n/a" — the
+/// shared convention for unobservable counters and degenerate sweep
+/// cells (absent, never a NaN or a falsely confident 0).
+pub fn na_cell<T: std::fmt::Display>(v: Option<T>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_skeleton_is_self_contained_and_escaped() {
+        let mut p = Page::new("a <b> & c");
+        p.heading(2, "x<y");
+        p.table_start(&["k", "v"]);
+        p.table_row(None, "<td>one</td><td>1</td>");
+        p.table_row(Some("dom"), "<td>two</td><td>2</td>");
+        p.table_end();
+        let html = p.finish();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</body></html>\n"));
+        assert!(html.contains("<title>a &lt;b&gt; &amp; c</title>"));
+        assert!(html.contains("<h2>x&lt;y</h2>"));
+        assert!(html.contains("<tr class=\"dom\"><td>two</td><td>2</td></tr>"));
+        for needle in ["http://", "https://", "<script", "src="] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
+    }
+
+    #[test]
+    fn na_cell_renders_absence_explicitly() {
+        assert_eq!(na_cell(Some(7u64)), "7");
+        assert_eq!(na_cell::<u64>(None), "n/a");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut p = Page::with_style("t", ".hm{width:1em}\n");
+            p.para("same <b>bytes</b>");
+            p.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -14,6 +14,9 @@
 //! * **counters and histograms** in the schema shared with the native
 //!   runtime ([`mgps_runtime::metrics`]), so simulated and native runs are
 //!   inspected with the same vocabulary ([`summary::ObsSummary`]),
+//! * the **granularity atlas** ([`atlas::Atlas`]): seeded sweeps over
+//!   (task size × arrival rate × loop width × scheduler) with makespan
+//!   surfaces, crossover frontiers, and blame-annotated reports,
 //!
 //! and exports two sinks: a Chrome trace-event JSON document
 //! ([`chrome::chrome_trace`], loadable in `chrome://tracing` / Perfetto)
@@ -26,9 +29,11 @@
 
 #![warn(missing_docs)]
 
+pub mod atlas;
 pub mod chrome;
 pub mod critpath;
 pub mod decisions;
+pub mod htmlkit;
 pub mod live;
 pub mod native;
 pub mod phases;
@@ -36,9 +41,14 @@ pub mod report;
 pub mod summary;
 pub mod timeline;
 
+pub use atlas::{
+    Atlas, CellMetrics, CellRecord, FrontierEdge, GridSpec, MgpsInputs, PointCoords,
+    VerdictCounts, ATLAS_SCHEMA,
+};
 pub use chrome::chrome_trace;
 pub use critpath::{what_if, CritStep, CriticalPath, Phase, PhaseBlame, WhatIf, WhatIfOutcome};
 pub use decisions::{decisions, DecisionRecord};
+pub use htmlkit::Page;
 pub use live::{
     health_json, merge_health_events, parse_prometheus, prometheus_text, replay_health,
     validate_families, AlarmKind, HealthConfig, HealthDetector, HealthEvent, LiveDecision,
@@ -48,4 +58,4 @@ pub use native::{runlog_from_trace, NativeRunMeta};
 pub use phases::{OffloadPhases, PhaseBreakdown, PhaseTotals};
 pub use report::{folded_stacks, html_report};
 pub use summary::{ObsSummary, RunSource};
-pub use timeline::{DmaSpan, TaskSpan, Timeline};
+pub use timeline::{DmaSpan, TaskSpan, Timeline, VerdictMark};

@@ -7,9 +7,9 @@
 //! drained MGPS decisions. Three layers:
 //!
 //! * [`LiveStatus`] + [`prometheus_text`] — one scrape's worth of state
-//!   rendered in the Prometheus text exposition format (all 14 counters,
+//!   rendered in the Prometheus text exposition format (every counter,
 //!   the 4 histograms as cumulative log2 buckets, per-SPE busy gauges, the
-//!   LLP degree in force, active alarms);
+//!   LLP degree in force, per-kernel throttle gauges, active alarms);
 //! * [`parse_prometheus`] + [`validate_families`] — a minimal parser for
 //!   the same format, used by `multigrain top` and by the CI smoke test to
 //!   assert that the exporter's families actually parse;
@@ -33,6 +33,7 @@ use cellsim::event::{EventKind, EventRecord, RunLog};
 use mgps_runtime::metrics::{
     Counter, HistKind, MetricsSnapshot, SnapshotDelta, HIST_BUCKETS,
 };
+use mgps_runtime::policy::KernelKind;
 use minijson::Value;
 
 /// Exported metric-name prefix.
@@ -396,6 +397,9 @@ pub struct LiveStatus {
     pub gate_contention_ns: u64,
     /// Cumulative trace-ring drops.
     pub dropped_events: u64,
+    /// Kernel slugs the granularity controller currently keeps on the PPE
+    /// ([`KernelKind::name`] vocabulary; unknown slugs render nothing).
+    pub throttled_kernels: Vec<String>,
     /// Alarms currently latched by the health detector.
     pub active_alarms: Vec<AlarmKind>,
 }
@@ -449,6 +453,12 @@ pub fn prometheus_text(status: &LiveStatus) -> String {
     ] {
         let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
         let _ = writeln!(out, "{PREFIX}_{name} {value}");
+    }
+
+    let _ = writeln!(out, "# TYPE {PREFIX}_kernel_throttled gauge");
+    for k in KernelKind::ALL {
+        let throttled = u8::from(status.throttled_kernels.iter().any(|s| s == k.name()));
+        let _ = writeln!(out, "{PREFIX}_kernel_throttled{{kernel=\"{}\"}} {throttled}", k.name());
     }
 
     let _ = writeln!(out, "# TYPE {PREFIX}_alarm_active gauge");
@@ -636,6 +646,7 @@ mod tests {
             pending_offloads: 1,
             gate_contention_ns: 42,
             dropped_events: 0,
+            throttled_kernels: vec!["makenewz".into()],
             active_alarms: vec![AlarmKind::StallSpike],
         }
     }
@@ -655,8 +666,9 @@ mod tests {
         let families = parse_prometheus(&text).expect("exporter output must parse");
         validate_families(&families).expect("families must validate");
 
-        // 19 counters + 4 histograms + spe_busy + 7 scalar gauges + alarms.
-        assert_eq!(families.len(), 19 + 4 + 1 + 7 + 1);
+        // Every counter + 4 histograms + spe_busy + 7 scalar gauges +
+        // kernel throttles + alarms.
+        assert_eq!(families.len(), Counter::ALL.len() + 4 + 1 + 7 + 1 + 1);
         let offloads = families.iter().find(|f| f.name == "multigrain_offloads_total").unwrap();
         assert_eq!(offloads.kind, "counter");
         assert_eq!(offloads.samples[0].value, 7.0);
@@ -673,6 +685,18 @@ mod tests {
         assert_eq!(busy.samples[0].label("spe"), Some("0"));
         assert_eq!(busy.samples[0].value, 1.0);
         assert_eq!(busy.samples[1].value, 0.0);
+
+        let throttled =
+            families.iter().find(|f| f.name == "multigrain_kernel_throttled").unwrap();
+        assert_eq!(throttled.samples.len(), 3, "one sample per kernel kind");
+        let mk = throttled
+            .samples
+            .iter()
+            .find(|s| s.label("kernel") == Some("makenewz"))
+            .unwrap();
+        assert_eq!(mk.value, 1.0);
+        let nv = throttled.samples.iter().find(|s| s.label("kernel") == Some("newview")).unwrap();
+        assert_eq!(nv.value, 0.0);
 
         let alarms = families.iter().find(|f| f.name == "multigrain_alarm_active").unwrap();
         let spike = alarms.samples.iter().find(|s| s.label("alarm") == Some("stall_spike")).unwrap();

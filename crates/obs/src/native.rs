@@ -43,28 +43,31 @@ pub struct NativeRunMeta {
 
 fn kind_rank(kind: &TraceEventKind) -> u8 {
     match kind {
-        TraceEventKind::Offload { .. } => 0,
+        // The controller rules on where a kernel runs *before* any
+        // same-instant off-load request it grants.
+        TraceEventKind::GranularityVerdict { .. } => 0,
+        TraceEventKind::Offload { .. } => 1,
         // A fault precedes the quarantine it causes, which precedes the
         // retry it forces; all precede any same-instant grant.
-        TraceEventKind::FaultInjected { .. } => 1,
-        TraceEventKind::SpeQuarantined { .. } | TraceEventKind::SpeReadmitted { .. } => 2,
-        TraceEventKind::OffloadRetry { .. } => 3,
+        TraceEventKind::FaultInjected { .. } => 2,
+        TraceEventKind::SpeQuarantined { .. } | TraceEventKind::SpeReadmitted { .. } => 3,
+        TraceEventKind::OffloadRetry { .. } => 4,
         // The start signal (inbound mailbox post + drain) precedes the
         // task it starts; a write precedes its same-instant read.
-        TraceEventKind::MailboxWrite { .. } => 4,
-        TraceEventKind::MailboxRead { .. } => 5,
-        TraceEventKind::TaskStart { .. } => 6,
+        TraceEventKind::MailboxWrite { .. } => 5,
+        TraceEventKind::MailboxRead { .. } => 6,
+        TraceEventKind::TaskStart { .. } => 7,
         TraceEventKind::CodeReload { .. }
         | TraceEventKind::Dma { .. }
         | TraceEventKind::DmaComplete { .. }
-        | TraceEventKind::LsAlloc { .. } => 7,
-        TraceEventKind::Chunk { .. } => 8,
+        | TraceEventKind::LsAlloc { .. } => 8,
+        TraceEventKind::Chunk { .. } => 9,
         // Scratch is released at task teardown: after the chunks, before
         // (or with) the task end.
-        TraceEventKind::LsFree { .. } => 9,
-        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 10,
-        TraceEventKind::CtxSwitch { .. } => 11,
-        TraceEventKind::DegreeDecision { .. } => 12,
+        TraceEventKind::LsFree { .. } => 10,
+        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 11,
+        TraceEventKind::CtxSwitch { .. } => 12,
+        TraceEventKind::DegreeDecision { .. } => 13,
     }
 }
 
@@ -125,6 +128,9 @@ fn to_event_kind(kind: &TraceEventKind) -> EventKind {
         }
         TraceEventKind::LsAlloc { spe, bytes, in_use } => EventKind::LsAlloc { spe, bytes, in_use },
         TraceEventKind::LsFree { spe, bytes, in_use } => EventKind::LsFree { spe, bytes, in_use },
+        TraceEventKind::GranularityVerdict { kernel, offload, throttled, reprobe } => {
+            EventKind::GranularityVerdict { kernel, offload, throttled, reprobe }
+        }
     }
 }
 

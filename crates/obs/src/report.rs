@@ -22,6 +22,7 @@ use cellsim::event::RunLog;
 use mgps_runtime::Counter;
 
 use crate::critpath::{what_if, CriticalPath, Phase, WhatIf};
+use crate::htmlkit::{esc, Page};
 use crate::phases::PhaseBreakdown;
 use crate::summary::{ObsSummary, RunSource};
 use crate::timeline::Timeline;
@@ -58,10 +59,6 @@ pub fn folded_stacks(log: &RunLog) -> String {
 const PROC_COLORS: [&str; 6] =
     ["#4e79a7", "#59a14f", "#9c755f", "#b07aa1", "#76b7b2", "#edc948"];
 
-fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
-}
-
 /// Render `log` as a self-contained HTML profiling report. `source`
 /// declares the log's provenance so unobservable counters say "n/a".
 pub fn html_report(log: &RunLog, source: RunSource) -> String {
@@ -70,29 +67,21 @@ pub fn html_report(log: &RunLog, source: RunSource) -> String {
     let summary = ObsSummary::from_log_with_source(log, source);
     let on_path: HashSet<u64> = cp.steps.iter().map(|s| s.task).collect();
 
-    let mut html = String::new();
-    let _ = write!(
-        html,
-        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
-         <title>multigrain profile: {sched} seed {seed}</title>\n\
-         <style>\n\
-         body{{font:14px sans-serif;margin:2em;max-width:70em}}\n\
-         table{{border-collapse:collapse;margin:1em 0}}\n\
-         td,th{{border:1px solid #999;padding:.3em .7em;text-align:right}}\n\
-         th{{background:#eee}}\n\
-         td:first-child,th:first-child{{text-align:left}}\n\
-         .dom{{font-weight:bold;background:#fdd}}\n\
-         .legend span{{padding:0 .6em;margin-right:.5em}}\n\
-         </style></head><body>\n\
-         <h1>multigrain profile</h1>\n\
-         <p>scheduler <b>{sched}</b> · seed {seed} · {n} SPEs · makespan \
-         <b>{mk}</b> ns · {tasks} tasks</p>\n",
+    let mut page = Page::new(&format!(
+        "multigrain profile: {} seed {}",
+        log.scheduler, log.seed
+    ));
+    page.heading(1, "multigrain profile");
+    page.para(&format!(
+        "scheduler <b>{sched}</b> · seed {seed} · {n} SPEs · makespan \
+         <b>{mk}</b> ns · {tasks} tasks",
         sched = esc(&log.scheduler.to_string()),
         seed = log.seed,
         n = log.n_spes,
         mk = cp.makespan_ns,
         tasks = summary.metrics.get(Counter::TasksCompleted),
-    );
+    ));
+    let mut html = String::new();
 
     // Per-SPE tracks. Critical-path occupancy gets a red outline; other
     // spans are filled by owning process.
@@ -102,13 +91,12 @@ pub fn html_report(log: &RunLog, source: RunSource) -> String {
     let span_ns = tl.makespan_ns.max(1) as f64;
     let scale = (width - label_w) / span_ns;
     let height = row * tl.n_spes + 4;
-    let _ = write!(
-        html,
-        "<h2>Per-SPE tracks</h2>\n\
-         <p class=\"legend\">fill = owning process · \
-         <span style=\"outline:2px solid #d62728\">red outline</span> = on the critical path</p>\n\
-         <svg width=\"{width}\" height=\"{height}\" role=\"img\">\n"
+    page.heading(2, "Per-SPE tracks");
+    page.raw(
+        "<p class=\"legend\">fill = owning process · \
+         <span style=\"outline:2px solid #d62728\">red outline</span> = on the critical path</p>\n",
     );
+    let _ = writeln!(html, "<svg width=\"{width}\" height=\"{height}\" role=\"img\">");
     for spe in 0..tl.n_spes {
         let y = spe * row;
         let _ = write!(
@@ -143,26 +131,26 @@ pub fn html_report(log: &RunLog, source: RunSource) -> String {
         );
     }
     html.push_str("</svg>\n");
+    page.raw(&html);
 
     // Critical-path blame: which granularity term bounds the makespan.
     let dominant = cp.dominant();
-    let _ = write!(
-        html,
-        "<h2>Critical-path blame</h2>\n\
-         <p>{steps} tasks on the path; every nanosecond of the makespan \
+    page.heading(2, "Critical-path blame");
+    page.para(&format!(
+        "{steps} tasks on the path; every nanosecond of the makespan \
          blamed on one phase (the rows sum to the makespan exactly). \
-         Bound by <b>{dom}</b>.</p>\n\
-         <table><tr><th>phase</th><th>ns</th><th>% of makespan</th></tr>\n",
+         Bound by <b>{dom}</b>.",
         steps = cp.steps.len(),
         dom = dominant.name(),
-    );
+    ));
+    page.table_start(&["phase", "ns", "% of makespan"]);
     for &p in &Phase::ALL {
         let ns = cp.blame.get(p);
         let pct = if cp.makespan_ns == 0 { 0.0 } else { 100.0 * ns as f64 / cp.makespan_ns as f64 };
-        let class = if p == dominant { " class=\"dom\"" } else { "" };
-        let _ = writeln!(html, "<tr{class}><td>{}</td><td>{ns}</td><td>{pct:.1}</td></tr>", p.name());
+        let class = if p == dominant { Some("dom") } else { None };
+        page.table_row(class, &format!("<td>{}</td><td>{ns}</td><td>{pct:.1}</td>", p.name()));
     }
-    html.push_str("</table>\n");
+    page.table_end();
 
     // What-if replay for the canonical knobs.
     let scenarios: [(&str, WhatIf); 3] = [
@@ -170,54 +158,52 @@ pub fn html_report(log: &RunLog, source: RunSource) -> String {
         ("2\u{d7} DMA bandwidth", WhatIf { dma_scale: 0.5, ..WhatIf::default() }),
         ("LLP degree 4", WhatIf { degree_override: Some(4), ..WhatIf::default() }),
     ];
-    html.push_str(
-        "<h2>What-if</h2>\n<table><tr><th>scenario</th>\
-         <th>predicted makespan (ns)</th><th>speedup</th></tr>\n",
-    );
+    page.heading(2, "What-if");
+    page.table_start(&["scenario", "predicted makespan (ns)", "speedup"]);
     for (name, knobs) in scenarios {
         let out = what_if(log, knobs);
-        let _ = writeln!(
-            html,
-            "<tr><td>{name}</td><td>{}</td><td>{:.2}\u{d7}</td></tr>",
-            out.predicted_makespan_ns, out.speedup
+        page.table_row(
+            None,
+            &format!(
+                "<td>{name}</td><td>{}</td><td>{:.2}\u{d7}</td>",
+                out.predicted_makespan_ns, out.speedup
+            ),
         );
     }
-    html.push_str("</table>\n");
+    page.table_end();
 
     // Counters, with unobservable ones honestly absent.
-    html.push_str("<h2>Counters</h2>\n<table><tr><th>counter</th><th>value</th></tr>\n");
+    page.heading(2, "Counters");
+    page.table_start(&["counter", "value"]);
     for &c in &Counter::ALL {
-        let rendered = match summary.counter(c) {
-            Some(v) => v.to_string(),
-            None => "n/a".to_string(),
-        };
-        let _ = writeln!(html, "<tr><td>{}</td><td>{rendered}</td></tr>", c.name());
+        let rendered = crate::htmlkit::na_cell(summary.counter(c));
+        page.table_row(None, &format!("<td>{}</td><td>{rendered}</td>", c.name()));
     }
-    html.push_str("</table>\n");
+    page.table_end();
 
     // Health alarms the online detector raised while the run was live
     // (absent entirely for runs that stayed healthy).
     if !summary.health.is_empty() {
-        let _ = write!(
-            html,
-            "<h2>Health alarms</h2>\n\
-             <p>{n} alarm(s) raised by the live telemetry detector.</p>\n\
-             <table><tr><th>alarm</th><th>severity</th><th>detail</th></tr>\n",
+        page.heading(2, "Health alarms");
+        page.para(&format!(
+            "{n} alarm(s) raised by the live telemetry detector.",
             n = summary.health.len(),
-        );
+        ));
+        page.table_start(&["alarm", "severity", "detail"]);
         for (alarm, severity, detail) in &summary.health {
-            let _ = writeln!(
-                html,
-                "<tr><td>{}</td><td>{}</td><td style=\"text-align:left\">{}</td></tr>",
-                esc(alarm),
-                esc(severity),
-                esc(detail)
+            page.table_row(
+                None,
+                &format!(
+                    "<td>{}</td><td>{}</td><td style=\"text-align:left\">{}</td>",
+                    esc(alarm),
+                    esc(severity),
+                    esc(detail)
+                ),
             );
         }
-        html.push_str("</table>\n");
+        page.table_end();
     }
-    html.push_str("</body></html>\n");
-    html
+    page.finish()
 }
 
 #[cfg(test)]

@@ -130,6 +130,13 @@ impl ObsSummary {
                 EventKind::Health { alarm, severity, detail } => {
                     health.push((alarm.clone(), severity.clone(), detail.clone()));
                 }
+                EventKind::GranularityVerdict { offload, reprobe, .. } => {
+                    if !offload {
+                        m.bump(Counter::KernelThrottles, 1);
+                    } else if *reprobe {
+                        m.bump(Counter::KernelReprobes, 1);
+                    }
+                }
                 _ => {}
             }
         }
@@ -367,6 +374,31 @@ mod tests {
         assert_eq!(s.makespan_ns, 120);
         assert_eq!(s.decisions.len(), 1);
         assert_eq!(s.decisions[0].u, 1);
+    }
+
+    #[test]
+    fn granularity_verdicts_fold_into_throttle_counters() {
+        let mut log = small_log();
+        let base = log.events.len() as u64;
+        for (i, (offload, reprobe)) in
+            [(false, false), (false, false), (true, true), (true, false)].into_iter().enumerate()
+        {
+            log.events.push(EventRecord {
+                seq: base + i as u64,
+                at_ns: 300 + i as u64,
+                kind: EventKind::GranularityVerdict {
+                    kernel: "newview".into(),
+                    offload,
+                    throttled: !offload,
+                    reprobe,
+                },
+            });
+        }
+        let s = ObsSummary::from_log(&log);
+        assert_eq!(s.metrics.get(Counter::KernelThrottles), 2);
+        assert_eq!(s.metrics.get(Counter::KernelReprobes), 1);
+        // A plain granted off-load bumps neither counter.
+        assert_eq!(s.counter(Counter::KernelThrottles), Some(2), "observable in sim");
     }
 
     #[test]

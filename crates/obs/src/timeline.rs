@@ -48,6 +48,19 @@ pub struct QuarantineSpan {
     pub end_ns: u64,
 }
 
+/// One granularity-controller verdict, as a point mark on the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictMark {
+    /// When the controller ruled, ns.
+    pub at_ns: u64,
+    /// Kernel slug the verdict is about.
+    pub kernel: String,
+    /// Whether the invocation was granted an SPE off-load.
+    pub offload: bool,
+    /// Whether the off-load was a re-probe of a throttled kernel.
+    pub reprobe: bool,
+}
+
 /// The complete per-SPE occupancy picture of one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
@@ -61,6 +74,8 @@ pub struct Timeline {
     pub dmas: Vec<DmaSpan>,
     /// Fault-plane quarantine intervals, in quarantine order.
     pub quarantines: Vec<QuarantineSpan>,
+    /// Granularity-controller verdicts, in event order.
+    pub verdicts: Vec<VerdictMark>,
 }
 
 impl Timeline {
@@ -108,6 +123,14 @@ impl Timeline {
                     if let Some(start_ns) = benched.remove(spe) {
                         tl.quarantines.push(QuarantineSpan { spe: *spe, start_ns, end_ns: e.at_ns });
                     }
+                }
+                EventKind::GranularityVerdict { kernel, offload, reprobe, .. } => {
+                    tl.verdicts.push(VerdictMark {
+                        at_ns: e.at_ns,
+                        kernel: kernel.clone(),
+                        offload: *offload,
+                        reprobe: *reprobe,
+                    });
                 }
                 _ => {}
             }
@@ -250,6 +273,39 @@ mod tests {
             ]
         );
         assert_eq!(tl.quarantine_ns(), vec![0, 30, 0, 50]);
+    }
+
+    #[test]
+    fn granularity_verdicts_fold_as_point_marks() {
+        let log = log_with(vec![
+            (
+                5,
+                EventKind::GranularityVerdict {
+                    kernel: "evaluate".into(),
+                    offload: false,
+                    throttled: true,
+                    reprobe: false,
+                },
+            ),
+            (
+                90,
+                EventKind::GranularityVerdict {
+                    kernel: "evaluate".into(),
+                    offload: true,
+                    throttled: true,
+                    reprobe: true,
+                },
+            ),
+        ]);
+        let tl = Timeline::from_log(&log);
+        assert_eq!(
+            tl.verdicts,
+            vec![
+                VerdictMark { at_ns: 5, kernel: "evaluate".into(), offload: false, reprobe: false },
+                VerdictMark { at_ns: 90, kernel: "evaluate".into(), offload: true, reprobe: true },
+            ]
+        );
+        assert_eq!(tl.makespan_ns, 90, "verdicts advance the fold's clock");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! multigrain simulate  --scheduler mgps --bootstraps 8 [--cells 2] [--scale 500] [--profile optimized]
 //! multigrain trace     --scheduler mgps --bootstraps 8 [--seed S] [--out trace.json]
 //! multigrain profile   --scheduler mgps --bootstraps 8 [--seed S] [--out report.html]
+//! multigrain atlas     [--grid mini] [--seed S] [--shard 0/4] [--out atlas.json]
 //! multigrain infer     --input data.fasta [--model jc|k80|gtr] [--gamma <alpha>|estimate]
 //!                      [--search nni|spr] [--bootstraps N] [--seed S]
 //! multigrain predict   --input data.fasta [--bootstraps N] [--scale 500]
@@ -112,6 +113,7 @@ fn main() -> ExitCode {
         "simulate" => simulate(&opts),
         "trace" => trace(&opts),
         "profile" => profile(&opts),
+        "atlas" => atlas_cmd(&opts),
         "analyze" => analyze(&opts),
         "audit" => audit_cmd(&opts),
         "chaos" => chaos(&opts),
@@ -165,6 +167,16 @@ USAGE:
                       (critical-path profile: per-phase blame for the makespan,
                        what-if projections, a self-contained HTML report, and
                        flamegraph-ready folded stacks next to it)
+  multigrain atlas    [--grid mini|default] [--seed N] [--scale N] [--bootstraps N]
+                      [--shard I/N] [--out FILE.json] [--faults SPEC]
+                      (granularity characterization sweep: run every grid
+                       cell of (task size x arrival rate x loop width x
+                       scheduler) through the invariant checker; write a
+                       byte-deterministic mgps-atlas/v1 JSON plus a
+                       self-contained HTML report with makespan surfaces,
+                       crossover frontiers, and per-cell blame; a cell
+                       whose checker run reports a violation is refused
+                       and renders as n/a — and the sweep exits 4)
   multigrain analyze  [--scale N] [--bootstraps N] [--seed N] [--experiments on|off]
                       (replay every scheduler with event recording, statically
                        verify all schedule invariants, prove digest determinism,
@@ -388,6 +400,8 @@ fn trace(opts: &Opts) -> Result<(), CliError> {
     let mut cfg = machines::blade_config(cells, scheduler, bootstraps, scale);
     cfg.seed = seed;
     cfg.record_events = true;
+    // Granularity rulings ride the trace as MGPS-thread instants.
+    cfg.granularity_verdicts = true;
     cfg.faults = faults_of(opts)?;
     let r = run_simulation(cfg);
     if r.unrecovered {
@@ -514,6 +528,111 @@ fn profile(opts: &Opts) -> Result<(), CliError> {
 
     println!("report             {} ({} bytes)", out.display(), html.len());
     println!("folded stacks      {} ({} lines)", folded_path.display(), folded.lines().count());
+    Ok(())
+}
+
+/// `multigrain atlas` — the granularity characterization sweep.
+///
+/// Runs every cell of a preset grid over (task size × arrival rate ×
+/// loop width × scheduler) through `experiments::checked_run`, then
+/// writes two byte-deterministic artifacts: the `mgps-atlas/v1` JSON
+/// (per-cell records, per-scheduler winners, crossover frontier) and a
+/// self-contained HTML report (makespan/utilization heatmaps, frontier
+/// overlay, per-cell blame drill-down). Cells whose checker run reports
+/// a violation are refused — they render as explicit `n/a`, and the
+/// command exits 4 after writing both artifacts.
+fn atlas_cmd(opts: &Opts) -> Result<(), CliError> {
+    use experiments::{sweep, SweepConfig};
+    use mgps_obs::GridSpec;
+
+    let grid_name = opts.get("grid").map(String::as_str).unwrap_or("default");
+    let grid = GridSpec::preset(grid_name).ok_or_else(|| {
+        CliError::usage(format!("--grid: unknown preset {grid_name:?} (mini|default)"))
+    })?;
+    let seed = get(opts, "seed", 0x5eedu64)?;
+    let scale = positive(opts, "scale", 4_000, "the workload scale must be at least 1")?;
+    let bootstraps = positive(opts, "bootstraps", 2, "each cell needs at least 1 bootstrap")?;
+    let shard = match opts.get("shard") {
+        None => None,
+        Some(s) => {
+            let parsed = s.split_once('/').and_then(|(i, n)| {
+                let i: usize = i.parse().ok()?;
+                let n: usize = n.parse().ok()?;
+                (n > 0 && i < n).then_some((i, n))
+            });
+            Some(parsed.ok_or_else(|| {
+                CliError::usage(format!("--shard: expected I/N with I < N, got {s:?}"))
+            })?)
+        }
+    };
+    let cfg = SweepConfig {
+        grid,
+        seed,
+        scale,
+        n_bootstraps: bootstraps,
+        shard,
+        faults: faults_of(opts)?,
+    };
+
+    let atlas = sweep(&cfg);
+
+    let out = match opts.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => experiments::Experiment::default_dir()
+            .join(format!("atlas-{}-{seed:#x}.json", cfg.grid.name)),
+    };
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| CliError::io(format!("{}: {e}", parent.display())))?;
+    }
+    let json = atlas.to_json();
+    std::fs::write(&out, &json).map_err(|e| CliError::io(format!("{}: {e}", out.display())))?;
+    let html_path = out.with_extension("html");
+    let html = atlas.render_html();
+    std::fs::write(&html_path, &html)
+        .map_err(|e| CliError::io(format!("{}: {e}", html_path.display())))?;
+
+    println!(
+        "grid               {} ({} points x {} schedulers = {} cells, {} run)",
+        cfg.grid.name,
+        cfg.grid.points(),
+        cfg.grid.schedulers.len(),
+        cfg.grid.cells(),
+        atlas.cells.len()
+    );
+    if let Some((i, n)) = shard {
+        println!("shard              {i}/{n}");
+    }
+    println!("winners            {}", atlas
+        .winner_counts()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(s, n)| format!("{s}:{n}"))
+        .collect::<Vec<_>>()
+        .join(" "));
+    let frontier = atlas.frontier();
+    println!("frontier           {} crossover edge(s)", frontier.len());
+    for e in &frontier {
+        println!(
+            "  {} -> {} along {} at (task {} us, gap {} us, iters {})",
+            e.winner_a,
+            e.winner_b,
+            e.axis,
+            e.a.task_mean_ns / 1000,
+            e.a.ppe_gap_ns / 1000,
+            e.a.loop_iters
+        );
+    }
+    println!("atlas              {} ({} bytes)", out.display(), json.len());
+    println!("report             {} ({} bytes)", html_path.display(), html.len());
+
+    let violations = atlas.violations();
+    if violations > 0 {
+        return Err(CliError::violation(format!(
+            "{violations} schedule-invariant violation(s); {} cell(s) refused",
+            atlas.cells.iter().filter(|c| c.violations > 0).count()
+        )));
+    }
     Ok(())
 }
 

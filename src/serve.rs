@@ -45,7 +45,7 @@ use mgps_obs::{
     HealthDetector, HealthEvent, LiveDecision, LiveStatus, NativeRunMeta,
 };
 use mgps_runtime::native::{LoopBody, LoopSite, MgpsRuntime, RuntimeConfig, SpeContext};
-use mgps_runtime::policy::SchedulerKind;
+use mgps_runtime::policy::{KernelKind, SchedulerKind};
 use mgps_runtime::{AtomicMetrics, SnapshotSource, TraceEventKind, Tracer};
 
 /// Construction parameters for service mode.
@@ -348,6 +348,8 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 
     // Workers, telemetry, and handlers have joined; tear the pool down so
     // every SPE ring is complete, then drain once more for the record.
+    // Throttle state is read first: shutdown consumes the runtime.
+    let final_throttled = throttled_kernels(&rt);
     rt.shutdown();
     let trace = tracer.drain();
     let dropped = trace.dropped_events();
@@ -381,6 +383,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
             pending_offloads: 0,
             gate_contention_ns: 0,
             dropped_events: dropped,
+            throttled_kernels: final_throttled,
             active_alarms: alarms,
         };
         std::fs::write(path, health_json(&last).to_json())
@@ -407,6 +410,16 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
     );
 
     Ok(ServeOutcome { violations, dropped_events: dropped, alarms, tasks_completed })
+}
+
+/// Kernel slugs the runtime's granularity controller currently keeps on
+/// the PPE, in [`KernelKind::ALL`] order.
+fn throttled_kernels(rt: &MgpsRuntime) -> Vec<String> {
+    KernelKind::ALL
+        .into_iter()
+        .filter(|k| rt.is_throttled(*k))
+        .map(|k| k.name().to_string())
+        .collect()
 }
 
 /// One telemetry tick: snapshot delta, new trace events, health rules,
@@ -466,6 +479,7 @@ fn telemetry_tick(
         pending_offloads: rt.pending_offloads(),
         gate_contention_ns: rt.gate_contention_ns(),
         dropped_events: trace.dropped_events(),
+        throttled_kernels: throttled_kernels(rt),
         active_alarms: detector.active_alarms(),
     };
 
