@@ -52,6 +52,7 @@
 //! | `fault-policy` | a `fault_policy` header, when present, parses back into a legal fault plan |
 //! | `fault-recovery` | fault/retry/fallback events appear only under a declared plan; retries are sequential with the declared backoff and bounded by `max_retries`; every faulted (or, when armed, merely off-loaded) task is resolved exactly once — retried to completion, fallen back, or flagged lost — never duplicated |
 //! | `quarantine` | quarantine intervals per SPE are exclusive (enter once, leave once, in order), entry requires `k` consecutive faults, and no quarantined SPE is granted work |
+//! | `job-lifecycle` | serve-plane jobs are admitted/started/completed exactly once each (rejected ids never admitted), starts follow admission order within a tenant (FIFO), recorded queue depths match the replayed occupancy and never exceed the declared bound, and a completion's four terms partition its admission-to-completion span exactly |
 //!
 //! Two relaxations apply when a fault plan is armed (`fault_policy`
 //! header present): `fifo-order` is skipped (watchdog retries legally
@@ -59,7 +60,7 @@
 //! pinned between `DegreeDecision` events (grants clamp to the healthy-SPE
 //! count, which the decision stream cannot see).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use cellsim::event::{EventKind, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use des::trace::TraceRecord;
@@ -134,6 +135,16 @@ impl CheckReport {
     }
 }
 
+/// Per-job bookkeeping accumulated during the replay.
+#[derive(Debug)]
+struct JobState {
+    tenant: usize,
+    submit_seq: u64,
+    submitted_ns: u64,
+    started: bool,
+    completed: bool,
+}
+
 /// Per-task bookkeeping accumulated during the replay.
 #[derive(Debug)]
 struct TaskInfo {
@@ -192,6 +203,15 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     let mut task_fallback: HashMap<u64, u64> = HashMap::new(); // task -> fallback seq
     let mut task_retry_next: HashMap<u64, u64> = HashMap::new(); // task -> expected attempt
     let mut in_quarantine: Vec<bool> = vec![false; n_spes];
+
+    // Job-plane replay state: admission is one bounded queue whose
+    // occupancy (submitted, not yet started) the checker recomputes, plus
+    // a per-tenant FIFO of pending job ids.
+    let mut jobs: BTreeMap<u64, JobState> = BTreeMap::new();
+    let mut rejected_jobs: BTreeMap<u64, u64> = BTreeMap::new(); // job -> seq
+    let mut tenant_fifo: HashMap<usize, VecDeque<u64>> = HashMap::new();
+    let mut job_queue_occ: usize = 0;
+    let mut job_queue_cap: Option<usize> = None;
 
     for (i, e) in log.events.iter().enumerate() {
         // causal-time: dense sequence numbers, monotone timestamps. Ties are
@@ -397,8 +417,13 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                 // Informational, but its vocabulary is closed: an unknown
                 // alarm or severity slug means a producer drifted from the
                 // schema.
-                const ALARMS: [&str; 4] =
-                    ["utilization_collapse", "stall_spike", "ring_drop", "quarantine_storm"];
+                const ALARMS: [&str; 5] = [
+                    "utilization_collapse",
+                    "stall_spike",
+                    "ring_drop",
+                    "quarantine_storm",
+                    "latency_slo_burn",
+                ];
                 if !ALARMS.contains(&alarm.as_str()) {
                     v.push(Violation {
                         rule: "health-schema",
@@ -645,6 +670,209 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                     }
                 }
             }
+            EventKind::JobSubmitted { job, tenant, queue_depth, queue_cap, .. } => {
+                if rejected_jobs.contains_key(job) {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} admitted after being rejected (ids are unique per run)"
+                        ),
+                    });
+                }
+                let state = JobState {
+                    tenant: *tenant,
+                    submit_seq: e.seq,
+                    submitted_ns: e.at_ns,
+                    started: false,
+                    completed: false,
+                };
+                if jobs.insert(*job, state).is_some() {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!("job {job} admitted twice"),
+                    });
+                } else {
+                    job_queue_occ += 1;
+                    tenant_fifo.entry(*tenant).or_default().push_back(*job);
+                }
+                if *queue_depth != job_queue_occ {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} admission records queue depth {queue_depth}; the admissions and starts sum to {job_queue_occ}"
+                        ),
+                    });
+                }
+                if *queue_depth > *queue_cap {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} admitted at queue depth {queue_depth}, over the declared bound {queue_cap}"
+                        ),
+                    });
+                }
+                check_job_queue_cap(e.seq, *queue_cap, &mut job_queue_cap, v);
+            }
+            EventKind::JobStarted { job, tenant } => {
+                match jobs.get_mut(job) {
+                    None => v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!("job {job} started without an admission record"),
+                    }),
+                    Some(state) => {
+                        if state.started {
+                            v.push(Violation {
+                                rule: "job-lifecycle",
+                                seq: Some(e.seq),
+                                message: format!("job {job} started twice"),
+                            });
+                        } else {
+                            state.started = true;
+                            job_queue_occ = job_queue_occ.saturating_sub(1);
+                        }
+                        if state.tenant != *tenant {
+                            v.push(Violation {
+                                rule: "job-lifecycle",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} admitted by tenant {} but started for tenant {tenant}",
+                                    state.tenant
+                                ),
+                            });
+                        }
+                    }
+                }
+                let fifo = tenant_fifo.entry(*tenant).or_default();
+                match fifo.front() {
+                    Some(&front) if front == *job => {
+                        fifo.pop_front();
+                    }
+                    Some(&front) => {
+                        v.push(Violation {
+                            rule: "job-lifecycle",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "job {job} started before job {front} of the same tenant (admission is FIFO within a tenant)"
+                            ),
+                        });
+                        fifo.retain(|j| j != job);
+                    }
+                    None => {} // never admitted; already flagged above
+                }
+            }
+            EventKind::JobCompleted {
+                job,
+                tenant,
+                t_queue_ns,
+                t_dispatch_ns,
+                t_kernel_ns,
+                t_reduce_ns,
+            } => match jobs.get_mut(job) {
+                None => v.push(Violation {
+                    rule: "job-lifecycle",
+                    seq: Some(e.seq),
+                    message: format!("job {job} completed without an admission record"),
+                }),
+                Some(state) => {
+                    if !state.started {
+                        v.push(Violation {
+                            rule: "job-lifecycle",
+                            seq: Some(e.seq),
+                            message: format!("job {job} completed without starting"),
+                        });
+                    }
+                    if state.completed {
+                        v.push(Violation {
+                            rule: "job-lifecycle",
+                            seq: Some(e.seq),
+                            message: format!("job {job} completed twice"),
+                        });
+                    }
+                    state.completed = true;
+                    if state.tenant != *tenant {
+                        v.push(Violation {
+                            rule: "job-lifecycle",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "job {job} admitted by tenant {} but completed for tenant {tenant}",
+                                state.tenant
+                            ),
+                        });
+                    }
+                    let span = e.at_ns.saturating_sub(state.submitted_ns);
+                    let sum = t_queue_ns + t_dispatch_ns + t_kernel_ns + t_reduce_ns;
+                    if sum != span {
+                        v.push(Violation {
+                            rule: "job-lifecycle",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "job {job} terms sum to {sum} ns but its admission-to-completion span is {span} ns (the partition must be exact)"
+                            ),
+                        });
+                    }
+                }
+            },
+            EventKind::JobRejected { job, tenant, queue_depth, queue_cap } => {
+                if jobs.contains_key(job) {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} of tenant {tenant} rejected after being admitted"
+                        ),
+                    });
+                }
+                if rejected_jobs.insert(*job, e.seq).is_some() {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!("job {job} rejected twice"),
+                    });
+                }
+                if *queue_depth != job_queue_occ {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} rejection records queue depth {queue_depth}; the admissions and starts sum to {job_queue_occ}"
+                        ),
+                    });
+                }
+                if *queue_depth > *queue_cap {
+                    v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} rejection records queue depth {queue_depth}, over the declared bound {queue_cap}"
+                        ),
+                    });
+                }
+                check_job_queue_cap(e.seq, *queue_cap, &mut job_queue_cap, v);
+            }
+        }
+    }
+
+    // job-lifecycle whole-log balance: every admitted job ran to
+    // completion. An interrupted serve drains its queue before exiting,
+    // so an admitted-but-unfinished job means the drain was cut short.
+    for (job, state) in &jobs {
+        if !state.started {
+            report.violations.push(Violation {
+                rule: "job-lifecycle",
+                seq: Some(state.submit_seq),
+                message: format!("job {job} admitted but never started"),
+            });
+        } else if !state.completed {
+            report.violations.push(Violation {
+                rule: "job-lifecycle",
+                seq: Some(state.submit_seq),
+                message: format!("job {job} started but never completed"),
+            });
         }
     }
 
@@ -785,6 +1013,27 @@ fn initial_degree(tag: SchedulerTag) -> usize {
     match tag {
         SchedulerTag::StaticHybrid(k) => k,
         _ => 1,
+    }
+}
+
+/// The admission-queue bound is part of the serve configuration, so every
+/// job event in one log must declare the same value.
+fn check_job_queue_cap(
+    seq: u64,
+    declared: usize,
+    seen: &mut Option<usize>,
+    v: &mut Vec<Violation>,
+) {
+    match seen {
+        None => *seen = Some(declared),
+        Some(cap) if *cap != declared => v.push(Violation {
+            rule: "job-lifecycle",
+            seq: Some(seq),
+            message: format!(
+                "queue bound changed mid-log: {declared} declared after {cap}"
+            ),
+        }),
+        Some(_) => {}
     }
 }
 

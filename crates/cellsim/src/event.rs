@@ -269,6 +269,65 @@ pub enum EventKind {
         /// Off-load attempts consumed before falling back.
         attempts: u64,
     },
+    /// A serve-plane job was admitted to the bounded request queue. Jobs
+    /// lift the granularity decomposition one level up: one job spans one
+    /// or more off-loads, and its `JobCompleted` terms partition its wall
+    /// time the way `t_ppe`/`t_wait`/`t_spe`/`t_comm` partition one
+    /// off-load.
+    JobSubmitted {
+        /// Seeded job id (unique per run).
+        job: u64,
+        /// Submitting tenant.
+        tenant: usize,
+        /// Taxa in the phylo job spec.
+        taxa: usize,
+        /// Alignment sites in the spec.
+        sites: usize,
+        /// Bootstrap replicates in the spec.
+        bootstraps: usize,
+        /// Queue occupancy after the admission (this job included).
+        queue_depth: usize,
+        /// Configured admission-queue bound.
+        queue_cap: usize,
+    },
+    /// A worker dequeued admitted job `job` and began executing it.
+    /// Within a tenant, starts must follow submission (FIFO) order.
+    JobStarted {
+        /// The job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+    },
+    /// Job `job` finished. The four terms partition its wall time
+    /// exactly: their sum equals this event's timestamp minus the job's
+    /// `JobSubmitted` timestamp.
+    JobCompleted {
+        /// The job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// Admission-queue wait, ns.
+        t_queue_ns: u64,
+        /// Dequeue-to-kernel setup (argument marshalling), ns.
+        t_dispatch_ns: u64,
+        /// Off-loaded kernel execution, ns.
+        t_kernel_ns: u64,
+        /// Result reduction on the PPE, ns.
+        t_reduce_ns: u64,
+    },
+    /// A submission was refused — queue at capacity, or the serve plane
+    /// was draining after a shutdown signal. A rejected job has no
+    /// `JobSubmitted` record: submission means admission.
+    JobRejected {
+        /// The refused job's (seeded) id.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// Queue occupancy at refusal time.
+        queue_depth: usize,
+        /// Configured admission-queue bound.
+        queue_cap: usize,
+    },
     /// The granularity controller ruled on where a kernel invocation runs
     /// (the §5.2 inequality `t_spe + t_code + 2·t_comm < t_ppe`).
     /// Informational, like [`EventKind::Health`]: the checker verifies its
@@ -571,6 +630,54 @@ impl EventKind {
                     ("reprobe", (*reprobe).into()),
                 ])
             }
+            EventKind::JobSubmitted {
+                job,
+                tenant,
+                taxa,
+                sites,
+                bootstraps,
+                queue_depth,
+                queue_cap,
+            } => Value::object(vec![
+                ("type", "job_submitted".into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+                ("taxa", (*taxa).into()),
+                ("sites", (*sites).into()),
+                ("bootstraps", (*bootstraps).into()),
+                ("queue_depth", (*queue_depth).into()),
+                ("queue_cap", (*queue_cap).into()),
+            ]),
+            EventKind::JobStarted { job, tenant } => Value::object(vec![
+                ("type", "job_started".into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+            ]),
+            EventKind::JobCompleted {
+                job,
+                tenant,
+                t_queue_ns,
+                t_dispatch_ns,
+                t_kernel_ns,
+                t_reduce_ns,
+            } => Value::object(vec![
+                ("type", "job_completed".into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+                ("t_queue_ns", (*t_queue_ns).into()),
+                ("t_dispatch_ns", (*t_dispatch_ns).into()),
+                ("t_kernel_ns", (*t_kernel_ns).into()),
+                ("t_reduce_ns", (*t_reduce_ns).into()),
+            ]),
+            EventKind::JobRejected { job, tenant, queue_depth, queue_cap } => {
+                Value::object(vec![
+                    ("type", "job_rejected".into()),
+                    ("job", (*job).into()),
+                    ("tenant", (*tenant).into()),
+                    ("queue_depth", (*queue_depth).into()),
+                    ("queue_cap", (*queue_cap).into()),
+                ])
+            }
         }
     }
 
@@ -679,6 +786,33 @@ impl EventKind {
                 offload: bool_field(v, "offload")?,
                 throttled: bool_field(v, "throttled")?,
                 reprobe: bool_field(v, "reprobe")?,
+            },
+            "job_submitted" => EventKind::JobSubmitted {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+                taxa: usize_field(v, "taxa")?,
+                sites: usize_field(v, "sites")?,
+                bootstraps: usize_field(v, "bootstraps")?,
+                queue_depth: usize_field(v, "queue_depth")?,
+                queue_cap: usize_field(v, "queue_cap")?,
+            },
+            "job_started" => EventKind::JobStarted {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+            },
+            "job_completed" => EventKind::JobCompleted {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+                t_queue_ns: u64_field(v, "t_queue_ns")?,
+                t_dispatch_ns: u64_field(v, "t_dispatch_ns")?,
+                t_kernel_ns: u64_field(v, "t_kernel_ns")?,
+                t_reduce_ns: u64_field(v, "t_reduce_ns")?,
+            },
+            "job_rejected" => EventKind::JobRejected {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+                queue_depth: usize_field(v, "queue_depth")?,
+                queue_cap: usize_field(v, "queue_cap")?,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -945,6 +1079,46 @@ mod tests {
                     offload: false,
                     throttled: true,
                     reprobe: false,
+                },
+            },
+            EventRecord {
+                seq: 20,
+                at_ns: 111,
+                kind: EventKind::JobSubmitted {
+                    job: 0xfeed,
+                    tenant: 1,
+                    taxa: 16,
+                    sites: 256,
+                    bootstraps: 2,
+                    queue_depth: 3,
+                    queue_cap: 8,
+                },
+            },
+            EventRecord {
+                seq: 21,
+                at_ns: 112,
+                kind: EventKind::JobStarted { job: 0xfeed, tenant: 1 },
+            },
+            EventRecord {
+                seq: 22,
+                at_ns: 113,
+                kind: EventKind::JobCompleted {
+                    job: 0xfeed,
+                    tenant: 1,
+                    t_queue_ns: 1,
+                    t_dispatch_ns: 0,
+                    t_kernel_ns: 1,
+                    t_reduce_ns: 0,
+                },
+            },
+            EventRecord {
+                seq: 23,
+                at_ns: 113,
+                kind: EventKind::JobRejected {
+                    job: 0xbead,
+                    tenant: 0,
+                    queue_depth: 8,
+                    queue_cap: 8,
                 },
             },
         ]);

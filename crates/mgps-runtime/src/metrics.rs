@@ -164,15 +164,25 @@ pub enum HistKind {
     DmaLatencyNs,
     /// Time an off-load waited in the queue before an SPE picked it up.
     OffloadWaitNs,
+    /// Time a serve-plane job waited in the admission queue (`t_queue`).
+    JobQueueNs,
+    /// Job service time once a worker picked it up
+    /// (`t_dispatch + t_kernel + t_reduce`).
+    JobServiceNs,
+    /// Job wall time from admission to completion (queue + service).
+    JobTotalNs,
 }
 
 impl HistKind {
     /// Every histogram, in discriminant order.
-    pub const ALL: [HistKind; 4] = [
+    pub const ALL: [HistKind; 7] = [
         HistKind::CtxHoldNs,
         HistKind::TaskDurNs,
         HistKind::DmaLatencyNs,
         HistKind::OffloadWaitNs,
+        HistKind::JobQueueNs,
+        HistKind::JobServiceNs,
+        HistKind::JobTotalNs,
     ];
 
     /// Stable snake_case name used in JSON summaries.
@@ -182,6 +192,9 @@ impl HistKind {
             HistKind::TaskDurNs => "task_dur_ns",
             HistKind::DmaLatencyNs => "dma_latency_ns",
             HistKind::OffloadWaitNs => "offload_wait_ns",
+            HistKind::JobQueueNs => "job_queue_ns",
+            HistKind::JobServiceNs => "job_service_ns",
+            HistKind::JobTotalNs => "job_total_ns",
         }
     }
 }

@@ -234,6 +234,59 @@ pub enum TraceEventKind {
         /// Local-store bytes in use after the release.
         in_use: usize,
     },
+    /// A serve-plane job was admitted to the bounded request queue.
+    JobSubmitted {
+        /// Seeded job id.
+        job: u64,
+        /// Submitting tenant.
+        tenant: usize,
+        /// Taxa in the phylo job spec.
+        taxa: usize,
+        /// Alignment sites in the spec.
+        sites: usize,
+        /// Bootstrap replicates in the spec.
+        bootstraps: usize,
+        /// Queue occupancy after the admission (this job included).
+        queue_depth: usize,
+        /// Configured admission-queue bound.
+        queue_cap: usize,
+    },
+    /// A worker dequeued an admitted job and began executing it.
+    JobStarted {
+        /// The job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+    },
+    /// A job finished. The four terms partition its wall time exactly:
+    /// `t_queue + t_dispatch + t_kernel + t_reduce` equals the span from
+    /// its `JobSubmitted` stamp to this event's stamp.
+    JobCompleted {
+        /// The job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// Admission-queue wait, ns.
+        t_queue_ns: u64,
+        /// Dequeue-to-kernel setup (argument marshalling), ns.
+        t_dispatch_ns: u64,
+        /// Off-loaded kernel execution, ns.
+        t_kernel_ns: u64,
+        /// Result reduction on the PPE, ns.
+        t_reduce_ns: u64,
+    },
+    /// A submission was refused — queue at capacity, or the serve plane
+    /// is draining after a shutdown signal.
+    JobRejected {
+        /// The refused job's (seeded) id.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// Queue occupancy at refusal time.
+        queue_depth: usize,
+        /// Configured admission-queue bound.
+        queue_cap: usize,
+    },
     /// The granularity controller ruled on where a kernel invocation runs
     /// (the §5.2 inequality: off-load only when
     /// `t_spe + t_code + 2·t_comm < t_ppe`).
@@ -350,6 +403,16 @@ impl TraceHandle {
     /// dropped and counted instead.
     pub fn record(&self, kind: TraceEventKind) {
         self.ring.push(TraceEvent { at_ns: self.clock.now_ns(), kind });
+    }
+
+    /// Record `kind` at an explicitly captured stamp from this tracer's
+    /// clock. Two producers need this instead of [`TraceHandle::record`]:
+    /// job admission/start stamps are taken under the admission lock so
+    /// their order is the FIFO order, and `JobCompleted` is stamped at the
+    /// instant its partition terms telescope to, keeping the partition
+    /// exact. `at_ns` must not precede earlier events in this ring.
+    pub fn record_at(&self, at_ns: u64, kind: TraceEventKind) {
+        self.ring.push(TraceEvent { at_ns, kind });
     }
 
     /// Current time on the tracer's clock, ns.

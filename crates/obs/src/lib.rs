@@ -34,6 +34,7 @@ pub mod chrome;
 pub mod critpath;
 pub mod decisions;
 pub mod htmlkit;
+pub mod jobs;
 pub mod live;
 pub mod native;
 pub mod phases;
@@ -49,10 +50,11 @@ pub use chrome::chrome_trace;
 pub use critpath::{what_if, CritStep, CriticalPath, Phase, PhaseBlame, WhatIf, WhatIfOutcome};
 pub use decisions::{decisions, DecisionRecord};
 pub use htmlkit::Page;
+pub use jobs::{fold_jobs, quantile_from_log2_buckets, JobBreakdown, JobsReport, JOB_QUANTILES};
 pub use live::{
-    health_json, merge_health_events, parse_prometheus, prometheus_text, replay_health,
-    validate_families, AlarmKind, HealthConfig, HealthDetector, HealthEvent, LiveDecision,
-    LiveStatus, PromFamily, PromSample,
+    health_json, job_event_json_line, merge_health_events, parse_prometheus, prometheus_text,
+    replay_health, validate_families, AlarmKind, HealthConfig, HealthDetector, HealthEvent,
+    LiveDecision, LiveStatus, PromFamily, PromSample,
 };
 pub use native::{runlog_from_trace, NativeRunMeta};
 pub use phases::{OffloadPhases, PhaseBreakdown, PhaseTotals};

@@ -8,14 +8,16 @@
 //!
 //! * [`LiveStatus`] + [`prometheus_text`] — one scrape's worth of state
 //!   rendered in the Prometheus text exposition format (every counter,
-//!   the 4 histograms as cumulative log2 buckets, per-SPE busy gauges, the
-//!   LLP degree in force, per-kernel throttle gauges, active alarms);
+//!   the 7 histograms as cumulative log2 buckets, per-SPE busy gauges, the
+//!   LLP degree in force, per-kernel throttle gauges, job latency
+//!   quantile gauges interpolated from the log2 buckets, active alarms);
 //! * [`parse_prometheus`] + [`validate_families`] — a minimal parser for
 //!   the same format, used by `multigrain top` and by the CI smoke test to
 //!   assert that the exporter's families actually parse;
 //! * [`HealthDetector`] — the online failure-pattern detector: it consumes
 //!   [`SnapshotDelta`]s and [`LiveDecision`]s and raises
-//!   *utilization-collapse*, *stall-spike*, and *ring-drop* alarms as
+//!   *utilization-collapse*, *stall-spike*, *ring-drop*,
+//!   *quarantine-storm*, and *latency-SLO-burn* alarms as
 //!   structured [`HealthEvent`]s, which flow into the `/events` NDJSON
 //!   stream, the final [`RunLog`] (via [`merge_health_events`], as
 //!   [`EventKind::Health`] records the checker schema-validates), and the
@@ -29,6 +31,7 @@
 
 use std::fmt::Write as _;
 
+use crate::jobs::{quantile_from_log2_buckets, JOB_QUANTILES};
 use cellsim::event::{EventKind, EventRecord, RunLog};
 use mgps_runtime::metrics::{
     Counter, HistKind, MetricsSnapshot, SnapshotDelta, HIST_BUCKETS,
@@ -96,15 +99,23 @@ pub enum AlarmKind {
     /// machine is shedding compute capacity faster than re-admission can
     /// restore it (the fault plane's signature failure pattern).
     QuarantineStorm,
+    /// The serve plane's job p99 latency (estimated from the
+    /// [`HistKind::JobTotalNs`] bucket deltas of one telemetry window)
+    /// sat above the SLO — and above the EWMA baseline by the spike
+    /// factor once a baseline exists — for `k` consecutive windows: the
+    /// service is burning its latency budget, not just seeing one slow
+    /// job.
+    LatencySloBurn,
 }
 
 impl AlarmKind {
     /// Every alarm kind, in rendering order.
-    pub const ALL: [AlarmKind; 4] = [
+    pub const ALL: [AlarmKind; 5] = [
         AlarmKind::UtilizationCollapse,
         AlarmKind::StallSpike,
         AlarmKind::RingDrop,
         AlarmKind::QuarantineStorm,
+        AlarmKind::LatencySloBurn,
     ];
 
     /// Stable snake_case slug (the `alarm` field of
@@ -115,6 +126,7 @@ impl AlarmKind {
             AlarmKind::StallSpike => "stall_spike",
             AlarmKind::RingDrop => "ring_drop",
             AlarmKind::QuarantineStorm => "quarantine_storm",
+            AlarmKind::LatencySloBurn => "latency_slo_burn",
         }
     }
 
@@ -162,6 +174,56 @@ impl HealthEvent {
     }
 }
 
+/// One NDJSON line for a job lifecycle event on the `/events` stream;
+/// `None` for event kinds outside the job lifecycle. The `type` tags
+/// match the [`RunLog`] JSON schema so a stream consumer and a log
+/// consumer parse the same vocabulary.
+pub fn job_event_json_line(at_ns: u64, kind: &EventKind) -> Option<String> {
+    let v = match kind {
+        EventKind::JobSubmitted { job, tenant, taxa, sites, bootstraps, queue_depth, queue_cap } => {
+            Value::object(vec![
+                ("type", "job_submitted".into()),
+                ("at_ns", at_ns.into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+                ("taxa", (*taxa).into()),
+                ("sites", (*sites).into()),
+                ("bootstraps", (*bootstraps).into()),
+                ("queue_depth", (*queue_depth).into()),
+                ("queue_cap", (*queue_cap).into()),
+            ])
+        }
+        EventKind::JobStarted { job, tenant } => Value::object(vec![
+            ("type", "job_started".into()),
+            ("at_ns", at_ns.into()),
+            ("job", (*job).into()),
+            ("tenant", (*tenant).into()),
+        ]),
+        EventKind::JobCompleted { job, tenant, t_queue_ns, t_dispatch_ns, t_kernel_ns, t_reduce_ns } => {
+            Value::object(vec![
+                ("type", "job_completed".into()),
+                ("at_ns", at_ns.into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+                ("t_queue_ns", (*t_queue_ns).into()),
+                ("t_dispatch_ns", (*t_dispatch_ns).into()),
+                ("t_kernel_ns", (*t_kernel_ns).into()),
+                ("t_reduce_ns", (*t_reduce_ns).into()),
+            ])
+        }
+        EventKind::JobRejected { job, tenant, queue_depth, queue_cap } => Value::object(vec![
+            ("type", "job_rejected".into()),
+            ("at_ns", at_ns.into()),
+            ("job", (*job).into()),
+            ("tenant", (*tenant).into()),
+            ("queue_depth", (*queue_depth).into()),
+            ("queue_cap", (*queue_cap).into()),
+        ]),
+        _ => return None,
+    };
+    Some(v.to_json())
+}
+
 /// Thresholds for the online detector.
 #[derive(Debug, Clone, Copy)]
 pub struct HealthConfig {
@@ -179,6 +241,14 @@ pub struct HealthConfig {
     /// Quarantines within one snapshot interval at or above this fire
     /// quarantine-storm.
     pub quarantine_storm_spes: u64,
+    /// Job p99 latency SLO, ns: a window whose estimated p99 exceeds this
+    /// (and the EWMA baseline, once one exists) is *burning*.
+    pub latency_slo_ns: u64,
+    /// Consecutive burning windows before latency-SLO-burn fires.
+    pub latency_burn_windows: usize,
+    /// Windows with fewer completed jobs than this carry no p99 signal;
+    /// they end any burn episode instead of extending it.
+    pub latency_min_jobs: u64,
 }
 
 impl HealthConfig {
@@ -194,6 +264,12 @@ impl HealthConfig {
             // A quarter of the machine benched in one interval is a storm;
             // a single flaky SPE is the recovery plane doing its job.
             quarantine_storm_spes: (n_spes as u64 / 4).max(2),
+            // Loopback phylo jobs finish in micro- to milliseconds; a
+            // full second of p99 is a burn on any spec this serve plane
+            // admits.
+            latency_slo_ns: 1_000_000_000,
+            latency_burn_windows: 3,
+            latency_min_jobs: 8,
         }
     }
 }
@@ -204,7 +280,9 @@ impl HealthConfig {
 /// Alarms are *latched per episode*: utilization-collapse fires once when
 /// the pattern is confirmed and re-arms only after a healthy window;
 /// stall-spike re-arms after a non-spiking interval; ring-drop fires once
-/// per run (a drop cannot un-happen).
+/// per run (a drop cannot un-happen); latency-SLO-burn re-arms after a
+/// window whose p99 is back under the SLO (or one with too few jobs to
+/// estimate a p99 at all).
 #[derive(Debug)]
 pub struct HealthDetector {
     cfg: HealthConfig,
@@ -214,6 +292,9 @@ pub struct HealthDetector {
     stall_latched: bool,
     drop_latched: bool,
     storm_latched: bool,
+    latency_baseline: Option<f64>,
+    latency_burning: usize,
+    latency_latched: bool,
     active: Vec<AlarmKind>,
 }
 
@@ -228,6 +309,9 @@ impl HealthDetector {
             stall_latched: false,
             drop_latched: false,
             storm_latched: false,
+            latency_baseline: None,
+            latency_burning: 0,
+            latency_latched: false,
             active: Vec::new(),
         }
     }
@@ -332,6 +416,55 @@ impl HealthDetector {
         } else if self.storm_latched {
             self.storm_latched = false;
             self.clear(AlarmKind::QuarantineStorm);
+        }
+
+        let job_buckets = &delta.hists[HistKind::JobTotalNs as usize];
+        let jobs: u64 = job_buckets.iter().sum();
+        if jobs >= self.cfg.latency_min_jobs {
+            let p99 = quantile_from_log2_buckets(job_buckets, 0.99)
+                .expect("non-empty window has a p99");
+            match self.latency_baseline {
+                Some(base) => {
+                    // The absolute SLO is the floor; the window must also
+                    // beat the EWMA baseline by the spike factor, so a
+                    // service legitimately running near its SLO does not
+                    // page on every window.
+                    let burning = p99
+                        > (self.cfg.latency_slo_ns as f64).max(base * self.cfg.stall_spike_factor);
+                    if burning {
+                        self.latency_burning += 1;
+                        if self.latency_burning >= self.cfg.latency_burn_windows
+                            && !self.latency_latched
+                        {
+                            self.latency_latched = true;
+                            out.push(self.raise(
+                                AlarmKind::LatencySloBurn,
+                                at_ns,
+                                format!(
+                                    "job p99 ~{p99:.0} ns over the {} ns SLO for {} consecutive windows ({jobs} jobs this window)",
+                                    self.cfg.latency_slo_ns, self.latency_burning
+                                ),
+                            ));
+                        }
+                    } else {
+                        self.latency_burning = 0;
+                        self.latency_latched = false;
+                        self.clear(AlarmKind::LatencySloBurn);
+                        // Burning windows are excluded from the baseline
+                        // so a sustained burn keeps reading as anomalous.
+                        let a = self.cfg.baseline_alpha;
+                        self.latency_baseline = Some(base * (1.0 - a) + p99 * a);
+                    }
+                }
+                // First meaningful window seeds the baseline (like
+                // stall-spike); nothing to compare yet.
+                None => self.latency_baseline = Some(p99),
+            }
+        } else {
+            // No p99 signal this window: the episode (if any) is over.
+            self.latency_burning = 0;
+            self.latency_latched = false;
+            self.clear(AlarmKind::LatencySloBurn);
         }
         out
     }
@@ -459,6 +592,16 @@ pub fn prometheus_text(status: &LiveStatus) -> String {
     for k in KernelKind::ALL {
         let throttled = u8::from(status.throttled_kernels.iter().any(|s| s == k.name()));
         let _ = writeln!(out, "{PREFIX}_kernel_throttled{{kernel=\"{}\"}} {throttled}", k.name());
+    }
+
+    // Job latency quantiles, interpolated from the log2 buckets of the
+    // job wall-time histogram (factor-2 worst-case error; see
+    // `quantile_from_log2_buckets`). 0 until the first job completes.
+    let job_buckets = &status.metrics.hists[HistKind::JobTotalNs as usize];
+    let _ = writeln!(out, "# TYPE {PREFIX}_job_latency gauge");
+    for q in JOB_QUANTILES {
+        let est = quantile_from_log2_buckets(job_buckets, q).unwrap_or(0.0);
+        let _ = writeln!(out, "{PREFIX}_job_latency{{quantile=\"{q}\"}} {est}");
     }
 
     let _ = writeln!(out, "# TYPE {PREFIX}_alarm_active gauge");
@@ -659,6 +802,9 @@ mod tests {
         m.observe(HistKind::TaskDurNs, 0);
         m.observe(HistKind::TaskDurNs, 5);
         m.observe(HistKind::TaskDurNs, 100_000);
+        for _ in 0..4 {
+            m.observe(HistKind::JobTotalNs, 4_096);
+        }
         let mut src = SnapshotSource::new(m);
         let status = status_with(src.snapshot().metrics);
 
@@ -666,9 +812,9 @@ mod tests {
         let families = parse_prometheus(&text).expect("exporter output must parse");
         validate_families(&families).expect("families must validate");
 
-        // Every counter + 4 histograms + spe_busy + 7 scalar gauges +
-        // kernel throttles + alarms.
-        assert_eq!(families.len(), Counter::ALL.len() + 4 + 1 + 7 + 1 + 1);
+        // Every counter + 7 histograms + spe_busy + 7 scalar gauges +
+        // kernel throttles + job latency quantiles + alarms.
+        assert_eq!(families.len(), Counter::ALL.len() + 7 + 1 + 7 + 1 + 1 + 1);
         let offloads = families.iter().find(|f| f.name == "multigrain_offloads_total").unwrap();
         assert_eq!(offloads.kind, "counter");
         assert_eq!(offloads.samples[0].value, 7.0);
@@ -701,9 +847,35 @@ mod tests {
         let alarms = families.iter().find(|f| f.name == "multigrain_alarm_active").unwrap();
         let spike = alarms.samples.iter().find(|s| s.label("alarm") == Some("stall_spike")).unwrap();
         assert_eq!(spike.value, 1.0);
+        assert!(
+            alarms.samples.iter().any(|s| s.label("alarm") == Some("latency_slo_burn")),
+            "the burn alarm must have a gauge even while silent"
+        );
+
+        let latency = families.iter().find(|f| f.name == "multigrain_job_latency").unwrap();
+        assert_eq!(latency.kind, "gauge");
+        assert_eq!(
+            latency.samples.iter().map(|s| s.label("quantile").unwrap()).collect::<Vec<_>>(),
+            vec!["0.5", "0.95", "0.99"]
+        );
+        for s in &latency.samples {
+            // All 4 observations were 4096 ns: every quantile estimate
+            // must land inside that value's log2 bucket, [4096, 8192).
+            assert!(s.value >= 4_096.0 && s.value <= 8_192.0, "{}: {}", s.name, s.value);
+        }
 
         // Determinism: same status, same bytes.
         assert_eq!(text, prometheus_text(&status));
+    }
+
+    #[test]
+    fn job_latency_quantiles_render_zero_before_any_job() {
+        let status = status_with(MetricsSnapshot::default());
+        let text = prometheus_text(&status);
+        let families = parse_prometheus(&text).unwrap();
+        let latency = families.iter().find(|f| f.name == "multigrain_job_latency").unwrap();
+        assert_eq!(latency.samples.len(), 3);
+        assert!(latency.samples.iter().all(|s| s.value == 0.0), "empty histogram renders 0, never NaN");
     }
 
     #[test]
@@ -867,6 +1039,124 @@ mod tests {
         });
         assert!(det.observe_delta(3, &delta_with_stalls(3, 0), 17).is_empty());
         assert_eq!(det.active_alarms(), vec![AlarmKind::RingDrop]);
+    }
+
+    /// A window in which `jobs` jobs all completed in `latency_ns`.
+    fn delta_with_jobs(epoch: u64, jobs: u64, latency_ns: u64) -> SnapshotDelta {
+        use mgps_runtime::metrics::hist_bucket;
+        let mut d = delta_with_stalls(epoch, 0);
+        d.hists[HistKind::JobTotalNs as usize][hist_bucket(latency_ns)] = jobs;
+        d.hist_sums[HistKind::JobTotalNs as usize] = jobs * latency_ns;
+        d
+    }
+
+    #[test]
+    fn latency_slo_burn_fires_once_after_k_burning_windows_and_rearms() {
+        let cfg = HealthConfig::for_spes(8);
+        let mut det = HealthDetector::new(cfg);
+        let over = 4 * cfg.latency_slo_ns; // well past the SLO bucket
+        let under = cfg.latency_slo_ns / 100;
+
+        // A healthy window seeds the EWMA baseline; no alarm possible yet.
+        assert!(det.observe_delta(5, &delta_with_jobs(0, 16, under), 0).is_empty());
+        // Two burning windows: pattern not yet confirmed.
+        assert!(det.observe_delta(10, &delta_with_jobs(1, 16, over), 0).is_empty());
+        assert!(det.observe_delta(20, &delta_with_jobs(2, 16, over), 0).is_empty());
+        // Third consecutive burning window confirms the burn.
+        let fired = det.observe_delta(30, &delta_with_jobs(3, 16, over), 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlarmKind::LatencySloBurn);
+        assert_eq!(fired[0].to_event_kind(), EventKind::Health {
+            alarm: "latency_slo_burn".to_string(),
+            severity: "warning".to_string(),
+            detail: fired[0].detail.clone(),
+        });
+        // Latched while the burn continues.
+        assert!(det.observe_delta(40, &delta_with_jobs(4, 16, over), 0).is_empty());
+        assert_eq!(det.active_alarms(), vec![AlarmKind::LatencySloBurn]);
+        // A healthy window clears and re-arms.
+        assert!(det.observe_delta(50, &delta_with_jobs(5, 16, under), 0).is_empty());
+        assert!(det.active_alarms().is_empty());
+        assert!(det.observe_delta(60, &delta_with_jobs(6, 16, over), 0).is_empty());
+        assert!(det.observe_delta(70, &delta_with_jobs(7, 16, over), 0).is_empty());
+        assert_eq!(det.observe_delta(80, &delta_with_jobs(8, 16, over), 0).len(), 1, "re-armed");
+    }
+
+    #[test]
+    fn slow_but_sparse_windows_never_burn() {
+        let cfg = HealthConfig::for_spes(8);
+        let mut det = HealthDetector::new(cfg);
+        let over = 4 * cfg.latency_slo_ns;
+        // Every window is over the SLO but below the min-jobs floor: one
+        // slow straggler per window is not a burn signal.
+        for e in 1..20 {
+            assert!(det.observe_delta(e * 10, &delta_with_jobs(e, cfg.latency_min_jobs - 1, over), 0).is_empty());
+        }
+        assert!(det.active_alarms().is_empty());
+    }
+
+    #[test]
+    fn latency_baseline_suppresses_windows_under_the_spike_factor() {
+        let mut cfg = HealthConfig::for_spes(8);
+        cfg.latency_slo_ns = 1_000; // SLO far below actual service times
+        let mut det = HealthDetector::new(cfg);
+        // Healthy traffic seeds an EWMA baseline around 1 ms.
+        for e in 1..6 {
+            assert!(det.observe_delta(e * 10, &delta_with_jobs(e, 16, 1_000_000), 0).is_empty());
+        }
+        // 2x the baseline is over the SLO but under the 4x spike factor:
+        // the baseline keeps a chronically-over-SLO service from paging
+        // on every window.
+        for e in 6..12 {
+            assert!(det.observe_delta(e * 10, &delta_with_jobs(e, 16, 2_000_000), 0).is_empty());
+        }
+        assert!(det.active_alarms().is_empty());
+        // 16x the baseline burns.
+        assert!(det.observe_delta(200, &delta_with_jobs(20, 16, 16_000_000), 0).is_empty());
+        assert!(det.observe_delta(210, &delta_with_jobs(21, 16, 16_000_000), 0).is_empty());
+        assert_eq!(det.observe_delta(220, &delta_with_jobs(22, 16, 16_000_000), 0).len(), 1);
+    }
+
+    #[test]
+    fn job_event_json_lines_cover_the_lifecycle() {
+        let submitted = EventKind::JobSubmitted {
+            job: 7,
+            tenant: 2,
+            taxa: 16,
+            sites: 256,
+            bootstraps: 3,
+            queue_depth: 1,
+            queue_cap: 8,
+        };
+        let line = job_event_json_line(40, &submitted).expect("job event renders");
+        assert!(!line.contains('\n'));
+        let v = minijson::parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_submitted"));
+        assert_eq!(v.get("at_ns").and_then(|n| n.as_u64()), Some(40));
+        assert_eq!(v.get("queue_cap").and_then(|n| n.as_u64()), Some(8));
+
+        let started = EventKind::JobStarted { job: 7, tenant: 2 };
+        let v = minijson::parse(&job_event_json_line(41, &started).unwrap()).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_started"));
+
+        let completed = EventKind::JobCompleted {
+            job: 7,
+            tenant: 2,
+            t_queue_ns: 1,
+            t_dispatch_ns: 2,
+            t_kernel_ns: 3,
+            t_reduce_ns: 4,
+        };
+        let v = minijson::parse(&job_event_json_line(51, &completed).unwrap()).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_completed"));
+        assert_eq!(v.get("t_kernel_ns").and_then(|n| n.as_u64()), Some(3));
+
+        let rejected = EventKind::JobRejected { job: 9, tenant: 0, queue_depth: 8, queue_cap: 8 };
+        let v = minijson::parse(&job_event_json_line(60, &rejected).unwrap()).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_rejected"));
+
+        // Non-job events render nothing on the job stream.
+        assert!(job_event_json_line(1, &EventKind::Offload { proc: 0, task: 0 }).is_none());
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //! lifecycle rules care about same-instant precedence (a task must start
 //! before it ends, an off-load precedes its task). The merge therefore
 //! sorts *stably* by `(at_ns, kind_rank)` where the rank encodes causal
-//! precedence: off-load < fault ladder < mailbox write < mailbox read <
-//! task start < code reload / DMA / LS alloc < chunk < LS free <
-//! task end < context switch < degree decision.
+//! precedence: job admission/rejection/start < off-load < fault ladder <
+//! mailbox write < mailbox read < task start < code reload / DMA / LS
+//! alloc < chunk < LS free < task end < job completion < context switch <
+//! degree decision.
 
 use cellsim::event::{EventKind, EventRecord, MailboxKind, RunLog, SchedulerTag, SwitchReason};
 use mgps_runtime::native::LOCAL_STORE_BYTES;
@@ -43,31 +44,39 @@ pub struct NativeRunMeta {
 
 fn kind_rank(kind: &TraceEventKind) -> u8 {
     match kind {
+        // A job is admitted (or refused) before anything it causes; a
+        // same-instant start follows its submission but precedes the
+        // verdicts and off-loads of the work it dispatches.
+        TraceEventKind::JobSubmitted { .. } => 0,
+        TraceEventKind::JobRejected { .. } => 1,
+        TraceEventKind::JobStarted { .. } => 2,
         // The controller rules on where a kernel runs *before* any
         // same-instant off-load request it grants.
-        TraceEventKind::GranularityVerdict { .. } => 0,
-        TraceEventKind::Offload { .. } => 1,
+        TraceEventKind::GranularityVerdict { .. } => 3,
+        TraceEventKind::Offload { .. } => 4,
         // A fault precedes the quarantine it causes, which precedes the
         // retry it forces; all precede any same-instant grant.
-        TraceEventKind::FaultInjected { .. } => 2,
-        TraceEventKind::SpeQuarantined { .. } | TraceEventKind::SpeReadmitted { .. } => 3,
-        TraceEventKind::OffloadRetry { .. } => 4,
+        TraceEventKind::FaultInjected { .. } => 5,
+        TraceEventKind::SpeQuarantined { .. } | TraceEventKind::SpeReadmitted { .. } => 6,
+        TraceEventKind::OffloadRetry { .. } => 7,
         // The start signal (inbound mailbox post + drain) precedes the
         // task it starts; a write precedes its same-instant read.
-        TraceEventKind::MailboxWrite { .. } => 5,
-        TraceEventKind::MailboxRead { .. } => 6,
-        TraceEventKind::TaskStart { .. } => 7,
+        TraceEventKind::MailboxWrite { .. } => 8,
+        TraceEventKind::MailboxRead { .. } => 9,
+        TraceEventKind::TaskStart { .. } => 10,
         TraceEventKind::CodeReload { .. }
         | TraceEventKind::Dma { .. }
         | TraceEventKind::DmaComplete { .. }
-        | TraceEventKind::LsAlloc { .. } => 8,
-        TraceEventKind::Chunk { .. } => 9,
+        | TraceEventKind::LsAlloc { .. } => 11,
+        TraceEventKind::Chunk { .. } => 12,
         // Scratch is released at task teardown: after the chunks, before
         // (or with) the task end.
-        TraceEventKind::LsFree { .. } => 10,
-        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 11,
-        TraceEventKind::CtxSwitch { .. } => 12,
-        TraceEventKind::DegreeDecision { .. } => 13,
+        TraceEventKind::LsFree { .. } => 13,
+        TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 14,
+        // A job completes only after its last task has ended.
+        TraceEventKind::JobCompleted { .. } => 15,
+        TraceEventKind::CtxSwitch { .. } => 16,
+        TraceEventKind::DegreeDecision { .. } => 17,
     }
 }
 
@@ -130,6 +139,27 @@ fn to_event_kind(kind: &TraceEventKind) -> EventKind {
         TraceEventKind::LsFree { spe, bytes, in_use } => EventKind::LsFree { spe, bytes, in_use },
         TraceEventKind::GranularityVerdict { kernel, offload, throttled, reprobe } => {
             EventKind::GranularityVerdict { kernel, offload, throttled, reprobe }
+        }
+        TraceEventKind::JobSubmitted {
+            job,
+            tenant,
+            taxa,
+            sites,
+            bootstraps,
+            queue_depth,
+            queue_cap,
+        } => EventKind::JobSubmitted { job, tenant, taxa, sites, bootstraps, queue_depth, queue_cap },
+        TraceEventKind::JobStarted { job, tenant } => EventKind::JobStarted { job, tenant },
+        TraceEventKind::JobCompleted {
+            job,
+            tenant,
+            t_queue_ns,
+            t_dispatch_ns,
+            t_kernel_ns,
+            t_reduce_ns,
+        } => EventKind::JobCompleted { job, tenant, t_queue_ns, t_dispatch_ns, t_kernel_ns, t_reduce_ns },
+        TraceEventKind::JobRejected { job, tenant, queue_depth, queue_cap } => {
+            EventKind::JobRejected { job, tenant, queue_depth, queue_cap }
         }
     }
 }
@@ -201,6 +231,54 @@ mod tests {
         assert!(matches!(run.events[1].kind, EventKind::TaskStart { .. }));
         assert!(matches!(run.events[2].kind, EventKind::TaskEnd { .. }));
         assert_eq!(run.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn job_lifecycle_ranks_bracket_the_task_events() {
+        let tracer = Tracer::new(16);
+        let worker = tracer.handle();
+        let admit = tracer.handle();
+        // Recorded in deliberately scrambled ring order; once every stamp
+        // is flattened, the ranks alone must restore submission < start <
+        // off-load < task start < task end < completion.
+        worker.record(TraceEventKind::TaskEnd { proc: 0, task: 0, team: vec![0] });
+        worker.record(TraceEventKind::JobCompleted {
+            job: 9,
+            tenant: 0,
+            t_queue_ns: 0,
+            t_dispatch_ns: 0,
+            t_kernel_ns: 0,
+            t_reduce_ns: 0,
+        });
+        admit.record(TraceEventKind::JobSubmitted {
+            job: 9,
+            tenant: 0,
+            taxa: 4,
+            sites: 8,
+            bootstraps: 1,
+            queue_depth: 1,
+            queue_cap: 4,
+        });
+        worker.record(TraceEventKind::JobStarted { job: 9, tenant: 0 });
+        worker.record(TraceEventKind::Offload { proc: 0, task: 0 });
+        worker.record(TraceEventKind::TaskStart { proc: 0, task: 0, degree: 1, team: vec![0] });
+        let mut log = tracer.drain();
+        for t in &mut log.threads {
+            for e in &mut t.events {
+                e.at_ns = 50;
+            }
+        }
+        let run = runlog_from_trace(
+            &log,
+            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None },
+        );
+        let kinds: Vec<&EventKind> = run.events.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::JobSubmitted { .. }));
+        assert!(matches!(kinds[1], EventKind::JobStarted { .. }));
+        assert!(matches!(kinds[2], EventKind::Offload { .. }));
+        assert!(matches!(kinds[3], EventKind::TaskStart { .. }));
+        assert!(matches!(kinds[4], EventKind::TaskEnd { .. }));
+        assert!(matches!(kinds[5], EventKind::JobCompleted { .. }));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!                      [--search nni|spr] [--bootstraps N] [--seed S]
 //! multigrain predict   --input data.fasta [--bootstraps N] [--scale 500]
 //! multigrain demo      [--taxa 16] [--sites 400]
-//! multigrain serve     [--port P] [--workers N] [--tasks N] [--for-ms MS] [--out run.json]
+//! multigrain serve     [--port P] [--workers N] [--tasks N] [--job-queue N] [--for-ms MS] [--out run.json]
+//! multigrain loadgen   [--rate R] [--duration MS] [--seed S] [--tenants N] [--url HOST:PORT]
 //! multigrain top       --url HOST:PORT [--frames N] [--interval-ms MS] [--plain on]
 //! ```
 //!
@@ -20,9 +21,11 @@
 //! phylogenetic analysis through the native multigrain runtime; `predict`
 //! derives a Cell workload from your alignment and forecasts scheduler
 //! performance; `demo` generates a synthetic alignment to play with;
-//! `serve` keeps a native pool resident and exposes live telemetry over
-//! HTTP (`/metrics`, `/health`, `/events`); `top` renders that feed as a
-//! terminal dashboard.
+//! `serve` keeps a native pool resident, admits phylo jobs over
+//! `POST /jobs`, and exposes live telemetry over HTTP (`/metrics`,
+//! `/health`, `/events`); `loadgen` is the seeded open-loop load-test
+//! harness for that plane; `top` renders the feed as a terminal
+//! dashboard.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -118,6 +121,7 @@ fn main() -> ExitCode {
         "audit" => audit_cmd(&opts),
         "chaos" => chaos(&opts),
         "serve" => serve_cmd(&opts),
+        "loadgen" => loadgen_cmd(&opts),
         "top" => top_cmd(&opts),
         "infer" => infer(&opts),
         "infer-protein" => infer_protein(&opts),
@@ -190,12 +194,27 @@ USAGE:
                        finding, exemption-budget breach, coverage hole, or
                        lock-order cycle)
   multigrain serve    [--port N] [--workers N] [--tasks N] [--seed N] [--poll-ms N]
-                      [--ring-capacity N] [--for-ms N] [--out FILE] [--snapshot-out FILE]
+                      [--ring-capacity N] [--job-queue N] [--for-ms N] [--out FILE]
+                      [--snapshot-out FILE]
                       (live telemetry plane: keep the native MGPS pool resident,
-                       admit off-load work, and serve /metrics (Prometheus text),
-                       /health (JSON), and /events (NDJSON decision+alarm stream)
-                       on 127.0.0.1; SIGINT or --for-ms drains the rings, merges
-                       health alarms, and writes a checker-valid run log)
+                       admit off-load work and POST /jobs phylo jobs through a
+                       bounded admission queue, and serve /metrics (Prometheus
+                       text, with job latency quantiles), /health (JSON), and
+                       /events (NDJSON decision+alarm+job stream) on 127.0.0.1;
+                       SIGINT or --for-ms drains admitted jobs, refuses new ones,
+                       and writes a checker-valid run log)
+  multigrain loadgen  [--rate JOBS_PER_S] [--duration MS] [--seed N] [--tenants N]
+                      [--workers N] [--job-queue N] [--url HOST:PORT]
+                      [--out FILE.json] [--html FILE.html]
+                      (seeded open-loop load test of the serve plane: exponential
+                       interarrivals x bounded-Pareto job sizes through a
+                       W-server bounded-queue model at 0.25x/0.5x/1x/2x/4x the
+                       offered rate; writes a byte-deterministic mgps-loadtest/v1
+                       JSON and a self-contained HTML report (per-tenant latency
+                       CDFs, throughput-vs-offered-load, queue-depth timeline,
+                       per-job blame); --url additionally drives the same 1x
+                       schedule as live POST /jobs traffic against a running
+                       serve and reports admission outcomes)
   multigrain top      [--url HOST:PORT] [--frames N] [--interval-ms N] [--plain on|off]
                       (live terminal dashboard over a running `serve`: per-SPE
                        utilization bars, LLP degree, stall counters, alarms)
@@ -883,6 +902,12 @@ fn serve_cmd(opts: &Opts) -> Result<(), CliError> {
             None => None,
             Some(_) => Some(get(opts, "for-ms", 0u64)?),
         },
+        job_queue: positive(
+            opts,
+            "job-queue",
+            defaults.job_queue,
+            "the admission queue needs at least 1 slot",
+        )?,
         out: opts.get("out").map(std::path::PathBuf::from),
         snapshot_out: opts.get("snapshot-out").map(std::path::PathBuf::from),
     };
@@ -895,6 +920,98 @@ fn serve_cmd(opts: &Opts) -> Result<(), CliError> {
             "{} schedule-invariant violation(s) in the service run log",
             outcome.violations
         )));
+    }
+    Ok(())
+}
+
+/// `multigrain loadgen` — the seeded load-test harness for the serve plane.
+///
+/// Runs the deterministic open-loop queueing model (exponential
+/// interarrivals × bounded-Pareto job sizes, W model servers behind a
+/// bounded admission queue) at five rate multipliers, writes the
+/// `mgps-loadtest/v1` JSON and the self-contained HTML report — both
+/// byte-deterministic for a given seed — and, with `--url`, replays the
+/// 1× arrival schedule as live `POST /jobs` traffic against a running
+/// `serve`.
+fn loadgen_cmd(opts: &Opts) -> Result<(), CliError> {
+    use multigrain::loadgen::{drive, run_loadtest, LoadgenConfig};
+
+    let d = LoadgenConfig::default();
+    let cfg = LoadgenConfig {
+        rate: get(opts, "rate", d.rate)?,
+        duration_ms: positive(
+            opts,
+            "duration",
+            d.duration_ms as usize,
+            "the load test needs at least 1 ms of traffic",
+        )? as u64,
+        seed: get(opts, "seed", d.seed)?,
+        tenants: positive(opts, "tenants", d.tenants, "the traffic needs at least 1 tenant")?,
+        workers: positive(opts, "workers", d.workers, "the model needs at least 1 server")?,
+        queue_cap: positive(
+            opts,
+            "job-queue",
+            d.queue_cap,
+            "the admission queue needs at least 1 slot",
+        )?,
+    };
+    if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
+        return Err(CliError::usage("--rate: the offered load must be a positive jobs/second"));
+    }
+
+    let report = run_loadtest(&cfg);
+
+    let out = match opts.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => experiments::Experiment::default_dir()
+            .join(format!("loadtest-{:#x}.json", cfg.seed)),
+    };
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| CliError::io(format!("{}: {e}", parent.display())))?;
+    }
+    let json = report.to_json();
+    std::fs::write(&out, &json).map_err(|e| CliError::io(format!("{}: {e}", out.display())))?;
+    let html_path = match opts.get("html") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => out.with_extension("html"),
+    };
+    let html = report.render_html();
+    std::fs::write(&html_path, &html)
+        .map_err(|e| CliError::io(format!("{}: {e}", html_path.display())))?;
+
+    println!(
+        "offered load       {} jobs/s for {} ms, {} tenant(s), {} server(s), queue cap {}",
+        cfg.rate, cfg.duration_ms, cfg.tenants, cfg.workers, cfg.queue_cap
+    );
+    for run in &report.curve {
+        println!(
+            "  {:>5.2}x  offered {:>6}  admitted {:>6}  rejected {:>5}  throughput {:>8.1}/s  p50 {:>8.2} ms  p99 {:>8.2} ms",
+            run.multiplier,
+            run.offered,
+            run.admitted,
+            run.rejected,
+            run.throughput_per_s,
+            run.p50_ns.unwrap_or(0.0) / 1e6,
+            run.p99_ns.unwrap_or(0.0) / 1e6,
+        );
+    }
+    println!(
+        "verdicts           goodput {} ({:.1}% completed in-horizon), rejects {} ({:.2}% refused)",
+        report.verdicts.goodput,
+        report.verdicts.goodput_fraction * 100.0,
+        report.verdicts.rejects,
+        report.verdicts.reject_fraction * 100.0
+    );
+    println!("loadtest           {} ({} bytes)", out.display(), json.len());
+    println!("report             {} ({} bytes)", html_path.display(), html.len());
+
+    if let Some(url) = opts.get("url") {
+        let live = drive(url, &cfg).map_err(CliError::Io)?;
+        println!(
+            "live drive         {url}: {} sent, {} admitted, {} rejected, {} draining, {} errors",
+            live.sent, live.admitted, live.rejected, live.draining, live.errors
+        );
     }
     Ok(())
 }

@@ -48,6 +48,7 @@
 
 pub mod adapters;
 pub mod bridge;
+pub mod loadgen;
 pub mod parallel;
 pub mod serve;
 

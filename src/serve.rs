@@ -11,42 +11,67 @@
 //! * `GET /health` — a JSON verdict (`ok` / `degraded`) with the active
 //!   alarm list ([`mgps_obs::health_json`]).
 //! * `GET /events` — an NDJSON stream of MGPS window decisions
-//!   (`{"type":"decision","u":..,"t":..,"degree":..}`) and health alarms
-//!   as they happen; the backlog is replayed first, then the connection
-//!   stays open and tails the journal.
+//!   (`{"type":"decision","u":..,"t":..,"degree":..}`), job lifecycle
+//!   records, and health alarms as they happen; the backlog is replayed
+//!   first, then the connection stays open and tails the journal.
+//! * `POST /jobs` — job admission: a phylo job spec
+//!   (`taxa=..&sites=..&bootstraps=..&tenant=..`) is assigned a seeded
+//!   job id and either admitted to a bounded FIFO queue (`202`), refused
+//!   because the queue is full (`429`), or refused because the service is
+//!   draining after a shutdown signal (`503`). Every admission decision
+//!   is stamped under one lock, so the trace's job lifecycle replays
+//!   exactly: occupancy, FIFO order, and the queue bound are all
+//!   checkable from the final RunLog (`job-lifecycle` rule).
+//!
+//! Admitted jobs run on the same worker processes as the ambient
+//! workload (jobs outrank it), and decompose into the span terms
+//! `t_queue` / `t_dispatch` / `t_kernel` / `t_reduce` — the granularity
+//! vocabulary lifted one level up — and the
+//! terms telescope by construction, so the checker's exact-partition rule
+//! holds on every run. Job wall time feeds the `JobQueueNs` /
+//! `JobServiceNs` / `JobTotalNs` histograms, which `/metrics` exports as
+//! `multigrain_job_latency{quantile=...}` gauges.
 //!
 //! Scrapes never touch the hot path: a dedicated telemetry thread drains
 //! [`SnapshotSource`] deltas and the trace rings on a fixed cadence, and
 //! HTTP handlers render from that thread's last published [`LiveStatus`].
 //! The same thread feeds the online [`HealthDetector`], so
-//! utilization-collapse, stall-spike, and ring-drop alarms appear both on
-//! `/events` and — merged as [`EventKind::Health`] records — in the final
-//! RunLog the service writes at shutdown.
+//! utilization-collapse, stall-spike, ring-drop, quarantine-storm, and
+//! latency-SLO-burn alarms appear both on `/events` and — merged as
+//! [`EventKind::Health`] records — in the final RunLog the service
+//! writes at shutdown.
 //!
-//! Shutdown (SIGINT or `--for-ms` expiry) is graceful: workers finish
-//! their in-flight off-load, the rings are drained, health events are
-//! merged into the RunLog, and the native-mode invariant checker runs
-//! over the result — an interrupted run still yields a checker-valid log.
+//! Shutdown (SIGINT or `--for-ms` expiry) is graceful and two-phase:
+//! first the service *drains* — new submissions get `503`, admitted jobs
+//! run to completion — then it stops: the rings are drained, health
+//! events are merged into the RunLog, and the native-mode invariant
+//! checker runs over the result. An interrupted run still yields a
+//! checker-valid log with balanced job lifecycle events.
 //!
 //! [`EventKind::Health`]: cellsim::event::EventKind::Health
 
+use std::collections::VecDeque;
 use std::io::{BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::ops::Range;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use cellsim::event::SchedulerTag;
+use cellsim::event::{EventKind, SchedulerTag};
 use mgps_analysis::{check_run_with, check_trace_sanity, CheckMode};
 use mgps_obs::{
-    health_json, merge_health_events, prometheus_text, runlog_from_trace, HealthConfig,
-    HealthDetector, HealthEvent, LiveDecision, LiveStatus, NativeRunMeta,
+    health_json, job_event_json_line, merge_health_events, prometheus_text,
+    quantile_from_log2_buckets, runlog_from_trace, HealthConfig, HealthDetector, HealthEvent,
+    LiveDecision, LiveStatus, NativeRunMeta,
 };
-use mgps_runtime::native::{LoopBody, LoopSite, MgpsRuntime, RuntimeConfig, SpeContext};
+use mgps_runtime::metrics::{hist_bucket, HistKind, MetricsSink, HIST_BUCKETS};
+use mgps_runtime::native::{LoopBody, LoopSite, MgpsRuntime, ProcessCtx, RuntimeConfig, SpeContext};
 use mgps_runtime::policy::{KernelKind, SchedulerKind};
+use mgps_runtime::tracing::TraceHandle;
 use mgps_runtime::{AtomicMetrics, SnapshotSource, TraceEventKind, Tracer};
+use minijson::Value;
 
 /// Construction parameters for service mode.
 #[derive(Debug, Clone)]
@@ -74,6 +99,9 @@ pub struct ServeConfig {
     pub out: Option<PathBuf>,
     /// Where to write the final epoch-stamped metrics snapshot (JSON).
     pub snapshot_out: Option<PathBuf>,
+    /// Bound of the job admission queue: a `POST /jobs` arriving with
+    /// this many jobs already queued is refused with `429`.
+    pub job_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +116,7 @@ impl Default for ServeConfig {
             duration_ms: None,
             out: None,
             snapshot_out: None,
+            job_queue: 8,
         }
     }
 }
@@ -202,22 +231,139 @@ mod sigint {
     }
 }
 
+/// A phylo job spec as parsed from a `POST /jobs` body. Fields are
+/// clamped at admission so one request can never wedge a worker.
+#[derive(Debug, Clone, Copy)]
+struct JobSpec {
+    tenant: usize,
+    taxa: usize,
+    sites: usize,
+    bootstraps: usize,
+}
+
+impl JobSpec {
+    /// Parse a `taxa=..&sites=..&bootstraps=..&tenant=..` form body.
+    /// Missing or malformed fields take defaults; present ones clamp to
+    /// the ranges the serve plane is willing to run.
+    fn parse(body: &str) -> JobSpec {
+        let mut spec = JobSpec { tenant: 0, taxa: 16, sites: 256, bootstraps: 1 };
+        for pair in body.trim().split('&') {
+            let Some((k, v)) = pair.split_once('=') else { continue };
+            let Ok(v) = v.trim().parse::<usize>() else { continue };
+            match k.trim() {
+                "tenant" => spec.tenant = v % 1024,
+                "taxa" => spec.taxa = v.clamp(4, 256),
+                "sites" => spec.sites = v.clamp(16, 8192),
+                "bootstraps" => spec.bootstraps = v.clamp(1, 16),
+                _ => {}
+            }
+        }
+        spec
+    }
+}
+
+/// One admitted job waiting for a worker.
+struct PendingJob {
+    job: u64,
+    spec: JobSpec,
+    submitted_ns: u64,
+}
+
+/// The admission queue plus everything whose order must equal lock
+/// order: the id stream, the last stamp handed out, and the trace ring
+/// that records admission decisions. All `JobSubmitted` / `JobStarted` /
+/// `JobRejected` stamps are taken while holding this lock and are
+/// strictly increasing, so the merged log's order *is* admission order
+/// and the checker's occupancy/FIFO replay is exact.
+struct JobQueue {
+    queue: VecDeque<PendingJob>,
+    cap: usize,
+    admit: TraceHandle,
+    id: Lcg,
+    issued: u64,
+    last_ns: u64,
+}
+
+impl JobQueue {
+    /// A stamp strictly after every stamp this queue has handed out, and
+    /// never behind the clock.
+    fn stamp(&mut self, now_ns: u64) -> u64 {
+        self.last_ns = now_ns.max(self.last_ns + 1);
+        self.last_ns
+    }
+
+    /// The next seeded job id: unique by construction (the issue counter
+    /// occupies the high bits), seeded flavor in the low bits.
+    fn next_id(&mut self) -> u64 {
+        let id = (self.issued << 24) | (self.id.next() & 0xff_ffff);
+        self.issued += 1;
+        id
+    }
+}
+
 /// State shared between the telemetry thread and the HTTP handlers.
 struct Shared {
     /// Shutdown requested (signal, timer, or fatal error).
     stop: AtomicBool,
+    /// Drain requested: `POST /jobs` refuses with `503`, workers run
+    /// the queue dry, and only then does `stop` flip.
+    draining: AtomicBool,
+    /// Jobs popped from the queue but not yet completed.
+    jobs_in_flight: AtomicUsize,
+    /// The admission queue; see [`JobQueue`] for the stamping contract.
+    jobs: Mutex<JobQueue>,
+    /// The run's sanctioned clock, for admission stamps.
+    tracer: Arc<Tracer>,
     /// The last published scrape material; handlers render from this and
     /// never touch the runtime or the rings.
     status: Mutex<Option<LiveStatus>>,
-    /// NDJSON journal of decisions and health events, append-only.
+    /// NDJSON journal of decisions, job lifecycle, and health events,
+    /// append-only.
     journal: Mutex<Vec<String>>,
     /// Every health event, for the final RunLog merge.
     health: Mutex<Vec<HealthEvent>>,
 }
 
+/// What a worker found when it asked the admission queue for work.
+enum Popped {
+    /// A job, with its `JobStarted` stamp.
+    Job(PendingJob, u64),
+    /// Queue empty, service still accepting: more work may yet arrive.
+    Idle,
+    /// Queue empty *and* the drain flag was set, both observed under the
+    /// queue lock. Because admissions check the flag under that same lock
+    /// (and the flag itself flips under it), an empty queue seen alongside
+    /// the flag is empty for good: the worker may exit.
+    Drained,
+}
+
 impl Shared {
     fn stopped(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    fn journal_push(&self, line: String) {
+        self.journal.lock().unwrap_or_else(|e| e.into_inner()).push(line);
+    }
+
+    /// Pop the next admitted job, stamping `JobStarted` under the queue
+    /// lock. In-flight is raised under the same lock, so the drain waiter
+    /// can never observe "queue empty, nothing in flight" mid-handoff.
+    fn pop_job(&self) -> Popped {
+        let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        match q.queue.pop_front() {
+            Some(job) => {
+                self.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
+                let at = q.stamp(self.tracer.now_ns());
+                q.admit.record_at(
+                    at,
+                    TraceEventKind::JobStarted { job: job.job, tenant: job.spec.tenant },
+                );
+                Popped::Job(job, at)
+            }
+            None if self.draining.load(Ordering::SeqCst) => Popped::Drained,
+            None => Popped::Idle,
+        }
     }
 }
 
@@ -246,34 +392,84 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        jobs_in_flight: AtomicUsize::new(0),
+        jobs: Mutex::new(JobQueue {
+            queue: VecDeque::new(),
+            cap: cfg.job_queue.max(1),
+            admit: tracer.handle(),
+            id: Lcg(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
+            issued: 0,
+            last_ns: 0,
+        }),
+        tracer: Arc::clone(&tracer),
         status: Mutex::new(None),
         journal: Mutex::new(Vec::new()),
         health: Mutex::new(Vec::new()),
     });
 
     std::thread::scope(|s| {
-        // Workload: each worker is one "process" admitting off-loads.
-        for w in 0..cfg.workers {
+        // Workload + jobs, one pool: each worker is one "process" that
+        // interleaves the ambient seeded off-load stream with admitted
+        // jobs, and jobs outrank the ambient work. One pool matters for
+        // liveness: the PPE gate has only `contexts` slots and a holder
+        // yields its slot only *during* an off-load, so a thread that
+        // slept on an empty job queue while pinning a context would
+        // starve every other process. Here every context holder runs
+        // this same loop, so any queued job is served by whichever
+        // holder polls next — nobody who needs a slot waits on a
+        // sleeper who will never produce one.
+        for w in 0..cfg.workers.max(1) {
             let shared = Arc::clone(&shared);
             let rt = &rt;
+            let metrics = Arc::clone(&metrics);
+            let tracer = Arc::clone(&tracer);
             let mut lcg = Lcg(cfg.seed.wrapping_add(w as u64).wrapping_mul(0x9e37) | 1);
+            let mut ambient_left = if w < cfg.workers { cfg.tasks_per_worker } else { 0 };
             s.spawn(move || {
                 let mut ctx = rt.enter_process();
-                for _ in 0..cfg.tasks_per_worker {
+                // This worker's own ring: `JobCompleted` stamps are
+                // monotone per worker, so per-ring causal time holds.
+                let done = tracer.handle();
+                let mut last_done_ns = 0u64;
+                loop {
                     if shared.stopped() {
                         break;
                     }
-                    let n = 32 + (lcg.next() % 97) as usize;
-                    let rounds = 64 + (lcg.next() % 512) as u32;
-                    let body = Arc::new(SpinBody { n, rounds });
-                    if ctx.offload_loop(LoopSite(w as u64), body).is_err() {
-                        break;
+                    match shared.pop_job() {
+                        Popped::Job(job, started_ns) => {
+                            let started =
+                                EventKind::JobStarted { job: job.job, tenant: job.spec.tenant };
+                            if let Some(line) = job_event_json_line(started_ns, &started) {
+                                shared.journal_push(line);
+                            }
+                            execute_job(
+                                &mut ctx, &job, started_ns, &done, &mut last_done_ns,
+                                &metrics, &shared,
+                            );
+                            shared.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+                            continue;
+                        }
+                        Popped::Drained => break,
+                        Popped::Idle => {}
                     }
-                    // A little PPE-side think time between off-loads keeps
-                    // task parallelism (the paper's U) genuinely variable.
-                    ctx.ppe_compute(|| std::thread::sleep(Duration::from_micros(
-                        200 + lcg.next() % 800,
-                    )));
+                    if ambient_left > 0 {
+                        ambient_left -= 1;
+                        let n = 32 + (lcg.next() % 97) as usize;
+                        let rounds = 64 + (lcg.next() % 512) as u32;
+                        let body = Arc::new(SpinBody { n, rounds });
+                        if ctx.offload_loop(LoopSite(w as u64), body).is_err() {
+                            break;
+                        }
+                        // A little PPE-side think time between off-loads
+                        // keeps task parallelism (the paper's U) genuinely
+                        // variable.
+                        ctx.ppe_compute(|| {
+                            std::thread::sleep(Duration::from_micros(200 + lcg.next() % 800))
+                        });
+                    } else {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
                 }
             });
         }
@@ -328,7 +524,9 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
             });
         }
 
-        // Lifetime control: SIGINT or the --for-ms timer flips `stop`.
+        // Lifetime control: SIGINT or the --for-ms timer starts the
+        // drain; `stop` flips only once every admitted job has completed,
+        // so the final log's job lifecycle is always balanced.
         let started = std::time::Instant::now();
         loop {
             if sigint::pending() {
@@ -342,6 +540,23 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
                 }
             }
             std::thread::sleep(Duration::from_millis(20));
+        }
+        {
+            // Flip the drain flag while holding the jobs lock: admission
+            // checks the flag under this same lock, so once it is
+            // released no new job can ever enter the queue — which is
+            // what lets a worker treat "empty + draining" (observed
+            // under the lock) as final.
+            let _q = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        loop {
+            let queue_empty =
+                shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).queue.is_empty();
+            if queue_empty && shared.jobs_in_flight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
         shared.stop.store(true, Ordering::SeqCst);
     });
@@ -410,6 +625,100 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
     );
 
     Ok(ServeOutcome { violations, dropped_events: dropped, alarms, tasks_completed })
+}
+
+/// Run one admitted job and record its completion.
+///
+/// The job decomposes into the span terms the paper's granularity
+/// vocabulary lifts to job level: `t_dispatch` (argument marshalling on
+/// the PPE), `t_kernel` (one off-loaded loop per bootstrap replicate),
+/// and `t_reduce` (result folding on the PPE). Phase boundaries chain
+/// with `max`, so the terms telescope: their sum plus `t_queue` equals
+/// `completed - submitted` *exactly*, which the checker's job-lifecycle
+/// rule asserts on every log. A faulted off-load still completes the job
+/// (with whatever work was done) — the lifecycle stays balanced.
+fn execute_job(
+    ctx: &mut ProcessCtx<'_>,
+    job: &PendingJob,
+    started_ns: u64,
+    done: &TraceHandle,
+    last_done_ns: &mut u64,
+    metrics: &AtomicMetrics,
+    shared: &Shared,
+) {
+    let tracer = &shared.tracer;
+    let spec = job.spec;
+
+    // Dispatch: marshal the spec into per-replicate work shapes.
+    let shapes: Vec<(usize, u32)> = ctx.ppe_compute(|| {
+        let mut lcg = Lcg(job.job | 1);
+        (0..spec.bootstraps)
+            .map(|_| {
+                let n = 16 + (spec.sites + (lcg.next() as usize % 17).min(spec.sites)) / 8;
+                // Per-element rounds scale with the alignment width too,
+                // so job cost tracks the spec the way a real likelihood
+                // kernel would: a max-spec job runs for tens of
+                // milliseconds (a drainable backlog is observable), a
+                // small one stays sub-millisecond.
+                let rounds = (16 + spec.taxa as u32 * 4) * (1 + spec.sites as u32 / 64);
+                (n, rounds)
+            })
+            .collect()
+    });
+    let dispatch_end = tracer.now_ns().max(started_ns);
+
+    // Kernel: one off-loaded loop per bootstrap replicate.
+    for (n, rounds) in shapes {
+        let body = Arc::new(SpinBody { n, rounds });
+        if ctx.offload_loop(LoopSite(0x10_000 + spec.tenant as u64), body).is_err() {
+            break;
+        }
+    }
+    let kernel_end = tracer.now_ns().max(dispatch_end);
+
+    // Reduce: fold the replicate results on the PPE.
+    ctx.ppe_compute(|| {
+        let mut acc = 0u64;
+        for i in 0..spec.taxa {
+            acc = acc.rotate_left(7).wrapping_add(std::hint::black_box(i as u64));
+        }
+        std::hint::black_box(acc)
+    });
+    // Strictly after the kernel boundary AND after this worker's previous
+    // completion, so the worker's ring keeps causal time even when two
+    // jobs finish within the stamp-bump noise.
+    let completed_ns = tracer.now_ns().max(kernel_end + 1).max(*last_done_ns + 1);
+    *last_done_ns = completed_ns;
+
+    let t_queue_ns = started_ns - job.submitted_ns;
+    let t_dispatch_ns = dispatch_end - started_ns;
+    let t_kernel_ns = kernel_end - dispatch_end;
+    let t_reduce_ns = completed_ns - kernel_end;
+    done.record_at(
+        completed_ns,
+        TraceEventKind::JobCompleted {
+            job: job.job,
+            tenant: spec.tenant,
+            t_queue_ns,
+            t_dispatch_ns,
+            t_kernel_ns,
+            t_reduce_ns,
+        },
+    );
+    metrics.observe(HistKind::JobQueueNs, t_queue_ns);
+    metrics.observe(HistKind::JobServiceNs, completed_ns - started_ns);
+    metrics.observe(HistKind::JobTotalNs, completed_ns - job.submitted_ns);
+    let completed = EventKind::JobCompleted {
+        job: job.job,
+        tenant: spec.tenant,
+        t_queue_ns,
+        t_dispatch_ns,
+        t_kernel_ns,
+        t_reduce_ns,
+    };
+    if let Some(line) = job_event_json_line(completed_ns, &completed) {
+        shared.journal_push(line);
+    }
 }
 
 /// Kernel slugs the runtime's granularity controller currently keeps on
@@ -493,33 +802,51 @@ fn telemetry_tick(
 }
 
 /// Serve one HTTP connection. Request parsing is deliberately minimal:
-/// the first line's method and path decide everything.
+/// the first line's method and path decide everything; only `POST /jobs`
+/// reads a body (sized by `Content-Length`, capped at the buffer).
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     stream.set_read_timeout(Some(Duration::from_millis(500))).ok();
     let mut buf = [0u8; 4096];
     let mut len = 0;
+    let mut header_end = None;
     while len < buf.len() {
+        if let Some(he) = buf[..len].windows(4).position(|w| w == b"\r\n\r\n") {
+            header_end = Some(he + 4);
+            break;
+        }
         match stream.read(&mut buf[len..]) {
             Ok(0) => break,
-            Ok(n) => {
-                len += n;
-                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-            }
+            Ok(n) => len += n,
             Err(_) => return,
         }
     }
-    let request = String::from_utf8_lossy(&buf[..len]);
-    let mut first = request.lines().next().unwrap_or("").split_whitespace();
-    let method = first.next().unwrap_or("");
-    let path = first.next().unwrap_or("");
-    if method != "GET" {
-        respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET is served\n");
-        return;
+    let Some(header_end) = header_end else { return };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut first = head.lines().next().unwrap_or("").split_whitespace();
+    let method = first.next().unwrap_or("").to_string();
+    let path = first.next().unwrap_or("").to_string();
+
+    // Pull the body in for POST: whatever Content-Length promises, capped
+    // at the request buffer.
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length").then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let want = (header_end + content_length).min(buf.len());
+    while len < want {
+        match stream.read(&mut buf[len..want]) {
+            Ok(0) => break,
+            Ok(n) => len += n,
+            Err(_) => break,
+        }
     }
-    match path {
-        "/metrics" => {
+    let body = String::from_utf8_lossy(&buf[header_end..len.min(want)]).into_owned();
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/metrics") => {
             let status = shared.status.lock().unwrap_or_else(|e| e.into_inner()).clone();
             match status {
                 Some(st) => respond(
@@ -531,7 +858,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 None => respond(&mut stream, "503 Service Unavailable", "text/plain", "warming up\n"),
             }
         }
-        "/health" => {
+        ("GET", "/health") => {
             let status = shared.status.lock().unwrap_or_else(|e| e.into_inner()).clone();
             match status {
                 Some(st) => {
@@ -542,16 +869,145 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 None => respond(&mut stream, "503 Service Unavailable", "text/plain", "warming up\n"),
             }
         }
-        "/events" => stream_events(stream, shared),
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "try /metrics, /health, /events\n"),
+        ("GET", "/events") => stream_events(stream, shared),
+        ("POST", "/jobs") => handle_job_post(&mut stream, shared, &body),
+        // Known path, wrong verb: say which verb works instead of
+        // pretending the path does not exist.
+        (_, "/metrics" | "/health" | "/events") => respond_with(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            &[("Allow", "GET")],
+            "method not allowed; this path serves GET\n",
+        ),
+        (_, "/jobs") => respond_with(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            &[("Allow", "POST")],
+            "method not allowed; submit jobs with POST\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "try /metrics, /health, /events, /jobs\n"),
+    }
+}
+
+/// `POST /jobs`: admit, refuse (queue full), or refuse (draining). All
+/// trace stamping happens under the queue lock — see [`JobQueue`].
+fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
+    let spec = JobSpec::parse(body);
+    enum Verdict {
+        Admitted { job: u64, depth: usize, cap: usize },
+        Full { job: u64, depth: usize, cap: usize },
+        Draining,
+    }
+    let verdict = {
+        let mut q = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.draining.load(Ordering::SeqCst) {
+            // Draining refusals record nothing: the final log describes
+            // the run's admitted work, and a drain admits none.
+            Verdict::Draining
+        } else if q.queue.len() >= q.cap {
+            let at = q.stamp(shared.tracer.now_ns());
+            let job = q.next_id();
+            let (depth, cap) = (q.queue.len(), q.cap);
+            q.admit.record_at(
+                at,
+                TraceEventKind::JobRejected { job, tenant: spec.tenant, queue_depth: depth, queue_cap: cap },
+            );
+            let rejected = EventKind::JobRejected {
+                job,
+                tenant: spec.tenant,
+                queue_depth: depth,
+                queue_cap: cap,
+            };
+            if let Some(line) = job_event_json_line(at, &rejected) {
+                shared.journal_push(line);
+            }
+            Verdict::Full { job, depth, cap }
+        } else {
+            let at = q.stamp(shared.tracer.now_ns());
+            let job = q.next_id();
+            q.queue.push_back(PendingJob { job, spec, submitted_ns: at });
+            let (depth, cap) = (q.queue.len(), q.cap);
+            q.admit.record_at(
+                at,
+                TraceEventKind::JobSubmitted {
+                    job,
+                    tenant: spec.tenant,
+                    taxa: spec.taxa,
+                    sites: spec.sites,
+                    bootstraps: spec.bootstraps,
+                    queue_depth: depth,
+                    queue_cap: cap,
+                },
+            );
+            let submitted = EventKind::JobSubmitted {
+                job,
+                tenant: spec.tenant,
+                taxa: spec.taxa,
+                sites: spec.sites,
+                bootstraps: spec.bootstraps,
+                queue_depth: depth,
+                queue_cap: cap,
+            };
+            if let Some(line) = job_event_json_line(at, &submitted) {
+                shared.journal_push(line);
+            }
+            Verdict::Admitted { job, depth, cap }
+        }
+    };
+    match verdict {
+        Verdict::Admitted { job, depth, cap } => {
+            let mut body = Value::object(vec![
+                ("status", "admitted".into()),
+                ("job", job.into()),
+                ("tenant", spec.tenant.into()),
+                ("queue_depth", depth.into()),
+                ("queue_cap", cap.into()),
+            ])
+            .to_json();
+            body.push('\n');
+            respond(stream, "202 Accepted", "application/json", &body);
+        }
+        Verdict::Full { job, depth, cap } => {
+            let mut body = Value::object(vec![
+                ("status", "rejected".into()),
+                ("job", job.into()),
+                ("queue_depth", depth.into()),
+                ("queue_cap", cap.into()),
+            ])
+            .to_json();
+            body.push('\n');
+            respond(stream, "429 Too Many Requests", "application/json", &body);
+        }
+        Verdict::Draining => {
+            let mut body =
+                Value::object(vec![("status", "draining".into())]).to_json();
+            body.push('\n');
+            respond(stream, "503 Service Unavailable", "application/json", &body);
+        }
     }
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let header = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    respond_with(stream, status, content_type, &[], body);
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let mut header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (k, v) in extra_headers {
+        header.push_str(&format!("{k}: {v}\r\n"));
+    }
+    header.push_str("Connection: close\r\n\r\n");
     let mut w = BufWriter::new(stream);
     let _ = w.write_all(header.as_bytes());
     let _ = w.write_all(body.as_bytes());
@@ -634,13 +1090,25 @@ pub fn http_get(addr: &str, path: &str) -> Result<String, String> {
     Ok(body.to_string())
 }
 
+/// Cross-frame accumulation for the `top` renderer: busy samples for the
+/// utilization bars, and the previous frame's histogram buckets so the
+/// latency columns show quantiles of *this interval's* completions.
+#[derive(Default)]
+struct TopState {
+    /// Busy samples per SPE index (utilization = busy / total).
+    busy_samples: Vec<u64>,
+    /// Frames rendered so far.
+    total_samples: u64,
+    /// Previous frame's per-bucket counts for `multigrain_task_dur_ns`.
+    prev_task_buckets: Vec<u64>,
+    /// Previous frame's per-bucket counts for `multigrain_job_total_ns`.
+    prev_job_buckets: Vec<u64>,
+}
+
 /// Pull one `/metrics` scrape and render one frame per `cfg`, repeating.
 pub fn run_top(cfg: &TopConfig) -> Result<(), String> {
     let mut frame = 0u64;
-    // Client-side busy-sample accumulation turns the instantaneous
-    // per-SPE busy flags into a utilization estimate across frames.
-    let mut busy_samples: Vec<u64> = Vec::new();
-    let mut total_samples = 0u64;
+    let mut state = TopState::default();
     loop {
         let text = http_get(&cfg.url, "/metrics")?;
         let families = mgps_obs::parse_prometheus(&text)?;
@@ -648,7 +1116,7 @@ pub fn run_top(cfg: &TopConfig) -> Result<(), String> {
             // Clear screen + home, the ANSI way `top` does it.
             print!("\u{1b}[2J\u{1b}[H");
         }
-        render_frame(&families, &cfg.url, &mut busy_samples, &mut total_samples);
+        print!("{}", frame_text(&families, &cfg.url, &mut state));
         frame += 1;
         if cfg.frames != 0 && frame >= cfg.frames {
             return Ok(());
@@ -665,13 +1133,41 @@ fn gauge(families: &[mgps_obs::PromFamily], name: &str) -> Option<f64> {
         .map(|s| s.value)
 }
 
-fn render_frame(
-    families: &[mgps_obs::PromFamily],
-    url: &str,
-    busy_samples: &mut Vec<u64>,
-    total_samples: &mut u64,
-) {
-    print!("{}", frame_text(families, url, busy_samples, total_samples));
+/// Per-bucket (non-cumulative) counts of one histogram family in a
+/// scrape, reconstructed from the cumulative `le`-labeled samples. The
+/// exporter elides zero buckets, so missing `le`s contribute nothing.
+fn scrape_hist_buckets(families: &[mgps_obs::PromFamily], name: &str) -> Vec<u64> {
+    let mut buckets = vec![0u64; HIST_BUCKETS];
+    let Some(f) = families.iter().find(|f| f.name == name && f.kind == "histogram") else {
+        return buckets;
+    };
+    let mut prev_cum = 0u64;
+    for s in f.samples.iter().filter(|s| s.name.ends_with("_bucket")) {
+        let Some(le) = s.label("le") else { continue };
+        if le == "+Inf" {
+            continue;
+        }
+        let Ok(le) = le.parse::<u64>() else { continue };
+        // `le` is `2^i - 1` (bucket i holds values of bit length i).
+        let i = hist_bucket(le);
+        let cum = s.value as u64;
+        buckets[i] = cum.saturating_sub(prev_cum);
+        prev_cum = cum;
+    }
+    buckets
+}
+
+/// `p50 .. p99 ..` of this frame's histogram delta; `n/a` (never NaN)
+/// when nothing landed in the interval.
+fn quantile_cols(delta: &[u64]) -> String {
+    let fmt = |q: f64| match quantile_from_log2_buckets(delta, q) {
+        Some(ns) if ns >= 1e9 => format!("{:.2}s", ns / 1e9),
+        Some(ns) if ns >= 1e6 => format!("{:.1}ms", ns / 1e6),
+        Some(ns) if ns >= 1e3 => format!("{:.1}us", ns / 1e3),
+        Some(ns) => format!("{ns:.0}ns"),
+        None => "n/a".to_string(),
+    };
+    format!("p50 {} p99 {}", fmt(0.5), fmt(0.99))
 }
 
 /// Render one `top` frame from a `/metrics` scrape. Total function of its
@@ -682,10 +1178,10 @@ fn render_frame(
 fn frame_text(
     families: &[mgps_obs::PromFamily],
     url: &str,
-    busy_samples: &mut Vec<u64>,
-    total_samples: &mut u64,
+    state: &mut TopState,
 ) -> String {
     use std::fmt::Write as _;
+    let TopState { busy_samples, total_samples, prev_task_buckets, prev_job_buckets } = state;
     let mut out = String::new();
     let epoch = gauge(families, "multigrain_snapshot_epoch").unwrap_or(0.0);
     let uptime_s = gauge(families, "multigrain_uptime_ns").unwrap_or(0.0) / 1e9;
@@ -752,6 +1248,28 @@ fn frame_text(
         counter("multigrain_gate_contention_ns") / 1e6,
         counter("multigrain_trace_dropped_events"),
     );
+
+    // Latency quantiles of what completed since the previous frame:
+    // current cumulative buckets minus the last frame's. An interval in
+    // which nothing completed renders n/a, never NaN.
+    let task_buckets = scrape_hist_buckets(families, "multigrain_task_dur_ns");
+    let job_buckets = scrape_hist_buckets(families, "multigrain_job_total_ns");
+    let delta = |cur: &[u64], prev: &[u64]| -> Vec<u64> {
+        cur.iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_sub(prev.get(i).copied().unwrap_or(0)))
+            .collect()
+    };
+    let task_delta = delta(&task_buckets, prev_task_buckets);
+    let job_delta = delta(&job_buckets, prev_job_buckets);
+    let _ = writeln!(
+        out,
+        " latency (frame delta): tasks {}   jobs {}",
+        quantile_cols(&task_delta),
+        quantile_cols(&job_delta),
+    );
+    *prev_task_buckets = task_buckets;
+    *prev_job_buckets = job_buckets;
     let healthy = gauge(families, "multigrain_healthy_spes").unwrap_or(spes.len() as f64);
     let _ = writeln!(
         out,
@@ -799,31 +1317,33 @@ multigrain_snapshot_epoch 0
 multigrain_uptime_ns 0
 ";
         let families = mgps_obs::parse_prometheus(scrape).unwrap();
-        let mut busy = Vec::new();
-        let mut total = 0u64;
-        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        let mut state = TopState::default();
+        let frame = frame_text(&families, "h:1", &mut state);
         assert!(frame.contains("epoch 0"));
         assert!(frame.contains("SPE 0 [--------------------]   0%  idle"));
         assert!(frame.contains("offloads 0"));
         assert!(frame.contains("healthy 2"), "absent gauge falls back to the SPE count");
         assert!(frame.contains("alarms: (none)"));
+        assert!(
+            frame.contains("tasks p50 n/a p99 n/a"),
+            "no histogram at all renders n/a latency columns: {frame}"
+        );
     }
 
     #[test]
     fn top_frame_survives_sparse_and_empty_spe_samples() {
         // No SPE family at all.
         let families = mgps_obs::parse_prometheus("# TYPE multigrain_llp_degree gauge\nmultigrain_llp_degree 1\n").unwrap();
-        let mut busy = Vec::new();
-        let mut total = 0u64;
-        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        let mut state = TopState::default();
+        let frame = frame_text(&families, "h:1", &mut state);
         assert!(frame.contains("degree 1"));
         // A sparse scrape whose only sample has a high index must size the
         // accumulator by index, not sample count.
         let sparse = "# TYPE multigrain_spe_busy gauge\nmultigrain_spe_busy{spe=\"5\"} 1\n";
         let families = mgps_obs::parse_prometheus(sparse).unwrap();
-        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        let frame = frame_text(&families, "h:1", &mut state);
         assert!(frame.contains("SPE 5"));
-        assert_eq!(busy.len(), 6);
+        assert_eq!(state.busy_samples.len(), 6);
     }
 
     #[test]
@@ -845,10 +1365,55 @@ multigrain_healthy_spes 6
 multigrain_alarm_active{alarm=\"quarantine_storm\"} 1
 ";
         let families = mgps_obs::parse_prometheus(scrape).unwrap();
-        let mut busy = Vec::new();
-        let mut total = 0u64;
-        let frame = frame_text(&families, "h:1", &mut busy, &mut total);
+        let mut state = TopState::default();
+        let frame = frame_text(&families, "h:1", &mut state);
         assert!(frame.contains("faults 7   retries 5   fallbacks 2   quarantined 2   healthy 6"));
         assert!(frame.contains("alarms: quarantine_storm"));
+    }
+
+    #[test]
+    fn top_latency_columns_come_from_frame_deltas() {
+        // Frame 1: 4 jobs completed so far, all in the [2^12, 2^13)
+        // bucket (le 8191); 2 tasks in [2^10, 2^11) (le 2047).
+        let first = "\
+# TYPE multigrain_task_dur_ns histogram
+multigrain_task_dur_ns_bucket{le=\"2047\"} 2
+multigrain_task_dur_ns_bucket{le=\"+Inf\"} 2
+multigrain_task_dur_ns_sum 3000
+multigrain_task_dur_ns_count 2
+# TYPE multigrain_job_total_ns histogram
+multigrain_job_total_ns_bucket{le=\"8191\"} 4
+multigrain_job_total_ns_bucket{le=\"+Inf\"} 4
+multigrain_job_total_ns_sum 20000
+multigrain_job_total_ns_count 4
+";
+        // Frame 2: no new tasks; 4 new jobs, all in [2^20, 2^21)
+        // (le 2097151) — the delta's quantiles must reflect ONLY the new
+        // jobs, not the cumulative mix.
+        let second = "\
+# TYPE multigrain_task_dur_ns histogram
+multigrain_task_dur_ns_bucket{le=\"2047\"} 2
+multigrain_task_dur_ns_bucket{le=\"+Inf\"} 2
+multigrain_task_dur_ns_sum 3000
+multigrain_task_dur_ns_count 2
+# TYPE multigrain_job_total_ns histogram
+multigrain_job_total_ns_bucket{le=\"8191\"} 4
+multigrain_job_total_ns_bucket{le=\"2097151\"} 8
+multigrain_job_total_ns_bucket{le=\"+Inf\"} 8
+multigrain_job_total_ns_sum 6020000
+multigrain_job_total_ns_count 8
+";
+        let mut state = TopState::default();
+        let frame1 = frame_text(&mgps_obs::parse_prometheus(first).unwrap(), "h:1", &mut state);
+        // First frame deltas against zero: the lifetime quantiles.
+        assert!(frame1.contains("tasks p50 1."), "first-frame task p50 in [1024, 2048): {frame1}");
+        assert!(frame1.contains("jobs p50 5.6us"), "first-frame job p50 in [4096, 8192): {frame1}");
+
+        let frame2 = frame_text(&mgps_obs::parse_prometheus(second).unwrap(), "h:1", &mut state);
+        // Empty task delta: n/a, never NaN.
+        assert!(frame2.contains("tasks p50 n/a p99 n/a"), "{frame2}");
+        // Job delta holds only the 4 new jobs in [2^20, 2^21) = ~1-2 ms.
+        assert!(frame2.contains("jobs p50 1.") && frame2.contains("ms"), "{frame2}");
+        assert!(!frame2.contains("NaN"));
     }
 }

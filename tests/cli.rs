@@ -309,3 +309,39 @@ fn chaos_sweep_survives_and_lethal_spec_trips_the_checker() {
     assert_eq!(code, 4, "lethal chaos should be a checker violation (4): {stderr}");
     assert!(stdout.contains("lost"), "{stdout}");
 }
+
+#[test]
+fn loadgen_artifacts_are_byte_deterministic_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("mg-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths: Vec<_> = (0..2)
+        .map(|i| (dir.join(format!("lt{i}.json")), dir.join(format!("lt{i}.html"))))
+        .collect();
+    for (json, html) in &paths {
+        let (stdout, stderr, code) = run_cli_code(&[
+            "loadgen", "--seed", "11", "--rate", "600", "--duration", "300",
+            "--tenants", "3", "--out", json.to_str().unwrap(),
+            "--html", html.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{stderr}");
+        assert!(stdout.contains("verdicts"), "{stdout}");
+        assert!(stdout.contains("offered load"), "{stdout}");
+    }
+    let bytes = |p: &std::path::Path| std::fs::read(p).expect("artifact written");
+    assert_eq!(bytes(&paths[0].0), bytes(&paths[1].0), "JSON must be byte-identical");
+    assert_eq!(bytes(&paths[0].1), bytes(&paths[1].1), "HTML must be byte-identical");
+    let json = String::from_utf8(bytes(&paths[0].0)).unwrap();
+    assert!(json.contains("\"mgps-loadtest/v1\""), "schema tag missing");
+    let html = String::from_utf8(bytes(&paths[0].1)).unwrap();
+    assert!(html.starts_with("<!DOCTYPE html>"), "self-contained HTML report expected");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_rejects_degenerate_rates_as_usage_errors() {
+    for rate in ["0", "-5", "nope"] {
+        let (_, stderr, code) = run_cli_code(&["loadgen", "--rate", rate]);
+        assert_eq!(code, 2, "--rate {rate} should be a usage error: {stderr}");
+        assert!(stderr.contains("--rate"), "{stderr}");
+    }
+}

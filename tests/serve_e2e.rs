@@ -297,3 +297,166 @@ extern "C" {
     #[link_name = "kill"]
     fn libc_kill(pid: i32, sig: i32) -> i32;
 }
+
+/// A best-effort `POST /jobs` that reports `None` once the listener is
+/// gone (connect, write, or read failure) instead of failing the test.
+fn try_post(addr: &str, body: &str) -> Option<(u16, String)> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream
+        .write_all(
+            format!(
+                "POST /jobs HTTP/1.1\r\nHost: {addr}\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .ok()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).ok()?;
+    let status: u16 = raw.strip_prefix("HTTP/1.1 ")?.get(..3)?.parse().ok()?;
+    let payload = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Some((status, payload))
+}
+
+/// One raw HTTP round-trip; returns (status, raw head, body).
+fn raw_request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let (head, payload) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), payload.to_string())
+}
+
+#[test]
+fn known_paths_answer_405_with_an_allow_header_per_verb() {
+    let (mut child, addr) = spawn_serve(&["--tasks", "200", "--for-ms", "8000"]);
+    scrape(&addr, "/health"); // wait until the plane is up
+
+    // The read-only telemetry endpoints accept GET and nothing else.
+    for path in ["/metrics", "/health", "/events"] {
+        for verb in ["POST", "PUT", "DELETE", "PATCH", "HEAD"] {
+            let (status, head, _) = raw_request(&addr, verb, path, "");
+            assert_eq!(status, 405, "{verb} {path}: {head}");
+            assert!(head.contains("Allow: GET"), "{verb} {path}: {head}");
+        }
+    }
+    // The job endpoint accepts POST and nothing else.
+    for verb in ["GET", "PUT", "DELETE", "PATCH", "HEAD"] {
+        let (status, head, _) = raw_request(&addr, verb, "/jobs", "");
+        assert_eq!(status, 405, "{verb} /jobs: {head}");
+        assert!(head.contains("Allow: POST"), "{verb} /jobs: {head}");
+    }
+    // Unknown paths stay 404 regardless of verb.
+    let (status, _, _) = raw_request(&addr, "POST", "/nope", "");
+    assert_eq!(status, 404);
+
+    let code = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn sigint_mid_load_drains_admitted_jobs_and_refuses_new_ones() {
+    let dir = std::env::temp_dir().join(format!("mg-serve-jobs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("jobs-run.json");
+
+    let (mut child, addr) = spawn_serve(&[
+        "--tasks",
+        "200",
+        "--workers",
+        "1",
+        "--job-queue",
+        "6",
+        "--out",
+        log_path.to_str().unwrap(),
+    ]);
+    scrape(&addr, "/health");
+
+    // Flood the single worker with heavy jobs so a backlog is guaranteed
+    // to still be draining when the interrupt lands.
+    let (mut admitted, mut rejected) = (0usize, 0usize);
+    for i in 0..10 {
+        let body = format!("taxa=64&sites=8192&bootstraps=16&tenant={}", i % 3);
+        let (status, head, payload) = raw_request(&addr, "POST", "/jobs", &body);
+        match status {
+            202 => admitted += 1,
+            429 => rejected += 1,
+            other => panic!("unexpected status {other} for job {i}: {head} {payload}"),
+        }
+    }
+    assert!(admitted >= 1, "at least one job must be admitted");
+
+    // SIGINT mid-load: the service flips to draining...
+    unsafe {
+        libc_kill(child.id() as i32, 2);
+    }
+    // ...and new submissions are refused with a status distinct from the
+    // queue-full 429 while the backlog is worked off.
+    let mut saw_draining = false;
+    for _ in 0..2_000 {
+        // The listener may vanish at any instant once the drain finishes,
+        // so a failed round-trip ends the probe rather than the test.
+        let Some((status, payload)) =
+            try_post(&addr, "taxa=8&sites=16&bootstraps=1&tenant=0")
+        else {
+            break;
+        };
+        match status {
+            503 => {
+                assert!(payload.contains("draining"), "{payload}");
+                saw_draining = true;
+                break;
+            }
+            // The signal may still be in flight: submissions that beat the
+            // drain flag are real admissions/refusals and must balance in
+            // the final log like any other.
+            202 => admitted += 1,
+            429 => rejected += 1,
+            other => panic!("unexpected status {other} while draining: {payload}"),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(saw_draining, "a draining service must answer POST /jobs with 503");
+
+    let code = wait_with_timeout(&mut child, Duration::from_secs(60));
+    assert_eq!(code, 0, "an interrupted loaded service still exits cleanly");
+
+    // The log is checker-valid and the job lifecycle is balanced: every
+    // admitted job ran to completion, every refusal was recorded, and the
+    // drain-time 503s left no trace (a drain admits nothing).
+    let text = std::fs::read_to_string(&log_path).expect("run log written");
+    let log = RunLog::from_value(&minijson::parse(&text).expect("log is JSON"))
+        .expect("log deserializes");
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "interrupted run must be checker-valid:\n{}", report.render());
+
+    let count = |f: &dyn Fn(&EventKind) -> bool| log.events.iter().filter(|e| f(&e.kind)).count();
+    let submitted = count(&|k| matches!(k, EventKind::JobSubmitted { .. }));
+    let started = count(&|k| matches!(k, EventKind::JobStarted { .. }));
+    let completed = count(&|k| matches!(k, EventKind::JobCompleted { .. }));
+    let refused = count(&|k| matches!(k, EventKind::JobRejected { .. }));
+    assert_eq!(submitted, admitted, "one JobSubmitted per 202");
+    assert_eq!(started, admitted, "every admitted job started");
+    assert_eq!(completed, admitted, "every admitted job drained to completion");
+    assert_eq!(refused, rejected, "one JobRejected per 429");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
