@@ -50,15 +50,19 @@
 //! | `mgps-degree` | MGPS loop degrees stay in `1..=max(1, floor(n_spes/waiting))`, the utilization window is exactly `n_spes` long and never over-filled, and only MGPS runs make degree decisions |
 //! | `chunk-coverage` | each work-shared loop is partitioned into exactly `degree` chunks that tile `0..loop_iters` with one chunk per team member |
 //! | `fault-policy` | a `fault_policy` header, when present, parses back into a legal fault plan |
-//! | `fault-recovery` | fault/retry/fallback events appear only under a declared plan; retries are sequential with the declared backoff and bounded by `max_retries`; every faulted (or, when armed, merely off-loaded) task is resolved exactly once — retried to completion, fallen back, or flagged lost — never duplicated |
+//! | `fault-recovery` | fault/retry/fallback events appear only under a declared plan; retries are sequential with the declared backoff and bounded by `max_retries`; every faulted (or, when armed, merely off-loaded) task is resolved exactly once — retried to completion, fallen back, or flagged lost — never duplicated; each `JobRetried`/`JobPoisoned` absorbs one unresolved task (the kernel off-load whose unrecovered death it answered) |
 //! | `quarantine` | quarantine intervals per SPE are exclusive (enter once, leave once, in order), entry requires `k` consecutive faults, and no quarantined SPE is granted work |
-//! | `job-lifecycle` | serve-plane jobs are admitted/started/completed exactly once each (rejected ids never admitted), starts follow admission order within a tenant (FIFO), recorded queue depths match the replayed occupancy and never exceed the declared bound, and a completion's four terms partition its admission-to-completion span exactly |
+//! | `job-lifecycle` | serve-plane jobs are admitted once (rejected ids never admitted), starts follow admission order within a tenant (FIFO), recorded queue depths match the replayed occupancy (admissions + retries − starts − sheds) and never exceed the declared bound, every admitted job reaches a terminal, and a completion's four terms partition its admission-to-completion span exactly — accumulated across attempts |
+//! | `job-retry` | every admitted job reaches *exactly one* terminal (`JobCompleted`/`JobShed`/`JobPoisoned`); attempt numbers are dense per job (each `JobStarted` carries the last retry's attempt, each `JobRetried` increments by one, bounded by the declared `jobr` budget); retry backoffs equal the declared plan's recomputed `backoff_ns`; retries/poisonings require an armed fault plan and an in-flight job; a shed job was queued with a declared deadline that had genuinely expired; a poisoning records exactly `job_retries + 1` attempts |
+//! | `tenant-fairness` | when the header declares `tenant_weights`, dispatch order replays exactly under deficit round-robin: each `JobStarted` pops the front of the head active tenant's queue, deficits refill from weights and rotate on exhaustion, sheds consume no deficit |
 //!
-//! Two relaxations apply when a fault plan is armed (`fault_policy`
+//! Three relaxations apply when a fault plan is armed (`fault_policy`
 //! header present): `fifo-order` is skipped (watchdog retries legally
-//! re-enter the queue out of id order) and the degree in force is not
+//! re-enter the queue out of id order), the degree in force is not
 //! pinned between `DegreeDecision` events (grants clamp to the healthy-SPE
-//! count, which the decision stream cannot see).
+//! count, which the decision stream cannot see), and a rejection's
+//! recorded depth may exceed the declared bound (job retries re-enter the
+//! queue past the admission gate).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -141,8 +145,17 @@ struct JobState {
     tenant: usize,
     submit_seq: u64,
     submitted_ns: u64,
+    /// Deadline the admission declared (0 = none).
+    deadline_ns: u64,
+    /// The job has started at least once.
     started: bool,
-    completed: bool,
+    /// Currently executing: started, not yet retried or terminal.
+    in_flight: bool,
+    /// Attempt number the most recent start carried — which is also the
+    /// attempt the *next* start must carry (a retry bumps it first).
+    attempt: u64,
+    /// The terminal this job reached, if any (exactly one is legal).
+    terminal: Option<&'static str>,
 }
 
 /// Per-task bookkeeping accumulated during the replay.
@@ -417,12 +430,13 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                 // Informational, but its vocabulary is closed: an unknown
                 // alarm or severity slug means a producer drifted from the
                 // schema.
-                const ALARMS: [&str; 5] = [
+                const ALARMS: [&str; 6] = [
                     "utilization_collapse",
                     "stall_spike",
                     "ring_drop",
                     "quarantine_storm",
                     "latency_slo_burn",
+                    "tenant_starvation",
                 ];
                 if !ALARMS.contains(&alarm.as_str()) {
                     v.push(Violation {
@@ -670,7 +684,7 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                     }
                 }
             }
-            EventKind::JobSubmitted { job, tenant, queue_depth, queue_cap, .. } => {
+            EventKind::JobSubmitted { job, tenant, deadline_ns, queue_depth, queue_cap, .. } => {
                 if rejected_jobs.contains_key(job) {
                     v.push(Violation {
                         rule: "job-lifecycle",
@@ -684,8 +698,11 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                     tenant: *tenant,
                     submit_seq: e.seq,
                     submitted_ns: e.at_ns,
+                    deadline_ns: *deadline_ns,
                     started: false,
-                    completed: false,
+                    in_flight: false,
+                    attempt: 0,
+                    terminal: None,
                 };
                 if jobs.insert(*job, state).is_some() {
                     v.push(Violation {
@@ -717,7 +734,7 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                 }
                 check_job_queue_cap(e.seq, *queue_cap, &mut job_queue_cap, v);
             }
-            EventKind::JobStarted { job, tenant } => {
+            EventKind::JobStarted { job, tenant, attempt } => {
                 match jobs.get_mut(job) {
                     None => v.push(Violation {
                         rule: "job-lifecycle",
@@ -725,15 +742,32 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                         message: format!("job {job} started without an admission record"),
                     }),
                     Some(state) => {
-                        if state.started {
+                        if state.in_flight {
                             v.push(Violation {
                                 rule: "job-lifecycle",
                                 seq: Some(e.seq),
                                 message: format!("job {job} started twice"),
                             });
+                        } else if let Some(term) = state.terminal {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!("job {job} started after its terminal ({term})"),
+                            });
                         } else {
                             state.started = true;
+                            state.in_flight = true;
                             job_queue_occ = job_queue_occ.saturating_sub(1);
+                        }
+                        if *attempt != state.attempt {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} started as attempt {attempt}; the retry stream says attempt {} (attempt numbers are dense per job)",
+                                    state.attempt
+                                ),
+                            });
                         }
                         if state.tenant != *tenant {
                             v.push(Violation {
@@ -786,14 +820,17 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                             message: format!("job {job} completed without starting"),
                         });
                     }
-                    if state.completed {
+                    if let Some(term) = state.terminal {
                         v.push(Violation {
-                            rule: "job-lifecycle",
+                            rule: "job-retry",
                             seq: Some(e.seq),
-                            message: format!("job {job} completed twice"),
+                            message: format!(
+                                "job {job} completed after already reaching a terminal ({term}); exactly-once completion is broken"
+                            ),
                         });
                     }
-                    state.completed = true;
+                    state.terminal = Some("completed");
+                    state.in_flight = false;
                     if state.tenant != *tenant {
                         v.push(Violation {
                             rule: "job-lifecycle",
@@ -843,7 +880,9 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                         ),
                     });
                 }
-                if *queue_depth > *queue_cap {
+                // Armed runs may legally reject above the bound: retries
+                // re-enter the queue past the admission gate.
+                if !armed && *queue_depth > *queue_cap {
                     v.push(Violation {
                         rule: "job-lifecycle",
                         seq: Some(e.seq),
@@ -854,26 +893,237 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
                 }
                 check_job_queue_cap(e.seq, *queue_cap, &mut job_queue_cap, v);
             }
+            EventKind::JobShed { job, tenant, deadline_ns } => {
+                match jobs.get_mut(job) {
+                    None => v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!("job {job} shed without an admission record"),
+                    }),
+                    Some(state) => {
+                        if state.in_flight {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} shed while in flight (sheds happen in the queue)"
+                                ),
+                            });
+                        }
+                        if let Some(term) = state.terminal {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} shed after already reaching a terminal ({term}); exactly-once completion is broken"
+                                ),
+                            });
+                        }
+                        state.terminal = Some("shed");
+                        job_queue_occ = job_queue_occ.saturating_sub(1);
+                        if state.tenant != *tenant {
+                            v.push(Violation {
+                                rule: "job-lifecycle",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} admitted by tenant {} but shed for tenant {tenant}",
+                                    state.tenant
+                                ),
+                            });
+                        }
+                        if *deadline_ns == 0 || state.deadline_ns != *deadline_ns {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} shed against deadline {deadline_ns} ns but its admission declared {} ns",
+                                    state.deadline_ns
+                                ),
+                            });
+                        } else if e.at_ns.saturating_sub(state.submitted_ns) < *deadline_ns {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} shed {} ns after admission, before its {deadline_ns} ns deadline expired",
+                                    e.at_ns.saturating_sub(state.submitted_ns)
+                                ),
+                            });
+                        }
+                    }
+                }
+                tenant_fifo.entry(*tenant).or_default().retain(|j| j != job);
+            }
+            EventKind::JobRetried { job, tenant, attempt, backoff_ns } => {
+                if !armed {
+                    v.push(Violation {
+                        rule: "job-retry",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} retried but the log declares no fault policy"
+                        ),
+                    });
+                }
+                match jobs.get_mut(job) {
+                    None => v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!("job {job} retried without an admission record"),
+                    }),
+                    Some(state) => {
+                        if let Some(term) = state.terminal {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} retried after its terminal ({term})"
+                                ),
+                            });
+                        } else if !state.in_flight {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} retried while not in flight (only a failed execution retries)"
+                                ),
+                            });
+                        }
+                        if *attempt != state.attempt + 1 {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} retried as attempt {attempt} after attempt {} (attempts increment by one)",
+                                    state.attempt
+                                ),
+                            });
+                        }
+                        state.attempt = *attempt;
+                        state.in_flight = false;
+                        job_queue_occ += 1;
+                        if let Some(p) = &plan {
+                            if *attempt > u64::from(p.policy.job_retries) {
+                                v.push(Violation {
+                                    rule: "job-retry",
+                                    seq: Some(e.seq),
+                                    message: format!(
+                                        "job {job} retried as attempt {attempt}; the policy budgets {} retries",
+                                        p.policy.job_retries
+                                    ),
+                                });
+                            }
+                            let expected = p.backoff_ns(*job, *attempt as u32);
+                            if *backoff_ns != expected {
+                                v.push(Violation {
+                                    rule: "job-retry",
+                                    seq: Some(e.seq),
+                                    message: format!(
+                                        "job {job} retry declares backoff {backoff_ns} ns; the declared plan computes {expected} ns"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                tenant_fifo.entry(*tenant).or_default().push_back(*job);
+            }
+            EventKind::JobPoisoned { job, tenant, attempts } => {
+                if !armed {
+                    v.push(Violation {
+                        rule: "job-retry",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} poisoned but the log declares no fault policy"
+                        ),
+                    });
+                }
+                match jobs.get_mut(job) {
+                    None => v.push(Violation {
+                        rule: "job-lifecycle",
+                        seq: Some(e.seq),
+                        message: format!("job {job} poisoned without an admission record"),
+                    }),
+                    Some(state) => {
+                        if let Some(term) = state.terminal {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} poisoned after already reaching a terminal ({term}); exactly-once completion is broken"
+                                ),
+                            });
+                        } else if !state.in_flight {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} poisoned while not in flight (quarantine follows a failed execution)"
+                                ),
+                            });
+                        }
+                        state.terminal = Some("poisoned");
+                        state.in_flight = false;
+                        if *attempts != state.attempt + 1 {
+                            v.push(Violation {
+                                rule: "job-retry",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} poisoned after a recorded {attempts} attempts but {} were observed",
+                                    state.attempt + 1
+                                ),
+                            });
+                        }
+                        if let Some(p) = &plan {
+                            if *attempts != u64::from(p.policy.job_retries) + 1 {
+                                v.push(Violation {
+                                    rule: "job-retry",
+                                    seq: Some(e.seq),
+                                    message: format!(
+                                        "job {job} poisoned after {attempts} attempts; the policy quarantines after exactly {}",
+                                        u64::from(p.policy.job_retries) + 1
+                                    ),
+                                });
+                            }
+                        }
+                        if state.tenant != *tenant {
+                            v.push(Violation {
+                                rule: "job-lifecycle",
+                                seq: Some(e.seq),
+                                message: format!(
+                                    "job {job} admitted by tenant {} but poisoned for tenant {tenant}",
+                                    state.tenant
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
         }
     }
 
-    // job-lifecycle whole-log balance: every admitted job ran to
-    // completion. An interrupted serve drains its queue before exiting,
-    // so an admitted-but-unfinished job means the drain was cut short.
+    // job-lifecycle whole-log balance: every admitted job reached a
+    // terminal (completed, shed, or poisoned). An interrupted serve
+    // drains its queue before exiting, so an admitted-but-unterminated
+    // job means the drain was cut short.
     for (job, state) in &jobs {
-        if !state.started {
+        if state.terminal.is_none() {
+            let what = if state.started { "started" } else { "admitted" };
             report.violations.push(Violation {
                 rule: "job-lifecycle",
                 seq: Some(state.submit_seq),
-                message: format!("job {job} admitted but never started"),
-            });
-        } else if !state.completed {
-            report.violations.push(Violation {
-                rule: "job-lifecycle",
-                seq: Some(state.submit_seq),
-                message: format!("job {job} started but never completed"),
+                message: format!(
+                    "job {job} {what} but never completed, was shed, or was poisoned"
+                ),
             });
         }
+    }
+
+    // tenant-fairness: a log whose header declares DRR weights must
+    // dispatch exactly as deficit round-robin replays. Old logs (and
+    // equal-weight runs, which omit the header) are exempt — their global
+    // FIFO legally interleaves tenants differently.
+    if let Some(weights) = &log.tenant_weights {
+        check_tenant_fairness(log, weights, &mut report.violations);
     }
 
     // Whole-log properties: every started task ended, and its chunks tile
@@ -893,6 +1143,16 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
     // fault-recovery: every faulted off-load must resolve exactly once —
     // either its retry eventually ran on SPEs (TaskStart/TaskEnd) or it
     // degraded to the PPE (PpeFallback), never both and never neither.
+    // Exception: each job-plane `JobRetried`/`JobPoisoned` record absorbs
+    // exactly one unresolved task — the kernel off-load whose unrecovered
+    // death it answered. Only losses beyond that budget are violations.
+    let mut absorbed = log
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, EventKind::JobRetried { .. } | EventKind::JobPoisoned { .. })
+        })
+        .count();
     for task in task_faults.keys() {
         let ended = tasks.get(task).is_some_and(|t| t.ended);
         let fell_back = task_fallback.contains_key(task);
@@ -906,6 +1166,10 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
             });
         }
         if !ended && !fell_back {
+            if absorbed > 0 {
+                absorbed -= 1;
+                continue;
+            }
             report.violations.push(Violation {
                 rule: "fault-recovery",
                 seq: None,
@@ -945,6 +1209,118 @@ pub fn check_run_with(log: &RunLog, mode: CheckMode) -> CheckReport {
         }
     }
     report
+}
+
+/// Replay the serve plane's deficit-round-robin dispatcher as a pure
+/// function of event order and assert every `JobStarted` agrees with it.
+///
+/// All admission-plane stamps are taken under one lock and are strictly
+/// increasing, so the merged log's event order *is* dispatcher order: the
+/// replay needs no clock reasoning. The discipline mirrored here —
+/// refill-from-weight when the head tenant's deficit is spent, one job
+/// per deficit unit, rotate on exhaustion with work left, deactivate and
+/// forfeit on empty, sheds consume no deficit — is the serve
+/// implementation's, re-derived independently from the declared weights.
+fn check_tenant_fairness(log: &RunLog, weights: &[u64], v: &mut Vec<Violation>) {
+    let weight = |t: usize| weights.get(t).copied().unwrap_or(1).max(1);
+    let mut queues: BTreeMap<usize, VecDeque<u64>> = BTreeMap::new();
+    let mut active: VecDeque<usize> = VecDeque::new();
+    let mut deficit: BTreeMap<usize, u64> = BTreeMap::new();
+    for e in &log.events {
+        match &e.kind {
+            EventKind::JobSubmitted { job, tenant, .. }
+            | EventKind::JobRetried { job, tenant, .. } => {
+                queues.entry(*tenant).or_default().push_back(*job);
+                if !active.contains(tenant) {
+                    active.push_back(*tenant);
+                }
+            }
+            EventKind::JobShed { job, tenant, .. } => {
+                let q = queues.entry(*tenant).or_default();
+                match q.front() {
+                    Some(&front) if front == *job => {
+                        q.pop_front();
+                    }
+                    _ => {
+                        v.push(Violation {
+                            rule: "tenant-fairness",
+                            seq: Some(e.seq),
+                            message: format!(
+                                "job {job} of tenant {tenant} shed out of queue order (deadline sheds happen at the head)"
+                            ),
+                        });
+                        q.retain(|j| j != job);
+                    }
+                }
+                if q.is_empty() {
+                    active.retain(|t| t != tenant);
+                    deficit.insert(*tenant, 0);
+                }
+            }
+            EventKind::JobStarted { job, tenant, .. } => {
+                // Walk the activation ring exactly as the dispatcher
+                // does: skip (and deactivate) drained head tenants,
+                // refill a spent head deficit from its weight.
+                let selected = loop {
+                    let Some(&t) = active.front() else { break None };
+                    if queues.get(&t).is_none_or(VecDeque::is_empty) {
+                        active.pop_front();
+                        deficit.insert(t, 0);
+                        continue;
+                    }
+                    if deficit.get(&t).copied().unwrap_or(0) == 0 {
+                        deficit.insert(t, weight(t));
+                    }
+                    break Some(t);
+                };
+                let Some(t) = selected else {
+                    v.push(Violation {
+                        rule: "tenant-fairness",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} of tenant {tenant} dispatched with no queued work in the replay"
+                        ),
+                    });
+                    continue;
+                };
+                let expected = queues.get(&t).and_then(|q| q.front().copied());
+                if t != *tenant || expected != Some(*job) {
+                    v.push(Violation {
+                        rule: "tenant-fairness",
+                        seq: Some(e.seq),
+                        message: format!(
+                            "job {job} of tenant {tenant} dispatched, but deficit round-robin over the declared weights selects job {} of tenant {t}",
+                            expected.map_or_else(|| "<none>".to_string(), |j| j.to_string()),
+                        ),
+                    });
+                    // Resync: drop the job that actually ran so one bad
+                    // dispatch does not cascade into a violation per event.
+                    if let Some(q) = queues.get_mut(tenant) {
+                        q.retain(|j| j != job);
+                        if q.is_empty() {
+                            active.retain(|x| x != tenant);
+                            deficit.insert(*tenant, 0);
+                        }
+                    }
+                    continue;
+                }
+                let q = queues.get_mut(&t).expect("selected tenant has a queue");
+                q.pop_front();
+                let d = deficit.entry(t).or_insert(1);
+                *d = d.saturating_sub(1);
+                let exhausted = *d == 0;
+                if q.is_empty() {
+                    active.pop_front();
+                    deficit.insert(t, 0);
+                } else if exhausted {
+                    if let Some(head) = active.pop_front() {
+                        active.push_back(head);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Sanity-check a drained native trace *before* the merge: within each

@@ -56,6 +56,7 @@ mod tests {
             loop_iters: 228,
             mgps_window: None,
             fault_policy: None,
+            tenant_weights: None,
             events: Vec::new(),
         };
         assert_eq!(trace_digest(&log), trace_digest(&log.clone()));

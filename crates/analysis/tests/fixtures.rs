@@ -83,7 +83,8 @@ fn minimal_log() -> RunLog {
         local_store_bytes: 256 * 1024,
         loop_iters: 64,
         mgps_window: None,
-            fault_policy: None,
+        fault_policy: None,
+        tenant_weights: None,
         events: kinds
             .into_iter()
             .enumerate()
@@ -379,6 +380,135 @@ fn premature_quarantine_below_k_is_flagged() {
         kind: EventKind::SpeQuarantined { spe: 2, faults: 1 }, // policy says k=3
     });
     assert!(rules_of(&log).contains(&"quarantine"));
+}
+
+// ---------------------------------------------------------------------------
+// Job-plane rules: exactly-once completion and DRR fairness.
+// ---------------------------------------------------------------------------
+
+/// Append `tail` to `log`, renumbering seq from the current end.
+fn append(log: &mut RunLog, tail: Vec<(u64, EventKind)>) {
+    let base = log.events.len();
+    for (i, (at_ns, kind)) in tail.into_iter().enumerate() {
+        log.events.push(EventRecord { seq: (base + i) as u64, at_ns, kind });
+    }
+}
+
+fn submitted(job: u64, tenant: usize, queue_depth: usize) -> EventKind {
+    EventKind::JobSubmitted {
+        job,
+        tenant,
+        taxa: 8,
+        sites: 64,
+        bootstraps: 1,
+        deadline_ns: 0,
+        queue_depth,
+        queue_cap: 8,
+    }
+}
+
+#[test]
+fn double_completion_trips_exactly_the_job_retry_rule() {
+    let mut log = minimal_log();
+    append(
+        &mut log,
+        vec![
+            (100, submitted(50, 0, 1)),
+            (110, EventKind::JobStarted { job: 50, tenant: 0, attempt: 0 }),
+            // Both completions carry exact partitions of their spans, so
+            // the lifecycle arithmetic is happy — only exactly-once breaks.
+            (200, EventKind::JobCompleted {
+                job: 50,
+                tenant: 0,
+                t_queue_ns: 10,
+                t_dispatch_ns: 30,
+                t_kernel_ns: 50,
+                t_reduce_ns: 10,
+            }),
+            (300, EventKind::JobCompleted {
+                job: 50,
+                tenant: 0,
+                t_queue_ns: 10,
+                t_dispatch_ns: 30,
+                t_kernel_ns: 100,
+                t_reduce_ns: 60,
+            }),
+        ],
+    );
+    assert_eq!(rules_of(&log), vec!["job-retry"]);
+    let report = check_run(&log);
+    assert!(
+        report.violations[0].message.contains("exactly-once completion is broken"),
+        "{}",
+        report.render()
+    );
+}
+
+/// One balanced two-tenant job story: submissions for tenants 0 and 1,
+/// dispatched in `start_order`, every job completed with an exact
+/// partition. Tenant 0 jobs are 60/61, tenant 1 jobs are 70/71.
+fn weighted_log(weights: Vec<u64>, start_order: [u64; 4]) -> RunLog {
+    let mut log = minimal_log();
+    log.tenant_weights = Some(weights);
+    let tenant_of = |job: u64| usize::from(job >= 70);
+    let submit_ns =
+        |job: u64| 100 + (job % 10) + if job >= 70 { 2 } else { 0 }; // 60→100 61→101 70→102 71→103
+    let mut tail = vec![
+        (100, submitted(60, 0, 1)),
+        (101, submitted(61, 0, 2)),
+        (102, submitted(70, 1, 3)),
+        (103, submitted(71, 1, 4)),
+    ];
+    for (i, job) in start_order.into_iter().enumerate() {
+        tail.push((
+            110 + i as u64,
+            EventKind::JobStarted { job, tenant: tenant_of(job), attempt: 0 },
+        ));
+    }
+    for (i, job) in start_order.into_iter().enumerate() {
+        let at = 200 + i as u64;
+        tail.push((
+            at,
+            EventKind::JobCompleted {
+                job,
+                tenant: tenant_of(job),
+                t_queue_ns: at - submit_ns(job) - 90,
+                t_dispatch_ns: 30,
+                t_kernel_ns: 50,
+                t_reduce_ns: 10,
+            },
+        ));
+    }
+    append(&mut log, tail);
+    log
+}
+
+#[test]
+fn drr_conforming_dispatch_under_declared_weights_is_clean() {
+    // Weights 4:1 give tenant 0 the first four deficit units, so the whole
+    // tenant-0 backlog drains before tenant 1 gets a turn.
+    let log = weighted_log(vec![4, 1], [60, 61, 70, 71]);
+    let report = check_run(&log);
+    assert!(report.is_clean(), "DRR-conforming fixture must be clean:\n{}", report.render());
+}
+
+#[test]
+fn weight_inverted_dispatch_trips_exactly_the_tenant_fairness_rule() {
+    // The same story dispatched as if the weights were 1:4 — tenant 1
+    // drains first against a header that promises tenant 0 priority.
+    let log = weighted_log(vec![4, 1], [70, 71, 60, 61]);
+    let rules = rules_of(&log);
+    assert!(!rules.is_empty(), "inverted dispatch must be detected");
+    assert!(
+        rules.iter().all(|r| *r == "tenant-fairness"),
+        "only the fairness invariant may fire, got {rules:?}"
+    );
+    let report = check_run(&log);
+    assert!(
+        report.violations[0].message.contains("deficit round-robin"),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]

@@ -20,6 +20,7 @@ fn native_log(events: Vec<(u64, EventKind)>) -> RunLog {
         loop_iters: 0,
         mgps_window: None,
             fault_policy: None,
+            tenant_weights: None,
         events: events
             .into_iter()
             .enumerate()

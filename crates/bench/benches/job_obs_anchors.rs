@@ -61,11 +61,15 @@ fn job_log(jobs: usize) -> RunLog {
                 taxa: 8,
                 sites: 256,
                 bootstraps: 1,
+                deadline_ns: 0,
                 queue_depth: 1,
                 queue_cap: 8,
             },
         ));
-        events.push((at + t_queue, EventKind::JobStarted { job, tenant: (job % 4) as usize }));
+        events.push((
+            at + t_queue,
+            EventKind::JobStarted { job, tenant: (job % 4) as usize, attempt: 0 },
+        ));
         events.push((
             at + t_queue + t_dispatch + t_kernel + t_reduce,
             EventKind::JobCompleted {
@@ -88,6 +92,7 @@ fn job_log(jobs: usize) -> RunLog {
         loop_iters: 0,
         mgps_window: Some(4),
         fault_policy: None,
+        tenant_weights: None,
         events: events
             .into_iter()
             .enumerate()

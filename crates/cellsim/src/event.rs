@@ -285,6 +285,10 @@ pub enum EventKind {
         sites: usize,
         /// Bootstrap replicates in the spec.
         bootstraps: usize,
+        /// Relative completion deadline, ns since admission (0 = none;
+        /// serialized only when set, so deadline-free logs keep their
+        /// pre-deadline byte form).
+        deadline_ns: u64,
         /// Queue occupancy after the admission (this job included).
         queue_depth: usize,
         /// Configured admission-queue bound.
@@ -297,6 +301,49 @@ pub enum EventKind {
         job: u64,
         /// Its tenant.
         tenant: usize,
+        /// Zero-based execution attempt (0 = first start; restarts after
+        /// a `JobRetried` carry that retry's number). Serialized only when
+        /// nonzero, so retry-free logs keep their pre-retry byte form.
+        attempt: u64,
+    },
+    /// An admitted job was dropped at dispatch because its declared
+    /// deadline expired while it waited in queue. Terminal: a shed job is
+    /// never started, retried, or completed. Never silent — every expired
+    /// job leaves exactly this record.
+    JobShed {
+        /// The shed job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// The deadline it missed, ns since its admission stamp.
+        deadline_ns: u64,
+    },
+    /// A job whose execution attempt died on an unrecoverable off-load
+    /// fault was re-queued (back of its tenant's queue) for the attempt
+    /// number recorded here, after the declared deterministic backoff.
+    /// Not a new submission: the job keeps its identity, its admission
+    /// stamp, and its single completion obligation.
+    JobRetried {
+        /// The retried job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// One-based retry number (the next `JobStarted` carries it).
+        attempt: u64,
+        /// Backoff waited before the re-queue, ns (must match the policy
+        /// declared in the log header).
+        backoff_ns: u64,
+    },
+    /// Terminal quarantine: `job` exhausted its retry budget and was
+    /// removed from the queue as poison instead of wedging it. A poisoned
+    /// job has no `JobCompleted`.
+    JobPoisoned {
+        /// The quarantined job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// Total execution attempts consumed before giving up.
+        attempts: u64,
     },
     /// Job `job` finished. The four terms partition its wall time
     /// exactly: their sum equals this event's timestamp minus the job's
@@ -422,6 +469,14 @@ pub struct RunLog {
     /// declared policy and (b) relax FIFO start order and degree pinning,
     /// which retries and healthy-SPE clamping legitimately perturb.
     pub fault_policy: Option<String>,
+    /// Per-tenant deficit-round-robin dispatch weights when the serve
+    /// plane ran with non-default fairness (tenant `t` gets
+    /// `tenant_weights[t]`, or weight 1 beyond the list's end). `None`
+    /// means every tenant weighs 1; the key is omitted from the
+    /// serialized form so equal-weight logs keep their pre-fairness byte
+    /// form. The checker's `tenant-fairness` rule replays dispatch
+    /// against exactly these weights.
+    pub tenant_weights: Option<Vec<u64>>,
     /// The events, in emission order.
     pub events: Vec<EventRecord>,
 }
@@ -636,22 +691,54 @@ impl EventKind {
                 taxa,
                 sites,
                 bootstraps,
+                deadline_ns,
                 queue_depth,
                 queue_cap,
-            } => Value::object(vec![
-                ("type", "job_submitted".into()),
+            } => {
+                let mut members: Vec<(&str, Value)> = vec![
+                    ("type", "job_submitted".into()),
+                    ("job", (*job).into()),
+                    ("tenant", (*tenant).into()),
+                    ("taxa", (*taxa).into()),
+                    ("sites", (*sites).into()),
+                    ("bootstraps", (*bootstraps).into()),
+                ];
+                if *deadline_ns != 0 {
+                    members.push(("deadline_ns", (*deadline_ns).into()));
+                }
+                members.push(("queue_depth", (*queue_depth).into()));
+                members.push(("queue_cap", (*queue_cap).into()));
+                Value::object(members)
+            }
+            EventKind::JobStarted { job, tenant, attempt } => {
+                let mut members: Vec<(&str, Value)> = vec![
+                    ("type", "job_started".into()),
+                    ("job", (*job).into()),
+                    ("tenant", (*tenant).into()),
+                ];
+                if *attempt != 0 {
+                    members.push(("attempt", (*attempt).into()));
+                }
+                Value::object(members)
+            }
+            EventKind::JobShed { job, tenant, deadline_ns } => Value::object(vec![
+                ("type", "job_shed".into()),
                 ("job", (*job).into()),
                 ("tenant", (*tenant).into()),
-                ("taxa", (*taxa).into()),
-                ("sites", (*sites).into()),
-                ("bootstraps", (*bootstraps).into()),
-                ("queue_depth", (*queue_depth).into()),
-                ("queue_cap", (*queue_cap).into()),
+                ("deadline_ns", (*deadline_ns).into()),
             ]),
-            EventKind::JobStarted { job, tenant } => Value::object(vec![
-                ("type", "job_started".into()),
+            EventKind::JobRetried { job, tenant, attempt, backoff_ns } => Value::object(vec![
+                ("type", "job_retried".into()),
                 ("job", (*job).into()),
                 ("tenant", (*tenant).into()),
+                ("attempt", (*attempt).into()),
+                ("backoff_ns", (*backoff_ns).into()),
+            ]),
+            EventKind::JobPoisoned { job, tenant, attempts } => Value::object(vec![
+                ("type", "job_poisoned".into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+                ("attempts", (*attempts).into()),
             ]),
             EventKind::JobCompleted {
                 job,
@@ -793,12 +880,30 @@ impl EventKind {
                 taxa: usize_field(v, "taxa")?,
                 sites: usize_field(v, "sites")?,
                 bootstraps: usize_field(v, "bootstraps")?,
+                deadline_ns: v.get("deadline_ns").and_then(Value::as_u64).unwrap_or(0),
                 queue_depth: usize_field(v, "queue_depth")?,
                 queue_cap: usize_field(v, "queue_cap")?,
             },
             "job_started" => EventKind::JobStarted {
                 job: u64_field(v, "job")?,
                 tenant: usize_field(v, "tenant")?,
+                attempt: v.get("attempt").and_then(Value::as_u64).unwrap_or(0),
+            },
+            "job_shed" => EventKind::JobShed {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+                deadline_ns: u64_field(v, "deadline_ns")?,
+            },
+            "job_retried" => EventKind::JobRetried {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+                attempt: u64_field(v, "attempt")?,
+                backoff_ns: u64_field(v, "backoff_ns")?,
+            },
+            "job_poisoned" => EventKind::JobPoisoned {
+                job: u64_field(v, "job")?,
+                tenant: usize_field(v, "tenant")?,
+                attempts: u64_field(v, "attempts")?,
             },
             "job_completed" => EventKind::JobCompleted {
                 job: u64_field(v, "job")?,
@@ -837,7 +942,7 @@ impl RunLog {
                 Value::Object(members)
             })
             .collect::<Vec<_>>();
-        Value::object(vec![
+        let mut members: Vec<(&str, Value)> = vec![
             ("scheduler", self.scheduler.as_string().into()),
             ("n_spes", self.n_spes.into()),
             ("quantum_ns", self.quantum_ns.into()),
@@ -852,8 +957,12 @@ impl RunLog {
                 "fault_policy",
                 self.fault_policy.clone().map_or(Value::Null, Into::into),
             ),
-            ("events", Value::Array(events)),
-        ])
+        ];
+        if let Some(weights) = &self.tenant_weights {
+            members.push(("tenant_weights", Value::array(weights.clone())));
+        }
+        members.push(("events", Value::Array(events)));
+        Value::object(members)
     }
 
     /// Rebuild a log from [`Self::to_value`] output.
@@ -886,6 +995,10 @@ impl RunLog {
                 .get("fault_policy")
                 .and_then(Value::as_str)
                 .map(str::to_string),
+            tenant_weights: v
+                .get("tenant_weights")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(Value::as_u64).collect()),
             events,
         })
     }
@@ -905,6 +1018,7 @@ mod tests {
             loop_iters: 228,
             mgps_window: Some(8),
             fault_policy: None,
+            tenant_weights: None,
             events: vec![
                 EventRecord {
                     seq: 0,
@@ -1090,6 +1204,7 @@ mod tests {
                     taxa: 16,
                     sites: 256,
                     bootstraps: 2,
+                    deadline_ns: 5_000_000,
                     queue_depth: 3,
                     queue_cap: 8,
                 },
@@ -1097,23 +1212,38 @@ mod tests {
             EventRecord {
                 seq: 21,
                 at_ns: 112,
-                kind: EventKind::JobStarted { job: 0xfeed, tenant: 1 },
+                kind: EventKind::JobStarted { job: 0xfeed, tenant: 1, attempt: 0 },
             },
             EventRecord {
                 seq: 22,
                 at_ns: 113,
-                kind: EventKind::JobCompleted {
+                kind: EventKind::JobRetried {
                     job: 0xfeed,
                     tenant: 1,
-                    t_queue_ns: 1,
-                    t_dispatch_ns: 0,
-                    t_kernel_ns: 1,
-                    t_reduce_ns: 0,
+                    attempt: 1,
+                    backoff_ns: 1_000,
                 },
             },
             EventRecord {
                 seq: 23,
-                at_ns: 113,
+                at_ns: 114,
+                kind: EventKind::JobStarted { job: 0xfeed, tenant: 1, attempt: 1 },
+            },
+            EventRecord {
+                seq: 24,
+                at_ns: 115,
+                kind: EventKind::JobCompleted {
+                    job: 0xfeed,
+                    tenant: 1,
+                    t_queue_ns: 2,
+                    t_dispatch_ns: 0,
+                    t_kernel_ns: 2,
+                    t_reduce_ns: 0,
+                },
+            },
+            EventRecord {
+                seq: 25,
+                at_ns: 115,
                 kind: EventKind::JobRejected {
                     job: 0xbead,
                     tenant: 0,
@@ -1121,11 +1251,61 @@ mod tests {
                     queue_cap: 8,
                 },
             },
+            EventRecord {
+                seq: 26,
+                at_ns: 116,
+                kind: EventKind::JobShed {
+                    job: 0xdead,
+                    tenant: 2,
+                    deadline_ns: 1_000_000,
+                },
+            },
+            EventRecord {
+                seq: 27,
+                at_ns: 117,
+                kind: EventKind::JobPoisoned { job: 0xcafe, tenant: 0, attempts: 3 },
+            },
         ]);
         log.fault_policy = Some("seed=1,stall=0.05,retries=3".to_string());
+        log.tenant_weights = Some(vec![3, 1, 2]);
         let text = log.to_value().to_json_pretty();
         let back = RunLog::from_value(&minijson::parse(&text).unwrap()).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn default_valued_job_fields_are_omitted_from_json() {
+        // Byte-identity contract: a run with no deadlines, no retries, and
+        // equal weights must serialize exactly as it did before those
+        // features existed, so the optional keys may not appear at all.
+        let mut log = sample_log();
+        log.events = vec![
+            EventRecord {
+                seq: 0,
+                at_ns: 1,
+                kind: EventKind::JobSubmitted {
+                    job: 1,
+                    tenant: 0,
+                    taxa: 16,
+                    sites: 256,
+                    bootstraps: 1,
+                    deadline_ns: 0,
+                    queue_depth: 1,
+                    queue_cap: 8,
+                },
+            },
+            EventRecord {
+                seq: 1,
+                at_ns: 2,
+                kind: EventKind::JobStarted { job: 1, tenant: 0, attempt: 0 },
+            },
+        ];
+        let text = log.to_value().to_json_pretty();
+        assert!(!text.contains("deadline_ns"), "zero deadline must not serialize");
+        assert!(!text.contains("attempt"), "attempt 0 must not serialize");
+        assert!(!text.contains("tenant_weights"), "equal weights must not serialize");
+        let back = RunLog::from_value(&minijson::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, log, "omitted fields read back as their defaults");
     }
 
     #[test]

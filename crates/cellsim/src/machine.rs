@@ -540,6 +540,7 @@ pub fn run(cfg: SimConfig) -> RunReport {
                 } else {
                     None
                 },
+                tenant_weights: None,
                 events: m.events.clone(),
             })
         } else {

@@ -96,6 +96,13 @@ pub struct RecoveryPolicy {
     /// observed task duration (bootstrapped from the first assignment's
     /// own predicted duration before any completion is observed).
     pub watchdog_factor: u64,
+    /// Serve-plane job retries: re-queues a job gets after an execution
+    /// attempt dies on an unrecoverable off-load fault (attempt 0 plus
+    /// `job_retries` restarts; the next failure poisons the job). This
+    /// budget is independent of `max_retries`, which governs off-load
+    /// attempts *within* one job execution — faults escalate to the job
+    /// layer precisely when that inner ladder is exhausted.
+    pub job_retries: u32,
 }
 
 impl Default for RecoveryPolicy {
@@ -107,6 +114,7 @@ impl Default for RecoveryPolicy {
             readmit_period: 32,
             ppe_fallback: true,
             watchdog_factor: 8,
+            job_retries: 2,
         }
     }
 }
@@ -229,7 +237,8 @@ impl FaultPlan {
     /// (fraction in `[0,1]`), `broken=<n>` (first `n` SPEs hard-broken),
     /// `pin=<kind>@<task>` (repeatable, ≤ 8), `retries=<n>`,
     /// `backoff=<ns>`, `k=<n>` (quarantine threshold), `readmit=<n>`,
-    /// `fallback=on|off`, `watchdog=<factor>`.
+    /// `fallback=on|off`, `watchdog=<factor>`, `jobr=<n>` (serve-plane
+    /// job retries before poison quarantine).
     ///
     /// # Errors
     /// A human-readable message naming the offending pair.
@@ -276,6 +285,7 @@ impl FaultPlan {
                     }
                 }
                 "watchdog" => plan.policy.watchdog_factor = parse_num(key, value)?,
+                "jobr" => plan.policy.job_retries = parse_num(key, value)?,
                 other => return Err(format!("unknown fault-spec key '{other}'")),
             }
         }
@@ -318,6 +328,12 @@ impl FaultPlan {
             if p.ppe_fallback { "on" } else { "off" },
             p.watchdog_factor,
         ));
+        // Appended only when non-default so specs (and the armed-run
+        // transcripts that quote them) from before the job-retry ladder
+        // stay canonical verbatim.
+        if p.job_retries != RecoveryPolicy::default().job_retries {
+            out.push_str(&format!(",jobr={}", p.job_retries));
+        }
         out
     }
 }
@@ -436,12 +452,23 @@ mod tests {
     fn spec_round_trips_through_canonical_form() {
         let spec = "seed=42,stall=0.05,crash=0.01,dma=0.002,mbox=0.3,broken=2,\
                     pin=stall@0,pin=mbox@9,retries=5,backoff=2000,k=2,readmit=16,\
-                    fallback=off,watchdog=12";
+                    fallback=off,watchdog=12,jobr=4";
         let p = FaultPlan::parse(spec).unwrap();
         assert_eq!(p.rate_ppm, [50_000, 10_000, 2_000, 300_000]);
         assert!(!p.policy.ppe_fallback);
+        assert_eq!(p.policy.job_retries, 4);
         let round = FaultPlan::parse(&p.to_spec()).unwrap();
         assert_eq!(p, round, "canonical spec must reproduce the plan:\n{}", p.to_spec());
+    }
+
+    #[test]
+    fn default_job_retries_stay_out_of_the_canonical_spec() {
+        let p = FaultPlan::parse("seed=7,stall=0.1").unwrap();
+        assert_eq!(p.policy.job_retries, 2);
+        assert!(!p.to_spec().contains("jobr"), "default jobr must not serialize");
+        let q = FaultPlan::parse("seed=7,stall=0.1,jobr=0").unwrap();
+        assert!(q.to_spec().ends_with(",jobr=0"), "got {}", q.to_spec());
+        assert_eq!(FaultPlan::parse(&q.to_spec()).unwrap(), q);
     }
 
     #[test]

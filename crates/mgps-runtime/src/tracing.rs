@@ -246,6 +246,8 @@ pub enum TraceEventKind {
         sites: usize,
         /// Bootstrap replicates in the spec.
         bootstraps: usize,
+        /// Relative completion deadline, ns since admission (0 = none).
+        deadline_ns: u64,
         /// Queue occupancy after the admission (this job included).
         queue_depth: usize,
         /// Configured admission-queue bound.
@@ -257,6 +259,41 @@ pub enum TraceEventKind {
         job: u64,
         /// Its tenant.
         tenant: usize,
+        /// Zero-based execution attempt (0 = first start, >0 = restarts
+        /// after `JobRetried`).
+        attempt: u64,
+    },
+    /// An admitted job was dropped at dispatch time because its declared
+    /// deadline expired while it waited in queue.
+    JobShed {
+        /// The shed job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// The deadline it missed, ns since admission.
+        deadline_ns: u64,
+    },
+    /// A job whose execution hit an unrecoverable off-load fault was
+    /// re-queued for another attempt after a deterministic backoff.
+    JobRetried {
+        /// The retried job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// One-based retry number (the next start carries this attempt).
+        attempt: u64,
+        /// Backoff delay applied before the re-queue, ns.
+        backoff_ns: u64,
+    },
+    /// A job exhausted its retry budget and was quarantined as poison
+    /// instead of blocking the queue.
+    JobPoisoned {
+        /// The quarantined job.
+        job: u64,
+        /// Its tenant.
+        tenant: usize,
+        /// Total execution attempts made before giving up.
+        attempts: u64,
     },
     /// A job finished. The four terms partition its wall time exactly:
     /// `t_queue + t_dispatch + t_kernel + t_reduce` equals the span from

@@ -109,6 +109,7 @@ mod tests {
             loop_iters: 16,
             mgps_window: Some(window),
             fault_policy: None,
+            tenant_weights: None,
             events: events
                 .into_iter()
                 .enumerate()

@@ -8,7 +8,11 @@
 //! one [`JobBreakdown`] per completed job, enforcing the same exactness
 //! contract as the critical-path blame fold: the four terms must
 //! partition the job's admission-to-completion span to the nanosecond, or
-//! the fold refuses the log.
+//! the fold refuses the log. Jobs that end in `JobShed` or `JobPoisoned`
+//! are legitimate terminals (never silently dropped, never completed);
+//! `JobRetried` is bookkeeping inside one job's life — a retried job
+//! keeps its admission stamp, and its eventual breakdown telescopes
+//! every attempt into the same four terms.
 //!
 //! [`quantile_from_log2_buckets`] estimates latency percentiles from the
 //! runtime's log2-bucketed histograms ([`mgps_runtime::metrics`]) by
@@ -41,6 +45,9 @@ pub struct JobBreakdown {
     pub bootstraps: usize,
     /// When the job was admitted (log clock, ns).
     pub submitted_ns: u64,
+    /// Executions it took to complete: 1 plus the `JobRetried` events
+    /// observed before the completion.
+    pub attempts: u64,
     /// Admission-queue wait, ns.
     pub t_queue_ns: u64,
     /// Dequeue-to-kernel setup, ns.
@@ -72,6 +79,11 @@ pub struct JobsReport {
     pub completed: Vec<JobBreakdown>,
     /// `(job, tenant)` of every rejected submission, in log order.
     pub rejected: Vec<(u64, usize)>,
+    /// `(job, tenant)` of every deadline-shed admission, in log order.
+    pub shed: Vec<(u64, usize)>,
+    /// `(job, tenant, attempts)` of every poison-quarantined admission,
+    /// in log order.
+    pub poisoned: Vec<(u64, usize, u64)>,
 }
 
 impl JobsReport {
@@ -97,7 +109,9 @@ pub fn fold_jobs(log: &RunLog) -> Result<JobsReport, String> {
         sites: usize,
         bootstraps: usize,
         submitted_ns: u64,
-        completed: bool,
+        retries: u64,
+        // Completed, shed, or poisoned: exactly one terminal per job.
+        terminal: bool,
     }
     let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
     let mut report = JobsReport::default();
@@ -110,7 +124,8 @@ pub fn fold_jobs(log: &RunLog) -> Result<JobsReport, String> {
                     sites: *sites,
                     bootstraps: *bootstraps,
                     submitted_ns: e.at_ns,
-                    completed: false,
+                    retries: 0,
+                    terminal: false,
                 };
                 if pending.insert(*job, state).is_some() {
                     return Err(format!("job {job} admitted twice"));
@@ -130,7 +145,7 @@ pub fn fold_jobs(log: &RunLog) -> Result<JobsReport, String> {
                 let Some(state) = pending.get_mut(job) else {
                     return Err(format!("job {job} completed without an admission record"));
                 };
-                if state.completed {
+                if state.terminal {
                     return Err(format!("job {job} completed twice"));
                 }
                 if state.tenant != *tenant {
@@ -139,7 +154,7 @@ pub fn fold_jobs(log: &RunLog) -> Result<JobsReport, String> {
                         state.tenant
                     ));
                 }
-                state.completed = true;
+                state.terminal = true;
                 let span = e.at_ns.saturating_sub(state.submitted_ns);
                 let sum = t_queue_ns + t_dispatch_ns + t_kernel_ns + t_reduce_ns;
                 if sum != span {
@@ -154,6 +169,7 @@ pub fn fold_jobs(log: &RunLog) -> Result<JobsReport, String> {
                     sites: state.sites,
                     bootstraps: state.bootstraps,
                     submitted_ns: state.submitted_ns,
+                    attempts: state.retries + 1,
                     t_queue_ns: *t_queue_ns,
                     t_dispatch_ns: *t_dispatch_ns,
                     t_kernel_ns: *t_kernel_ns,
@@ -162,6 +178,35 @@ pub fn fold_jobs(log: &RunLog) -> Result<JobsReport, String> {
             }
             EventKind::JobRejected { job, tenant, .. } => {
                 report.rejected.push((*job, *tenant));
+            }
+            EventKind::JobShed { job, tenant, .. } => {
+                let Some(state) = pending.get_mut(job) else {
+                    return Err(format!("job {job} shed without an admission record"));
+                };
+                if state.terminal {
+                    return Err(format!("job {job} shed after an earlier terminal event"));
+                }
+                state.terminal = true;
+                report.shed.push((*job, *tenant));
+            }
+            EventKind::JobRetried { job, .. } => {
+                let Some(state) = pending.get_mut(job) else {
+                    return Err(format!("job {job} retried without an admission record"));
+                };
+                if state.terminal {
+                    return Err(format!("job {job} retried after a terminal event"));
+                }
+                state.retries += 1;
+            }
+            EventKind::JobPoisoned { job, tenant, attempts } => {
+                let Some(state) = pending.get_mut(job) else {
+                    return Err(format!("job {job} poisoned without an admission record"));
+                };
+                if state.terminal {
+                    return Err(format!("job {job} poisoned after an earlier terminal event"));
+                }
+                state.terminal = true;
+                report.poisoned.push((*job, *tenant, *attempts));
             }
             _ => {}
         }
@@ -224,6 +269,7 @@ mod tests {
             loop_iters: 0,
             mgps_window: Some(4),
             fault_policy: None,
+            tenant_weights: None,
             events: events
                 .into_iter()
                 .enumerate()
@@ -239,6 +285,7 @@ mod tests {
             taxa: 8,
             sites: 64,
             bootstraps: 1,
+            deadline_ns: 0,
             queue_depth: 1,
             queue_cap: 4,
         }
@@ -248,7 +295,7 @@ mod tests {
     fn fold_produces_exact_partitions() {
         let log = job_log(vec![
             (100, submitted(1, 0)),
-            (130, EventKind::JobStarted { job: 1, tenant: 0 }),
+            (130, EventKind::JobStarted { job: 1, tenant: 0, attempt: 0 }),
             (
                 200,
                 EventKind::JobCompleted {
@@ -268,16 +315,75 @@ mod tests {
         assert_eq!(b.total_ns(), 100);
         assert_eq!(b.service_ns(), 70);
         assert_eq!(b.submitted_ns, 100);
+        assert_eq!(b.attempts, 1);
         assert_eq!((b.taxa, b.sites, b.bootstraps), (8, 64, 1));
         assert_eq!(report.rejected, vec![(2, 1)]);
         assert_eq!(report.totals_ns(), vec![100]);
     }
 
     #[test]
+    fn fold_accounts_retried_shed_and_poisoned_terminals() {
+        let log = job_log(vec![
+            (100, submitted(1, 0)),
+            (110, submitted(2, 1)),
+            (120, submitted(3, 2)),
+            // Job 1 fails its first attempt, retries, completes on the
+            // second: one breakdown, two attempts, exact telescoped span.
+            (130, EventKind::JobStarted { job: 1, tenant: 0, attempt: 0 }),
+            (160, EventKind::JobRetried { job: 1, tenant: 0, attempt: 1, backoff_ns: 10 }),
+            (180, EventKind::JobStarted { job: 1, tenant: 0, attempt: 1 }),
+            (
+                300,
+                EventKind::JobCompleted {
+                    job: 1,
+                    tenant: 0,
+                    t_queue_ns: 80,
+                    t_dispatch_ns: 20,
+                    t_kernel_ns: 90,
+                    t_reduce_ns: 10,
+                },
+            ),
+            // Job 2 is shed in queue; job 3 is poison-quarantined.
+            (310, EventKind::JobShed { job: 2, tenant: 1, deadline_ns: 50 }),
+            (320, EventKind::JobStarted { job: 3, tenant: 2, attempt: 0 }),
+            (330, EventKind::JobRetried { job: 3, tenant: 2, attempt: 1, backoff_ns: 10 }),
+            (340, EventKind::JobStarted { job: 3, tenant: 2, attempt: 1 }),
+            (350, EventKind::JobPoisoned { job: 3, tenant: 2, attempts: 2 }),
+        ]);
+        let report = fold_jobs(&log).unwrap();
+        assert_eq!(report.completed.len(), 1);
+        assert_eq!(report.completed[0].attempts, 2);
+        assert_eq!(report.completed[0].total_ns(), 200);
+        assert_eq!(report.shed, vec![(2, 1)]);
+        assert_eq!(report.poisoned, vec![(3, 2, 2)]);
+
+        // A completion after a shed is a double terminal, not a revival.
+        let log = job_log(vec![
+            (100, submitted(1, 0)),
+            (200, EventKind::JobShed { job: 1, tenant: 0, deadline_ns: 50 }),
+            (
+                300,
+                EventKind::JobCompleted {
+                    job: 1,
+                    tenant: 0,
+                    t_queue_ns: 200,
+                    t_dispatch_ns: 0,
+                    t_kernel_ns: 0,
+                    t_reduce_ns: 0,
+                },
+            ),
+        ]);
+        assert!(fold_jobs(&log).unwrap_err().contains("completed twice"));
+        // Orphan terminals are refused like orphan starts.
+        let log = job_log(vec![(10, EventKind::JobPoisoned { job: 9, tenant: 0, attempts: 1 })]);
+        assert!(fold_jobs(&log).unwrap_err().contains("without an admission record"));
+    }
+
+    #[test]
     fn fold_refuses_an_inexact_partition() {
         let log = job_log(vec![
             (100, submitted(1, 0)),
-            (130, EventKind::JobStarted { job: 1, tenant: 0 }),
+            (130, EventKind::JobStarted { job: 1, tenant: 0, attempt: 0 }),
             (
                 200,
                 EventKind::JobCompleted {
@@ -296,7 +402,7 @@ mod tests {
 
     #[test]
     fn fold_refuses_orphan_lifecycle_events() {
-        let log = job_log(vec![(10, EventKind::JobStarted { job: 9, tenant: 0 })]);
+        let log = job_log(vec![(10, EventKind::JobStarted { job: 9, tenant: 0, attempt: 0 })]);
         assert!(fold_jobs(&log).unwrap_err().contains("without an admission record"));
         let log = job_log(vec![(
             10,

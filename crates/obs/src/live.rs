@@ -17,7 +17,8 @@
 //! * [`HealthDetector`] — the online failure-pattern detector: it consumes
 //!   [`SnapshotDelta`]s and [`LiveDecision`]s and raises
 //!   *utilization-collapse*, *stall-spike*, *ring-drop*,
-//!   *quarantine-storm*, and *latency-SLO-burn* alarms as
+//!   *quarantine-storm*, *latency-SLO-burn*, and *tenant-starvation*
+//!   alarms as
 //!   structured [`HealthEvent`]s, which flow into the `/events` NDJSON
 //!   stream, the final [`RunLog`] (via [`merge_health_events`], as
 //!   [`EventKind::Health`] records the checker schema-validates), and the
@@ -106,16 +107,23 @@ pub enum AlarmKind {
     /// service is burning its latency budget, not just seeing one slow
     /// job.
     LatencySloBurn,
+    /// A tenant held queued jobs across `k` consecutive telemetry
+    /// windows without the dispatcher starting a single one of them:
+    /// the fair-share scheduler is not delivering this tenant's
+    /// configured weight (a misconfiguration or an overload so deep
+    /// even round-robin cannot reach the tenant).
+    TenantStarvation,
 }
 
 impl AlarmKind {
     /// Every alarm kind, in rendering order.
-    pub const ALL: [AlarmKind; 5] = [
+    pub const ALL: [AlarmKind; 6] = [
         AlarmKind::UtilizationCollapse,
         AlarmKind::StallSpike,
         AlarmKind::RingDrop,
         AlarmKind::QuarantineStorm,
         AlarmKind::LatencySloBurn,
+        AlarmKind::TenantStarvation,
     ];
 
     /// Stable snake_case slug (the `alarm` field of
@@ -127,6 +135,7 @@ impl AlarmKind {
             AlarmKind::RingDrop => "ring_drop",
             AlarmKind::QuarantineStorm => "quarantine_storm",
             AlarmKind::LatencySloBurn => "latency_slo_burn",
+            AlarmKind::TenantStarvation => "tenant_starvation",
         }
     }
 
@@ -180,8 +189,17 @@ impl HealthEvent {
 /// consumer parse the same vocabulary.
 pub fn job_event_json_line(at_ns: u64, kind: &EventKind) -> Option<String> {
     let v = match kind {
-        EventKind::JobSubmitted { job, tenant, taxa, sites, bootstraps, queue_depth, queue_cap } => {
-            Value::object(vec![
+        EventKind::JobSubmitted {
+            job,
+            tenant,
+            taxa,
+            sites,
+            bootstraps,
+            deadline_ns,
+            queue_depth,
+            queue_cap,
+        } => {
+            let mut members = vec![
                 ("type", "job_submitted".into()),
                 ("at_ns", at_ns.into()),
                 ("job", (*job).into()),
@@ -189,16 +207,28 @@ pub fn job_event_json_line(at_ns: u64, kind: &EventKind) -> Option<String> {
                 ("taxa", (*taxa).into()),
                 ("sites", (*sites).into()),
                 ("bootstraps", (*bootstraps).into()),
-                ("queue_depth", (*queue_depth).into()),
-                ("queue_cap", (*queue_cap).into()),
-            ])
+            ];
+            // Mirror the RunLog schema: default-valued fields stay off
+            // the wire so deadline-free streams look exactly as before.
+            if *deadline_ns != 0 {
+                members.push(("deadline_ns", (*deadline_ns).into()));
+            }
+            members.push(("queue_depth", (*queue_depth).into()));
+            members.push(("queue_cap", (*queue_cap).into()));
+            Value::object(members)
         }
-        EventKind::JobStarted { job, tenant } => Value::object(vec![
-            ("type", "job_started".into()),
-            ("at_ns", at_ns.into()),
-            ("job", (*job).into()),
-            ("tenant", (*tenant).into()),
-        ]),
+        EventKind::JobStarted { job, tenant, attempt } => {
+            let mut members = vec![
+                ("type", "job_started".into()),
+                ("at_ns", at_ns.into()),
+                ("job", (*job).into()),
+                ("tenant", (*tenant).into()),
+            ];
+            if *attempt != 0 {
+                members.push(("attempt", (*attempt).into()));
+            }
+            Value::object(members)
+        }
         EventKind::JobCompleted { job, tenant, t_queue_ns, t_dispatch_ns, t_kernel_ns, t_reduce_ns } => {
             Value::object(vec![
                 ("type", "job_completed".into()),
@@ -218,6 +248,28 @@ pub fn job_event_json_line(at_ns: u64, kind: &EventKind) -> Option<String> {
             ("tenant", (*tenant).into()),
             ("queue_depth", (*queue_depth).into()),
             ("queue_cap", (*queue_cap).into()),
+        ]),
+        EventKind::JobShed { job, tenant, deadline_ns } => Value::object(vec![
+            ("type", "job_shed".into()),
+            ("at_ns", at_ns.into()),
+            ("job", (*job).into()),
+            ("tenant", (*tenant).into()),
+            ("deadline_ns", (*deadline_ns).into()),
+        ]),
+        EventKind::JobRetried { job, tenant, attempt, backoff_ns } => Value::object(vec![
+            ("type", "job_retried".into()),
+            ("at_ns", at_ns.into()),
+            ("job", (*job).into()),
+            ("tenant", (*tenant).into()),
+            ("attempt", (*attempt).into()),
+            ("backoff_ns", (*backoff_ns).into()),
+        ]),
+        EventKind::JobPoisoned { job, tenant, attempts } => Value::object(vec![
+            ("type", "job_poisoned".into()),
+            ("at_ns", at_ns.into()),
+            ("job", (*job).into()),
+            ("tenant", (*tenant).into()),
+            ("attempts", (*attempts).into()),
         ]),
         _ => return None,
     };
@@ -249,6 +301,9 @@ pub struct HealthConfig {
     /// Windows with fewer completed jobs than this carry no p99 signal;
     /// they end any burn episode instead of extending it.
     pub latency_min_jobs: u64,
+    /// Consecutive telemetry windows a tenant may hold queued jobs
+    /// without a single dispatch before tenant-starvation fires.
+    pub starvation_windows: usize,
 }
 
 impl HealthConfig {
@@ -270,6 +325,7 @@ impl HealthConfig {
             latency_slo_ns: 1_000_000_000,
             latency_burn_windows: 3,
             latency_min_jobs: 8,
+            starvation_windows: 3,
         }
     }
 }
@@ -295,6 +351,10 @@ pub struct HealthDetector {
     latency_baseline: Option<f64>,
     latency_burning: usize,
     latency_latched: bool,
+    // (tenant, consecutive starved windows) for every tenant currently
+    // starving; tenants dispatch or drain their way off the list.
+    starving: Vec<(usize, usize)>,
+    starvation_latched: bool,
     active: Vec<AlarmKind>,
 }
 
@@ -312,6 +372,8 @@ impl HealthDetector {
             latency_baseline: None,
             latency_burning: 0,
             latency_latched: false,
+            starving: Vec::new(),
+            starvation_latched: false,
             active: Vec::new(),
         }
     }
@@ -468,6 +530,56 @@ impl HealthDetector {
         }
         out
     }
+
+    /// Feed one telemetry window's starvation observation: `starved` is
+    /// every tenant that held queued jobs across the whole window while
+    /// the dispatcher started none of them (ascending tenant order).
+    /// Fires once per episode when any tenant has starved for
+    /// [`HealthConfig::starvation_windows`] consecutive windows; a
+    /// window in which no tenant crosses the threshold clears and
+    /// re-arms the alarm.
+    pub fn observe_tenant_starvation(
+        &mut self,
+        at_ns: u64,
+        starved: &[usize],
+    ) -> Option<HealthEvent> {
+        // Tenants that dispatched (or drained) this window fall off the
+        // list; tenants still starved extend their streak.
+        self.starving.retain(|(t, _)| starved.contains(t));
+        for &t in starved {
+            match self.starving.iter_mut().find(|(s, _)| *s == t) {
+                Some((_, n)) => *n += 1,
+                None => self.starving.push((t, 1)),
+            }
+        }
+        let mut confirmed: Vec<(usize, usize)> = self
+            .starving
+            .iter()
+            .copied()
+            .filter(|&(_, n)| n >= self.cfg.starvation_windows)
+            .collect();
+        confirmed.sort_unstable();
+        if confirmed.is_empty() {
+            self.starvation_latched = false;
+            self.clear(AlarmKind::TenantStarvation);
+            return None;
+        }
+        if self.starvation_latched {
+            return None;
+        }
+        self.starvation_latched = true;
+        let worst = confirmed.iter().map(|&(_, n)| n).max().unwrap_or(0);
+        let tenants: Vec<String> = confirmed.iter().map(|(t, _)| t.to_string()).collect();
+        Some(self.raise(
+            AlarmKind::TenantStarvation,
+            at_ns,
+            format!(
+                "tenant(s) {} held queued jobs for {} consecutive windows with zero dispatches",
+                tenants.join(","),
+                worst
+            ),
+        ))
+    }
 }
 
 /// Replay the detector over a finished log's decision stream (the offline
@@ -535,7 +647,18 @@ pub struct LiveStatus {
     pub throttled_kernels: Vec<String>,
     /// Alarms currently latched by the health detector.
     pub active_alarms: Vec<AlarmKind>,
+    /// Per-tenant job-plane gauges, ascending tenant id:
+    /// `(tenant, [admitted, rejected, shed, inflight])` — cumulative
+    /// counts except `inflight`, which is instantaneous. Empty until the
+    /// first submission arrives; the `multigrain_tenant_jobs` family is
+    /// omitted entirely while empty so single-tenant scrapes stay
+    /// byte-identical to the pre-fair-share exporter.
+    pub tenant_jobs: Vec<(usize, [u64; 4])>,
 }
+
+/// The `state` label vocabulary of `multigrain_tenant_jobs`, in
+/// rendering order (matches the `[u64; 4]` gauge array).
+pub const TENANT_JOB_STATES: [&str; 4] = ["admitted", "rejected", "shed", "inflight"];
 
 /// Upper bound of log2 bucket `i` (`le` label): values with bit length
 /// `<= i`, i.e. `2^i - 1`; bucket 0 holds only the value 0.
@@ -608,6 +731,20 @@ pub fn prometheus_text(status: &LiveStatus) -> String {
     for kind in AlarmKind::ALL {
         let active = u8::from(status.active_alarms.contains(&kind));
         let _ = writeln!(out, "{PREFIX}_alarm_active{{alarm=\"{}\"}} {active}", kind.slug());
+    }
+
+    // Per-tenant job-plane gauges; the family exists only once a tenant
+    // has been seen, so pre-fair-share scrapes are byte-identical.
+    if !status.tenant_jobs.is_empty() {
+        let _ = writeln!(out, "# TYPE {PREFIX}_tenant_jobs gauge");
+        for (tenant, counts) in &status.tenant_jobs {
+            for (state, value) in TENANT_JOB_STATES.iter().zip(counts.iter()) {
+                let _ = writeln!(
+                    out,
+                    "{PREFIX}_tenant_jobs{{tenant=\"{tenant}\",state=\"{state}\"}} {value}"
+                );
+            }
+        }
     }
     out
 }
@@ -791,6 +928,7 @@ mod tests {
             dropped_events: 0,
             throttled_kernels: vec!["makenewz".into()],
             active_alarms: vec![AlarmKind::StallSpike],
+            tenant_jobs: Vec::new(),
         }
     }
 
@@ -866,6 +1004,38 @@ mod tests {
 
         // Determinism: same status, same bytes.
         assert_eq!(text, prometheus_text(&status));
+    }
+
+    #[test]
+    fn tenant_job_gauges_render_only_once_a_tenant_is_seen() {
+        // No tenants seen: the family is absent and the scrape is
+        // byte-identical to the pre-fair-share exporter.
+        let bare = status_with(MetricsSnapshot::default());
+        let text = prometheus_text(&bare);
+        assert!(!text.contains("multigrain_tenant_jobs"));
+
+        let populated = LiveStatus {
+            tenant_jobs: vec![(0, [5, 1, 0, 2]), (3, [2, 0, 1, 0])],
+            ..status_with(MetricsSnapshot::default())
+        };
+        let text = prometheus_text(&populated);
+        let families = parse_prometheus(&text).expect("tenant gauges must parse");
+        validate_families(&families).expect("tenant gauges must validate");
+        let fam = families.iter().find(|f| f.name == "multigrain_tenant_jobs").unwrap();
+        assert_eq!(fam.kind, "gauge");
+        assert_eq!(fam.samples.len(), 8, "2 tenants x 4 states");
+        let sample = |tenant: &str, state: &str| {
+            fam.samples
+                .iter()
+                .find(|s| s.label("tenant") == Some(tenant) && s.label("state") == Some(state))
+                .map(|s| s.value)
+        };
+        assert_eq!(sample("0", "admitted"), Some(5.0));
+        assert_eq!(sample("0", "inflight"), Some(2.0));
+        assert_eq!(sample("3", "shed"), Some(1.0));
+        assert_eq!(sample("3", "rejected"), Some(0.0));
+        // Determinism: same status, same bytes.
+        assert_eq!(text, prometheus_text(&populated));
     }
 
     #[test]
@@ -1125,19 +1295,55 @@ mod tests {
             taxa: 16,
             sites: 256,
             bootstraps: 3,
+            deadline_ns: 0,
             queue_depth: 1,
             queue_cap: 8,
         };
         let line = job_event_json_line(40, &submitted).expect("job event renders");
         assert!(!line.contains('\n'));
+        assert!(!line.contains("deadline_ns"), "deadline-free submissions omit the field");
         let v = minijson::parse(&line).unwrap();
         assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_submitted"));
         assert_eq!(v.get("at_ns").and_then(|n| n.as_u64()), Some(40));
         assert_eq!(v.get("queue_cap").and_then(|n| n.as_u64()), Some(8));
 
-        let started = EventKind::JobStarted { job: 7, tenant: 2 };
-        let v = minijson::parse(&job_event_json_line(41, &started).unwrap()).unwrap();
+        let with_deadline = EventKind::JobSubmitted {
+            job: 7,
+            tenant: 2,
+            taxa: 16,
+            sites: 256,
+            bootstraps: 3,
+            deadline_ns: 5_000_000,
+            queue_depth: 1,
+            queue_cap: 8,
+        };
+        let v = minijson::parse(&job_event_json_line(40, &with_deadline).unwrap()).unwrap();
+        assert_eq!(v.get("deadline_ns").and_then(|n| n.as_u64()), Some(5_000_000));
+
+        let started = EventKind::JobStarted { job: 7, tenant: 2, attempt: 0 };
+        let line = job_event_json_line(41, &started).unwrap();
+        assert!(!line.contains("attempt"), "first attempts omit the field");
+        let v = minijson::parse(&line).unwrap();
         assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_started"));
+
+        let restarted = EventKind::JobStarted { job: 7, tenant: 2, attempt: 1 };
+        let v = minijson::parse(&job_event_json_line(45, &restarted).unwrap()).unwrap();
+        assert_eq!(v.get("attempt").and_then(|n| n.as_u64()), Some(1));
+
+        let retried = EventKind::JobRetried { job: 7, tenant: 2, attempt: 1, backoff_ns: 4_000 };
+        let v = minijson::parse(&job_event_json_line(44, &retried).unwrap()).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_retried"));
+        assert_eq!(v.get("backoff_ns").and_then(|n| n.as_u64()), Some(4_000));
+
+        let shed = EventKind::JobShed { job: 8, tenant: 1, deadline_ns: 1_000 };
+        let v = minijson::parse(&job_event_json_line(46, &shed).unwrap()).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_shed"));
+        assert_eq!(v.get("deadline_ns").and_then(|n| n.as_u64()), Some(1_000));
+
+        let poisoned = EventKind::JobPoisoned { job: 9, tenant: 0, attempts: 3 };
+        let v = minijson::parse(&job_event_json_line(47, &poisoned).unwrap()).unwrap();
+        assert_eq!(v.get("type").and_then(|s| s.as_str()), Some("job_poisoned"));
+        assert_eq!(v.get("attempts").and_then(|n| n.as_u64()), Some(3));
 
         let completed = EventKind::JobCompleted {
             job: 7,
@@ -1160,6 +1366,40 @@ mod tests {
     }
 
     #[test]
+    fn tenant_starvation_fires_after_k_windows_and_rearms() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        // Two starved windows: pattern not yet confirmed.
+        assert!(det.observe_tenant_starvation(10, &[3]).is_none());
+        assert!(det.observe_tenant_starvation(20, &[3]).is_none());
+        // Third consecutive window confirms.
+        let fired = det.observe_tenant_starvation(30, &[3]).expect("third window fires");
+        assert_eq!(fired.kind, AlarmKind::TenantStarvation);
+        assert_eq!(fired.kind.severity(), "warning");
+        assert!(fired.detail.contains("tenant(s) 3"), "{}", fired.detail);
+        assert_eq!(det.active_alarms(), vec![AlarmKind::TenantStarvation]);
+        // Latched while the starvation continues.
+        assert!(det.observe_tenant_starvation(40, &[3]).is_none());
+        // A dispatch (tenant off the starved list) clears and re-arms.
+        assert!(det.observe_tenant_starvation(50, &[]).is_none());
+        assert!(det.active_alarms().is_empty());
+        assert!(det.observe_tenant_starvation(60, &[3]).is_none());
+        assert!(det.observe_tenant_starvation(70, &[3]).is_none());
+        assert!(det.observe_tenant_starvation(80, &[3]).is_some(), "re-armed");
+    }
+
+    #[test]
+    fn tenant_starvation_streaks_are_per_tenant() {
+        let mut det = HealthDetector::new(HealthConfig::for_spes(8));
+        // Tenant 1 starves twice, then recovers; tenant 2 starts late.
+        assert!(det.observe_tenant_starvation(10, &[1]).is_none());
+        assert!(det.observe_tenant_starvation(20, &[1, 2]).is_none());
+        assert!(det.observe_tenant_starvation(30, &[2]).is_none());
+        // Tenant 2's streak is only 2: a fresh window is needed.
+        let fired = det.observe_tenant_starvation(40, &[2]).expect("tenant 2 hits 3 windows");
+        assert!(fired.detail.contains("tenant(s) 2"), "{}", fired.detail);
+    }
+
+    #[test]
     fn merge_health_events_keeps_order_and_dense_seq() {
         use cellsim::event::SchedulerTag;
         let mut log = RunLog {
@@ -1171,6 +1411,7 @@ mod tests {
             loop_iters: 0,
             mgps_window: Some(2),
             fault_policy: None,
+            tenant_weights: None,
             events: vec![
                 EventRecord { seq: 0, at_ns: 10, kind: EventKind::Offload { proc: 0, task: 0 } },
                 EventRecord { seq: 1, at_ns: 30, kind: EventKind::Offload { proc: 0, task: 1 } },

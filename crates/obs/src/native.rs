@@ -40,6 +40,10 @@ pub struct NativeRunMeta {
     /// Canonical fault spec of the armed `FaultPlan`, if any — lands in
     /// the RunLog header so the checker can audit the recovery policy.
     pub fault_policy: Option<String>,
+    /// Per-tenant DRR dispatch weights, when the serve plane ran with
+    /// non-default fairness — lands in the RunLog header so the checker's
+    /// `tenant-fairness` rule can replay dispatch against them.
+    pub tenant_weights: Option<Vec<u64>>,
 }
 
 fn kind_rank(kind: &TraceEventKind) -> u8 {
@@ -73,8 +77,14 @@ fn kind_rank(kind: &TraceEventKind) -> u8 {
         // (or with) the task end.
         TraceEventKind::LsFree { .. } => 13,
         TraceEventKind::TaskEnd { .. } | TraceEventKind::PpeFallback { .. } => 14,
-        // A job completes only after its last task has ended.
-        TraceEventKind::JobCompleted { .. } => 15,
+        // A job resolves (completion, shed, retry re-queue, poison
+        // quarantine) only after its last task event; the dispatcher's
+        // strictly increasing lock stamps keep these from genuinely tying
+        // with each other.
+        TraceEventKind::JobCompleted { .. }
+        | TraceEventKind::JobShed { .. }
+        | TraceEventKind::JobRetried { .. }
+        | TraceEventKind::JobPoisoned { .. } => 15,
         TraceEventKind::CtxSwitch { .. } => 16,
         TraceEventKind::DegreeDecision { .. } => 17,
     }
@@ -146,10 +156,31 @@ fn to_event_kind(kind: &TraceEventKind) -> EventKind {
             taxa,
             sites,
             bootstraps,
+            deadline_ns,
             queue_depth,
             queue_cap,
-        } => EventKind::JobSubmitted { job, tenant, taxa, sites, bootstraps, queue_depth, queue_cap },
-        TraceEventKind::JobStarted { job, tenant } => EventKind::JobStarted { job, tenant },
+        } => EventKind::JobSubmitted {
+            job,
+            tenant,
+            taxa,
+            sites,
+            bootstraps,
+            deadline_ns,
+            queue_depth,
+            queue_cap,
+        },
+        TraceEventKind::JobStarted { job, tenant, attempt } => {
+            EventKind::JobStarted { job, tenant, attempt }
+        }
+        TraceEventKind::JobShed { job, tenant, deadline_ns } => {
+            EventKind::JobShed { job, tenant, deadline_ns }
+        }
+        TraceEventKind::JobRetried { job, tenant, attempt, backoff_ns } => {
+            EventKind::JobRetried { job, tenant, attempt, backoff_ns }
+        }
+        TraceEventKind::JobPoisoned { job, tenant, attempts } => {
+            EventKind::JobPoisoned { job, tenant, attempts }
+        }
         TraceEventKind::JobCompleted {
             job,
             tenant,
@@ -195,6 +226,7 @@ pub fn runlog_from_trace(trace: &TraceLog, meta: NativeRunMeta) -> RunLog {
             _ => None,
         },
         fault_policy: meta.fault_policy,
+        tenant_weights: meta.tenant_weights,
         events,
     }
 }
@@ -224,7 +256,7 @@ mod tests {
         }
         let run = runlog_from_trace(
             &log,
-            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None },
+            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None, tenant_weights: None },
         );
         assert_eq!(run.events.len(), 3);
         assert!(matches!(run.events[0].kind, EventKind::Offload { .. }));
@@ -256,10 +288,11 @@ mod tests {
             taxa: 4,
             sites: 8,
             bootstraps: 1,
+            deadline_ns: 0,
             queue_depth: 1,
             queue_cap: 4,
         });
-        worker.record(TraceEventKind::JobStarted { job: 9, tenant: 0 });
+        worker.record(TraceEventKind::JobStarted { job: 9, tenant: 0, attempt: 0 });
         worker.record(TraceEventKind::Offload { proc: 0, task: 0 });
         worker.record(TraceEventKind::TaskStart { proc: 0, task: 0, degree: 1, team: vec![0] });
         let mut log = tracer.drain();
@@ -270,7 +303,7 @@ mod tests {
         }
         let run = runlog_from_trace(
             &log,
-            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None },
+            NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None, tenant_weights: None },
         );
         let kinds: Vec<&EventKind> = run.events.iter().map(|e| &e.kind).collect();
         assert!(matches!(kinds[0], EventKind::JobSubmitted { .. }));
@@ -286,7 +319,7 @@ mod tests {
         let tracer = Tracer::new(4);
         let run = runlog_from_trace(
             &tracer.drain(),
-            NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes: 8, seed: 7, fault_policy: None },
+            NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes: 8, seed: 7, fault_policy: None, tenant_weights: None },
         );
         assert_eq!(run.scheduler, SchedulerTag::Mgps);
         assert_eq!(run.n_spes, 8);

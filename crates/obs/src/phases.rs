@@ -175,6 +175,7 @@ mod tests {
             loop_iters: 16,
             mgps_window: None,
             fault_policy: None,
+            tenant_weights: None,
             events: events
                 .into_iter()
                 .enumerate()

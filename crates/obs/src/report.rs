@@ -230,6 +230,7 @@ mod tests {
             loop_iters: 16,
             mgps_window: None,
             fault_policy: None,
+            tenant_weights: None,
             events: events
                 .into_iter()
                 .enumerate()
@@ -330,6 +331,7 @@ mod tests {
             loop_iters: 16,
             mgps_window: None,
             fault_policy: Some("seed=1,pin=crash@0,retries=0".into()),
+            tenant_weights: None,
             events: events
                 .into_iter()
                 .enumerate()

@@ -346,6 +346,7 @@ mod tests {
             loop_iters: 16,
             mgps_window: Some(1),
             fault_policy: None,
+            tenant_weights: None,
             events: events
                 .into_iter()
                 .enumerate()

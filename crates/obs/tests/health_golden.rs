@@ -65,6 +65,7 @@ fn starved_gate_fixture(low_windows: usize) -> RunLog {
         loop_iters: 16,
         mgps_window: Some(8),
             fault_policy: None,
+            tenant_weights: None,
         events,
     }
 }

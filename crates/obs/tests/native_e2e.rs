@@ -86,7 +86,7 @@ fn native_run_passes_the_full_observability_stack() {
     // Merge and check the full native invariant catalog.
     let log: RunLog = runlog_from_trace(
         &trace,
-        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: 0, fault_policy: None },
+        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: 0, fault_policy: None, tenant_weights: None },
     );
     let report = check_run_with(&log, CheckMode::Native);
     assert!(report.is_clean(), "{}", report.render());
@@ -151,6 +151,7 @@ fn armed_native_run_stays_checker_valid() {
             n_spes,
             seed: 0,
             fault_policy: Some(plan.to_spec()),
+            tenant_weights: None,
         },
     );
     let injected = log
@@ -198,7 +199,7 @@ fn llp_team_run_phases_include_the_reduction_span() {
 
     let log = runlog_from_trace(
         &tracer.drain(),
-        NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None },
+        NativeRunMeta { scheduler: SchedulerTag::Edtlp, n_spes: 4, seed: 0, fault_policy: None, tenant_weights: None },
     );
     let report = check_run_with(&log, CheckMode::Native);
     assert!(report.is_clean(), "{}", report.render());

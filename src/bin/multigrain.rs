@@ -195,17 +195,26 @@ USAGE:
                        lock-order cycle)
   multigrain serve    [--port N] [--workers N] [--tasks N] [--seed N] [--poll-ms N]
                       [--ring-capacity N] [--job-queue N] [--for-ms N] [--out FILE]
-                      [--snapshot-out FILE]
+                      [--snapshot-out FILE] [--faults SPEC]
+                      [--tenant-weights W,W,...] [--shed-watermark N]
+                      [--tenant-queue N]
                       (live telemetry plane: keep the native MGPS pool resident,
-                       admit off-load work and POST /jobs phylo jobs through a
-                       bounded admission queue, and serve /metrics (Prometheus
-                       text, with job latency quantiles), /health (JSON), and
+                       admit off-load work and POST /jobs phylo jobs through
+                       per-tenant queues under a deficit-round-robin dispatcher
+                       (--tenant-weights; 429s carry Retry-After, queued jobs
+                       past their deadline_ms are shed, depths past
+                       --shed-watermark refuse lowest-weight tenants first),
+                       and serve /metrics (Prometheus text, with job latency
+                       quantiles and per-tenant gauges), /health (JSON), and
                        /events (NDJSON decision+alarm+job stream) on 127.0.0.1;
+                       with --faults armed, a job killed by an unrecovered
+                       off-load retries with bounded deterministic backoff and
+                       is quarantined as poison after the jobr budget (exit 4);
                        SIGINT or --for-ms drains admitted jobs, refuses new ones,
                        and writes a checker-valid run log)
   multigrain loadgen  [--rate JOBS_PER_S] [--duration MS] [--seed N] [--tenants N]
-                      [--workers N] [--job-queue N] [--url HOST:PORT]
-                      [--out FILE.json] [--html FILE.html]
+                      [--workers N] [--job-queue N] [--tenant-weights W,W,...]
+                      [--url HOST:PORT] [--out FILE.json] [--html FILE.html]
                       (seeded open-loop load test of the serve plane: exponential
                        interarrivals x bounded-Pareto job sizes through a
                        W-server bounded-queue model at 0.25x/0.5x/1x/2x/4x the
@@ -234,7 +243,8 @@ FAULT SPECS (--faults):
     crash=0.5,retries=0,fallback=off    lethal: tasks are lost (exit 5, or
                                         4 where the checker sees the log)
   keys: seed, stall|crash|dma|mbox (fraction), broken, pin=<kind>@<task>,
-        retries, backoff (ns), k, readmit, fallback=on|off, watchdog
+        retries, backoff (ns), k, readmit, fallback=on|off, watchdog,
+        jobr (serve-plane job retries before poison quarantine)
 
 EXIT CODES:
   0  success
@@ -324,6 +334,27 @@ fn faults_of(opts: &Opts) -> Result<mgps_runtime::faults::FaultPlan, CliError> {
         Some(spec) => mgps_runtime::faults::FaultPlan::parse(spec)
             .map_err(|e| CliError::usage(format!("--faults: {e}"))),
     }
+}
+
+/// Parse `--tenant-weights` as comma-separated per-tenant DRR weights
+/// (`4,2,1` gives tenant 0 weight 4; unlisted tenants weigh 1). Empty
+/// when the flag is absent — equal weights, byte-identical logs.
+fn tenant_weights_of(opts: &Opts) -> Result<Vec<u64>, CliError> {
+    let Some(spec) = opts.get("tenant-weights") else { return Ok(Vec::new()) };
+    spec.split(',')
+        .map(|w| {
+            let w: u64 = w
+                .trim()
+                .parse()
+                .map_err(|_| CliError::usage(format!("--tenant-weights: cannot parse {w:?}")))?;
+            if w == 0 {
+                return Err(CliError::usage(
+                    "--tenant-weights: every weight must be at least 1",
+                ));
+            }
+            Ok(w)
+        })
+        .collect()
 }
 
 fn scheduler_of(opts: &Opts) -> Result<SchedulerKind, CliError> {
@@ -910,6 +941,29 @@ fn serve_cmd(opts: &Opts) -> Result<(), CliError> {
         )?,
         out: opts.get("out").map(std::path::PathBuf::from),
         snapshot_out: opts.get("snapshot-out").map(std::path::PathBuf::from),
+        faults: match opts.get("faults") {
+            None => None,
+            Some(_) => Some(faults_of(opts)?),
+        },
+        tenant_weights: tenant_weights_of(opts)?,
+        shed_watermark: match opts.get("shed-watermark") {
+            None => None,
+            Some(_) => Some(positive(
+                opts,
+                "shed-watermark",
+                0,
+                "the shedding watermark needs at least 1 slot",
+            )?),
+        },
+        tenant_queue: match opts.get("tenant-queue") {
+            None => None,
+            Some(_) => Some(positive(
+                opts,
+                "tenant-queue",
+                0,
+                "each tenant's queue needs at least 1 slot",
+            )?),
+        },
     };
     let outcome = serve(&cfg).map_err(|e| match e {
         ServeError::Io(m) => CliError::Io(m),
@@ -919,6 +973,12 @@ fn serve_cmd(opts: &Opts) -> Result<(), CliError> {
         return Err(CliError::violation(format!(
             "{} schedule-invariant violation(s) in the service run log",
             outcome.violations
+        )));
+    }
+    if outcome.jobs_poisoned > 0 {
+        return Err(CliError::violation(format!(
+            "{} job(s) quarantined as poison after exhausting their retry budget",
+            outcome.jobs_poisoned
         )));
     }
     Ok(())
@@ -954,6 +1014,7 @@ fn loadgen_cmd(opts: &Opts) -> Result<(), CliError> {
             d.queue_cap,
             "the admission queue needs at least 1 slot",
         )?,
+        tenant_weights: tenant_weights_of(opts)?,
     };
     if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
         return Err(CliError::usage("--rate: the offered load must be a positive jobs/second"));
@@ -997,11 +1058,13 @@ fn loadgen_cmd(opts: &Opts) -> Result<(), CliError> {
         );
     }
     println!(
-        "verdicts           goodput {} ({:.1}% completed in-horizon), rejects {} ({:.2}% refused)",
+        "verdicts           goodput {} ({:.1}% completed in-horizon), rejects {} ({:.2}% refused), fairness {} (Jain {:.3})",
         report.verdicts.goodput,
         report.verdicts.goodput_fraction * 100.0,
         report.verdicts.rejects,
-        report.verdicts.reject_fraction * 100.0
+        report.verdicts.reject_fraction * 100.0,
+        report.verdicts.fairness,
+        report.verdicts.jain_index,
     );
     println!("loadtest           {} ({} bytes)", out.display(), json.len());
     println!("report             {} ({} bytes)", html_path.display(), html.len());
@@ -1012,6 +1075,12 @@ fn loadgen_cmd(opts: &Opts) -> Result<(), CliError> {
             "live drive         {url}: {} sent, {} admitted, {} rejected, {} draining, {} errors",
             live.sent, live.admitted, live.rejected, live.draining, live.errors
         );
+        if live.retried > 0 {
+            println!(
+                "retry-after        honored {} advised backoff(s), {} retry POST(s) then admitted",
+                live.retried, live.recovered
+            );
+        }
     }
     Ok(())
 }

@@ -72,6 +72,11 @@ pub struct LoadgenConfig {
     pub workers: usize,
     /// Admission-queue bound — matches `serve --job-queue`.
     pub queue_cap: usize,
+    /// Per-tenant DRR weights — matches `serve --tenant-weights`. Empty
+    /// means equal weights. The fairness verdict normalizes each tenant's
+    /// admitted share by its weight, so a 4:1 split serving tenant 0 four
+    /// jobs for every one of tenant 1 scores as perfectly fair.
+    pub tenant_weights: Vec<u64>,
 }
 
 impl Default for LoadgenConfig {
@@ -83,7 +88,15 @@ impl Default for LoadgenConfig {
             tenants: 2,
             workers: 2,
             queue_cap: 8,
+            tenant_weights: Vec::new(),
         }
+    }
+}
+
+impl LoadgenConfig {
+    /// Declared weight of `tenant` (unlisted tenants weigh 1).
+    fn weight(&self, tenant: usize) -> u64 {
+        self.tenant_weights.get(tenant).copied().unwrap_or(1).max(1)
     }
 }
 
@@ -322,6 +335,28 @@ pub struct Verdicts {
     pub rejects: String,
     /// Refused arrivals over offered arrivals at 1×.
     pub reject_fraction: f64,
+    /// `"fair"` when the weight-normalized Jain index at 1× is at least
+    /// 0.9, else `"skewed"`.
+    pub fairness: String,
+    /// Jain fairness index over per-tenant admitted jobs at 1×, each
+    /// divided by its declared weight: `(Σx)² / (n·Σx²)`, 1.0 = perfectly
+    /// proportional, `1/n` = one tenant took everything.
+    pub jain_index: f64,
+}
+
+/// Jain's fairness index over weight-normalized shares. An empty or
+/// all-zero sample is vacuously fair (1.0).
+pub fn jain_index(shares: &[f64]) -> f64 {
+    let n = shares.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
 }
 
 /// The full load-test result: the five-point rate curve plus 1× detail.
@@ -386,11 +421,16 @@ pub fn run_loadtest(cfg: &LoadgenConfig) -> LoadtestReport {
     };
     let reject_fraction =
         if one.offered > 0 { one.rejected as f64 / one.offered as f64 } else { 0.0 };
+    let shares: Vec<f64> =
+        tenants.iter().map(|t| t.jobs as f64 / cfg.weight(t.tenant) as f64).collect();
+    let jain = jain_index(&shares);
     let verdicts = Verdicts {
         goodput: if goodput_fraction >= 0.9 { "ok" } else { "degraded" }.to_string(),
         goodput_fraction,
         rejects: if reject_fraction <= 0.01 { "ok" } else { "hot" }.to_string(),
         reject_fraction,
+        fairness: if jain >= 0.9 { "fair" } else { "skewed" }.to_string(),
+        jain_index: jain,
     };
 
     LoadtestReport { config: cfg.clone(), curve, tenants, depth_timeline, verdicts }
@@ -433,6 +473,7 @@ impl LoadtestReport {
                 .map(|t| {
                     Value::object(vec![
                         ("tenant", t.tenant.into()),
+                        ("weight", self.config.weight(t.tenant).into()),
                         ("jobs", t.jobs.into()),
                         ("p50_ns", opt_ns(t.p50_ns)),
                         ("p95_ns", opt_ns(t.p95_ns)),
@@ -470,14 +511,27 @@ impl LoadtestReport {
             ("schema", LOADTEST_SCHEMA.into()),
             (
                 "config",
-                Value::object(vec![
-                    ("rate_per_s", Value::Number(cfg.rate)),
-                    ("duration_ms", cfg.duration_ms.into()),
-                    ("seed", cfg.seed.into()),
-                    ("tenants", cfg.tenants.into()),
-                    ("workers", cfg.workers.into()),
-                    ("queue_cap", cfg.queue_cap.into()),
-                ]),
+                Value::object({
+                    let mut members = vec![
+                        ("rate_per_s", Value::Number(cfg.rate)),
+                        ("duration_ms", cfg.duration_ms.into()),
+                        ("seed", cfg.seed.into()),
+                        ("tenants", cfg.tenants.into()),
+                        ("workers", cfg.workers.into()),
+                        ("queue_cap", cfg.queue_cap.into()),
+                    ];
+                    // Declared only when fairness is shaped, mirroring the
+                    // serve log header's omit-when-default rule.
+                    if !cfg.tenant_weights.is_empty() {
+                        members.push((
+                            "tenant_weights",
+                            Value::Array(
+                                cfg.tenant_weights.iter().map(|&w| w.into()).collect(),
+                            ),
+                        ));
+                    }
+                    members
+                }),
             ),
             ("curve", curve),
             ("tenants", tenants),
@@ -492,6 +546,8 @@ impl LoadtestReport {
                     ("goodput_fraction", Value::Number(self.verdicts.goodput_fraction)),
                     ("rejects", self.verdicts.rejects.as_str().into()),
                     ("reject_fraction", Value::Number(self.verdicts.reject_fraction)),
+                    ("fairness", self.verdicts.fairness.as_str().into()),
+                    ("jain_index", Value::Number(self.verdicts.jain_index)),
                 ]),
             ),
         ]);
@@ -520,11 +576,14 @@ impl LoadtestReport {
         ));
         page.para(&format!(
             "verdicts: goodput <b>{}</b> ({:.1}% of offered jobs completed inside the \
-             horizon at 1×) · rejects <b>{}</b> ({:.2}% of offered jobs refused at 1×)",
+             horizon at 1×) · rejects <b>{}</b> ({:.2}% of offered jobs refused at 1×) · \
+             fairness <b>{}</b> (weight-normalized Jain index {:.3} at 1×)",
             esc(&self.verdicts.goodput),
             self.verdicts.goodput_fraction * 100.0,
             esc(&self.verdicts.rejects),
             self.verdicts.reject_fraction * 100.0,
+            esc(&self.verdicts.fairness),
+            self.verdicts.jain_index,
         ));
 
         self.curve_table(&mut page);
@@ -818,6 +877,10 @@ pub struct LiveSummary {
     pub draining: usize,
     /// Connections or responses that failed outright.
     pub errors: usize,
+    /// 429s re-POSTed after honoring the server's `Retry-After`.
+    pub retried: usize,
+    /// Retries that were then admitted.
+    pub recovered: usize,
 }
 
 /// Replay the 1× arrival schedule as live `POST /jobs` traffic against
@@ -828,7 +891,8 @@ pub fn drive(url: &str, cfg: &LoadgenConfig) -> Result<LiveSummary, String> {
     let schedule = offered_jobs(cfg, ONE_X);
     let start = std::time::Instant::now();
     let mut sum = LiveSummary::default();
-    for o in &schedule {
+    let mut jitter = Lcg(cfg.seed ^ 0x7e74_af7e);
+    for (index, o) in schedule.iter().enumerate() {
         let due = std::time::Duration::from_nanos(o.arrival_ns);
         if let Some(remaining) = due.checked_sub(start.elapsed()) {
             std::thread::sleep(remaining);
@@ -839,9 +903,23 @@ pub fn drive(url: &str, cfg: &LoadgenConfig) -> Result<LiveSummary, String> {
         let sites = (o.service_ns / 4_000).clamp(16, 8192);
         let body = format!("taxa=8&sites={sites}&bootstraps=1&tenant={}", o.tenant);
         match post_job(url, &body) {
-            Ok(202) => sum.admitted += 1,
-            Ok(429) => sum.rejected += 1,
-            Ok(503) => sum.draining += 1,
+            Ok((202, _)) => sum.admitted += 1,
+            Ok((429, retry_after_s)) => {
+                // Honor the server's advice once, capped so one hot job
+                // cannot stall the whole open loop, with seeded jitter to
+                // decorrelate a burst of rejected arrivals.
+                sum.rejected += 1;
+                let advised_ms = retry_after_s.unwrap_or(1).saturating_mul(1_000);
+                let backoff_ms = advised_ms.min(25) + jitter.next() % (1 + index as u64 % 5);
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                sum.retried += 1;
+                match post_job(url, &body) {
+                    Ok((202, _)) => sum.recovered += 1,
+                    Ok((429 | 503, _)) => {}
+                    _ => sum.errors += 1,
+                }
+            }
+            Ok((503, _)) => sum.draining += 1,
             _ => sum.errors += 1,
         }
     }
@@ -851,8 +929,9 @@ pub fn drive(url: &str, cfg: &LoadgenConfig) -> Result<LiveSummary, String> {
     Ok(sum)
 }
 
-/// One `POST /jobs` round-trip; returns the response status code.
-fn post_job(url: &str, body: &str) -> Result<u16, String> {
+/// One `POST /jobs` round-trip; returns the response status code and the
+/// `Retry-After` header in seconds when the server sent one.
+fn post_job(url: &str, body: &str) -> Result<(u16, Option<u64>), String> {
     let mut stream = TcpStream::connect(url).map_err(|e| format!("{url}: {e}"))?;
     let request = format!(
         "POST /jobs HTTP/1.1\r\nHost: {url}\r\nContent-Type: application/x-www-form-urlencoded\r\n\
@@ -862,11 +941,19 @@ fn post_job(url: &str, body: &str) -> Result<u16, String> {
     stream.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
     let mut response = String::new();
     stream.read_to_string(&mut response).map_err(|e| e.to_string())?;
-    response
+    let status = response
         .strip_prefix("HTTP/1.1 ")
         .and_then(|rest| rest.get(..3))
         .and_then(|code| code.parse().ok())
-        .ok_or_else(|| format!("malformed response: {response:?}"))
+        .ok_or_else(|| format!("malformed response: {response:?}"))?;
+    let retry_after = response
+        .split("\r\n")
+        .take_while(|line| !line.is_empty())
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("retry-after").then(|| value.trim().parse().ok())?
+        });
+    Ok((status, retry_after))
 }
 
 #[cfg(test)]
@@ -975,6 +1062,58 @@ mod tests {
         ] {
             assert!(html.contains(section), "missing {section}");
         }
+    }
+
+    #[test]
+    fn jain_index_is_one_when_even_and_drops_when_skewed() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        // One tenant hogging everything: J = 1/n.
+        let hog = jain_index(&[12.0, 0.0, 0.0, 0.0]);
+        assert!((hog - 0.25).abs() < 1e-12, "got {hog}");
+        let mild = jain_index(&[4.0, 6.0]);
+        assert!(mild < 1.0 && mild > 0.9, "got {mild}");
+    }
+
+    #[test]
+    fn fairness_verdict_normalizes_shares_by_tenant_weight() {
+        let report = run_loadtest(&small());
+        let shares: Vec<f64> = report
+            .tenants
+            .iter()
+            .map(|t| t.jobs as f64) // unweighted: every weight defaults to 1
+            .collect();
+        assert_eq!(report.verdicts.jain_index, jain_index(&shares));
+        let expected = if report.verdicts.jain_index >= 0.9 { "fair" } else { "skewed" };
+        assert_eq!(report.verdicts.fairness, expected);
+        let json = report.to_json();
+        assert!(json.contains("\"fairness\""), "verdicts must carry the fairness call");
+        assert!(json.contains("\"jain_index\""), "verdicts must carry the raw index");
+    }
+
+    #[test]
+    fn tenant_weights_shape_the_verdict_and_stay_deterministic() {
+        let mut cfg = small();
+        cfg.tenants = 4;
+        cfg.tenant_weights = vec![8, 1, 1, 1];
+        let (a, b) = (run_loadtest(&cfg), run_loadtest(&cfg));
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_html(), b.render_html());
+        // The declared weights are part of the record.
+        assert!(a.to_json().contains("\"tenant_weights\""));
+        // The uniform open loop gives tenant 0 roughly a 1/4 share, so
+        // normalizing by weight 8 must read as skew against tenant 0.
+        let mut even = cfg.clone();
+        even.tenant_weights = Vec::new();
+        let unweighted = run_loadtest(&even);
+        assert!(
+            a.verdicts.jain_index < unweighted.verdicts.jain_index,
+            "weighted {} vs unweighted {}",
+            a.verdicts.jain_index,
+            unweighted.verdicts.jain_index,
+        );
+        assert_eq!(a.verdicts.fairness, "skewed");
     }
 
     #[test]

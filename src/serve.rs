@@ -15,13 +15,38 @@
 //!   records, and health alarms as they happen; the backlog is replayed
 //!   first, then the connection stays open and tails the journal.
 //! * `POST /jobs` — job admission: a phylo job spec
-//!   (`taxa=..&sites=..&bootstraps=..&tenant=..`) is assigned a seeded
-//!   job id and either admitted to a bounded FIFO queue (`202`), refused
-//!   because the queue is full (`429`), or refused because the service is
-//!   draining after a shutdown signal (`503`). Every admission decision
-//!   is stamped under one lock, so the trace's job lifecycle replays
-//!   exactly: occupancy, FIFO order, and the queue bound are all
-//!   checkable from the final RunLog (`job-lifecycle` rule).
+//!   (`taxa=..&sites=..&bootstraps=..&tenant=..&deadline_ms=..`) is
+//!   assigned a seeded job id and either admitted to its tenant's
+//!   bounded queue (`202`), refused with a computed `Retry-After`
+//!   because the tenant's share of the queue is full (`429`), or
+//!   refused because the service is draining after a shutdown signal
+//!   (`503`). Every admission decision is stamped under one lock, so
+//!   the trace's job lifecycle replays exactly: occupancy, per-tenant
+//!   FIFO order, and the queue bound are all checkable from the final
+//!   RunLog (`job-lifecycle` rule).
+//!
+//! # Surviving overload
+//!
+//! Dispatch is *deficit round-robin* over per-tenant queues
+//! (`--tenant-weights`): each active tenant in turn gets a deficit
+//! refill equal to its weight and dispatches one job per deficit unit,
+//! so a tenant's long-run dispatch share tracks its weight and no
+//! nonempty tenant waits forever (the `tenant-starvation` alarm fires
+//! if one does). Above the load-shedding watermark
+//! (`--shed-watermark`), lighter tenants see a proportionally smaller
+//! effective cap, so overload rejects the lowest-weight tenants first.
+//! Jobs may carry a relative deadline (`deadline_ms`); a job whose
+//! deadline expires while queued is *shed* — removed with an explicit
+//! `JobShed` record, never silently dropped. When an execution attempt
+//! dies on an unrecovered off-load fault (`--faults` arms the same
+//! seeded [`FaultPlan`] the chaos harness uses), the job is requeued
+//! with deterministic bounded backoff and an attempt counter
+//! (`JobRetried`), and after the policy's retry budget it is
+//! quarantined as a poison job (`JobPoisoned`). Every admitted job thus
+//! ends in exactly one of {completed, shed, poisoned}, and a completed
+//! job's four span terms telescope across all its attempts — the
+//! checker's `job-retry` and `tenant-fairness` rules replay all of
+//! this from the log alone.
 //!
 //! Admitted jobs run on the same worker processes as the ambient
 //! workload (jobs outrank it), and decompose into the span terms
@@ -50,7 +75,7 @@
 //!
 //! [`EventKind::Health`]: cellsim::event::EventKind::Health
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::ops::Range;
@@ -67,7 +92,10 @@ use mgps_obs::{
     LiveDecision, LiveStatus, NativeRunMeta,
 };
 use mgps_runtime::metrics::{hist_bucket, HistKind, MetricsSink, HIST_BUCKETS};
-use mgps_runtime::native::{LoopBody, LoopSite, MgpsRuntime, ProcessCtx, RuntimeConfig, SpeContext};
+use mgps_runtime::native::{
+    LoopBody, LoopSite, MgpsRuntime, OffloadError, ProcessCtx, RuntimeConfig, SpeContext,
+};
+use mgps_runtime::FaultPlan;
 use mgps_runtime::policy::{KernelKind, SchedulerKind};
 use mgps_runtime::tracing::TraceHandle;
 use mgps_runtime::{AtomicMetrics, SnapshotSource, TraceEventKind, Tracer};
@@ -102,6 +130,20 @@ pub struct ServeConfig {
     /// Bound of the job admission queue: a `POST /jobs` arriving with
     /// this many jobs already queued is refused with `429`.
     pub job_queue: usize,
+    /// Seeded fault-injection plan for the worker pool (`--faults`);
+    /// `None` leaves the runtime unarmed and the retry ladder idle.
+    pub faults: Option<FaultPlan>,
+    /// Per-tenant dispatch weights for the deficit-round-robin
+    /// scheduler: tenant `t` gets `tenant_weights[t]`, weight 1 beyond
+    /// the list's end. Empty means every tenant weighs 1.
+    pub tenant_weights: Vec<u64>,
+    /// Total queue depth at which load shedding begins: above it, a
+    /// tenant's effective admission cap scales with its weight, so the
+    /// lowest-weight tenants are rejected first. `None` disables
+    /// shedding (the watermark sits at the cap).
+    pub shed_watermark: Option<usize>,
+    /// Per-tenant queue-depth cap; `None` means the total cap.
+    pub tenant_queue: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +159,10 @@ impl Default for ServeConfig {
             out: None,
             snapshot_out: None,
             job_queue: 8,
+            faults: None,
+            tenant_weights: Vec::new(),
+            shed_watermark: None,
+            tenant_queue: None,
         }
     }
 }
@@ -133,6 +179,12 @@ pub struct ServeOutcome {
     pub alarms: Vec<String>,
     /// Off-loads completed.
     pub tasks_completed: u64,
+    /// Execution attempts requeued after an unrecovered fault.
+    pub jobs_retried: u64,
+    /// Jobs shed in queue on an expired deadline.
+    pub jobs_shed: u64,
+    /// Jobs quarantined as poison after exhausting the retry budget.
+    pub jobs_poisoned: u64,
 }
 
 /// How service mode failed, split along the CLI's exit-code seams.
@@ -239,14 +291,17 @@ struct JobSpec {
     taxa: usize,
     sites: usize,
     bootstraps: usize,
+    /// Relative completion deadline, ns since admission (0 = none): a
+    /// job still queued when it expires is shed, never started.
+    deadline_ns: u64,
 }
 
 impl JobSpec {
-    /// Parse a `taxa=..&sites=..&bootstraps=..&tenant=..` form body.
-    /// Missing or malformed fields take defaults; present ones clamp to
-    /// the ranges the serve plane is willing to run.
+    /// Parse a `taxa=..&sites=..&bootstraps=..&tenant=..&deadline_ms=..`
+    /// form body. Missing or malformed fields take defaults; present
+    /// ones clamp to the ranges the serve plane is willing to run.
     fn parse(body: &str) -> JobSpec {
-        let mut spec = JobSpec { tenant: 0, taxa: 16, sites: 256, bootstraps: 1 };
+        let mut spec = JobSpec { tenant: 0, taxa: 16, sites: 256, bootstraps: 1, deadline_ns: 0 };
         for pair in body.trim().split('&') {
             let Some((k, v)) = pair.split_once('=') else { continue };
             let Ok(v) = v.trim().parse::<usize>() else { continue };
@@ -255,6 +310,7 @@ impl JobSpec {
                 "taxa" => spec.taxa = v.clamp(4, 256),
                 "sites" => spec.sites = v.clamp(16, 8192),
                 "bootstraps" => spec.bootstraps = v.clamp(1, 16),
+                "deadline_ms" => spec.deadline_ns = (v.clamp(1, 3_600_000) as u64) * 1_000_000,
                 _ => {}
             }
         }
@@ -262,22 +318,76 @@ impl JobSpec {
     }
 }
 
-/// One admitted job waiting for a worker.
+/// One admitted job waiting for a worker (or requeued between attempts).
+///
+/// The accumulators carry the span terms of every *failed* attempt, so
+/// the eventual `JobCompleted` partitions the whole
+/// admission-to-completion span exactly no matter how many times the
+/// job bounced: each attempt contributes `queue + dispatch + kernel`
+/// up to its failure instant, the next queue wait starts at exactly
+/// that instant, and the terms telescope.
 struct PendingJob {
     job: u64,
     spec: JobSpec,
     submitted_ns: u64,
+    /// Zero-based execution attempt the next `JobStarted` will carry.
+    attempt: u64,
+    /// When the job (re-)entered the queue: admission stamp at first,
+    /// then each attempt's failure instant.
+    enqueued_ns: u64,
+    /// Queue wait accumulated across all attempts so far.
+    acc_queue_ns: u64,
+    /// Dispatch time burned by failed attempts.
+    acc_dispatch_ns: u64,
+    /// Kernel time burned by failed attempts (up to the fault).
+    acc_kernel_ns: u64,
 }
 
-/// The admission queue plus everything whose order must equal lock
+///// Cumulative per-tenant admission accounting: the `/metrics`
+/// `multigrain_tenant_jobs` gauges and the starvation detector's
+/// dispatch progress signal both read from here.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantStats {
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    /// Jobs popped but not yet terminal (an instantaneous gauge; a
+    /// retried job leaves flight when it re-enters the queue).
+    inflight: u64,
+    /// Dispatches ever (monotone; the starvation signal is "queued jobs
+    /// but no dispatch progress across consecutive windows").
+    dispatched: u64,
+}
+
+/// The admission plane plus everything whose order must equal lock
 /// order: the id stream, the last stamp handed out, and the trace ring
 /// that records admission decisions. All `JobSubmitted` / `JobStarted` /
-/// `JobRejected` stamps are taken while holding this lock and are
-/// strictly increasing, so the merged log's order *is* admission order
-/// and the checker's occupancy/FIFO replay is exact.
+/// `JobRejected` / `JobShed` / `JobRetried` / `JobPoisoned` stamps are
+/// taken while holding this lock and are strictly increasing, so the
+/// merged log's order *is* scheduler order and the checker's
+/// occupancy/FIFO/deficit-round-robin replay is exact.
 struct JobQueue {
-    queue: VecDeque<PendingJob>,
+    /// Per-tenant FIFO queues; a tenant's entry may be empty (tenants
+    /// are never forgotten once seen, their stats persist).
+    tenants: BTreeMap<usize, VecDeque<PendingJob>>,
+    /// Tenants with queued jobs, in activation order — the DRR ring.
+    active: VecDeque<usize>,
+    /// Remaining deficit per tenant. Nonzero only while a tenant sits
+    /// at the ring's head: deactivation forfeits the remainder.
+    deficit: BTreeMap<usize, u64>,
+    /// Dispatch weights, indexed by tenant (1 beyond the end).
+    weights: Vec<u64>,
+    /// Total queued jobs across all tenants.
+    depth: usize,
     cap: usize,
+    /// Per-tenant queue-depth cap.
+    tenant_cap: usize,
+    /// Total depth at which weight-scaled shedding begins; `== cap`
+    /// means shedding is off and every tenant sees the full cap.
+    watermark: usize,
+    /// Largest configured weight (≥ 1), the shedding scale's top end.
+    max_weight: u64,
+    stats: BTreeMap<usize, TenantStats>,
     admit: TraceHandle,
     id: Lcg,
     issued: u64,
@@ -298,6 +408,101 @@ impl JobQueue {
         let id = (self.issued << 24) | (self.id.next() & 0xff_ffff);
         self.issued += 1;
         id
+    }
+
+    fn weight(&self, tenant: usize) -> u64 {
+        self.weights.get(tenant).copied().unwrap_or(1).max(1)
+    }
+
+    /// Mark a tenant as having queued work, preserving activation order.
+    fn activate(&mut self, tenant: usize) {
+        if !self.active.contains(&tenant) {
+            self.active.push_back(tenant);
+        }
+    }
+
+    /// This tenant's admission cap under the shedding watermark: the
+    /// full cap at the maximum weight, linearly less for lighter
+    /// tenants — so once total depth crosses the watermark, the
+    /// lowest-weight tenants are refused first. With the watermark at
+    /// the cap (the default) every tenant sees the full cap and
+    /// admission behaves exactly as the pre-fair-share FIFO did.
+    fn effective_cap(&self, tenant: usize) -> usize {
+        let span = (self.cap - self.watermark) as u64;
+        self.watermark + ((span * self.weight(tenant)) / self.max_weight) as usize
+    }
+
+    /// Queued depth of one tenant.
+    fn tenant_depth(&self, tenant: usize) -> usize {
+        self.tenants.get(&tenant).map_or(0, VecDeque::len)
+    }
+
+    /// Pop the next job under deficit round-robin, shedding
+    /// expired-deadline jobs (with `JobShed` records and journal lines)
+    /// as they surface at the ring head. Returns the job and its
+    /// `JobStarted` stamp; the caller records the start.
+    ///
+    /// The ring discipline — refill an exhausted head deficit from the
+    /// weight, one job per deficit unit, rotate on exhaustion,
+    /// deactivate-and-forfeit on empty — is replayed verbatim by the
+    /// checker's `tenant-fairness` rule, so any drift between this loop
+    /// and the replay is a caught defect, not a silent one.
+    fn drr_pop(&mut self, now_ns: u64, journal: &mut Vec<String>) -> Option<(PendingJob, u64)> {
+        loop {
+            let tenant = *self.active.front()?;
+            if self.deficit.get(&tenant).copied().unwrap_or(0) == 0 {
+                let w = self.weight(tenant);
+                self.deficit.insert(tenant, w);
+            }
+            // Shed every expired job at this tenant's front before
+            // dispatching: sheds consume no deficit.
+            loop {
+                let expired = self.tenants.get(&tenant).and_then(VecDeque::front).is_some_and(
+                    |front| {
+                        let deadline = front.spec.deadline_ns;
+                        deadline != 0 && now_ns >= front.submitted_ns.saturating_add(deadline)
+                    },
+                );
+                if !expired {
+                    break;
+                }
+                let Some(job) = self.tenants.get_mut(&tenant).and_then(VecDeque::pop_front)
+                else {
+                    break;
+                };
+                let deadline = job.spec.deadline_ns;
+                self.depth -= 1;
+                self.stats.entry(tenant).or_default().shed += 1;
+                let at = self.stamp(now_ns);
+                self.admit.record_at(
+                    at,
+                    TraceEventKind::JobShed { job: job.job, tenant, deadline_ns: deadline },
+                );
+                let shed = EventKind::JobShed { job: job.job, tenant, deadline_ns: deadline };
+                if let Some(line) = job_event_json_line(at, &shed) {
+                    journal.push(line);
+                }
+            }
+            let Some(job) = self.tenants.get_mut(&tenant).and_then(VecDeque::pop_front) else {
+                // Shed dry: leave the ring and forfeit the deficit.
+                self.active.pop_front();
+                self.deficit.insert(tenant, 0);
+                continue;
+            };
+            self.depth -= 1;
+            let d = self.deficit.entry(tenant).or_insert(1);
+            *d -= 1;
+            let exhausted = *d == 0;
+            if self.tenant_depth(tenant) == 0 {
+                self.active.pop_front();
+                self.deficit.insert(tenant, 0);
+            } else if exhausted {
+                // Quantum spent with work left: head goes to the back.
+                self.active.rotate_left(1);
+            }
+            let at = self.stamp(now_ns);
+            return Some((job, at));
+        }
     }
 }
 
@@ -322,6 +527,14 @@ struct Shared {
     journal: Mutex<Vec<String>>,
     /// Every health event, for the final RunLog merge.
     health: Mutex<Vec<HealthEvent>>,
+    /// The armed fault plan (unarmed default when `--faults` is absent);
+    /// the retry ladder recomputes its deterministic backoff from here.
+    faults: FaultPlan,
+    /// Worker-pool size, for the `Retry-After` estimate.
+    workers: usize,
+    /// EWMA of job service time, ns (shifted-update, no floats): the
+    /// `Retry-After` estimate is `depth * ewma / workers`.
+    service_ewma_ns: std::sync::atomic::AtomicU64,
 }
 
 /// What a worker found when it asked the admission queue for work.
@@ -346,24 +559,123 @@ impl Shared {
         self.journal.lock().unwrap_or_else(|e| e.into_inner()).push(line);
     }
 
-    /// Pop the next admitted job, stamping `JobStarted` under the queue
-    /// lock. In-flight is raised under the same lock, so the drain waiter
-    /// can never observe "queue empty, nothing in flight" mid-handoff.
+    /// Pop the next admitted job under the DRR discipline, stamping
+    /// `JobStarted` under the queue lock. In-flight is raised under the
+    /// same lock, so the drain waiter can never observe "queue empty,
+    /// nothing in flight" mid-handoff. Deadline sheds encountered on the
+    /// way are recorded (and journaled) before the start.
     fn pop_job(&self) -> Popped {
-        let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
-        match q.queue.pop_front() {
-            Some(job) => {
-                self.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
+        let mut lines: Vec<String> = Vec::new();
+        let popped = {
+            let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            match q.drr_pop(self.tracer.now_ns(), &mut lines) {
+                Some((mut job, at)) => {
+                    self.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
+                    let tenant = job.spec.tenant;
+                    let st = q.stats.entry(tenant).or_default();
+                    st.inflight += 1;
+                    st.dispatched += 1;
+                    // This attempt's queue wait ends here; accumulate it
+                    // so the final partition telescopes over retries.
+                    job.acc_queue_ns += at.saturating_sub(job.enqueued_ns);
+                    q.admit.record_at(
+                        at,
+                        TraceEventKind::JobStarted { job: job.job, tenant, attempt: job.attempt },
+                    );
+                    Popped::Job(job, at)
+                }
+                None if self.draining.load(Ordering::SeqCst) => Popped::Drained,
+                None => Popped::Idle,
+            }
+        };
+        for line in lines {
+            self.journal_push(line);
+        }
+        popped
+    }
+
+    /// Drop one job from flight accounting (its terminal record is
+    /// already stamped, or — for a retry — it is back in the queue).
+    fn leave_flight(&self, tenant: usize) {
+        {
+            let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            let st = q.stats.entry(tenant).or_default();
+            st.inflight = st.inflight.saturating_sub(1);
+        }
+        self.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// An execution attempt died on an unrecovered off-load fault at
+    /// `fail_ns`: requeue the job with deterministic bounded backoff, or
+    /// quarantine it as poison once the retry budget
+    /// ([`mgps_runtime::RecoveryPolicy::job_retries`]) is spent. The job
+    /// keeps its identity, admission stamp, and accumulated span terms
+    /// either way — a poison quarantine is a terminal record, a retry is
+    /// a re-entry into its tenant's queue (back of the line).
+    fn retry_or_poison(&self, mut job: PendingJob, fail_ns: u64) {
+        let tenant = job.spec.tenant;
+        let next_attempt = job.attempt + 1;
+        if next_attempt > u64::from(self.faults.policy.job_retries) {
+            let line = {
+                let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
                 let at = q.stamp(self.tracer.now_ns());
                 q.admit.record_at(
                     at,
-                    TraceEventKind::JobStarted { job: job.job, tenant: job.spec.tenant },
+                    TraceEventKind::JobPoisoned { job: job.job, tenant, attempts: next_attempt },
                 );
-                Popped::Job(job, at)
+                let kind = EventKind::JobPoisoned { job: job.job, tenant, attempts: next_attempt };
+                job_event_json_line(at, &kind)
+            };
+            if let Some(line) = line {
+                self.journal_push(line);
             }
-            None if self.draining.load(Ordering::SeqCst) => Popped::Drained,
-            None => Popped::Idle,
+            self.leave_flight(tenant);
+            return;
         }
+        // Deterministic, bounded, seeded: the checker recomputes this
+        // exact value from the log's fault spec and flags any drift.
+        let backoff_ns = self.faults.backoff_ns(job.job, next_attempt as u32);
+        std::thread::sleep(Duration::from_nanos(backoff_ns));
+        let line = {
+            let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            let at = q.stamp(self.tracer.now_ns());
+            q.admit.record_at(
+                at,
+                TraceEventKind::JobRetried {
+                    job: job.job,
+                    tenant,
+                    attempt: next_attempt,
+                    backoff_ns,
+                },
+            );
+            let kind =
+                EventKind::JobRetried { job: job.job, tenant, attempt: next_attempt, backoff_ns };
+            let journal_line = job_event_json_line(at, &kind);
+            job.attempt = next_attempt;
+            // The next queue wait starts at the failure instant, so the
+            // backoff sleep is accounted as queue time.
+            job.enqueued_ns = fail_ns;
+            q.tenants.entry(tenant).or_default().push_back(job);
+            q.depth += 1;
+            q.activate(tenant);
+            journal_line
+        };
+        if let Some(line) = line {
+            self.journal_push(line);
+        }
+        // Leave flight only after the job is safely requeued: the drain
+        // waiter must never see "empty queue, zero in flight" while a
+        // retry is in hand.
+        self.leave_flight(tenant);
+    }
+
+    /// Seconds a refused client should wait before retrying: the queue's
+    /// estimated drain time at the current service rate, clamped to
+    /// [1, 30].
+    fn retry_after_s(&self, depth: usize) -> u64 {
+        let ewma = self.service_ewma_ns.load(Ordering::Relaxed);
+        let ns = (depth as u128 * ewma as u128) / self.workers.max(1) as u128;
+        ((ns.div_ceil(1_000_000_000)) as u64).clamp(1, 30)
     }
 }
 
@@ -382,7 +694,10 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 
     let metrics = Arc::new(AtomicMetrics::new());
     let tracer = Tracer::new(cfg.ring_capacity);
-    let rt_cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+    let mut rt_cfg = RuntimeConfig::cell(SchedulerKind::Mgps);
+    if let Some(plan) = cfg.faults {
+        rt_cfg = rt_cfg.with_faults(plan);
+    }
     let n_spes = rt_cfg.n_spes;
     let rt = MgpsRuntime::with_observability(
         rt_cfg,
@@ -390,13 +705,22 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         Some(Arc::clone(&tracer)),
     );
 
+    let cap = cfg.job_queue.max(1);
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
         draining: AtomicBool::new(false),
         jobs_in_flight: AtomicUsize::new(0),
         jobs: Mutex::new(JobQueue {
-            queue: VecDeque::new(),
-            cap: cfg.job_queue.max(1),
+            tenants: BTreeMap::new(),
+            active: VecDeque::new(),
+            deficit: BTreeMap::new(),
+            max_weight: cfg.tenant_weights.iter().copied().max().unwrap_or(1).max(1),
+            weights: cfg.tenant_weights.clone(),
+            depth: 0,
+            cap,
+            tenant_cap: cfg.tenant_queue.unwrap_or(cap).max(1),
+            watermark: cfg.shed_watermark.unwrap_or(cap).min(cap),
+            stats: BTreeMap::new(),
             admit: tracer.handle(),
             id: Lcg(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
             issued: 0,
@@ -406,6 +730,9 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         status: Mutex::new(None),
         journal: Mutex::new(Vec::new()),
         health: Mutex::new(Vec::new()),
+        faults: cfg.faults.unwrap_or_default(),
+        workers: cfg.workers.max(1),
+        service_ewma_ns: std::sync::atomic::AtomicU64::new(0),
     });
 
     std::thread::scope(|s| {
@@ -437,17 +764,29 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
                         break;
                     }
                     match shared.pop_job() {
-                        Popped::Job(job, started_ns) => {
-                            let started =
-                                EventKind::JobStarted { job: job.job, tenant: job.spec.tenant };
+                        Popped::Job(mut job, started_ns) => {
+                            let started = EventKind::JobStarted {
+                                job: job.job,
+                                tenant: job.spec.tenant,
+                                attempt: job.attempt,
+                            };
                             if let Some(line) = job_event_json_line(started_ns, &started) {
                                 shared.journal_push(line);
                             }
-                            execute_job(
+                            match execute_job(
                                 &mut ctx, &job, started_ns, &done, &mut last_done_ns,
                                 &metrics, &shared,
-                            );
-                            shared.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+                            ) {
+                                JobRun::Completed => shared.leave_flight(job.spec.tenant),
+                                JobRun::Faulted { dispatch_end, fail_ns } => {
+                                    // This attempt's dispatch and kernel time
+                                    // still count toward the job's totals.
+                                    job.acc_dispatch_ns +=
+                                        dispatch_end.saturating_sub(started_ns);
+                                    job.acc_kernel_ns += fail_ns.saturating_sub(dispatch_end);
+                                    shared.retry_or_poison(job, fail_ns);
+                                }
+                            }
                             continue;
                         }
                         Popped::Drained => break,
@@ -459,7 +798,11 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
                         let rounds = 64 + (lcg.next() % 512) as u32;
                         let body = Arc::new(SpinBody { n, rounds });
                         if ctx.offload_loop(LoopSite(w as u64), body).is_err() {
-                            break;
+                            // An ambient off-load lost to an armed fault is
+                            // disposable background noise — stop generating
+                            // it, but keep this worker serving jobs.
+                            ambient_left = 0;
+                            continue;
                         }
                         // A little PPE-side think time between off-loads
                         // keeps task parallelism (the paper's U) genuinely
@@ -487,10 +830,12 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
                 // and registration order is stable, so `events[cursor..]`
                 // is exactly what arrived since the previous tick.
                 let mut cursors: Vec<usize> = Vec::new();
+                let mut starve: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
                 loop {
                     let last = shared.stopped();
                     telemetry_tick(
                         &shared, rt, &tracer, &mut source, &mut detector, &mut cursors,
+                        &mut starve,
                     );
                     if last {
                         break;
@@ -551,8 +896,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
             shared.draining.store(true, Ordering::SeqCst);
         }
         loop {
-            let queue_empty =
-                shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).queue.is_empty();
+            let queue_empty = shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).depth == 0;
             if queue_empty && shared.jobs_in_flight.load(Ordering::SeqCst) == 0 {
                 break;
             }
@@ -572,7 +916,19 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 
     let mut log = runlog_from_trace(
         &trace,
-        NativeRunMeta { scheduler: SchedulerTag::Mgps, n_spes, seed: cfg.seed, fault_policy: None },
+        NativeRunMeta {
+            scheduler: SchedulerTag::Mgps,
+            n_spes,
+            seed: cfg.seed,
+            fault_policy: cfg.faults.filter(|p| p.armed()).map(|p| p.to_spec()),
+            // Declared only when fairness is actually shaped: an
+            // equal-weight run keeps the pre-weights log byte-identical.
+            tenant_weights: if cfg.tenant_weights.iter().any(|&w| w != 1) {
+                Some(cfg.tenant_weights.clone())
+            } else {
+                None
+            },
+        },
     );
     let health = shared.health.lock().unwrap_or_else(|e| e.into_inner());
     merge_health_events(&mut log, &health);
@@ -588,6 +944,13 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         let snap = source.snapshot();
         let status = shared.status.lock().unwrap_or_else(|e| e.into_inner());
         let alarms = status.as_ref().map(|st| st.active_alarms.clone()).unwrap_or_default();
+        let tenant_jobs = {
+            let q = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            q.stats
+                .iter()
+                .map(|(&t, st)| (t, [st.admitted, st.rejected, st.shed, st.inflight]))
+                .collect()
+        };
         let last = LiveStatus {
             epoch: snap.epoch,
             uptime_ns: tracer.now_ns(),
@@ -600,6 +963,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
             dropped_events: dropped,
             throttled_kernels: final_throttled,
             active_alarms: alarms,
+            tenant_jobs,
         };
         std::fs::write(path, health_json(&last).to_json())
             .map_err(|e| ServeError::Io(format!("write {}: {e}", path.display())))?;
@@ -609,6 +973,17 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
     let alarms: Vec<String> =
         health.iter().map(|h| h.kind.slug().to_string()).collect();
     let violations = report.violations.len() + sanity.violations.len();
+    let mut jobs_retried = 0u64;
+    let mut jobs_shed = 0u64;
+    let mut jobs_poisoned = 0u64;
+    for ev in &log.events {
+        match ev.kind {
+            EventKind::JobRetried { .. } => jobs_retried += 1,
+            EventKind::JobShed { .. } => jobs_shed += 1,
+            EventKind::JobPoisoned { .. } => jobs_poisoned += 1,
+            _ => {}
+        }
+    }
     if !sanity.is_clean() {
         println!("{}", sanity.render());
     }
@@ -623,8 +998,33 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         alarms.len(),
         violations,
     );
+    if jobs_retried + jobs_shed + jobs_poisoned > 0 {
+        println!(
+            "multigrain serve: job plane: {jobs_retried} retried, {jobs_shed} shed, \
+             {jobs_poisoned} poisoned",
+        );
+    }
 
-    Ok(ServeOutcome { violations, dropped_events: dropped, alarms, tasks_completed })
+    Ok(ServeOutcome {
+        violations,
+        dropped_events: dropped,
+        alarms,
+        tasks_completed,
+        jobs_retried,
+        jobs_shed,
+        jobs_poisoned,
+    })
+}
+
+/// What became of one execution attempt.
+enum JobRun {
+    /// The job completed and its terminal record is stamped.
+    Completed,
+    /// An off-loaded kernel died on [`OffloadError::Unrecovered`]. The
+    /// caller owns the verdict (retry or poison); the boundary stamps let
+    /// it fold this attempt's dispatch/kernel time into the job's
+    /// accumulators so the final partition still telescopes.
+    Faulted { dispatch_end: u64, fail_ns: u64 },
 }
 
 /// Run one admitted job and record its completion.
@@ -633,10 +1033,12 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 /// vocabulary lifts to job level: `t_dispatch` (argument marshalling on
 /// the PPE), `t_kernel` (one off-loaded loop per bootstrap replicate),
 /// and `t_reduce` (result folding on the PPE). Phase boundaries chain
-/// with `max`, so the terms telescope: their sum plus `t_queue` equals
-/// `completed - submitted` *exactly*, which the checker's job-lifecycle
-/// rule asserts on every log. A faulted off-load still completes the job
-/// (with whatever work was done) — the lifecycle stays balanced.
+/// with `max`, so the terms telescope: the accumulated terms across all
+/// attempts plus this attempt's tail equal `completed - submitted`
+/// *exactly*, which the checker's job-lifecycle rule asserts on every
+/// log. A panicked-but-recovered off-load still completes the job (with
+/// whatever work was done); only [`OffloadError::Unrecovered`] hands the
+/// job back for retry or quarantine.
 fn execute_job(
     ctx: &mut ProcessCtx<'_>,
     job: &PendingJob,
@@ -645,7 +1047,7 @@ fn execute_job(
     last_done_ns: &mut u64,
     metrics: &AtomicMetrics,
     shared: &Shared,
-) {
+) -> JobRun {
     let tracer = &shared.tracer;
     let spec = job.spec;
 
@@ -670,8 +1072,15 @@ fn execute_job(
     // Kernel: one off-loaded loop per bootstrap replicate.
     for (n, rounds) in shapes {
         let body = Arc::new(SpinBody { n, rounds });
-        if ctx.offload_loop(LoopSite(0x10_000 + spec.tenant as u64), body).is_err() {
-            break;
+        match ctx.offload_loop(LoopSite(0x10_000 + spec.tenant as u64), body) {
+            Ok(_) => {}
+            Err(OffloadError::Unrecovered) => {
+                let fail_ns = tracer.now_ns().max(dispatch_end);
+                return JobRun::Faulted { dispatch_end, fail_ns };
+            }
+            // A contained panic degraded this replicate but the SPE is
+            // back in service: finish the job with the work that ran.
+            Err(OffloadError::TaskPanicked) => break,
         }
     }
     let kernel_end = tracer.now_ns().max(dispatch_end);
@@ -690,9 +1099,12 @@ fn execute_job(
     let completed_ns = tracer.now_ns().max(kernel_end + 1).max(*last_done_ns + 1);
     *last_done_ns = completed_ns;
 
-    let t_queue_ns = started_ns - job.submitted_ns;
-    let t_dispatch_ns = dispatch_end - started_ns;
-    let t_kernel_ns = kernel_end - dispatch_end;
+    // The accumulators carry every earlier attempt's wait/dispatch/kernel
+    // time (the backoff sleep counts as queue time), so the four terms
+    // still partition `completed - submitted` exactly after retries.
+    let t_queue_ns = job.acc_queue_ns;
+    let t_dispatch_ns = job.acc_dispatch_ns + (dispatch_end - started_ns);
+    let t_kernel_ns = job.acc_kernel_ns + (kernel_end - dispatch_end);
     let t_reduce_ns = completed_ns - kernel_end;
     done.record_at(
         completed_ns,
@@ -719,6 +1131,13 @@ fn execute_job(
     if let Some(line) = job_event_json_line(completed_ns, &completed) {
         shared.journal_push(line);
     }
+    // Fold this service time into the Retry-After estimate (integer
+    // EWMA, alpha = 1/8; first sample seeds it).
+    let service = completed_ns - started_ns;
+    let prev = shared.service_ewma_ns.load(Ordering::Relaxed);
+    let next = if prev == 0 { service } else { prev - prev / 8 + service / 8 };
+    shared.service_ewma_ns.store(next, Ordering::Relaxed);
+    JobRun::Completed
 }
 
 /// Kernel slugs the runtime's granularity controller currently keeps on
@@ -740,6 +1159,7 @@ fn telemetry_tick(
     source: &mut SnapshotSource,
     detector: &mut HealthDetector,
     cursors: &mut Vec<usize>,
+    starve: &mut BTreeMap<usize, (usize, u64)>,
 ) {
     let now_ns = tracer.now_ns();
     let delta = source.delta();
@@ -778,6 +1198,41 @@ fn telemetry_tick(
         fired.push(h);
     }
 
+    // Per-tenant gauges and the starvation signal come off the queue lock
+    // together, so a tenant's gauge row and its starvation verdict always
+    // describe the same instant. A tenant "starved this window" if its
+    // queue was nonempty at this tick *and* the previous one with zero
+    // dispatches in between; the detector latches after k such windows.
+    let (tenant_jobs, starved) = {
+        let q = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let tenant_jobs: Vec<(usize, [u64; 4])> = q
+            .stats
+            .iter()
+            .map(|(&t, st)| (t, [st.admitted, st.rejected, st.shed, st.inflight]))
+            .collect();
+        let mut starved: Vec<usize> = Vec::new();
+        let mut next: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+        for (&t, queue) in &q.tenants {
+            let depth = queue.len();
+            if depth == 0 {
+                continue;
+            }
+            let dispatched = q.stats.get(&t).map(|st| st.dispatched).unwrap_or(0);
+            if let Some(&(prev_depth, prev_dispatched)) = starve.get(&t) {
+                if prev_depth > 0 && prev_dispatched == dispatched {
+                    starved.push(t);
+                }
+            }
+            next.insert(t, (depth, dispatched));
+        }
+        *starve = next;
+        (tenant_jobs, starved)
+    };
+    if let Some(h) = detector.observe_tenant_starvation(now_ns, &starved) {
+        lines.push(h.to_json_line());
+        fired.push(h);
+    }
+
     let status = LiveStatus {
         epoch: source.epoch(),
         uptime_ns: now_ns,
@@ -790,6 +1245,7 @@ fn telemetry_tick(
         dropped_events: trace.dropped_events(),
         throttled_kernels: throttled_kernels(rt),
         active_alarms: detector.active_alarms(),
+        tenant_jobs,
     };
 
     if !lines.is_empty() {
@@ -891,13 +1347,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// `POST /jobs`: admit, refuse (queue full), or refuse (draining). All
-/// trace stamping happens under the queue lock — see [`JobQueue`].
+/// `POST /jobs`: admit, refuse (over this tenant's cap), or refuse
+/// (draining). All trace stamping happens under the queue lock — see
+/// [`JobQueue`]. A refusal carries a computed `Retry-After` (the queue's
+/// estimated drain time), and the cap a tenant is judged against shrinks
+/// with its weight once total depth crosses the shedding watermark —
+/// lowest-weight tenants are turned away first under pressure.
 fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
     let spec = JobSpec::parse(body);
     enum Verdict {
         Admitted { job: u64, depth: usize, cap: usize },
-        Full { job: u64, depth: usize, cap: usize },
+        Full { job: u64, depth: usize, cap: usize, retry_after: u64 },
         Draining,
     }
     let verdict = {
@@ -906,10 +1366,13 @@ fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
             // Draining refusals record nothing: the final log describes
             // the run's admitted work, and a drain admits none.
             Verdict::Draining
-        } else if q.queue.len() >= q.cap {
+        } else if q.depth >= q.effective_cap(spec.tenant)
+            || q.tenant_depth(spec.tenant) >= q.tenant_cap
+        {
             let at = q.stamp(shared.tracer.now_ns());
             let job = q.next_id();
-            let (depth, cap) = (q.queue.len(), q.cap);
+            let (depth, cap) = (q.depth, q.cap);
+            q.stats.entry(spec.tenant).or_default().rejected += 1;
             q.admit.record_at(
                 at,
                 TraceEventKind::JobRejected { job, tenant: spec.tenant, queue_depth: depth, queue_cap: cap },
@@ -923,12 +1386,24 @@ fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
             if let Some(line) = job_event_json_line(at, &rejected) {
                 shared.journal_push(line);
             }
-            Verdict::Full { job, depth, cap }
+            Verdict::Full { job, depth, cap, retry_after: shared.retry_after_s(depth) }
         } else {
             let at = q.stamp(shared.tracer.now_ns());
             let job = q.next_id();
-            q.queue.push_back(PendingJob { job, spec, submitted_ns: at });
-            let (depth, cap) = (q.queue.len(), q.cap);
+            q.tenants.entry(spec.tenant).or_default().push_back(PendingJob {
+                job,
+                spec,
+                submitted_ns: at,
+                attempt: 0,
+                enqueued_ns: at,
+                acc_queue_ns: 0,
+                acc_dispatch_ns: 0,
+                acc_kernel_ns: 0,
+            });
+            q.depth += 1;
+            q.activate(spec.tenant);
+            q.stats.entry(spec.tenant).or_default().admitted += 1;
+            let (depth, cap) = (q.depth, q.cap);
             q.admit.record_at(
                 at,
                 TraceEventKind::JobSubmitted {
@@ -937,6 +1412,7 @@ fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
                     taxa: spec.taxa,
                     sites: spec.sites,
                     bootstraps: spec.bootstraps,
+                    deadline_ns: spec.deadline_ns,
                     queue_depth: depth,
                     queue_cap: cap,
                 },
@@ -947,6 +1423,7 @@ fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
                 taxa: spec.taxa,
                 sites: spec.sites,
                 bootstraps: spec.bootstraps,
+                deadline_ns: spec.deadline_ns,
                 queue_depth: depth,
                 queue_cap: cap,
             };
@@ -969,16 +1446,24 @@ fn handle_job_post(stream: &mut TcpStream, shared: &Shared, body: &str) {
             body.push('\n');
             respond(stream, "202 Accepted", "application/json", &body);
         }
-        Verdict::Full { job, depth, cap } => {
+        Verdict::Full { job, depth, cap, retry_after } => {
             let mut body = Value::object(vec![
                 ("status", "rejected".into()),
                 ("job", job.into()),
                 ("queue_depth", depth.into()),
                 ("queue_cap", cap.into()),
+                ("retry_after_s", retry_after.into()),
             ])
             .to_json();
             body.push('\n');
-            respond(stream, "429 Too Many Requests", "application/json", &body);
+            let retry_after = retry_after.to_string();
+            respond_with(
+                stream,
+                "429 Too Many Requests",
+                "application/json",
+                &[("Retry-After", retry_after.as_str())],
+                &body,
+            );
         }
         Verdict::Draining => {
             let mut body =
@@ -1280,6 +1765,37 @@ fn frame_text(
         counter("multigrain_spe_quarantines_total") - counter("multigrain_spe_readmissions_total"),
     );
 
+    // Per-tenant admission columns from `multigrain_tenant_jobs`. The
+    // family is absent until a tenant has been seen, and a tenant's row
+    // shows `n/a` for any state the scrape did not carry.
+    let mut tenants: BTreeMap<usize, BTreeMap<String, f64>> = BTreeMap::new();
+    if let Some(f) = families.iter().find(|f| f.name == "multigrain_tenant_jobs") {
+        for s in &f.samples {
+            let (Some(t), Some(st)) = (s.label("tenant"), s.label("state")) else { continue };
+            let Ok(t) = t.parse::<usize>() else { continue };
+            tenants.entry(t).or_default().insert(st.to_string(), s.value);
+        }
+    }
+    if tenants.is_empty() {
+        let _ = writeln!(out, " tenants: (none)");
+    } else {
+        let _ = writeln!(out, " tenant   admitted  rejected      shed  inflight");
+        for (t, states) in &tenants {
+            let col = |k: &str| {
+                states.get(k).map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".to_string())
+            };
+            let _ = writeln!(
+                out,
+                " {:>6}  {:>9} {:>9} {:>9} {:>9}",
+                t,
+                col("admitted"),
+                col("rejected"),
+                col("shed"),
+                col("inflight"),
+            );
+        }
+    }
+
     let alarms: Vec<String> = families
         .iter()
         .find(|f| f.name == "multigrain_alarm_active")
@@ -1415,5 +1931,34 @@ multigrain_job_total_ns_count 8
         // Job delta holds only the 4 new jobs in [2^20, 2^21) = ~1-2 ms.
         assert!(frame2.contains("jobs p50 1.") && frame2.contains("ms"), "{frame2}");
         assert!(!frame2.contains("NaN"));
+    }
+
+    #[test]
+    fn top_tenant_columns_track_the_gauge_family_across_frames() {
+        // Frame 1: the service has seen no tenant yet, so the family is
+        // absent from the scrape and the section says so.
+        let first = "# TYPE multigrain_llp_degree gauge\nmultigrain_llp_degree 2\n";
+        let mut state = TopState::default();
+        let frame1 = frame_text(&mgps_obs::parse_prometheus(first).unwrap(), "h:1", &mut state);
+        assert!(frame1.contains("tenants: (none)"), "{frame1}");
+
+        // Frame 2: two tenants appear. Tenant 7's scrape carries no
+        // `shed` sample — its cell renders n/a, not 0 (never seen is not
+        // the same claim as zero).
+        let second = "\
+# TYPE multigrain_tenant_jobs gauge
+multigrain_tenant_jobs{tenant=\"0\",state=\"admitted\"} 12
+multigrain_tenant_jobs{tenant=\"0\",state=\"rejected\"} 3
+multigrain_tenant_jobs{tenant=\"0\",state=\"shed\"} 1
+multigrain_tenant_jobs{tenant=\"0\",state=\"inflight\"} 2
+multigrain_tenant_jobs{tenant=\"7\",state=\"admitted\"} 5
+multigrain_tenant_jobs{tenant=\"7\",state=\"rejected\"} 0
+multigrain_tenant_jobs{tenant=\"7\",state=\"inflight\"} 1
+";
+        let frame2 = frame_text(&mgps_obs::parse_prometheus(second).unwrap(), "h:1", &mut state);
+        assert!(!frame2.contains("tenants: (none)"), "{frame2}");
+        assert!(frame2.contains("tenant   admitted  rejected      shed  inflight"), "{frame2}");
+        assert!(frame2.contains("0         12         3         1         2"), "{frame2}");
+        assert!(frame2.contains("7          5         0       n/a         1"), "{frame2}");
     }
 }

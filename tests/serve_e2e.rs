@@ -293,6 +293,74 @@ fn undersized_rings_raise_the_ring_drop_alarm_and_exit_4() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn an_armed_mid_kernel_fault_retries_the_job_to_exactly_one_completion() {
+    let dir = std::env::temp_dir().join(format!("mg-serve-retry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("retry-run.json");
+
+    // One worker, one ambient task: the ambient off-load is TaskId 0, so
+    // the first job's single kernel off-load (bootstraps=1) is TaskId 1 —
+    // pinned to crash with SPE retries and PPE fallback both off, the only
+    // path left is the job plane's own retry ladder. The retry attempt
+    // re-offloads as TaskId 2, which no pin touches, and completes.
+    let (mut child, addr) = spawn_serve(&[
+        "--tasks",
+        "1",
+        "--workers",
+        "1",
+        "--faults",
+        "seed=11,pin=crash@1,retries=0,fallback=off,jobr=2,backoff=1000",
+        "--out",
+        log_path.to_str().unwrap(),
+    ]);
+    scrape(&addr, "/health");
+
+    let (status, head, payload) =
+        raw_request(&addr, "POST", "/jobs", "taxa=8&sites=64&bootstraps=1&tenant=0");
+    assert_eq!(status, 202, "{head} {payload}");
+
+    // The retry is visible on the live /events stream before shutdown.
+    let retried = events_line_matching(
+        &addr,
+        |l| l.contains("\"type\":\"job_retried\""),
+        Duration::from_secs(10),
+    )
+    .expect("a job_retried line on /events");
+    assert!(retried.contains("\"attempt\":1"), "{retried}");
+
+    // SIGINT: the drain waits for the retried job, so exactly-once
+    // completion is part of the graceful-shutdown contract.
+    unsafe {
+        libc_kill(child.id() as i32, 2);
+    }
+    let code = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(code, 0, "a recovered fault must not change the exit code");
+
+    let text = std::fs::read_to_string(&log_path).expect("run log written");
+    let log = RunLog::from_value(&minijson::parse(&text).expect("log is JSON"))
+        .expect("log deserializes");
+    let report = check_run_with(&log, CheckMode::Native);
+    assert!(report.is_clean(), "armed recovered run must be checker-valid:\n{}", report.render());
+
+    let count = |f: &dyn Fn(&EventKind) -> bool| log.events.iter().filter(|e| f(&e.kind)).count();
+    assert_eq!(count(&|k| matches!(k, EventKind::JobCompleted { .. })), 1, "exactly once");
+    assert_eq!(count(&|k| matches!(k, EventKind::JobRetried { .. })), 1);
+    assert_eq!(count(&|k| matches!(k, EventKind::JobPoisoned { .. })), 0);
+    assert_eq!(count(&|k| matches!(k, EventKind::JobShed { .. })), 0);
+    let attempts: Vec<u64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::JobStarted { attempt, .. } => Some(attempt),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(attempts, vec![0, 1], "one start per attempt, in order");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 extern "C" {
     #[link_name = "kill"]
     fn libc_kill(pid: i32, sig: i32) -> i32;
